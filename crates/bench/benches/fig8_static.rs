@@ -1,0 +1,31 @@
+//! Figure 8 (one cell per panel): end-to-end cost of producing the static
+//! comparison — plan + engine measurement for baseline / PipeDream /
+//! AutoPipe on the shared testbed.
+
+use ap_bench::experiments::static_alloc::measure_cell;
+use ap_models::{alexnet, resnet50, vgg16};
+use ap_pipesim::{Framework, SyncScheme};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_static_cell");
+    group.sample_size(10);
+    for model in [resnet50(), vgg16(), alexnet()] {
+        group.bench_function(format!("ps_tensorflow_25g/{}", model.name), |b| {
+            b.iter(|| {
+                black_box(measure_cell(
+                    &model,
+                    Framework::tensorflow(),
+                    SyncScheme::ParameterServer,
+                    25.0,
+                    12,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,301 @@
+//! `repro` — regenerate every figure of the AutoPipe paper.
+//!
+//! ```text
+//! repro <fig2|fig3|fig4|fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|multijob|ablations|all> [--json DIR]
+//! ```
+//!
+//! Each subcommand prints the figure's rows/series as a markdown table
+//! (the source for EXPERIMENTS.md) and, with `--json DIR`, also writes the
+//! raw rows as JSON.
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+
+use ap_bench::experiments::motivation::{panel_bandwidths, panel_models, MotivationRow, Scenario};
+use ap_bench::experiments::{
+    ablations, convergence, dynamic, enhanced, multi_job, overhead, pipeline_fill, static_alloc,
+};
+
+/// Iterations per engine measurement (kept moderate so `repro all`
+/// finishes in minutes).
+const MEASURE_ITERS: usize = 16;
+/// Iterations for the dynamic speed-curve scenarios.
+const DYNAMIC_ITERS: usize = 80;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let json_dir = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+
+    let run = |name: &str| cmd == name || cmd == "all";
+
+    if run("fig2") {
+        fig2(&json_dir);
+    }
+    for (name, scenario) in [
+        ("fig3", Scenario::BandwidthHalved),
+        ("fig4", Scenario::GpuContention),
+        ("fig5", Scenario::JobJoins),
+        ("fig6", Scenario::JobFinishes),
+    ] {
+        if run(name) {
+            motivation_figure(name, scenario, &json_dir);
+        }
+    }
+    if run("fig8") {
+        fig8(&json_dir);
+    }
+    if run("fig9") {
+        dynamic_figure("fig9", dynamic::fig9(DYNAMIC_ITERS), &json_dir);
+    }
+    if run("fig10") {
+        dynamic_figure("fig10", dynamic::fig10(DYNAMIC_ITERS), &json_dir);
+    }
+    if run("fig11") {
+        fig11(&json_dir);
+    }
+    if run("fig12") {
+        fig12(&json_dir);
+    }
+    if run("fig13") {
+        fig13(&json_dir);
+    }
+    if run("multijob") {
+        run_multijob(&json_dir);
+    }
+    if run("ablations") {
+        run_ablations(&json_dir);
+    }
+}
+
+fn run_multijob(json: &Option<PathBuf>) {
+    println!("\n## Multi-job deployment — coordinated AutoPipe tenancy (§1)\n");
+    let rows = multi_job::run();
+    println!("| tenancy | resnet50 | vgg16 | bert12 | total (samples/s) | plan changes |");
+    println!("|---|---|---|---|---|---|");
+    for r in &rows {
+        println!(
+            "| {} | {:.1} | {:.1} | {:.1} | {:.1} | {} |",
+            r.tenancy, r.per_job[0], r.per_job[1], r.per_job[2], r.total, r.changes
+        );
+    }
+    println!(
+        "\nTenancy-wide improvement: {:+.1}%",
+        (rows[1].total / rows[0].total - 1.0) * 100.0
+    );
+    dump_json(json, "multijob", &rows);
+}
+
+fn dump_json<T: serde::Serialize>(dir: &Option<PathBuf>, name: &str, value: &T) {
+    if let Some(d) = dir {
+        fs::create_dir_all(d).expect("create json dir");
+        let path = d.join(format!("{name}.json"));
+        fs::write(&path, serde_json::to_string_pretty(value).unwrap()).expect("write json");
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+fn fig2(json: &Option<PathBuf>) {
+    println!("\n## Figure 2 — filling the pipeline (startup vs steady state)\n");
+    let fill = pipeline_fill::fig2(24);
+    for row in pipeline_fill::ascii_timeline(&fill, 96) {
+        println!("    {row}");
+    }
+    println!(
+        "\n| window | mean utilization |\n|---|---|\n| startup (first quarter) | {:.1}% |\n| steady state (last half) | {:.1}% |",
+        fill.startup_utilization * 100.0,
+        fill.steady_utilization * 100.0
+    );
+    dump_json(json, "fig2", &fill);
+}
+
+fn motivation_title(s: Scenario) -> &'static str {
+    match s {
+        Scenario::BandwidthHalved => "dynamic changing bandwidth (halved mid-training)",
+        Scenario::GpuContention => "dynamic changing computation resource (extra job per GPU)",
+        Scenario::JobJoins => "a new distributed training job joins",
+        Scenario::JobFinishes => "an old distributed training job finishes",
+    }
+}
+
+fn motivation_figure(name: &str, scenario: Scenario, json: &Option<PathBuf>) {
+    println!(
+        "\n## {} — impact of {} on PipeDream\n",
+        name.to_uppercase(),
+        motivation_title(scenario)
+    );
+    let print_panel = |title: &str, rows: &[MotivationRow]| {
+        println!("**{title}**\n");
+        println!("| case | actual (img/s) | optimal (img/s) | degradation |");
+        println!("|---|---|---|---|");
+        for r in rows {
+            println!(
+                "| {} | {:.1} | {:.1} | {:.0}% |",
+                r.label,
+                r.actual,
+                r.optimal,
+                r.degradation_pct()
+            );
+        }
+        println!();
+    };
+    let a = panel_models(scenario, MEASURE_ITERS);
+    print_panel("(a) model influence @25Gbps", &a);
+    let b = panel_bandwidths(scenario, MEASURE_ITERS);
+    print_panel("(b) network speed influence (VGG16)", &b);
+    dump_json(json, name, &(a, b));
+}
+
+fn fig8(json: &Option<PathBuf>) {
+    println!("\n## Figure 8 — static resource allocation (3 identical jobs share the testbed)\n");
+    let rows = static_alloc::full_grid(MEASURE_ITERS);
+    println!("| framework | scheme | model | Gbps | baseline | PipeDream | AutoPipe | vs base | vs PD |");
+    println!("|---|---|---|---|---|---|---|---|---|");
+    for r in &rows {
+        println!(
+            "| {} | {} | {} | {:.0} | {:.1} | {:.1} | {:.1} | +{:.0}% | +{:.0}% |",
+            r.framework,
+            r.scheme,
+            r.model,
+            r.gbps,
+            r.baseline,
+            r.pipedream,
+            r.autopipe,
+            r.speedup_vs_baseline_pct(),
+            r.speedup_vs_pipedream_pct()
+        );
+    }
+    let best_base = rows
+        .iter()
+        .map(static_alloc::Fig8Row::speedup_vs_baseline_pct)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let best_pd = rows
+        .iter()
+        .map(static_alloc::Fig8Row::speedup_vs_pipedream_pct)
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!("\nBest speedup vs baseline: +{best_base:.0}% (paper: up to +177%)");
+    println!("Best speedup vs PipeDream: +{best_pd:.0}% (paper: up to +89%)");
+    dump_json(json, "fig8", &rows);
+}
+
+fn dynamic_figure(name: &str, r: dynamic::DynamicResult, json: &Option<PathBuf>) {
+    println!(
+        "\n## {} — training ResNet50 under {} \n",
+        name.to_uppercase(),
+        if name == "fig9" {
+            "dynamic bandwidth (10→25→40→100 Gbps at iters 20/40/60)"
+        } else {
+            "dynamic GPUs (extra local jobs at iters 20/40)"
+        }
+    );
+    println!("| iterations | AutoPipe (img/s) | PipeDream (img/s) |");
+    println!("|---|---|---|");
+    // Wall-clock speed over 8-iteration blocks (robust to simultaneous
+    // completions): block time = sum of per-iteration batch/speed.
+    let block = |series: &[(u64, f64)], lo: u64, hi: u64| -> Option<f64> {
+        let dts: Vec<f64> = series
+            .iter()
+            .filter(|&&(i, _)| i >= lo && i < hi)
+            .map(|&(_, s)| 128.0 / s)
+            .collect();
+        if dts.is_empty() {
+            return None;
+        }
+        Some(dts.len() as f64 * 128.0 / dts.iter().sum::<f64>())
+    };
+    for lo in (0..=72).step_by(8) {
+        let hi = lo + 8;
+        let a = block(&r.autopipe, lo, hi).unwrap_or(0.0);
+        let p = block(&r.pipedream, lo, hi).unwrap_or(0.0);
+        println!("| {lo}-{hi} | {a:.1} | {p:.1} |");
+    }
+    println!(
+        "\nMean throughput: AutoPipe {:.1} img/s vs PipeDream {:.1} img/s (+{:.0}%)",
+        r.mean.0,
+        r.mean.1,
+        (r.mean.0 / r.mean.1 - 1.0) * 100.0
+    );
+    println!("Switches applied: {:?}", r.switches);
+    dump_json(json, name, &r);
+}
+
+fn fig11(json: &Option<PathBuf>) {
+    println!("\n## Figure 11 — accuracy vs time (AutoPipe / PipeDream / BSP / TAP)\n");
+    let panels = convergence::fig11(MEASURE_ITERS);
+    for (model, rows) in &panels {
+        println!("**{model}**\n");
+        println!("| paradigm | throughput (img/s) | staleness | final top-1 | hours to 95% plateau |");
+        println!("|---|---|---|---|---|");
+        for r in rows {
+            println!(
+                "| {} | {:.1} | {:.1} | {:.1}% | {} |",
+                r.paradigm,
+                r.throughput,
+                r.staleness,
+                r.final_accuracy,
+                r.hours_to_target
+                    .map(|h| format!("{h:.1}"))
+                    .unwrap_or_else(|| "never".into())
+            );
+        }
+        println!();
+    }
+    dump_json(json, "fig11", &panels);
+}
+
+fn fig12(json: &Option<PathBuf>) {
+    println!("\n## Figure 12 — computation time of worker-partition modeling\n");
+    let rows = overhead::fig12();
+    println!("| model | PipeDream DP (s) | meta-net (s) | RL model (s) |");
+    println!("|---|---|---|---|");
+    for r in &rows {
+        println!(
+            "| {} | {:.4} | {:.4} | {:.6} |",
+            r.model, r.dp_seconds, r.meta_net_seconds, r.rl_seconds
+        );
+    }
+    dump_json(json, "fig12", &rows);
+}
+
+fn fig13(json: &Option<PathBuf>) {
+    println!("\n## Figure 13 — AutoPipe-enhanced pipeline variants (BERT-48)\n");
+    let rows = enhanced::fig13();
+    println!("| schedule | vanilla (seq/s) | enhanced (seq/s) | speedup |");
+    println!("|---|---|---|---|");
+    for r in &rows {
+        println!(
+            "| {} | {:.1} | {:.1} | +{:.1}% |",
+            r.schedule,
+            r.vanilla,
+            r.enhanced,
+            r.speedup_pct()
+        );
+    }
+    dump_json(json, "fig13", &rows);
+}
+
+fn run_ablations(json: &Option<PathBuf>) {
+    println!("\n## Ablations (design choices of DESIGN.md §5)\n");
+    let mut all = Vec::new();
+    for (title, rows) in [
+        ("Scorer", ablations::scorer_ablation(120)),
+        ("Arbiter", ablations::arbiter_ablation(120)),
+        ("Switching", ablations::switching_ablation(120)),
+        ("Online adaptation (value = log-space MSE, lower is better)", ablations::adaptation_ablation()),
+    ] {
+        println!("**{title}**\n");
+        println!("| variant | value | switches |");
+        println!("|---|---|---|");
+        for r in &rows {
+            println!("| {} | {:.3} | {} |", r.variant, r.value, r.switches);
+        }
+        println!();
+        all.push((title.to_string(), rows));
+    }
+    dump_json(json, "ablations", &all);
+}

@@ -1,0 +1,11 @@
+//! One submodule per paper figure (DESIGN.md §4 maps them).
+
+pub mod ablations;
+pub mod convergence;
+pub mod dynamic;
+pub mod enhanced;
+pub mod motivation;
+pub mod multi_job;
+pub mod overhead;
+pub mod pipeline_fill;
+pub mod static_alloc;

@@ -1,0 +1,286 @@
+//! Ablations of AutoPipe's design choices (DESIGN.md §5): each isolates
+//! one component the paper's deep dive (§5.3) credits — the meta-network
+//! scorer, the RL arbiter, fine-grained switching, and online adaptation.
+
+use ap_cluster::{ClusterTopology, EventKind, ResourceTimeline};
+use ap_models::{resnet50, ModelProfile};
+use autopipe::arbiter::{default_episode_sampler, Arbiter, ArbiterMode};
+use autopipe::controller::{
+    pretrain_meta_net, run_dynamic_scenario, AutoPipeConfig, AutoPipeController, Scorer,
+};
+use autopipe::meta_net::{MetaNetConfig, TrainingSample};
+use autopipe::SwitchMode;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::setup::{paper_pipedream_plan, ExperimentEnv};
+
+/// One ablation outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Variant label.
+    pub variant: String,
+    /// Mean throughput (samples/sec) over the scenario, or model error for
+    /// the adaptation ablation.
+    pub value: f64,
+    /// Number of switches the variant performed (when applicable).
+    pub switches: usize,
+}
+
+fn collapse_timeline() -> (ResourceTimeline, ExperimentEnv) {
+    // The discriminating scenario: a 40 Gbps cluster loses most of its
+    // bandwidth to competing traffic (8 Gbps) early in the run; the plan
+    // computed for 40 Gbps is ~20% off afterwards, so every component's
+    // contribution is visible.
+    let env = ExperimentEnv::default_at(40.0);
+    let mut tl = ResourceTimeline::empty();
+    tl.push(2.0, EventKind::SetAllLinksGbps(8.0));
+    (tl, env)
+}
+
+fn base_cfg(env: &ExperimentEnv) -> AutoPipeConfig {
+    AutoPipeConfig {
+        scheme: env.scheme,
+        framework: env.framework,
+        schedule: env.schedule,
+        check_every: 6,
+        horizon_iterations: 60.0,
+        detector: ap_cluster::DetectorConfig {
+            threshold: 0.12,
+            persistence: 1,
+        },
+        switch_mode: SwitchMode::FineGrained,
+        profiler_noise: 0.01,
+        moves_per_decision: 4,
+        seed: 5,
+    }
+}
+
+fn run_variant(
+    label: &str,
+    scorer: Scorer,
+    arbiter: ArbiterMode,
+    switch_mode: SwitchMode,
+    n_iterations: usize,
+) -> AblationRow {
+    let profile = ModelProfile::of(&resnet50());
+    let (tl, env) = collapse_timeline();
+    let topo = ClusterTopology::paper_testbed(env.link_gbps);
+    let init = paper_pipedream_plan(&profile, env.link_gbps, topo.n_gpus());
+    let mut cfg = base_cfg(&env);
+    cfg.switch_mode = switch_mode;
+    let mut ctrl = AutoPipeController::new(&profile, init.clone(), scorer, arbiter, cfg.clone());
+    let r = run_dynamic_scenario(&profile, &topo, &tl, init, Some(&mut ctrl), &cfg, n_iterations);
+    AblationRow {
+        variant: label.to_string(),
+        value: r.mean_throughput,
+        switches: r.switches.len(),
+    }
+}
+
+/// Scorer ablation: meta-network vs direct analytic evaluation.
+pub fn scorer_ablation(n_iterations: usize) -> Vec<AblationRow> {
+    let profile = ModelProfile::of(&resnet50());
+    let (_, env) = collapse_timeline();
+    let topo = ClusterTopology::paper_testbed(env.link_gbps);
+    let cfg = base_cfg(&env);
+    let net = pretrain_meta_net(&profile, &topo, &cfg, MetaNetConfig::default(), 300, 50, 77);
+    vec![
+        run_variant(
+            "meta-net scorer",
+            Scorer::MetaNet(Box::new(net)),
+            ArbiterMode::Threshold(0.0),
+            SwitchMode::FineGrained,
+            n_iterations,
+        ),
+        run_variant(
+            "analytic scorer",
+            Scorer::Analytic,
+            ArbiterMode::Threshold(0.0),
+            SwitchMode::FineGrained,
+            n_iterations,
+        ),
+    ]
+}
+
+/// Arbiter ablation: RL vs always / never / fixed threshold.
+pub fn arbiter_ablation(n_iterations: usize) -> Vec<AblationRow> {
+    let mut rl = Arbiter::new(17);
+    rl.train_offline(default_episode_sampler, 4000, 29);
+    vec![
+        run_variant(
+            "RL arbiter",
+            Scorer::Analytic,
+            ArbiterMode::Rl(rl),
+            SwitchMode::FineGrained,
+            n_iterations,
+        ),
+        run_variant(
+            "always switch",
+            Scorer::Analytic,
+            ArbiterMode::AlwaysSwitch,
+            SwitchMode::FineGrained,
+            n_iterations,
+        ),
+        run_variant(
+            "never switch",
+            Scorer::Analytic,
+            ArbiterMode::NeverSwitch,
+            SwitchMode::FineGrained,
+            n_iterations,
+        ),
+    ]
+}
+
+/// Switching-mode ablation: fine-grained vs stop-and-restart.
+pub fn switching_ablation(n_iterations: usize) -> Vec<AblationRow> {
+    vec![
+        run_variant(
+            "fine-grained switch",
+            Scorer::Analytic,
+            ArbiterMode::Threshold(0.0),
+            SwitchMode::FineGrained,
+            n_iterations,
+        ),
+        run_variant(
+            "stop-and-restart switch",
+            Scorer::Analytic,
+            ArbiterMode::Threshold(0.0),
+            SwitchMode::StopRestart,
+            n_iterations,
+        ),
+    ]
+}
+
+/// Online-adaptation ablation: meta-net prediction error on a shifted
+/// environment with and without head fine-tuning. `value` is MSE in log
+/// space (lower is better).
+pub fn adaptation_ablation() -> Vec<AblationRow> {
+    let profile = ModelProfile::of(&resnet50());
+    let env = ExperimentEnv::default_at(25.0);
+    let topo = ClusterTopology::paper_testbed(env.link_gbps);
+    let cfg = base_cfg(&env);
+    let net = pretrain_meta_net(&profile, &topo, &cfg, MetaNetConfig::default(), 300, 50, 13);
+
+    // The shifted environment: a slower framework stack scales every true
+    // speed by 0.65 (out of the offline distribution).
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let shift: f64 = 0.65;
+    let make_samples = |n: usize, rng: &mut ChaCha8Rng| -> Vec<TrainingSample> {
+        let cfg2 = base_cfg(&env);
+        let probe = pretrain_probe_samples(&profile, &topo, &cfg2, n, rng.gen());
+        probe
+            .into_iter()
+            .map(|mut s| {
+                s.log_throughput += shift.ln();
+                s
+            })
+            .collect()
+    };
+    let train = make_samples(40, &mut rng);
+    let test = make_samples(40, &mut rng);
+
+    let frozen_err = net.evaluate(&test);
+    let mut adapted = net.clone();
+    adapted.adapt_online(&train, 200);
+    let adapted_err = adapted.evaluate(&test);
+    vec![
+        AblationRow {
+            variant: "online adaptation on".into(),
+            value: adapted_err,
+            switches: 0,
+        },
+        AblationRow {
+            variant: "online adaptation off".into(),
+            value: frozen_err,
+            switches: 0,
+        },
+    ]
+}
+
+/// Sample labeled probes from the same generator pretraining uses.
+fn pretrain_probe_samples(
+    profile: &ModelProfile,
+    topo: &ClusterTopology,
+    cfg: &AutoPipeConfig,
+    n: usize,
+    seed: u64,
+) -> Vec<TrainingSample> {
+    // Reuse the pretraining pipeline by training a throwaway net and
+    // regenerating its samples would be wasteful; instead call the public
+    // generator indirectly: pretrain on n samples with 0 epochs is not
+    // exposed, so rebuild the sampling here through the controller's
+    // public pieces.
+    use ap_cluster::{ClusterState, GpuId};
+    use ap_pipesim::AnalyticModel;
+    use autopipe::metrics::{static_metrics_from_profile, FeatureEncoder};
+    use autopipe::Profiler;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let encoder = FeatureEncoder;
+    let model = AnalyticModel {
+        profile,
+        scheme: cfg.scheme,
+        framework: cfg.framework,
+        schedule: cfg.schedule,
+    };
+    let all: Vec<GpuId> = (0..topo.n_gpus()).map(GpuId).collect();
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let mut st = ClusterState::new(topo.clone());
+        st.topology
+            .set_uniform_link_gbps(rng.gen_range(5.0..100.0));
+        let p = ap_planner::uniform_plan(profile, rng.gen_range(1..=4), &all);
+        let tp = model.throughput(&p, &st);
+        if !(tp.is_finite() && tp > 0.0) {
+            continue;
+        }
+        let mut prof = Profiler::new(profile, 0.01, rng.gen());
+        let workers = p.all_workers();
+        let dynamic_seq: Vec<Vec<f64>> = (0..8)
+            .map(|_| encoder.encode_dynamic(&prof.observe(&workers, &st), &p))
+            .collect();
+        let m = static_metrics_from_profile(profile, p.n_workers());
+        out.push(TrainingSample {
+            dynamic_seq,
+            static_feat: encoder.encode_static(&m, &p),
+            log_throughput: tp.ln(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_switch_is_not_better_than_reacting() {
+        let rows = arbiter_ablation(120);
+        let get = |name: &str| rows.iter().find(|r| r.variant == name).unwrap();
+        let rl = get("RL arbiter");
+        let never = get("never switch");
+        assert!(
+            rl.value >= never.value * 0.97,
+            "RL {} vs never {}",
+            rl.value,
+            never.value
+        );
+        assert_eq!(never.switches, 0);
+    }
+
+    #[test]
+    fn adaptation_reduces_error() {
+        let rows = adaptation_ablation();
+        let on = rows.iter().find(|r| r.variant.contains("on")).unwrap();
+        let off = rows.iter().find(|r| r.variant.contains("off")).unwrap();
+        assert!(
+            on.value < off.value,
+            "adaptation must reduce error: on {} vs off {}",
+            on.value,
+            off.value
+        );
+    }
+}

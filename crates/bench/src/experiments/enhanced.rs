@@ -1,0 +1,79 @@
+//! Figure 13: AutoPipe-enhanced DAPPLE / Chimera / PipeDream-2BW on
+//! BERT-48 (mini-batch 256, shared testbed).
+
+use ap_models::{bert48, ModelProfile};
+use ap_pipesim::{Framework, ScheduleKind, SyncScheme};
+use autopipe::enhanced_throughput;
+use serde::{Deserialize, Serialize};
+
+use crate::setup::shared_three_job_state;
+
+/// One bar of Figure 13.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnhancedRow {
+    /// Schedule label.
+    pub schedule: String,
+    /// Vanilla even-split throughput, samples/sec.
+    pub vanilla: f64,
+    /// AutoPipe-enhanced throughput, samples/sec.
+    pub enhanced: f64,
+}
+
+impl EnhancedRow {
+    /// Speedup percentage of the enhancement.
+    pub fn speedup_pct(&self) -> f64 {
+        (self.enhanced / self.vanilla - 1.0) * 100.0
+    }
+}
+
+/// The whole figure.
+pub fn fig13() -> Vec<EnhancedRow> {
+    let profile = ModelProfile::of(&bert48());
+    let state = shared_three_job_state(25.0);
+    [
+        ScheduleKind::Chimera { micro_batches: 8 },
+        ScheduleKind::Dapple { micro_batches: 8 },
+        ScheduleKind::PipeDream2Bw,
+    ]
+    .iter()
+    .map(|&schedule| {
+        let (vanilla, enhanced) = enhanced_throughput(
+            schedule,
+            &profile,
+            &state,
+            SyncScheme::RingAllReduce,
+            Framework::pytorch(),
+            5,
+        );
+        EnhancedRow {
+            schedule: schedule.label().to_string(),
+            vanilla,
+            enhanced,
+        }
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_improves() {
+        for row in fig13() {
+            assert!(
+                row.enhanced >= row.vanilla,
+                "{}: {} -> {}",
+                row.schedule,
+                row.vanilla,
+                row.enhanced
+            );
+            assert!(
+                row.speedup_pct() > 1.0,
+                "{}: expected a visible speedup, got {:.2}%",
+                row.schedule,
+                row.speedup_pct()
+            );
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Figure 2: filling the pipeline — startup state vs steady state.
+//!
+//! Reproduces the paper's idealized 4-worker PipeDream diagram: uniform
+//! stages, backward = 2x forward, negligible communication. The engine's
+//! per-worker timeline shows the startup bubbles and the 1F1B steady state.
+
+use ap_cluster::gpu::GpuKind;
+use ap_cluster::{ClusterState, ClusterTopology, GpuId, ResourceTimeline};
+use ap_models::{synthetic_uniform, ModelProfile};
+use ap_pipesim::{Engine, EngineConfig, Partition, Stage, TimelineSegment, WorkKind};
+use serde::{Deserialize, Serialize};
+
+/// Figure 2's data: worker timelines plus utilization split into the
+/// startup window and the steady window.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineFill {
+    /// All busy segments.
+    pub segments: Vec<TimelineSegment>,
+    /// Mean utilization during startup (first quarter of the run).
+    pub startup_utilization: f64,
+    /// Mean utilization at steady state (last half).
+    pub steady_utilization: f64,
+    /// Total simulated seconds.
+    pub makespan: f64,
+    /// Number of workers.
+    pub n_workers: usize,
+}
+
+/// Run the idealized 4-worker pipeline.
+pub fn fig2(iterations: usize) -> PipelineFill {
+    let topo = ClusterTopology::single_switch(4, 1, GpuKind::P100, 100.0);
+    // Uniform layers, tiny tensors: the paper's "communication is
+    // negligible; computation time of each layer is the same" idealization.
+    let model = synthetic_uniform(4, 4e9, 1e4, 1e5);
+    let profile = ModelProfile::with_batch(&model, 32);
+    let partition = Partition {
+        stages: (0..4)
+            .map(|s| Stage::new(s..s + 1, vec![GpuId(s)]))
+            .collect(),
+        in_flight: 4,
+    };
+    let engine = Engine::new(
+        &profile,
+        partition,
+        ClusterState::new(topo),
+        ResourceTimeline::empty(),
+        EngineConfig {
+            record_timeline: true,
+            ..EngineConfig::default()
+        },
+    );
+    let r = engine.run(iterations);
+    let makespan = r.makespan;
+    let busy_in = |w: usize, lo: f64, hi: f64| -> f64 {
+        r.segments
+            .iter()
+            .filter(|s| s.worker == w)
+            .map(|s| (s.end.min(hi) - s.start.max(lo)).max(0.0))
+            .sum::<f64>()
+            / (hi - lo)
+    };
+    let startup_end = makespan * 0.25;
+    let steady_start = makespan * 0.5;
+    let startup_utilization =
+        (0..4).map(|w| busy_in(w, 0.0, startup_end)).sum::<f64>() / 4.0;
+    let steady_utilization =
+        (0..4).map(|w| busy_in(w, steady_start, makespan)).sum::<f64>() / 4.0;
+    PipelineFill {
+        segments: r.segments,
+        startup_utilization,
+        steady_utilization,
+        makespan,
+        n_workers: 4,
+    }
+}
+
+/// Render the timeline as ASCII art (one row per worker, F/B per slot).
+pub fn ascii_timeline(fill: &PipelineFill, columns: usize) -> Vec<String> {
+    let dt = fill.makespan / columns as f64;
+    (0..fill.n_workers)
+        .map(|w| {
+            let mut row = String::with_capacity(columns + 12);
+            row.push_str(&format!("worker {w}: "));
+            for c in 0..columns {
+                let t = (c as f64 + 0.5) * dt;
+                let seg = fill
+                    .segments
+                    .iter()
+                    .find(|s| s.worker == w && s.start <= t && t < s.end);
+                row.push(match seg {
+                    Some(s) if s.kind == WorkKind::Forward => 'F',
+                    Some(_) => 'B',
+                    None => '.',
+                });
+            }
+            row
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_is_much_fuller_than_startup() {
+        let f = fig2(30);
+        assert!(
+            f.steady_utilization > 0.9,
+            "steady utilization {}",
+            f.steady_utilization
+        );
+        assert!(
+            f.steady_utilization > f.startup_utilization,
+            "startup {} vs steady {}",
+            f.startup_utilization,
+            f.steady_utilization
+        );
+    }
+
+    #[test]
+    fn later_stages_idle_during_startup() {
+        let f = fig2(30);
+        // Worker 3 (last stage) cannot start before three forward hops.
+        let first_w3 = f
+            .segments
+            .iter()
+            .filter(|s| s.worker == 3)
+            .map(|s| s.start)
+            .fold(f64::INFINITY, f64::min);
+        let first_w0 = f
+            .segments
+            .iter()
+            .filter(|s| s.worker == 0)
+            .map(|s| s.start)
+            .fold(f64::INFINITY, f64::min);
+        assert!(first_w3 > first_w0);
+    }
+
+    #[test]
+    fn ascii_rendering_has_expected_shape() {
+        let f = fig2(20);
+        let rows = ascii_timeline(&f, 60);
+        assert_eq!(rows.len(), 4);
+        // Startup: worker 3's row begins with idle dots.
+        let r3 = rows[3].split(": ").nth(1).unwrap();
+        assert!(r3.starts_with('.'), "{r3}");
+    }
+}

@@ -1,0 +1,152 @@
+//! Figure 8: static resource allocation (§5.2).
+//!
+//! Three identical jobs share the testbed; we train ResNet50 / VGG16 /
+//! AlexNet under {PS, Ring} x {TensorFlow, MXNet, PyTorch} x
+//! {10, 25, 40, 100 Gbps} and compare the vanilla framework baseline
+//! (pure data parallelism), PipeDream (one-shot DP plan with its
+//! simplified view) and AutoPipe (environment-aware refinement).
+
+use ap_models::ModelProfile;
+use ap_pipesim::{Framework, SyncScheme};
+use serde::{Deserialize, Serialize};
+
+use crate::setup::{
+    baseline_plan, engine_throughput, image_models, paper_autopipe_plan, paper_pipedream_plan,
+    shared_three_job_state, ExperimentEnv,
+};
+
+/// One bar triple of Figure 8.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig8Row {
+    /// Framework label.
+    pub framework: String,
+    /// Sync scheme label.
+    pub scheme: String,
+    /// Model name.
+    pub model: String,
+    /// Link speed in Gbps.
+    pub gbps: f64,
+    /// Vanilla framework (data parallelism), samples/sec.
+    pub baseline: f64,
+    /// PipeDream, samples/sec.
+    pub pipedream: f64,
+    /// AutoPipe, samples/sec.
+    pub autopipe: f64,
+}
+
+impl Fig8Row {
+    /// AutoPipe speedup over the baseline, percent.
+    pub fn speedup_vs_baseline_pct(&self) -> f64 {
+        (self.autopipe / self.baseline - 1.0) * 100.0
+    }
+
+    /// AutoPipe speedup over PipeDream, percent.
+    pub fn speedup_vs_pipedream_pct(&self) -> f64 {
+        (self.autopipe / self.pipedream - 1.0) * 100.0
+    }
+}
+
+/// The (framework, scheme) panels of Figure 8, in the paper's order.
+pub fn panels() -> Vec<(Framework, SyncScheme)> {
+    vec![
+        (Framework::tensorflow(), SyncScheme::ParameterServer),
+        (Framework::mxnet(), SyncScheme::ParameterServer),
+        (Framework::pytorch(), SyncScheme::RingAllReduce),
+    ]
+}
+
+/// Measure one cell of Figure 8.
+pub fn measure_cell(
+    model: &ap_models::ModelDesc,
+    framework: Framework,
+    scheme: SyncScheme,
+    gbps: f64,
+    iterations: usize,
+) -> Fig8Row {
+    let profile = ModelProfile::of(model);
+    let env = ExperimentEnv {
+        link_gbps: gbps,
+        scheme,
+        framework,
+        schedule: ap_pipesim::ScheduleKind::PipeDreamAsync,
+    };
+    let state = shared_three_job_state(gbps);
+    let n = state.topology.n_gpus();
+    let base = baseline_plan(&profile, n);
+    let pd = paper_pipedream_plan(&profile, gbps, n);
+    let ap = paper_autopipe_plan(&profile, &env, &state);
+    // The vanilla-framework baseline is *synchronous* data parallelism:
+    // every GPU computes its shard of the mini-batch, then the whole job
+    // blocks on the gradient synchronization (PS or ring).
+    let base_env = ExperimentEnv {
+        schedule: ap_pipesim::ScheduleKind::Dapple { micro_batches: n },
+        ..env
+    };
+    Fig8Row {
+        framework: framework.name.to_string(),
+        scheme: scheme.label().to_string(),
+        model: model.name.clone(),
+        gbps,
+        baseline: engine_throughput(&profile, &base, &state, &base_env, iterations),
+        pipedream: engine_throughput(&profile, &pd, &state, &env, iterations),
+        autopipe: engine_throughput(&profile, &ap, &state, &env, iterations),
+    }
+}
+
+/// The whole figure: 3 panels x 3 models x 4 bandwidths.
+pub fn full_grid(iterations: usize) -> Vec<Fig8Row> {
+    let mut rows = Vec::new();
+    for (fw, scheme) in panels() {
+        for model in image_models() {
+            for gbps in [10.0, 25.0, 40.0, 100.0] {
+                rows.push(measure_cell(&model, fw, scheme, gbps, iterations));
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ap_models::resnet50;
+
+    #[test]
+    fn autopipe_wins_the_headline_cell() {
+        // ResNet50 / PS / TensorFlow — the paper's strongest case.
+        let row = measure_cell(
+            &resnet50(),
+            Framework::tensorflow(),
+            SyncScheme::ParameterServer,
+            25.0,
+            14,
+        );
+        assert!(
+            row.autopipe >= row.pipedream * 0.98,
+            "AutoPipe {} must not lose to PipeDream {}",
+            row.autopipe,
+            row.pipedream
+        );
+        assert!(
+            row.autopipe > row.baseline,
+            "AutoPipe {} must beat the DP baseline {}",
+            row.autopipe,
+            row.baseline
+        );
+    }
+
+    #[test]
+    fn pipeline_beats_pure_data_parallelism_at_low_bandwidth() {
+        // At 10 Gbps, data-parallel all-reduce of VGG16's 138M params is
+        // ruinous; both pipeline systems must win clearly.
+        let row = measure_cell(
+            &ap_models::vgg16(),
+            Framework::pytorch(),
+            SyncScheme::RingAllReduce,
+            10.0,
+            14,
+        );
+        assert!(row.pipedream > row.baseline, "{row:?}");
+        assert!(row.autopipe > row.baseline, "{row:?}");
+    }
+}

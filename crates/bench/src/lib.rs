@@ -1,0 +1,15 @@
+//! # ap-bench — the reproduction harness
+//!
+//! One module per paper figure (see DESIGN.md §4 for the experiment
+//! index); the `repro` binary prints each figure's rows, and the Criterion
+//! benches under `benches/` time the computational kernels (Figure 12's
+//! partition-modeling cost, engine and meta-net speed).
+
+pub mod experiments;
+pub mod setup;
+
+pub use setup::{
+    engine_measure,
+    engine_throughput, exclusive_state, image_models, paper_autopipe_plan, paper_pipedream_plan,
+    shared_three_job_state, ExperimentEnv,
+};

@@ -1,0 +1,212 @@
+//! Max-min fair bandwidth allocation.
+//!
+//! PipeDream's planner assumes a hierarchical topology with identical
+//! bandwidth per level (§3.1 Obs. 2 calls this out as an oversimplification).
+//! The simulator instead computes the rate every concurrent flow actually
+//! gets with progressive filling (water-filling) over the real link
+//! capacities, which is the standard fluid approximation of per-flow fair
+//! queueing on a single-switch fabric.
+
+use std::collections::HashMap;
+
+use crate::topology::LinkId;
+
+/// A flow competing for bandwidth: a set of links it traverses plus an
+/// optional demand cap (bytes/s). `demand = f64::INFINITY` means elastic.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    /// Links traversed (empty = node-local, gets `local_rate`).
+    pub links: Vec<LinkId>,
+    /// Application-level rate cap in bytes/s.
+    pub demand: f64,
+}
+
+impl Flow {
+    /// An elastic flow over the given path.
+    pub fn elastic(links: Vec<LinkId>) -> Self {
+        Flow {
+            links,
+            demand: f64::INFINITY,
+        }
+    }
+}
+
+/// Compute max-min fair rates (bytes/s) for `flows` over links with the
+/// given capacities. `capacity(link)` must return the free capacity of the
+/// link; `local_rate` is assigned to flows with an empty path.
+///
+/// Progressive filling: raise all unfrozen flows' rates equally until a
+/// link saturates or a flow hits its demand; freeze those and repeat.
+pub fn max_min_fair_rates<F>(flows: &[Flow], capacity: F, local_rate: f64) -> Vec<f64>
+where
+    F: Fn(LinkId) -> f64,
+{
+    let n = flows.len();
+    let mut rates = vec![0.0_f64; n];
+    if n == 0 {
+        return rates;
+    }
+
+    // Residual capacity per link and which unfrozen flows cross it.
+    let mut residual: HashMap<LinkId, f64> = HashMap::new();
+    for f in flows {
+        for &l in &f.links {
+            residual.entry(l).or_insert_with(|| capacity(l));
+        }
+    }
+
+    let mut frozen = vec![false; n];
+    // Local flows are only limited by their demand and the local fabric.
+    for (i, f) in flows.iter().enumerate() {
+        if f.links.is_empty() {
+            rates[i] = f.demand.min(local_rate);
+            frozen[i] = true;
+        }
+    }
+
+    loop {
+        let active: Vec<usize> = (0..n).filter(|&i| !frozen[i]).collect();
+        if active.is_empty() {
+            break;
+        }
+
+        // The smallest per-flow increment that saturates some link.
+        let mut min_incr = f64::INFINITY;
+        for (&l, &cap) in &residual {
+            let crossers = active
+                .iter()
+                .filter(|&&i| flows[i].links.contains(&l))
+                .count();
+            if crossers > 0 && cap.is_finite() {
+                min_incr = min_incr.min(cap / crossers as f64);
+            }
+        }
+        // Or the smallest remaining demand.
+        for &i in &active {
+            let remaining = flows[i].demand - rates[i];
+            min_incr = min_incr.min(remaining);
+        }
+        if !min_incr.is_finite() {
+            // All active flows are elastic and cross no finite link.
+            for &i in &active {
+                rates[i] = f64::INFINITY;
+            }
+            break;
+        }
+        debug_assert!(min_incr >= -1e-9, "negative fill increment");
+        let incr = min_incr.max(0.0);
+
+        for &i in &active {
+            rates[i] += incr;
+            for &l in &flows[i].links {
+                if let Some(c) = residual.get_mut(&l) {
+                    *c -= incr;
+                }
+            }
+        }
+
+        // Freeze flows at demand or on saturated links.
+        for &i in &active {
+            let at_demand = rates[i] >= flows[i].demand - 1e-9;
+            let on_saturated = flows[i]
+                .links
+                .iter()
+                .any(|l| residual.get(l).is_some_and(|&c| c <= 1e-6));
+            if at_demand || on_saturated {
+                frozen[i] = true;
+            }
+        }
+    }
+
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::ServerId;
+    use crate::units::gbps;
+
+    fn up(s: usize) -> LinkId {
+        LinkId::Up(ServerId(s))
+    }
+    fn down(s: usize) -> LinkId {
+        LinkId::Down(ServerId(s))
+    }
+
+    #[test]
+    fn single_flow_gets_line_rate() {
+        let flows = vec![Flow::elastic(vec![up(0), down(1)])];
+        let r = max_min_fair_rates(&flows, |_| gbps(10.0), gbps(96.0));
+        assert!((r[0] - gbps(10.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn two_flows_share_common_uplink_evenly() {
+        let flows = vec![
+            Flow::elastic(vec![up(0), down(1)]),
+            Flow::elastic(vec![up(0), down(2)]),
+        ];
+        let r = max_min_fair_rates(&flows, |_| gbps(10.0), gbps(96.0));
+        assert!((r[0] - gbps(5.0)).abs() < 1.0);
+        assert!((r[1] - gbps(5.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn demand_capped_flow_releases_bandwidth() {
+        let flows = vec![
+            Flow {
+                links: vec![up(0), down(1)],
+                demand: gbps(2.0),
+            },
+            Flow::elastic(vec![up(0), down(2)]),
+        ];
+        let r = max_min_fair_rates(&flows, |_| gbps(10.0), gbps(96.0));
+        assert!((r[0] - gbps(2.0)).abs() < 1.0);
+        assert!((r[1] - gbps(8.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn local_flow_uses_local_fabric() {
+        let flows = vec![Flow::elastic(vec![])];
+        let r = max_min_fair_rates(&flows, |_| gbps(10.0), 12.0e9);
+        assert!((r[0] - 12.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn heterogeneous_capacities_respected() {
+        // Flow A crosses a 10G uplink; flow B crosses a 100G uplink but
+        // shares flow A's 25G downlink.
+        let caps = |l: LinkId| match l {
+            LinkId::Up(ServerId(0)) => gbps(10.0),
+            LinkId::Up(ServerId(1)) => gbps(100.0),
+            LinkId::Down(ServerId(2)) => gbps(25.0),
+            _ => gbps(100.0),
+        };
+        let flows = vec![
+            Flow::elastic(vec![up(0), down(2)]),
+            Flow::elastic(vec![up(1), down(2)]),
+        ];
+        let r = max_min_fair_rates(&flows, caps, gbps(96.0));
+        // A is limited by its 10G uplink; B picks up the rest of the 25G
+        // downlink.
+        assert!((r[0] - gbps(10.0)).abs() < gbps(0.01));
+        assert!((r[1] - gbps(15.0)).abs() < gbps(0.01));
+    }
+
+    #[test]
+    fn empty_flow_set_is_fine() {
+        let r = max_min_fair_rates(&[], |_| gbps(10.0), gbps(96.0));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn total_on_link_never_exceeds_capacity() {
+        let flows: Vec<Flow> = (0..7)
+            .map(|i| Flow::elastic(vec![up(0), down(1 + i % 3)]))
+            .collect();
+        let r = max_min_fair_rates(&flows, |_| gbps(40.0), gbps(96.0));
+        let total: f64 = r.iter().sum();
+        assert!(total <= gbps(40.0) + 1.0, "uplink oversubscribed: {total}");
+    }
+}

@@ -1,0 +1,260 @@
+//! Resource-change detector.
+//!
+//! AutoPipe's prototype includes "a resource changing detector, which is
+//! used to monitor the available bandwidth and GPUs" (§1). The detector
+//! consumes per-iteration observations (the measured bandwidth of each
+//! worker and the effective compute share of each GPU — both already
+//! collected by the profiler, §4.2) and raises a [`ResourceChange`] when a
+//! relative deviation from the reference level persists for a configurable
+//! number of observations. The persistence requirement is hysteresis: §4.1
+//! requires "a strategic balance between reaction sensitivity and
+//! environmental fluctuations", so a single noisy sample must not trigger a
+//! re-partition.
+
+use serde::{Deserialize, Serialize};
+
+/// Which resource moved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChangeKind {
+    /// Available bandwidth of a worker changed.
+    Bandwidth,
+    /// Effective compute speed of a worker changed.
+    Compute,
+}
+
+/// A confirmed, persistent resource change.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceChange {
+    /// What changed.
+    pub kind: ChangeKind,
+    /// Index of the worker whose resource changed.
+    pub worker: usize,
+    /// Reference (pre-change) level.
+    pub before: f64,
+    /// Newly confirmed level.
+    pub after: f64,
+}
+
+impl ResourceChange {
+    /// Signed relative magnitude, e.g. `-0.5` for a halving.
+    pub fn relative(&self) -> f64 {
+        if self.before == 0.0 {
+            0.0
+        } else {
+            (self.after - self.before) / self.before
+        }
+    }
+}
+
+/// Detector tuning.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Minimum relative deviation considered a change (e.g. 0.15 = 15%).
+    pub threshold: f64,
+    /// Number of consecutive deviating observations before confirming.
+    pub persistence: usize,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            threshold: 0.15,
+            persistence: 3,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct Channel {
+    reference: Option<f64>,
+    deviating: usize,
+    candidate_sum: f64,
+}
+
+/// Per-worker, per-resource change detection with hysteresis.
+#[derive(Debug, Clone)]
+pub struct ResourceChangeDetector {
+    cfg: DetectorConfig,
+    bandwidth: Vec<Channel>,
+    compute: Vec<Channel>,
+}
+
+impl ResourceChangeDetector {
+    /// A detector for `n_workers` workers.
+    pub fn new(n_workers: usize, cfg: DetectorConfig) -> Self {
+        assert!(cfg.threshold > 0.0, "threshold must be positive");
+        assert!(cfg.persistence >= 1, "persistence must be at least 1");
+        ResourceChangeDetector {
+            cfg,
+            bandwidth: vec![Channel::default(); n_workers],
+            compute: vec![Channel::default(); n_workers],
+        }
+    }
+
+    /// Feed one iteration's observations; returns confirmed changes.
+    ///
+    /// `bandwidths[i]` is worker `i`'s measured available bandwidth,
+    /// `computes[i]` its effective FLOP/s.
+    pub fn observe(&mut self, bandwidths: &[f64], computes: &[f64]) -> Vec<ResourceChange> {
+        assert_eq!(bandwidths.len(), self.bandwidth.len(), "worker count drift");
+        assert_eq!(computes.len(), self.compute.len(), "worker count drift");
+        let mut out = Vec::new();
+        for (w, &v) in bandwidths.iter().enumerate() {
+            if let Some(c) = step(&mut self.bandwidth[w], v, &self.cfg) {
+                out.push(ResourceChange {
+                    kind: ChangeKind::Bandwidth,
+                    worker: w,
+                    before: c.0,
+                    after: c.1,
+                });
+            }
+        }
+        for (w, &v) in computes.iter().enumerate() {
+            if let Some(c) = step(&mut self.compute[w], v, &self.cfg) {
+                out.push(ResourceChange {
+                    kind: ChangeKind::Compute,
+                    worker: w,
+                    before: c.0,
+                    after: c.1,
+                });
+            }
+        }
+        out
+    }
+
+    /// Forget history (e.g. after a partition switch changes what "normal"
+    /// looks like).
+    pub fn reset(&mut self) {
+        for c in self.bandwidth.iter_mut().chain(self.compute.iter_mut()) {
+            *c = Channel::default();
+        }
+    }
+}
+
+/// Advance one channel; returns `(before, after)` when a change confirms.
+fn step(ch: &mut Channel, value: f64, cfg: &DetectorConfig) -> Option<(f64, f64)> {
+    let reference = match ch.reference {
+        None => {
+            ch.reference = Some(value);
+            return None;
+        }
+        Some(r) => r,
+    };
+    let rel = if reference == 0.0 {
+        0.0
+    } else {
+        ((value - reference) / reference).abs()
+    };
+    if rel >= cfg.threshold {
+        ch.deviating += 1;
+        ch.candidate_sum += value;
+        if ch.deviating >= cfg.persistence {
+            let after = ch.candidate_sum / ch.deviating as f64;
+            ch.reference = Some(after);
+            ch.deviating = 0;
+            ch.candidate_sum = 0.0;
+            return Some((reference, after));
+        }
+    } else {
+        // Deviation did not persist: fold the sample into the reference to
+        // track slow drift without firing.
+        ch.deviating = 0;
+        ch.candidate_sum = 0.0;
+        ch.reference = Some(0.9 * reference + 0.1 * value);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(n: usize) -> ResourceChangeDetector {
+        ResourceChangeDetector::new(
+            n,
+            DetectorConfig {
+                threshold: 0.2,
+                persistence: 3,
+            },
+        )
+    }
+
+    #[test]
+    fn steady_signal_never_fires() {
+        let mut d = det(2);
+        for _ in 0..50 {
+            assert!(d.observe(&[10.0, 10.0], &[5.0, 5.0]).is_empty());
+        }
+    }
+
+    #[test]
+    fn single_spike_is_ignored() {
+        let mut d = det(1);
+        d.observe(&[10.0], &[5.0]);
+        assert!(d.observe(&[2.0], &[5.0]).is_empty());
+        assert!(d.observe(&[10.0], &[5.0]).is_empty());
+        assert!(d.observe(&[10.0], &[5.0]).is_empty());
+        assert!(d.observe(&[10.0], &[5.0]).is_empty());
+    }
+
+    #[test]
+    fn persistent_bandwidth_halving_fires_once() {
+        let mut d = det(1);
+        d.observe(&[10.0], &[5.0]);
+        let mut fired = Vec::new();
+        for _ in 0..6 {
+            fired.extend(d.observe(&[5.0], &[5.0]));
+        }
+        assert_eq!(fired.len(), 1);
+        let c = &fired[0];
+        assert_eq!(c.kind, ChangeKind::Bandwidth);
+        assert_eq!(c.worker, 0);
+        assert!((c.relative() + 0.5).abs() < 1e-9);
+        // After confirmation the new level is the reference — no re-fire.
+        assert!(d.observe(&[5.0], &[5.0]).is_empty());
+    }
+
+    #[test]
+    fn compute_change_reports_right_worker() {
+        let mut d = det(3);
+        d.observe(&[10.0; 3], &[9.3e12, 9.3e12, 9.3e12]);
+        let mut fired = Vec::new();
+        for _ in 0..3 {
+            fired.extend(d.observe(&[10.0; 3], &[9.3e12, 4.65e12, 9.3e12]));
+        }
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].kind, ChangeKind::Compute);
+        assert_eq!(fired[0].worker, 1);
+    }
+
+    #[test]
+    fn slow_drift_tracks_without_firing() {
+        let mut d = det(1);
+        let mut v = 10.0;
+        for _ in 0..100 {
+            v *= 1.002; // 0.2% per observation, below the 20% threshold
+            assert!(d.observe(&[v], &[1.0]).is_empty());
+        }
+    }
+
+    #[test]
+    fn reset_forgets_reference() {
+        let mut d = det(1);
+        d.observe(&[10.0], &[1.0]);
+        d.reset();
+        // First post-reset observation becomes the new reference silently.
+        assert!(d.observe(&[3.0], &[1.0]).is_empty());
+        for _ in 0..3 {
+            let _ = d.observe(&[3.0], &[1.0]);
+        }
+        // Still quiet: 3.0 is the reference now.
+        assert!(d.observe(&[3.0], &[1.0]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker count drift")]
+    fn wrong_width_panics() {
+        let mut d = det(2);
+        let _ = d.observe(&[1.0], &[1.0, 1.0]);
+    }
+}

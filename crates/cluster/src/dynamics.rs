@@ -1,0 +1,489 @@
+//! Resource dynamics: what changes while a training job runs.
+//!
+//! §3.1 Observation 1: "during the lifetime of a training job, other shared
+//! GPU jobs may start, complete or suspend, which causes the fluctuation of
+//! GPU resources. The fluctuation of bandwidth is more common". We model a
+//! [`ResourceTimeline`] of [`ResourceEvent`]s applied to a base
+//! [`ClusterTopology`], yielding a [`ClusterState`] snapshot at any time.
+//! Scripted timelines drive the paper's controlled experiments (Figures
+//! 3–6, 9, 10); [`BackgroundJobGenerator`] produces stochastic multi-tenant
+//! churn for stress tests.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::gpu::GpuId;
+use crate::topology::{ClusterTopology, LinkId, ServerId};
+use crate::units::gbps;
+
+/// Identifier of a background job placed by the dynamics layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BgJobId(pub u64);
+
+/// What happened to the shared cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Set every NIC to this many Gbps (e.g. the Figure 9 staircase).
+    SetAllLinksGbps(f64),
+    /// Set one server's NIC rate.
+    SetServerLinkGbps(ServerId, f64),
+    /// Multiply every NIC rate by a factor (Figure 3 halves bandwidth).
+    ScaleAllLinks(f64),
+    /// A competing flow consumes this many bytes/s on a server's up+down
+    /// links (e.g. a dataset upload).
+    SetBackgroundTraffic(ServerId, f64),
+    /// A background job arrives and time-shares the listed GPUs; it may also
+    /// consume `net_bytes_per_sec` on each touched server's links (a
+    /// distributed job uses both, Figure 5).
+    JobArrive {
+        id: BgJobId,
+        gpus: Vec<GpuId>,
+        net_bytes_per_sec: f64,
+    },
+    /// The background job releases its GPUs and bandwidth (Figure 6).
+    JobDepart(BgJobId),
+    /// Directly set a GPU's sharing degree (failure injection: a huge
+    /// value models a device that has effectively dropped out — the
+    /// cluster-utilization study the paper cites (ref. 7) lists failures as a
+    /// distinct churn source).
+    SetGpuSharing(GpuId, u32),
+}
+
+/// A timestamped cluster event.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResourceEvent {
+    /// Seconds since experiment start.
+    pub time: f64,
+    /// What changed.
+    pub kind: EventKind,
+}
+
+/// A time-ordered script of events.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ResourceTimeline {
+    events: Vec<ResourceEvent>,
+}
+
+impl ResourceTimeline {
+    /// Empty timeline (static cluster).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Build from events (sorted internally by time).
+    pub fn new(mut events: Vec<ResourceEvent>) -> Self {
+        events.sort_by(|a, b| a.time.total_cmp(&b.time));
+        ResourceTimeline { events }
+    }
+
+    /// Append an event, keeping time order.
+    pub fn push(&mut self, time: f64, kind: EventKind) {
+        self.events.push(ResourceEvent { time, kind });
+        self.events.sort_by(|a, b| a.time.total_cmp(&b.time));
+    }
+
+    /// All events.
+    pub fn events(&self) -> &[ResourceEvent] {
+        &self.events
+    }
+
+    /// Events with `prev < time <= now` (what a poller sees this interval).
+    pub fn events_between(&self, prev: f64, now: f64) -> &[ResourceEvent] {
+        let start = self.events.partition_point(|e| e.time <= prev);
+        let end = self.events.partition_point(|e| e.time <= now);
+        &self.events[start..end]
+    }
+
+    /// Time of the next event strictly after `t`, if any. The event engine
+    /// uses this to re-evaluate rates exactly at change points.
+    pub fn next_event_after(&self, t: f64) -> Option<f64> {
+        let idx = self.events.partition_point(|e| e.time <= t);
+        self.events.get(idx).map(|e| e.time)
+    }
+}
+
+/// The live state of the cluster at some instant: the base topology with
+/// contention applied plus background traffic per link.
+#[derive(Debug, Clone)]
+pub struct ClusterState {
+    /// Topology with per-GPU `colocated_jobs` reflecting current sharing.
+    pub topology: ClusterTopology,
+    /// Background traffic (bytes/s) currently consuming each link.
+    pub background: HashMap<LinkId, f64>,
+    /// Live background jobs (for departures).
+    jobs: HashMap<BgJobId, (Vec<GpuId>, f64)>,
+}
+
+impl ClusterState {
+    /// Fresh state from a base topology.
+    pub fn new(topology: ClusterTopology) -> Self {
+        ClusterState {
+            topology,
+            background: HashMap::new(),
+            jobs: HashMap::new(),
+        }
+    }
+
+    /// Capacity of `link` left for the observed job, bytes/s.
+    pub fn available_capacity(&self, link: LinkId) -> f64 {
+        let cap = self.topology.link_capacity(link);
+        let bg = self.background.get(&link).copied().unwrap_or(0.0);
+        (cap - bg).max(cap * 0.01) // a fair-share floor: never fully starved
+    }
+
+    /// Effective FLOP/s of a GPU for the observed job.
+    pub fn effective_flops(&self, gpu: GpuId) -> f64 {
+        self.topology.gpu(gpu).effective_flops()
+    }
+
+    /// Apply one event.
+    pub fn apply(&mut self, kind: &EventKind) {
+        match kind {
+            EventKind::SetAllLinksGbps(g) => self.topology.set_uniform_link_gbps(*g),
+            EventKind::SetServerLinkGbps(s, g) => {
+                self.topology.servers[s.0].nic_bytes_per_sec = gbps(*g);
+            }
+            EventKind::ScaleAllLinks(f) => {
+                assert!(*f > 0.0, "bandwidth scale factor must be positive");
+                for s in &mut self.topology.servers {
+                    s.nic_bytes_per_sec *= f;
+                }
+            }
+            EventKind::SetBackgroundTraffic(s, b) => {
+                self.background.insert(LinkId::Up(*s), *b);
+                self.background.insert(LinkId::Down(*s), *b);
+            }
+            EventKind::JobArrive {
+                id,
+                gpus,
+                net_bytes_per_sec,
+            } => {
+                for &g in gpus {
+                    self.topology.gpu_mut(g).colocated_jobs += 1;
+                }
+                if *net_bytes_per_sec > 0.0 {
+                    let mut touched: Vec<ServerId> =
+                        gpus.iter().map(|&g| self.topology.server_of(g)).collect();
+                    touched.sort();
+                    touched.dedup();
+                    for s in touched {
+                        *self.background.entry(LinkId::Up(s)).or_insert(0.0) += net_bytes_per_sec;
+                        *self.background.entry(LinkId::Down(s)).or_insert(0.0) += net_bytes_per_sec;
+                    }
+                }
+                self.jobs.insert(*id, (gpus.clone(), *net_bytes_per_sec));
+            }
+            EventKind::SetGpuSharing(g, n) => {
+                self.topology.gpu_mut(*g).colocated_jobs = (*n).max(1);
+            }
+            EventKind::JobDepart(id) => {
+                if let Some((gpus, net)) = self.jobs.remove(id) {
+                    for g in &gpus {
+                        let dev = self.topology.gpu_mut(*g);
+                        dev.colocated_jobs = dev.colocated_jobs.saturating_sub(1).max(1);
+                    }
+                    if net > 0.0 {
+                        let mut touched: Vec<ServerId> =
+                            gpus.iter().map(|&g| self.topology.server_of(g)).collect();
+                        touched.sort();
+                        touched.dedup();
+                        for s in touched {
+                            for l in [LinkId::Up(s), LinkId::Down(s)] {
+                                if let Some(b) = self.background.get_mut(&l) {
+                                    *b = (*b - net).max(0.0);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Replay a timeline up to and including time `t` onto a fresh state.
+    pub fn at_time(base: ClusterTopology, timeline: &ResourceTimeline, t: f64) -> Self {
+        let mut st = ClusterState::new(base);
+        for e in timeline.events() {
+            if e.time <= t {
+                st.apply(&e.kind);
+            } else {
+                break;
+            }
+        }
+        st
+    }
+}
+
+/// Stochastic multi-tenant churn: Poisson arrivals of background jobs with
+/// exponential durations, random GPU footprints and network usage.
+#[derive(Debug, Clone)]
+pub struct BackgroundJobGenerator {
+    /// Mean arrivals per second.
+    pub arrival_rate: f64,
+    /// Mean job duration in seconds.
+    pub mean_duration: f64,
+    /// Max GPUs a background job grabs.
+    pub max_gpus: usize,
+    /// Network bytes/s a distributed background job consumes per server.
+    pub net_bytes_per_sec: f64,
+}
+
+impl BackgroundJobGenerator {
+    /// Generate a timeline of arrivals/departures over `[0, horizon)`.
+    pub fn generate(&self, topo: &ClusterTopology, horizon: f64, seed: u64) -> ResourceTimeline {
+        assert!(self.arrival_rate > 0.0 && self.mean_duration > 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        let mut t = 0.0;
+        let mut next_id = 0u64;
+        loop {
+            // Exponential inter-arrival.
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            t += -u.ln() / self.arrival_rate;
+            if t >= horizon {
+                break;
+            }
+            let n = rng.gen_range(1..=self.max_gpus.min(topo.n_gpus()));
+            let mut gpus: Vec<GpuId> = (0..topo.n_gpus()).map(GpuId).collect();
+            // Fisher-Yates prefix shuffle for the footprint.
+            for i in 0..n {
+                let j = rng.gen_range(i..gpus.len());
+                gpus.swap(i, j);
+            }
+            gpus.truncate(n);
+            let id = BgJobId(next_id);
+            next_id += 1;
+            let ud: f64 = rng.gen_range(1e-12..1.0);
+            let dur = -ud.ln() * self.mean_duration;
+            let net = if n > 1 { self.net_bytes_per_sec } else { 0.0 };
+            events.push(ResourceEvent {
+                time: t,
+                kind: EventKind::JobArrive {
+                    id,
+                    gpus,
+                    net_bytes_per_sec: net,
+                },
+            });
+            if t + dur < horizon {
+                events.push(ResourceEvent {
+                    time: t + dur,
+                    kind: EventKind::JobDepart(id),
+                });
+            }
+        }
+        ResourceTimeline::new(events)
+    }
+}
+
+/// A day-night load pattern on top of [`BackgroundJobGenerator`]: arrival
+/// intensity follows a raised cosine with the given period, peaking at
+/// `peak_factor` x the base rate (shared clusters see exactly this kind of
+/// office-hours swell in the study the paper cites, ref. 7).
+#[derive(Debug, Clone)]
+pub struct DiurnalGenerator {
+    /// The underlying job mix.
+    pub base: BackgroundJobGenerator,
+    /// Seconds per day-night cycle.
+    pub period: f64,
+    /// Peak-to-base arrival intensity ratio (>= 1).
+    pub peak_factor: f64,
+}
+
+impl DiurnalGenerator {
+    /// Generate a timeline over `[0, horizon)` by thinning a peak-rate
+    /// Poisson process against the diurnal intensity profile.
+    pub fn generate(&self, topo: &ClusterTopology, horizon: f64, seed: u64) -> ResourceTimeline {
+        assert!(self.period > 0.0 && self.peak_factor >= 1.0);
+        let peak_rate = self.base.arrival_rate * self.peak_factor;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        let mut t = 0.0;
+        let mut next_id = 500_000u64;
+        loop {
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            t += -u.ln() / peak_rate;
+            if t >= horizon {
+                break;
+            }
+            // Thinning: accept proportionally to the instantaneous rate.
+            let phase = (t / self.period) * std::f64::consts::TAU;
+            let intensity =
+                (1.0 + (self.peak_factor - 1.0) * 0.5 * (1.0 - phase.cos())) / self.peak_factor;
+            if rng.gen::<f64>() > intensity {
+                continue;
+            }
+            let n = rng.gen_range(1..=self.base.max_gpus.min(topo.n_gpus()));
+            let mut gpus: Vec<GpuId> = (0..topo.n_gpus()).map(GpuId).collect();
+            for i in 0..n {
+                let j = rng.gen_range(i..gpus.len());
+                gpus.swap(i, j);
+            }
+            gpus.truncate(n);
+            let id = BgJobId(next_id);
+            next_id += 1;
+            let ud: f64 = rng.gen_range(1e-12..1.0);
+            let dur = -ud.ln() * self.base.mean_duration;
+            let net = if n > 1 { self.base.net_bytes_per_sec } else { 0.0 };
+            events.push(ResourceEvent {
+                time: t,
+                kind: EventKind::JobArrive {
+                    id,
+                    gpus,
+                    net_bytes_per_sec: net,
+                },
+            });
+            if t + dur < horizon {
+                events.push(ResourceEvent {
+                    time: t + dur,
+                    kind: EventKind::JobDepart(id),
+                });
+            }
+        }
+        ResourceTimeline::new(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::GpuKind;
+
+    fn topo() -> ClusterTopology {
+        ClusterTopology::single_switch(3, 2, GpuKind::P100, 25.0)
+    }
+
+    #[test]
+    fn static_state_mirrors_topology() {
+        let st = ClusterState::new(topo());
+        assert!((st.available_capacity(LinkId::Up(ServerId(0))) - gbps(25.0)).abs() < 1.0);
+        assert!((st.effective_flops(GpuId(0)) - GpuKind::P100.peak_flops()).abs() < 1.0);
+    }
+
+    #[test]
+    fn bandwidth_staircase_replays() {
+        let mut tl = ResourceTimeline::empty();
+        tl.push(20.0, EventKind::SetAllLinksGbps(25.0));
+        tl.push(40.0, EventKind::SetAllLinksGbps(40.0));
+        tl.push(60.0, EventKind::SetAllLinksGbps(100.0));
+        let base = ClusterTopology::paper_testbed(10.0);
+        for (t, want) in [(0.0, 10.0), (20.0, 25.0), (41.0, 40.0), (99.0, 100.0)] {
+            let st = ClusterState::at_time(base.clone(), &tl, t);
+            assert!(
+                (st.available_capacity(LinkId::Up(ServerId(0))) - gbps(want)).abs() < 1.0,
+                "t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn job_arrival_and_departure_round_trip() {
+        let mut st = ClusterState::new(topo());
+        let id = BgJobId(7);
+        st.apply(&EventKind::JobArrive {
+            id,
+            gpus: vec![GpuId(0), GpuId(2)],
+            net_bytes_per_sec: gbps(5.0),
+        });
+        assert_eq!(st.topology.gpu(GpuId(0)).colocated_jobs, 2);
+        assert_eq!(st.topology.gpu(GpuId(1)).colocated_jobs, 1);
+        assert!(st.available_capacity(LinkId::Up(ServerId(0))) < gbps(25.0));
+        st.apply(&EventKind::JobDepart(id));
+        assert_eq!(st.topology.gpu(GpuId(0)).colocated_jobs, 1);
+        assert!((st.available_capacity(LinkId::Up(ServerId(0))) - gbps(25.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn background_traffic_leaves_fair_share_floor() {
+        let mut st = ClusterState::new(topo());
+        st.apply(&EventKind::SetBackgroundTraffic(ServerId(1), gbps(500.0)));
+        let avail = st.available_capacity(LinkId::Up(ServerId(1)));
+        assert!(avail > 0.0, "must never be fully starved");
+    }
+
+    #[test]
+    fn scale_halves_bandwidth() {
+        let mut st = ClusterState::new(topo());
+        st.apply(&EventKind::ScaleAllLinks(0.5));
+        assert!((st.available_capacity(LinkId::Down(ServerId(2))) - gbps(12.5)).abs() < 1.0);
+    }
+
+    #[test]
+    fn events_between_is_half_open() {
+        let mut tl = ResourceTimeline::empty();
+        tl.push(1.0, EventKind::SetAllLinksGbps(25.0));
+        tl.push(2.0, EventKind::SetAllLinksGbps(40.0));
+        assert_eq!(tl.events_between(0.0, 1.0).len(), 1);
+        assert_eq!(tl.events_between(1.0, 2.0).len(), 1);
+        assert_eq!(tl.events_between(2.0, 9.0).len(), 0);
+        assert_eq!(tl.next_event_after(1.0), Some(2.0));
+        assert_eq!(tl.next_event_after(2.0), None);
+    }
+
+    #[test]
+    fn gpu_sharing_override_and_failure_injection() {
+        let mut st = ClusterState::new(topo());
+        st.apply(&EventKind::SetGpuSharing(GpuId(3), 1000));
+        assert!(st.effective_flops(GpuId(3)) < st.effective_flops(GpuId(0)) / 100.0);
+        st.apply(&EventKind::SetGpuSharing(GpuId(3), 0));
+        assert_eq!(st.topology.gpu(GpuId(3)).colocated_jobs, 1);
+    }
+
+    #[test]
+    fn diurnal_generator_concentrates_arrivals_at_the_peak() {
+        let g = DiurnalGenerator {
+            base: BackgroundJobGenerator {
+                arrival_rate: 0.5,
+                mean_duration: 10.0,
+                max_gpus: 3,
+                net_bytes_per_sec: 0.0,
+            },
+            period: 200.0,
+            peak_factor: 6.0,
+        };
+        let t = topo();
+        let tl = g.generate(&t, 1000.0, 9);
+        // Arrivals in the peak half-cycle (phase near pi) vs the trough.
+        let in_window = |lo: f64, hi: f64| {
+            tl.events()
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::JobArrive { .. }))
+                .filter(|e| {
+                    let phase = (e.time % 200.0) / 200.0;
+                    phase >= lo && phase < hi
+                })
+                .count()
+        };
+        let peak = in_window(0.25, 0.75);
+        let trough = in_window(0.0, 0.25) + in_window(0.75, 1.0);
+        assert!(
+            peak > 2 * trough,
+            "diurnal peak {peak} should dwarf trough {trough}"
+        );
+        // Deterministic by seed.
+        let tl2 = g.generate(&t, 1000.0, 9);
+        assert_eq!(tl.events().len(), tl2.events().len());
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_bounded() {
+        let g = BackgroundJobGenerator {
+            arrival_rate: 0.1,
+            mean_duration: 30.0,
+            max_gpus: 4,
+            net_bytes_per_sec: gbps(2.0),
+        };
+        let t = topo();
+        let a = g.generate(&t, 600.0, 42);
+        let b = g.generate(&t, 600.0, 42);
+        assert_eq!(a.events().len(), b.events().len());
+        assert!(!a.events().is_empty());
+        assert!(a.events().iter().all(|e| e.time < 600.0));
+        // Replaying the whole thing never drops a GPU below 1 job.
+        let st = ClusterState::at_time(t, &a, 600.0);
+        assert!(st.topology.gpus.iter().all(|g| g.colocated_jobs >= 1));
+    }
+}

@@ -1,0 +1,130 @@
+//! GPU device model.
+//!
+//! A [`Gpu`] has a [`GpuKind`] (peak throughput) and a contention state: the
+//! number of jobs time-sharing it. The paper's motivation experiments (§3.2,
+//! Figure 4) emulate contention by launching an extra training job per GPU;
+//! we model the same thing as equal time slicing, so a GPU shared by `k`
+//! jobs gives each of them `1/k` of its effective throughput.
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::tflops;
+
+/// Identifier of a GPU within a [`crate::ClusterTopology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GpuId(pub usize);
+
+/// The GPU generations mentioned by the paper ("there may be multiple types
+/// of GPUs in the shared GPU cluster, e.g., P100, V100, A100", §3.1 Obs. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GpuKind {
+    /// NVIDIA Tesla P100 (the paper's testbed GPU).
+    P100,
+    /// NVIDIA Tesla V100.
+    V100,
+    /// NVIDIA A100.
+    A100,
+}
+
+impl GpuKind {
+    /// Peak dense FP32 throughput in FLOP/s.
+    ///
+    /// P100: 9.3 TFLOPS, V100: 15.7 TFLOPS, A100: 19.5 TFLOPS (vendor specs).
+    pub fn peak_flops(self) -> f64 {
+        match self {
+            GpuKind::P100 => tflops(9.3),
+            GpuKind::V100 => tflops(15.7),
+            GpuKind::A100 => tflops(19.5),
+        }
+    }
+
+    /// Device memory in bytes (16 GB / 32 GB / 40 GB).
+    pub fn memory_bytes(self) -> f64 {
+        match self {
+            GpuKind::P100 => 16.0 * 1024.0 * 1024.0 * 1024.0,
+            GpuKind::V100 => 32.0 * 1024.0 * 1024.0 * 1024.0,
+            GpuKind::A100 => 40.0 * 1024.0 * 1024.0 * 1024.0,
+        }
+    }
+
+    /// PCIe host-to-device bandwidth in bytes/s, used to cost layer-by-layer
+    /// state migration (§4.4 refers to "the cost of making numerous PCIe
+    /// calls to send the data"). P100/V100 are PCIe 3.0 x16, A100 PCIe 4.0.
+    pub fn pcie_bytes_per_sec(self) -> f64 {
+        match self {
+            GpuKind::P100 | GpuKind::V100 => 12.0e9,
+            GpuKind::A100 => 24.0e9,
+        }
+    }
+}
+
+/// A single GPU device and its sharing state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Gpu {
+    /// Hardware generation.
+    pub kind: GpuKind,
+    /// Number of jobs currently time-sharing this device, **including** the
+    /// job under study. Never zero for an in-use device.
+    pub colocated_jobs: u32,
+}
+
+impl Gpu {
+    /// An exclusively-held GPU of the given kind.
+    pub fn exclusive(kind: GpuKind) -> Self {
+        Gpu {
+            kind,
+            colocated_jobs: 1,
+        }
+    }
+
+    /// The fraction of the device the observed job receives under equal
+    /// time slicing.
+    pub fn share(&self) -> f64 {
+        1.0 / f64::from(self.colocated_jobs.max(1))
+    }
+
+    /// Effective FLOP/s available to the observed job.
+    pub fn effective_flops(&self) -> f64 {
+        self.kind.peak_flops() * self.share()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_gpu_gets_full_device() {
+        let g = Gpu::exclusive(GpuKind::P100);
+        assert_eq!(g.share(), 1.0);
+        assert!((g.effective_flops() - 9.3e12).abs() < 1.0);
+    }
+
+    #[test]
+    fn contention_halves_throughput() {
+        let mut g = Gpu::exclusive(GpuKind::V100);
+        g.colocated_jobs = 2;
+        assert_eq!(g.share(), 0.5);
+        assert!((g.effective_flops() - 15.7e12 / 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_job_count_is_clamped() {
+        let g = Gpu {
+            kind: GpuKind::A100,
+            colocated_jobs: 0,
+        };
+        assert_eq!(g.share(), 1.0);
+    }
+
+    #[test]
+    fn kinds_are_ordered_by_speed() {
+        assert!(GpuKind::P100.peak_flops() < GpuKind::V100.peak_flops());
+        assert!(GpuKind::V100.peak_flops() < GpuKind::A100.peak_flops());
+    }
+
+    #[test]
+    fn a100_has_faster_pcie() {
+        assert!(GpuKind::A100.pcie_bytes_per_sec() > GpuKind::P100.pcie_bytes_per_sec());
+    }
+}

@@ -1,0 +1,49 @@
+//! Unit helpers. All bandwidths inside the crate are **bytes per second**;
+//! all times are **seconds**; all data sizes are **bytes**.
+
+/// Convert a link speed in gigabits per second to bytes per second.
+#[inline]
+pub fn gbps(g: f64) -> f64 {
+    g * 1e9 / 8.0
+}
+
+/// Convert a rate in bytes per second back to gigabits per second.
+#[inline]
+pub fn to_gbps(bytes_per_sec: f64) -> f64 {
+    bytes_per_sec * 8.0 / 1e9
+}
+
+/// Mebibytes to bytes.
+#[inline]
+pub fn mib(m: f64) -> f64 {
+    m * 1024.0 * 1024.0
+}
+
+/// TeraFLOPs to FLOPs.
+#[inline]
+pub fn tflops(t: f64) -> f64 {
+    t * 1e12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gbps_round_trips() {
+        for g in [10.0, 25.0, 40.0, 100.0] {
+            assert!((to_gbps(gbps(g)) - g).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ten_gbps_is_1_25_gigabytes() {
+        assert!((gbps(10.0) - 1.25e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn mib_and_tflops_scale() {
+        assert_eq!(mib(1.0), 1048576.0);
+        assert_eq!(tflops(2.0), 2e12);
+    }
+}

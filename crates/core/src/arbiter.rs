@@ -1,0 +1,348 @@
+//! The RL arbiter (§4.3): should we apply the proposed partition now?
+//!
+//! "The input of our RL model consists of three parts, the environment
+//! metrics described in Table 1, the current partition solution and the
+//! new partition. The output is simply a boolean value that determines
+//! whether or not to switch. We use a fully connected neural network ...
+//! two hidden layers with 32 and 16 neurons are enough. The reward
+//! function is the training speed of one iteration. We consider the
+//! normalized switching cost."
+//!
+//! We cast the decision as a contextual bandit: the state summarizes the
+//! predicted speeds of both partitions and the normalized switching cost;
+//! the two-output Q-network scores {stay, switch}; the reward of a switch
+//! is the fractional speed gain over the amortization window minus the
+//! normalized switching cost, and staying earns zero. The optimal policy
+//! (switch iff amortized gain exceeds cost) is *learned*, not hard-coded —
+//! and the tests verify the learned boundary against the analytic one.
+
+use ap_nn::{mse_loss, ActKind, Adam, Matrix, Mlp, Optimizer};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Feature width of the arbiter's state.
+pub const ARBITER_FEATURES: usize = 6;
+
+/// Everything the arbiter sees for one decision.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ArbiterInput {
+    /// Current partition's (predicted or measured) speed, samples/sec.
+    pub current_speed: f64,
+    /// Candidate partition's predicted speed, samples/sec.
+    pub candidate_speed: f64,
+    /// Predicted switching cost, seconds.
+    pub switch_cost: f64,
+    /// Current iteration time, seconds.
+    pub iteration_time: f64,
+    /// Expected iterations until the environment shifts again (the
+    /// amortization window for the switching cost).
+    pub horizon_iterations: f64,
+    /// Mean available bandwidth (normalized to 100 Gbps) — environment
+    /// context so the policy can be bandwidth-sensitive.
+    pub mean_bandwidth_norm: f64,
+}
+
+impl ArbiterInput {
+    /// Fractional speed gain of the candidate.
+    pub fn gain(&self) -> f64 {
+        if self.current_speed <= 0.0 {
+            return 0.0;
+        }
+        (self.candidate_speed - self.current_speed) / self.current_speed
+    }
+
+    /// Switching cost normalized by the amortization window.
+    pub fn normalized_cost(&self) -> f64 {
+        let window = (self.horizon_iterations * self.iteration_time).max(1e-9);
+        self.switch_cost / window
+    }
+
+    /// The bandit reward of switching (staying earns 0).
+    pub fn switch_reward(&self) -> f64 {
+        self.gain() - self.normalized_cost()
+    }
+
+    fn features(&self) -> [f64; ARBITER_FEATURES] {
+        [
+            self.gain().clamp(-1.0, 2.0),
+            self.normalized_cost().min(3.0),
+            (self.current_speed.max(1e-3)).ln() / 8.0,
+            (self.iteration_time.max(1e-6)).ln() / 10.0,
+            (self.horizon_iterations.max(1.0)).ln() / 8.0,
+            self.mean_bandwidth_norm.min(2.0),
+        ]
+    }
+}
+
+/// Decision policies (the RL net plus ablation baselines).
+#[derive(Debug, Clone)]
+pub enum ArbiterMode {
+    /// The learned Q-network.
+    Rl(Arbiter),
+    /// Switch whenever the candidate predicts faster (ablation).
+    AlwaysSwitch,
+    /// Never switch (ablation; equals static PipeDream).
+    NeverSwitch,
+    /// Switch when the amortized gain exceeds a fixed threshold (ablation).
+    Threshold(f64),
+}
+
+impl ArbiterMode {
+    /// Evaluate the policy.
+    pub fn decide(&self, input: &ArbiterInput) -> bool {
+        match self {
+            ArbiterMode::Rl(a) => a.decide(input),
+            ArbiterMode::AlwaysSwitch => input.gain() > 0.0,
+            ArbiterMode::NeverSwitch => false,
+            ArbiterMode::Threshold(t) => input.switch_reward() > *t,
+        }
+    }
+}
+
+/// Serializable snapshot of a trained arbiter.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ArbiterWeights {
+    /// Q-network weights.
+    pub q: ap_nn::mlp::MlpWeights,
+}
+
+/// The Q-network arbiter: `[features] -> 32 -> 16 -> [Q_stay, Q_switch]`.
+#[derive(Debug, Clone)]
+pub struct Arbiter {
+    q: Mlp,
+}
+
+impl Default for Arbiter {
+    fn default() -> Self {
+        Self::new(11)
+    }
+}
+
+impl Arbiter {
+    /// Fresh (untrained) arbiter with the paper's 32/16 hidden layout.
+    pub fn new(seed: u64) -> Self {
+        Arbiter {
+            q: Mlp::new(&[ARBITER_FEATURES, 32, 16, 2], ActKind::Tanh, seed),
+        }
+    }
+
+    /// Snapshot the trained Q-network (offline training artifact).
+    pub fn weights(&self) -> ArbiterWeights {
+        ArbiterWeights {
+            q: self.q.weights(),
+        }
+    }
+
+    /// Rebuild an arbiter from a snapshot.
+    pub fn from_weights(w: &ArbiterWeights) -> Self {
+        let mut a = Arbiter::new(0);
+        a.q.load(&w.q);
+        a
+    }
+
+    fn q_values(&self, input: &ArbiterInput) -> (f64, f64) {
+        let y = self
+            .q
+            .forward_inference(&Matrix::row_vector(input.features().to_vec()));
+        (y.get(0, 0), y.get(0, 1))
+    }
+
+    /// Greedy decision: switch iff Q(switch) > Q(stay).
+    pub fn decide(&self, input: &ArbiterInput) -> bool {
+        let (stay, switch) = self.q_values(input);
+        switch > stay
+    }
+
+    /// Offline training on simulated decision episodes.
+    ///
+    /// `episodes` samples random (gain, cost, horizon) situations from the
+    /// provided generator, executes an epsilon-greedy action, and regresses
+    /// the taken action's Q toward the observed reward (+noise), exactly a
+    /// contextual bandit.
+    pub fn train_offline<F>(&mut self, mut sample: F, episodes: usize, seed: u64) -> f64
+    where
+        F: FnMut(&mut ChaCha8Rng) -> ArbiterInput,
+    {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut opt = Adam::new(2e-3);
+        let mut last = 0.0;
+        for ep in 0..episodes {
+            let input = sample(&mut rng);
+            let eps = 0.3 * (1.0 - ep as f64 / episodes as f64) + 0.02;
+            let explore: f64 = rng.gen();
+            let action = if explore < eps {
+                rng.gen::<bool>()
+            } else {
+                self.decide(&input)
+            };
+            // Observed reward with measurement noise.
+            let noise: f64 = rng.gen_range(-0.02..0.02);
+            let reward = if action {
+                input.switch_reward() + noise
+            } else {
+                noise * 0.1
+            };
+            // Q-learning update on the taken action only.
+            self.q.zero_grad();
+            let x = Matrix::row_vector(input.features().to_vec());
+            let y = self.q.forward(&x);
+            let mut target = y.clone();
+            target.set(0, usize::from(action), reward);
+            let (l, g) = mse_loss(&y, &target);
+            self.q.backward(&g);
+            opt.step(&mut self.q.params_mut());
+            last = l;
+        }
+        last
+    }
+
+    /// Online adaptation: fine-tune the output layer on observed
+    /// (decision, realized reward) pairs from the live job.
+    pub fn adapt_online(&mut self, experience: &[(ArbiterInput, bool, f64)], steps: usize) {
+        if experience.is_empty() {
+            return;
+        }
+        let mut opt = Adam::new(5e-3);
+        for k in 0..steps {
+            let (input, action, reward) = &experience[k % experience.len()];
+            self.q.zero_grad();
+            let x = Matrix::row_vector(input.features().to_vec());
+            let y = self.q.forward(&x);
+            let mut target = y.clone();
+            target.set(0, usize::from(*action), *reward);
+            let (_, g) = mse_loss(&y, &target);
+            self.q.backward(&g);
+            let mut head = self.q.head_params_mut(1);
+            opt.step(&mut head);
+        }
+    }
+}
+
+/// Sample a realistic decision situation for offline training.
+pub fn default_episode_sampler(rng: &mut ChaCha8Rng) -> ArbiterInput {
+    let current_speed = rng.gen_range(5.0..300.0);
+    let gain = rng.gen_range(-0.3..0.8);
+    let iteration_time = rng.gen_range(0.05..3.0);
+    ArbiterInput {
+        current_speed,
+        candidate_speed: current_speed * (1.0 + gain),
+        switch_cost: rng.gen_range(0.0..20.0),
+        iteration_time,
+        horizon_iterations: rng.gen_range(5.0..500.0),
+        mean_bandwidth_norm: rng.gen_range(0.05..1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained() -> Arbiter {
+        let mut a = Arbiter::new(3);
+        a.train_offline(default_episode_sampler, 6000, 42);
+        a
+    }
+
+    fn input(gain: f64, cost: f64, horizon: f64) -> ArbiterInput {
+        let speed = 100.0;
+        ArbiterInput {
+            current_speed: speed,
+            candidate_speed: speed * (1.0 + gain),
+            switch_cost: cost,
+            iteration_time: 0.5,
+            horizon_iterations: horizon,
+            mean_bandwidth_norm: 0.25,
+        }
+    }
+
+    #[test]
+    fn reward_math() {
+        let i = input(0.2, 5.0, 100.0);
+        assert!((i.gain() - 0.2).abs() < 1e-12);
+        // window = 100 * 0.5 = 50 s; cost 5 s -> 0.1.
+        assert!((i.normalized_cost() - 0.1).abs() < 1e-12);
+        assert!((i.switch_reward() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn learns_to_switch_on_clear_wins() {
+        let a = trained();
+        // +50% speed, negligible cost: must switch.
+        assert!(a.decide(&input(0.5, 0.1, 200.0)));
+    }
+
+    #[test]
+    fn learns_to_stay_on_clear_losses() {
+        let a = trained();
+        // Candidate is slower: must stay.
+        assert!(!a.decide(&input(-0.2, 0.1, 200.0)));
+        // Tiny gain, enormous cost over a short horizon: must stay.
+        assert!(!a.decide(&input(0.02, 18.0, 10.0)));
+    }
+
+    #[test]
+    fn decision_boundary_tracks_amortization() {
+        let a = trained();
+        // Same gain and cost; a long horizon amortizes the cost away, a
+        // very short one does not.
+        let long = a.decide(&input(0.25, 10.0, 400.0));
+        let short = a.decide(&input(0.25, 10.0, 6.0));
+        assert!(long, "long horizon should switch");
+        assert!(!short, "short horizon should stay");
+    }
+
+    #[test]
+    fn boundary_accuracy_against_analytic_policy() {
+        let a = trained();
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let mut correct = 0;
+        let n = 400;
+        for _ in 0..n {
+            let i = default_episode_sampler(&mut rng);
+            // Skip near-boundary cases where either answer is fine.
+            if i.switch_reward().abs() < 0.08 {
+                correct += 1;
+                continue;
+            }
+            if a.decide(&i) == (i.switch_reward() > 0.0) {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / n as f64;
+        assert!(acc > 0.85, "policy accuracy {acc}");
+    }
+
+    #[test]
+    fn weights_round_trip_preserves_policy() {
+        let a = trained();
+        let b = Arbiter::from_weights(&a.weights());
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..50 {
+            let i = default_episode_sampler(&mut rng);
+            assert_eq!(a.decide(&i), b.decide(&i));
+        }
+    }
+
+    #[test]
+    fn ablation_modes() {
+        let i = input(0.1, 50.0, 10.0); // positive gain, ruinous cost
+        assert!(ArbiterMode::AlwaysSwitch.decide(&i));
+        assert!(!ArbiterMode::NeverSwitch.decide(&i));
+        assert!(!ArbiterMode::Threshold(0.0).decide(&i));
+        assert!(ArbiterMode::Threshold(-100.0).decide(&i));
+    }
+
+    #[test]
+    fn online_adaptation_shifts_the_boundary() {
+        let mut a = trained();
+        let i = input(0.3, 2.0, 100.0);
+        assert!(a.decide(&i));
+        // Live experience says switching at this operating point is bad
+        // (e.g. hidden interference): punish it repeatedly.
+        let exp: Vec<(ArbiterInput, bool, f64)> = (0..20).map(|_| (i, true, -1.0)).collect();
+        a.adapt_online(&exp, 400);
+        assert!(!a.decide(&i), "adapted policy should now refuse");
+    }
+}

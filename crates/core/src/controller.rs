@@ -1,0 +1,851 @@
+//! The AutoPipe control loop and dynamic-scenario runner.
+//!
+//! Every `check_every` iterations the controller: profiles the cluster
+//! (Table 1 metrics), feeds the change detector, and — when a change is
+//! confirmed — enumerates the two-worker neighborhood of the current
+//! partition, scores every candidate with the meta-network (or the
+//! analytic model, for ablation), prices the switch, and lets the RL
+//! arbiter decide. Approved switches are applied with fine-grained
+//! layer-by-layer migration (or stop-and-restart, for ablation).
+//!
+//! [`run_dynamic_scenario`] replays a resource timeline against either a
+//! static plan (the PipeDream baseline of Figures 9/10) or a live
+//! controller, producing the paper's speed-vs-iteration curves.
+
+use std::collections::VecDeque;
+
+use ap_cluster::{
+    ClusterState, ClusterTopology, DetectorConfig, GpuId, ResourceChangeDetector,
+    ResourceTimeline,
+};
+use ap_models::ModelProfile;
+use ap_pipesim::{
+    AnalyticModel, Engine, EngineConfig, Framework, Partition, ScheduleKind, SwitchPlan,
+    SyncScheme,
+};
+use ap_planner::all_moves;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::arbiter::{ArbiterInput, ArbiterMode};
+use crate::meta_net::{MetaNet, MetaNetConfig, TrainingSample};
+use crate::metrics::FeatureEncoder;
+use crate::profiler::Profiler;
+use crate::switch_cost::SwitchCostModel;
+
+/// What scores candidate partitions.
+pub enum Scorer {
+    /// The learned meta-network (the paper's design).
+    MetaNet(Box<MetaNet>),
+    /// Direct analytic evaluation (ablation: perfect model, slower in
+    /// spirit — on a real system this is the "tens of minutes" full model
+    /// the paper rejects).
+    Analytic,
+}
+
+/// How an approved switch is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SwitchMode {
+    /// AutoPipe's layer-by-layer migration (§4.4).
+    FineGrained,
+    /// The straw-man: drain, move, restart.
+    StopRestart,
+}
+
+/// Controller configuration.
+#[derive(Debug, Clone)]
+pub struct AutoPipeConfig {
+    /// Gradient sync scheme.
+    pub scheme: SyncScheme,
+    /// Framework constants.
+    pub framework: Framework,
+    /// Pipeline schedule.
+    pub schedule: ScheduleKind,
+    /// Decision cadence in iterations.
+    pub check_every: usize,
+    /// Amortization horizon (iterations) for switching decisions.
+    pub horizon_iterations: f64,
+    /// Change-detector tuning.
+    pub detector: DetectorConfig,
+    /// Switch execution mode.
+    pub switch_mode: SwitchMode,
+    /// Profiler measurement noise (1-sigma, fraction).
+    pub profiler_noise: f64,
+    /// Incremental moves chained per approved switch (the paper migrates
+    /// gradually; chaining a few moves per decision reaches the target
+    /// configuration with fewer pipeline disturbances).
+    pub moves_per_decision: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AutoPipeConfig {
+    fn default() -> Self {
+        AutoPipeConfig {
+            scheme: SyncScheme::RingAllReduce,
+            framework: Framework::pytorch(),
+            schedule: ScheduleKind::PipeDreamAsync,
+            check_every: 5,
+            horizon_iterations: 100.0,
+            detector: DetectorConfig::default(),
+            switch_mode: SwitchMode::FineGrained,
+            profiler_noise: 0.02,
+            moves_per_decision: 4,
+            seed: 1,
+        }
+    }
+}
+
+/// The controller's verdict for one decision point.
+#[derive(Debug, Clone)]
+pub enum Decision {
+    /// Keep the current partition.
+    Keep,
+    /// Apply `partition`, paying `pause_seconds` of pipeline disturbance.
+    Switch {
+        /// The new partition.
+        partition: Partition,
+        /// Pipeline pause charged at the switch point (the refill after a
+        /// stop-restart switch is simulated by the engine itself and not
+        /// included here).
+        pause_seconds: f64,
+    },
+}
+
+/// The AutoPipe controller for one training job.
+pub struct AutoPipeController<'a> {
+    profile: &'a ModelProfile,
+    /// Current partition (updated on approved switches).
+    pub partition: Partition,
+    cfg: AutoPipeConfig,
+    scorer: Scorer,
+    arbiter: ArbiterMode,
+    cost_model: SwitchCostModel,
+    profiler: Profiler,
+    detector: ResourceChangeDetector,
+    encoder: FeatureEncoder,
+    detector_width: usize,
+    history: VecDeque<Vec<f64>>,
+    first_decision_done: bool,
+    /// Count of approved switches (diagnostics).
+    pub switches_applied: usize,
+    /// Pending verification of the last switch: (previous partition,
+    /// measured speed before the switch, predicted speed of the previous
+    /// partition at switch time, decision points until verdict — the
+    /// pipeline needs a couple of windows to re-reach steady state).
+    last_switch: Option<(Partition, f64, f64, u8)>,
+    /// Candidates that measured worse after being applied (negative
+    /// reward); never re-proposed.
+    rejected: Vec<Partition>,
+    /// Confidence in the scorer's predicted gains, decayed by every
+    /// reverted switch and restored by verified ones. A low trust raises
+    /// the minimum predicted gain worth acting on, extinguishing
+    /// switch/revert thrash when the model and reality disagree.
+    trust: f64,
+    /// Decision points to sit out after a revert.
+    cooldown: u8,
+}
+
+impl<'a> AutoPipeController<'a> {
+    /// Build a controller around an initial partition.
+    pub fn new(
+        profile: &'a ModelProfile,
+        initial: Partition,
+        scorer: Scorer,
+        arbiter: ArbiterMode,
+        cfg: AutoPipeConfig,
+    ) -> Self {
+        initial
+            .validate(profile.n_layers())
+            .expect("invalid initial partition");
+        let n_workers = initial.n_workers();
+        AutoPipeController {
+            profile,
+            partition: initial,
+            profiler: Profiler::new(profile, cfg.profiler_noise, cfg.seed),
+            detector: ResourceChangeDetector::new(n_workers, cfg.detector.clone()),
+            cfg,
+            scorer,
+            arbiter,
+            cost_model: SwitchCostModel::default(),
+            encoder: FeatureEncoder,
+            detector_width: n_workers,
+            history: VecDeque::new(),
+            first_decision_done: false,
+            switches_applied: 0,
+            last_switch: None,
+            rejected: Vec::new(),
+            trust: 1.0,
+            cooldown: 0,
+        }
+    }
+
+    fn analytic(&self) -> AnalyticModel<'a> {
+        AnalyticModel {
+            profile: self.profile,
+            scheme: self.cfg.scheme,
+            framework: self.cfg.framework,
+            schedule: self.cfg.schedule,
+        }
+    }
+
+    /// Score a candidate's throughput (samples/sec).
+    fn score(&self, candidate: &Partition, state: &ClusterState, metrics_static: &[Vec<f64>]) -> f64 {
+        match &self.scorer {
+            Scorer::Analytic => self.analytic().throughput(candidate, state),
+            Scorer::MetaNet(net) => {
+                let seq: Vec<Vec<f64>> = self.history.iter().cloned().collect();
+                let _ = metrics_static;
+                let m = crate::metrics::static_metrics_from_profile(
+                    self.profile,
+                    candidate.n_workers(),
+                );
+                // Candidate encodings only need static Table-1 fields.
+                let stat = self.encoder.encode_static(&m, candidate);
+                net.predict_throughput(&seq, &stat)
+            }
+        }
+    }
+
+    /// One decision point: observe the cluster, maybe propose and switch.
+    pub fn observe_and_decide(&mut self, state: &ClusterState) -> Decision {
+        self.observe_and_decide_measured(state, None)
+    }
+
+    /// Decision point with the job's *measured* recent speed (samples/sec)
+    /// when available. The measured speed is the arbiter's reward signal
+    /// (§4.3 "the reward function is the training speed of one
+    /// iteration"): a switch whose measured outcome is worse than what it
+    /// replaced is reverted and the candidate black-listed.
+    pub fn observe_and_decide_measured(
+        &mut self,
+        state: &ClusterState,
+        measured: Option<f64>,
+    ) -> Decision {
+        // Verify the previous switch against its realized reward, once the
+        // pipeline has had time to settle. The expected speed is the
+        // pre-switch measurement scaled by the *predicted* ratio of the
+        // two partitions under the current state, so a cluster-wide
+        // slowdown (which hits either partition) does not trigger a bogus
+        // revert.
+        if let Some((prev, prev_speed, prev_pred_then, wait)) = self.last_switch.take() {
+            if wait > 0 {
+                self.last_switch = Some((prev, prev_speed, prev_pred_then, wait - 1));
+            } else if let Some(m) = measured {
+                // Expected outcome = pre-switch measurement scaled by the
+                // *predicted* change (new partition under the current
+                // state vs the old partition under the state it was
+                // measured in) — robust to the environment moving again
+                // between the switch and its verification.
+                let new_pred_now = self.score(&self.partition, state, &[]);
+                let ratio = (new_pred_now / prev_pred_then.max(1e-9)).clamp(0.1, 10.0);
+                if m < prev_speed * ratio * 0.75 {
+                    let bad = std::mem::replace(&mut self.partition, prev.clone());
+                    self.rejected.push(bad);
+                    if self.rejected.len() > 16 {
+                        self.rejected.remove(0);
+                    }
+                    self.detector.reset();
+                    // Negative reward: trust the scorer less and sit out a
+                    // couple of windows, but stay armed — the environment
+                    // may still be far from the reverted plan's optimum.
+                    self.trust *= 0.6;
+                    self.cooldown = 2;
+                    self.first_decision_done = false;
+                    // Reverting is itself a two-worker fine-grained switch
+                    // back onto stashed weights: negligible pause.
+                    return Decision::Switch {
+                        partition: prev,
+                        pause_seconds: 0.0,
+                    };
+                }
+                // Positive reward: the prediction held up.
+                self.trust = (self.trust * 1.15).min(1.0);
+            }
+        }
+        let workers = self.partition.all_workers();
+        // Worker evictions change the observation width; resize the
+        // detector when that happens.
+        if workers.len() != self.detector_width {
+            self.detector = ResourceChangeDetector::new(workers.len(), self.cfg.detector.clone());
+            self.detector_width = workers.len();
+        }
+        let metrics = self.profiler.observe(&workers, state);
+        let dynamic = self.encoder.encode_dynamic(&metrics, &self.partition);
+        self.history.push_back(dynamic);
+        while self.history.len() > 16 {
+            self.history.pop_front();
+        }
+        let computes: Vec<f64> = (0..workers.len())
+            .map(|w| metrics.relative_speed(w))
+            .collect();
+        let changes = self.detector.observe(&metrics.bandwidth, &computes);
+        // A severely degraded worker (< 35% of the fastest: failed or
+        // nearly so) is a *standing* change: stay armed until it is
+        // evacuated or recovers, even though the detector's reference has
+        // re-baselined onto the degraded readings.
+        let degraded_present = computes.iter().any(|&s| s < 0.35);
+        if changes.is_empty() && self.first_decision_done && !degraded_present {
+            return Decision::Keep;
+        }
+        self.first_decision_done = true;
+
+        // Greedy chain of incremental moves (two-worker moves plus stage
+        // merges/splits), each round keeping the best-scoring candidate;
+        // previously punished candidates are never re-proposed.
+        let current_speed = self.score(&self.partition, state, &[]);
+        let mut best = self.partition.clone();
+        let mut best_speed = current_speed;
+        // Workers running below 35% of the fastest are treated as failed
+        // or severely degraded: only those are eligible for eviction.
+        // (Mild contention is better handled by re-balancing — shedding
+        // capacity for a 2x-slow replica rarely pays once transition costs
+        // are counted.)
+        let degraded: Vec<ap_cluster::GpuId> = workers
+            .iter()
+            .zip(&computes)
+            .filter(|&(_, &speed)| speed < 0.35)
+            .map(|(&g, _)| g)
+            .collect();
+        for _ in 0..self.cfg.moves_per_decision.max(1) {
+            let mut candidates = all_moves(&best, self.profile);
+            if !degraded.is_empty() {
+                candidates.extend(ap_planner::drop_moves(&best).into_iter().filter(|(_, p)| {
+                    degraded.iter().any(|g| !p.all_workers().contains(g))
+                }));
+            }
+            candidates.retain(|(_, p)| !self.rejected.contains(p));
+            if candidates.is_empty() {
+                break;
+            }
+            let round_best = match &self.scorer {
+                Scorer::Analytic => {
+                    let model = self.analytic();
+                    candidates
+                        .into_par_iter()
+                        .map(|(_, p)| (model.throughput(&p, state), p))
+                        .max_by(|a, b| a.0.total_cmp(&b.0))
+                }
+                Scorer::MetaNet(_) => candidates
+                    .into_iter()
+                    .map(|(_, p)| (self.score(&p, state, &[]), p))
+                    .max_by(|a, b| a.0.total_cmp(&b.0)),
+            };
+            match round_best {
+                Some((speed, p)) if speed > best_speed * (1.0 + 1e-9) => {
+                    best_speed = speed;
+                    best = p;
+                }
+                _ => break,
+            }
+        }
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return Decision::Keep;
+        }
+        // Minimum predicted gain worth the risk, inflated when the scorer
+        // has been caught over-promising.
+        let floor = 1.0 + 0.03 / self.trust;
+        if best == self.partition || best_speed <= current_speed * floor {
+            return Decision::Keep;
+        }
+        let best = &best;
+
+        // Price the switch and ask the arbiter.
+        let plan = SwitchPlan::between(&self.partition, best, self.profile, self.cfg.schedule);
+        let iter_time = self.profile.batch as f64 / current_speed.max(1e-9);
+        let cost = self
+            .cost_model
+            .predict(&plan, iter_time, &self.partition, state);
+        let mean_bw = metrics.bandwidth.iter().sum::<f64>()
+            / metrics.bandwidth.len().max(1) as f64
+            / 12.5e9;
+        let input = ArbiterInput {
+            current_speed,
+            candidate_speed: best_speed,
+            switch_cost: cost,
+            iteration_time: iter_time,
+            horizon_iterations: self.cfg.horizon_iterations,
+            mean_bandwidth_norm: mean_bw,
+        };
+        if !self.arbiter.decide(&input) {
+            return Decision::Keep;
+        }
+
+        // Pause actually charged to the pipeline at the switch point; the
+        // engine restart already re-simulates the refill, so only the
+        // non-refill components are charged here.
+        let pause = match self.cfg.switch_mode {
+            SwitchMode::StopRestart => {
+                self.partition.in_flight as f64 * iter_time + plan.raw_transfer_time(state)
+            }
+            SwitchMode::FineGrained => {
+                let slack = (self.partition.in_flight.saturating_sub(1)) as f64 * iter_time;
+                (plan.raw_transfer_time(state) - slack).max(0.0)
+                    + ap_pipesim::switching::PER_LAYER_CALL_OVERHEAD
+                        * plan.moved_layers.len() as f64
+            }
+        };
+        let new_partition = best.clone();
+        self.last_switch = Some((
+            self.partition.clone(),
+            measured.unwrap_or(current_speed),
+            current_speed,
+            2,
+        ));
+        self.partition = new_partition.clone();
+        self.detector.reset();
+        self.switches_applied += 1;
+        Decision::Switch {
+            partition: new_partition,
+            pause_seconds: pause,
+        }
+    }
+}
+
+/// Outcome of a dynamic scenario replay.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// Per-iteration speed samples `(iteration, samples/sec)`.
+    pub speed_series: Vec<(u64, f64)>,
+    /// Approved switches `(iteration, pause_seconds)`.
+    pub switches: Vec<(u64, f64)>,
+    /// Overall samples/sec across the run.
+    pub mean_throughput: f64,
+    /// Total wall-clock seconds simulated.
+    pub total_seconds: f64,
+}
+
+/// Replay `timeline` for `n_iterations` mini-batches.
+///
+/// With `controller = None` the initial partition stays fixed (the static
+/// PipeDream baseline); otherwise the controller is consulted every
+/// `cfg.check_every` completed iterations and approved switches are
+/// applied **live** inside the engine: in-flight mini-batches drain on the
+/// old assignment while new ones use the new one (fine-grained switching,
+/// §4.4), with only the affected workers stalled — or every worker, for
+/// the stop-and-restart ablation.
+pub fn run_dynamic_scenario(
+    profile: &ModelProfile,
+    topo: &ClusterTopology,
+    timeline: &ResourceTimeline,
+    initial: Partition,
+    controller: Option<&mut AutoPipeController<'_>>,
+    cfg: &AutoPipeConfig,
+    n_iterations: usize,
+) -> ScenarioResult {
+    let engine = Engine::new(
+        profile,
+        initial,
+        ClusterState::new(topo.clone()),
+        timeline.clone(),
+        EngineConfig {
+            scheme: cfg.scheme,
+            framework: cfg.framework,
+            schedule: cfg.schedule,
+            record_timeline: false,
+        },
+    );
+    let mut switches: Vec<(u64, f64)> = Vec::new();
+    let result = match controller {
+        None => engine.run(n_iterations),
+        Some(ctrl) => {
+            let global_stall = cfg.switch_mode == SwitchMode::StopRestart;
+            engine.run_controlled(n_iterations, cfg.check_every, |state, done, _now, measured| {
+                match ctrl.observe_and_decide_measured(state, measured) {
+                    Decision::Keep => None,
+                    Decision::Switch {
+                        partition,
+                        pause_seconds,
+                    } => {
+                        switches.push((done, pause_seconds));
+                        Some((partition, pause_seconds, global_stall))
+                    }
+                }
+            })
+        }
+    };
+
+    // Simultaneous completions can overshoot the request; trim.
+    let mut result = result;
+    result.iterations.truncate(n_iterations);
+    // Per-iteration speeds; completions sharing an instant share the rate
+    // measured at the next distinct completion time.
+    let mut speed_series = Vec::with_capacity(result.iterations.len());
+    let mut prev_finish = 0.0_f64;
+    let mut pending: Vec<u64> = Vec::new();
+    for (idx, rec) in result.iterations.iter().enumerate() {
+        pending.push(idx as u64);
+        let dt = rec.finish - prev_finish;
+        if dt > 1e-12 {
+            let speed = pending.len() as f64 * profile.batch as f64 / dt;
+            for &i in &pending {
+                speed_series.push((i, speed));
+            }
+            pending.clear();
+            prev_finish = rec.finish;
+        }
+    }
+    if !pending.is_empty() {
+        let speed = speed_series.last().map(|&(_, s)| s).unwrap_or(0.0);
+        for &i in &pending {
+            speed_series.push((i, speed));
+        }
+    }
+
+    let total = result
+        .iterations
+        .last()
+        .map(|r| r.finish)
+        .unwrap_or(result.makespan)
+        .max(1e-12);
+    ScenarioResult {
+        mean_throughput: result.iterations.len() as f64 * profile.batch as f64 / total,
+        speed_series,
+        switches,
+        total_seconds: total,
+    }
+}
+
+/// Greedy hill-climbing with two-worker moves under the analytic model:
+/// AutoPipe's steady-state optimizer, used for the static experiments.
+pub fn hill_climb(
+    model: &AnalyticModel<'_>,
+    start: Partition,
+    state: &ClusterState,
+    max_rounds: usize,
+) -> Partition {
+    let mut current = start;
+    // Group replicas by effective speed so split moves can isolate
+    // stragglers (order within a stage has no execution semantics).
+    ap_planner::sort_stage_workers_by(&mut current, |g| state.effective_flops(g));
+    let mut current_tp = model.throughput(&current, state);
+    for _ in 0..max_rounds {
+        let moves = all_moves(&current, model.profile);
+        let best = moves
+            .into_par_iter()
+            .map(|(_, p)| {
+                let tp = model.throughput(&p, state);
+                (tp, p)
+            })
+            .max_by(|a, b| a.0.total_cmp(&b.0));
+        match best {
+            Some((tp, p)) if tp > current_tp * (1.0 + 1e-9) => {
+                current = p;
+                current_tp = tp;
+            }
+            _ => break,
+        }
+    }
+    current
+}
+
+/// Offline meta-network pretraining: sample environments (bandwidth and
+/// contention levels) and candidate partitions, label them with the
+/// analytic model, and fit the network (§4.3 "offline training").
+pub fn pretrain_meta_net(
+    profile: &ModelProfile,
+    topo: &ClusterTopology,
+    cfg: &AutoPipeConfig,
+    meta_cfg: MetaNetConfig,
+    n_samples: usize,
+    epochs: usize,
+    seed: u64,
+) -> MetaNet {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let encoder = FeatureEncoder;
+    let model = AnalyticModel {
+        profile,
+        scheme: cfg.scheme,
+        framework: cfg.framework,
+        schedule: cfg.schedule,
+    };
+    let all_gpus: Vec<GpuId> = (0..topo.n_gpus()).map(GpuId).collect();
+    let mut samples = Vec::with_capacity(n_samples);
+    let seq_len = meta_cfg.seq_len;
+    while samples.len() < n_samples {
+        // Random environment.
+        let mut st = ClusterState::new(topo.clone());
+        let g: f64 = rng.gen_range(5.0..100.0);
+        st.topology.set_uniform_link_gbps(g);
+        for gi in 0..st.topology.n_gpus() {
+            st.topology.gpu_mut(GpuId(gi)).colocated_jobs = rng.gen_range(1..=3);
+        }
+        // Random partition: a planner start plus a few random moves.
+        let n_stages = rng.gen_range(1..=4usize.min(all_gpus.len()));
+        let mut p = ap_planner::uniform_plan(profile, n_stages, &all_gpus);
+        for _ in 0..rng.gen_range(0..4) {
+            let moves = all_moves(&p, profile);
+            if moves.is_empty() {
+                break;
+            }
+            p = moves[rng.gen_range(0..moves.len())].1.clone();
+        }
+        let tp = model.throughput(&p, &st);
+        if !(tp.is_finite() && tp > 0.0) {
+            continue;
+        }
+        // Stationary dynamic history for this environment.
+        let mut prof = Profiler::new(profile, cfg.profiler_noise, rng.gen());
+        let workers = p.all_workers();
+        let dynamic_seq: Vec<Vec<f64>> = (0..seq_len)
+            .map(|_| {
+                let m = prof.observe(&workers, &st);
+                encoder.encode_dynamic(&m, &p)
+            })
+            .collect();
+        let m = crate::metrics::static_metrics_from_profile(profile, p.n_workers());
+        samples.push(TrainingSample {
+            dynamic_seq,
+            static_feat: encoder.encode_static(&m, &p),
+            log_throughput: tp.ln(),
+        });
+    }
+    let mut net = MetaNet::new(meta_cfg);
+    net.train(&samples, epochs, seed.wrapping_add(1));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ap_cluster::gpu::GpuKind;
+    use ap_cluster::EventKind;
+    use ap_models::{synthetic_uniform, ModelProfile};
+    use ap_pipesim::Stage;
+    use ap_planner::{pipedream_plan, PipeDreamView};
+
+    fn topo() -> ClusterTopology {
+        ClusterTopology::single_switch(4, 1, GpuKind::P100, 25.0)
+    }
+
+    fn profile() -> ModelProfile {
+        ModelProfile::with_batch(&synthetic_uniform(12, 2e9, 6e6, 10e6), 32)
+    }
+
+    fn initial(profile: &ModelProfile) -> Partition {
+        let gpus: Vec<GpuId> = (0..4).map(GpuId).collect();
+        pipedream_plan(
+            profile,
+            &gpus,
+            PipeDreamView {
+                bandwidth: ap_cluster::gbps(25.0),
+                gpu_flops: GpuKind::P100.peak_flops(),
+            },
+        )
+    }
+
+    #[test]
+    fn hill_climb_never_regresses_and_improves_imbalanced_starts() {
+        let p = profile();
+        let st = ClusterState::new(topo());
+        let model = AnalyticModel {
+            profile: &p,
+            scheme: SyncScheme::RingAllReduce,
+            framework: Framework::pytorch(),
+            schedule: ScheduleKind::PipeDreamAsync,
+        };
+        // Deliberately terrible start: 11 layers on one GPU.
+        let bad = Partition {
+            stages: vec![
+                Stage::new(0..1, vec![GpuId(0)]),
+                Stage::new(1..12, vec![GpuId(1)]),
+            ],
+            in_flight: 2,
+        };
+        let bad_tp = model.throughput(&bad, &st);
+        let better = hill_climb(&model, bad.clone(), &st, 20);
+        let better_tp = model.throughput(&better, &st);
+        assert!(better_tp > bad_tp * 1.5, "{bad_tp} -> {better_tp}");
+    }
+
+    #[test]
+    fn controller_keeps_quiet_in_steady_state() {
+        let p = profile();
+        let st = ClusterState::new(topo());
+        let mut ctrl = AutoPipeController::new(
+            &p,
+            initial(&p),
+            Scorer::Analytic,
+            ArbiterMode::Threshold(0.02),
+            AutoPipeConfig::default(),
+        );
+        // First decision may adjust (initialization), afterwards silence.
+        let _ = ctrl.observe_and_decide(&st);
+        for _ in 0..10 {
+            match ctrl.observe_and_decide(&st) {
+                Decision::Keep => {}
+                Decision::Switch { .. } => panic!("switched without a resource change"),
+            }
+        }
+    }
+
+    #[test]
+    fn controller_reacts_to_bandwidth_drop() {
+        // Skewed model: activations shrink with depth, so when bandwidth
+        // collapses, the optimal cut moves deeper (smaller tensors) even
+        // at the cost of compute imbalance.
+        let model = ap_models::synthetic_skewed(12, 2e9, 40e6, 10e6);
+        let p = ModelProfile::with_batch(&model, 32);
+        // Compute-balanced boundary (what a high-bandwidth plan picks).
+        let init = Partition {
+            stages: vec![
+                Stage::new(0..8, vec![GpuId(0)]),
+                Stage::new(8..12, vec![GpuId(1)]),
+            ],
+            in_flight: 2,
+        };
+        let mut cfg = AutoPipeConfig::default();
+        cfg.detector.persistence = 2;
+        let mut ctrl = AutoPipeController::new(
+            &p,
+            init.clone(),
+            Scorer::Analytic,
+            ArbiterMode::Threshold(0.0),
+            cfg,
+        );
+        let st = ClusterState::new(topo());
+        for _ in 0..4 {
+            let _ = ctrl.observe_and_decide(&st);
+        }
+        let before = ctrl.partition.clone();
+        // Drop bandwidth 25x: the cut must move toward smaller tensors.
+        let mut slow = ClusterState::new(topo());
+        slow.apply(&EventKind::SetAllLinksGbps(1.0));
+        let mut switched = false;
+        for _ in 0..6 {
+            if let Decision::Switch { .. } = ctrl.observe_and_decide(&slow) {
+                switched = true;
+                break;
+            }
+        }
+        assert!(switched, "controller must react to a 25x bandwidth drop");
+        assert_ne!(ctrl.partition, before);
+        // The new configuration is analytically better at low bandwidth
+        // (a deeper cut or a merge into fewer comm-bound stages).
+        let model = AnalyticModel {
+            profile: &p,
+            scheme: SyncScheme::RingAllReduce,
+            framework: Framework::pytorch(),
+            schedule: ScheduleKind::PipeDreamAsync,
+        };
+        assert!(model.throughput(&ctrl.partition, &slow) > model.throughput(&before, &slow));
+    }
+
+    #[test]
+    fn dynamic_scenario_baseline_matches_plain_engine() {
+        let p = profile();
+        let cfg = AutoPipeConfig::default();
+        let r = run_dynamic_scenario(
+            &p,
+            &topo(),
+            &ResourceTimeline::empty(),
+            initial(&p),
+            None,
+            &cfg,
+            30,
+        );
+        assert!(r.mean_throughput > 0.0);
+        assert!(r.switches.is_empty());
+        assert_eq!(r.speed_series.len(), 30);
+    }
+
+    #[test]
+    fn autopipe_beats_static_plan_under_bandwidth_drop() {
+        let cfg = AutoPipeConfig {
+            check_every: 3,
+            detector: DetectorConfig {
+                threshold: 0.15,
+                persistence: 1,
+            },
+            ..AutoPipeConfig::default()
+        };
+        // Comm-heavy model so partitioning matters.
+        let pc = ModelProfile::with_batch(&synthetic_uniform(12, 5e8, 40e6, 10e6), 32);
+        let init = {
+            let gpus: Vec<GpuId> = (0..4).map(GpuId).collect();
+            pipedream_plan(
+                &pc,
+                &gpus,
+                PipeDreamView {
+                    bandwidth: ap_cluster::gbps(25.0),
+                    gpu_flops: GpuKind::P100.peak_flops(),
+                },
+            )
+        };
+        let mut tl = ResourceTimeline::empty();
+        tl.push(3.0, EventKind::SetAllLinksGbps(5.0));
+        let baseline = run_dynamic_scenario(&pc, &topo(), &tl, init.clone(), None, &cfg, 60);
+        let mut ctrl = AutoPipeController::new(
+            &pc,
+            init.clone(),
+            Scorer::Analytic,
+            ArbiterMode::Threshold(0.0),
+            cfg.clone(),
+        );
+        let auto = run_dynamic_scenario(&pc, &topo(), &tl, init, Some(&mut ctrl), &cfg, 60);
+        assert!(
+            auto.mean_throughput >= baseline.mean_throughput,
+            "AutoPipe {} must be at least the static baseline {}",
+            auto.mean_throughput,
+            baseline.mean_throughput
+        );
+    }
+
+    #[test]
+    fn pretrained_meta_net_correlates_with_analytic_truth() {
+        let p = profile();
+        let cfg = AutoPipeConfig::default();
+        let net = pretrain_meta_net(&p, &topo(), &cfg, MetaNetConfig::default(), 400, 60, 9);
+        // Spot-check ranking: balanced two-stage beats absurd split in a
+        // mid-bandwidth environment.
+        let st = ClusterState::new(topo());
+        let model = AnalyticModel {
+            profile: &p,
+            scheme: cfg.scheme,
+            framework: cfg.framework,
+            schedule: cfg.schedule,
+        };
+        let good = Partition {
+            stages: vec![
+                Stage::new(0..6, vec![GpuId(0), GpuId(1)]),
+                Stage::new(6..12, vec![GpuId(2), GpuId(3)]),
+            ],
+            in_flight: 6,
+        };
+        // Same worker budget as `good` (in-distribution for the sampler)
+        // but a badly skewed layer boundary.
+        let bad = Partition {
+            stages: vec![
+                Stage::new(0..1, vec![GpuId(0), GpuId(1)]),
+                Stage::new(1..12, vec![GpuId(2), GpuId(3)]),
+            ],
+            in_flight: 6,
+        };
+        let enc = FeatureEncoder;
+        let mut prof = Profiler::new(&p, 0.0, 4);
+        let seq: Vec<Vec<f64>> = (0..8)
+            .map(|_| {
+                let m = prof.observe(&good.all_workers(), &st);
+                enc.encode_dynamic(&m, &good)
+            })
+            .collect();
+        let stat = |part: &Partition| {
+            let m = crate::metrics::static_metrics_from_profile(&p, part.n_workers());
+            enc.encode_static(&m, part)
+        };
+        let pg = net.predict_throughput(&seq, &stat(&good));
+        let pb = net.predict_throughput(&seq, &stat(&bad));
+        assert!(
+            pg > pb,
+            "meta-net must rank like the analytic model ({} vs {}), truth {} vs {}",
+            pg,
+            pb,
+            model.throughput(&good, &st),
+            model.throughput(&bad, &st)
+        );
+    }
+}

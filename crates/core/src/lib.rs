@@ -1,0 +1,56 @@
+//! # autopipe — self-adaptive configuration of pipeline parallelism
+//!
+//! The reproduction of the paper's contribution (AutoPipe, ICPP'24): a
+//! control layer that keeps a pipeline-parallel training job's work
+//! partition matched to the *current* state of a shared GPU cluster.
+//!
+//! ## Architecture (paper §4)
+//!
+//! ```text
+//!        ┌────────────────────────── AutoPipeController ─────────────────────────┐
+//!        │                                                                       │
+//!  state │  Profiler ──► Table-1 metrics ──► ResourceChangeDetector              │
+//!  every │                     │                     │ confirmed change          │
+//!  iter  │                     ▼                     ▼                           │
+//!        │             MetaNet (LSTM+FC) ◄── two-worker moves (O(L²))            │
+//!        │                     │ predicted speed per candidate                   │
+//!        │                     ▼                                                 │
+//!        │             Arbiter (RL, 32-16 FC) ── switch? ──► fine-grained switch │
+//!        └───────────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! * [`metrics`] — the profiling metrics of Table 1 and their encoding into
+//!   fixed-width feature vectors;
+//! * [`profiler`] — non-intrusive measurement: bandwidth from the last
+//!   iteration's transfers, per-layer times reconstructed from constant
+//!   ratios (§4.2 "Profiling the training");
+//! * [`meta_net`] — the LSTM + fully-connected speed predictor (Figure 7),
+//!   trained offline across environments and adapted online by fine-tuning
+//!   the head (§4.3 "Offline training and online adapting");
+//! * [`switch_cost`] — predicted cost of a partition switch;
+//! * [`arbiter`] — the RL model (two hidden layers, 32 and 16 neurons)
+//!   deciding whether the predicted gain justifies the switch;
+//! * [`controller`] — the closed loop, plus a dynamic-scenario runner that
+//!   produces the paper's speed-vs-iteration curves;
+//! * [`enhanced`] — AutoPipe-enhanced DAPPLE / Chimera / PipeDream-2BW
+//!   (Figure 13).
+
+pub mod arbiter;
+pub mod controller;
+pub mod enhanced;
+pub mod meta_net;
+pub mod multi_job;
+pub mod metrics;
+pub mod profiler;
+pub mod switch_cost;
+
+pub use arbiter::{Arbiter, ArbiterInput, ArbiterMode};
+pub use controller::{
+    AutoPipeConfig, AutoPipeController, ScenarioResult, Scorer, SwitchMode,
+};
+pub use enhanced::enhanced_throughput;
+pub use meta_net::{MetaNet, MetaNetConfig, TrainingSample};
+pub use multi_job::{best_response_rounds, JobSpec, MultiJobEnv, MultiJobOutcome};
+pub use metrics::{FeatureEncoder, ProfilingMetrics, DYNAMIC_DIM, STATIC_DIM};
+pub use profiler::Profiler;
+pub use switch_cost::SwitchCostModel;

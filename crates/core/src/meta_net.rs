@@ -1,0 +1,377 @@
+//! The meta-network: AutoPipe's learned speed predictor (§4.2, Figure 7).
+//!
+//! "We use a long short-term memory (LSTM) block to learn the dynamic
+//! environment, then together with the static inputs and partition
+//! solution, we apply the fully connected layers. Finally, we predict the
+//! training speed."
+//!
+//! Input:  a short sequence of dynamic observations (per-iteration
+//!         bandwidth/compute features) → LSTM → final hidden state,
+//!         concatenated with the static features of a candidate partition.
+//! Output: predicted log training speed (samples/sec).
+//!
+//! Offline training fits the whole network across many synthetic
+//! environments; online adaptation fine-tunes only the fully-connected
+//! head ("employ transfer learning to swiftly adjust the meta-network ...
+//! while minimizing system overhead", §4.3).
+
+use ap_nn::{mse_loss, ActKind, Adam, Lstm, Matrix, Mlp, Optimizer};
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{DYNAMIC_DIM, STATIC_DIM};
+
+/// Meta-network hyper-parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetaNetConfig {
+    /// LSTM hidden width.
+    pub lstm_hidden: usize,
+    /// Hidden layer widths of the fully-connected head.
+    pub head_hidden: Vec<usize>,
+    /// Dynamic-observation sequence length fed to the LSTM.
+    pub seq_len: usize,
+    /// Offline learning rate.
+    pub lr: f64,
+    /// Weight-init seed.
+    pub seed: u64,
+}
+
+impl Default for MetaNetConfig {
+    fn default() -> Self {
+        MetaNetConfig {
+            lstm_hidden: 24,
+            head_hidden: vec![64, 32],
+            seq_len: 8,
+            lr: 3e-3,
+            seed: 7,
+        }
+    }
+}
+
+/// One supervised example for the speed predictor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainingSample {
+    /// Sequence of dynamic observations, oldest first, each `DYNAMIC_DIM`.
+    pub dynamic_seq: Vec<Vec<f64>>,
+    /// Static features of the candidate partition, `STATIC_DIM`.
+    pub static_feat: Vec<f64>,
+    /// Target: natural log of throughput in samples/sec.
+    pub log_throughput: f64,
+}
+
+/// Serializable snapshot of a trained meta-network (§4.3's offline
+/// training produces one of these; deployments load it and adapt online).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetaNetWeights {
+    /// Configuration the network was built with.
+    pub config: MetaNetConfig,
+    /// LSTM gate weights.
+    pub lstm_w: Matrix,
+    /// LSTM gate bias.
+    pub lstm_b: Matrix,
+    /// Fully-connected head weights.
+    pub head: ap_nn::mlp::MlpWeights,
+}
+
+/// The LSTM + fully-connected speed predictor.
+#[derive(Debug, Clone)]
+pub struct MetaNet {
+    lstm: Lstm,
+    head: Mlp,
+    cfg: MetaNetConfig,
+}
+
+impl MetaNet {
+    /// Fresh network.
+    pub fn new(cfg: MetaNetConfig) -> Self {
+        let lstm = Lstm::new(DYNAMIC_DIM, cfg.lstm_hidden, cfg.seed);
+        let mut sizes = vec![cfg.lstm_hidden + STATIC_DIM];
+        sizes.extend(&cfg.head_hidden);
+        sizes.push(1);
+        let head = Mlp::new(&sizes, ActKind::Tanh, cfg.seed.wrapping_add(101));
+        MetaNet { lstm, head, cfg }
+    }
+
+    /// Configuration used to build this network.
+    pub fn config(&self) -> &MetaNetConfig {
+        &self.cfg
+    }
+
+    /// Snapshot the trained weights for persistence.
+    pub fn weights(&self) -> MetaNetWeights {
+        let (lstm_w, lstm_b) = self.lstm.weights();
+        MetaNetWeights {
+            config: self.cfg.clone(),
+            lstm_w,
+            lstm_b,
+            head: self.head.weights(),
+        }
+    }
+
+    /// Rebuild a network from a snapshot.
+    pub fn from_weights(w: &MetaNetWeights) -> Self {
+        let mut net = MetaNet::new(w.config.clone());
+        net.lstm.load(&w.lstm_w, &w.lstm_b);
+        net.head.load(&w.head);
+        net
+    }
+
+    fn seq_matrices(&self, seq: &[Vec<f64>]) -> Vec<Matrix> {
+        assert!(!seq.is_empty(), "empty dynamic sequence");
+        // Trim/pad (repeat oldest) to seq_len.
+        let mut rows: Vec<&Vec<f64>> = Vec::with_capacity(self.cfg.seq_len);
+        for i in 0..self.cfg.seq_len {
+            let idx = if seq.len() >= self.cfg.seq_len {
+                seq.len() - self.cfg.seq_len + i
+            } else {
+                i.min(seq.len() - 1)
+            };
+            rows.push(&seq[idx]);
+        }
+        rows.iter()
+            .map(|r| {
+                assert_eq!(r.len(), DYNAMIC_DIM, "dynamic width mismatch");
+                Matrix::row_vector((*r).clone())
+            })
+            .collect()
+    }
+
+    /// Predict log throughput for one (environment history, candidate).
+    pub fn predict(&self, dynamic_seq: &[Vec<f64>], static_feat: &[f64]) -> f64 {
+        assert_eq!(static_feat.len(), STATIC_DIM, "static width mismatch");
+        let h = self.lstm.forward_inference(&self.seq_matrices(dynamic_seq));
+        let x = h.hcat(&Matrix::row_vector(static_feat.to_vec()));
+        self.head.forward_inference(&x).get(0, 0)
+    }
+
+    /// Predict throughput in samples/sec.
+    pub fn predict_throughput(&self, dynamic_seq: &[Vec<f64>], static_feat: &[f64]) -> f64 {
+        self.predict(dynamic_seq, static_feat).exp()
+    }
+
+    fn step_one(&mut self, s: &TrainingSample, opt: &mut Adam, head_only: bool) -> f64 {
+        let seq = self.seq_matrices(&s.dynamic_seq);
+        let h = self.lstm.forward(&seq);
+        let x = h.hcat(&Matrix::row_vector(s.static_feat.clone()));
+        let y = self.head.forward(&x);
+        let target = Matrix::row_vector(vec![s.log_throughput]);
+        let (loss, grad) = mse_loss(&y, &target);
+        let gx = self.head.backward(&grad);
+        if head_only {
+            let mut params = self.head.head_params_mut(1);
+            opt.step(&mut params);
+            self.head.zero_grad();
+        } else {
+            let (gh, _) = gx.hsplit(self.cfg.lstm_hidden);
+            let _ = self.lstm.backward(&gh);
+            let mut params = self.head.params_mut();
+            params.extend(self.lstm.params_mut());
+            opt.step(&mut params);
+            // Zero grads for the next sample.
+            self.head.zero_grad();
+            for p in self.lstm.params_mut() {
+                p.zero_grad();
+            }
+        }
+        loss
+    }
+
+    /// Offline training over the full sample set; returns the mean loss of
+    /// the final epoch.
+    pub fn train(&mut self, samples: &[TrainingSample], epochs: usize, seed: u64) -> f64 {
+        assert!(!samples.is_empty(), "no training samples");
+        let mut opt = Adam::new(self.cfg.lr);
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut last = f64::INFINITY;
+        for _ in 0..epochs {
+            order.shuffle(&mut rng);
+            let mut total = 0.0;
+            for &i in &order {
+                total += self.step_one(&samples[i], &mut opt, false);
+            }
+            last = total / samples.len() as f64;
+        }
+        last
+    }
+
+    /// Online adaptation: a few head-only gradient steps on fresh
+    /// measurements from the *current* environment (transfer learning).
+    pub fn adapt_online(&mut self, samples: &[TrainingSample], steps: usize) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let mut opt = Adam::new(self.cfg.lr * 3.0);
+        let mut last = 0.0;
+        for k in 0..steps {
+            let s = &samples[k % samples.len()];
+            last = self.step_one(s, &mut opt, true);
+        }
+        last
+    }
+
+    /// Mean squared error on a held-out set (log space).
+    pub fn evaluate(&self, samples: &[TrainingSample]) -> f64 {
+        samples
+            .iter()
+            .map(|s| {
+                let d = self.predict(&s.dynamic_seq, &s.static_feat) - s.log_throughput;
+                d * d
+            })
+            .sum::<f64>()
+            / samples.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Synthetic ground truth: speed depends on bandwidth history and how
+    /// balanced the candidate's work shares are — loosely the real task.
+    fn synth_sample(rng: &mut ChaCha8Rng) -> TrainingSample {
+        let bw: f64 = rng.gen_range(0.05..1.0);
+        let balance: f64 = rng.gen_range(0.5..1.0);
+        let mut dyn_seq = Vec::new();
+        for _ in 0..6 {
+            let mut v = vec![0.0; DYNAMIC_DIM];
+            for slot in 0..2 {
+                v[slot * 2] = bw * rng.gen_range(0.95..1.05);
+                v[slot * 2 + 1] = rng.gen_range(0.8..1.0);
+            }
+            dyn_seq.push(v);
+        }
+        let mut st = vec![0.0; STATIC_DIM];
+        st[0] = balance; // stage-0 work share
+        st[4] = 1.0 - balance;
+        st[3] = 0.5;
+        st[7] = 0.5;
+        let speed = 80.0 * bw.powf(0.5) * (1.0 - (balance - 0.5).abs());
+        TrainingSample {
+            dynamic_seq: dyn_seq,
+            static_feat: st,
+            log_throughput: speed.ln(),
+        }
+    }
+
+    #[test]
+    fn learns_a_synthetic_speed_function() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let train: Vec<_> = (0..300).map(|_| synth_sample(&mut rng)).collect();
+        let test: Vec<_> = (0..50).map(|_| synth_sample(&mut rng)).collect();
+        let mut net = MetaNet::new(MetaNetConfig {
+            seq_len: 6,
+            ..MetaNetConfig::default()
+        });
+        let before = net.evaluate(&test);
+        let final_loss = net.train(&train, 40, 99);
+        let after = net.evaluate(&test);
+        assert!(final_loss < before, "training reduced loss");
+        assert!(
+            after < before * 0.2,
+            "generalization: {before:.4} -> {after:.4}"
+        );
+    }
+
+    #[test]
+    fn ranks_balanced_partitions_above_skewed_ones() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let train: Vec<_> = (0..400).map(|_| synth_sample(&mut rng)).collect();
+        let mut net = MetaNet::new(MetaNetConfig {
+            seq_len: 6,
+            ..MetaNetConfig::default()
+        });
+        net.train(&train, 50, 3);
+        let dyn_seq: Vec<Vec<f64>> = (0..6)
+            .map(|_| {
+                let mut v = vec![0.0; DYNAMIC_DIM];
+                v[0] = 0.5;
+                v[1] = 0.9;
+                v[2] = 0.5;
+                v[3] = 0.9;
+                v
+            })
+            .collect();
+        let mk = |balance: f64| {
+            let mut st = vec![0.0; STATIC_DIM];
+            st[0] = balance;
+            st[4] = 1.0 - balance;
+            st[3] = 0.5;
+            st[7] = 0.5;
+            st
+        };
+        let good = net.predict(&dyn_seq, &mk(0.55));
+        let bad = net.predict(&dyn_seq, &mk(0.95));
+        assert!(good > bad, "balanced {good} should beat skewed {bad}");
+    }
+
+    #[test]
+    fn online_adaptation_improves_shifted_environment() {
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let train: Vec<_> = (0..300).map(|_| synth_sample(&mut rng)).collect();
+        let mut net = MetaNet::new(MetaNetConfig {
+            seq_len: 6,
+            ..MetaNetConfig::default()
+        });
+        net.train(&train, 30, 11);
+        // Environment shift: every true speed drops 40% (e.g. a slower
+        // framework stack).
+        let shifted: Vec<TrainingSample> = (0..60)
+            .map(|_| {
+                let mut s = synth_sample(&mut rng);
+                s.log_throughput += (0.6f64).ln();
+                s
+            })
+            .collect();
+        let before = net.evaluate(&shifted);
+        net.adapt_online(&shifted[..40], 200);
+        let after = net.evaluate(&shifted[40..]);
+        assert!(
+            after < before * 0.7,
+            "adaptation: {before:.4} -> {after:.4}"
+        );
+    }
+
+    #[test]
+    fn short_histories_are_padded() {
+        let net = MetaNet::new(MetaNetConfig::default());
+        let one = vec![vec![0.5; DYNAMIC_DIM]];
+        let st = vec![0.1; STATIC_DIM];
+        let y = net.predict(&one, &st);
+        assert!(y.is_finite());
+        // Padding repeats the oldest row: identical to an 8-long history
+        // of the same vector.
+        let eight = vec![vec![0.5; DYNAMIC_DIM]; 8];
+        assert!((net.predict(&eight, &st) - y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_snapshot_round_trips() {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let train: Vec<_> = (0..80).map(|_| synth_sample(&mut rng)).collect();
+        let mut net = MetaNet::new(MetaNetConfig {
+            seq_len: 6,
+            ..MetaNetConfig::default()
+        });
+        net.train(&train, 5, 1);
+        let snap = net.weights();
+        // Serialize through JSON-ish serde round trip (serde_json not a
+        // dep here; use bincode-free check via clone+rebuild).
+        let rebuilt = MetaNet::from_weights(&snap);
+        let s = &train[0];
+        let a = net.predict(&s.dynamic_seq, &s.static_feat);
+        let b = rebuilt.predict(&s.dynamic_seq, &s.static_feat);
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "static width mismatch")]
+    fn wrong_static_width_panics() {
+        let net = MetaNet::new(MetaNetConfig::default());
+        let _ = net.predict(&[vec![0.0; DYNAMIC_DIM]], &[0.0; 3]);
+    }
+}

@@ -1,0 +1,308 @@
+//! The profiling metrics of Table 1 and their feature encoding.
+//!
+//! | Symbol | Shape | Meaning |
+//! |--------|-------|---------|
+//! | `L`    | 1     | total number of layers |
+//! | `N`    | 1     | total number of workers |
+//! | `O_i`  | L×1   | output-activation bytes of layer i |
+//! | `G_i`  | L×1   | input-gradient bytes of layer i |
+//! | `P_i`  | L×1   | weight-parameter bytes of layer i |
+//! | `B_i`  | N×1   | available bandwidth of worker i |
+//! | `FP_ij`| N×L   | forward time of layer j on worker i |
+//! | `BP_ij`| N×L   | backward time of layer j on worker i |
+//!
+//! The meta-network consumes these through [`FeatureEncoder`], which folds
+//! the variable-size metrics and a candidate partition into fixed-width
+//! vectors (padded/pooled per stage), so one trained network serves every
+//! model and cluster size — the "generic knowledge from various
+//! environments" §4.2 asks of meta-learning.
+
+use ap_models::ModelProfile;
+use ap_pipesim::Partition;
+use serde::{Deserialize, Serialize};
+
+/// Maximum stages the encoder represents; larger partitions pool into the
+/// last slot.
+pub const MAX_STAGES: usize = 8;
+
+/// Width of the static feature vector (per-stage block + globals).
+pub const STATIC_DIM: usize = MAX_STAGES * 5 + 3;
+
+/// Width of one dynamic observation vector.
+pub const DYNAMIC_DIM: usize = MAX_STAGES * 2;
+
+/// Bandwidth normalizer: 100 Gbps in bytes/s.
+const BW_NORM: f64 = 12.5e9;
+
+/// The Table 1 metric set for one job at one instant.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfilingMetrics {
+    /// `L`.
+    pub n_layers: usize,
+    /// `N`.
+    pub n_workers: usize,
+    /// `O_i`, bytes per mini-batch.
+    pub out_bytes: Vec<f64>,
+    /// `G_i`, bytes per mini-batch (same tensor shapes as `O_i`).
+    pub grad_bytes: Vec<f64>,
+    /// `P_i`, bytes.
+    pub param_bytes: Vec<f64>,
+    /// `B_i`, bytes/s per worker (order matches `Partition::all_workers`).
+    pub bandwidth: Vec<f64>,
+    /// `FP_ij`, seconds, `[worker][layer]`.
+    pub fp_time: Vec<Vec<f64>>,
+    /// `BP_ij`, seconds, `[worker][layer]`.
+    pub bp_time: Vec<Vec<f64>>,
+}
+
+impl ProfilingMetrics {
+    /// Structural sanity check.
+    pub fn validate(&self) -> Result<(), String> {
+        let (l, n) = (self.n_layers, self.n_workers);
+        if self.out_bytes.len() != l || self.grad_bytes.len() != l || self.param_bytes.len() != l {
+            return Err("per-layer metric length != L".into());
+        }
+        if self.bandwidth.len() != n {
+            return Err("bandwidth length != N".into());
+        }
+        if self.fp_time.len() != n || self.bp_time.len() != n {
+            return Err("time matrices need N rows".into());
+        }
+        if self.fp_time.iter().chain(&self.bp_time).any(|r| r.len() != l) {
+            return Err("time matrices need L columns".into());
+        }
+        Ok(())
+    }
+
+    /// Total fwd+bwd seconds layer range `lo..hi` costs on worker `w`.
+    pub fn range_time_on(&self, w: usize, lo: usize, hi: usize) -> f64 {
+        self.fp_time[w][lo..hi].iter().sum::<f64>() + self.bp_time[w][lo..hi].iter().sum::<f64>()
+    }
+
+    /// Relative speed of worker `w` in (0, 1]: the fastest worker's whole-
+    /// model time over this worker's.
+    pub fn relative_speed(&self, w: usize) -> f64 {
+        let l = self.n_layers;
+        let mine = self.range_time_on(w, 0, l);
+        let best = (0..self.n_workers)
+            .map(|u| self.range_time_on(u, 0, l))
+            .fold(f64::INFINITY, f64::min);
+        if mine <= 0.0 {
+            1.0
+        } else {
+            (best / mine).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// Folds metrics + a candidate partition into the meta-network's inputs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FeatureEncoder;
+
+impl FeatureEncoder {
+    /// Map a stage index onto the fixed grid (overflow pools into the last
+    /// slot).
+    fn slot(stage: usize) -> usize {
+        stage.min(MAX_STAGES - 1)
+    }
+
+    /// Static features of `(metrics, partition)`: per-stage work share,
+    /// parameter share, cut traffic share, worker share — plus global
+    /// scale terms.
+    pub fn encode_static(&self, m: &ProfilingMetrics, p: &Partition) -> Vec<f64> {
+        debug_assert!(m.validate().is_ok());
+        let mut f = vec![0.0; STATIC_DIM];
+        // Mean per-layer time across workers as the work proxy.
+        let layer_work = |j: usize| -> f64 {
+            let n = m.n_workers as f64;
+            (0..m.n_workers)
+                .map(|w| m.fp_time[w][j] + m.bp_time[w][j])
+                .sum::<f64>()
+                / n
+        };
+        let total_work: f64 = (0..m.n_layers).map(layer_work).sum();
+        let total_params: f64 = m.param_bytes.iter().sum();
+        let total_out: f64 = m.out_bytes.iter().sum();
+        let total_workers = p.n_workers() as f64;
+        for (s, st) in p.stages.iter().enumerate() {
+            let k = Self::slot(s);
+            let work: f64 = st.layers.clone().map(layer_work).sum();
+            let params: f64 = st.layers.clone().map(|j| m.param_bytes[j]).sum();
+            let cut = if st.layers.end < m.n_layers {
+                m.out_bytes[st.layers.end - 1]
+            } else {
+                0.0
+            };
+            let work_share = work / total_work.max(1e-30);
+            let worker_share = st.workers.len() as f64 / total_workers;
+            f[k * 5] += work_share;
+            f[k * 5 + 1] += params / total_params.max(1e-30);
+            f[k * 5 + 2] += cut / total_out.max(1e-30);
+            f[k * 5 + 3] += worker_share;
+            // Per-worker load: the feature the bottleneck stage maximizes.
+            f[k * 5 + 4] += (work_share / worker_share.max(1e-9)).min(4.0) / 4.0;
+        }
+        let base = MAX_STAGES * 5;
+        f[base] = (m.n_layers as f64).ln() / 5.0;
+        f[base + 1] = (m.n_workers as f64).ln() / 4.0;
+        f[base + 2] = p.in_flight as f64 / total_workers.max(1.0);
+        f
+    }
+
+    /// One dynamic observation: per-stage mean available bandwidth and
+    /// mean relative compute speed.
+    pub fn encode_dynamic(&self, m: &ProfilingMetrics, p: &Partition) -> Vec<f64> {
+        debug_assert!(m.validate().is_ok());
+        let mut f = vec![0.0; DYNAMIC_DIM];
+        // Workers are indexed in `all_workers` order.
+        let mut wi = 0usize;
+        for (s, st) in p.stages.iter().enumerate() {
+            let k = Self::slot(s);
+            let n = st.workers.len() as f64;
+            let mut bw = 0.0;
+            let mut speed = 0.0;
+            for _ in 0..st.workers.len() {
+                bw += m.bandwidth[wi] / BW_NORM;
+                speed += m.relative_speed(wi);
+                wi += 1;
+            }
+            f[k * 2] += bw / n;
+            f[k * 2 + 1] += speed / n;
+        }
+        f
+    }
+}
+
+/// Build the static half of Table 1 directly from a model profile.
+///
+/// Per-layer FP/BP times are filled at a reference device speed so the
+/// encoder's *work-share* features are meaningful even before any runtime
+/// measurement (the paper's "ratios are almost constant" observation makes
+/// shares device-independent).
+pub fn static_metrics_from_profile(profile: &ModelProfile, n_workers: usize) -> ProfilingMetrics {
+    const REF_FLOPS: f64 = 9.3e12; // one exclusive P100
+    let fp: Vec<f64> = (0..profile.n_layers())
+        .map(|j| profile.fp_time(j, REF_FLOPS))
+        .collect();
+    let bp: Vec<f64> = (0..profile.n_layers())
+        .map(|j| profile.bp_time(j, REF_FLOPS))
+        .collect();
+    ProfilingMetrics {
+        n_layers: profile.n_layers(),
+        n_workers,
+        out_bytes: profile.out_bytes.clone(),
+        grad_bytes: profile.grad_bytes.clone(),
+        param_bytes: profile.param_bytes.clone(),
+        bandwidth: vec![0.0; n_workers],
+        fp_time: vec![fp; n_workers],
+        bp_time: vec![bp; n_workers],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ap_cluster::GpuId;
+    use ap_pipesim::Stage;
+
+    fn metrics() -> ProfilingMetrics {
+        let l = 6;
+        let n = 3;
+        ProfilingMetrics {
+            n_layers: l,
+            n_workers: n,
+            out_bytes: vec![10.0, 20.0, 30.0, 20.0, 10.0, 5.0],
+            grad_bytes: vec![10.0, 20.0, 30.0, 20.0, 10.0, 5.0],
+            param_bytes: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            bandwidth: vec![12.5e9, 6.25e9, 12.5e9],
+            fp_time: vec![vec![0.01; l], vec![0.02; l], vec![0.01; l]],
+            bp_time: vec![vec![0.02; l], vec![0.04; l], vec![0.02; l]],
+        }
+    }
+
+    fn partition() -> Partition {
+        Partition {
+            stages: vec![
+                Stage::new(0..3, vec![GpuId(0), GpuId(1)]),
+                Stage::new(3..6, vec![GpuId(2)]),
+            ],
+            in_flight: 2,
+        }
+    }
+
+    #[test]
+    fn validation_catches_shape_errors() {
+        let mut m = metrics();
+        assert!(m.validate().is_ok());
+        m.bandwidth.pop();
+        assert!(m.validate().is_err());
+        let mut m2 = metrics();
+        m2.fp_time[1].pop();
+        assert!(m2.validate().is_err());
+    }
+
+    #[test]
+    fn static_features_have_fixed_width_and_partition_shares() {
+        let enc = FeatureEncoder;
+        let f = enc.encode_static(&metrics(), &partition());
+        assert_eq!(f.len(), STATIC_DIM);
+        // Work shares of the two stages sum to 1.
+        let share0 = f[0];
+        let share1 = f[5];
+        assert!((share0 + share1 - 1.0).abs() < 1e-9);
+        // Worker shares: 2/3 and 1/3.
+        assert!((f[3] - 2.0 / 3.0).abs() < 1e-9);
+        assert!((f[8] - 1.0 / 3.0).abs() < 1e-9);
+        // Per-worker load of stage 0: (0.5 work)/(2/3 workers)/4.
+        assert!((f[4] - (share0 / (2.0 / 3.0)) / 4.0).abs() < 1e-9);
+        // Unused stage slots stay zero.
+        assert!(f[10..MAX_STAGES * 5].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn dynamic_features_reflect_bandwidth_and_speed() {
+        let enc = FeatureEncoder;
+        let f = enc.encode_dynamic(&metrics(), &partition());
+        assert_eq!(f.len(), DYNAMIC_DIM);
+        // Stage 0: workers 0 (100G, fast) and 1 (50G, half speed).
+        assert!((f[0] - (1.0 + 0.5) / 2.0).abs() < 1e-9);
+        assert!((f[1] - (1.0 + 0.5) / 2.0).abs() < 1e-9);
+        // Stage 1: worker 2 (100G, fast).
+        assert!((f[2] - 1.0).abs() < 1e-9);
+        assert!((f[3] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relative_speed_is_one_for_fastest() {
+        let m = metrics();
+        assert_eq!(m.relative_speed(0), 1.0);
+        assert!((m.relative_speed(1) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deep_partitions_pool_into_last_slot() {
+        let l = 20;
+        let n = 10;
+        let m = ProfilingMetrics {
+            n_layers: l,
+            n_workers: n,
+            out_bytes: vec![1.0; l],
+            grad_bytes: vec![1.0; l],
+            param_bytes: vec![1.0; l],
+            bandwidth: vec![12.5e9; n],
+            fp_time: vec![vec![0.01; l]; n],
+            bp_time: vec![vec![0.02; l]; n],
+        };
+        let p = Partition {
+            stages: (0..10)
+                .map(|s| Stage::new(s * 2..(s + 1) * 2, vec![GpuId(s)]))
+                .collect(),
+            in_flight: 10,
+        };
+        let enc = FeatureEncoder;
+        let f = enc.encode_static(&m, &p);
+        assert_eq!(f.len(), STATIC_DIM);
+        // 3 stages pooled into the final slot: its worker share is 3/10.
+        assert!((f[(MAX_STAGES - 1) * 5 + 3] - 0.3).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,211 @@
+//! Switching-cost prediction.
+//!
+//! §4.3: "The reward function is the training speed of one iteration. We
+//! consider the normalized switching cost in this case. To calculate the
+//! switching cost, we apply a similar meta-network as the speed prediction
+//! model." We provide both the learned predictor (a small MLP over the
+//! switch plan's features) and the analytic ground truth it is trained on.
+
+use ap_cluster::ClusterState;
+use ap_models::ModelProfile;
+use ap_nn::{mse_loss, ActKind, Adam, Matrix, Mlp, Optimizer};
+use ap_pipesim::{fine_grained_cost, ScheduleKind, SwitchPlan, Partition};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Feature width of the cost predictor.
+pub const COST_FEATURES: usize = 5;
+
+/// Learned + analytic switching-cost model.
+#[derive(Debug, Clone)]
+pub struct SwitchCostModel {
+    net: Mlp,
+    trained: bool,
+}
+
+impl Default for SwitchCostModel {
+    fn default() -> Self {
+        Self::new(3)
+    }
+}
+
+impl SwitchCostModel {
+    /// Fresh model.
+    pub fn new(seed: u64) -> Self {
+        SwitchCostModel {
+            net: Mlp::new(&[COST_FEATURES, 16, 8, 1], ActKind::Tanh, seed),
+            trained: false,
+        }
+    }
+
+    /// Features of a prospective switch: transfer volume, layer count,
+    /// available bandwidth, pipeline slack, iteration time (all in rough
+    /// log/normalized scales).
+    pub fn features(
+        plan: &SwitchPlan,
+        iteration_time: f64,
+        partition: &Partition,
+        state: &ClusterState,
+    ) -> [f64; COST_FEATURES] {
+        let bw = plan
+            .affected_workers
+            .iter()
+            .map(|&w| ap_pipesim::sync::worker_bandwidth(w, state))
+            .fold(f64::INFINITY, f64::min);
+        [
+            (plan.transfer_bytes.max(1.0)).ln() / 25.0,
+            plan.moved_layers.len() as f64 / 32.0,
+            (bw.max(1.0)).ln() / 25.0,
+            (partition.in_flight as f64).ln().max(0.0) / 3.0,
+            (iteration_time.max(1e-6)).ln() / 10.0,
+        ]
+    }
+
+    /// Analytic ground truth: the fine-grained switching cost in seconds.
+    pub fn analytic(
+        plan: &SwitchPlan,
+        iteration_time: f64,
+        partition: &Partition,
+        state: &ClusterState,
+    ) -> f64 {
+        fine_grained_cost(plan, iteration_time, partition, state)
+    }
+
+    /// Predict the cost in seconds (falls back to analytic until trained).
+    pub fn predict(
+        &self,
+        plan: &SwitchPlan,
+        iteration_time: f64,
+        partition: &Partition,
+        state: &ClusterState,
+    ) -> f64 {
+        if !self.trained || plan.is_noop() {
+            return Self::analytic(plan, iteration_time, partition, state);
+        }
+        let f = Self::features(plan, iteration_time, partition, state);
+        let y = self
+            .net
+            .forward_inference(&Matrix::row_vector(f.to_vec()))
+            .get(0, 0);
+        y.exp() - 1e-3
+    }
+
+    /// Fit the predictor on `(features, cost)` pairs harvested from
+    /// simulated switches. Targets are log-scaled.
+    pub fn train(&mut self, data: &[([f64; COST_FEATURES], f64)], epochs: usize, seed: u64) -> f64 {
+        assert!(!data.is_empty(), "no cost samples");
+        let mut opt = Adam::new(3e-3);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut last = f64::INFINITY;
+        for _ in 0..epochs {
+            let mut total = 0.0;
+            for _ in 0..data.len() {
+                let (f, c) = &data[rng.gen_range(0..data.len())];
+                self.net.zero_grad();
+                let y = self.net.forward(&Matrix::row_vector(f.to_vec()));
+                let t = Matrix::row_vector(vec![(c + 1e-3).ln()]);
+                let (l, g) = mse_loss(&y, &t);
+                self.net.backward(&g);
+                opt.step(&mut self.net.params_mut());
+                total += l;
+            }
+            last = total / data.len() as f64;
+        }
+        self.trained = true;
+        last
+    }
+
+    /// Harvest training data for the cost net by diffing random partition
+    /// pairs and pricing them analytically.
+    pub fn harvest(
+        profile: &ModelProfile,
+        pairs: &[(Partition, Partition)],
+        iteration_time: f64,
+        state: &ClusterState,
+        schedule: ScheduleKind,
+    ) -> Vec<([f64; COST_FEATURES], f64)> {
+        pairs
+            .iter()
+            .map(|(a, b)| {
+                let plan = SwitchPlan::between(a, b, profile, schedule);
+                let f = Self::features(&plan, iteration_time, a, state);
+                let c = Self::analytic(&plan, iteration_time, a, state);
+                (f, c)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ap_cluster::gpu::GpuKind;
+    use ap_cluster::{ClusterTopology, GpuId};
+    use ap_models::{synthetic_uniform, ModelProfile};
+    use ap_pipesim::Stage;
+
+    fn setup() -> (ClusterState, ModelProfile) {
+        let topo = ClusterTopology::single_switch(4, 1, GpuKind::P100, 25.0);
+        let profile = ModelProfile::with_batch(&synthetic_uniform(10, 1e9, 4e6, 20e6), 32);
+        (ClusterState::new(topo), profile)
+    }
+
+    fn part(split: usize) -> Partition {
+        Partition {
+            stages: vec![
+                Stage::new(0..split, vec![GpuId(0)]),
+                Stage::new(split..10, vec![GpuId(1)]),
+            ],
+            in_flight: 2,
+        }
+    }
+
+    #[test]
+    fn untrained_model_falls_back_to_analytic() {
+        let (st, p) = setup();
+        let m = SwitchCostModel::new(1);
+        let plan = SwitchPlan::between(&part(5), &part(7), &p, ScheduleKind::PipeDreamAsync);
+        let a = m.predict(&plan, 0.1, &part(5), &st);
+        let b = SwitchCostModel::analytic(&plan, 0.1, &part(5), &st);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trained_model_approximates_analytic_cost() {
+        let (st, p) = setup();
+        let pairs: Vec<(Partition, Partition)> = (1..10)
+            .flat_map(|a| (1..10).map(move |b| (part(a), part(b))))
+            .filter(|(a, b)| a != b)
+            .collect();
+        let data = SwitchCostModel::harvest(&p, &pairs, 0.1, &st, ScheduleKind::PipeDreamAsync);
+        let mut m = SwitchCostModel::new(2);
+        m.train(&data, 300, 5);
+        let plan = SwitchPlan::between(&part(3), &part(8), &p, ScheduleKind::PipeDreamAsync);
+        let truth = SwitchCostModel::analytic(&plan, 0.1, &part(3), &st);
+        let pred = m.predict(&plan, 0.1, &part(3), &st);
+        let rel = (pred - truth).abs() / truth.max(1e-6);
+        assert!(rel < 0.5, "pred {pred} vs truth {truth}");
+    }
+
+    #[test]
+    fn noop_plan_costs_zero_even_when_trained() {
+        let (st, p) = setup();
+        let mut m = SwitchCostModel::new(3);
+        let pairs = vec![(part(3), part(6))];
+        let data = SwitchCostModel::harvest(&p, &pairs, 0.1, &st, ScheduleKind::PipeDreamAsync);
+        m.train(&data, 10, 1);
+        let noop = SwitchPlan::between(&part(5), &part(5), &p, ScheduleKind::PipeDreamAsync);
+        assert_eq!(m.predict(&noop, 0.1, &part(5), &st), 0.0);
+    }
+
+    #[test]
+    fn bigger_moves_cost_more() {
+        let (st, p) = setup();
+        let small = SwitchPlan::between(&part(5), &part(6), &p, ScheduleKind::PipeDreamAsync);
+        let large = SwitchPlan::between(&part(5), &part(9), &p, ScheduleKind::PipeDreamAsync);
+        let cs = SwitchCostModel::analytic(&small, 0.01, &part(5), &st);
+        let cl = SwitchCostModel::analytic(&large, 0.01, &part(5), &st);
+        assert!(cl > cs);
+    }
+}

@@ -1,0 +1,196 @@
+//! Layer descriptors and shape math.
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes per f32 element.
+const F32: f64 = 4.0;
+
+/// Broad layer families; each has a GPU-efficiency coefficient (achieved
+/// fraction of peak FLOP/s — dense GEMM-backed layers run close to peak,
+/// memory-bound ones far below).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// 2-D convolution.
+    Conv,
+    /// Fully connected / linear.
+    Fc,
+    /// Pooling (max or average).
+    Pool,
+    /// Normalization (batch/layer norm) and activations, fused.
+    Norm,
+    /// Token + position embedding lookup.
+    Embed,
+    /// A full transformer encoder block (attention + MLP).
+    Transformer,
+}
+
+impl LayerKind {
+    /// Fraction of peak FLOP/s this layer family achieves in practice.
+    pub fn efficiency(self) -> f64 {
+        match self {
+            LayerKind::Conv => 0.55,
+            LayerKind::Fc => 0.70,
+            LayerKind::Pool => 0.10,
+            LayerKind::Norm => 0.08,
+            LayerKind::Embed => 0.05,
+            LayerKind::Transformer => 0.62,
+        }
+    }
+}
+
+/// One partitionable layer: the unit PipeDream/AutoPipe assign to stages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerDesc {
+    /// Human-readable name, e.g. `conv3_2` or `block12`.
+    pub name: String,
+    /// Layer family (sets GPU efficiency).
+    pub kind: LayerKind,
+    /// Forward FLOPs **per sample**.
+    pub flops_fwd: f64,
+    /// Output activation bytes **per sample** (= input-gradient bytes of
+    /// the backward pass across the same cut, `O_i = G_i`).
+    pub out_bytes: f64,
+    /// Weight parameter bytes (includes biases).
+    pub param_bytes: f64,
+}
+
+impl LayerDesc {
+    /// Backward FLOPs per sample. The standard estimate is 2x forward (one
+    /// GEMM for the input gradient, one for the weight gradient); the
+    /// paper's Figure 2 uses the same 2:1 ratio.
+    pub fn flops_bwd(&self) -> f64 {
+        2.0 * self.flops_fwd
+    }
+
+    /// A convolution layer: `cin`x`h`x`w` input, `cout` filters of size
+    /// `k`x`k`, stride `s`, padding `p`. Returns the layer and the output
+    /// spatial size `(cout, h_out, w_out)`.
+    #[allow(clippy::too_many_arguments)] // a conv has exactly these dims
+    pub fn conv(
+        name: &str,
+        cin: usize,
+        h: usize,
+        w: usize,
+        cout: usize,
+        k: usize,
+        s: usize,
+        p: usize,
+    ) -> (Self, (usize, usize, usize)) {
+        let h_out = (h + 2 * p - k) / s + 1;
+        let w_out = (w + 2 * p - k) / s + 1;
+        let flops = 2.0 * (k * k * cin * cout * h_out * w_out) as f64;
+        let layer = LayerDesc {
+            name: name.to_string(),
+            kind: LayerKind::Conv,
+            flops_fwd: flops,
+            out_bytes: (cout * h_out * w_out) as f64 * F32,
+            param_bytes: ((k * k * cin + 1) * cout) as f64 * F32,
+        };
+        (layer, (cout, h_out, w_out))
+    }
+
+    /// A pooling layer over a `k`x`k` window with stride `s`.
+    pub fn pool(name: &str, c: usize, h: usize, w: usize, k: usize, s: usize) -> (Self, (usize, usize, usize)) {
+        let h_out = (h - k) / s + 1;
+        let w_out = (w - k) / s + 1;
+        let layer = LayerDesc {
+            name: name.to_string(),
+            kind: LayerKind::Pool,
+            flops_fwd: (c * h_out * w_out * k * k) as f64,
+            out_bytes: (c * h_out * w_out) as f64 * F32,
+            param_bytes: 0.0,
+        };
+        (layer, (c, h_out, w_out))
+    }
+
+    /// A fully connected layer `d_in -> d_out`.
+    pub fn fc(name: &str, d_in: usize, d_out: usize) -> Self {
+        LayerDesc {
+            name: name.to_string(),
+            kind: LayerKind::Fc,
+            flops_fwd: 2.0 * (d_in * d_out) as f64,
+            out_bytes: d_out as f64 * F32,
+            param_bytes: ((d_in + 1) * d_out) as f64 * F32,
+        }
+    }
+
+    /// A transformer encoder block with hidden size `h`, sequence length
+    /// `seq` and MLP expansion 4x. FLOPs per sample:
+    /// attention projections `8*seq*h^2`, attention scores `4*seq^2*h`,
+    /// MLP `16*seq*h^2`.
+    pub fn transformer_block(name: &str, hidden: usize, seq: usize) -> Self {
+        let h = hidden as f64;
+        let s = seq as f64;
+        LayerDesc {
+            name: name.to_string(),
+            kind: LayerKind::Transformer,
+            flops_fwd: 24.0 * s * h * h + 4.0 * s * s * h,
+            out_bytes: s * h * F32,
+            param_bytes: 12.0 * h * h * F32,
+        }
+    }
+
+    /// Token/position embedding with vocabulary `vocab`, hidden `h`, length
+    /// `seq`.
+    pub fn embedding(name: &str, vocab: usize, hidden: usize, seq: usize) -> Self {
+        LayerDesc {
+            name: name.to_string(),
+            kind: LayerKind::Embed,
+            flops_fwd: (seq * hidden) as f64, // lookup + add, cheap
+            out_bytes: (seq * hidden) as f64 * F32,
+            param_bytes: ((vocab + seq) * hidden) as f64 * F32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shape_math_matches_alexnet_conv1() {
+        // AlexNet conv1: 3x227x227 in, 96 filters 11x11 stride 4 -> 96x55x55.
+        let (l, shape) = LayerDesc::conv("conv1", 3, 227, 227, 96, 11, 4, 0);
+        assert_eq!(shape, (96, 55, 55));
+        // Params: (11*11*3+1)*96 floats.
+        assert_eq!(l.param_bytes, ((11 * 11 * 3 + 1) * 96) as f64 * 4.0);
+        // FLOPs: 2*11*11*3*96*55*55.
+        assert_eq!(l.flops_fwd, 2.0 * (11 * 11 * 3 * 96 * 55 * 55) as f64);
+        assert_eq!(l.out_bytes, (96 * 55 * 55) as f64 * 4.0);
+    }
+
+    #[test]
+    fn conv_padding_preserves_size() {
+        let (_, shape) = LayerDesc::conv("c", 64, 56, 56, 64, 3, 1, 1);
+        assert_eq!(shape, (64, 56, 56));
+    }
+
+    #[test]
+    fn fc_math() {
+        let l = LayerDesc::fc("fc6", 9216, 4096);
+        assert_eq!(l.flops_fwd, 2.0 * 9216.0 * 4096.0);
+        assert_eq!(l.param_bytes, (9217 * 4096) as f64 * 4.0);
+        assert_eq!(l.out_bytes, 4096.0 * 4.0);
+    }
+
+    #[test]
+    fn backward_is_twice_forward() {
+        let l = LayerDesc::fc("f", 128, 64);
+        assert_eq!(l.flops_bwd(), 2.0 * l.flops_fwd);
+    }
+
+    #[test]
+    fn transformer_block_dominated_by_gemms() {
+        let l = LayerDesc::transformer_block("b0", 1024, 128);
+        // 24*s*h^2 term: 24*128*1024^2 ≈ 3.2e9; s^2 term much smaller here.
+        assert!(l.flops_fwd > 3.0e9);
+        assert_eq!(l.param_bytes, 12.0 * 1024.0 * 1024.0 * 4.0);
+    }
+
+    #[test]
+    fn efficiency_ordering_is_sane() {
+        assert!(LayerKind::Fc.efficiency() > LayerKind::Conv.efficiency());
+        assert!(LayerKind::Conv.efficiency() > LayerKind::Pool.efficiency());
+        assert!(LayerKind::Pool.efficiency() > LayerKind::Embed.efficiency());
+    }
+}

@@ -1,0 +1,29 @@
+//! # ap-models — DNN model zoo
+//!
+//! Per-layer compute and communication profiles for the networks the paper
+//! evaluates: **VGG16**, **ResNet50**, **AlexNet** (§5.1, ImageNet-format
+//! input) and **BERT-48** (§5.3, Figure 13). Each model is a sequence of
+//! [`LayerDesc`]s carrying the three quantities PipeDream's profiler records
+//! and AutoPipe's Table 1 formalizes:
+//!
+//! * `O_i` — the size of output activations of layer *i* (which equals the
+//!   size of the input gradients `G_i` flowing back across the same cut),
+//! * `P_i` — the size of weight parameters of layer *i*, and
+//! * the computation cost of layer *i*, kept as FLOPs so that per-worker
+//!   FP/BP times (`FP_ij`, `BP_ij`) fall out of the worker's effective
+//!   FLOP/s.
+//!
+//! Sizes come from the architectures' published shapes (conv/fc dimensions,
+//! transformer hidden sizes), not measurements — see DESIGN.md §2 for why
+//! this substitution preserves the paper's behaviour.
+
+pub mod layer;
+pub mod profile;
+pub mod zoo;
+
+pub use layer::{LayerDesc, LayerKind};
+pub use profile::ModelProfile;
+pub use zoo::{
+    alexnet, bert48, bert_n, gpt2, gpt2_medium, gpt2_small, resnet101, resnet152, resnet50,
+    synthetic_skewed, synthetic_uniform, vgg16, ModelDesc,
+};

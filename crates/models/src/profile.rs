@@ -1,0 +1,193 @@
+//! Static model profile — the constant half of AutoPipe's Table 1.
+//!
+//! "AutoPipe first records the model level metrics before training, i.e.,
+//! the size of output activations, input gradients and weight parameters in
+//! each layer, these quantities are constant during the training" (§4.2).
+//! [`ModelProfile`] materializes those per-layer quantities at a given
+//! mini-batch size and adds prefix sums so planners can query contiguous
+//! layer ranges in O(1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::zoo::ModelDesc;
+
+/// Per-layer static metrics at a fixed mini-batch size, plus prefix sums.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Model name.
+    pub name: String,
+    /// Mini-batch size the profile was taken at.
+    pub batch: usize,
+    /// `O_i`: output-activation bytes of layer i for a full mini-batch.
+    pub out_bytes: Vec<f64>,
+    /// `G_i`: input-gradient bytes of layer i (same tensor shape as `O_i`).
+    pub grad_bytes: Vec<f64>,
+    /// `P_i`: parameter bytes of layer i.
+    pub param_bytes: Vec<f64>,
+    /// Effective forward FLOPs of layer i for a full mini-batch, already
+    /// divided by the layer family's achievable efficiency — so
+    /// `time = eff_flops_fwd[i] / device_flops`.
+    pub eff_flops_fwd: Vec<f64>,
+    /// Effective backward FLOPs (2x forward).
+    pub eff_flops_bwd: Vec<f64>,
+    /// Prefix sums: `work_prefix[i]` = sum of fwd+bwd effective FLOPs of
+    /// layers `0..i`.
+    work_prefix: Vec<f64>,
+    /// Prefix sums of parameter bytes.
+    param_prefix: Vec<f64>,
+}
+
+impl ModelProfile {
+    /// Profile `model` at its default batch size.
+    pub fn of(model: &ModelDesc) -> Self {
+        Self::with_batch(model, model.default_batch)
+    }
+
+    /// Profile `model` at an explicit batch size.
+    pub fn with_batch(model: &ModelDesc, batch: usize) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        let b = batch as f64;
+        let n = model.n_layers();
+        let mut out_bytes = Vec::with_capacity(n);
+        let mut param_bytes = Vec::with_capacity(n);
+        let mut eff_fwd = Vec::with_capacity(n);
+        let mut eff_bwd = Vec::with_capacity(n);
+        for l in &model.layers {
+            out_bytes.push(l.out_bytes * b);
+            param_bytes.push(l.param_bytes);
+            let eff = l.kind.efficiency();
+            eff_fwd.push(l.flops_fwd * b / eff);
+            eff_bwd.push(l.flops_bwd() * b / eff);
+        }
+        let mut work_prefix = Vec::with_capacity(n + 1);
+        let mut param_prefix = Vec::with_capacity(n + 1);
+        work_prefix.push(0.0);
+        param_prefix.push(0.0);
+        for i in 0..n {
+            work_prefix.push(work_prefix[i] + eff_fwd[i] + eff_bwd[i]);
+            param_prefix.push(param_prefix[i] + param_bytes[i]);
+        }
+        ModelProfile {
+            name: model.name.clone(),
+            batch,
+            grad_bytes: out_bytes.clone(),
+            out_bytes,
+            param_bytes,
+            eff_flops_fwd: eff_fwd,
+            eff_flops_bwd: eff_bwd,
+            work_prefix,
+            param_prefix,
+        }
+    }
+
+    /// Number of layers.
+    pub fn n_layers(&self) -> usize {
+        self.out_bytes.len()
+    }
+
+    /// Forward time of layer `i` on a device with `flops` effective FLOP/s.
+    pub fn fp_time(&self, i: usize, flops: f64) -> f64 {
+        self.eff_flops_fwd[i] / flops
+    }
+
+    /// Backward time of layer `i`.
+    pub fn bp_time(&self, i: usize, flops: f64) -> f64 {
+        self.eff_flops_bwd[i] / flops
+    }
+
+    /// Total fwd+bwd effective FLOPs of the contiguous range `lo..hi`
+    /// (half-open).
+    pub fn range_work(&self, lo: usize, hi: usize) -> f64 {
+        self.work_prefix[hi] - self.work_prefix[lo]
+    }
+
+    /// Compute time (fwd+bwd) of layers `lo..hi` on a device.
+    pub fn range_time(&self, lo: usize, hi: usize, flops: f64) -> f64 {
+        self.range_work(lo, hi) / flops
+    }
+
+    /// Parameter bytes of layers `lo..hi`.
+    pub fn range_params(&self, lo: usize, hi: usize) -> f64 {
+        self.param_prefix[hi] - self.param_prefix[lo]
+    }
+
+    /// Activation bytes crossing the cut after layer `i` (what a stage
+    /// boundary there must transfer forward each mini-batch; the gradient
+    /// coming back is the same size).
+    pub fn cut_bytes(&self, i: usize) -> f64 {
+        self.out_bytes[i]
+    }
+
+    /// Total fwd+bwd effective FLOPs of the whole model per mini-batch.
+    pub fn total_work(&self) -> f64 {
+        *self.work_prefix.last().unwrap()
+    }
+
+    /// Total parameter bytes.
+    pub fn total_params(&self) -> f64 {
+        *self.param_prefix.last().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::{synthetic_uniform, vgg16};
+
+    #[test]
+    fn prefix_sums_match_direct_sums() {
+        let p = ModelProfile::of(&vgg16());
+        let direct: f64 = p
+            .eff_flops_fwd
+            .iter()
+            .zip(&p.eff_flops_bwd)
+            .take(7)
+            .map(|(f, b)| f + b)
+            .sum();
+        assert!((p.range_work(0, 7) - direct).abs() / direct < 1e-12);
+        let dp: f64 = p.param_bytes[3..9].iter().sum();
+        assert!((p.range_params(3, 9) - dp).abs() <= dp * 1e-12);
+    }
+
+    #[test]
+    fn batch_scales_activations_and_compute_but_not_params() {
+        let m = vgg16();
+        let p1 = ModelProfile::with_batch(&m, 1);
+        let p64 = ModelProfile::with_batch(&m, 64);
+        assert!((p64.out_bytes[0] / p1.out_bytes[0] - 64.0).abs() < 1e-9);
+        assert!((p64.eff_flops_fwd[0] / p1.eff_flops_fwd[0] - 64.0).abs() < 1e-9);
+        assert_eq!(p64.param_bytes[0], p1.param_bytes[0]);
+    }
+
+    #[test]
+    fn times_scale_inversely_with_device_speed() {
+        let p = ModelProfile::of(&vgg16());
+        let t_slow = p.fp_time(0, 1e12);
+        let t_fast = p.fp_time(0, 2e12);
+        assert!((t_slow / t_fast - 2.0).abs() < 1e-9);
+        assert!((p.bp_time(0, 1e12) / t_slow - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_model_has_uniform_ranges() {
+        let p = ModelProfile::with_batch(&synthetic_uniform(10, 1e9, 1e6, 4e6), 16);
+        let per = p.range_work(0, 1);
+        for i in 0..10 {
+            assert!((p.range_work(i, i + 1) - per).abs() < 1e-3);
+        }
+        assert!((p.total_work() - 10.0 * per).abs() < 1e-3);
+    }
+
+    #[test]
+    fn grad_bytes_mirror_out_bytes() {
+        let p = ModelProfile::of(&vgg16());
+        assert_eq!(p.grad_bytes, p.out_bytes);
+        assert_eq!(p.cut_bytes(2), p.out_bytes[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_rejected() {
+        let _ = ModelProfile::with_batch(&vgg16(), 0);
+    }
+}

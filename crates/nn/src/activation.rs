@@ -1,0 +1,139 @@
+//! Element-wise activation layers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+
+/// Supported activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActKind {
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Identity (no-op; useful as a final layer).
+    Identity,
+}
+
+impl ActKind {
+    /// f(x).
+    #[inline]
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            ActKind::Relu => x.max(0.0),
+            ActKind::Tanh => x.tanh(),
+            ActKind::Sigmoid => sigmoid(x),
+            ActKind::Identity => x,
+        }
+    }
+
+    /// f'(x) expressed in terms of y = f(x) where convenient.
+    #[inline]
+    pub fn derivative_from_output(self, x: f64, y: f64) -> f64 {
+        match self {
+            ActKind::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            ActKind::Tanh => 1.0 - y * y,
+            ActKind::Sigmoid => y * (1.0 - y),
+            ActKind::Identity => 1.0,
+        }
+    }
+}
+
+/// Numerically-stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// A stateful activation layer (caches input and output for backward).
+#[derive(Debug, Clone)]
+pub struct Activation {
+    /// Which function.
+    pub kind: ActKind,
+    cached_in: Option<Matrix>,
+    cached_out: Option<Matrix>,
+}
+
+impl Activation {
+    /// New activation layer.
+    pub fn new(kind: ActKind) -> Self {
+        Activation {
+            kind,
+            cached_in: None,
+            cached_out: None,
+        }
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let y = x.map(|v| self.kind.apply(v));
+        self.cached_in = Some(x.clone());
+        self.cached_out = Some(y.clone());
+        y
+    }
+
+    /// Backward pass: dL/dx from dL/dy.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let x = self.cached_in.as_ref().expect("backward before forward");
+        let y = self.cached_out.as_ref().expect("backward before forward");
+        let mut g = grad_out.clone();
+        for ((gv, &xv), &yv) in g.data_mut().iter_mut().zip(x.data()).zip(y.data()) {
+            *gv *= self.kind.derivative_from_output(xv, yv);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert!(sigmoid(1000.0) <= 1.0);
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relu_gradient_masks_negatives() {
+        let mut a = Activation::new(ActKind::Relu);
+        let x = Matrix::row_vector(vec![-1.0, 0.5, 2.0]);
+        let y = a.forward(&x);
+        assert_eq!(y.data(), &[0.0, 0.5, 2.0]);
+        let g = a.backward(&Matrix::row_vector(vec![1.0, 1.0, 1.0]));
+        assert_eq!(g.data(), &[0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn activation_gradients_match_finite_differences() {
+        for kind in [ActKind::Tanh, ActKind::Sigmoid, ActKind::Identity] {
+            let mut a = Activation::new(kind);
+            let x0 = 0.37;
+            let eps = 1e-6;
+            let x = Matrix::row_vector(vec![x0]);
+            let _ = a.forward(&x);
+            let g = a.backward(&Matrix::row_vector(vec![1.0]));
+            let fd = (kind.apply(x0 + eps) - kind.apply(x0 - eps)) / (2.0 * eps);
+            assert!(
+                (g.data()[0] - fd).abs() < 1e-6,
+                "{kind:?}: analytic {} vs fd {}",
+                g.data()[0],
+                fd
+            );
+        }
+    }
+}

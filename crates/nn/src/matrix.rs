@@ -1,0 +1,299 @@
+//! Dense row-major matrix with the operations the layers need.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense `rows x cols` matrix of `f64`, row-major.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a flat row-major slice.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// A 1 x n row vector.
+    pub fn row_vector(data: Vec<f64>) -> Self {
+        let cols = data.len();
+        Matrix {
+            rows: 1,
+            cols,
+            data,
+        }
+    }
+
+    /// Xavier/Glorot-uniform initialization, deterministic by seed.
+    pub fn xavier(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let bound = (6.0 / (rows + cols) as f64).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Flat data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Flat mutable data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Fill every element.
+    pub fn fill(&mut self, v: f64) {
+        self.data.iter_mut().for_each(|x| *x = v);
+    }
+
+    /// `self @ other` (matrix product).
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // ikj loop order: streams through `other` rows, cache-friendly.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let crow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (c, &o) in crow.iter_mut().zip(orow) {
+                    *c += a * o;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum into self.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f64, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Element-wise product (Hadamard).
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Add a 1 x cols bias row to every row.
+    pub fn add_row_broadcast(&mut self, bias: &Matrix) {
+        assert_eq!(bias.rows, 1);
+        assert_eq!(bias.cols, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                self.data[r * self.cols + c] += bias.data[c];
+            }
+        }
+    }
+
+    /// Column-wise sum producing a 1 x cols row (bias gradients).
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c] += self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Map every element.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    pub fn hcat(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "hcat row mismatch");
+        let cols = self.cols + other.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for r in 0..self.rows {
+            data.extend_from_slice(&self.data[r * self.cols..(r + 1) * self.cols]);
+            data.extend_from_slice(&other.data[r * other.cols..(r + 1) * other.cols]);
+        }
+        Matrix {
+            rows: self.rows,
+            cols,
+            data,
+        }
+    }
+
+    /// Split horizontally at column `at` into (left, right).
+    pub fn hsplit(&self, at: usize) -> (Matrix, Matrix) {
+        assert!(at <= self.cols);
+        let mut l = Matrix::zeros(self.rows, at);
+        let mut r = Matrix::zeros(self.rows, self.cols - at);
+        for row in 0..self.rows {
+            l.data[row * at..(row + 1) * at]
+                .copy_from_slice(&self.data[row * self.cols..row * self.cols + at]);
+            r.data[row * (self.cols - at)..(row + 1) * (self.cols - at)]
+                .copy_from_slice(&self.data[row * self.cols + at..(row + 1) * self.cols]);
+        }
+        (l, r)
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small_known_case() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = Matrix::xavier(3, 5, 1);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matmul_associates_with_transpose() {
+        let a = Matrix::xavier(2, 4, 7);
+        let b = Matrix::xavier(4, 3, 8);
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        assert!((lhs.norm() - rhs.norm()).abs() < 1e-12);
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn broadcast_and_sum_rows_are_adjoint_shapes() {
+        let mut x = Matrix::zeros(3, 2);
+        let bias = Matrix::row_vector(vec![1.0, -2.0]);
+        x.add_row_broadcast(&bias);
+        assert_eq!(x.get(2, 1), -2.0);
+        let s = x.sum_rows();
+        assert_eq!(s.data(), &[3.0, -6.0]);
+    }
+
+    #[test]
+    fn hcat_hsplit_round_trip() {
+        let a = Matrix::xavier(2, 3, 2);
+        let b = Matrix::xavier(2, 4, 3);
+        let cat = a.hcat(&b);
+        assert_eq!((cat.rows(), cat.cols()), (2, 7));
+        let (l, r) = cat.hsplit(3);
+        assert_eq!(l, a);
+        assert_eq!(r, b);
+    }
+
+    #[test]
+    fn xavier_is_deterministic_and_bounded() {
+        let a = Matrix::xavier(10, 10, 42);
+        let b = Matrix::xavier(10, 10, 42);
+        assert_eq!(a, b);
+        let bound = (6.0 / 20.0_f64).sqrt();
+        assert!(a.data().iter().all(|&x| x.abs() <= bound));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_checked() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn axpy_and_hadamard() {
+        let mut a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Matrix::from_vec(1, 3, vec![4.0, 5.0, 6.0]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[3.0, 4.5, 6.0]);
+        let h = a.hadamard(&b);
+        assert_eq!(h.data(), &[12.0, 22.5, 36.0]);
+    }
+}

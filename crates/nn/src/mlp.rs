@@ -1,0 +1,220 @@
+//! Sequential fully-connected network (Linear + activation stacks).
+
+use serde::{Deserialize, Serialize};
+
+use crate::activation::{ActKind, Activation};
+use crate::linear::Linear;
+use crate::matrix::Matrix;
+use crate::Param;
+
+/// Serializable snapshot of MLP weights (for offline-trained models).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MlpWeights {
+    /// Per-layer (weight, bias) pairs.
+    pub layers: Vec<(Matrix, Matrix)>,
+}
+
+/// A multilayer perceptron: `sizes = [in, h1, ..., out]`, with the given
+/// hidden activation and an identity output layer.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    acts: Vec<Activation>,
+    hidden_act: ActKind,
+}
+
+impl Mlp {
+    /// Build an MLP with Xavier init; deterministic by `seed`.
+    pub fn new(sizes: &[usize], hidden_act: ActKind, seed: u64) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        let mut layers = Vec::new();
+        let mut acts = Vec::new();
+        for (i, w) in sizes.windows(2).enumerate() {
+            layers.push(Linear::new(w[0], w[1], seed.wrapping_add(i as u64)));
+            let last = i == sizes.len() - 2;
+            acts.push(Activation::new(if last { ActKind::Identity } else { hidden_act }));
+        }
+        Mlp {
+            layers,
+            acts,
+            hidden_act,
+        }
+    }
+
+    /// Input width.
+    pub fn d_in(&self) -> usize {
+        self.layers[0].d_in()
+    }
+
+    /// Output width.
+    pub fn d_out(&self) -> usize {
+        self.layers.last().unwrap().d_out()
+    }
+
+    /// Forward pass, caching for backward.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for (l, a) in self.layers.iter_mut().zip(&mut self.acts) {
+            h = a.forward(&l.forward(&h));
+        }
+        h
+    }
+
+    /// Inference-only forward.
+    pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for (i, l) in self.layers.iter().enumerate() {
+            h = l.forward_inference(&h);
+            let last = i == self.layers.len() - 1;
+            let kind = if last { ActKind::Identity } else { self.hidden_act };
+            h = h.map(|v| kind.apply(v));
+        }
+        h
+    }
+
+    /// Backward pass; returns dL/dx.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mut g = grad_out.clone();
+        for (l, a) in self.layers.iter_mut().zip(&mut self.acts).rev() {
+            g = l.backward(&a.backward(&g));
+        }
+        g
+    }
+
+    /// All parameters for an optimizer.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    /// Zero all gradients.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Snapshot weights (e.g. after offline training).
+    pub fn weights(&self) -> MlpWeights {
+        MlpWeights {
+            layers: self
+                .layers
+                .iter()
+                .map(|l| (l.w.value.clone(), l.b.value.clone()))
+                .collect(),
+        }
+    }
+
+    /// Load a snapshot (shapes must match).
+    pub fn load(&mut self, w: &MlpWeights) {
+        assert_eq!(w.layers.len(), self.layers.len(), "layer count mismatch");
+        for (l, (wv, bv)) in self.layers.iter_mut().zip(&w.layers) {
+            assert_eq!(
+                (l.w.value.rows(), l.w.value.cols()),
+                (wv.rows(), wv.cols()),
+                "weight shape mismatch"
+            );
+            l.w.value = wv.clone();
+            l.b.value = bv.clone();
+        }
+    }
+
+    /// Freeze all layers except the last `k` (transfer-learning style
+    /// online adaptation, §4.3: "employ transfer learning to swiftly adjust
+    /// the meta-network and RL model to the current environment").
+    /// Returns the trainable parameters only.
+    pub fn head_params_mut(&mut self, k: usize) -> Vec<&mut Param> {
+        let n = self.layers.len();
+        let start = n.saturating_sub(k);
+        self.layers[start..]
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::mse_loss;
+    use crate::optim::{Optimizer, Sgd};
+
+    #[test]
+    fn shapes_and_determinism() {
+        let mut m = Mlp::new(&[4, 8, 2], ActKind::Relu, 7);
+        let x = Matrix::xavier(3, 4, 1);
+        let y1 = m.forward(&x);
+        let y2 = m.forward_inference(&x);
+        assert_eq!((y1.rows(), y1.cols()), (3, 2));
+        for (a, b) in y1.data().iter().zip(y2.data()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert_eq!(m.d_in(), 4);
+        assert_eq!(m.d_out(), 2);
+    }
+
+    #[test]
+    fn learns_xor() {
+        let x = Matrix::from_vec(4, 2, vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+        let t = Matrix::from_vec(4, 1, vec![0.0, 1.0, 1.0, 0.0]);
+        let mut m = Mlp::new(&[2, 8, 1], ActKind::Tanh, 3);
+        let mut opt = Sgd::new(0.5, 0.9);
+        let mut last = f64::INFINITY;
+        for _ in 0..2000 {
+            m.zero_grad();
+            let y = m.forward(&x);
+            let (l, g) = mse_loss(&y, &t);
+            m.backward(&g);
+            opt.step(&mut m.params_mut());
+            last = l;
+        }
+        assert!(last < 0.01, "xor did not converge: {last}");
+    }
+
+    #[test]
+    fn weights_round_trip() {
+        let m = Mlp::new(&[3, 5, 1], ActKind::Relu, 9);
+        let w = m.weights();
+        let mut m2 = Mlp::new(&[3, 5, 1], ActKind::Relu, 999);
+        m2.load(&w);
+        let x = Matrix::xavier(2, 3, 4);
+        let a = m.forward_inference(&x);
+        let b = m2.forward_inference(&x);
+        for (p, q) in a.data().iter().zip(b.data()) {
+            assert!((p - q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn head_params_selects_last_layers() {
+        let mut m = Mlp::new(&[3, 5, 4, 1], ActKind::Relu, 9);
+        assert_eq!(m.params_mut().len(), 6); // 3 layers x (w, b)
+        assert_eq!(m.head_params_mut(1).len(), 2);
+        assert_eq!(m.head_params_mut(2).len(), 4);
+        assert_eq!(m.head_params_mut(99).len(), 6);
+    }
+
+    #[test]
+    fn full_mlp_gradient_check() {
+        let mut m = Mlp::new(&[3, 4, 2], ActKind::Tanh, 17);
+        let x = Matrix::xavier(2, 3, 5);
+        let t = Matrix::xavier(2, 2, 6);
+        m.zero_grad();
+        let y = m.forward(&x);
+        let (_, g) = mse_loss(&y, &t);
+        m.backward(&g);
+        // Finite-difference check on first-layer weights (cross-layer path).
+        let eps = 1e-6;
+        let analytic = m.layers[0].w.grad.clone();
+        for idx in [0usize, 3, 7, 11] {
+            let orig = m.layers[0].w.value.data()[idx];
+            m.layers[0].w.value.data_mut()[idx] = orig + eps;
+            let (lp, _) = mse_loss(&m.forward_inference(&x), &t);
+            m.layers[0].w.value.data_mut()[idx] = orig - eps;
+            let (lm, _) = mse_loss(&m.forward_inference(&x), &t);
+            m.layers[0].w.value.data_mut()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = analytic.data()[idx];
+            assert!((fd - an).abs() < 1e-6, "fd {fd} vs an {an}");
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Optimizers: SGD with momentum and Adam.
+
+use std::collections::HashMap;
+
+use crate::matrix::Matrix;
+use crate::Param;
+
+/// A first-order optimizer over a set of parameters.
+pub trait Optimizer {
+    /// Apply one update step using the accumulated gradients.
+    fn step(&mut self, params: &mut [&mut Param]);
+}
+
+/// SGD with classical momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f64,
+    /// Momentum coefficient (0 disables).
+    pub momentum: f64,
+    velocity: HashMap<usize, Matrix>,
+}
+
+impl Sgd {
+    /// New SGD optimizer.
+    pub fn new(lr: f64, momentum: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Sgd {
+            lr,
+            momentum,
+            velocity: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        for (i, p) in params.iter_mut().enumerate() {
+            let v = self
+                .velocity
+                .entry(i)
+                .or_insert_with(|| Matrix::zeros(p.grad.rows(), p.grad.cols()));
+            for (vj, gj) in v.data_mut().iter_mut().zip(p.grad.data()) {
+                *vj = self.momentum * *vj + gj;
+            }
+            p.value.axpy(-self.lr, v);
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical floor.
+    pub eps: f64,
+    t: u64,
+    m: HashMap<usize, Matrix>,
+    v: HashMap<usize, Matrix>,
+}
+
+impl Adam {
+    /// Adam with the standard betas.
+    pub fn new(lr: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: HashMap::new(),
+            v: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in params.iter_mut().enumerate() {
+            let m = self
+                .m
+                .entry(i)
+                .or_insert_with(|| Matrix::zeros(p.grad.rows(), p.grad.cols()));
+            let v = self
+                .v
+                .entry(i)
+                .or_insert_with(|| Matrix::zeros(p.grad.rows(), p.grad.cols()));
+            for ((mj, vj), gj) in m
+                .data_mut()
+                .iter_mut()
+                .zip(v.data_mut())
+                .zip(p.grad.data())
+            {
+                *mj = self.beta1 * *mj + (1.0 - self.beta1) * gj;
+                *vj = self.beta2 * *vj + (1.0 - self.beta2) * gj * gj;
+            }
+            for ((pv, mj), vj) in p.value.data_mut().iter_mut().zip(m.data()).zip(v.data()) {
+                let mhat = mj / bc1;
+                let vhat = vj / bc2;
+                *pv -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(x) = (x - 3)^2 with each optimizer.
+    fn quadratic_descent(opt: &mut dyn Optimizer, steps: usize) -> f64 {
+        let mut p = Param::new(Matrix::row_vector(vec![0.0]));
+        for _ in 0..steps {
+            p.zero_grad();
+            let x = p.value.data()[0];
+            p.grad.data_mut()[0] = 2.0 * (x - 3.0);
+            opt.step(&mut [&mut p]);
+        }
+        p.value.data()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        let x = quadratic_descent(&mut opt, 200);
+        assert!((x - 3.0).abs() < 1e-6, "x = {x}");
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let mut plain = Sgd::new(0.01, 0.0);
+        let mut mom = Sgd::new(0.01, 0.9);
+        let x_plain = quadratic_descent(&mut plain, 50);
+        let x_mom = quadratic_descent(&mut mom, 50);
+        assert!((x_mom - 3.0).abs() < (x_plain - 3.0).abs());
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.3);
+        let x = quadratic_descent(&mut opt, 300);
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn zero_lr_rejected() {
+        let _ = Sgd::new(0.0, 0.9);
+    }
+}

@@ -1,0 +1,212 @@
+//! Statistical convergence model (Figure 11).
+//!
+//! The paper compares top-1 accuracy over wall-clock time for AutoPipe,
+//! PipeDream, BSP (bulk-synchronous) and TAP (totally asynchronous). The
+//! mechanisms that separate them are (a) raw throughput and (b) gradient
+//! staleness semantics:
+//!
+//! * **BSP** — no staleness, lowest throughput (a barrier every step);
+//! * **PipeDream / AutoPipe** — weight stashing keeps every mini-batch
+//!   internally consistent, staleness is bounded by the in-flight count, so
+//!   they reach the *same* plateau as BSP (the paper: "AutoPipe can achieve
+//!   the same top-1 accuracy as PipeDream and BSP");
+//! * **TAP** — unbounded, inconsistent updates degrade the achievable
+//!   plateau (the paper measures AutoPipe 1.42x / 1.35x above TAP on
+//!   ResNet50 / VGG16).
+//!
+//! Accuracy follows a saturating-exponential learning curve in *effective*
+//! samples, where staleness discounts per-sample progress. This reproduces
+//! the ordering and plateau behaviour without running SGD for 80 hours.
+
+use serde::{Deserialize, Serialize};
+
+/// Synchronization paradigm of a training run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Paradigm {
+    /// Bulk-synchronous parallel: barrier every mini-batch.
+    Bsp,
+    /// Totally asynchronous parallel: no consistency control.
+    Tap,
+    /// PipeDream: async pipeline with weight stashing.
+    PipeDream,
+    /// AutoPipe-enhanced PipeDream (same semantics, higher throughput).
+    AutoPipe,
+}
+
+impl Paradigm {
+    /// Label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Paradigm::Bsp => "BSP",
+            Paradigm::Tap => "TAP",
+            Paradigm::PipeDream => "PipeDream",
+            Paradigm::AutoPipe => "AutoPipe",
+        }
+    }
+
+    /// Plateau multiplier on the model's best accuracy.
+    fn plateau_factor(self) -> f64 {
+        match self {
+            // Stashing/barriers preserve the full plateau.
+            Paradigm::Bsp | Paradigm::PipeDream | Paradigm::AutoPipe => 1.0,
+            // Unbounded staleness costs ~1.4x of final accuracy.
+            Paradigm::Tap => 1.0 / 1.40,
+        }
+    }
+
+    /// Per-sample progress discount given mean staleness `s`.
+    fn progress_factor(self, staleness: f64) -> f64 {
+        match self {
+            Paradigm::Bsp => 1.0,
+            // Stashed-but-stale gradients slow progress mildly.
+            Paradigm::PipeDream | Paradigm::AutoPipe => 1.0 / (1.0 + 0.08 * staleness),
+            // Inconsistent updates waste a large fraction of samples.
+            Paradigm::Tap => 1.0 / (1.0 + 0.30 * staleness),
+        }
+    }
+}
+
+/// Learning-curve constants for one model/dataset pair.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ConvergenceModel {
+    /// Best reachable top-1 accuracy in percent (synchronous training).
+    pub max_accuracy: f64,
+    /// Samples at which the curve reaches ~63% of the plateau.
+    pub tau_samples: f64,
+}
+
+impl ConvergenceModel {
+    /// ResNet50 on ImageNet-format data: ~76% top-1. The time constant is
+    /// calibrated so that at the paper's testbed throughput (~100 img/s)
+    /// the curve saturates within the ~30 hours of Figure 11a.
+    pub fn resnet50() -> Self {
+        ConvergenceModel {
+            max_accuracy: 76.0,
+            tau_samples: 3.0 * 1.28e6,
+        }
+    }
+
+    /// VGG16: ~71.5% top-1, saturating within the ~80 hours of Figure 11b
+    /// at VGG16's lower training throughput.
+    pub fn vgg16() -> Self {
+        ConvergenceModel {
+            max_accuracy: 71.5,
+            tau_samples: 5.0 * 1.28e6,
+        }
+    }
+
+    /// Accuracy (percent) after `t` seconds at `throughput` samples/sec
+    /// with the paradigm's staleness semantics.
+    pub fn accuracy_at(
+        &self,
+        paradigm: Paradigm,
+        throughput: f64,
+        staleness: f64,
+        t: f64,
+    ) -> f64 {
+        let eff = throughput * t * paradigm.progress_factor(staleness);
+        let plateau = self.max_accuracy * paradigm.plateau_factor();
+        plateau * (1.0 - (-eff / self.tau_samples).exp())
+    }
+
+    /// Seconds until `target` percent accuracy, or `None` if unreachable.
+    pub fn time_to_accuracy(
+        &self,
+        paradigm: Paradigm,
+        throughput: f64,
+        staleness: f64,
+        target: f64,
+    ) -> Option<f64> {
+        let plateau = self.max_accuracy * paradigm.plateau_factor();
+        if target >= plateau || throughput <= 0.0 {
+            return None;
+        }
+        let eff_needed = -self.tau_samples * (1.0 - target / plateau).ln();
+        Some(eff_needed / (throughput * paradigm.progress_factor(staleness)))
+    }
+}
+
+/// Sampled accuracy-vs-time curve: `(hours, accuracy_percent)`.
+pub fn accuracy_curve(
+    model: &ConvergenceModel,
+    paradigm: Paradigm,
+    throughput: f64,
+    staleness: f64,
+    horizon_hours: f64,
+    points: usize,
+) -> Vec<(f64, f64)> {
+    assert!(points >= 2, "need at least two curve points");
+    (0..points)
+        .map(|i| {
+            let h = horizon_hours * i as f64 / (points - 1) as f64;
+            (
+                h,
+                model.accuracy_at(paradigm, throughput, staleness, h * 3600.0),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stash_paradigms_share_bsp_plateau_and_tap_does_not() {
+        let m = ConvergenceModel::resnet50();
+        let long = 1e9;
+        let bsp = m.accuracy_at(Paradigm::Bsp, 100.0, 0.0, long);
+        let pd = m.accuracy_at(Paradigm::PipeDream, 100.0, 3.0, long);
+        let ap = m.accuracy_at(Paradigm::AutoPipe, 150.0, 3.0, long);
+        let tap = m.accuracy_at(Paradigm::Tap, 200.0, 10.0, long);
+        assert!((bsp - pd).abs() < 0.1);
+        assert!((bsp - ap).abs() < 0.1);
+        // Paper: ~1.42x over TAP at convergence.
+        let ratio = ap / tap;
+        assert!((1.3..1.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn higher_throughput_converges_faster() {
+        let m = ConvergenceModel::resnet50();
+        let slow = m
+            .time_to_accuracy(Paradigm::PipeDream, 50.0, 3.0, 70.0)
+            .unwrap();
+        let fast = m
+            .time_to_accuracy(Paradigm::AutoPipe, 90.0, 3.0, 70.0)
+            .unwrap();
+        assert!(fast < slow);
+        assert!(((slow / fast) - 90.0 / 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tap_never_reaches_the_full_plateau() {
+        let m = ConvergenceModel::vgg16();
+        assert!(m
+            .time_to_accuracy(Paradigm::Tap, 1000.0, 5.0, 70.0)
+            .is_none());
+        assert!(m
+            .time_to_accuracy(Paradigm::Bsp, 10.0, 0.0, 70.0)
+            .is_some());
+    }
+
+    #[test]
+    fn accuracy_is_monotone_in_time() {
+        let m = ConvergenceModel::resnet50();
+        let curve = accuracy_curve(&m, Paradigm::AutoPipe, 120.0, 3.0, 30.0, 50);
+        assert_eq!(curve.len(), 50);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(curve[0].1, 0.0);
+        assert!(curve.last().unwrap().1 > 70.0);
+    }
+
+    #[test]
+    fn staleness_slows_progress() {
+        let m = ConvergenceModel::resnet50();
+        let fresh = m.accuracy_at(Paradigm::PipeDream, 100.0, 0.0, 3600.0 * 5.0);
+        let stale = m.accuracy_at(Paradigm::PipeDream, 100.0, 8.0, 3600.0 * 5.0);
+        assert!(fresh > stale);
+    }
+}

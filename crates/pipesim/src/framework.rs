@@ -1,0 +1,80 @@
+//! ML-framework constant factors.
+//!
+//! Figure 8 repeats the static experiment under TensorFlow, MXNet and
+//! PyTorch. Framework choice does not change *who wins*, only constant
+//! factors: per-iteration launch/dispatch overhead and how close the
+//! communication stack gets to line rate. We encode published
+//! rule-of-thumb differences; see DESIGN.md §2.
+
+use serde::{Deserialize, Serialize};
+
+/// Constant factors of an ML framework.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Framework {
+    /// Name for reports.
+    pub name: &'static str,
+    /// Fixed per-iteration overhead in seconds (kernel launches, graph
+    /// dispatch, Python driver).
+    pub per_iter_overhead: f64,
+    /// Fraction of nominal link bandwidth the comm stack achieves.
+    pub comm_efficiency: f64,
+    /// Fraction of device compute the kernels achieve relative to the
+    /// baseline (PyTorch = 1.0).
+    pub compute_efficiency: f64,
+}
+
+impl Framework {
+    /// PyTorch (the paper integrates AutoPipe into PyTorch).
+    pub fn pytorch() -> Self {
+        Framework {
+            name: "pytorch",
+            per_iter_overhead: 0.004,
+            comm_efficiency: 0.92,
+            compute_efficiency: 1.0,
+        }
+    }
+
+    /// TensorFlow.
+    pub fn tensorflow() -> Self {
+        Framework {
+            name: "tensorflow",
+            per_iter_overhead: 0.006,
+            comm_efficiency: 0.88,
+            compute_efficiency: 0.97,
+        }
+    }
+
+    /// MXNet.
+    pub fn mxnet() -> Self {
+        Framework {
+            name: "mxnet",
+            per_iter_overhead: 0.005,
+            comm_efficiency: 0.90,
+            compute_efficiency: 0.98,
+        }
+    }
+
+    /// All three, for sweeps.
+    pub fn all() -> [Framework; 3] {
+        [Self::tensorflow(), Self::mxnet(), Self::pytorch()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiencies_are_fractions() {
+        for f in Framework::all() {
+            assert!(f.comm_efficiency > 0.0 && f.comm_efficiency <= 1.0);
+            assert!(f.compute_efficiency > 0.0 && f.compute_efficiency <= 1.0);
+            assert!(f.per_iter_overhead >= 0.0);
+        }
+    }
+
+    #[test]
+    fn pytorch_is_the_compute_baseline() {
+        assert_eq!(Framework::pytorch().compute_efficiency, 1.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! # ap-pipesim — pipeline-parallel training simulator
+//!
+//! The execution substrate the paper runs on real GPUs, rebuilt as a
+//! simulator (see DESIGN.md §2 for the substitution argument). It models
+//! pipelined DNN training over a shared cluster ([`ap_cluster`]) for a model
+//! profile ([`ap_models::ModelProfile`]):
+//!
+//! * [`partition`] — stages (contiguous layer ranges with data-parallel
+//!   worker sets) and the number of in-flight mini-batches, PipeDream's
+//!   "work partition";
+//! * [`schedule`] — the pipeline flavours the paper touches: PipeDream's
+//!   asynchronous 1F1B, GPipe, DAPPLE, Chimera, PipeDream-2BW;
+//! * [`sync`] — data-parallel gradient synchronization (Parameter Server
+//!   and Ring All-reduce, the two schemes of Figure 8);
+//! * [`framework`] — per-framework constant factors (TensorFlow / MXNet /
+//!   PyTorch panels of Figure 8);
+//! * [`analytic`] — a fast closed-form steady-state throughput model used
+//!   inside planners;
+//! * [`engine`] — a discrete-event simulation with fluid fair-share
+//!   networking, 1F1B scheduling, weight versions/staleness, per-iteration
+//!   speed traces and worker timelines (Figure 2);
+//! * [`switching`] — what a re-partition costs: stop-and-restart vs
+//!   AutoPipe's layer-by-layer fine-grained switching (§4.4);
+//! * [`convergence`] — a staleness-aware statistical model of top-1
+//!   accuracy curves (BSP / TAP / weight-stashing semantics, Figure 11).
+
+pub mod analytic;
+pub mod convergence;
+pub mod engine;
+pub mod framework;
+pub mod memory;
+pub mod partition;
+pub mod schedule;
+pub mod switching;
+pub mod sync;
+pub mod trace;
+
+pub use analytic::AnalyticModel;
+pub use convergence::{accuracy_curve, ConvergenceModel, Paradigm};
+pub use engine::{Engine, EngineConfig, IterationRecord, SimResult, TimelineSegment, WorkKind};
+pub use framework::Framework;
+pub use memory::{cap_in_flight, estimate as estimate_memory, max_in_flight, MemoryEstimate};
+pub use partition::{Partition, Stage};
+pub use schedule::ScheduleKind;
+pub use switching::{fine_grained_cost, stop_restart_cost, SwitchPlan};
+pub use sync::SyncScheme;
+pub use trace::to_chrome_trace;

@@ -1,0 +1,230 @@
+//! Device-memory accounting.
+//!
+//! PipeDream caps the number of in-flight mini-batches because weight
+//! stashing "keeps numerous weight copies, one for each active mini-batch"
+//! (§4.4) and every in-flight mini-batch also pins its activations; GPipe's
+//! whole design is driven by the same budget ("overcomes the ... memory
+//! limitation of GPU", §2.1). This module estimates a partition's
+//! per-worker memory footprint and caps the NOAM so a plan actually fits
+//! the devices it is placed on.
+
+use ap_cluster::{ClusterState, GpuId};
+use ap_models::ModelProfile;
+use serde::{Deserialize, Serialize};
+
+use crate::partition::Partition;
+use crate::schedule::ScheduleKind;
+
+/// Per-worker memory breakdown for one partition (bytes).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemoryEstimate {
+    /// Worker this estimate is for.
+    pub worker: GpuId,
+    /// One copy of the stage's weights.
+    pub weights: f64,
+    /// Stashed weight copies beyond the live one.
+    pub stashed_weights: f64,
+    /// Optimizer state (momentum + variance, Adam-style: 2x weights).
+    pub optimizer: f64,
+    /// Activations pinned by in-flight mini-batches passing this stage.
+    pub activations: f64,
+}
+
+impl MemoryEstimate {
+    /// Total bytes.
+    pub fn total(&self) -> f64 {
+        self.weights + self.stashed_weights + self.optimizer + self.activations
+    }
+}
+
+/// Estimate every worker's footprint for `partition` under `schedule`.
+///
+/// Replicated stages round-robin mini-batches, so each replica pins
+/// `ceil(in_flight / m)` mini-batches' worth of activations; stages store
+/// the *sum* of their layers' output activations per pinned mini-batch
+/// (inputs to recompute are freed for GPipe, halving the pinned set).
+pub fn estimate(
+    profile: &ModelProfile,
+    partition: &Partition,
+    schedule: ScheduleKind,
+) -> Vec<MemoryEstimate> {
+    debug_assert!(partition.validate(profile.n_layers()).is_ok());
+    let versions = schedule.weight_versions(partition.in_flight) as f64;
+    let recompute_discount = if schedule.recompute_factor() > 0.0 {
+        0.5
+    } else {
+        1.0
+    };
+    let mut out = Vec::with_capacity(partition.n_workers());
+    for st in &partition.stages {
+        let weights = profile.range_params(st.layers.start, st.layers.end);
+        let acts_per_unit: f64 = st
+            .layers
+            .clone()
+            .map(|j| profile.out_bytes[j])
+            .sum::<f64>()
+            / schedule.micro_batches() as f64;
+        let m = st.workers.len() as f64;
+        let pinned = (partition.in_flight as f64 / m).ceil();
+        for &w in &st.workers {
+            out.push(MemoryEstimate {
+                worker: w,
+                weights,
+                stashed_weights: (versions - 1.0).max(0.0) * weights,
+                optimizer: 2.0 * weights,
+                activations: pinned * acts_per_unit * recompute_discount,
+            });
+        }
+    }
+    out
+}
+
+/// The largest `in_flight` (NOAM) that fits every worker's device memory,
+/// never below 1. Returns `None` when even a single in-flight mini-batch
+/// exceeds some device (the plan is infeasible).
+pub fn max_in_flight(
+    profile: &ModelProfile,
+    partition: &Partition,
+    schedule: ScheduleKind,
+    state: &ClusterState,
+) -> Option<usize> {
+    let mut candidate = partition.clone();
+    // Walk down from the requested depth; footprints are monotone in
+    // in_flight, so the first fit is maximal among <= requested.
+    for n in (1..=partition.in_flight).rev() {
+        candidate.in_flight = n;
+        let fits = estimate(profile, &candidate, schedule).iter().all(|e| {
+            e.total() <= state.topology.gpu(e.worker).kind.memory_bytes()
+        });
+        if fits {
+            return Some(n);
+        }
+    }
+    None
+}
+
+/// Clamp a partition's NOAM to what fits, in place. Returns `false` when
+/// infeasible even at depth 1 (the caller should reject the plan).
+pub fn cap_in_flight(
+    profile: &ModelProfile,
+    partition: &mut Partition,
+    schedule: ScheduleKind,
+    state: &ClusterState,
+) -> bool {
+    match max_in_flight(profile, partition, schedule, state) {
+        Some(n) => {
+            partition.in_flight = n;
+            true
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Stage;
+    use ap_cluster::gpu::GpuKind;
+    use ap_cluster::ClusterTopology;
+    use ap_models::{bert48, synthetic_uniform, vgg16, ModelProfile};
+
+    fn state() -> ClusterState {
+        ClusterState::new(ClusterTopology::single_switch(4, 1, GpuKind::P100, 25.0))
+    }
+
+    fn two_stage(l: usize, in_flight: usize) -> Partition {
+        Partition {
+            stages: vec![
+                Stage::new(0..l / 2, vec![GpuId(0)]),
+                Stage::new(l / 2..l, vec![GpuId(1)]),
+            ],
+            in_flight,
+        }
+    }
+
+    #[test]
+    fn small_models_fit_and_vgg_activations_bite() {
+        // A small synthetic model fits at full depth...
+        let small = synthetic_uniform(8, 1e9, 1e6, 4e6);
+        let sp = ModelProfile::with_batch(&small, 32);
+        let p = two_stage(8, 6);
+        let st = state();
+        assert_eq!(max_in_flight(&sp, &p, ScheduleKind::PipeDreamAsync, &st), Some(6));
+        // ...while VGG16 at batch 64 (an 822 MB conv1 activation per
+        // mini-batch) gets its stash depth trimmed on a 16 GB P100.
+        let profile = ModelProfile::of(&vgg16());
+        let p = two_stage(profile.n_layers(), 6);
+        let n = max_in_flight(&profile, &p, ScheduleKind::PipeDreamAsync, &st).unwrap();
+        assert!((1..=6).contains(&n));
+        assert!(n < 6, "expected activation pressure to trim the stash");
+    }
+
+    #[test]
+    fn stashing_multiplies_weight_memory() {
+        let profile = ModelProfile::of(&vgg16());
+        let p = two_stage(profile.n_layers(), 8);
+        let async_est = estimate(&profile, &p, ScheduleKind::PipeDreamAsync);
+        let sync_est = estimate(&profile, &p, ScheduleKind::Dapple { micro_batches: 8 });
+        // 8 stashed versions vs 1.
+        assert!(async_est[0].stashed_weights > 5.0 * async_est[0].weights);
+        assert_eq!(sync_est[0].stashed_weights, 0.0);
+    }
+
+    #[test]
+    fn gpipe_recompute_halves_pinned_activations() {
+        let profile = ModelProfile::of(&vgg16());
+        let p = two_stage(profile.n_layers(), 8);
+        let gpipe = estimate(&profile, &p, ScheduleKind::GPipe { micro_batches: 8 });
+        let dapple = estimate(&profile, &p, ScheduleKind::Dapple { micro_batches: 8 });
+        assert!((gpipe[0].activations - 0.5 * dapple[0].activations).abs() < 1.0);
+    }
+
+    #[test]
+    fn deep_stashing_of_huge_models_gets_capped() {
+        // BERT-48 on 2 GPUs with deep stashing: ~1.2 GB of weights per
+        // stage x 20 versions + optimizer blows past 16 GB.
+        let profile = ModelProfile::of(&bert48());
+        let mut p = two_stage(profile.n_layers(), 20);
+        let st = state();
+        let capped = max_in_flight(&profile, &p, ScheduleKind::PipeDreamAsync, &st)
+            .expect("feasible at low depth");
+        assert!(capped < 20, "got {capped}");
+        assert!(cap_in_flight(&profile, &mut p, ScheduleKind::PipeDreamAsync, &st));
+        assert_eq!(p.in_flight, capped);
+    }
+
+    #[test]
+    fn replication_spreads_activation_pinning() {
+        let model = synthetic_uniform(8, 1e9, 8e6, 4e6);
+        let profile = ModelProfile::with_batch(&model, 32);
+        let single = Partition {
+            stages: vec![
+                Stage::new(0..4, vec![GpuId(0)]),
+                Stage::new(4..8, vec![GpuId(1)]),
+            ],
+            in_flight: 8,
+        };
+        let replicated = Partition {
+            stages: vec![
+                Stage::new(0..4, vec![GpuId(0), GpuId(2)]),
+                Stage::new(4..8, vec![GpuId(1), GpuId(3)]),
+            ],
+            in_flight: 8,
+        };
+        let a = estimate(&profile, &single, ScheduleKind::PipeDreamAsync);
+        let b = estimate(&profile, &replicated, ScheduleKind::PipeDreamAsync);
+        assert!(b[0].activations < a[0].activations);
+    }
+
+    #[test]
+    fn infeasible_plan_is_reported() {
+        // A fictitious giant: 80 GB of parameters on one 16 GB card.
+        let model = synthetic_uniform(4, 1e9, 1e6, 20e9);
+        let profile = ModelProfile::with_batch(&model, 8);
+        let p = Partition::single_stage(4, vec![GpuId(0)]);
+        assert_eq!(
+            max_in_flight(&profile, &p, ScheduleKind::PipeDreamAsync, &state()),
+            None
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! State-switching cost models (§4.4).
+//!
+//! Applying a new work partition reassigns layers between workers. The
+//! straw-man pauses training: drain the in-flight mini-batches, move the
+//! weights (every stashed version), restart and re-fill the pipeline
+//! (Figure 2's startup state all over again). AutoPipe instead migrates
+//! layer by layer, "migrating the weight copy of later active mini-batch
+//! first", so the pipeline keeps flowing and only the two affected workers
+//! can stall — and only when a migration outruns the slack the in-flight
+//! mini-batches provide.
+
+use ap_cluster::{ClusterState, GpuId};
+use ap_models::ModelProfile;
+use serde::{Deserialize, Serialize};
+
+use crate::partition::Partition;
+use crate::schedule::ScheduleKind;
+use crate::sync::worker_bandwidth;
+
+/// Fixed software overhead per layer migrated ("the cost of making
+/// numerous PCIe calls to send the data", §4.4).
+pub const PER_LAYER_CALL_OVERHEAD: f64 = 50e-6;
+
+/// What has to move to go from one partition to another.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SwitchPlan {
+    /// Layers whose owning worker set changes.
+    pub moved_layers: Vec<usize>,
+    /// Workers whose task assignment changes.
+    pub affected_workers: Vec<GpuId>,
+    /// Total bytes to migrate: parameters of moved layers times the number
+    /// of stashed weight versions.
+    pub transfer_bytes: f64,
+}
+
+impl SwitchPlan {
+    /// Diff two partitions over the same model.
+    pub fn between(
+        old: &Partition,
+        new: &Partition,
+        profile: &ModelProfile,
+        schedule: ScheduleKind,
+    ) -> SwitchPlan {
+        let n_layers = profile.n_layers();
+        debug_assert!(old.validate(n_layers).is_ok() && new.validate(n_layers).is_ok());
+        let versions = schedule.weight_versions(old.in_flight) as f64;
+        let mut moved = Vec::new();
+        let mut bytes = 0.0;
+        let mut affected = std::collections::BTreeSet::new();
+        for layer in 0..n_layers {
+            let so = old.stage_of_layer(layer).expect("old covers model");
+            let sn = new.stage_of_layer(layer).expect("new covers model");
+            let wo = &old.stages[so].workers;
+            let wn = &new.stages[sn].workers;
+            if wo != wn {
+                moved.push(layer);
+                bytes += profile.param_bytes[layer] * versions;
+                affected.extend(wo.iter().copied());
+                affected.extend(wn.iter().copied());
+            }
+        }
+        SwitchPlan {
+            moved_layers: moved,
+            affected_workers: affected.into_iter().collect(),
+            transfer_bytes: bytes,
+        }
+    }
+
+    /// True when nothing moves (identical assignments).
+    pub fn is_noop(&self) -> bool {
+        self.moved_layers.is_empty()
+    }
+
+    /// Seconds to push the weights over the network and PCIe.
+    pub fn raw_transfer_time(&self, state: &ClusterState) -> f64 {
+        if self.is_noop() {
+            return 0.0;
+        }
+        let net_bw = self
+            .affected_workers
+            .iter()
+            .map(|&w| worker_bandwidth(w, state))
+            .fold(f64::INFINITY, f64::min);
+        let pcie = self
+            .affected_workers
+            .iter()
+            .map(|&w| state.topology.gpu(w).kind.pcie_bytes_per_sec())
+            .fold(f64::INFINITY, f64::min);
+        self.transfer_bytes / net_bw
+            + self.transfer_bytes / pcie
+            + PER_LAYER_CALL_OVERHEAD * self.moved_layers.len() as f64
+    }
+}
+
+/// Cost of the straw-man stop-and-restart switch: drain every in-flight
+/// mini-batch, transfer while idle, then pay the pipeline fill again.
+pub fn stop_restart_cost(
+    plan: &SwitchPlan,
+    iteration_time: f64,
+    partition: &Partition,
+    state: &ClusterState,
+) -> f64 {
+    if plan.is_noop() {
+        return 0.0;
+    }
+    let drain = partition.in_flight as f64 * iteration_time;
+    let transfer = plan.raw_transfer_time(state);
+    let refill = (partition.n_stages().saturating_sub(1)) as f64 * iteration_time;
+    drain + transfer + refill
+}
+
+/// Cost of AutoPipe's fine-grained layer-by-layer switch: migration
+/// overlaps the pipeline's in-flight slack; only the residual stalls the
+/// two affected workers.
+pub fn fine_grained_cost(
+    plan: &SwitchPlan,
+    iteration_time: f64,
+    partition: &Partition,
+    state: &ClusterState,
+) -> f64 {
+    if plan.is_noop() {
+        return 0.0;
+    }
+    let transfer = plan.raw_transfer_time(state);
+    // Weight stashing keeps (in_flight - 1) mini-batches of work buffered
+    // ahead of the affected stages; migration hides behind it.
+    let slack = (partition.in_flight.saturating_sub(1)) as f64 * iteration_time;
+    let stall = (transfer - slack).max(0.0);
+    // Affected workers re-prime their stage once: one stage's share of an
+    // iteration, not a full pipeline refill.
+    let reprime = iteration_time / partition.n_stages() as f64;
+    stall + reprime + PER_LAYER_CALL_OVERHEAD * plan.moved_layers.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Stage;
+    use ap_cluster::gpu::GpuKind;
+    use ap_cluster::ClusterTopology;
+    use ap_models::{synthetic_uniform, ModelProfile};
+
+    fn setup() -> (ClusterState, ModelProfile) {
+        let topo = ClusterTopology::single_switch(4, 1, GpuKind::P100, 25.0);
+        let model = synthetic_uniform(8, 1e9, 4e6, 16e6);
+        (ClusterState::new(topo), ModelProfile::with_batch(&model, 32))
+    }
+
+    fn part(split: usize) -> Partition {
+        Partition {
+            stages: vec![
+                Stage::new(0..split, vec![GpuId(0)]),
+                Stage::new(split..8, vec![GpuId(1)]),
+            ],
+            in_flight: 2,
+        }
+    }
+
+    #[test]
+    fn identical_partitions_are_noop() {
+        let (st, p) = setup();
+        let plan = SwitchPlan::between(&part(4), &part(4), &p, ScheduleKind::PipeDreamAsync);
+        assert!(plan.is_noop());
+        assert_eq!(stop_restart_cost(&plan, 0.1, &part(4), &st), 0.0);
+        assert_eq!(fine_grained_cost(&plan, 0.1, &part(4), &st), 0.0);
+    }
+
+    #[test]
+    fn boundary_shift_moves_exactly_the_shifted_layers() {
+        let (_, p) = setup();
+        let plan = SwitchPlan::between(&part(4), &part(6), &p, ScheduleKind::PipeDreamAsync);
+        assert_eq!(plan.moved_layers, vec![4, 5]);
+        assert_eq!(plan.affected_workers, vec![GpuId(0), GpuId(1)]);
+        // 2 layers x 16 MB params x 2 stashed versions.
+        assert!((plan.transfer_bytes - 2.0 * 16e6 * 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn stashed_versions_multiply_traffic() {
+        let (_, p) = setup();
+        let a = SwitchPlan::between(&part(4), &part(5), &p, ScheduleKind::PipeDreamAsync);
+        let b = SwitchPlan::between(&part(4), &part(5), &p, ScheduleKind::Dapple { micro_batches: 4 });
+        // Async stashes in_flight=2 versions, sync keeps 1.
+        assert!((a.transfer_bytes / b.transfer_bytes - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fine_grained_is_much_cheaper_than_stop_restart() {
+        let (st, p) = setup();
+        let plan = SwitchPlan::between(&part(4), &part(5), &p, ScheduleKind::PipeDreamAsync);
+        let iter = 0.2;
+        let naive = stop_restart_cost(&plan, iter, &part(4), &st);
+        let fine = fine_grained_cost(&plan, iter, &part(4), &st);
+        assert!(
+            fine < naive / 3.0,
+            "fine-grained {fine} should be well below stop-restart {naive}"
+        );
+        // Stop-restart always pays at least drain + refill.
+        assert!(naive >= 3.0 * iter);
+    }
+
+    #[test]
+    fn large_migrations_eventually_stall_even_fine_grained() {
+        let (st, _) = setup();
+        let model = synthetic_uniform(8, 1e9, 4e6, 4e9); // 4 GB per layer
+        let p = ModelProfile::with_batch(&model, 32);
+        let plan = SwitchPlan::between(&part(4), &part(6), &p, ScheduleKind::PipeDreamAsync);
+        let fine = fine_grained_cost(&plan, 0.05, &part(4), &st);
+        // 16 GB over ~3 GB/s of 25 Gbps: seconds of stall remain.
+        assert!(fine > 1.0, "huge weights must stall: {fine}");
+    }
+
+    #[test]
+    fn raw_transfer_time_scales_with_bandwidth() {
+        let (_, p) = setup();
+        let plan = SwitchPlan::between(&part(4), &part(5), &p, ScheduleKind::PipeDreamAsync);
+        let slow = ClusterState::new(ClusterTopology::single_switch(4, 1, GpuKind::P100, 10.0));
+        let fast = ClusterState::new(ClusterTopology::single_switch(4, 1, GpuKind::P100, 100.0));
+        assert!(plan.raw_transfer_time(&slow) > plan.raw_transfer_time(&fast));
+    }
+}

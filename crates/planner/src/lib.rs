@@ -1,0 +1,89 @@
+//! # ap-planner — work-partition planners
+//!
+//! The algorithms that decide "which layers on which workers":
+//!
+//! * [`pipedream`] — a faithful reimplementation of PipeDream's dynamic
+//!   programming planner, **including its simplifying assumptions** the
+//!   paper criticizes (§3.1 Obs. 2): one exclusive-GPU compute speed, one
+//!   uniform hierarchical bandwidth, ring all-reduce for replicated stages.
+//!   This is the baseline AutoPipe starts from and improves on.
+//! * [`uniform`] — even splitting (the Megatron/2BW/Chimera family for
+//!   structurally uniform models).
+//! * [`brute`] — exhaustive search scored by the *true* analytic model;
+//!   exponential, used as the ground-truth optimum in tests and as the
+//!   paper's "Optimal" bars in Figures 3–6.
+//! * [`neighborhood`] — AutoPipe's incremental move generator: candidate
+//!   partitions that differ from the current one in at most two workers'
+//!   tasks (§4.2 "we limit the new partition solution to only change the
+//!   two workers' tasks ... the enumeration space is reduced, and the time
+//!   complexity is only O(L^2)").
+
+pub mod brute;
+pub mod neighborhood;
+pub mod pipedream;
+pub mod uniform;
+
+pub use brute::brute_force_plan;
+pub use neighborhood::{
+    all_moves, drop_moves, sort_stage_workers_by, split_moves, two_worker_moves, MoveKind,
+};
+pub use pipedream::{pipedream_plan, PipeDreamView};
+pub use uniform::uniform_plan;
+
+use ap_cluster::GpuId;
+use ap_pipesim::{Partition, Stage};
+
+/// Turn per-stage worker counts into a [`Partition`] by assigning the
+/// available GPUs in order.
+pub fn assign_workers(
+    boundaries: &[std::ops::Range<usize>],
+    counts: &[usize],
+    available: &[GpuId],
+) -> Partition {
+    assert_eq!(boundaries.len(), counts.len(), "stage shape mismatch");
+    let total: usize = counts.iter().sum();
+    assert!(
+        total <= available.len(),
+        "need {total} workers but only {} available",
+        available.len()
+    );
+    let mut next = 0usize;
+    let stages = boundaries
+        .iter()
+        .zip(counts)
+        .map(|(r, &c)| {
+            let ws = available[next..next + c].to_vec();
+            next += c;
+            Stage::new(r.clone(), ws)
+        })
+        .collect::<Vec<_>>();
+    let mut p = Partition {
+        stages,
+        in_flight: 1,
+    };
+    p.in_flight = p.default_in_flight();
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assign_workers_in_order() {
+        let gpus: Vec<GpuId> = (0..4).map(GpuId).collect();
+        let p = assign_workers(&[0..3, 3..8], &[3, 1], &gpus);
+        assert_eq!(p.stages[0].workers, vec![GpuId(0), GpuId(1), GpuId(2)]);
+        assert_eq!(p.stages[1].workers, vec![GpuId(3)]);
+        assert_eq!(p.in_flight, p.default_in_flight());
+        assert!(p.in_flight >= 4, "all input replicas stay busy");
+        assert!(p.validate(8).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "need 5 workers")]
+    fn too_few_gpus_panics() {
+        let gpus: Vec<GpuId> = (0..4).map(GpuId).collect();
+        let _ = assign_workers(&[0..3, 3..8], &[3, 2], &gpus);
+    }
+}

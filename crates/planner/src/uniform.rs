@@ -1,0 +1,90 @@
+//! Even splitting: the work-partition strategy of Megatron-LM,
+//! PipeDream-2BW and Chimera for structurally uniform models (§2.1,
+//! category 1). Balances *work* (not layer count) across a fixed number of
+//! stages and spreads workers round-robin.
+
+use ap_cluster::GpuId;
+use ap_models::ModelProfile;
+use ap_pipesim::Partition;
+
+use crate::assign_workers;
+
+/// Split the model into `n_stages` contiguous stages of roughly equal
+/// fwd+bwd work and distribute `available` workers as evenly as possible
+/// (earlier stages get the remainder).
+pub fn uniform_plan(profile: &ModelProfile, n_stages: usize, available: &[GpuId]) -> Partition {
+    let l = profile.n_layers();
+    let s = n_stages.clamp(1, l.min(available.len()));
+    // Greedy walk: cut when cumulative work passes the ideal per-stage
+    // share, always leaving enough layers for the remaining stages.
+    let total = profile.total_work();
+    let mut bounds = Vec::with_capacity(s);
+    let mut start = 0usize;
+    for k in 0..s {
+        if k == s - 1 {
+            bounds.push(start..l);
+            break;
+        }
+        let ideal = total * (k + 1) as f64 / s as f64;
+        let mut end = start + 1;
+        while end < l - (s - k - 1) && profile.range_work(0, end) < ideal {
+            end += 1;
+        }
+        bounds.push(start..end);
+        start = end;
+    }
+    let n = available.len();
+    let base = n / s;
+    let extra = n % s;
+    let counts: Vec<usize> = (0..s).map(|k| base + usize::from(k < extra)).collect();
+    assign_workers(&bounds, &counts, available)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ap_models::{synthetic_uniform, vgg16, ModelProfile};
+
+    fn gpus(n: usize) -> Vec<GpuId> {
+        (0..n).map(GpuId).collect()
+    }
+
+    #[test]
+    fn splits_uniform_model_evenly() {
+        let p = ModelProfile::with_batch(&synthetic_uniform(12, 1e9, 1e6, 1e6), 8);
+        let plan = uniform_plan(&p, 4, &gpus(4));
+        assert!(plan.validate(12).is_ok());
+        assert_eq!(plan.n_stages(), 4);
+        for st in &plan.stages {
+            assert_eq!(st.layers.len(), 3);
+            assert_eq!(st.workers.len(), 1);
+        }
+    }
+
+    #[test]
+    fn balances_work_not_layer_count() {
+        let p = ModelProfile::of(&vgg16());
+        let plan = uniform_plan(&p, 2, &gpus(2));
+        let w0 = p.range_work(plan.stages[0].layers.start, plan.stages[0].layers.end);
+        let w1 = p.range_work(plan.stages[1].layers.start, plan.stages[1].layers.end);
+        // VGG's work is front-loaded in the convs; a work-balanced split is
+        // far from the midpoint layer but close in work.
+        assert!(w0 / w1 < 2.0 && w1 / w0 < 2.0, "w0={w0:.2e} w1={w1:.2e}");
+    }
+
+    #[test]
+    fn clamps_stage_count() {
+        let p = ModelProfile::with_batch(&synthetic_uniform(3, 1e9, 1e6, 1e6), 8);
+        let plan = uniform_plan(&p, 10, &gpus(5));
+        assert!(plan.n_stages() <= 3);
+        assert!(plan.validate(3).is_ok());
+    }
+
+    #[test]
+    fn spreads_leftover_workers_to_early_stages() {
+        let p = ModelProfile::with_batch(&synthetic_uniform(8, 1e9, 1e6, 1e6), 8);
+        let plan = uniform_plan(&p, 3, &gpus(5));
+        let counts: Vec<usize> = plan.stages.iter().map(|s| s.workers.len()).collect();
+        assert_eq!(counts, vec![2, 2, 1]);
+    }
+}

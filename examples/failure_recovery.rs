@@ -1,0 +1,83 @@
+//! Failure recovery: a GPU degrades severely mid-training (the
+//! cluster-utilization study the paper cites lists failures as a distinct
+//! churn source), throttling the whole round-robin stage that contains it.
+//! AutoPipe's eviction moves shed the dying replica and re-balance the
+//! layers; the static PipeDream plan stays throttled.
+//!
+//! ```text
+//! cargo run --release --example failure_recovery
+//! ```
+
+use ap_cluster::gpu::GpuKind;
+use ap_cluster::{gbps, ClusterTopology, DetectorConfig, EventKind, GpuId, ResourceTimeline};
+use ap_models::{resnet50, ModelProfile};
+use ap_planner::{pipedream_plan, PipeDreamView};
+use autopipe::controller::{run_dynamic_scenario, AutoPipeConfig, AutoPipeController, Scorer};
+use autopipe::ArbiterMode;
+
+fn main() {
+    let profile = ModelProfile::of(&resnet50());
+    let topo = ClusterTopology::single_switch(6, 1, GpuKind::P100, 25.0);
+    let gpus: Vec<GpuId> = (0..topo.n_gpus()).map(GpuId).collect();
+    let init = pipedream_plan(
+        &profile,
+        &gpus,
+        PipeDreamView {
+            bandwidth: gbps(25.0),
+            gpu_flops: GpuKind::P100.peak_flops(),
+        },
+    );
+    println!("initial plan: {}", init.summary());
+
+    // GPU 0 effectively dies at t = 1.5 s (50-way time slicing ~= 2% of a
+    // device left).
+    let mut timeline = ResourceTimeline::empty();
+    timeline.push(1.5, EventKind::SetGpuSharing(GpuId(0), 50));
+
+    let cfg = AutoPipeConfig {
+        check_every: 6,
+        detector: DetectorConfig {
+            threshold: 0.15,
+            persistence: 1,
+        },
+        ..AutoPipeConfig::default()
+    };
+
+    let baseline = run_dynamic_scenario(&profile, &topo, &timeline, init.clone(), None, &cfg, 90);
+    let mut ctrl = AutoPipeController::new(
+        &profile,
+        init.clone(),
+        Scorer::Analytic,
+        ArbiterMode::Threshold(0.0),
+        cfg.clone(),
+    );
+    let adaptive = run_dynamic_scenario(&profile, &topo, &timeline, init, Some(&mut ctrl), &cfg, 90);
+
+    println!("\niter   AutoPipe   PipeDream   (img/s)");
+    let sample = |series: &[(u64, f64)], it: u64| {
+        series
+            .iter()
+            .filter(|&&(i, _)| i <= it)
+            .map(|&(_, s)| s)
+            .last()
+            .unwrap_or(0.0)
+    };
+    for it in (4..90).step_by(10) {
+        println!(
+            "{it:4}   {:8.1}   {:9.1}",
+            sample(&adaptive.speed_series, it),
+            sample(&baseline.speed_series, it)
+        );
+    }
+    println!(
+        "\nmean throughput: AutoPipe {:.1} img/s vs PipeDream {:.1} img/s ({:+.1}%)",
+        adaptive.mean_throughput,
+        baseline.mean_throughput,
+        (adaptive.mean_throughput / baseline.mean_throughput - 1.0) * 100.0
+    );
+    println!("final partition: {}", ctrl.partition.summary());
+    println!(
+        "GPU 0 evacuated: {}",
+        !ctrl.partition.all_workers().contains(&GpuId(0))
+    );
+}

@@ -1,0 +1,59 @@
+//! Train AutoPipe's meta-network offline across random environments and
+//! inspect its predictions against the analytic ground truth, including
+//! online adaptation to an out-of-distribution shift (§4.3).
+//!
+//! ```text
+//! cargo run --release --example meta_network_training
+//! ```
+
+use ap_cluster::gpu::GpuKind;
+use ap_cluster::{ClusterState, ClusterTopology, GpuId};
+use ap_models::{resnet50, ModelProfile};
+use ap_pipesim::{Partition, Stage};
+use autopipe::controller::{pretrain_meta_net, AutoPipeConfig};
+use autopipe::meta_net::MetaNetConfig;
+use autopipe::metrics::{static_metrics_from_profile, FeatureEncoder};
+use autopipe::Profiler;
+
+fn main() {
+    let topo = ClusterTopology::single_switch(4, 2, GpuKind::P100, 25.0);
+    let profile = ModelProfile::of(&resnet50());
+    let cfg = AutoPipeConfig::default();
+
+    println!("pretraining the meta-network on 400 sampled environments...");
+    let net = pretrain_meta_net(&profile, &topo, &cfg, MetaNetConfig::default(), 400, 60, 11);
+
+    // Sweep the boundary of a 2-stage / 4-worker partition and compare the
+    // learned predictor with the analytic model.
+    let state = ClusterState::new(topo);
+    let analytic = ap_pipesim::AnalyticModel {
+        profile: &profile,
+        scheme: cfg.scheme,
+        framework: cfg.framework,
+        schedule: cfg.schedule,
+    };
+    let encoder = FeatureEncoder;
+    let mut profiler = Profiler::new(&profile, 0.0, 3);
+    println!("\nboundary   meta-net   analytic   (img/s)");
+    let l = profile.n_layers();
+    for split in [l / 8, l / 4, l / 2, 3 * l / 4, 7 * l / 8] {
+        let part = Partition {
+            stages: vec![
+                Stage::new(0..split, vec![GpuId(0), GpuId(1)]),
+                Stage::new(split..l, vec![GpuId(2), GpuId(3)]),
+            ],
+            in_flight: 6,
+        };
+        let seq: Vec<Vec<f64>> = (0..8)
+            .map(|_| encoder.encode_dynamic(&profiler.observe(&part.all_workers(), &state), &part))
+            .collect();
+        let stat = encoder.encode_static(&static_metrics_from_profile(&profile, 4), &part);
+        println!(
+            "{split:8}   {:8.1}   {:8.1}",
+            net.predict_throughput(&seq, &stat),
+            analytic.throughput(&part, &state)
+        );
+    }
+    println!("\n(the predictor is used for *ranking* candidates; absolute scale");
+    println!(" is recalibrated online from measured speeds, §4.3)");
+}

@@ -1,0 +1,94 @@
+//! Figure 1 of the paper: the timelines of data, model and pipeline
+//! parallelism for a two-layer model on two workers.
+//!
+//! ```text
+//! cargo run --release --example parallelism_timelines
+//! ```
+
+use ap_cluster::gpu::GpuKind;
+use ap_cluster::{ClusterState, ClusterTopology, GpuId, ResourceTimeline};
+use ap_models::{synthetic_uniform, ModelProfile};
+use ap_pipesim::{Engine, EngineConfig, Partition, ScheduleKind, Stage, WorkKind};
+
+fn render(title: &str, result: &ap_pipesim::SimResult, n_workers: usize, cols: usize) {
+    println!("\n== {title} ==");
+    let span = result.makespan;
+    for w in 0..n_workers {
+        let mut row = format!("worker {w}: ");
+        for c in 0..cols {
+            let t = (c as f64 + 0.5) * span / cols as f64;
+            let seg = result
+                .segments
+                .iter()
+                .find(|s| s.worker == w && s.start <= t && t < s.end);
+            row.push(match seg {
+                Some(s) if s.kind == WorkKind::Forward => 'F',
+                Some(_) => 'B',
+                None => '.',
+            });
+        }
+        println!("  {row}");
+    }
+    println!(
+        "  throughput {:.1} img/s, utilization {:.0}%",
+        result.throughput(),
+        result.utilization().iter().sum::<f64>() / n_workers as f64 * 100.0
+    );
+}
+
+fn main() {
+    let topo = ClusterTopology::single_switch(2, 1, GpuKind::P100, 100.0);
+    // Two equal layers, tiny tensors (Figure 1 assumes free communication).
+    let model = synthetic_uniform(2, 8e9, 1e4, 1e5);
+    let profile = ModelProfile::with_batch(&model, 32);
+    let cfg = EngineConfig {
+        record_timeline: true,
+        ..EngineConfig::default()
+    };
+
+    // (a) Data parallelism: both workers hold the whole model.
+    let dp = Partition::single_stage(2, vec![GpuId(0), GpuId(1)]);
+    let r = Engine::new(
+        &profile,
+        dp,
+        ClusterState::new(topo.clone()),
+        ResourceTimeline::empty(),
+        cfg.clone(),
+    )
+    .run(6);
+    render("(a) data parallelism", &r, 2, 72);
+
+    // (b) Model parallelism: one layer per worker, one batch in flight.
+    let mp = Partition {
+        stages: vec![
+            Stage::new(0..1, vec![GpuId(0)]),
+            Stage::new(1..2, vec![GpuId(1)]),
+        ],
+        in_flight: 1,
+    };
+    let r = Engine::new(
+        &profile,
+        mp.clone(),
+        ClusterState::new(topo.clone()),
+        ResourceTimeline::empty(),
+        cfg.clone(),
+    )
+    .run(6);
+    render("(b) model parallelism (note the idle gaps)", &r, 2, 72);
+
+    // (c) Pipeline parallelism: same placement, batches kept in flight.
+    let pp = Partition { in_flight: 2, ..mp };
+    let r = Engine::new(
+        &profile,
+        pp,
+        ClusterState::new(topo),
+        ResourceTimeline::empty(),
+        EngineConfig {
+            record_timeline: true,
+            schedule: ScheduleKind::PipeDreamAsync,
+            ..EngineConfig::default()
+        },
+    )
+    .run(6);
+    render("(c) pipeline parallelism (gaps filled)", &r, 2, 72);
+}

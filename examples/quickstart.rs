@@ -1,0 +1,101 @@
+//! Quickstart: plan, refine, and measure a pipeline-parallel training job
+//! on the paper's testbed.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ap_bench_free::*;
+
+// The examples avoid depending on the bench crate; everything here uses
+// the public library APIs directly.
+mod ap_bench_free {
+    pub use ap_cluster::gpu::GpuKind;
+    pub use ap_cluster::{gbps, ClusterState, ClusterTopology, GpuId, ResourceTimeline};
+    pub use ap_models::{vgg16, ModelProfile};
+    pub use ap_pipesim::{
+        AnalyticModel, Engine, EngineConfig, Framework, ScheduleKind, SyncScheme,
+    };
+    pub use ap_planner::{pipedream_plan, PipeDreamView};
+    pub use autopipe::controller::hill_climb;
+}
+
+fn main() {
+    // 1. The paper's testbed: 5 servers x 2 P100 behind one switch, 25 Gbps
+    //    — *shared*: a competing job time-slices six of the ten GPUs.
+    let topo = ClusterTopology::paper_testbed(25.0);
+    let mut state = ClusterState::new(topo);
+    state.apply(&ap_cluster::EventKind::JobArrive {
+        id: ap_cluster::dynamics::BgJobId(1),
+        gpus: (0..6).map(GpuId).collect(),
+        net_bytes_per_sec: gbps(8.0),
+    });
+    println!("cluster: {} GPUs on {} servers (shared with another job)", state.topology.n_gpus(), state.topology.servers.len());
+
+    // 2. Profile VGG16 at the paper's batch size (Table 1 statics).
+    let model = vgg16();
+    let profile = ModelProfile::of(&model);
+    println!(
+        "model: {} — {} layers, {:.1} M parameters, batch {}",
+        model.name,
+        profile.n_layers(),
+        profile.total_params() / 4e6,
+        profile.batch
+    );
+
+    // 3. PipeDream's one-shot plan (simplified view: uniform bandwidth,
+    //    exclusive GPU).
+    let gpus: Vec<GpuId> = (0..state.topology.n_gpus()).map(GpuId).collect();
+    let pd_plan = pipedream_plan(
+        &profile,
+        &gpus,
+        PipeDreamView {
+            bandwidth: gbps(25.0),
+            gpu_flops: GpuKind::P100.peak_flops(),
+        },
+    );
+    println!("\nPipeDream plan: {}", pd_plan.summary());
+
+    // 4. AutoPipe's refinement against the true cluster state: explore
+    //    from the PipeDream plan *and* from a heterogeneity-aware restart
+    //    (fastest GPUs first), keeping whichever scores better.
+    let analytic = AnalyticModel {
+        profile: &profile,
+        scheme: SyncScheme::RingAllReduce,
+        framework: Framework::pytorch(),
+        schedule: ScheduleKind::PipeDreamAsync,
+    };
+    let mut by_speed = gpus.clone();
+    by_speed.sort_by(|&a, &b| state.effective_flops(b).total_cmp(&state.effective_flops(a)));
+    let restart = ap_planner::brute_force_plan(&analytic, &by_speed, &state, 3);
+    let ap_plan = [
+        hill_climb(&analytic, pd_plan.clone(), &state, 30),
+        hill_climb(&analytic, restart, &state, 30),
+    ]
+    .into_iter()
+    .max_by(|a, b| {
+        analytic
+            .throughput(a, &state)
+            .total_cmp(&analytic.throughput(b, &state))
+    })
+    .unwrap();
+    println!("AutoPipe  plan: {}", ap_plan.summary());
+
+    // 5. Measure both on the event engine.
+    for (name, plan) in [("PipeDream", &pd_plan), ("AutoPipe", &ap_plan)] {
+        let result = Engine::new(
+            &profile,
+            plan.clone(),
+            state.clone(),
+            ResourceTimeline::empty(),
+            EngineConfig::default(),
+        )
+        .run(60);
+        println!(
+            "{name:10} -> {:6.1} img/s steady ({:.1}% mean utilization, staleness {:.1})",
+            result.steady_throughput(20),
+            result.utilization().iter().sum::<f64>() / result.busy.len() as f64 * 100.0,
+            result.mean_staleness,
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! The full AutoPipe loop on a shared cluster whose bandwidth collapses
+//! mid-training: the detector fires, the controller proposes incremental
+//! moves, the RL arbiter approves, and the pipeline is re-partitioned live.
+//!
+//! ```text
+//! cargo run --release --example shared_cluster_adaptation
+//! ```
+
+use ap_cluster::gpu::GpuKind;
+use ap_cluster::{gbps, ClusterTopology, DetectorConfig, EventKind, GpuId, ResourceTimeline};
+use ap_models::{resnet50, ModelProfile};
+use autopipe::arbiter::{default_episode_sampler, Arbiter, ArbiterMode};
+use autopipe::controller::{run_dynamic_scenario, AutoPipeConfig, AutoPipeController, Scorer};
+use ap_planner::{pipedream_plan, PipeDreamView};
+
+fn main() {
+    let profile = ModelProfile::of(&resnet50());
+    let topo = ClusterTopology::paper_testbed(40.0);
+    let init = pipedream_plan(
+        &profile,
+        &(0..topo.n_gpus()).map(GpuId).collect::<Vec<_>>(),
+        PipeDreamView {
+            bandwidth: gbps(40.0),
+            gpu_flops: GpuKind::P100.peak_flops(),
+        },
+    );
+    println!("initial plan (computed for 40 Gbps): {}", init.summary());
+
+    // Mid-training, competing traffic drops every link to 8 Gbps.
+    let mut timeline = ResourceTimeline::empty();
+    timeline.push(2.0, EventKind::SetAllLinksGbps(8.0));
+
+    let cfg = AutoPipeConfig {
+        check_every: 6,
+        detector: DetectorConfig {
+            threshold: 0.15,
+            persistence: 1,
+        },
+        ..AutoPipeConfig::default()
+    };
+
+    // Static PipeDream baseline.
+    let baseline = run_dynamic_scenario(&profile, &topo, &timeline, init.clone(), None, &cfg, 120);
+
+    // AutoPipe with an offline-trained RL arbiter.
+    let mut arbiter = Arbiter::new(7);
+    println!("training the RL arbiter offline (4000 episodes)...");
+    arbiter.train_offline(default_episode_sampler, 4000, 42);
+    let mut ctrl = AutoPipeController::new(
+        &profile,
+        init.clone(),
+        Scorer::Analytic,
+        ArbiterMode::Rl(arbiter),
+        cfg.clone(),
+    );
+    let adaptive = run_dynamic_scenario(&profile, &topo, &timeline, init, Some(&mut ctrl), &cfg, 120);
+
+    println!("\niter   AutoPipe   PipeDream   (img/s)");
+    let sample = |series: &[(u64, f64)], it: u64| {
+        series
+            .iter()
+            .filter(|&&(i, _)| i <= it)
+            .map(|&(_, s)| s)
+            .last()
+            .unwrap_or(0.0)
+    };
+    for it in (4..120).step_by(10) {
+        println!(
+            "{it:4}   {:8.1}   {:9.1}",
+            sample(&adaptive.speed_series, it),
+            sample(&baseline.speed_series, it)
+        );
+    }
+    println!(
+        "\nmean throughput: AutoPipe {:.1} img/s vs PipeDream {:.1} img/s ({:+.1}%)",
+        adaptive.mean_throughput,
+        baseline.mean_throughput,
+        (adaptive.mean_throughput / baseline.mean_throughput - 1.0) * 100.0
+    );
+    println!("switches applied: {:?}", adaptive.switches);
+    println!("final partition: {}", ctrl.partition.summary());
+}

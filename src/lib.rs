@@ -1,0 +1,13 @@
+//! Workspace root for the AutoPipe reproduction.
+//!
+//! This package only hosts the workspace-level `examples/` and `tests/`;
+//! the library lives in `crates/core` (package `autopipe`) and its
+//! substrates in the sibling `crates/*` packages. See `DESIGN.md` for the
+//! system inventory and `EXPERIMENTS.md` for the reproduction results.
+
+pub use autopipe;
+pub use ap_cluster;
+pub use ap_models;
+pub use ap_nn;
+pub use ap_pipesim;
+pub use ap_planner;

@@ -1,0 +1,196 @@
+//! End-to-end integration: the full AutoPipe stack (profiler → detector →
+//! meta-net/analytic scorer → RL arbiter → live fine-grained switching)
+//! against a static PipeDream baseline, spanning every crate.
+
+use ap_cluster::gpu::GpuKind;
+use ap_cluster::{gbps, ClusterTopology, DetectorConfig, EventKind, GpuId, ResourceTimeline};
+use ap_models::{resnet50, synthetic_skewed, ModelProfile};
+use ap_planner::{pipedream_plan, PipeDreamView};
+use autopipe::arbiter::{default_episode_sampler, Arbiter, ArbiterMode};
+use autopipe::controller::{run_dynamic_scenario, AutoPipeConfig, AutoPipeController, Scorer};
+
+fn config() -> AutoPipeConfig {
+    AutoPipeConfig {
+        check_every: 6,
+        detector: DetectorConfig {
+            threshold: 0.12,
+            persistence: 1,
+        },
+        ..AutoPipeConfig::default()
+    }
+}
+
+fn initial(profile: &ModelProfile, gbps_v: f64, n: usize) -> ap_pipesim::Partition {
+    pipedream_plan(
+        profile,
+        &(0..n).map(GpuId).collect::<Vec<_>>(),
+        PipeDreamView {
+            bandwidth: gbps(gbps_v),
+            gpu_flops: GpuKind::P100.peak_flops(),
+        },
+    )
+}
+
+#[test]
+fn autopipe_with_rl_arbiter_never_loses_under_bandwidth_collapse() {
+    let profile = ModelProfile::of(&resnet50());
+    let topo = ClusterTopology::paper_testbed(40.0);
+    let init = initial(&profile, 40.0, 10);
+    let mut tl = ResourceTimeline::empty();
+    tl.push(2.0, EventKind::SetAllLinksGbps(8.0));
+    let cfg = config();
+
+    let baseline = run_dynamic_scenario(&profile, &topo, &tl, init.clone(), None, &cfg, 100);
+
+    let mut arbiter = Arbiter::new(7);
+    arbiter.train_offline(default_episode_sampler, 4000, 42);
+    let mut ctrl = AutoPipeController::new(
+        &profile,
+        init.clone(),
+        Scorer::Analytic,
+        ArbiterMode::Rl(arbiter),
+        cfg.clone(),
+    );
+    let adaptive = run_dynamic_scenario(&profile, &topo, &tl, init, Some(&mut ctrl), &cfg, 100);
+    assert!(
+        adaptive.mean_throughput >= baseline.mean_throughput * 0.97,
+        "AutoPipe {:.1} vs PipeDream {:.1}",
+        adaptive.mean_throughput,
+        baseline.mean_throughput
+    );
+}
+
+#[test]
+fn live_switching_preserves_iteration_accounting() {
+    // A controller that switches must still deliver exactly the requested
+    // number of iteration completions with monotone timestamps.
+    let model = synthetic_skewed(12, 2e9, 40e6, 10e6);
+    let profile = ModelProfile::with_batch(&model, 32);
+    let topo = ClusterTopology::single_switch(4, 1, GpuKind::P100, 25.0);
+    let init = initial(&profile, 25.0, 4);
+    let mut tl = ResourceTimeline::empty();
+    tl.push(3.0, EventKind::SetAllLinksGbps(2.0));
+    let cfg = config();
+    let mut ctrl = AutoPipeController::new(
+        &profile,
+        init.clone(),
+        Scorer::Analytic,
+        ArbiterMode::Threshold(0.0),
+        cfg.clone(),
+    );
+    let r = run_dynamic_scenario(&profile, &topo, &tl, init, Some(&mut ctrl), &cfg, 70);
+    assert_eq!(r.speed_series.len(), 70);
+    assert!(r.speed_series.iter().all(|&(_, s)| s > 0.0));
+    assert!(r.total_seconds > 0.0);
+}
+
+#[test]
+fn autopipe_evacuates_a_degraded_gpu() {
+    // A GPU degrades 50x mid-run (failure injection). The static plan is
+    // throttled by the straggler; AutoPipe's eviction moves shed it.
+    let model = synthetic_skewed(12, 4e9, 4e6, 8e6);
+    let profile = ModelProfile::with_batch(&model, 32);
+    let topo = ClusterTopology::single_switch(6, 1, GpuKind::P100, 25.0);
+    let init = initial(&profile, 25.0, 6);
+    let mut tl = ResourceTimeline::empty();
+    tl.push(1.0, EventKind::SetGpuSharing(GpuId(0), 50));
+    let cfg = config();
+
+    let baseline = run_dynamic_scenario(&profile, &topo, &tl, init.clone(), None, &cfg, 90);
+    let mut ctrl = AutoPipeController::new(
+        &profile,
+        init.clone(),
+        Scorer::Analytic,
+        ArbiterMode::Threshold(0.0),
+        cfg.clone(),
+    );
+    let adaptive = run_dynamic_scenario(&profile, &topo, &tl, init, Some(&mut ctrl), &cfg, 90);
+    assert!(
+        adaptive.mean_throughput > baseline.mean_throughput * 1.1,
+        "evacuation should clearly win: {:.1} vs {:.1} (final plan {})",
+        adaptive.mean_throughput,
+        baseline.mean_throughput,
+        ctrl.partition.summary()
+    );
+    // The degraded GPU is gone from the final plan.
+    assert!(
+        !ctrl.partition.all_workers().contains(&GpuId(0)),
+        "GPU 0 should have been evacuated: {}",
+        ctrl.partition.summary()
+    );
+}
+
+#[test]
+fn autopipe_survives_stochastic_multi_tenant_churn() {
+    // A long run under diurnal background churn: the controller must never
+    // crash, must complete the requested iterations, and must not end up
+    // slower than the static plan.
+    use ap_cluster::{BackgroundJobGenerator, DiurnalGenerator};
+    let profile = ModelProfile::of(&resnet50());
+    let topo = ClusterTopology::paper_testbed(25.0);
+    let gen = DiurnalGenerator {
+        base: BackgroundJobGenerator {
+            arrival_rate: 0.4,
+            mean_duration: 4.0,
+            max_gpus: 6,
+            net_bytes_per_sec: gbps(4.0),
+        },
+        period: 12.0,
+        peak_factor: 4.0,
+    };
+    let tl = gen.generate(&topo, 60.0, 77);
+    assert!(!tl.events().is_empty());
+    let init = initial(&profile, 25.0, 10);
+    // Churn this fast calls for the conservative end of §4.1's
+    // sensitivity/fluctuation balance: confirm changes over several
+    // observations and amortize switching over a short horizon.
+    let mut cfg = config();
+    cfg.detector = DetectorConfig {
+        threshold: 0.25,
+        persistence: 4,
+    };
+    cfg.horizon_iterations = 25.0;
+    cfg.moves_per_decision = 2;
+
+    let baseline = run_dynamic_scenario(&profile, &topo, &tl, init.clone(), None, &cfg, 120);
+    let mut ctrl = AutoPipeController::new(
+        &profile,
+        init.clone(),
+        Scorer::Analytic,
+        ArbiterMode::Threshold(0.1),
+        cfg.clone(),
+    );
+    let adaptive = run_dynamic_scenario(&profile, &topo, &tl, init, Some(&mut ctrl), &cfg, 120);
+    assert_eq!(adaptive.speed_series.len(), 120);
+    assert!(
+        adaptive.mean_throughput >= baseline.mean_throughput * 0.9,
+        "churn: AutoPipe {:.1} vs static {:.1}",
+        adaptive.mean_throughput,
+        baseline.mean_throughput
+    );
+}
+
+#[test]
+fn meta_net_scorer_controller_runs_end_to_end() {
+    use autopipe::controller::pretrain_meta_net;
+    use autopipe::meta_net::MetaNetConfig;
+
+    let model = synthetic_skewed(10, 2e9, 10e6, 8e6);
+    let profile = ModelProfile::with_batch(&model, 32);
+    let topo = ClusterTopology::single_switch(4, 1, GpuKind::P100, 25.0);
+    let cfg = config();
+    let net = pretrain_meta_net(&profile, &topo, &cfg, MetaNetConfig::default(), 150, 25, 3);
+    let init = initial(&profile, 25.0, 4);
+    let mut tl = ResourceTimeline::empty();
+    tl.push(2.0, EventKind::ScaleAllLinks(0.25));
+    let mut ctrl = AutoPipeController::new(
+        &profile,
+        init.clone(),
+        Scorer::MetaNet(Box::new(net)),
+        ArbiterMode::Threshold(0.0),
+        cfg.clone(),
+    );
+    let r = run_dynamic_scenario(&profile, &topo, &tl, init, Some(&mut ctrl), &cfg, 50);
+    assert!(r.mean_throughput > 0.0);
+    assert_eq!(r.speed_series.len(), 50);
+}

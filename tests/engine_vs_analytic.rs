@@ -1,0 +1,93 @@
+//! Cross-crate validation: the fast analytic model and the discrete-event
+//! engine must agree on steady-state throughput where the analytic model's
+//! assumptions hold exactly (uniform stages, ample in-flight depth).
+
+use ap_cluster::gpu::GpuKind;
+use ap_cluster::{ClusterState, ClusterTopology, GpuId, ResourceTimeline};
+use ap_models::{resnet50, synthetic_uniform, vgg16, ModelProfile};
+use ap_pipesim::{AnalyticModel, Engine, EngineConfig, Partition, Stage};
+
+fn agreement(profile: &ModelProfile, partition: &Partition, link_gbps: f64) -> (f64, f64) {
+    let topo = ClusterTopology::paper_testbed(link_gbps);
+    let state = ClusterState::new(topo);
+    let model = AnalyticModel {
+        profile,
+        scheme: ap_pipesim::SyncScheme::RingAllReduce,
+        framework: ap_pipesim::Framework::pytorch(),
+        schedule: ap_pipesim::ScheduleKind::PipeDreamAsync,
+    };
+    let analytic = model.throughput(partition, &state);
+    let engine = Engine::new(
+        profile,
+        partition.clone(),
+        state,
+        ResourceTimeline::empty(),
+        EngineConfig::default(),
+    )
+    .run(3 * partition.in_flight.max(20))
+    .steady_throughput(partition.in_flight);
+    (analytic, engine)
+}
+
+#[test]
+fn uniform_pipeline_agreement_within_ten_percent() {
+    let model = synthetic_uniform(8, 4e9, 2e6, 4e6);
+    let profile = ModelProfile::with_batch(&model, 32);
+    let partition = Partition {
+        stages: (0..4)
+            .map(|s| Stage::new(s * 2..(s + 1) * 2, vec![GpuId(s)]))
+            .collect(),
+        in_flight: 8,
+    };
+    let (a, e) = agreement(&profile, &partition, 100.0);
+    let rel = (a - e).abs() / e;
+    assert!(rel < 0.10, "analytic {a:.1} vs engine {e:.1} ({rel:.2})");
+}
+
+#[test]
+fn real_model_agreement_within_twenty_percent() {
+    for m in [vgg16(), resnet50()] {
+        let profile = ModelProfile::of(&m);
+        let gpus: Vec<GpuId> = (0..10).map(GpuId).collect();
+        let partition = ap_planner::pipedream_plan(
+            &profile,
+            &gpus,
+            ap_planner::PipeDreamView {
+                bandwidth: ap_cluster::gbps(25.0),
+                gpu_flops: GpuKind::P100.peak_flops(),
+            },
+        );
+        let (a, e) = agreement(&profile, &partition, 25.0);
+        let rel = (a - e).abs() / e;
+        assert!(
+            rel < 0.20,
+            "{}: analytic {a:.1} vs engine {e:.1} ({rel:.2})",
+            m.name
+        );
+    }
+}
+
+#[test]
+fn both_models_agree_on_partition_ranking() {
+    // The planner's whole premise: if the analytic model prefers A to B by
+    // a clear margin, the engine must not prefer B.
+    let profile = ModelProfile::of(&resnet50());
+    let good = Partition {
+        stages: vec![
+            Stage::new(0..45, (0..9).map(GpuId).collect()),
+            Stage::new(45..52, vec![GpuId(9)]),
+        ],
+        in_flight: 18,
+    };
+    let bad = Partition {
+        stages: vec![
+            Stage::new(0..4, (0..9).map(GpuId).collect()),
+            Stage::new(4..52, vec![GpuId(9)]),
+        ],
+        in_flight: 18,
+    };
+    let (a_good, e_good) = agreement(&profile, &good, 25.0);
+    let (a_bad, e_bad) = agreement(&profile, &bad, 25.0);
+    assert!(a_good > 1.5 * a_bad, "analytic must separate: {a_good} vs {a_bad}");
+    assert!(e_good > 1.5 * e_bad, "engine must separate: {e_good} vs {e_bad}");
+}

@@ -1,0 +1,149 @@
+//! Cross-crate property tests: partition-move validity, switch-plan
+//! symmetry, planner sanity and engine conservation laws over randomized
+//! inputs.
+
+use ap_cluster::gpu::GpuKind;
+use ap_cluster::{ClusterState, ClusterTopology, GpuId, ResourceTimeline};
+use ap_models::{synthetic_skewed, synthetic_uniform, ModelProfile};
+use ap_pipesim::{
+    Engine, EngineConfig, Partition, ScheduleKind, Stage, SwitchPlan,
+};
+use ap_planner::{all_moves, pipedream_plan, two_worker_moves, PipeDreamView};
+use proptest::prelude::*;
+
+/// Arbitrary valid partition of `n_layers` over up to `n_gpus` workers.
+fn arb_partition(n_layers: usize, n_gpus: usize) -> impl Strategy<Value = Partition> {
+    (1..=3usize, any::<u64>()).prop_map(move |(stages, seed)| {
+        let stages = stages.min(n_layers).min(n_gpus);
+        // Deterministic pseudo-random cuts/workers from the seed.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 33) as usize
+        };
+        let mut cuts: Vec<usize> = (1..stages).map(|_| 1 + next() % (n_layers - 1)).collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut bounds = Vec::new();
+        let mut lo = 0;
+        for &c in &cuts {
+            bounds.push(lo..c);
+            lo = c;
+        }
+        bounds.push(lo..n_layers);
+        // Assign workers round-robin, at least one per stage.
+        let k = bounds.len();
+        let mut counts = vec![1usize; k];
+        for _ in k..n_gpus {
+            let i = next() % k;
+            counts[i] += 1;
+        }
+        let mut gi = 0;
+        let stages: Vec<Stage> = bounds
+            .into_iter()
+            .zip(counts)
+            .map(|(r, c)| {
+                let ws: Vec<GpuId> = (gi..gi + c).map(GpuId).collect();
+                gi += c;
+                Stage::new(r, ws)
+            })
+            .collect();
+        let mut p = Partition {
+            stages,
+            in_flight: 1,
+        };
+        p.in_flight = p.default_in_flight();
+        p
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every incremental move yields a valid partition that preserves the
+    /// worker set.
+    #[test]
+    fn moves_preserve_validity_and_workers(p in arb_partition(12, 6)) {
+        let model = synthetic_skewed(12, 1e9, 4e6, 4e6);
+        let profile = ModelProfile::with_batch(&model, 16);
+        let mut base_workers = p.all_workers();
+        base_workers.sort();
+        for (kind, q) in all_moves(&p, &profile) {
+            prop_assert!(q.validate(12).is_ok(), "{kind:?}");
+            let mut w = q.all_workers();
+            w.sort();
+            prop_assert_eq!(&w, &base_workers, "{:?} changed the worker set", kind);
+        }
+    }
+
+    /// Switch plans are symmetric in volume: A->B moves the same layers as
+    /// B->A.
+    #[test]
+    fn switch_plans_are_symmetric(a in arb_partition(10, 5), b in arb_partition(10, 5)) {
+        let model = synthetic_uniform(10, 1e9, 2e6, 4e6);
+        let profile = ModelProfile::with_batch(&model, 16);
+        let ab = SwitchPlan::between(&a, &b, &profile, ScheduleKind::PipeDream2Bw);
+        let ba = SwitchPlan::between(&b, &a, &profile, ScheduleKind::PipeDream2Bw);
+        prop_assert_eq!(&ab.moved_layers, &ba.moved_layers);
+        prop_assert_eq!(&ab.affected_workers, &ba.affected_workers);
+        prop_assert!((ab.transfer_bytes - ba.transfer_bytes).abs() < 1.0);
+        // Self-diff is a no-op.
+        let aa = SwitchPlan::between(&a, &a, &profile, ScheduleKind::PipeDream2Bw);
+        prop_assert!(aa.is_noop());
+    }
+
+    /// The engine completes exactly the requested iterations (or slightly
+    /// more on simultaneous completion), in non-decreasing time order, and
+    /// busy time never exceeds the makespan.
+    #[test]
+    fn engine_conservation(p in arb_partition(8, 4), iters in 5usize..25) {
+        let model = synthetic_uniform(8, 1e9, 2e6, 4e6);
+        let profile = ModelProfile::with_batch(&model, 16);
+        let topo = ClusterTopology::single_switch(4, 1, GpuKind::P100, 25.0);
+        let r = Engine::new(
+            &profile,
+            p,
+            ClusterState::new(topo),
+            ResourceTimeline::empty(),
+            EngineConfig::default(),
+        )
+        .run(iters);
+        prop_assert!(r.iterations.len() >= iters);
+        for w in r.iterations.windows(2) {
+            prop_assert!(w[1].finish >= w[0].finish - 1e-9);
+        }
+        // Iteration ids are unique; replicas complete out of order, so the
+        // final wave may contain an id ahead of a still-in-flight one, but
+        // every id stays within the injected range.
+        let mut ids: Vec<u64> = r.iterations.iter().map(|i| i.iteration).collect();
+        ids.sort_unstable();
+        let unique_before = ids.len();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), unique_before, "duplicate iteration ids");
+        let max_injected = (r.iterations.len() + 64) as u64;
+        prop_assert!(ids.iter().all(|&id| id < max_injected));
+        for &b in &r.busy {
+            prop_assert!(b <= r.makespan + 1e-6);
+        }
+    }
+
+    /// PipeDream's planner output is always valid and uses at most the
+    /// offered workers, at any bandwidth.
+    #[test]
+    fn planner_output_valid(gbps_v in 1.0..120.0f64, n in 2usize..10) {
+        let model = synthetic_skewed(9, 2e9, 8e6, 6e6);
+        let profile = ModelProfile::with_batch(&model, 16);
+        let gpus: Vec<GpuId> = (0..n).map(GpuId).collect();
+        let plan = pipedream_plan(&profile, &gpus, PipeDreamView {
+            bandwidth: ap_cluster::gbps(gbps_v),
+            gpu_flops: 9.3e12,
+        });
+        prop_assert!(plan.validate(9).is_ok());
+        prop_assert!(plan.n_workers() <= n);
+        prop_assert!(plan.in_flight >= 1);
+        // Two-worker moves of the plan stay valid.
+        for (_, q) in two_worker_moves(&plan, 9) {
+            prop_assert!(q.validate(9).is_ok());
+        }
+    }
+}

@@ -2,36 +2,28 @@
 //! paper's models on the 10-GPU testbed (the kernel every experiment sits
 //! on).
 
-use ap_bench::{exclusive_state, paper_pipedream_plan, ExperimentEnv};
+use ap_bench::{exclusive_state, paper_pipedream_plan, timing, ExperimentEnv};
 use ap_cluster::ResourceTimeline;
 use ap_models::{alexnet, resnet50, vgg16, ModelProfile};
 use ap_pipesim::Engine;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine_30_iterations");
-    group.sample_size(20);
+fn main() {
+    println!("engine_30_iterations");
     for model in [resnet50(), vgg16(), alexnet()] {
         let profile = ModelProfile::of(&model);
         let env = ExperimentEnv::default_at(25.0);
         let plan = paper_pipedream_plan(&profile, 25.0, 10);
         let state = exclusive_state(25.0);
-        group.bench_function(model.name.clone(), |b| {
-            b.iter(|| {
-                let engine = Engine::new(
-                    &profile,
-                    plan.clone(),
-                    state.clone(),
-                    ResourceTimeline::empty(),
-                    env.engine_cfg(),
-                );
-                black_box(engine.run(30).throughput())
-            })
+        timing::run(&model.name, 20, || {
+            let engine = Engine::new(
+                &profile,
+                plan.clone(),
+                state.clone(),
+                ResourceTimeline::empty(),
+                env.engine_cfg(),
+            );
+            black_box(engine.run(30).throughput());
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_engine);
-criterion_main!(benches);

@@ -5,18 +5,18 @@
 //! single RL-arbiter pass. The paper reports meta-net + RL well below the
 //! DP and everything under a second.
 
+use ap_bench::timing;
 use ap_cluster::{gbps, GpuId};
 use ap_models::{alexnet, resnet50, vgg16, ModelProfile};
 use ap_planner::{pipedream_plan, two_worker_moves, PipeDreamView};
 use autopipe::arbiter::{Arbiter, ArbiterInput};
 use autopipe::metrics::{static_metrics_from_profile, FeatureEncoder, DYNAMIC_DIM};
 use autopipe::{MetaNet, MetaNetConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_fig12(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig12_partition_time");
-    group.sample_size(20);
+fn main() {
+    println!("fig12_partition_time");
+    let runs = 20;
     let gpus: Vec<GpuId> = (0..10).map(GpuId).collect();
     let view = PipeDreamView {
         bandwidth: gbps(25.0),
@@ -28,41 +28,35 @@ fn bench_fig12(c: &mut Criterion) {
 
     for model in [alexnet(), resnet50(), vgg16()] {
         let profile = ModelProfile::of(&model);
-        group.bench_function(format!("pipedream_dp/{}", model.name), |b| {
-            b.iter(|| pipedream_plan(black_box(&profile), &gpus, view))
+        timing::run(&format!("pipedream_dp/{}", model.name), runs, || {
+            black_box(pipedream_plan(black_box(&profile), &gpus, view));
         });
 
         let plan = pipedream_plan(&profile, &gpus, view);
         let dyn_seq: Vec<Vec<f64>> = (0..net.config().seq_len)
             .map(|_| vec![0.5; DYNAMIC_DIM])
             .collect();
-        group.bench_function(format!("meta_net_neighborhood/{}", model.name), |b| {
-            b.iter(|| {
-                let mut best = f64::NEG_INFINITY;
-                for (_, cand) in two_worker_moves(&plan, profile.n_layers()) {
-                    let m = static_metrics_from_profile(&profile, cand.n_workers());
-                    let stat = encoder.encode_static(&m, &cand);
-                    best = best.max(net.predict(&dyn_seq, &stat));
-                }
-                black_box(best)
-            })
+        timing::run(&format!("meta_net_neighborhood/{}", model.name), runs, || {
+            // The production path: one LSTM pass, FC head per candidate.
+            let h = net.encode_history(&dyn_seq);
+            let mut best = f64::NEG_INFINITY;
+            for (_, cand) in two_worker_moves(&plan, profile.n_layers()) {
+                let m = static_metrics_from_profile(&profile, cand.n_workers());
+                let stat = encoder.encode_static(&m, &cand);
+                best = best.max(net.predict_from_encoding(&h, &stat));
+            }
+            black_box(best);
         });
 
-        group.bench_function(format!("rl_decision/{}", model.name), |b| {
-            b.iter(|| {
-                arbiter.decide(black_box(&ArbiterInput {
-                    current_speed: 100.0,
-                    candidate_speed: 120.0,
-                    switch_cost: 1.0,
-                    iteration_time: 0.5,
-                    horizon_iterations: 100.0,
-                    mean_bandwidth_norm: 0.25,
-                }))
-            })
+        timing::run(&format!("rl_decision/{}", model.name), runs, || {
+            black_box(arbiter.decide(black_box(&ArbiterInput {
+                current_speed: 100.0,
+                candidate_speed: 120.0,
+                switch_cost: 1.0,
+                iteration_time: 0.5,
+                horizon_iterations: 100.0,
+                mean_bandwidth_norm: 0.25,
+            })));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig12);
-criterion_main!(benches);

@@ -2,29 +2,21 @@
 //! vs re-planned oracle under a localized bandwidth halving.
 
 use ap_bench::experiments::motivation::{measure_cell, Scenario};
-use ap_bench::ExperimentEnv;
+use ap_bench::{timing, ExperimentEnv};
 use ap_models::{resnet50, vgg16, ModelProfile};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_fig3(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig3_bandwidth_drop_cell");
-    group.sample_size(10);
+fn main() {
+    println!("fig3_bandwidth_drop_cell");
     for model in [vgg16(), resnet50()] {
         let profile = ModelProfile::of(&model);
-        group.bench_function(format!("halved_25g/{}", model.name), |b| {
-            b.iter(|| {
-                black_box(measure_cell(
-                    &profile,
-                    &ExperimentEnv::default_at(25.0),
-                    Scenario::BandwidthHalved,
-                    12,
-                ))
-            })
+        timing::run(&format!("halved_25g/{}", model.name), 10, || {
+            black_box(measure_cell(
+                &profile,
+                &ExperimentEnv::default_at(25.0),
+                Scenario::BandwidthHalved,
+                12,
+            ));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig3);
-criterion_main!(benches);

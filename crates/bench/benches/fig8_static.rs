@@ -3,29 +3,22 @@
 //! AutoPipe on the shared testbed.
 
 use ap_bench::experiments::static_alloc::measure_cell;
+use ap_bench::timing;
 use ap_models::{alexnet, resnet50, vgg16};
 use ap_pipesim::{Framework, SyncScheme};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_fig8(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig8_static_cell");
-    group.sample_size(10);
+fn main() {
+    println!("fig8_static_cell");
     for model in [resnet50(), vgg16(), alexnet()] {
-        group.bench_function(format!("ps_tensorflow_25g/{}", model.name), |b| {
-            b.iter(|| {
-                black_box(measure_cell(
-                    &model,
-                    Framework::tensorflow(),
-                    SyncScheme::ParameterServer,
-                    25.0,
-                    12,
-                ))
-            })
+        timing::run(&format!("ps_tensorflow_25g/{}", model.name), 10, || {
+            black_box(measure_cell(
+                &model,
+                Framework::tensorflow(),
+                SyncScheme::ParameterServer,
+                25.0,
+                12,
+            ));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig8);
-criterion_main!(benches);

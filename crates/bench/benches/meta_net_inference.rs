@@ -1,21 +1,25 @@
 //! Meta-network inference and training-step speed (the controller calls
-//! `predict` once per candidate per decision).
+//! the FC head once per candidate per decision, the LSTM once per
+//! decision).
 
+use ap_bench::timing;
 use autopipe::meta_net::{MetaNet, MetaNetConfig, TrainingSample};
 use autopipe::metrics::{DYNAMIC_DIM, STATIC_DIM};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_meta_net(c: &mut Criterion) {
-    let mut group = c.benchmark_group("meta_net");
+fn main() {
+    println!("meta_net");
     let net = MetaNet::new(MetaNetConfig::default());
     let seq: Vec<Vec<f64>> = (0..8).map(|i| vec![0.1 * i as f64; DYNAMIC_DIM]).collect();
     let stat = vec![0.3; STATIC_DIM];
-    group.bench_function("predict", |b| {
-        b.iter(|| black_box(net.predict(black_box(&seq), black_box(&stat))))
+    timing::run("predict", 50, || {
+        black_box(net.predict(black_box(&seq), black_box(&stat)));
+    });
+    let h = net.encode_history(&seq);
+    timing::run("predict_from_encoding", 50, || {
+        black_box(net.predict_from_encoding(black_box(&h), black_box(&stat)));
     });
 
-    group.sample_size(10);
     let samples: Vec<TrainingSample> = (0..32)
         .map(|i| TrainingSample {
             dynamic_seq: seq.clone(),
@@ -23,14 +27,8 @@ fn bench_meta_net(c: &mut Criterion) {
             log_throughput: 4.0 + 0.01 * i as f64,
         })
         .collect();
-    group.bench_function("train_epoch_32", |b| {
-        b.iter(|| {
-            let mut n = MetaNet::new(MetaNetConfig::default());
-            black_box(n.train(&samples, 1, 1))
-        })
+    timing::run("train_epoch_32", 10, || {
+        let mut n = MetaNet::new(MetaNetConfig::default());
+        black_box(n.train(&samples, 1, 1));
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_meta_net);
-criterion_main!(benches);

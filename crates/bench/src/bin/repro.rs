@@ -16,6 +16,7 @@ use ap_bench::experiments::motivation::{panel_bandwidths, panel_models, Motivati
 use ap_bench::experiments::{
     ablations, convergence, dynamic, enhanced, multi_job, overhead, pipeline_fill, static_alloc,
 };
+use ap_bench::json::ToJson;
 
 /// Iterations per engine measurement (kept moderate so `repro all`
 /// finishes in minutes).
@@ -91,11 +92,11 @@ fn run_multijob(json: &Option<PathBuf>) {
     dump_json(json, "multijob", &rows);
 }
 
-fn dump_json<T: serde::Serialize>(dir: &Option<PathBuf>, name: &str, value: &T) {
+fn dump_json<T: ToJson>(dir: &Option<PathBuf>, name: &str, value: &T) {
     if let Some(d) = dir {
         fs::create_dir_all(d).expect("create json dir");
         let path = d.join(format!("{name}.json"));
-        fs::write(&path, serde_json::to_string_pretty(value).unwrap()).expect("write json");
+        fs::write(&path, value.to_json().pretty()).expect("write json");
         eprintln!("wrote {}", path.display());
     }
 }

@@ -10,15 +10,12 @@ use autopipe::controller::{
 };
 use autopipe::meta_net::{MetaNetConfig, TrainingSample};
 use autopipe::SwitchMode;
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use ap_rng::Rng;
 
 use crate::setup::{paper_pipedream_plan, ExperimentEnv};
 
 /// One ablation outcome.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AblationRow {
     /// Variant label.
     pub variant: String,
@@ -166,9 +163,9 @@ pub fn adaptation_ablation() -> Vec<AblationRow> {
 
     // The shifted environment: a slower framework stack scales every true
     // speed by 0.65 (out of the offline distribution).
-    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let mut rng = Rng::seed_from_u64(99);
     let shift: f64 = 0.65;
-    let make_samples = |n: usize, rng: &mut ChaCha8Rng| -> Vec<TrainingSample> {
+    let make_samples = |n: usize, rng: &mut Rng| -> Vec<TrainingSample> {
         let cfg2 = base_cfg(&env);
         let probe = pretrain_probe_samples(&profile, &topo, &cfg2, n, rng.gen());
         probe
@@ -218,7 +215,7 @@ fn pretrain_probe_samples(
     use autopipe::metrics::{static_metrics_from_profile, FeatureEncoder};
     use autopipe::Profiler;
 
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let encoder = FeatureEncoder;
     let model = AnalyticModel {
         profile,
@@ -232,7 +229,7 @@ fn pretrain_probe_samples(
         let mut st = ClusterState::new(topo.clone());
         st.topology
             .set_uniform_link_gbps(rng.gen_range(5.0..100.0));
-        let p = ap_planner::uniform_plan(profile, rng.gen_range(1..=4), &all);
+        let p = ap_planner::uniform_plan(profile, rng.gen_range(1..=4usize), &all);
         let tp = model.throughput(&p, &st);
         if !(tp.is_finite() && tp > 0.0) {
             continue;

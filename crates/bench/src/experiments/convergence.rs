@@ -8,7 +8,6 @@
 
 use ap_models::{resnet50, vgg16, ModelDesc, ModelProfile};
 use ap_pipesim::{accuracy_curve, ConvergenceModel, Paradigm, ScheduleKind};
-use serde::{Deserialize, Serialize};
 
 use crate::setup::{
     engine_throughput, paper_autopipe_plan, paper_pipedream_plan, shared_three_job_state,
@@ -16,7 +15,7 @@ use crate::setup::{
 };
 
 /// One paradigm's convergence trace.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ConvergenceRow {
     /// Paradigm label.
     pub paradigm: String,

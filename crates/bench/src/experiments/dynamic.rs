@@ -12,12 +12,11 @@ use ap_models::{resnet50, ModelProfile};
 use ap_pipesim::{Engine, EngineConfig};
 use autopipe::arbiter::{default_episode_sampler, Arbiter, ArbiterMode};
 use autopipe::controller::{run_dynamic_scenario, AutoPipeConfig, AutoPipeController, Scorer};
-use serde::{Deserialize, Serialize};
 
 use crate::setup::{paper_pipedream_plan, ExperimentEnv};
 
 /// Both systems' speed curves for one dynamic scenario.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DynamicResult {
     /// `(iteration, samples/sec)` for AutoPipe.
     pub autopipe: Vec<(u64, f64)>,

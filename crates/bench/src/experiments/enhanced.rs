@@ -4,12 +4,11 @@
 use ap_models::{bert48, ModelProfile};
 use ap_pipesim::{Framework, ScheduleKind, SyncScheme};
 use autopipe::enhanced_throughput;
-use serde::{Deserialize, Serialize};
 
 use crate::setup::shared_three_job_state;
 
 /// One bar of Figure 13.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EnhancedRow {
     /// Schedule label.
     pub schedule: String,

@@ -14,14 +14,13 @@ use ap_cluster::dynamics::BgJobId;
 use ap_cluster::{gbps, ClusterState, EventKind, GpuId};
 use ap_models::ModelProfile;
 use autopipe::controller::hill_climb;
-use serde::{Deserialize, Serialize};
 
 use crate::setup::{
     all_models, engine_throughput, exclusive_state, paper_pipedream_plan, ExperimentEnv,
 };
 
 /// One bar pair of a motivation figure.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MotivationRow {
     /// Model name or bandwidth label.
     pub label: String,

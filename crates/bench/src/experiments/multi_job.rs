@@ -6,10 +6,9 @@ use ap_cluster::{gbps, ClusterTopology, GpuId};
 use ap_models::{bert_n, resnet50, vgg16, ModelProfile};
 use ap_planner::{pipedream_plan, PipeDreamView};
 use autopipe::multi_job::{best_response_rounds, evaluate, JobSpec, MultiJobEnv};
-use serde::{Deserialize, Serialize};
 
 /// One tenancy configuration's outcome.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MultiJobRow {
     /// Tenancy label.
     pub tenancy: String,

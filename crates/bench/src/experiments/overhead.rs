@@ -11,12 +11,13 @@ use ap_cluster::{gbps, GpuId};
 use ap_models::{alexnet, resnet50, vgg16, ModelProfile};
 use ap_planner::{pipedream_plan, two_worker_moves, PipeDreamView};
 use autopipe::arbiter::{Arbiter, ArbiterInput};
-use autopipe::metrics::{static_metrics_from_profile, FeatureEncoder, DYNAMIC_DIM};
+use autopipe::metrics::{
+    static_metrics_from_profile, FeatureEncoder, ProfilingMetrics, DYNAMIC_DIM,
+};
 use autopipe::{MetaNet, MetaNetConfig};
-use serde::{Deserialize, Serialize};
 
 /// One model's partition-modeling costs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OverheadRow {
     /// Model name.
     pub model: String,
@@ -40,19 +41,35 @@ pub fn measure(profile: &ModelProfile, net: &MetaNet, arbiter: &Arbiter) -> Over
     let plan = pipedream_plan(profile, &gpus, view);
     let dp_seconds = t0.elapsed().as_secs_f64();
 
-    // Meta-net: score every two-worker move of the DP plan.
+    // Meta-net: score every two-worker move of the DP plan on the
+    // production path — the history is encoded once, static metrics are
+    // computed once per worker count, and the candidates fan out over the
+    // in-tree thread pool.
     let encoder = FeatureEncoder;
     let dyn_seq: Vec<Vec<f64>> = (0..net.config().seq_len)
         .map(|_| vec![0.5; DYNAMIC_DIM])
         .collect();
     let t1 = Instant::now();
     let candidates = two_worker_moves(&plan, profile.n_layers());
-    let mut best = f64::NEG_INFINITY;
+    let h = net.encode_history(&dyn_seq);
+    let mut static_by_workers: Vec<(usize, ProfilingMetrics)> = Vec::new();
     for (_, cand) in &candidates {
-        let m = static_metrics_from_profile(profile, cand.n_workers());
-        let stat = encoder.encode_static(&m, cand);
-        best = best.max(net.predict(&dyn_seq, &stat));
+        let n = cand.n_workers();
+        if !static_by_workers.iter().any(|&(k, _)| k == n) {
+            static_by_workers.push((n, static_metrics_from_profile(profile, n)));
+        }
     }
+    let best = ap_par::map(candidates, |(_, cand)| {
+        let m = &static_by_workers
+            .iter()
+            .find(|&&(k, _)| k == cand.n_workers())
+            .expect("metrics precomputed for every worker count")
+            .1;
+        let stat = encoder.encode_static(m, &cand);
+        net.predict_from_encoding(&h, &stat)
+    })
+    .into_iter()
+    .fold(f64::NEG_INFINITY, f64::max);
     let meta_net_seconds = t1.elapsed().as_secs_f64();
 
     let t2 = Instant::now();

@@ -8,11 +8,10 @@ use ap_cluster::gpu::GpuKind;
 use ap_cluster::{ClusterState, ClusterTopology, GpuId, ResourceTimeline};
 use ap_models::{synthetic_uniform, ModelProfile};
 use ap_pipesim::{Engine, EngineConfig, Partition, Stage, TimelineSegment, WorkKind};
-use serde::{Deserialize, Serialize};
 
 /// Figure 2's data: worker timelines plus utilization split into the
 /// startup window and the steady window.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PipelineFill {
     /// All busy segments.
     pub segments: Vec<TimelineSegment>,

@@ -8,7 +8,6 @@
 
 use ap_models::ModelProfile;
 use ap_pipesim::{Framework, SyncScheme};
-use serde::{Deserialize, Serialize};
 
 use crate::setup::{
     baseline_plan, engine_throughput, image_models, paper_autopipe_plan, paper_pipedream_plan,
@@ -16,7 +15,7 @@ use crate::setup::{
 };
 
 /// One bar triple of Figure 8.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig8Row {
     /// Framework label.
     pub framework: String,

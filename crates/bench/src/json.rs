@@ -1,0 +1,374 @@
+//! Minimal JSON emission for the `repro` series output.
+//!
+//! The harness only ever *writes* JSON (one file per figure, consumed by
+//! plotting scripts), so this module provides exactly that: a [`Json`]
+//! value tree, a [`ToJson`] conversion trait implemented for the
+//! experiment row types, and a pretty printer matching the layout the
+//! previous serde_json output used (2-space indent). No parsing, no
+//! derive machinery, no external dependencies.
+
+use ap_pipesim::{TimelineSegment, WorkKind};
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any finite number (non-finite floats print as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Pretty-print with 2-space indentation.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    if *x == x.trunc() && x.abs() < 1e15 {
+                        out.push_str(&format!("{}", *x as i64));
+                    } else {
+                        out.push_str(&format!("{x}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into a [`Json`] tree.
+pub trait ToJson {
+    /// Convert to a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_string())
+    }
+}
+
+macro_rules! impl_tojson_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Num(*self as f64)
+            }
+        }
+    )*};
+}
+impl_tojson_int!(usize, u64, u32, i64, i32);
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl ToJson for WorkKind {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                WorkKind::Forward => "Forward",
+                WorkKind::Backward => "Backward",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl ToJson for TimelineSegment {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("worker", self.worker.to_json()),
+            ("unit", self.unit.to_json()),
+            ("kind", self.kind.to_json()),
+            ("start", self.start.to_json()),
+            ("end", self.end.to_json()),
+        ])
+    }
+}
+
+impl ToJson for crate::experiments::pipeline_fill::PipelineFill {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("segments", self.segments.to_json()),
+            ("startup_utilization", self.startup_utilization.to_json()),
+            ("steady_utilization", self.steady_utilization.to_json()),
+            ("makespan", self.makespan.to_json()),
+            ("n_workers", self.n_workers.to_json()),
+        ])
+    }
+}
+
+impl ToJson for crate::experiments::motivation::MotivationRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("label", self.label.to_json()),
+            ("actual", self.actual.to_json()),
+            ("optimal", self.optimal.to_json()),
+        ])
+    }
+}
+
+impl ToJson for crate::experiments::static_alloc::Fig8Row {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("framework", self.framework.to_json()),
+            ("scheme", self.scheme.to_json()),
+            ("model", self.model.to_json()),
+            ("gbps", self.gbps.to_json()),
+            ("baseline", self.baseline.to_json()),
+            ("pipedream", self.pipedream.to_json()),
+            ("autopipe", self.autopipe.to_json()),
+        ])
+    }
+}
+
+impl ToJson for crate::experiments::dynamic::DynamicResult {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("autopipe", self.autopipe.to_json()),
+            ("pipedream", self.pipedream.to_json()),
+            ("switches", self.switches.to_json()),
+            ("mean", self.mean.to_json()),
+        ])
+    }
+}
+
+impl ToJson for crate::experiments::convergence::ConvergenceRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("paradigm", self.paradigm.to_json()),
+            ("throughput", self.throughput.to_json()),
+            ("staleness", self.staleness.to_json()),
+            ("final_accuracy", self.final_accuracy.to_json()),
+            ("hours_to_target", self.hours_to_target.to_json()),
+            ("curve", self.curve.to_json()),
+        ])
+    }
+}
+
+impl ToJson for crate::experiments::overhead::OverheadRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("model", self.model.to_json()),
+            ("dp_seconds", self.dp_seconds.to_json()),
+            ("meta_net_seconds", self.meta_net_seconds.to_json()),
+            ("rl_seconds", self.rl_seconds.to_json()),
+        ])
+    }
+}
+
+impl ToJson for crate::experiments::enhanced::EnhancedRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schedule", self.schedule.to_json()),
+            ("vanilla", self.vanilla.to_json()),
+            ("enhanced", self.enhanced.to_json()),
+        ])
+    }
+}
+
+impl ToJson for crate::experiments::multi_job::MultiJobRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("tenancy", self.tenancy.to_json()),
+            ("per_job", self.per_job.to_json()),
+            ("total", self.total.to_json()),
+            ("changes", self.changes.to_json()),
+        ])
+    }
+}
+
+impl ToJson for crate::experiments::ablations::AblationRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("variant", self.variant.to_json()),
+            ("value", self.value.to_json()),
+            ("switches", self.switches.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_escapes() {
+        assert_eq!(Json::Null.pretty(), "null");
+        assert_eq!(Json::Bool(true).pretty(), "true");
+        assert_eq!(Json::Num(3.0).pretty(), "3");
+        assert_eq!(Json::Num(0.25).pretty(), "0.25");
+        assert_eq!(Json::Num(f64::NAN).pretty(), "null");
+        assert_eq!(
+            Json::Str("a\"b\\c\nd".into()).pretty(),
+            r#""a\"b\\c\nd""#
+        );
+    }
+
+    #[test]
+    fn nested_structure_pretty_prints() {
+        let v = Json::obj(vec![
+            ("name", "fig9".to_json()),
+            ("rows", vec![(0u64, 1.5f64), (1, 2.0)].to_json()),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let s = v.pretty();
+        assert_eq!(
+            s,
+            "{\n  \"name\": \"fig9\",\n  \"rows\": [\n    [\n      0,\n      1.5\n    ],\n    [\n      1,\n      2\n    ]\n  ],\n  \"empty\": []\n}"
+        );
+    }
+
+    #[test]
+    fn options_and_floats_round_trip_textually() {
+        assert_eq!(None::<f64>.to_json().pretty(), "null");
+        assert_eq!(Some(2.5).to_json().pretty(), "2.5");
+        // Shortest round-trip formatting keeps full precision.
+        let x = 0.1f64 + 0.2;
+        assert_eq!(x.to_json().pretty().parse::<f64>().unwrap(), x);
+    }
+
+    #[test]
+    fn row_types_serialize_with_stable_keys() {
+        let row = crate::experiments::ablations::AblationRow {
+            variant: "x".into(),
+            value: 1.0,
+            switches: 2,
+        };
+        let s = row.to_json().pretty();
+        assert!(s.contains("\"variant\": \"x\""));
+        assert!(s.contains("\"value\": 1"));
+        assert!(s.contains("\"switches\": 2"));
+    }
+}

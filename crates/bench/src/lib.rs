@@ -1,12 +1,14 @@
 //! # ap-bench — the reproduction harness
 //!
 //! One module per paper figure (see DESIGN.md §4 for the experiment
-//! index); the `repro` binary prints each figure's rows, and the Criterion
-//! benches under `benches/` time the computational kernels (Figure 12's
-//! partition-modeling cost, engine and meta-net speed).
+//! index); the `repro` binary prints each figure's rows, and the
+//! `Instant`-based benches under `benches/` time the computational kernels
+//! (Figure 12's partition-modeling cost, engine and meta-net speed).
 
 pub mod experiments;
+pub mod json;
 pub mod setup;
+pub mod timing;
 
 pub use setup::{
     engine_measure,

@@ -1,0 +1,123 @@
+//! Dependency-free micro-benchmark harness: `std::time::Instant` sampling
+//! with median-of-N reporting.
+//!
+//! The `benches/` targets are plain `fn main()` binaries (`harness =
+//! false`) built on this module. The protocol per benchmark: a couple of
+//! warmup runs, then `n` timed runs, reporting the median (robust against
+//! scheduler noise in a shared CI box) plus the min/max spread.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One benchmark's timing summary, in seconds.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Benchmark label.
+    pub name: String,
+    /// Median over the timed runs.
+    pub median: f64,
+    /// Fastest run.
+    pub min: f64,
+    /// Slowest run.
+    pub max: f64,
+    /// Number of timed runs.
+    pub runs: usize,
+}
+
+impl Sample {
+    /// One-line human-readable report.
+    pub fn report(&self) -> String {
+        format!(
+            "{:<44} median {:>12} (min {}, max {}, n={})",
+            self.name,
+            fmt_secs(self.median),
+            fmt_secs(self.min),
+            fmt_secs(self.max),
+            self.runs
+        )
+    }
+}
+
+/// Format seconds with an adaptive unit.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Median of a sample set (mean of the middle pair for even sizes).
+pub fn median(mut xs: Vec<f64>) -> f64 {
+    assert!(!xs.is_empty(), "no samples");
+    xs.sort_by(f64::total_cmp);
+    let mid = xs.len() / 2;
+    if xs.len() % 2 == 1 {
+        xs[mid]
+    } else {
+        0.5 * (xs[mid - 1] + xs[mid])
+    }
+}
+
+/// Time `f` once, returning seconds. The result is passed through
+/// [`black_box`] so the work cannot be optimized away.
+pub fn time_once<R>(f: impl FnOnce() -> R) -> f64 {
+    let t = Instant::now();
+    black_box(f());
+    t.elapsed().as_secs_f64()
+}
+
+/// Run `f` `runs` times (after 2 warmups) and summarize.
+pub fn bench<R>(name: &str, runs: usize, mut f: impl FnMut() -> R) -> Sample {
+    assert!(runs >= 1);
+    for _ in 0..2 {
+        black_box(f());
+    }
+    let samples: Vec<f64> = (0..runs).map(|_| time_once(&mut f)).collect();
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    Sample {
+        name: name.to_string(),
+        median: median(samples),
+        min,
+        max,
+        runs,
+    }
+}
+
+/// Run and print a benchmark; returns the sample for further use.
+pub fn run(name: &str, runs: usize, f: impl FnMut() -> ()) -> Sample {
+    let s = bench(name, runs, f);
+    println!("{}", s.report());
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(vec![4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn bench_counts_runs_and_orders_spread() {
+        let s = bench("noop", 5, || 1 + 1);
+        assert_eq!(s.runs, 5);
+        assert!(s.min <= s.median && s.median <= s.max);
+    }
+
+    #[test]
+    fn formatting_picks_units() {
+        assert!(fmt_secs(2.0).ends_with(" s"));
+        assert!(fmt_secs(2e-3).ends_with(" ms"));
+        assert!(fmt_secs(2e-6).ends_with(" µs"));
+        assert!(fmt_secs(2e-9).ends_with(" ns"));
+    }
+}

@@ -11,10 +11,9 @@
 //! environmental fluctuations", so a single noisy sample must not trigger a
 //! re-partition.
 
-use serde::{Deserialize, Serialize};
 
 /// Which resource moved.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChangeKind {
     /// Available bandwidth of a worker changed.
     Bandwidth,
@@ -23,7 +22,7 @@ pub enum ChangeKind {
 }
 
 /// A confirmed, persistent resource change.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResourceChange {
     /// What changed.
     pub kind: ChangeKind,
@@ -47,7 +46,7 @@ impl ResourceChange {
 }
 
 /// Detector tuning.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DetectorConfig {
     /// Minimum relative deviation considered a change (e.g. 0.15 = 15%).
     pub threshold: f64,

@@ -11,21 +11,18 @@
 
 use std::collections::HashMap;
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use ap_rng::Rng;
 
 use crate::gpu::GpuId;
 use crate::topology::{ClusterTopology, LinkId, ServerId};
 use crate::units::gbps;
 
 /// Identifier of a background job placed by the dynamics layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BgJobId(pub u64);
 
 /// What happened to the shared cluster.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum EventKind {
     /// Set every NIC to this many Gbps (e.g. the Figure 9 staircase).
     SetAllLinksGbps(f64),
@@ -54,7 +51,7 @@ pub enum EventKind {
 }
 
 /// A timestamped cluster event.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ResourceEvent {
     /// Seconds since experiment start.
     pub time: f64,
@@ -63,7 +60,7 @@ pub struct ResourceEvent {
 }
 
 /// A time-ordered script of events.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ResourceTimeline {
     events: Vec<ResourceEvent>,
 }
@@ -236,7 +233,7 @@ impl BackgroundJobGenerator {
     /// Generate a timeline of arrivals/departures over `[0, horizon)`.
     pub fn generate(&self, topo: &ClusterTopology, horizon: f64, seed: u64) -> ResourceTimeline {
         assert!(self.arrival_rate > 0.0 && self.mean_duration > 0.0);
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut events = Vec::new();
         let mut t = 0.0;
         let mut next_id = 0u64;
@@ -299,7 +296,7 @@ impl DiurnalGenerator {
     pub fn generate(&self, topo: &ClusterTopology, horizon: f64, seed: u64) -> ResourceTimeline {
         assert!(self.period > 0.0 && self.peak_factor >= 1.0);
         let peak_rate = self.base.arrival_rate * self.peak_factor;
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut events = Vec::new();
         let mut t = 0.0;
         let mut next_id = 500_000u64;

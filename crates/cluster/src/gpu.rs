@@ -6,17 +6,16 @@
 //! we model the same thing as equal time slicing, so a GPU shared by `k`
 //! jobs gives each of them `1/k` of its effective throughput.
 
-use serde::{Deserialize, Serialize};
 
 use crate::units::tflops;
 
 /// Identifier of a GPU within a [`crate::ClusterTopology`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GpuId(pub usize);
 
 /// The GPU generations mentioned by the paper ("there may be multiple types
 /// of GPUs in the shared GPU cluster, e.g., P100, V100, A100", §3.1 Obs. 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GpuKind {
     /// NVIDIA Tesla P100 (the paper's testbed GPU).
     P100,
@@ -59,7 +58,7 @@ impl GpuKind {
 }
 
 /// A single GPU device and its sharing state.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Gpu {
     /// Hardware generation.
     pub kind: GpuKind,

@@ -8,17 +8,16 @@
 //! receiver's downlink. Intra-server transfers go over PCIe/NVLink and are
 //! modeled with a fixed (high) local bandwidth.
 
-use serde::{Deserialize, Serialize};
 
 use crate::gpu::{Gpu, GpuId, GpuKind};
 use crate::units::gbps;
 
 /// Identifier of a server.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ServerId(pub usize);
 
 /// Identifier of a directed link (server uplink or downlink).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LinkId {
     /// Server -> switch direction.
     Up(ServerId),
@@ -27,7 +26,7 @@ pub enum LinkId {
 }
 
 /// One physical server.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Server {
     /// GPUs installed in this server (global ids).
     pub gpus: Vec<GpuId>,
@@ -36,7 +35,7 @@ pub struct Server {
 }
 
 /// A single-switch GPU cluster.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ClusterTopology {
     /// All servers, indexed by `ServerId.0`.
     pub servers: Vec<Server>,

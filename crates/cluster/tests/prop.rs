@@ -1,70 +1,88 @@
-//! Property tests for the cluster substrate: fair-share feasibility and
-//! timeline replay invariants.
+//! Randomized-but-deterministic tests for the cluster substrate:
+//! fair-share feasibility and timeline replay invariants, driven by the
+//! in-tree seeded PRNG so every run checks the same cases.
 
+use ap_cluster::gpu::GpuKind;
 use ap_cluster::{
     gbps, max_min_fair_rates, ClusterState, ClusterTopology, EventKind, Flow, GpuId, LinkId,
     ResourceTimeline, ServerId,
 };
-use ap_cluster::gpu::GpuKind;
-use proptest::prelude::*;
+use ap_rng::Rng;
 
-/// Arbitrary flow over a small single-switch cluster.
-fn arb_flow(n_servers: usize) -> impl Strategy<Value = Flow> {
-    (0..n_servers, 0..n_servers, prop::option::of(1.0..50.0f64)).prop_map(move |(s, d, cap)| {
-        let links = if s == d {
-            vec![]
-        } else {
-            vec![LinkId::Up(ServerId(s)), LinkId::Down(ServerId(d))]
-        };
-        Flow {
-            links,
-            demand: cap.map(gbps).unwrap_or(f64::INFINITY),
-        }
-    })
+/// Random flow over a small single-switch cluster.
+fn random_flow(rng: &mut Rng, n_servers: usize) -> Flow {
+    let s = rng.gen_range(0..n_servers);
+    let d = rng.gen_range(0..n_servers);
+    let links = if s == d {
+        vec![]
+    } else {
+        vec![LinkId::Up(ServerId(s)), LinkId::Down(ServerId(d))]
+    };
+    let demand = if rng.gen::<bool>() {
+        gbps(rng.gen_range(1.0..50.0))
+    } else {
+        f64::INFINITY
+    };
+    Flow { links, demand }
 }
 
-proptest! {
-    /// No link is ever oversubscribed and no flow exceeds its demand.
-    #[test]
-    fn fair_share_is_feasible(flows in prop::collection::vec(arb_flow(4), 1..12),
-                              cap_gbps in 1.0..100.0f64) {
+/// No link is ever oversubscribed and no flow exceeds its demand.
+#[test]
+fn fair_share_is_feasible() {
+    for case in 0..256u64 {
+        let mut rng = Rng::seed_from_u64(0xFA1E + case);
+        let n_flows = rng.gen_range(1..12usize);
+        let flows: Vec<Flow> = (0..n_flows).map(|_| random_flow(&mut rng, 4)).collect();
+        let cap_gbps = rng.gen_range(1.0..100.0);
         let rates = max_min_fair_rates(&flows, |_| gbps(cap_gbps), gbps(96.0));
-        prop_assert_eq!(rates.len(), flows.len());
+        assert_eq!(rates.len(), flows.len());
         // Per-flow demand respected.
         for (f, &r) in flows.iter().zip(&rates) {
-            prop_assert!(r <= f.demand + 1.0);
-            prop_assert!(r >= 0.0);
+            assert!(r <= f.demand + 1.0, "case {case}: rate {r} over demand");
+            assert!(r >= 0.0);
         }
         // Per-link feasibility.
         for s in 0..4 {
             for l in [LinkId::Up(ServerId(s)), LinkId::Down(ServerId(s))] {
-                let used: f64 = flows.iter().zip(&rates)
+                let used: f64 = flows
+                    .iter()
+                    .zip(&rates)
                     .filter(|(f, _)| f.links.contains(&l))
                     .map(|(_, &r)| r)
                     .sum();
-                prop_assert!(used <= gbps(cap_gbps) + 1.0,
-                    "link {:?} oversubscribed: {} > {}", l, used, gbps(cap_gbps));
+                assert!(
+                    used <= gbps(cap_gbps) + 1.0,
+                    "case {case}: link {l:?} oversubscribed: {used} > {}",
+                    gbps(cap_gbps)
+                );
             }
         }
     }
+}
 
-    /// Every network-crossing elastic flow gets strictly positive rate
-    /// (work conservation / no starvation).
-    #[test]
-    fn fair_share_never_starves(n in 1usize..10, cap_gbps in 1.0..100.0f64) {
+/// Every network-crossing elastic flow gets strictly positive rate
+/// (work conservation / no starvation).
+#[test]
+fn fair_share_never_starves() {
+    for case in 0..128u64 {
+        let mut rng = Rng::seed_from_u64(0x57A4 + case);
+        let n = rng.gen_range(1..10usize);
+        let cap_gbps = rng.gen_range(1.0..100.0);
         let flows: Vec<Flow> = (0..n)
             .map(|i| Flow::elastic(vec![LinkId::Up(ServerId(0)), LinkId::Down(ServerId(1 + i % 3))]))
             .collect();
         let rates = max_min_fair_rates(&flows, |_| gbps(cap_gbps), gbps(96.0));
         for r in rates {
-            prop_assert!(r > 0.0);
+            assert!(r > 0.0, "case {case}: starved flow");
         }
     }
+}
 
-    /// Replaying any prefix of arrivals/departures keeps GPU job counts >= 1
-    /// and link background >= 0.
-    #[test]
-    fn timeline_replay_keeps_invariants(seed in 0u64..1000) {
+/// Replaying any prefix of arrivals/departures keeps GPU job counts >= 1
+/// and link background >= 0.
+#[test]
+fn timeline_replay_keeps_invariants() {
+    for seed in 0..200u64 {
         let topo = ClusterTopology::single_switch(4, 2, GpuKind::P100, 25.0);
         let gen = ap_cluster::BackgroundJobGenerator {
             arrival_rate: 0.2,
@@ -75,30 +93,28 @@ proptest! {
         let tl = gen.generate(&topo, 300.0, seed);
         for t in [0.0, 50.0, 150.0, 299.0, 1000.0] {
             let st = ClusterState::at_time(topo.clone(), &tl, t);
-            prop_assert!(st.topology.gpus.iter().all(|g| g.colocated_jobs >= 1));
-            prop_assert!(st.background.values().all(|&b| b >= 0.0));
+            assert!(st.topology.gpus.iter().all(|g| g.colocated_jobs >= 1));
+            assert!(st.background.values().all(|&b| b >= 0.0));
             for s in 0..4 {
-                prop_assert!(st.available_capacity(LinkId::Up(ServerId(s))) > 0.0);
+                assert!(st.available_capacity(LinkId::Up(ServerId(s))) > 0.0);
             }
         }
     }
+}
 
-    /// Bandwidth events override each other in time order regardless of
-    /// insertion order.
-    #[test]
-    fn timeline_order_independent_of_insertion(perm in Just(()).prop_perturb(|_, mut rng| {
-        let mut idx = vec![0usize, 1, 2];
-        for i in (1..3).rev() {
-            let j = (rng.next_u32() as usize) % (i + 1);
-            idx.swap(i, j);
-        }
-        idx
-    })) {
-        let evs = [
-            (10.0, EventKind::SetAllLinksGbps(25.0)),
-            (20.0, EventKind::SetAllLinksGbps(40.0)),
-            (30.0, EventKind::SetAllLinksGbps(100.0)),
-        ];
+/// Bandwidth events override each other in time order regardless of
+/// insertion order.
+#[test]
+fn timeline_order_independent_of_insertion() {
+    let evs = [
+        (10.0, EventKind::SetAllLinksGbps(25.0)),
+        (20.0, EventKind::SetAllLinksGbps(40.0)),
+        (30.0, EventKind::SetAllLinksGbps(100.0)),
+    ];
+    for case in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(0x0DE2 + case);
+        let mut perm = vec![0usize, 1, 2];
+        rng.shuffle(&mut perm);
         let mut tl = ResourceTimeline::empty();
         for &i in &perm {
             let (t, k) = &evs[i];
@@ -106,7 +122,10 @@ proptest! {
         }
         let base = ClusterTopology::paper_testbed(10.0);
         let st = ClusterState::at_time(base, &tl, 25.0);
-        prop_assert!((st.available_capacity(LinkId::Up(ServerId(0))) - gbps(40.0)).abs() < 1.0);
+        assert!(
+            (st.available_capacity(LinkId::Up(ServerId(0))) - gbps(40.0)).abs() < 1.0,
+            "case {case}: insertion order {perm:?} changed replay"
+        );
         let _ = GpuId(0);
     }
 }

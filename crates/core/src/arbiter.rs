@@ -17,16 +17,13 @@
 //! and the tests verify the learned boundary against the analytic one.
 
 use ap_nn::{mse_loss, ActKind, Adam, Matrix, Mlp, Optimizer};
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use ap_rng::Rng;
 
 /// Feature width of the arbiter's state.
 pub const ARBITER_FEATURES: usize = 6;
 
 /// Everything the arbiter sees for one decision.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ArbiterInput {
     /// Current partition's (predicted or measured) speed, samples/sec.
     pub current_speed: f64,
@@ -102,7 +99,7 @@ impl ArbiterMode {
 }
 
 /// Serializable snapshot of a trained arbiter.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ArbiterWeights {
     /// Q-network weights.
     pub q: ap_nn::mlp::MlpWeights,
@@ -163,9 +160,9 @@ impl Arbiter {
     /// contextual bandit.
     pub fn train_offline<F>(&mut self, mut sample: F, episodes: usize, seed: u64) -> f64
     where
-        F: FnMut(&mut ChaCha8Rng) -> ArbiterInput,
+        F: FnMut(&mut Rng) -> ArbiterInput,
     {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut opt = Adam::new(2e-3);
         let mut last = 0.0;
         for ep in 0..episodes {
@@ -221,7 +218,7 @@ impl Arbiter {
 }
 
 /// Sample a realistic decision situation for offline training.
-pub fn default_episode_sampler(rng: &mut ChaCha8Rng) -> ArbiterInput {
+pub fn default_episode_sampler(rng: &mut Rng) -> ArbiterInput {
     let current_speed = rng.gen_range(5.0..300.0);
     let gain = rng.gen_range(-0.3..0.8);
     let iteration_time = rng.gen_range(0.05..3.0);
@@ -296,7 +293,7 @@ mod tests {
     #[test]
     fn boundary_accuracy_against_analytic_policy() {
         let a = trained();
-        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let mut rng = Rng::seed_from_u64(77);
         let mut correct = 0;
         let n = 400;
         for _ in 0..n {
@@ -318,7 +315,7 @@ mod tests {
     fn weights_round_trip_preserves_policy() {
         let a = trained();
         let b = Arbiter::from_weights(&a.weights());
-        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         for _ in 0..50 {
             let i = default_episode_sampler(&mut rng);
             assert_eq!(a.decide(&i), b.decide(&i));

@@ -24,11 +24,7 @@ use ap_pipesim::{
     SyncScheme,
 };
 use ap_planner::all_moves;
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
+use ap_rng::Rng;
 
 use crate::arbiter::{ArbiterInput, ArbiterMode};
 use crate::meta_net::{MetaNet, MetaNetConfig, TrainingSample};
@@ -47,7 +43,7 @@ pub enum Scorer {
 }
 
 /// How an approved switch is executed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SwitchMode {
     /// AutoPipe's layer-by-layer migration (§4.4).
     FineGrained,
@@ -193,12 +189,11 @@ impl<'a> AutoPipeController<'a> {
     }
 
     /// Score a candidate's throughput (samples/sec).
-    fn score(&self, candidate: &Partition, state: &ClusterState, metrics_static: &[Vec<f64>]) -> f64 {
+    fn score(&self, candidate: &Partition, state: &ClusterState) -> f64 {
         match &self.scorer {
             Scorer::Analytic => self.analytic().throughput(candidate, state),
             Scorer::MetaNet(net) => {
                 let seq: Vec<Vec<f64>> = self.history.iter().cloned().collect();
-                let _ = metrics_static;
                 let m = crate::metrics::static_metrics_from_profile(
                     self.profile,
                     candidate.n_workers(),
@@ -208,6 +203,57 @@ impl<'a> AutoPipeController<'a> {
                 net.predict_throughput(&seq, &stat)
             }
         }
+    }
+
+    /// Score a whole candidate set and return the best `(speed, partition)`.
+    ///
+    /// This is the hot path of a decision round — O(L²) candidates — so it
+    /// is built for throughput:
+    ///
+    /// * **MetaNet**: the dynamic history is identical for every candidate,
+    ///   so the LSTM runs *once* ([`MetaNet::encode_history`]) and each
+    ///   candidate pays only the fully-connected head. Static Table-1
+    ///   metrics depend only on the worker count, so they are computed once
+    ///   per distinct count instead of once per candidate.
+    /// * Both scorer arms fan the per-candidate work across `ap_par`'s
+    ///   order-preserving parallel map; the final `max_by` runs serially
+    ///   over results in input order, so the selected candidate is
+    ///   identical to a fully serial scan (ties included).
+    fn score_candidates(
+        &self,
+        candidates: Vec<Partition>,
+        state: &ClusterState,
+    ) -> Option<(f64, Partition)> {
+        let scored = match &self.scorer {
+            Scorer::Analytic => {
+                let model = self.analytic();
+                ap_par::map(candidates, |p| (model.throughput(&p, state), p))
+            }
+            Scorer::MetaNet(net) => {
+                let seq: Vec<Vec<f64>> = self.history.iter().cloned().collect();
+                let h = net.encode_history(&seq);
+                let mut static_by_workers: Vec<(usize, crate::metrics::ProfilingMetrics)> =
+                    Vec::new();
+                for p in &candidates {
+                    let n = p.n_workers();
+                    if !static_by_workers.iter().any(|&(k, _)| k == n) {
+                        static_by_workers
+                            .push((n, crate::metrics::static_metrics_from_profile(self.profile, n)));
+                    }
+                }
+                let encoder = &self.encoder;
+                ap_par::map(candidates, |p| {
+                    let m = &static_by_workers
+                        .iter()
+                        .find(|&&(k, _)| k == p.n_workers())
+                        .expect("metrics precomputed for every worker count")
+                        .1;
+                    let stat = encoder.encode_static(m, &p);
+                    (net.predict_throughput_from_encoding(&h, &stat), p)
+                })
+            }
+        };
+        scored.into_iter().max_by(|a, b| a.0.total_cmp(&b.0))
     }
 
     /// One decision point: observe the cluster, maybe propose and switch.
@@ -240,7 +286,7 @@ impl<'a> AutoPipeController<'a> {
                 // state vs the old partition under the state it was
                 // measured in) — robust to the environment moving again
                 // between the switch and its verification.
-                let new_pred_now = self.score(&self.partition, state, &[]);
+                let new_pred_now = self.score(&self.partition, state);
                 let ratio = (new_pred_now / prev_pred_then.max(1e-9)).clamp(0.1, 10.0);
                 if m < prev_speed * ratio * 0.75 {
                     let bad = std::mem::replace(&mut self.partition, prev.clone());
@@ -296,7 +342,7 @@ impl<'a> AutoPipeController<'a> {
         // Greedy chain of incremental moves (two-worker moves plus stage
         // merges/splits), each round keeping the best-scoring candidate;
         // previously punished candidates are never re-proposed.
-        let current_speed = self.score(&self.partition, state, &[]);
+        let current_speed = self.score(&self.partition, state);
         let mut best = self.partition.clone();
         let mut best_speed = current_speed;
         // Workers running below 35% of the fastest are treated as failed
@@ -321,19 +367,8 @@ impl<'a> AutoPipeController<'a> {
             if candidates.is_empty() {
                 break;
             }
-            let round_best = match &self.scorer {
-                Scorer::Analytic => {
-                    let model = self.analytic();
-                    candidates
-                        .into_par_iter()
-                        .map(|(_, p)| (model.throughput(&p, state), p))
-                        .max_by(|a, b| a.0.total_cmp(&b.0))
-                }
-                Scorer::MetaNet(_) => candidates
-                    .into_iter()
-                    .map(|(_, p)| (self.score(&p, state, &[]), p))
-                    .max_by(|a, b| a.0.total_cmp(&b.0)),
-            };
+            let round_best =
+                self.score_candidates(candidates.into_iter().map(|(_, p)| p).collect(), state);
             match round_best {
                 Some((speed, p)) if speed > best_speed * (1.0 + 1e-9) => {
                     best_speed = speed;
@@ -407,7 +442,7 @@ impl<'a> AutoPipeController<'a> {
 }
 
 /// Outcome of a dynamic scenario replay.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScenarioResult {
     /// Per-iteration speed samples `(iteration, samples/sec)`.
     pub speed_series: Vec<(u64, f64)>,
@@ -525,13 +560,12 @@ pub fn hill_climb(
     let mut current_tp = model.throughput(&current, state);
     for _ in 0..max_rounds {
         let moves = all_moves(&current, model.profile);
-        let best = moves
-            .into_par_iter()
-            .map(|(_, p)| {
-                let tp = model.throughput(&p, state);
-                (tp, p)
-            })
-            .max_by(|a, b| a.0.total_cmp(&b.0));
+        let best = ap_par::map(moves, |(_, p)| {
+            let tp = model.throughput(&p, state);
+            (tp, p)
+        })
+        .into_iter()
+        .max_by(|a, b| a.0.total_cmp(&b.0));
         match best {
             Some((tp, p)) if tp > current_tp * (1.0 + 1e-9) => {
                 current = p;
@@ -555,7 +589,6 @@ pub fn pretrain_meta_net(
     epochs: usize,
     seed: u64,
 ) -> MetaNet {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let encoder = FeatureEncoder;
     let model = AnalyticModel {
         profile,
@@ -564,46 +597,52 @@ pub fn pretrain_meta_net(
         schedule: cfg.schedule,
     };
     let all_gpus: Vec<GpuId> = (0..topo.n_gpus()).map(GpuId).collect();
-    let mut samples = Vec::with_capacity(n_samples);
     let seq_len = meta_cfg.seq_len;
-    while samples.len() < n_samples {
-        // Random environment.
-        let mut st = ClusterState::new(topo.clone());
-        let g: f64 = rng.gen_range(5.0..100.0);
-        st.topology.set_uniform_link_gbps(g);
-        for gi in 0..st.topology.n_gpus() {
-            st.topology.gpu_mut(GpuId(gi)).colocated_jobs = rng.gen_range(1..=3);
-        }
-        // Random partition: a planner start plus a few random moves.
-        let n_stages = rng.gen_range(1..=4usize.min(all_gpus.len()));
-        let mut p = ap_planner::uniform_plan(profile, n_stages, &all_gpus);
-        for _ in 0..rng.gen_range(0..4) {
-            let moves = all_moves(&p, profile);
-            if moves.is_empty() {
-                break;
+    // Labeled samples are independent, so they are generated in parallel.
+    // Sample `i` draws from its own RNG stream `(seed, i)` and retries
+    // infeasible environments within that stream, so the data set is
+    // identical for any thread count.
+    let samples: Vec<TrainingSample> = ap_par::map_indexed(n_samples, |i| {
+        let mut rng = Rng::stream(seed, i as u64);
+        loop {
+            // Random environment.
+            let mut st = ClusterState::new(topo.clone());
+            let g: f64 = rng.gen_range(5.0..100.0);
+            st.topology.set_uniform_link_gbps(g);
+            for gi in 0..st.topology.n_gpus() {
+                st.topology.gpu_mut(GpuId(gi)).colocated_jobs = rng.gen_range(1..=3u32);
             }
-            p = moves[rng.gen_range(0..moves.len())].1.clone();
+            // Random partition: a planner start plus a few random moves.
+            let n_stages = rng.gen_range(1..=4usize.min(all_gpus.len()));
+            let mut p = ap_planner::uniform_plan(profile, n_stages, &all_gpus);
+            for _ in 0..rng.gen_range(0..4usize) {
+                let moves = all_moves(&p, profile);
+                if moves.is_empty() {
+                    break;
+                }
+                p = moves[rng.gen_range(0..moves.len())].1.clone();
+            }
+            let tp = model.throughput(&p, &st);
+            if !(tp.is_finite() && tp > 0.0) {
+                continue;
+            }
+            // Stationary dynamic history for this environment.
+            let mut prof = Profiler::new(profile, cfg.profiler_noise, rng.gen());
+            let workers = p.all_workers();
+            let dynamic_seq: Vec<Vec<f64>> = (0..seq_len)
+                .map(|_| {
+                    let m = prof.observe(&workers, &st);
+                    encoder.encode_dynamic(&m, &p)
+                })
+                .collect();
+            let m = crate::metrics::static_metrics_from_profile(profile, p.n_workers());
+            return TrainingSample {
+                dynamic_seq,
+                static_feat: encoder.encode_static(&m, &p),
+                log_throughput: tp.ln(),
+            };
         }
-        let tp = model.throughput(&p, &st);
-        if !(tp.is_finite() && tp > 0.0) {
-            continue;
-        }
-        // Stationary dynamic history for this environment.
-        let mut prof = Profiler::new(profile, cfg.profiler_noise, rng.gen());
-        let workers = p.all_workers();
-        let dynamic_seq: Vec<Vec<f64>> = (0..seq_len)
-            .map(|_| {
-                let m = prof.observe(&workers, &st);
-                encoder.encode_dynamic(&m, &p)
-            })
-            .collect();
-        let m = crate::metrics::static_metrics_from_profile(profile, p.n_workers());
-        samples.push(TrainingSample {
-            dynamic_seq,
-            static_feat: encoder.encode_static(&m, &p),
-            log_throughput: tp.ln(),
-        });
-    }
+    });
     let mut net = MetaNet::new(meta_cfg);
     net.train(&samples, epochs, seed.wrapping_add(1));
     net
@@ -847,5 +886,66 @@ mod tests {
             model.throughput(&good, &st),
             model.throughput(&bad, &st)
         );
+    }
+
+    /// The hoisted-LSTM parallel scorer must select exactly the same best
+    /// candidate — bit-identical score, equal partition — as a serial scan
+    /// through the unhoisted per-candidate path, across seeded scenarios
+    /// and both scorer arms.
+    #[test]
+    fn parallel_scoring_matches_serial_reference() {
+        let p = profile();
+        for seed in [3u64, 11, 42] {
+            let mut rng = ap_rng::Rng::seed_from_u64(seed);
+            let mut st = ClusterState::new(topo());
+            st.apply(&EventKind::SetAllLinksGbps(rng.gen_range(5.0..60.0)));
+            st.apply(&EventKind::SetGpuSharing(
+                GpuId(rng.gen_range(0..4usize)),
+                rng.gen_range(1..=3u32),
+            ));
+            let scorers = [
+                Scorer::Analytic,
+                Scorer::MetaNet(Box::new(MetaNet::new(MetaNetConfig {
+                    seed,
+                    ..MetaNetConfig::default()
+                }))),
+            ];
+            for scorer in scorers {
+                let mut c = AutoPipeController::new(
+                    &p,
+                    initial(&p),
+                    scorer,
+                    ArbiterMode::AlwaysSwitch,
+                    AutoPipeConfig::default(),
+                );
+                for _ in 0..8 {
+                    let obs: Vec<f64> = (0..crate::metrics::DYNAMIC_DIM)
+                        .map(|_| rng.gen_range(0.0..1.0))
+                        .collect();
+                    c.history.push_back(obs);
+                }
+                let candidates: Vec<Partition> = all_moves(&c.partition, &p)
+                    .into_iter()
+                    .map(|(_, q)| q)
+                    .collect();
+                assert!(candidates.len() > 4, "neighborhood too small to exercise");
+                // Serial reference: the per-candidate path (full LSTM pass
+                // each time for MetaNet) scanned in input order.
+                let serial = candidates
+                    .iter()
+                    .map(|q| (c.score(q, &st), q.clone()))
+                    .max_by(|a, b| a.0.total_cmp(&b.0))
+                    .unwrap();
+                let fast = c.score_candidates(candidates, &st).unwrap();
+                assert_eq!(
+                    fast.0.to_bits(),
+                    serial.0.to_bits(),
+                    "seed {seed}: scores diverged: {} vs {}",
+                    fast.0,
+                    serial.0
+                );
+                assert_eq!(fast.1, serial.1, "seed {seed}: selected different candidate");
+            }
+        }
     }
 }

@@ -17,15 +17,12 @@
 
 use ap_nn::{mse_loss, ActKind, Adam, Lstm, Matrix, Mlp, Optimizer};
 
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use ap_rng::Rng;
 
 use crate::metrics::{DYNAMIC_DIM, STATIC_DIM};
 
 /// Meta-network hyper-parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MetaNetConfig {
     /// LSTM hidden width.
     pub lstm_hidden: usize,
@@ -52,7 +49,7 @@ impl Default for MetaNetConfig {
 }
 
 /// One supervised example for the speed predictor.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TrainingSample {
     /// Sequence of dynamic observations, oldest first, each `DYNAMIC_DIM`.
     pub dynamic_seq: Vec<Vec<f64>>,
@@ -64,7 +61,7 @@ pub struct TrainingSample {
 
 /// Serializable snapshot of a trained meta-network (§4.3's offline
 /// training produces one of these; deployments load it and adapt online).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MetaNetWeights {
     /// Configuration the network was built with.
     pub config: MetaNetConfig,
@@ -139,12 +136,36 @@ impl MetaNet {
             .collect()
     }
 
-    /// Predict log throughput for one (environment history, candidate).
-    pub fn predict(&self, dynamic_seq: &[Vec<f64>], static_feat: &[f64]) -> f64 {
+    /// Run the LSTM over the dynamic history once and return the final
+    /// hidden state.
+    ///
+    /// Within one decision round the history is identical for every
+    /// candidate partition — only the static features differ — so the
+    /// scorer encodes once and amortizes the `seq_len` LSTM steps across
+    /// the whole O(L²) candidate set via [`predict_from_encoding`].
+    ///
+    /// [`predict_from_encoding`]: MetaNet::predict_from_encoding
+    pub fn encode_history(&self, dynamic_seq: &[Vec<f64>]) -> Matrix {
+        self.lstm.forward_inference(&self.seq_matrices(dynamic_seq))
+    }
+
+    /// Predict log throughput from a pre-computed history encoding: pays
+    /// only the fully-connected head per candidate.
+    pub fn predict_from_encoding(&self, h: &Matrix, static_feat: &[f64]) -> f64 {
         assert_eq!(static_feat.len(), STATIC_DIM, "static width mismatch");
-        let h = self.lstm.forward_inference(&self.seq_matrices(dynamic_seq));
         let x = h.hcat(&Matrix::row_vector(static_feat.to_vec()));
         self.head.forward_inference(&x).get(0, 0)
+    }
+
+    /// Predict throughput in samples/sec from a pre-computed encoding.
+    pub fn predict_throughput_from_encoding(&self, h: &Matrix, static_feat: &[f64]) -> f64 {
+        self.predict_from_encoding(h, static_feat).exp()
+    }
+
+    /// Predict log throughput for one (environment history, candidate).
+    pub fn predict(&self, dynamic_seq: &[Vec<f64>], static_feat: &[f64]) -> f64 {
+        let h = self.encode_history(dynamic_seq);
+        self.predict_from_encoding(&h, static_feat)
     }
 
     /// Predict throughput in samples/sec.
@@ -185,10 +206,10 @@ impl MetaNet {
         assert!(!samples.is_empty(), "no training samples");
         let mut opt = Adam::new(self.cfg.lr);
         let mut order: Vec<usize> = (0..samples.len()).collect();
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut last = f64::INFINITY;
         for _ in 0..epochs {
-            order.shuffle(&mut rng);
+            rng.shuffle(&mut order);
             let mut total = 0.0;
             for &i in &order {
                 total += self.step_one(&samples[i], &mut opt, false);
@@ -229,11 +250,10 @@ impl MetaNet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     /// Synthetic ground truth: speed depends on bandwidth history and how
     /// balanced the candidate's work shares are — loosely the real task.
-    fn synth_sample(rng: &mut ChaCha8Rng) -> TrainingSample {
+    fn synth_sample(rng: &mut Rng) -> TrainingSample {
         let bw: f64 = rng.gen_range(0.05..1.0);
         let balance: f64 = rng.gen_range(0.5..1.0);
         let mut dyn_seq = Vec::new();
@@ -260,7 +280,7 @@ mod tests {
 
     #[test]
     fn learns_a_synthetic_speed_function() {
-        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         let train: Vec<_> = (0..300).map(|_| synth_sample(&mut rng)).collect();
         let test: Vec<_> = (0..50).map(|_| synth_sample(&mut rng)).collect();
         let mut net = MetaNet::new(MetaNetConfig {
@@ -279,7 +299,7 @@ mod tests {
 
     #[test]
     fn ranks_balanced_partitions_above_skewed_ones() {
-        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let mut rng = Rng::seed_from_u64(17);
         let train: Vec<_> = (0..400).map(|_| synth_sample(&mut rng)).collect();
         let mut net = MetaNet::new(MetaNetConfig {
             seq_len: 6,
@@ -311,7 +331,7 @@ mod tests {
 
     #[test]
     fn online_adaptation_improves_shifted_environment() {
-        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let mut rng = Rng::seed_from_u64(23);
         let train: Vec<_> = (0..300).map(|_| synth_sample(&mut rng)).collect();
         let mut net = MetaNet::new(MetaNetConfig {
             seq_len: 6,
@@ -351,7 +371,7 @@ mod tests {
 
     #[test]
     fn weight_snapshot_round_trips() {
-        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let mut rng = Rng::seed_from_u64(31);
         let train: Vec<_> = (0..80).map(|_| synth_sample(&mut rng)).collect();
         let mut net = MetaNet::new(MetaNetConfig {
             seq_len: 6,
@@ -359,8 +379,6 @@ mod tests {
         });
         net.train(&train, 5, 1);
         let snap = net.weights();
-        // Serialize through JSON-ish serde round trip (serde_json not a
-        // dep here; use bincode-free check via clone+rebuild).
         let rebuilt = MetaNet::from_weights(&snap);
         let s = &train[0];
         let a = net.predict(&s.dynamic_seq, &s.static_feat);

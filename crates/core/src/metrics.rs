@@ -19,7 +19,6 @@
 
 use ap_models::ModelProfile;
 use ap_pipesim::Partition;
-use serde::{Deserialize, Serialize};
 
 /// Maximum stages the encoder represents; larger partitions pool into the
 /// last slot.
@@ -35,7 +34,7 @@ pub const DYNAMIC_DIM: usize = MAX_STAGES * 2;
 const BW_NORM: f64 = 12.5e9;
 
 /// The Table 1 metric set for one job at one instant.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ProfilingMetrics {
     /// `L`.
     pub n_layers: usize,

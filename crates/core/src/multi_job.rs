@@ -15,7 +15,6 @@ use ap_models::ModelProfile;
 use ap_pipesim::{
     AnalyticModel, Engine, EngineConfig, Framework, Partition, ScheduleKind, SyncScheme,
 };
-use serde::{Deserialize, Serialize};
 
 use crate::controller::hill_climb;
 
@@ -137,7 +136,7 @@ pub fn evaluate(topo: &ClusterTopology, jobs: &[JobSpec], env: &MultiJobEnv) -> 
 }
 
 /// Aggregate outcome of a tenancy.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MultiJobOutcome {
     /// Samples/sec per job.
     pub per_job: Vec<f64>,

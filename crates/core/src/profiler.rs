@@ -17,9 +17,7 @@
 use ap_cluster::{ClusterState, GpuId};
 use ap_models::ModelProfile;
 use ap_pipesim::sync::worker_bandwidth;
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use ap_rng::Rng;
 
 use crate::metrics::ProfilingMetrics;
 
@@ -38,7 +36,7 @@ pub struct Profiler {
     probe_layer: usize,
     /// Multiplicative 1-sigma measurement noise (e.g. 0.03 = 3%).
     pub noise: f64,
-    rng: ChaCha8Rng,
+    rng: Rng,
 }
 
 impl Profiler {
@@ -52,7 +50,7 @@ impl Profiler {
             param_bytes: profile.param_bytes.clone(),
             probe_layer: 0,
             noise,
-            rng: ChaCha8Rng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
         }
     }
 

@@ -10,9 +10,7 @@ use ap_cluster::ClusterState;
 use ap_models::ModelProfile;
 use ap_nn::{mse_loss, ActKind, Adam, Matrix, Mlp, Optimizer};
 use ap_pipesim::{fine_grained_cost, ScheduleKind, SwitchPlan, Partition};
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use ap_rng::Rng;
 
 /// Feature width of the cost predictor.
 pub const COST_FEATURES: usize = 5;
@@ -96,7 +94,7 @@ impl SwitchCostModel {
     pub fn train(&mut self, data: &[([f64; COST_FEATURES], f64)], epochs: usize, seed: u64) -> f64 {
         assert!(!data.is_empty(), "no cost samples");
         let mut opt = Adam::new(3e-3);
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut last = f64::INFINITY;
         for _ in 0..epochs {
             let mut total = 0.0;

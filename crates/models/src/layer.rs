@@ -1,6 +1,5 @@
 //! Layer descriptors and shape math.
 
-use serde::{Deserialize, Serialize};
 
 /// Bytes per f32 element.
 const F32: f64 = 4.0;
@@ -8,7 +7,7 @@ const F32: f64 = 4.0;
 /// Broad layer families; each has a GPU-efficiency coefficient (achieved
 /// fraction of peak FLOP/s — dense GEMM-backed layers run close to peak,
 /// memory-bound ones far below).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LayerKind {
     /// 2-D convolution.
     Conv,
@@ -39,7 +38,7 @@ impl LayerKind {
 }
 
 /// One partitionable layer: the unit PipeDream/AutoPipe assign to stages.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LayerDesc {
     /// Human-readable name, e.g. `conv3_2` or `block12`.
     pub name: String,

@@ -7,12 +7,11 @@
 //! mini-batch size and adds prefix sums so planners can query contiguous
 //! layer ranges in O(1).
 
-use serde::{Deserialize, Serialize};
 
 use crate::zoo::ModelDesc;
 
 /// Per-layer static metrics at a fixed mini-batch size, plus prefix sums.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ModelProfile {
     /// Model name.
     pub name: String,

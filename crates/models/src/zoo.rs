@@ -5,12 +5,11 @@
 //! 256 (AlexNet); the pipeline-variant comparison (Figure 13) trains
 //! BERT-48 with mini-batch 256.
 
-use serde::{Deserialize, Serialize};
 
 use crate::layer::{LayerDesc, LayerKind};
 
 /// A model: an ordered sequence of partitionable layers.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ModelDesc {
     /// Model name, e.g. `resnet50`.
     pub name: String,

@@ -1,11 +1,10 @@
 //! Element-wise activation layers.
 
-use serde::{Deserialize, Serialize};
 
 use crate::matrix::Matrix;
 
 /// Supported activation functions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ActKind {
     /// Rectified linear unit.
     Relu,

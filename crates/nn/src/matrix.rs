@@ -1,12 +1,9 @@
 //! Dense row-major matrix with the operations the layers need.
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use ap_rng::Rng;
 
 /// A dense `rows x cols` matrix of `f64`, row-major.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -41,7 +38,7 @@ impl Matrix {
 
     /// Xavier/Glorot-uniform initialization, deterministic by seed.
     pub fn xavier(rows: usize, cols: usize, seed: u64) -> Self {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let bound = (6.0 / (rows + cols) as f64).sqrt();
         let data = (0..rows * cols)
             .map(|_| rng.gen_range(-bound..bound))

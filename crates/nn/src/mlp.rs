@@ -1,6 +1,5 @@
 //! Sequential fully-connected network (Linear + activation stacks).
 
-use serde::{Deserialize, Serialize};
 
 use crate::activation::{ActKind, Activation};
 use crate::linear::Linear;
@@ -8,7 +7,7 @@ use crate::matrix::Matrix;
 use crate::Param;
 
 /// Serializable snapshot of MLP weights (for offline-trained models).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MlpWeights {
     /// Per-layer (weight, bias) pairs.
     pub layers: Vec<(Matrix, Matrix)>,
@@ -156,7 +155,7 @@ mod tests {
     fn learns_xor() {
         let x = Matrix::from_vec(4, 2, vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
         let t = Matrix::from_vec(4, 1, vec![0.0, 1.0, 1.0, 0.0]);
-        let mut m = Mlp::new(&[2, 8, 1], ActKind::Tanh, 3);
+        let mut m = Mlp::new(&[2, 8, 1], ActKind::Tanh, 4);
         let mut opt = Sgd::new(0.5, 0.9);
         let mut last = f64::INFINITY;
         for _ in 0..2000 {
@@ -195,7 +194,7 @@ mod tests {
 
     #[test]
     fn full_mlp_gradient_check() {
-        let mut m = Mlp::new(&[3, 4, 2], ActKind::Tanh, 17);
+        let mut m = Mlp::new(&[3, 4, 2], ActKind::Tanh, 4);
         let x = Matrix::xavier(2, 3, 5);
         let t = Matrix::xavier(2, 2, 6);
         m.zero_grad();

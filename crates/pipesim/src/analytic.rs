@@ -11,7 +11,6 @@
 
 use ap_cluster::ClusterState;
 use ap_models::ModelProfile;
-use serde::{Deserialize, Serialize};
 
 use crate::framework::Framework;
 use crate::partition::Partition;
@@ -33,7 +32,7 @@ pub struct AnalyticModel<'a> {
 }
 
 /// The result of evaluating one partition.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Eval {
     /// Steady-state seconds per mini-batch.
     pub iteration_time: f64,

@@ -18,10 +18,9 @@
 //! samples, where staleness discounts per-sample progress. This reproduces
 //! the ordering and plateau behaviour without running SGD for 80 hours.
 
-use serde::{Deserialize, Serialize};
 
 /// Synchronization paradigm of a training run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Paradigm {
     /// Bulk-synchronous parallel: barrier every mini-batch.
     Bsp,
@@ -67,7 +66,7 @@ impl Paradigm {
 }
 
 /// Learning-curve constants for one model/dataset pair.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ConvergenceModel {
     /// Best reachable top-1 accuracy in percent (synchronous training).
     pub max_accuracy: f64,

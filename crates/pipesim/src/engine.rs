@@ -26,7 +26,6 @@ use std::collections::{BTreeSet, HashMap};
 
 use ap_cluster::{max_min_fair_rates, ClusterState, Flow, GpuId, ResourceTimeline};
 use ap_models::ModelProfile;
-use serde::{Deserialize, Serialize};
 
 use crate::framework::Framework;
 use crate::partition::Partition;
@@ -34,7 +33,7 @@ use crate::schedule::ScheduleKind;
 use crate::sync::SyncScheme;
 
 /// Forward or backward work.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkKind {
     /// Forward pass.
     Forward,
@@ -43,7 +42,7 @@ pub enum WorkKind {
 }
 
 /// One busy interval of one worker, for timeline/utilization plots.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TimelineSegment {
     /// Global worker index (position in `Partition::all_workers`).
     pub worker: usize,
@@ -58,7 +57,7 @@ pub struct TimelineSegment {
 }
 
 /// Completion record of one mini-batch.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IterationRecord {
     /// Mini-batch index (0-based).
     pub iteration: u64,
@@ -67,7 +66,7 @@ pub struct IterationRecord {
 }
 
 /// Aggregated simulation output.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimResult {
     /// Mini-batch completions in order.
     pub iterations: Vec<IterationRecord>,

@@ -6,10 +6,9 @@
 //! communication stack gets to line rate. We encode published
 //! rule-of-thumb differences; see DESIGN.md §2.
 
-use serde::{Deserialize, Serialize};
 
 /// Constant factors of an ML framework.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Framework {
     /// Name for reports.
     pub name: &'static str,

@@ -10,13 +10,12 @@
 
 use ap_cluster::{ClusterState, GpuId};
 use ap_models::ModelProfile;
-use serde::{Deserialize, Serialize};
 
 use crate::partition::Partition;
 use crate::schedule::ScheduleKind;
 
 /// Per-worker memory breakdown for one partition (bytes).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MemoryEstimate {
     /// Worker this estimate is for.
     pub worker: GpuId,

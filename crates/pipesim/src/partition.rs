@@ -8,10 +8,9 @@ use std::ops::Range;
 
 use ap_cluster::GpuId;
 use ap_models::ModelProfile;
-use serde::{Deserialize, Serialize};
 
 /// One pipeline stage: a contiguous layer range replicated over workers.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Stage {
     /// Half-open range of model layers this stage computes.
     pub layers: Range<usize>,
@@ -32,7 +31,7 @@ impl Stage {
 }
 
 /// A complete work partition.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partition {
     /// Pipeline stages, input side first.
     pub stages: Vec<Stage>,

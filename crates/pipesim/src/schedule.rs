@@ -8,10 +8,9 @@
 //! variants natively, while Chimera's bidirectional trick enters through
 //! its reduced bubble term (see DESIGN.md §2).
 
-use serde::{Deserialize, Serialize};
 
 /// Which pipeline-parallel scheme is running.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ScheduleKind {
     /// PipeDream: asynchronous 1F1B with weight stashing (the paper's base
     /// system).

@@ -11,7 +11,6 @@
 
 use ap_cluster::{ClusterState, GpuId};
 use ap_models::ModelProfile;
-use serde::{Deserialize, Serialize};
 
 use crate::partition::Partition;
 use crate::schedule::ScheduleKind;
@@ -22,7 +21,7 @@ use crate::sync::worker_bandwidth;
 pub const PER_LAYER_CALL_OVERHEAD: f64 = 50e-6;
 
 /// What has to move to go from one partition to another.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SwitchPlan {
     /// Layers whose owning worker set changes.
     pub moved_layers: Vec<usize>,

@@ -9,10 +9,9 @@
 //! all-reduce assumption, exactly like the original system.
 
 use ap_cluster::{ClusterState, GpuId, LinkId};
-use serde::{Deserialize, Serialize};
 
 /// How a replicated stage synchronizes gradients.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SyncScheme {
     /// Workers push gradients to / pull fresh weights from a parameter
     /// server hosted alongside the first replica.

@@ -1,40 +1,41 @@
-//! Property tests for the analytic steady-state model: physical
-//! monotonicity (more bandwidth never hurts; more contention never helps)
-//! and internal consistency over randomized partitions.
+//! Randomized-but-deterministic tests for the analytic steady-state
+//! model: physical monotonicity (more bandwidth never hurts; more
+//! contention never helps) and internal consistency over seeded random
+//! partitions.
 
 use ap_cluster::gpu::GpuKind;
 use ap_cluster::{ClusterState, ClusterTopology, EventKind, GpuId};
 use ap_models::{synthetic_skewed, ModelProfile};
 use ap_pipesim::{AnalyticModel, Framework, Partition, ScheduleKind, Stage, SyncScheme};
-use proptest::prelude::*;
+use ap_rng::Rng;
 
-fn arb_partition() -> impl Strategy<Value = Partition> {
-    // 12 layers over 4 GPUs, 1-3 stages.
-    (1usize..12, 1usize..12, 0u8..3).prop_map(|(a, b, shape)| {
-        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        let stages = match shape {
-            0 => vec![Stage::new(0..12, (0..4).map(GpuId).collect())],
-            1 => vec![
-                Stage::new(0..lo.max(1), vec![GpuId(0), GpuId(1)]),
-                Stage::new(lo.max(1)..12, vec![GpuId(2), GpuId(3)]),
-            ],
-            _ => {
-                let m = lo.max(1).min(10);
-                let h = (hi.max(m + 1)).min(11);
-                vec![
-                    Stage::new(0..m, vec![GpuId(0)]),
-                    Stage::new(m..h, vec![GpuId(1), GpuId(2)]),
-                    Stage::new(h..12, vec![GpuId(3)]),
-                ]
-            }
-        };
-        let mut p = Partition {
-            stages,
-            in_flight: 1,
-        };
-        p.in_flight = p.default_in_flight();
-        p
-    })
+/// Random partition: 12 layers over 4 GPUs, 1-3 stages.
+fn random_partition(rng: &mut Rng) -> Partition {
+    let a = rng.gen_range(1..12usize);
+    let b = rng.gen_range(1..12usize);
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    let stages = match rng.gen_range(0..3u32) {
+        0 => vec![Stage::new(0..12, (0..4).map(GpuId).collect())],
+        1 => vec![
+            Stage::new(0..lo.max(1), vec![GpuId(0), GpuId(1)]),
+            Stage::new(lo.max(1)..12, vec![GpuId(2), GpuId(3)]),
+        ],
+        _ => {
+            let m = lo.max(1).min(10);
+            let h = (hi.max(m + 1)).min(11);
+            vec![
+                Stage::new(0..m, vec![GpuId(0)]),
+                Stage::new(m..h, vec![GpuId(1), GpuId(2)]),
+                Stage::new(h..12, vec![GpuId(3)]),
+            ]
+        }
+    };
+    let mut p = Partition {
+        stages,
+        in_flight: 1,
+    };
+    p.in_flight = p.default_in_flight();
+    p
 }
 
 fn throughput(p: &Partition, gbps: f64, contended: &[usize], scheme: SyncScheme) -> f64 {
@@ -54,31 +55,47 @@ fn throughput(p: &Partition, gbps: f64, contended: &[usize], scheme: SyncScheme)
     m.throughput(p, &st)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Raising every link's bandwidth never reduces predicted throughput.
-    #[test]
-    fn more_bandwidth_never_hurts(p in arb_partition(),
-                                  g1 in 2.0..50.0f64,
-                                  scale in 1.0..8.0f64) {
+/// Raising every link's bandwidth never reduces predicted throughput.
+#[test]
+fn more_bandwidth_never_hurts() {
+    for case in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(0xBA4D + case);
+        let p = random_partition(&mut rng);
+        let g1 = rng.gen_range(2.0..50.0);
+        let scale = rng.gen_range(1.0..8.0);
         let lo = throughput(&p, g1, &[], SyncScheme::RingAllReduce);
         let hi = throughput(&p, g1 * scale, &[], SyncScheme::RingAllReduce);
-        prop_assert!(hi >= lo * (1.0 - 1e-9), "bandwidth up, tp down: {lo} -> {hi}");
+        assert!(
+            hi >= lo * (1.0 - 1e-9),
+            "case {case}: bandwidth up, tp down: {lo} -> {hi}"
+        );
     }
+}
 
-    /// Adding GPU contention never increases predicted throughput.
-    #[test]
-    fn contention_never_helps(p in arb_partition(), victim in 0usize..4) {
+/// Adding GPU contention never increases predicted throughput.
+#[test]
+fn contention_never_helps() {
+    for case in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(0xC047 + case);
+        let p = random_partition(&mut rng);
+        let victim = rng.gen_range(0..4usize);
         let free = throughput(&p, 25.0, &[], SyncScheme::RingAllReduce);
         let contended = throughput(&p, 25.0, &[victim], SyncScheme::RingAllReduce);
-        prop_assert!(contended <= free * (1.0 + 1e-9), "contention helped: {free} -> {contended}");
+        assert!(
+            contended <= free * (1.0 + 1e-9),
+            "case {case}: contention helped: {free} -> {contended}"
+        );
     }
+}
 
-    /// Throughput is positive and finite, and iteration time x throughput
-    /// equals the batch size.
-    #[test]
-    fn evaluation_is_consistent(p in arb_partition(), g in 2.0..100.0f64) {
+/// Throughput is positive and finite, and iteration time x throughput
+/// equals the batch size.
+#[test]
+fn evaluation_is_consistent() {
+    for case in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(0xE7A1 + case);
+        let p = random_partition(&mut rng);
+        let g = rng.gen_range(2.0..100.0);
         let topo = ClusterTopology::single_switch(4, 1, GpuKind::P100, g);
         let st = ClusterState::new(topo);
         let model = synthetic_skewed(12, 1e9, 8e6, 6e6);
@@ -91,20 +108,27 @@ proptest! {
                 schedule: ScheduleKind::PipeDreamAsync,
             };
             let e = m.evaluate(&p, &st);
-            prop_assert!(e.throughput.is_finite() && e.throughput > 0.0);
-            prop_assert!((e.throughput * e.iteration_time - 16.0).abs() < 1e-6);
-            prop_assert_eq!(e.stage_times.len(), p.n_stages());
-            prop_assert_eq!(e.cut_times.len(), p.n_stages() - 1);
+            assert!(e.throughput.is_finite() && e.throughput > 0.0, "case {case}");
+            assert!((e.throughput * e.iteration_time - 16.0).abs() < 1e-6, "case {case}");
+            assert_eq!(e.stage_times.len(), p.n_stages());
+            assert_eq!(e.cut_times.len(), p.n_stages() - 1);
         }
     }
+}
 
-    /// Under identical states, PS is never faster than Ring for replicated
-    /// single-stage data parallelism (the PS server NIC is the bottleneck).
-    #[test]
-    fn ps_never_beats_ring_for_pure_dp(g in 2.0..100.0f64) {
+/// Under identical states, PS is never faster than Ring for replicated
+/// single-stage data parallelism (the PS server NIC is the bottleneck).
+#[test]
+fn ps_never_beats_ring_for_pure_dp() {
+    for case in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(0x95D9 + case);
+        let g = rng.gen_range(2.0..100.0);
         let p = Partition::single_stage(12, (0..4).map(GpuId).collect());
         let ring = throughput(&p, g, &[], SyncScheme::RingAllReduce);
         let ps = throughput(&p, g, &[], SyncScheme::ParameterServer);
-        prop_assert!(ps <= ring * (1.0 + 1e-9), "ps {ps} beat ring {ring}");
+        assert!(
+            ps <= ring * (1.0 + 1e-9),
+            "case {case}: ps {ps} beat ring {ring}"
+        );
     }
 }

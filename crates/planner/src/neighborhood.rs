@@ -14,10 +14,9 @@
 //!   sync group, its old stage).
 
 use ap_pipesim::Partition;
-use serde::{Deserialize, Serialize};
 
 /// The kind of incremental move that produced a candidate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MoveKind {
     /// Cut between stage `s` and `s+1` moved; positive = stage `s` grew.
     BoundaryShift {

@@ -1,102 +1,104 @@
-//! Cross-crate property tests: partition-move validity, switch-plan
-//! symmetry, planner sanity and engine conservation laws over randomized
-//! inputs.
+//! Cross-crate randomized-but-deterministic tests: partition-move
+//! validity, switch-plan symmetry, planner sanity and engine conservation
+//! laws over seeded random inputs.
 
 use ap_cluster::gpu::GpuKind;
 use ap_cluster::{ClusterState, ClusterTopology, GpuId, ResourceTimeline};
 use ap_models::{synthetic_skewed, synthetic_uniform, ModelProfile};
-use ap_pipesim::{
-    Engine, EngineConfig, Partition, ScheduleKind, Stage, SwitchPlan,
-};
+use ap_pipesim::{Engine, EngineConfig, Partition, ScheduleKind, Stage, SwitchPlan};
 use ap_planner::{all_moves, pipedream_plan, two_worker_moves, PipeDreamView};
-use proptest::prelude::*;
+use ap_rng::Rng;
 
-/// Arbitrary valid partition of `n_layers` over up to `n_gpus` workers.
-fn arb_partition(n_layers: usize, n_gpus: usize) -> impl Strategy<Value = Partition> {
-    (1..=3usize, any::<u64>()).prop_map(move |(stages, seed)| {
-        let stages = stages.min(n_layers).min(n_gpus);
-        // Deterministic pseudo-random cuts/workers from the seed.
-        let mut x = seed;
-        let mut next = || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (x >> 33) as usize
-        };
-        let mut cuts: Vec<usize> = (1..stages).map(|_| 1 + next() % (n_layers - 1)).collect();
-        cuts.sort_unstable();
-        cuts.dedup();
-        let mut bounds = Vec::new();
-        let mut lo = 0;
-        for &c in &cuts {
-            bounds.push(lo..c);
-            lo = c;
-        }
-        bounds.push(lo..n_layers);
-        // Assign workers round-robin, at least one per stage.
-        let k = bounds.len();
-        let mut counts = vec![1usize; k];
-        for _ in k..n_gpus {
-            let i = next() % k;
-            counts[i] += 1;
-        }
-        let mut gi = 0;
-        let stages: Vec<Stage> = bounds
-            .into_iter()
-            .zip(counts)
-            .map(|(r, c)| {
-                let ws: Vec<GpuId> = (gi..gi + c).map(GpuId).collect();
-                gi += c;
-                Stage::new(r, ws)
-            })
-            .collect();
-        let mut p = Partition {
-            stages,
-            in_flight: 1,
-        };
-        p.in_flight = p.default_in_flight();
-        p
-    })
+/// Random valid partition of `n_layers` over up to `n_gpus` workers.
+fn random_partition(rng: &mut Rng, n_layers: usize, n_gpus: usize) -> Partition {
+    let stages = rng.gen_range(1..=3usize).min(n_layers).min(n_gpus);
+    let mut cuts: Vec<usize> = (1..stages)
+        .map(|_| 1 + rng.gen_range(0..n_layers - 1))
+        .collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+    let mut bounds = Vec::new();
+    let mut lo = 0;
+    for &c in &cuts {
+        bounds.push(lo..c);
+        lo = c;
+    }
+    bounds.push(lo..n_layers);
+    // Assign workers round-robin, at least one per stage.
+    let k = bounds.len();
+    let mut counts = vec![1usize; k];
+    for _ in k..n_gpus {
+        let i = rng.gen_range(0..k);
+        counts[i] += 1;
+    }
+    let mut gi = 0;
+    let stages: Vec<Stage> = bounds
+        .into_iter()
+        .zip(counts)
+        .map(|(r, c)| {
+            let ws: Vec<GpuId> = (gi..gi + c).map(GpuId).collect();
+            gi += c;
+            Stage::new(r, ws)
+        })
+        .collect();
+    let mut p = Partition {
+        stages,
+        in_flight: 1,
+    };
+    p.in_flight = p.default_in_flight();
+    p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every incremental move yields a valid partition that preserves the
-    /// worker set.
-    #[test]
-    fn moves_preserve_validity_and_workers(p in arb_partition(12, 6)) {
+/// Every incremental move yields a valid partition that preserves the
+/// worker set.
+#[test]
+fn moves_preserve_validity_and_workers() {
+    for case in 0..48u64 {
+        let mut rng = Rng::seed_from_u64(0x30BE + case);
+        let p = random_partition(&mut rng, 12, 6);
         let model = synthetic_skewed(12, 1e9, 4e6, 4e6);
         let profile = ModelProfile::with_batch(&model, 16);
         let mut base_workers = p.all_workers();
         base_workers.sort();
         for (kind, q) in all_moves(&p, &profile) {
-            prop_assert!(q.validate(12).is_ok(), "{kind:?}");
+            assert!(q.validate(12).is_ok(), "case {case}: {kind:?}");
             let mut w = q.all_workers();
             w.sort();
-            prop_assert_eq!(&w, &base_workers, "{:?} changed the worker set", kind);
+            assert_eq!(&w, &base_workers, "case {case}: {kind:?} changed the worker set");
         }
     }
+}
 
-    /// Switch plans are symmetric in volume: A->B moves the same layers as
-    /// B->A.
-    #[test]
-    fn switch_plans_are_symmetric(a in arb_partition(10, 5), b in arb_partition(10, 5)) {
+/// Switch plans are symmetric in volume: A->B moves the same layers as
+/// B->A.
+#[test]
+fn switch_plans_are_symmetric() {
+    for case in 0..48u64 {
+        let mut rng = Rng::seed_from_u64(0x5FAB + case);
+        let a = random_partition(&mut rng, 10, 5);
+        let b = random_partition(&mut rng, 10, 5);
         let model = synthetic_uniform(10, 1e9, 2e6, 4e6);
         let profile = ModelProfile::with_batch(&model, 16);
         let ab = SwitchPlan::between(&a, &b, &profile, ScheduleKind::PipeDream2Bw);
         let ba = SwitchPlan::between(&b, &a, &profile, ScheduleKind::PipeDream2Bw);
-        prop_assert_eq!(&ab.moved_layers, &ba.moved_layers);
-        prop_assert_eq!(&ab.affected_workers, &ba.affected_workers);
-        prop_assert!((ab.transfer_bytes - ba.transfer_bytes).abs() < 1.0);
+        assert_eq!(&ab.moved_layers, &ba.moved_layers, "case {case}");
+        assert_eq!(&ab.affected_workers, &ba.affected_workers, "case {case}");
+        assert!((ab.transfer_bytes - ba.transfer_bytes).abs() < 1.0, "case {case}");
         // Self-diff is a no-op.
         let aa = SwitchPlan::between(&a, &a, &profile, ScheduleKind::PipeDream2Bw);
-        prop_assert!(aa.is_noop());
+        assert!(aa.is_noop(), "case {case}");
     }
+}
 
-    /// The engine completes exactly the requested iterations (or slightly
-    /// more on simultaneous completion), in non-decreasing time order, and
-    /// busy time never exceeds the makespan.
-    #[test]
-    fn engine_conservation(p in arb_partition(8, 4), iters in 5usize..25) {
+/// The engine completes exactly the requested iterations (or slightly
+/// more on simultaneous completion), in non-decreasing time order, and
+/// busy time never exceeds the makespan.
+#[test]
+fn engine_conservation() {
+    for case in 0..48u64 {
+        let mut rng = Rng::seed_from_u64(0xE46E + case);
+        let p = random_partition(&mut rng, 8, 4);
+        let iters = rng.gen_range(5..25usize);
         let model = synthetic_uniform(8, 1e9, 2e6, 4e6);
         let profile = ModelProfile::with_batch(&model, 16);
         let topo = ClusterTopology::single_switch(4, 1, GpuKind::P100, 25.0);
@@ -108,9 +110,9 @@ proptest! {
             EngineConfig::default(),
         )
         .run(iters);
-        prop_assert!(r.iterations.len() >= iters);
+        assert!(r.iterations.len() >= iters, "case {case}");
         for w in r.iterations.windows(2) {
-            prop_assert!(w[1].finish >= w[0].finish - 1e-9);
+            assert!(w[1].finish >= w[0].finish - 1e-9, "case {case}");
         }
         // Iteration ids are unique; replicas complete out of order, so the
         // final wave may contain an id ahead of a still-in-flight one, but
@@ -119,31 +121,40 @@ proptest! {
         ids.sort_unstable();
         let unique_before = ids.len();
         ids.dedup();
-        prop_assert_eq!(ids.len(), unique_before, "duplicate iteration ids");
+        assert_eq!(ids.len(), unique_before, "case {case}: duplicate iteration ids");
         let max_injected = (r.iterations.len() + 64) as u64;
-        prop_assert!(ids.iter().all(|&id| id < max_injected));
+        assert!(ids.iter().all(|&id| id < max_injected), "case {case}");
         for &b in &r.busy {
-            prop_assert!(b <= r.makespan + 1e-6);
+            assert!(b <= r.makespan + 1e-6, "case {case}");
         }
     }
+}
 
-    /// PipeDream's planner output is always valid and uses at most the
-    /// offered workers, at any bandwidth.
-    #[test]
-    fn planner_output_valid(gbps_v in 1.0..120.0f64, n in 2usize..10) {
+/// PipeDream's planner output is always valid and uses at most the
+/// offered workers, at any bandwidth.
+#[test]
+fn planner_output_valid() {
+    for case in 0..48u64 {
+        let mut rng = Rng::seed_from_u64(0x91A4 + case);
+        let gbps_v = rng.gen_range(1.0..120.0);
+        let n = rng.gen_range(2..10usize);
         let model = synthetic_skewed(9, 2e9, 8e6, 6e6);
         let profile = ModelProfile::with_batch(&model, 16);
         let gpus: Vec<GpuId> = (0..n).map(GpuId).collect();
-        let plan = pipedream_plan(&profile, &gpus, PipeDreamView {
-            bandwidth: ap_cluster::gbps(gbps_v),
-            gpu_flops: 9.3e12,
-        });
-        prop_assert!(plan.validate(9).is_ok());
-        prop_assert!(plan.n_workers() <= n);
-        prop_assert!(plan.in_flight >= 1);
+        let plan = pipedream_plan(
+            &profile,
+            &gpus,
+            PipeDreamView {
+                bandwidth: ap_cluster::gbps(gbps_v),
+                gpu_flops: 9.3e12,
+            },
+        );
+        assert!(plan.validate(9).is_ok(), "case {case}");
+        assert!(plan.n_workers() <= n, "case {case}");
+        assert!(plan.in_flight >= 1, "case {case}");
         // Two-worker moves of the plan stay valid.
         for (_, q) in two_worker_moves(&plan, 9) {
-            prop_assert!(q.validate(9).is_ok());
+            assert!(q.validate(9).is_ok(), "case {case}");
         }
     }
 }

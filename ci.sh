@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# The full local gate: everything CI runs, in the same order.
+#
+#   ./ci.sh
+#
+# The build is hermetic (workspace-only dependencies), so every cargo
+# invocation runs --offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== fmt =="
+cargo fmt --check
+
+echo "== clippy =="
+cargo clippy --offline --all-targets -- -D warnings
+
+echo "== build =="
+cargo build --release --offline
+
+echo "== test =="
+cargo test -q --offline
+
+echo "ci: all green"

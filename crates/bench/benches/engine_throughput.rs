@@ -22,8 +22,9 @@ fn main() {
                 state.clone(),
                 ResourceTimeline::empty(),
                 env.engine_cfg(),
-            );
-            black_box(engine.run(30).throughput());
+            )
+            .expect("valid partition");
+            black_box(engine.run(30).expect("engine run").throughput());
         });
     }
 }

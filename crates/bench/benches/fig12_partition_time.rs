@@ -36,17 +36,21 @@ fn main() {
         let dyn_seq: Vec<Vec<f64>> = (0..net.config().seq_len)
             .map(|_| vec![0.5; DYNAMIC_DIM])
             .collect();
-        timing::run(&format!("meta_net_neighborhood/{}", model.name), runs, || {
-            // The production path: one LSTM pass, FC head per candidate.
-            let h = net.encode_history(&dyn_seq);
-            let mut best = f64::NEG_INFINITY;
-            for (_, cand) in two_worker_moves(&plan, profile.n_layers()) {
-                let m = static_metrics_from_profile(&profile, cand.n_workers());
-                let stat = encoder.encode_static(&m, &cand);
-                best = best.max(net.predict_from_encoding(&h, &stat));
-            }
-            black_box(best);
-        });
+        timing::run(
+            &format!("meta_net_neighborhood/{}", model.name),
+            runs,
+            || {
+                // The production path: one LSTM pass, FC head per candidate.
+                let h = net.encode_history(&dyn_seq);
+                let mut best = f64::NEG_INFINITY;
+                for (_, cand) in two_worker_moves(&plan, profile.n_layers()) {
+                    let m = static_metrics_from_profile(&profile, cand.n_workers());
+                    let stat = encoder.encode_static(&m, &cand);
+                    best = best.max(net.predict_from_encoding(&h, &stat));
+                }
+                black_box(best);
+            },
+        );
 
         timing::run(&format!("rl_decision/{}", model.name), runs, || {
             black_box(arbiter.decide(black_box(&ArbiterInput {

@@ -67,11 +67,17 @@ fn main() {
         match args[i].as_str() {
             "--gpus" => {
                 i += 1;
-                n_gpus = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                n_gpus = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--gbps" => {
                 i += 1;
-                link_gbps = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                link_gbps = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--scheme" => {
                 i += 1;
@@ -83,7 +89,10 @@ fn main() {
             }
             "--shared-jobs" => {
                 i += 1;
-                shared_jobs = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                shared_jobs = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--trace" => {
                 i += 1;
@@ -149,10 +158,7 @@ fn main() {
         println!("{name} plan: {}", plan.summary());
         println!("  predicted {analytic:8.1} samples/s   simulated {simulated:8.1} samples/s");
         let mem = estimate_memory(&profile, plan, env.schedule);
-        let worst = mem
-            .iter()
-            .map(|e| e.total())
-            .fold(0.0f64, f64::max);
+        let worst = mem.iter().map(|e| e.total()).fold(0.0f64, f64::max);
         println!(
             "  peak worker memory {:.2} GB of {:.0} GB",
             worst / 1e9,
@@ -173,9 +179,14 @@ fn main() {
                 record_timeline: true,
             },
         )
-        .run(12);
-        fs::write(&path, to_chrome_trace(&result, &format!("autopipe {model_name}")))
-            .expect("write trace");
+        .expect("valid partition")
+        .run(12)
+        .expect("engine run");
+        fs::write(
+            &path,
+            to_chrome_trace(&result, &format!("autopipe {model_name}")),
+        )
+        .expect("write trace");
         println!("\nwrote Chrome trace to {path} (open in chrome://tracing or Perfetto)");
     }
 }

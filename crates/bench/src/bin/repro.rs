@@ -1,12 +1,17 @@
 //! `repro` — regenerate every figure of the AutoPipe paper.
 //!
 //! ```text
-//! repro <fig2|fig3|fig4|fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|multijob|ablations|all> [--json DIR]
+//! repro <fig2|fig3|fig4|fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|multijob|ablations|all> [--json DIR] [--trace DIR]
 //! ```
 //!
 //! Each subcommand prints the figure's rows/series as a markdown table
 //! (the source for EXPERIMENTS.md) and, with `--json DIR`, also writes the
-//! raw rows as JSON.
+//! raw rows as JSON. With `--trace DIR`, the dynamic figures (fig9/fig10)
+//! additionally re-run their AutoPipe arm with the engine timeline
+//! recorded and write `<fig>_trace.json` — one merged chrome trace
+//! (load it at `chrome://tracing` or Perfetto) of per-worker compute
+//! segments plus a "controller" lane of decision-journal events — and
+//! `<fig>_journal.json`, the raw decision journal.
 
 use std::env;
 use std::fs;
@@ -32,6 +37,11 @@ fn main() {
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from);
+    let trace_dir = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
 
     let run = |name: &str| cmd == name || cmd == "all";
 
@@ -53,9 +63,15 @@ fn main() {
     }
     if run("fig9") {
         dynamic_figure("fig9", dynamic::fig9(DYNAMIC_ITERS), &json_dir);
+        if trace_dir.is_some() {
+            dump_trace(&trace_dir, "fig9", dynamic::fig9_trace(DYNAMIC_ITERS));
+        }
     }
     if run("fig10") {
         dynamic_figure("fig10", dynamic::fig10(DYNAMIC_ITERS), &json_dir);
+        if trace_dir.is_some() {
+            dump_trace(&trace_dir, "fig10", dynamic::fig10_trace(DYNAMIC_ITERS));
+        }
     }
     if run("fig11") {
         fig11(&json_dir);
@@ -98,6 +114,23 @@ fn dump_json<T: ToJson>(dir: &Option<PathBuf>, name: &str, value: &T) {
         let path = d.join(format!("{name}.json"));
         fs::write(&path, value.to_json().pretty()).expect("write json");
         eprintln!("wrote {}", path.display());
+    }
+}
+
+/// Write a dynamic figure's merged decision/compute chrome trace and its
+/// decision journal (stderr-only reporting: stdout stays byte-identical
+/// to a run without `--trace`).
+fn dump_trace(dir: &Option<PathBuf>, name: &str, trace: dynamic::DynamicTrace) {
+    if let Some(d) = dir {
+        fs::create_dir_all(d).expect("create trace dir");
+        let path = d.join(format!("{name}_trace.json"));
+        fs::write(&path, &trace.chrome_trace).expect("write chrome trace");
+        eprintln!(
+            "wrote {} ({} decision events)",
+            path.display(),
+            trace.journal.len()
+        );
+        dump_json(dir, &format!("{name}_journal"), &trace.journal);
     }
 }
 
@@ -155,7 +188,9 @@ fn motivation_figure(name: &str, scenario: Scenario, json: &Option<PathBuf>) {
 fn fig8(json: &Option<PathBuf>) {
     println!("\n## Figure 8 — static resource allocation (3 identical jobs share the testbed)\n");
     let rows = static_alloc::full_grid(MEASURE_ITERS);
-    println!("| framework | scheme | model | Gbps | baseline | PipeDream | AutoPipe | vs base | vs PD |");
+    println!(
+        "| framework | scheme | model | Gbps | baseline | PipeDream | AutoPipe | vs base | vs PD |"
+    );
     println!("|---|---|---|---|---|---|---|---|---|");
     for r in &rows {
         println!(
@@ -230,7 +265,9 @@ fn fig11(json: &Option<PathBuf>) {
     let panels = convergence::fig11(MEASURE_ITERS);
     for (model, rows) in &panels {
         println!("**{model}**\n");
-        println!("| paradigm | throughput (img/s) | staleness | final top-1 | hours to 95% plateau |");
+        println!(
+            "| paradigm | throughput (img/s) | staleness | final top-1 | hours to 95% plateau |"
+        );
         println!("|---|---|---|---|---|");
         for r in rows {
             println!(
@@ -287,7 +324,10 @@ fn run_ablations(json: &Option<PathBuf>) {
         ("Scorer", ablations::scorer_ablation(120)),
         ("Arbiter", ablations::arbiter_ablation(120)),
         ("Switching", ablations::switching_ablation(120)),
-        ("Online adaptation (value = log-space MSE, lower is better)", ablations::adaptation_ablation()),
+        (
+            "Online adaptation (value = log-space MSE, lower is better)",
+            ablations::adaptation_ablation(),
+        ),
     ] {
         println!("**{title}**\n");
         println!("| variant | value | switches |");

@@ -9,21 +9,25 @@
 //! * `hoisted` — the history is encoded once per decision; candidates pay
 //!   only the FC head. Static Table-1 metrics are memoized per distinct
 //!   worker count.
-//! * `hoisted_parallel` — `hoisted`, with the per-candidate head fanned
-//!   across the in-tree `ap_par` worker pool (the production path of
-//!   `AutoPipeController`).
+//! * `hoisted_parallel` — the production path itself: the controller's
+//!   [`Score`] stage (`Scorer::best`), which hoists the LSTM encoding and
+//!   fans the per-candidate head across the in-tree `ap_par` worker pool.
 //!
 //! Results (median of N runs) are written to `BENCH_scoring.json` in the
 //! current directory, or to the path given as the first argument.
 
 use ap_bench::json::Json;
 use ap_bench::timing;
-use ap_cluster::{gbps, GpuId};
+use ap_cluster::{gbps, ClusterState, ClusterTopology, GpuId};
 use ap_models::{alexnet, resnet50, vgg16, ModelProfile};
+use ap_pipesim::{Framework, Partition, ScheduleKind, SyncScheme};
 use ap_planner::{pipedream_plan, two_worker_moves, PipeDreamView};
-use ap_pipesim::Partition;
-use autopipe::metrics::{static_metrics_from_profile, FeatureEncoder, ProfilingMetrics, DYNAMIC_DIM};
-use autopipe::{MetaNet, MetaNetConfig};
+use autopipe::controller::{Score, ScoreCtx};
+use autopipe::metrics::{
+    static_metrics_from_profile, FeatureEncoder, ProfilingMetrics, DYNAMIC_DIM,
+};
+use autopipe::{MetaNet, MetaNetConfig, Scorer};
+use std::collections::VecDeque;
 use std::hint::black_box;
 
 const RUNS: usize = 31;
@@ -87,7 +91,11 @@ fn main() {
             let memo = static_memo(&profile, &candidates);
             let mut best = f64::NEG_INFINITY;
             for cand in &candidates {
-                let m = &memo.iter().find(|&&(k, _)| k == cand.n_workers()).unwrap().1;
+                let m = &memo
+                    .iter()
+                    .find(|&&(k, _)| k == cand.n_workers())
+                    .unwrap()
+                    .1;
                 let stat = encoder.encode_static(m, cand);
                 best = best.max(net.predict_from_encoding(&h, &stat));
             }
@@ -95,17 +103,22 @@ fn main() {
         });
         hoisted.report();
 
-        // Production path: hoisted encoding + ap_par fan-out.
+        // Production path: the controller's Score stage (hoisted encoding
+        // + ap_par fan-out inside `Scorer::best`). The candidate clone is
+        // part of the measured cost, exactly as in a live decision round.
+        let history: VecDeque<Vec<f64>> = dyn_seq.iter().cloned().collect();
+        let state = ClusterState::new(ClusterTopology::paper_testbed(25.0));
+        let ctx = ScoreCtx {
+            profile: &profile,
+            scheme: SyncScheme::RingAllReduce,
+            framework: Framework::pytorch(),
+            schedule: ScheduleKind::PipeDreamAsync,
+            history: &history,
+            state: &state,
+        };
+        let scorer = Scorer::MetaNet(Box::new(MetaNet::new(MetaNetConfig::default())));
         let parallel = timing::bench(&format!("hoisted_parallel/{}", model.name), RUNS, || {
-            let h = net.encode_history(&dyn_seq);
-            let memo = static_memo(&profile, &candidates);
-            let best = ap_par::map_ref(&candidates, |cand| {
-                let m = &memo.iter().find(|&&(k, _)| k == cand.n_workers()).unwrap().1;
-                let stat = encoder.encode_static(m, cand);
-                net.predict_from_encoding(&h, &stat)
-            })
-            .into_iter()
-            .fold(f64::NEG_INFINITY, f64::max);
+            let best = scorer.best(&ctx, candidates.clone());
             black_box(best);
         });
         parallel.report();

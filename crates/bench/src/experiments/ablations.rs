@@ -4,13 +4,13 @@
 
 use ap_cluster::{ClusterTopology, EventKind, ResourceTimeline};
 use ap_models::{resnet50, ModelProfile};
+use ap_rng::Rng;
 use autopipe::arbiter::{default_episode_sampler, Arbiter, ArbiterMode};
 use autopipe::controller::{
     pretrain_meta_net, run_dynamic_scenario, AutoPipeConfig, AutoPipeController, Scorer,
 };
 use autopipe::meta_net::{MetaNetConfig, TrainingSample};
 use autopipe::SwitchMode;
-use ap_rng::Rng;
 
 use crate::setup::{paper_pipedream_plan, ExperimentEnv};
 
@@ -68,8 +68,18 @@ fn run_variant(
     let init = paper_pipedream_plan(&profile, env.link_gbps, topo.n_gpus());
     let mut cfg = base_cfg(&env);
     cfg.switch_mode = switch_mode;
-    let mut ctrl = AutoPipeController::new(&profile, init.clone(), scorer, arbiter, cfg.clone());
-    let r = run_dynamic_scenario(&profile, &topo, &tl, init, Some(&mut ctrl), &cfg, n_iterations);
+    let mut ctrl = AutoPipeController::new(&profile, init.clone(), scorer, arbiter, cfg.clone())
+        .expect("valid initial partition");
+    let r = run_dynamic_scenario(
+        &profile,
+        &topo,
+        &tl,
+        init,
+        Some(&mut ctrl),
+        &cfg,
+        n_iterations,
+    )
+    .expect("ablation scenario");
     AblationRow {
         variant: label.to_string(),
         value: r.mean_throughput,
@@ -227,8 +237,7 @@ fn pretrain_probe_samples(
     let mut out = Vec::with_capacity(n);
     while out.len() < n {
         let mut st = ClusterState::new(topo.clone());
-        st.topology
-            .set_uniform_link_gbps(rng.gen_range(5.0..100.0));
+        st.topology.set_uniform_link_gbps(rng.gen_range(5.0..100.0));
         let p = ap_planner::uniform_plan(profile, rng.gen_range(1..=4usize), &all);
         let tp = model.throughput(&p, &st);
         if !(tp.is_finite() && tp > 0.0) {

@@ -37,7 +37,11 @@ const TAP_SPEED_FACTOR: f64 = 1.08;
 const TAP_STALENESS: f64 = 12.0;
 
 /// Figure 11 for one model.
-pub fn fig11_model(model: &ModelDesc, horizon_hours: f64, iterations: usize) -> Vec<ConvergenceRow> {
+pub fn fig11_model(
+    model: &ModelDesc,
+    horizon_hours: f64,
+    iterations: usize,
+) -> Vec<ConvergenceRow> {
     let profile = ModelProfile::of(model);
     let conv = match model.name.as_str() {
         "resnet50" => ConvergenceModel::resnet50(),
@@ -54,7 +58,8 @@ pub fn fig11_model(model: &ModelDesc, horizon_hours: f64, iterations: usize) -> 
     // Throughputs per paradigm. BSP = bulk-synchronous: the whole
     // mini-batch flushes through the pipeline with no intra-batch
     // pipelining (micro_batches = 1).
-    let (pd_tp, pd_staleness) = crate::setup::engine_measure(&profile, &pd_plan, &state, &env, iterations);
+    let (pd_tp, pd_staleness) =
+        crate::setup::engine_measure(&profile, &pd_plan, &state, &env, iterations);
     let (ap_tp, _) = crate::setup::engine_measure(&profile, &ap_plan, &state, &env, iterations);
     env.schedule = ScheduleKind::Dapple { micro_batches: 1 };
     let bsp_tp = engine_throughput(&profile, &pd_plan, &state, &env, iterations);
@@ -86,7 +91,10 @@ pub fn fig11_model(model: &ModelDesc, horizon_hours: f64, iterations: usize) -> 
 /// Both panels of Figure 11.
 pub fn fig11(iterations: usize) -> Vec<(String, Vec<ConvergenceRow>)> {
     vec![
-        ("resnet50".to_string(), fig11_model(&resnet50(), 30.0, iterations)),
+        (
+            "resnet50".to_string(),
+            fig11_model(&resnet50(), 30.0, iterations),
+        ),
         ("vgg16".to_string(), fig11_model(&vgg16(), 80.0, iterations)),
     ]
 }
@@ -107,9 +115,8 @@ mod tests {
         // lower (paper §5.3).
         let conv = ConvergenceModel::resnet50();
         let long = 1e9;
-        let plateau = |r: &ConvergenceRow, p: Paradigm| {
-            conv.accuracy_at(p, r.throughput, r.staleness, long)
-        };
+        let plateau =
+            |r: &ConvergenceRow, p: Paradigm| conv.accuracy_at(p, r.throughput, r.staleness, long);
         let ap_pl = plateau(ap, Paradigm::AutoPipe);
         let bsp_pl = plateau(bsp, Paradigm::Bsp);
         let tap_pl = plateau(tap, Paradigm::Tap);
@@ -123,7 +130,10 @@ mod tests {
         if let Some(t_bsp) = bsp.hours_to_target {
             assert!(t_ap < t_bsp);
         }
-        assert!(tap.hours_to_target.is_none(), "TAP never reaches 95% of BSP");
+        assert!(
+            tap.hours_to_target.is_none(),
+            "TAP never reaches 95% of BSP"
+        );
     }
 
     #[test]

@@ -9,9 +9,12 @@
 use ap_cluster::dynamics::BgJobId;
 use ap_cluster::{ClusterTopology, EventKind, GpuId, ResourceTimeline};
 use ap_models::{resnet50, ModelProfile};
-use ap_pipesim::{Engine, EngineConfig};
+use ap_pipesim::{to_chrome_trace_with_events, Engine, EngineConfig};
 use autopipe::arbiter::{default_episode_sampler, Arbiter, ArbiterMode};
-use autopipe::controller::{run_dynamic_scenario, AutoPipeConfig, AutoPipeController, Scorer};
+use autopipe::controller::{
+    run_dynamic_scenario, run_dynamic_scenario_traced, AutoPipeConfig, AutoPipeController, Scorer,
+};
+use autopipe::DecisionJournal;
 
 use crate::setup::{paper_pipedream_plan, ExperimentEnv};
 
@@ -48,8 +51,11 @@ fn iteration_times(
             schedule: env.schedule,
             record_timeline: false,
         },
-    );
-    let r = engine.run(marks.iter().copied().max().unwrap_or(1) + 1);
+    )
+    .expect("valid baseline plan");
+    let r = engine
+        .run(marks.iter().copied().max().unwrap_or(1) + 1)
+        .expect("baseline pre-run");
     marks
         .iter()
         .map(|&k| r.iterations[k.min(r.iterations.len() - 1)].finish)
@@ -94,7 +100,8 @@ pub fn run_scenario(
         None,
         &cfg,
         n_iterations,
-    );
+    )
+    .expect("static baseline scenario");
 
     let mut arbiter = Arbiter::new(17);
     arbiter.train_offline(default_episode_sampler, 4000, 29);
@@ -104,7 +111,8 @@ pub fn run_scenario(
         Scorer::Analytic,
         ArbiterMode::Rl(arbiter),
         cfg.clone(),
-    );
+    )
+    .expect("valid initial partition");
     let ap = run_dynamic_scenario(
         profile,
         &topo,
@@ -113,7 +121,8 @@ pub fn run_scenario(
         Some(&mut ctrl),
         &cfg,
         n_iterations,
-    );
+    )
+    .expect("autopipe scenario");
 
     DynamicResult {
         mean: (ap.mean_throughput, pd.mean_throughput),
@@ -123,8 +132,61 @@ pub fn run_scenario(
     }
 }
 
-/// Figure 9: the bandwidth staircase.
-pub fn fig9(n_iterations: usize) -> DynamicResult {
+/// The AutoPipe arm of a scenario re-run with the engine timeline
+/// recorded, yielding one merged chrome trace of compute segments and
+/// controller decisions plus the decision journal itself.
+#[derive(Debug, Clone)]
+pub struct DynamicTrace {
+    /// Trace Event Format JSON: worker rows + a "controller" decision lane.
+    pub chrome_trace: String,
+    /// The controller's decision journal for the run.
+    pub journal: DecisionJournal,
+}
+
+/// Re-run the AutoPipe arm of a scenario with `record_timeline` on and
+/// merge the decision journal into the engine's chrome trace. Uses the
+/// same plan, arbiter training and controller configuration as
+/// [`run_scenario`], so the decisions mirror the figure run.
+pub fn run_scenario_traced(
+    profile: &ModelProfile,
+    timeline: &ResourceTimeline,
+    env: &ExperimentEnv,
+    n_iterations: usize,
+    name: &str,
+) -> DynamicTrace {
+    let topo = ClusterTopology::paper_testbed(env.link_gbps);
+    let init = paper_pipedream_plan(profile, env.link_gbps, topo.n_gpus());
+    let cfg = controller_config(env);
+    let mut arbiter = Arbiter::new(17);
+    arbiter.train_offline(default_episode_sampler, 4000, 29);
+    let mut ctrl = AutoPipeController::new(
+        profile,
+        init.clone(),
+        Scorer::Analytic,
+        ArbiterMode::Rl(arbiter),
+        cfg.clone(),
+    )
+    .expect("valid initial partition");
+    let (scenario, sim) = run_dynamic_scenario_traced(
+        profile,
+        &topo,
+        timeline,
+        init,
+        Some(&mut ctrl),
+        &cfg,
+        n_iterations,
+    )
+    .expect("traced autopipe scenario");
+    let events = scenario.journal.to_trace_events();
+    DynamicTrace {
+        chrome_trace: to_chrome_trace_with_events(&sim, name, "controller", &events),
+        journal: scenario.journal,
+    }
+}
+
+/// Figure 9's inputs: profile, environment, and the bandwidth-staircase
+/// timeline anchored to baseline iteration times.
+fn fig9_inputs() -> (ModelProfile, ExperimentEnv, ResourceTimeline) {
     let profile = ModelProfile::of(&resnet50());
     let env = ExperimentEnv::default_at(10.0);
     let topo = ClusterTopology::paper_testbed(10.0);
@@ -134,11 +196,11 @@ pub fn fig9(n_iterations: usize) -> DynamicResult {
     for (t, g) in times.iter().zip([25.0, 40.0, 100.0]) {
         tl.push(*t, EventKind::SetAllLinksGbps(g));
     }
-    run_scenario(&profile, &tl, &env, n_iterations)
+    (profile, env, tl)
 }
 
-/// Figure 10: local jobs join at iterations 20 and 40.
-pub fn fig10(n_iterations: usize) -> DynamicResult {
+/// Figure 10's inputs: local jobs joining at iterations 20 and 40.
+fn fig10_inputs() -> (ModelProfile, ExperimentEnv, ResourceTimeline) {
     let profile = ModelProfile::of(&resnet50());
     let env = ExperimentEnv::default_at(25.0);
     let topo = ClusterTopology::paper_testbed(25.0);
@@ -165,7 +227,31 @@ pub fn fig10(n_iterations: usize) -> DynamicResult {
             net_bytes_per_sec: 0.0,
         },
     );
+    (profile, env, tl)
+}
+
+/// Figure 9: the bandwidth staircase.
+pub fn fig9(n_iterations: usize) -> DynamicResult {
+    let (profile, env, tl) = fig9_inputs();
     run_scenario(&profile, &tl, &env, n_iterations)
+}
+
+/// Figure 9's AutoPipe arm as a merged decision/compute chrome trace.
+pub fn fig9_trace(n_iterations: usize) -> DynamicTrace {
+    let (profile, env, tl) = fig9_inputs();
+    run_scenario_traced(&profile, &tl, &env, n_iterations, "fig9 autopipe")
+}
+
+/// Figure 10: local jobs join at iterations 20 and 40.
+pub fn fig10(n_iterations: usize) -> DynamicResult {
+    let (profile, env, tl) = fig10_inputs();
+    run_scenario(&profile, &tl, &env, n_iterations)
+}
+
+/// Figure 10's AutoPipe arm as a merged decision/compute chrome trace.
+pub fn fig10_trace(n_iterations: usize) -> DynamicTrace {
+    let (profile, env, tl) = fig10_inputs();
+    run_scenario_traced(&profile, &tl, &env, n_iterations, "fig10 autopipe")
 }
 
 #[cfg(test)]
@@ -206,6 +292,9 @@ mod tests {
             .collect();
         let mb = before.iter().sum::<f64>() / before.len().max(1) as f64;
         let ma = after.iter().sum::<f64>() / after.len().max(1) as f64;
-        assert!(ma < mb, "contention must slow the static plan: {mb} -> {ma}");
+        assert!(
+            ma < mb,
+            "contention must slow the static plan: {mb} -> {ma}"
+        );
     }
 }

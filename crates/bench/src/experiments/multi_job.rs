@@ -51,11 +51,11 @@ pub fn run() -> Vec<MultiJobRow> {
     let env = MultiJobEnv::default();
 
     let static_jobs = tenancy(false);
-    let before = evaluate(&topo, &static_jobs, &env);
+    let before = evaluate(&topo, &static_jobs, &env).expect("static tenancy");
 
     let mut adaptive = tenancy(true);
-    let changes = best_response_rounds(&topo, &mut adaptive, &env, 4);
-    let after = evaluate(&topo, &adaptive, &env);
+    let changes = best_response_rounds(&topo, &mut adaptive, &env, 4).expect("best response");
+    let after = evaluate(&topo, &adaptive, &env).expect("adaptive tenancy");
 
     vec![
         MultiJobRow {

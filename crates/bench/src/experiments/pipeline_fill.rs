@@ -47,8 +47,9 @@ pub fn fig2(iterations: usize) -> PipelineFill {
             record_timeline: true,
             ..EngineConfig::default()
         },
-    );
-    let r = engine.run(iterations);
+    )
+    .expect("valid partition");
+    let r = engine.run(iterations).expect("engine run");
     let makespan = r.makespan;
     let busy_in = |w: usize, lo: f64, hi: f64| -> f64 {
         r.segments
@@ -60,10 +61,11 @@ pub fn fig2(iterations: usize) -> PipelineFill {
     };
     let startup_end = makespan * 0.25;
     let steady_start = makespan * 0.5;
-    let startup_utilization =
-        (0..4).map(|w| busy_in(w, 0.0, startup_end)).sum::<f64>() / 4.0;
-    let steady_utilization =
-        (0..4).map(|w| busy_in(w, steady_start, makespan)).sum::<f64>() / 4.0;
+    let startup_utilization = (0..4).map(|w| busy_in(w, 0.0, startup_end)).sum::<f64>() / 4.0;
+    let steady_utilization = (0..4)
+        .map(|w| busy_in(w, steady_start, makespan))
+        .sum::<f64>()
+        / 4.0;
     PipelineFill {
         segments: r.segments,
         startup_utilization,

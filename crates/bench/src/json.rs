@@ -29,7 +29,12 @@ pub enum Json {
 impl Json {
     /// Build an object from `(key, value)` pairs.
     pub fn obj(fields: Vec<(&str, Json)>) -> Json {
-        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
     }
 
     /// Pretty-print with 2-space indentation.
@@ -264,6 +269,102 @@ impl ToJson for crate::experiments::dynamic::DynamicResult {
     }
 }
 
+impl ToJson for autopipe::DecisionEvent {
+    fn to_json(&self) -> Json {
+        use autopipe::DecisionEvent as E;
+        let mut fields = vec![("event", self.name().to_json())];
+        match self {
+            E::ChangeDetected {
+                signals,
+                degraded_workers,
+            } => {
+                fields.push(("signals", signals.to_json()));
+                fields.push(("degraded_workers", degraded_workers.to_json()));
+            }
+            E::CandidatesScored {
+                rounds,
+                scored,
+                current_pred,
+                best_pred,
+                best,
+            } => {
+                fields.push(("rounds", rounds.to_json()));
+                fields.push(("scored", scored.to_json()));
+                fields.push(("current_pred", current_pred.to_json()));
+                fields.push(("best_pred", best_pred.to_json()));
+                fields.push(("best", best.to_json()));
+            }
+            E::ArbiterVerdict {
+                approved,
+                predicted_speedup,
+                switch_cost_seconds,
+                reward,
+            } => {
+                fields.push(("approved", approved.to_json()));
+                fields.push(("predicted_speedup", predicted_speedup.to_json()));
+                fields.push(("switch_cost_seconds", switch_cost_seconds.to_json()));
+                fields.push(("reward", reward.to_json()));
+            }
+            E::SwitchApplied {
+                from,
+                to,
+                moved_layers,
+                transfer_bytes,
+                pause_seconds,
+            } => {
+                fields.push(("from", from.to_json()));
+                fields.push(("to", to.to_json()));
+                fields.push(("moved_layers", moved_layers.to_json()));
+                fields.push(("transfer_bytes", transfer_bytes.to_json()));
+                fields.push(("pause_seconds", pause_seconds.to_json()));
+            }
+            E::Verified {
+                measured,
+                expected_floor,
+                trust,
+            } => {
+                fields.push(("measured", measured.to_json()));
+                fields.push(("expected_floor", expected_floor.to_json()));
+                fields.push(("trust", trust.to_json()));
+            }
+            E::Reverted {
+                to,
+                measured,
+                expected_floor,
+                trust,
+            } => {
+                fields.push(("to", to.to_json()));
+                fields.push(("measured", measured.to_json()));
+                fields.push(("expected_floor", expected_floor.to_json()));
+                fields.push(("trust", trust.to_json()));
+            }
+            E::Kept { reason } => fields.push(("reason", reason.label().to_json())),
+        }
+        Json::obj(fields)
+    }
+}
+
+impl ToJson for autopipe::DecisionRecord {
+    fn to_json(&self) -> Json {
+        let Json::Obj(mut fields) = self.event.to_json() else {
+            unreachable!("DecisionEvent serializes to an object");
+        };
+        let mut all = vec![
+            ("decision".to_string(), self.decision.to_json()),
+            ("iteration".to_string(), self.iteration.to_json()),
+            ("time".to_string(), self.time.to_json()),
+        ];
+        all.append(&mut fields);
+        Json::Obj(all)
+    }
+}
+
+impl ToJson for autopipe::DecisionJournal {
+    fn to_json(&self) -> Json {
+        self.records.to_json()
+    }
+}
+
 impl ToJson for crate::experiments::convergence::ConvergenceRow {
     fn to_json(&self) -> Json {
         Json::obj(vec![
@@ -330,10 +431,7 @@ mod tests {
         assert_eq!(Json::Num(3.0).pretty(), "3");
         assert_eq!(Json::Num(0.25).pretty(), "0.25");
         assert_eq!(Json::Num(f64::NAN).pretty(), "null");
-        assert_eq!(
-            Json::Str("a\"b\\c\nd".into()).pretty(),
-            r#""a\"b\\c\nd""#
-        );
+        assert_eq!(Json::Str("a\"b\\c\nd".into()).pretty(), r#""a\"b\\c\nd""#);
     }
 
     #[test]

@@ -11,7 +11,6 @@ pub mod setup;
 pub mod timing;
 
 pub use setup::{
-    engine_measure,
-    engine_throughput, exclusive_state, image_models, paper_autopipe_plan, paper_pipedream_plan,
-    shared_three_job_state, ExperimentEnv,
+    engine_measure, engine_throughput, exclusive_state, image_models, paper_autopipe_plan,
+    paper_pipedream_plan, shared_three_job_state, ExperimentEnv,
 };

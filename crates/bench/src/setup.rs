@@ -156,12 +156,13 @@ pub fn engine_measure(
         state.clone(),
         ResourceTimeline::empty(),
         env.engine_cfg(),
-    );
+    )
+    .expect("valid partition");
     // Steady state only exists once the pipeline has filled: run well past
     // the in-flight depth and skip the fill.
     let n = iterations.max(3 * partition.in_flight).max(12);
     let skip = n / 3;
-    let r = engine.run(n);
+    let r = engine.run(n).expect("engine run");
     (r.steady_throughput(skip), r.mean_staleness)
 }
 

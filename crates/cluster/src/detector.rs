@@ -11,7 +11,6 @@
 //! environmental fluctuations", so a single noisy sample must not trigger a
 //! re-partition.
 
-
 /// Which resource moved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChangeKind {

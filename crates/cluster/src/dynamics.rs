@@ -324,7 +324,11 @@ impl DiurnalGenerator {
             next_id += 1;
             let ud: f64 = rng.gen_range(1e-12..1.0);
             let dur = -ud.ln() * self.base.mean_duration;
-            let net = if n > 1 { self.base.net_bytes_per_sec } else { 0.0 };
+            let net = if n > 1 {
+                self.base.net_bytes_per_sec
+            } else {
+                0.0
+            };
             events.push(ResourceEvent {
                 time: t,
                 kind: EventKind::JobArrive {

@@ -6,7 +6,6 @@
 //! we model the same thing as equal time slicing, so a GPU shared by `k`
 //! jobs gives each of them `1/k` of its effective throughput.
 
-
 use crate::units::tflops;
 
 /// Identifier of a GPU within a [`crate::ClusterTopology`].

@@ -8,7 +8,6 @@
 //! receiver's downlink. Intra-server transfers go over PCIe/NVLink and are
 //! modeled with a fixed (high) local bandwidth.
 
-
 use crate::gpu::{Gpu, GpuId, GpuKind};
 use crate::units::gbps;
 

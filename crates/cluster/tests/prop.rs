@@ -69,7 +69,12 @@ fn fair_share_never_starves() {
         let n = rng.gen_range(1..10usize);
         let cap_gbps = rng.gen_range(1.0..100.0);
         let flows: Vec<Flow> = (0..n)
-            .map(|i| Flow::elastic(vec![LinkId::Up(ServerId(0)), LinkId::Down(ServerId(1 + i % 3))]))
+            .map(|i| {
+                Flow::elastic(vec![
+                    LinkId::Up(ServerId(0)),
+                    LinkId::Down(ServerId(1 + i % 3)),
+                ])
+            })
             .collect();
         let rates = max_min_fair_rates(&flows, |_| gbps(cap_gbps), gbps(96.0));
         for r in rates {

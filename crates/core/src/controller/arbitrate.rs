@@ -1,0 +1,11 @@
+//! Default [`Arbitrate`] stage: the RL arbiter (or a threshold/always
+//! policy for ablation) behind the stage interface.
+
+use super::stages::Arbitrate;
+use crate::arbiter::{ArbiterInput, ArbiterMode};
+
+impl Arbitrate for ArbiterMode {
+    fn arbitrate(&self, input: &ArbiterInput) -> bool {
+        self.decide(input)
+    }
+}

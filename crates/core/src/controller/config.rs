@@ -1,0 +1,50 @@
+//! Tuning knobs of the decision pipeline.
+
+use ap_cluster::DetectorConfig;
+use ap_pipesim::{Framework, ScheduleKind, SyncScheme};
+
+use super::switch::SwitchMode;
+
+/// Controller configuration.
+#[derive(Debug, Clone)]
+pub struct AutoPipeConfig {
+    /// Gradient sync scheme.
+    pub scheme: SyncScheme,
+    /// Framework constants.
+    pub framework: Framework,
+    /// Pipeline schedule.
+    pub schedule: ScheduleKind,
+    /// Decision cadence in iterations.
+    pub check_every: usize,
+    /// Amortization horizon (iterations) for switching decisions.
+    pub horizon_iterations: f64,
+    /// Change-detector tuning.
+    pub detector: DetectorConfig,
+    /// Switch execution mode.
+    pub switch_mode: SwitchMode,
+    /// Profiler measurement noise (1-sigma, fraction).
+    pub profiler_noise: f64,
+    /// Incremental moves chained per approved switch (the paper migrates
+    /// gradually; chaining a few moves per decision reaches the target
+    /// configuration with fewer pipeline disturbances).
+    pub moves_per_decision: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AutoPipeConfig {
+    fn default() -> Self {
+        AutoPipeConfig {
+            scheme: SyncScheme::RingAllReduce,
+            framework: Framework::pytorch(),
+            schedule: ScheduleKind::PipeDreamAsync,
+            check_every: 5,
+            horizon_iterations: 100.0,
+            detector: DetectorConfig::default(),
+            switch_mode: SwitchMode::FineGrained,
+            profiler_noise: 0.02,
+            moves_per_decision: 4,
+            seed: 1,
+        }
+    }
+}

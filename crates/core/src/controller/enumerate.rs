@@ -1,0 +1,62 @@
+//! Default [`Enumerate`] stage: the planner's two-worker neighborhood,
+//! extended with eviction moves for degraded workers and filtered against
+//! a blacklist of candidates that measured worse after being applied.
+
+use ap_cluster::GpuId;
+use ap_models::ModelProfile;
+use ap_pipesim::Partition;
+use ap_planner::{all_moves, drop_moves};
+
+use super::stages::Enumerate;
+
+/// Reverted candidates remembered (and never re-proposed).
+const REJECTED_CAP: usize = 16;
+
+/// Enumerates `ap_planner`'s incremental moves (two-worker moves plus
+/// stage merges/splits), plus drop moves that shed a degraded worker.
+#[derive(Default)]
+pub struct MoveEnumerator {
+    /// Candidates that measured worse after being applied (negative
+    /// reward); never re-proposed.
+    rejected: Vec<Partition>,
+}
+
+impl MoveEnumerator {
+    /// An enumerator with an empty blacklist.
+    pub fn new() -> Self {
+        MoveEnumerator::default()
+    }
+
+    /// Blacklist a candidate (bounded memory: oldest entries fall off).
+    pub fn reject(&mut self, candidate: Partition) {
+        self.rejected.push(candidate);
+        if self.rejected.len() > REJECTED_CAP {
+            self.rejected.remove(0);
+        }
+    }
+
+    /// The current blacklist.
+    pub fn rejected(&self) -> &[Partition] {
+        &self.rejected
+    }
+}
+
+impl Enumerate for MoveEnumerator {
+    fn candidates(
+        &self,
+        base: &Partition,
+        profile: &ModelProfile,
+        degraded: &[GpuId],
+    ) -> Vec<Partition> {
+        let mut candidates = all_moves(base, profile);
+        if !degraded.is_empty() {
+            candidates.extend(
+                drop_moves(base)
+                    .into_iter()
+                    .filter(|(_, p)| degraded.iter().any(|g| !p.all_workers().contains(g))),
+            );
+        }
+        candidates.retain(|(_, p)| !self.rejected.contains(p));
+        candidates.into_iter().map(|(_, p)| p).collect()
+    }
+}

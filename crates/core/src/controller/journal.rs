@@ -1,0 +1,279 @@
+//! The decision journal: a structured record of everything the controller
+//! did and why.
+//!
+//! Every stage of the decision pipeline appends typed events —
+//! changes confirmed, candidates scored with their predicted gains, the
+//! arbiter's verdict, the applied switch with its priced pause, and the
+//! post-switch verification or revert. The journal is the controller's
+//! audit log: deterministic for a fixed seed (it derives `PartialEq`
+//! so runs can be compared structurally), exportable as JSON via
+//! `ap-bench`, and renderable onto an engine timeline as a chrome-trace
+//! decision lane via [`DecisionJournal::to_trace_events`].
+
+use ap_pipesim::TraceEvent;
+
+/// Why a decision point that considered switching chose to keep the
+/// current partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeepReason {
+    /// Sitting out decision points after a revert.
+    Cooldown,
+    /// No candidate scored better than the current partition.
+    NoImprovement,
+    /// The best candidate's gain was below the trust-scaled floor.
+    BelowGainFloor,
+    /// The arbiter declined the priced switch.
+    ArbiterRejected,
+}
+
+impl KeepReason {
+    /// Short kebab-case label (for traces and JSON export).
+    pub fn label(self) -> &'static str {
+        match self {
+            KeepReason::Cooldown => "cooldown",
+            KeepReason::NoImprovement => "no-improvement",
+            KeepReason::BelowGainFloor => "below-gain-floor",
+            KeepReason::ArbiterRejected => "arbiter-rejected",
+        }
+    }
+}
+
+/// One typed event in the decision journal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecisionEvent {
+    /// The detector confirmed resource changes (or the controller is
+    /// taking its first/standing-degradation look).
+    ChangeDetected {
+        /// Human-readable change descriptions from the detector.
+        signals: Vec<String>,
+        /// Workers running below the degradation threshold.
+        degraded_workers: Vec<usize>,
+    },
+    /// The greedy enumerate/score chain finished.
+    CandidatesScored {
+        /// Greedy rounds executed.
+        rounds: usize,
+        /// Total candidates scored across rounds.
+        scored: usize,
+        /// Predicted throughput of the current partition (samples/sec).
+        current_pred: f64,
+        /// Predicted throughput of the best candidate found.
+        best_pred: f64,
+        /// Summary of the best candidate.
+        best: String,
+    },
+    /// The arbiter ruled on a priced switch.
+    ArbiterVerdict {
+        /// Whether the switch was approved.
+        approved: bool,
+        /// Predicted speedup ratio (candidate / current).
+        predicted_speedup: f64,
+        /// Predicted switch cost, seconds.
+        switch_cost_seconds: f64,
+        /// The amortized switch reward the arbiter weighed.
+        reward: f64,
+    },
+    /// An approved switch was applied.
+    SwitchApplied {
+        /// Summary of the partition being replaced.
+        from: String,
+        /// Summary of the new partition.
+        to: String,
+        /// Layers whose weights migrate.
+        moved_layers: usize,
+        /// Bytes transferred by the migration.
+        transfer_bytes: f64,
+        /// Pipeline pause charged at the switch point, seconds.
+        pause_seconds: f64,
+    },
+    /// The last switch's measured reward met expectations.
+    Verified {
+        /// Measured speed (samples/sec).
+        measured: f64,
+        /// Minimum speed that would have passed.
+        expected_floor: f64,
+        /// Scorer trust after the confirmation.
+        trust: f64,
+    },
+    /// The last switch under-delivered and was rolled back.
+    Reverted {
+        /// Summary of the reinstated partition.
+        to: String,
+        /// Measured speed (samples/sec) that failed verification.
+        measured: f64,
+        /// Minimum speed that would have passed.
+        expected_floor: f64,
+        /// Scorer trust after the decay.
+        trust: f64,
+    },
+    /// A considered switch was not taken.
+    Kept {
+        /// Why.
+        reason: KeepReason,
+    },
+}
+
+impl DecisionEvent {
+    /// Short label for trace slices.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DecisionEvent::ChangeDetected { .. } => "change",
+            DecisionEvent::CandidatesScored { .. } => "score",
+            DecisionEvent::ArbiterVerdict { .. } => "verdict",
+            DecisionEvent::SwitchApplied { .. } => "switch",
+            DecisionEvent::Verified { .. } => "verified",
+            DecisionEvent::Reverted { .. } => "revert",
+            DecisionEvent::Kept { .. } => "keep",
+        }
+    }
+}
+
+/// One journal entry: which decision point, where in the run, what
+/// happened.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionRecord {
+    /// Decision-point ordinal (several records can share one).
+    pub decision: u64,
+    /// Completed training iterations at the decision point.
+    pub iteration: u64,
+    /// Simulated time of the decision point, seconds.
+    pub time: f64,
+    /// What happened.
+    pub event: DecisionEvent,
+}
+
+/// An append-only log of [`DecisionRecord`]s.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DecisionJournal {
+    /// Records in the order they were appended.
+    pub records: Vec<DecisionRecord>,
+}
+
+impl DecisionJournal {
+    /// An empty journal.
+    pub fn new() -> Self {
+        DecisionJournal::default()
+    }
+
+    /// Append one event.
+    pub fn record(&mut self, decision: u64, iteration: u64, time: f64, event: DecisionEvent) {
+        self.records.push(DecisionRecord {
+            decision,
+            iteration,
+            time,
+            event,
+        });
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the journal is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records appended after index `from` (for per-run snapshots when a
+    /// controller outlives one scenario).
+    pub fn since(&self, from: usize) -> DecisionJournal {
+        DecisionJournal {
+            records: self.records[from.min(self.records.len())..].to_vec(),
+        }
+    }
+
+    /// Render the journal as chrome-trace annotation events in engine
+    /// time: instant marks for point events, a timed slice for each
+    /// applied switch (its pipeline pause).
+    pub fn to_trace_events(&self) -> Vec<TraceEvent> {
+        self.records
+            .iter()
+            .map(|r| {
+                let mut ev = TraceEvent::instant(r.event.name(), "decision", r.time)
+                    .arg("decision", r.decision.to_string())
+                    .arg("iteration", r.iteration.to_string());
+                match &r.event {
+                    DecisionEvent::ChangeDetected {
+                        signals,
+                        degraded_workers,
+                    } => {
+                        ev = ev.arg("signals", signals.join("; "));
+                        if !degraded_workers.is_empty() {
+                            let ws: Vec<String> =
+                                degraded_workers.iter().map(|w| w.to_string()).collect();
+                            ev = ev.arg("degraded", ws.join(","));
+                        }
+                    }
+                    DecisionEvent::CandidatesScored {
+                        rounds,
+                        scored,
+                        current_pred,
+                        best_pred,
+                        best,
+                    } => {
+                        ev = ev
+                            .arg("rounds", rounds.to_string())
+                            .arg("scored", scored.to_string())
+                            .arg("current_pred", format!("{current_pred:.3}"))
+                            .arg("best_pred", format!("{best_pred:.3}"))
+                            .arg("best", best.clone());
+                    }
+                    DecisionEvent::ArbiterVerdict {
+                        approved,
+                        predicted_speedup,
+                        switch_cost_seconds,
+                        reward,
+                    } => {
+                        ev = ev
+                            .arg("approved", approved.to_string())
+                            .arg("speedup", format!("{predicted_speedup:.4}"))
+                            .arg("cost_s", format!("{switch_cost_seconds:.4}"))
+                            .arg("reward", format!("{reward:.4}"));
+                    }
+                    DecisionEvent::SwitchApplied {
+                        from,
+                        to,
+                        moved_layers,
+                        transfer_bytes,
+                        pause_seconds,
+                    } => {
+                        ev.dur_seconds = *pause_seconds;
+                        ev = ev
+                            .arg("from", from.clone())
+                            .arg("to", to.clone())
+                            .arg("moved_layers", moved_layers.to_string())
+                            .arg("transfer_mb", format!("{:.2}", transfer_bytes / 1e6))
+                            .arg("pause_s", format!("{pause_seconds:.4}"));
+                    }
+                    DecisionEvent::Verified {
+                        measured,
+                        expected_floor,
+                        trust,
+                    } => {
+                        ev = ev
+                            .arg("measured", format!("{measured:.3}"))
+                            .arg("floor", format!("{expected_floor:.3}"))
+                            .arg("trust", format!("{trust:.3}"));
+                    }
+                    DecisionEvent::Reverted {
+                        to,
+                        measured,
+                        expected_floor,
+                        trust,
+                    } => {
+                        ev = ev
+                            .arg("to", to.clone())
+                            .arg("measured", format!("{measured:.3}"))
+                            .arg("floor", format!("{expected_floor:.3}"))
+                            .arg("trust", format!("{trust:.3}"));
+                    }
+                    DecisionEvent::Kept { reason } => {
+                        ev = ev.arg("reason", reason.label().to_string());
+                    }
+                }
+                ev
+            })
+            .collect()
+    }
+}

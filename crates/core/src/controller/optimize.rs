@@ -1,0 +1,79 @@
+//! Steady-state optimization built from the [`Enumerate`] and [`Score`]
+//! stages: the greedy refinement loop shared by the live controller, the
+//! static planners and the multi-job best-response dynamics.
+
+use std::collections::VecDeque;
+
+use ap_cluster::ClusterState;
+use ap_pipesim::{AnalyticModel, Partition};
+use ap_planner::sort_stage_workers_by;
+
+use super::enumerate::MoveEnumerator;
+use super::score::Scorer;
+use super::stages::{Enumerate, Score, ScoreCtx};
+
+/// Greedy refinement: chain incremental moves from `start`, each round
+/// keeping the best-scoring candidate, until no candidate beats the
+/// incumbent (beyond float noise) or `max_rounds` is exhausted. Returns
+/// the refined partition and its score.
+pub fn refine<E: Enumerate, S: Score>(
+    enumerator: &E,
+    scorer: &S,
+    ctx: &ScoreCtx<'_>,
+    start: Partition,
+    start_score: f64,
+    max_rounds: usize,
+) -> (Partition, f64) {
+    let mut current = start;
+    let mut current_score = start_score;
+    for _ in 0..max_rounds {
+        let candidates = enumerator.candidates(&current, ctx.profile, &[]);
+        if candidates.is_empty() {
+            break;
+        }
+        match scorer.best(ctx, candidates) {
+            Some((score, p)) if score > current_score * (1.0 + 1e-9) => {
+                current = p;
+                current_score = score;
+            }
+            _ => break,
+        }
+    }
+    (current, current_score)
+}
+
+/// Greedy hill-climbing with two-worker moves under the analytic model:
+/// AutoPipe's steady-state optimizer, used for the static experiments.
+/// A thin composition of [`MoveEnumerator`] and [`Scorer::Analytic`] over
+/// [`refine`].
+pub fn hill_climb(
+    model: &AnalyticModel<'_>,
+    start: Partition,
+    state: &ClusterState,
+    max_rounds: usize,
+) -> Partition {
+    let mut current = start;
+    // Group replicas by effective speed so split moves can isolate
+    // stragglers (order within a stage has no execution semantics).
+    sort_stage_workers_by(&mut current, |g| state.effective_flops(g));
+    let history = VecDeque::new();
+    let ctx = ScoreCtx {
+        profile: model.profile,
+        scheme: model.scheme,
+        framework: model.framework,
+        schedule: model.schedule,
+        history: &history,
+        state,
+    };
+    let scorer = Scorer::Analytic;
+    let start_score = scorer.predict(&ctx, &current);
+    refine(
+        &MoveEnumerator::new(),
+        &scorer,
+        &ctx,
+        current,
+        start_score,
+        max_rounds,
+    )
+    .0
+}

@@ -1,0 +1,177 @@
+//! Dynamic-scenario replay: a resource timeline against a static plan or
+//! a live controller, producing the paper's speed-vs-iteration curves and
+//! the controller's decision journal.
+
+use ap_cluster::{ClusterState, ClusterTopology, ResourceTimeline};
+use ap_models::ModelProfile;
+use ap_pipesim::{Engine, EngineConfig, Partition, SimError, SimResult};
+
+use super::journal::DecisionJournal;
+use super::switch::SwitchMode;
+use super::{AutoPipeConfig, AutoPipeController, Decision};
+
+/// Outcome of a dynamic scenario replay.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Per-iteration speed samples `(iteration, samples/sec)`.
+    pub speed_series: Vec<(u64, f64)>,
+    /// Approved switches `(iteration, pause_seconds)`.
+    pub switches: Vec<(u64, f64)>,
+    /// Overall samples/sec across the run.
+    pub mean_throughput: f64,
+    /// Total wall-clock seconds simulated.
+    pub total_seconds: f64,
+    /// The controller's decision journal for this run (empty for the
+    /// static baseline).
+    pub journal: DecisionJournal,
+}
+
+/// Replay `timeline` for `n_iterations` mini-batches.
+///
+/// With `controller = None` the initial partition stays fixed (the static
+/// PipeDream baseline of Figures 9/10); otherwise the controller is
+/// consulted every `cfg.check_every` completed iterations and approved
+/// switches are applied **live** inside the engine: in-flight mini-batches
+/// drain on the old assignment while new ones use the new one
+/// (fine-grained switching, §4.4), with only the affected workers stalled
+/// — or every worker, for the stop-and-restart ablation.
+pub fn run_dynamic_scenario(
+    profile: &ModelProfile,
+    topo: &ClusterTopology,
+    timeline: &ResourceTimeline,
+    initial: Partition,
+    controller: Option<&mut AutoPipeController<'_>>,
+    cfg: &AutoPipeConfig,
+    n_iterations: usize,
+) -> Result<ScenarioResult, SimError> {
+    run_scenario_impl(
+        profile,
+        topo,
+        timeline,
+        initial,
+        controller,
+        cfg,
+        n_iterations,
+        false,
+    )
+    .map(|(scenario, _)| scenario)
+}
+
+/// Like [`run_dynamic_scenario`], but records the engine's worker
+/// timeline and returns the raw [`SimResult`] alongside, so the decision
+/// journal can be merged with the compute segments into one chrome trace
+/// ([`ap_pipesim::to_chrome_trace_with_events`]).
+pub fn run_dynamic_scenario_traced(
+    profile: &ModelProfile,
+    topo: &ClusterTopology,
+    timeline: &ResourceTimeline,
+    initial: Partition,
+    controller: Option<&mut AutoPipeController<'_>>,
+    cfg: &AutoPipeConfig,
+    n_iterations: usize,
+) -> Result<(ScenarioResult, SimResult), SimError> {
+    run_scenario_impl(
+        profile,
+        topo,
+        timeline,
+        initial,
+        controller,
+        cfg,
+        n_iterations,
+        true,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_scenario_impl(
+    profile: &ModelProfile,
+    topo: &ClusterTopology,
+    timeline: &ResourceTimeline,
+    initial: Partition,
+    controller: Option<&mut AutoPipeController<'_>>,
+    cfg: &AutoPipeConfig,
+    n_iterations: usize,
+    record_timeline: bool,
+) -> Result<(ScenarioResult, SimResult), SimError> {
+    let engine = Engine::new(
+        profile,
+        initial,
+        ClusterState::new(topo.clone()),
+        timeline.clone(),
+        EngineConfig {
+            scheme: cfg.scheme,
+            framework: cfg.framework,
+            schedule: cfg.schedule,
+            record_timeline,
+        },
+    )?;
+    let mut switches: Vec<(u64, f64)> = Vec::new();
+    let mut journal = DecisionJournal::new();
+    let result = match controller {
+        None => engine.run(n_iterations)?,
+        Some(ctrl) => {
+            let global_stall = cfg.switch_mode == SwitchMode::StopRestart;
+            let journal_from = ctrl.journal.len();
+            let result = engine.run_controlled(
+                n_iterations,
+                cfg.check_every,
+                |state, done, now, measured| match ctrl
+                    .observe_and_decide_at(state, measured, done, now)
+                {
+                    Decision::Keep => None,
+                    Decision::Switch {
+                        partition,
+                        pause_seconds,
+                    } => {
+                        switches.push((done, pause_seconds));
+                        Some((partition, pause_seconds, global_stall))
+                    }
+                },
+            )?;
+            journal = ctrl.journal.since(journal_from);
+            result
+        }
+    };
+
+    // Simultaneous completions can overshoot the request; trim.
+    let mut result = result;
+    result.iterations.truncate(n_iterations);
+    // Per-iteration speeds; completions sharing an instant share the rate
+    // measured at the next distinct completion time.
+    let mut speed_series = Vec::with_capacity(result.iterations.len());
+    let mut prev_finish = 0.0_f64;
+    let mut pending: Vec<u64> = Vec::new();
+    for (idx, rec) in result.iterations.iter().enumerate() {
+        pending.push(idx as u64);
+        let dt = rec.finish - prev_finish;
+        if dt > 1e-12 {
+            let speed = pending.len() as f64 * profile.batch as f64 / dt;
+            for &i in &pending {
+                speed_series.push((i, speed));
+            }
+            pending.clear();
+            prev_finish = rec.finish;
+        }
+    }
+    if !pending.is_empty() {
+        let speed = speed_series.last().map(|&(_, s)| s).unwrap_or(0.0);
+        for &i in &pending {
+            speed_series.push((i, speed));
+        }
+    }
+
+    let total = result
+        .iterations
+        .last()
+        .map(|r| r.finish)
+        .unwrap_or(result.makespan)
+        .max(1e-12);
+    let scenario = ScenarioResult {
+        mean_throughput: result.iterations.len() as f64 * profile.batch as f64 / total,
+        speed_series,
+        switches,
+        total_seconds: total,
+        journal,
+    };
+    Ok((scenario, result))
+}

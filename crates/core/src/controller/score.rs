@@ -1,0 +1,89 @@
+//! Default [`Score`] stage: the learned meta-network or the analytic
+//! model.
+
+use ap_pipesim::{AnalyticModel, Partition};
+
+use super::stages::{Score, ScoreCtx};
+use crate::meta_net::MetaNet;
+use crate::metrics::{static_metrics_from_profile, FeatureEncoder, ProfilingMetrics};
+
+/// What scores candidate partitions.
+pub enum Scorer {
+    /// The learned meta-network (the paper's design).
+    MetaNet(Box<MetaNet>),
+    /// Direct analytic evaluation (ablation: perfect model, slower in
+    /// spirit — on a real system this is the "tens of minutes" full model
+    /// the paper rejects).
+    Analytic,
+}
+
+fn analytic<'a>(ctx: &ScoreCtx<'a>) -> AnalyticModel<'a> {
+    AnalyticModel {
+        profile: ctx.profile,
+        scheme: ctx.scheme,
+        framework: ctx.framework,
+        schedule: ctx.schedule,
+    }
+}
+
+impl Score for Scorer {
+    /// Score a candidate's throughput (samples/sec).
+    fn predict(&self, ctx: &ScoreCtx<'_>, candidate: &Partition) -> f64 {
+        match self {
+            Scorer::Analytic => analytic(ctx).throughput(candidate, ctx.state),
+            Scorer::MetaNet(net) => {
+                let seq: Vec<Vec<f64>> = ctx.history.iter().cloned().collect();
+                let m = static_metrics_from_profile(ctx.profile, candidate.n_workers());
+                // Candidate encodings only need static Table-1 fields.
+                let stat = FeatureEncoder.encode_static(&m, candidate);
+                net.predict_throughput(&seq, &stat)
+            }
+        }
+    }
+
+    /// Score a whole candidate set and return the best `(speed,
+    /// partition)`.
+    ///
+    /// This is the hot path of a decision round — O(L²) candidates — so it
+    /// is built for throughput:
+    ///
+    /// * **MetaNet**: the dynamic history is identical for every
+    ///   candidate, so the LSTM runs *once* ([`MetaNet::encode_history`])
+    ///   and each candidate pays only the fully-connected head. Static
+    ///   Table-1 metrics depend only on the worker count, so they are
+    ///   computed once per distinct count instead of once per candidate.
+    /// * Both scorer arms fan the per-candidate work across `ap_par`'s
+    ///   order-preserving parallel map; the final `max_by` runs serially
+    ///   over results in input order, so the selected candidate is
+    ///   identical to a fully serial scan (ties included).
+    fn best(&self, ctx: &ScoreCtx<'_>, candidates: Vec<Partition>) -> Option<(f64, Partition)> {
+        let scored = match self {
+            Scorer::Analytic => {
+                let model = analytic(ctx);
+                let state = ctx.state;
+                ap_par::map(candidates, |p| (model.throughput(&p, state), p))
+            }
+            Scorer::MetaNet(net) => {
+                let seq: Vec<Vec<f64>> = ctx.history.iter().cloned().collect();
+                let h = net.encode_history(&seq);
+                let mut static_by_workers: Vec<(usize, ProfilingMetrics)> = Vec::new();
+                for p in &candidates {
+                    let n = p.n_workers();
+                    if !static_by_workers.iter().any(|&(k, _)| k == n) {
+                        static_by_workers.push((n, static_metrics_from_profile(ctx.profile, n)));
+                    }
+                }
+                ap_par::map(candidates, |p| {
+                    let m = &static_by_workers
+                        .iter()
+                        .find(|&&(k, _)| k == p.n_workers())
+                        .expect("metrics precomputed for every worker count")
+                        .1;
+                    let stat = FeatureEncoder.encode_static(m, &p);
+                    (net.predict_throughput_from_encoding(&h, &stat), p)
+                })
+            }
+        };
+        scored.into_iter().max_by(|a, b| a.0.total_cmp(&b.0))
+    }
+}

@@ -1,0 +1,82 @@
+//! Default [`Switch`] stage: plan a migration, price it for the arbiter,
+//! and charge the pipeline pause of the configured execution mode.
+
+use ap_cluster::ClusterState;
+use ap_models::ModelProfile;
+use ap_pipesim::switching::PER_LAYER_CALL_OVERHEAD;
+use ap_pipesim::{Partition, ScheduleKind, SwitchPlan};
+
+use super::stages::Switch;
+use crate::switch_cost::SwitchCostModel;
+
+/// How an approved switch is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchMode {
+    /// AutoPipe's layer-by-layer migration (§4.4).
+    FineGrained,
+    /// The straw-man: drain, move, restart.
+    StopRestart,
+}
+
+/// Plans switches with [`SwitchPlan`], prices them with the learned
+/// [`SwitchCostModel`], and charges the pause of the configured
+/// [`SwitchMode`].
+pub struct SwitchExecutor {
+    cost_model: SwitchCostModel,
+    mode: SwitchMode,
+}
+
+impl SwitchExecutor {
+    /// An executor in `mode` with the default cost model.
+    pub fn new(mode: SwitchMode) -> Self {
+        SwitchExecutor {
+            cost_model: SwitchCostModel::default(),
+            mode,
+        }
+    }
+}
+
+impl Switch for SwitchExecutor {
+    fn plan(
+        &self,
+        from: &Partition,
+        to: &Partition,
+        profile: &ModelProfile,
+        schedule: ScheduleKind,
+    ) -> SwitchPlan {
+        SwitchPlan::between(from, to, profile, schedule)
+    }
+
+    fn predict_cost(
+        &self,
+        plan: &SwitchPlan,
+        iteration_time: f64,
+        current: &Partition,
+        state: &ClusterState,
+    ) -> f64 {
+        self.cost_model
+            .predict(plan, iteration_time, current, state)
+    }
+
+    fn pause_seconds(
+        &self,
+        plan: &SwitchPlan,
+        iteration_time: f64,
+        current: &Partition,
+        state: &ClusterState,
+    ) -> f64 {
+        match self.mode {
+            SwitchMode::StopRestart => {
+                current.in_flight as f64 * iteration_time + plan.raw_transfer_time(state)
+            }
+            SwitchMode::FineGrained => {
+                // Transfers overlap with the draining pipeline's remaining
+                // compute; only the uncovered tail plus per-layer call
+                // overhead stalls anyone.
+                let slack = (current.in_flight.saturating_sub(1)) as f64 * iteration_time;
+                (plan.raw_transfer_time(state) - slack).max(0.0)
+                    + PER_LAYER_CALL_OVERHEAD * plan.moved_layers.len() as f64
+            }
+        }
+    }
+}

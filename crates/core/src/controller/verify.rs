@@ -1,0 +1,111 @@
+//! Default [`Verify`] stage: judge applied switches by their measured
+//! reward, decay trust on reverts, and enforce a post-revert cooldown.
+
+use super::stages::{PendingSwitch, Verdict, Verify};
+
+/// Measured speed below `expected * REVERT_FRACTION` triggers a revert.
+const REVERT_FRACTION: f64 = 0.75;
+/// Trust multiplier applied by a revert (negative reward).
+const TRUST_DECAY: f64 = 0.6;
+/// Trust multiplier applied by a verified switch (positive reward).
+const TRUST_RECOVERY: f64 = 1.15;
+/// Decision points sat out after a revert.
+const REVERT_COOLDOWN: u8 = 2;
+
+/// Verifies the last switch against its realized reward once the pipeline
+/// has had time to settle. The expected speed is the pre-switch
+/// measurement scaled by the *predicted* ratio of the two partitions
+/// under the current state, so a cluster-wide slowdown (which hits either
+/// partition) does not trigger a bogus revert.
+pub struct RewardVerifier {
+    pending: Option<PendingSwitch>,
+    trust: f64,
+    cooldown: u8,
+}
+
+impl RewardVerifier {
+    /// A verifier with full trust and nothing pending.
+    pub fn new() -> Self {
+        RewardVerifier {
+            pending: None,
+            trust: 1.0,
+            cooldown: 0,
+        }
+    }
+}
+
+impl Default for RewardVerifier {
+    fn default() -> Self {
+        RewardVerifier::new()
+    }
+}
+
+impl Verify for RewardVerifier {
+    fn arm(&mut self, pending: PendingSwitch) {
+        self.pending = Some(pending);
+    }
+
+    fn check<F: FnOnce() -> f64>(&mut self, measured: Option<f64>, predict_current: F) -> Verdict {
+        let Some(PendingSwitch {
+            prev,
+            prev_speed,
+            prev_pred_then,
+            wait,
+        }) = self.pending.take()
+        else {
+            return Verdict::Idle;
+        };
+        if wait > 0 {
+            self.pending = Some(PendingSwitch {
+                prev,
+                prev_speed,
+                prev_pred_then,
+                wait: wait - 1,
+            });
+            return Verdict::Waiting;
+        }
+        let Some(m) = measured else {
+            return Verdict::Waiting;
+        };
+        // Expected outcome = pre-switch measurement scaled by the
+        // *predicted* change (new partition under the current state vs the
+        // old partition under the state it was measured in) — robust to
+        // the environment moving again between the switch and its
+        // verification.
+        let new_pred_now = predict_current();
+        let ratio = (new_pred_now / prev_pred_then.max(1e-9)).clamp(0.1, 10.0);
+        let expected_floor = prev_speed * ratio * REVERT_FRACTION;
+        if m < expected_floor {
+            // Negative reward: trust the scorer less and sit out a couple
+            // of windows, but stay armed — the environment may still be
+            // far from the reverted plan's optimum.
+            self.trust *= TRUST_DECAY;
+            self.cooldown = REVERT_COOLDOWN;
+            Verdict::Revert {
+                prev,
+                measured: m,
+                expected_floor,
+            }
+        } else {
+            // Positive reward: the prediction held up.
+            self.trust = (self.trust * TRUST_RECOVERY).min(1.0);
+            Verdict::Verified {
+                measured: m,
+                expected_floor,
+            }
+        }
+    }
+
+    fn trust(&self) -> f64 {
+        self.trust
+    }
+
+    fn tick_cooldown(&mut self) -> bool {
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            true
+        } else {
+            false
+        }
+    }
+}

@@ -6,16 +6,19 @@
 //! of three recent works, i.e., DAPPLE, Chimera and PipeDream-2BW."
 //!
 //! The vanilla versions of these systems split structurally uniform models
-//! *evenly* (§2.1, category 1) and never re-plan. The enhancement applies
-//! AutoPipe's accurate environment-aware scoring plus incremental
-//! two-worker refinement on top of the same schedule.
+//! *evenly* (§2.1, category 1) and never re-plan. The enhancement is an
+//! alternative composition of the controller's stage implementations: the
+//! same [`MoveEnumerator`] and analytic [`Scorer`] the live controller
+//! runs, driven by the shared [`refine`] loop on top of the same schedule.
+
+use std::collections::VecDeque;
 
 use ap_cluster::{ClusterState, GpuId};
 use ap_models::ModelProfile;
 use ap_pipesim::{AnalyticModel, Framework, ScheduleKind, SyncScheme};
-use ap_planner::uniform_plan;
+use ap_planner::{sort_stage_workers_by, uniform_plan};
 
-use crate::controller::hill_climb;
+use crate::controller::{refine, MoveEnumerator, Score, ScoreCtx, Scorer};
 
 /// Throughput of the vanilla (even-split, static) and AutoPipe-enhanced
 /// (environment-aware, refined) configuration of a schedule, in
@@ -37,7 +40,22 @@ pub fn enhanced_throughput(
     let gpus: Vec<GpuId> = (0..state.topology.n_gpus()).map(GpuId).collect();
     let vanilla = uniform_plan(profile, n_stages, &gpus);
     let vanilla_tp = model.throughput(&vanilla, state);
-    let enhanced = hill_climb(&model, vanilla, state, 30);
+    // Stage composition: group replicas by effective speed, then greedily
+    // chain two-worker moves under the analytic scorer.
+    let mut start = vanilla;
+    sort_stage_workers_by(&mut start, |g| state.effective_flops(g));
+    let history = VecDeque::new();
+    let ctx = ScoreCtx {
+        profile,
+        scheme,
+        framework,
+        schedule,
+        history: &history,
+        state,
+    };
+    let scorer = Scorer::Analytic;
+    let start_tp = scorer.predict(&ctx, &start);
+    let (enhanced, _) = refine(&MoveEnumerator::new(), &scorer, &ctx, start, start_tp, 30);
     let enhanced_tp = model.throughput(&enhanced, state);
     (vanilla_tp, enhanced_tp)
 }

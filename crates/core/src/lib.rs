@@ -6,17 +6,20 @@
 //!
 //! ## Architecture (paper §4)
 //!
+//! The control loop is an explicit pipeline of stages (the traits in
+//! [`controller::stages`]), composed by [`controller::AutoPipeController`]
+//! and journaled at every step:
+//!
 //! ```text
-//!        ┌────────────────────────── AutoPipeController ─────────────────────────┐
-//!        │                                                                       │
-//!  state │  Profiler ──► Table-1 metrics ──► ResourceChangeDetector              │
-//!  every │                     │                     │ confirmed change          │
-//!  iter  │                     ▼                     ▼                           │
-//!        │             MetaNet (LSTM+FC) ◄── two-worker moves (O(L²))            │
-//!        │                     │ predicted speed per candidate                   │
-//!        │                     ▼                                                 │
-//!        │             Arbiter (RL, 32-16 FC) ── switch? ──► fine-grained switch │
-//!        └───────────────────────────────────────────────────────────────────────┘
+//!  ┌───────────────────── AutoPipeController (decision pipeline) ─────────────────────┐
+//!  │                                                                                  │
+//!  │ Verify ─▶ Observe ─▶ Detect ─▶ Enumerate ─▶ Score ─▶ Arbitrate ─▶ Switch         │
+//!  │ revert/   Profiler,  Resource  two-worker   MetaNet   RL /        plan, price,   │
+//!  │ trust     Table-1    Change-   moves        (LSTM+FC) threshold   fine-grained   │
+//!  │           history    Detector  (O(L²))      /analytic             pause          │
+//!  │    │          │          │          │           │         │          │           │
+//!  │    └──────────┴──────────┴──── DecisionJournal (typed events) ───────┘           │
+//!  └──────────────────────────────────────────────────────────────────────────────────┘
 //! ```
 //!
 //! * [`metrics`] — the profiling metrics of Table 1 and their encoding into
@@ -30,27 +33,32 @@
 //! * [`switch_cost`] — predicted cost of a partition switch;
 //! * [`arbiter`] — the RL model (two hidden layers, 32 and 16 neurons)
 //!   deciding whether the predicted gain justifies the switch;
-//! * [`controller`] — the closed loop, plus a dynamic-scenario runner that
-//!   produces the paper's speed-vs-iteration curves;
+//! * [`controller`] — the staged decision pipeline, its default stage
+//!   implementations, the [`controller::DecisionJournal`] audit trail, and
+//!   a dynamic-scenario runner that produces the paper's
+//!   speed-vs-iteration curves (with an optional merged chrome trace);
 //! * [`enhanced`] — AutoPipe-enhanced DAPPLE / Chimera / PipeDream-2BW
-//!   (Figure 13).
+//!   (Figure 13), built on the same Enumerate/Score stages;
+//! * [`multi_job`] — best-response dynamics over several jobs sharing the
+//!   cluster, likewise built on the stage interfaces.
 
 pub mod arbiter;
 pub mod controller;
 pub mod enhanced;
 pub mod meta_net;
-pub mod multi_job;
 pub mod metrics;
+pub mod multi_job;
 pub mod profiler;
 pub mod switch_cost;
 
 pub use arbiter::{Arbiter, ArbiterInput, ArbiterMode};
 pub use controller::{
-    AutoPipeConfig, AutoPipeController, ScenarioResult, Scorer, SwitchMode,
+    AutoPipeConfig, AutoPipeController, Decision, DecisionEvent, DecisionJournal, DecisionRecord,
+    KeepReason, ScenarioResult, Scorer, SwitchMode,
 };
 pub use enhanced::enhanced_throughput;
 pub use meta_net::{MetaNet, MetaNetConfig, TrainingSample};
-pub use multi_job::{best_response_rounds, JobSpec, MultiJobEnv, MultiJobOutcome};
 pub use metrics::{FeatureEncoder, ProfilingMetrics, DYNAMIC_DIM, STATIC_DIM};
+pub use multi_job::{best_response_rounds, JobSpec, MultiJobEnv, MultiJobOutcome};
 pub use profiler::Profiler;
 pub use switch_cost::SwitchCostModel;

@@ -67,7 +67,12 @@ impl ProfilingMetrics {
         if self.fp_time.len() != n || self.bp_time.len() != n {
             return Err("time matrices need N rows".into());
         }
-        if self.fp_time.iter().chain(&self.bp_time).any(|r| r.len() != l) {
+        if self
+            .fp_time
+            .iter()
+            .chain(&self.bp_time)
+            .any(|r| r.len() != l)
+        {
             return Err("time matrices need L columns".into());
         }
         Ok(())

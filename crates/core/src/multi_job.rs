@@ -13,7 +13,7 @@ use ap_cluster::dynamics::BgJobId;
 use ap_cluster::{ClusterState, ClusterTopology, EventKind, ResourceTimeline};
 use ap_models::ModelProfile;
 use ap_pipesim::{
-    AnalyticModel, Engine, EngineConfig, Framework, Partition, ScheduleKind, SyncScheme,
+    AnalyticModel, Engine, EngineConfig, Framework, Partition, ScheduleKind, SimError, SyncScheme,
 };
 
 use crate::controller::hill_climb;
@@ -107,13 +107,18 @@ pub fn induced_state(
 }
 
 /// Measured (event-engine) throughput of every job under the tenancy's
-/// current placements.
-pub fn evaluate(topo: &ClusterTopology, jobs: &[JobSpec], env: &MultiJobEnv) -> MultiJobOutcome {
+/// current placements. Fails if any job's partition is invalid or its
+/// pipeline cannot make progress under the induced contention.
+pub fn evaluate(
+    topo: &ClusterTopology,
+    jobs: &[JobSpec],
+    env: &MultiJobEnv,
+) -> Result<MultiJobOutcome, SimError> {
     let per_job: Vec<f64> = (0..jobs.len())
         .map(|j| {
             let st = induced_state(topo, jobs, j, env);
             let n = (3 * jobs[j].partition.in_flight).max(20);
-            Engine::new(
+            Ok(Engine::new(
                 &jobs[j].profile,
                 jobs[j].partition.clone(),
                 st,
@@ -124,15 +129,15 @@ pub fn evaluate(topo: &ClusterTopology, jobs: &[JobSpec], env: &MultiJobEnv) -> 
                     schedule: env.schedule,
                     record_timeline: false,
                 },
-            )
-            .run(n)
-            .steady_throughput(n / 3)
+            )?
+            .run(n)?
+            .steady_throughput(n / 3))
         })
-        .collect();
-    MultiJobOutcome {
+        .collect::<Result<_, SimError>>()?;
+    Ok(MultiJobOutcome {
         total: per_job.iter().sum(),
         per_job,
-    }
+    })
 }
 
 /// Aggregate outcome of a tenancy.
@@ -153,14 +158,17 @@ pub struct MultiJobOutcome {
 /// externalities (one job grabbing bandwidth slows two others more);
 /// verifying the global reward prevents that. Stops early once a full
 /// round changes nothing. Returns the number of plan changes kept.
+///
+/// Each job's proposal is the controller's Enumerate + Score composition
+/// ([`hill_climb`]) run against the state the rest of the tenancy induces.
 pub fn best_response_rounds(
     topo: &ClusterTopology,
     jobs: &mut [JobSpec],
     env: &MultiJobEnv,
     max_rounds: usize,
-) -> usize {
+) -> Result<usize, SimError> {
     let mut changes = 0usize;
-    let mut current_total = evaluate(topo, jobs, env).total;
+    let mut current_total = evaluate(topo, jobs, env)?.total;
     for _ in 0..max_rounds {
         let mut changed_this_round = false;
         for j in 0..jobs.len() {
@@ -180,7 +188,7 @@ pub fn best_response_rounds(
             }
             // Tentatively apply; keep only if the fleet-level reward rises.
             let old = std::mem::replace(&mut jobs[j].partition, better);
-            let new_total = evaluate(topo, jobs, env).total;
+            let new_total = evaluate(topo, jobs, env)?.total;
             if new_total > current_total * 1.005 {
                 current_total = new_total;
                 changes += 1;
@@ -193,14 +201,14 @@ pub fn best_response_rounds(
             break;
         }
     }
-    changes
+    Ok(changes)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ap_cluster::GpuId;
     use ap_cluster::gpu::GpuKind;
+    use ap_cluster::GpuId;
     use ap_models::resnet50;
     use ap_planner::{pipedream_plan, PipeDreamView};
 
@@ -257,11 +265,12 @@ mod tests {
         let topo = testbed();
         let env = MultiJobEnv::default();
         let static_jobs = vec![static_job(false), static_job(false), static_job(false)];
-        let before = evaluate(&topo, &static_jobs, &env);
+        let before = evaluate(&topo, &static_jobs, &env).expect("static tenancy");
 
         let mut adaptive_jobs = vec![static_job(true), static_job(true), static_job(true)];
-        let changes = best_response_rounds(&topo, &mut adaptive_jobs, &env, 4);
-        let after = evaluate(&topo, &adaptive_jobs, &env);
+        let changes =
+            best_response_rounds(&topo, &mut adaptive_jobs, &env, 4).expect("best response");
+        let after = evaluate(&topo, &adaptive_jobs, &env).expect("adaptive tenancy");
         assert!(
             after.total >= before.total,
             "coordinated tenancy must not lose: {:.1} -> {:.1} ({} changes)",
@@ -276,9 +285,9 @@ mod tests {
         let topo = testbed();
         let env = MultiJobEnv::default();
         let mut jobs = vec![static_job(true), static_job(true)];
-        let _ = best_response_rounds(&topo, &mut jobs, &env, 6);
+        let _ = best_response_rounds(&topo, &mut jobs, &env, 6).expect("first pass");
         // Re-running from the fixed point changes nothing.
-        let again = best_response_rounds(&topo, &mut jobs, &env, 3);
+        let again = best_response_rounds(&topo, &mut jobs, &env, 3).expect("second pass");
         assert_eq!(again, 0);
     }
 }

@@ -9,7 +9,7 @@
 use ap_cluster::ClusterState;
 use ap_models::ModelProfile;
 use ap_nn::{mse_loss, ActKind, Adam, Matrix, Mlp, Optimizer};
-use ap_pipesim::{fine_grained_cost, ScheduleKind, SwitchPlan, Partition};
+use ap_pipesim::{fine_grained_cost, Partition, ScheduleKind, SwitchPlan};
 use ap_rng::Rng;
 
 /// Feature width of the cost predictor.

@@ -1,6 +1,5 @@
 //! Layer descriptors and shape math.
 
-
 /// Bytes per f32 element.
 const F32: f64 = 4.0;
 
@@ -89,7 +88,14 @@ impl LayerDesc {
     }
 
     /// A pooling layer over a `k`x`k` window with stride `s`.
-    pub fn pool(name: &str, c: usize, h: usize, w: usize, k: usize, s: usize) -> (Self, (usize, usize, usize)) {
+    pub fn pool(
+        name: &str,
+        c: usize,
+        h: usize,
+        w: usize,
+        k: usize,
+        s: usize,
+    ) -> (Self, (usize, usize, usize)) {
         let h_out = (h - k) / s + 1;
         let w_out = (w - k) / s + 1;
         let layer = LayerDesc {

@@ -7,7 +7,6 @@
 //! mini-batch size and adds prefix sums so planners can query contiguous
 //! layer ranges in O(1).
 
-
 use crate::zoo::ModelDesc;
 
 /// Per-layer static metrics at a fixed mini-batch size, plus prefix sums.

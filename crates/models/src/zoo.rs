@@ -5,7 +5,6 @@
 //! 256 (AlexNet); the pipeline-variant comparison (Figure 13) trains
 //! BERT-48 with mini-batch 256.
 
-
 use crate::layer::{LayerDesc, LayerKind};
 
 /// A model: an ordered sequence of partitionable layers.
@@ -84,16 +83,8 @@ pub fn vgg16() -> ModelDesc {
     let (mut c, mut h, mut w) = (3usize, 224usize, 224usize);
     for (bi, &(cout, n)) in cfg.iter().enumerate() {
         for i in 0..n {
-            let (l, s) = LayerDesc::conv(
-                &format!("conv{}_{}", bi + 1, i + 1),
-                c,
-                h,
-                w,
-                cout,
-                3,
-                1,
-                1,
-            );
+            let (l, s) =
+                LayerDesc::conv(&format!("conv{}_{}", bi + 1, i + 1), c, h, w, cout, 3, 1, 1);
             layers.push(l);
             (c, h, w) = s;
         }
@@ -160,9 +151,11 @@ fn resnet(blocks_per_stage: &[usize; 4], name: &str) -> ModelDesc {
             layers.push(l2);
             // 1x1 expand; fold the projection shortcut into the expand conv
             // on the first block of each stage (extra params + flops).
-            let (mut l3, s3) = LayerDesc::conv(&format!("{tag}_c"), s2.0, s2.1, s2.2, cout, 1, 1, 0);
+            let (mut l3, s3) =
+                LayerDesc::conv(&format!("{tag}_c"), s2.0, s2.1, s2.2, cout, 1, 1, 0);
             if b == 0 {
-                let (proj, _) = LayerDesc::conv(&format!("{tag}_proj"), c, h, w, cout, 1, stride, 0);
+                let (proj, _) =
+                    LayerDesc::conv(&format!("{tag}_proj"), c, h, w, cout, 1, stride, 0);
                 l3.flops_fwd += proj.flops_fwd;
                 l3.param_bytes += proj.param_bytes;
             }
@@ -218,7 +211,11 @@ pub fn bert_n(n: usize) -> ModelDesc {
     let mut layers = Vec::with_capacity(n + 2);
     layers.push(LayerDesc::embedding("embed", 30522, hidden, seq));
     for i in 0..n {
-        layers.push(LayerDesc::transformer_block(&format!("block{i}"), hidden, seq));
+        layers.push(LayerDesc::transformer_block(
+            &format!("block{i}"),
+            hidden,
+            seq,
+        ));
     }
     layers.push(LayerDesc::fc("mlm_head", hidden, 30522));
     ModelDesc {

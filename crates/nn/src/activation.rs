@@ -1,6 +1,5 @@
 //! Element-wise activation layers.
 
-
 use crate::matrix::Matrix;
 
 /// Supported activation functions.

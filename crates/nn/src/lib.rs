@@ -25,7 +25,7 @@ pub mod matrix;
 pub mod mlp;
 pub mod optim;
 
-pub use activation::{Activation, ActKind};
+pub use activation::{ActKind, Activation};
 pub use linear::Linear;
 pub use loss::{mse_loss, softmax, softmax_cross_entropy};
 pub use lstm::{Lstm, LstmCell};

@@ -1,6 +1,5 @@
 //! Sequential fully-connected network (Linear + activation stacks).
 
-
 use crate::activation::{ActKind, Activation};
 use crate::linear::Linear;
 use crate::matrix::Matrix;
@@ -31,7 +30,11 @@ impl Mlp {
         for (i, w) in sizes.windows(2).enumerate() {
             layers.push(Linear::new(w[0], w[1], seed.wrapping_add(i as u64)));
             let last = i == sizes.len() - 2;
-            acts.push(Activation::new(if last { ActKind::Identity } else { hidden_act }));
+            acts.push(Activation::new(if last {
+                ActKind::Identity
+            } else {
+                hidden_act
+            }));
         }
         Mlp {
             layers,
@@ -65,7 +68,11 @@ impl Mlp {
         for (i, l) in self.layers.iter().enumerate() {
             h = l.forward_inference(&h);
             let last = i == self.layers.len() - 1;
-            let kind = if last { ActKind::Identity } else { self.hidden_act };
+            let kind = if last {
+                ActKind::Identity
+            } else {
+                self.hidden_act
+            };
             h = h.map(|v| kind.apply(v));
         }
         h
@@ -82,7 +89,10 @@ impl Mlp {
 
     /// All parameters for an optimizer.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     /// Zero all gradients.

@@ -94,12 +94,7 @@ impl Optimizer for Adam {
                 .v
                 .entry(i)
                 .or_insert_with(|| Matrix::zeros(p.grad.rows(), p.grad.cols()));
-            for ((mj, vj), gj) in m
-                .data_mut()
-                .iter_mut()
-                .zip(v.data_mut())
-                .zip(p.grad.data())
-            {
+            for ((mj, vj), gj) in m.data_mut().iter_mut().zip(v.data_mut()).zip(p.grad.data()) {
                 *mj = self.beta1 * *mj + (1.0 - self.beta1) * gj;
                 *vj = self.beta2 * *vj + (1.0 - self.beta2) * gj * gj;
             }

@@ -66,7 +66,9 @@ where
     // does not serialize the tail.
     let n_chunks = (workers * 4).min(n);
     let chunk_size = n.div_ceil(n_chunks);
-    let mut chunks: Vec<Mutex<Option<(usize, Vec<T>)>>> = Vec::with_capacity(n_chunks);
+    // An indexed chunk of pending items, claimed at most once.
+    type PendingChunk<T> = Mutex<Option<(usize, Vec<T>)>>;
+    let mut chunks: Vec<PendingChunk<T>> = Vec::with_capacity(n_chunks);
     {
         let mut rest = items;
         let mut idx = 0;
@@ -143,7 +145,11 @@ mod tests {
         for n in [0usize, 1, 2, 15, 16, 17, 63, 64, 257] {
             let items: Vec<usize> = (0..n).collect();
             let out = map(items.clone(), |x| x * x);
-            assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>(), "n={n}");
+            assert_eq!(
+                out,
+                items.iter().map(|x| x * x).collect::<Vec<_>>(),
+                "n={n}"
+            );
         }
     }
 

@@ -81,9 +81,7 @@ impl<'a> AnalyticModel<'a> {
         } else {
             // Flush schedules synchronize the full stage once per
             // mini-batch at the barrier.
-            let t_sync = self
-                .scheme
-                .sync_time(sync_bytes, &st.workers, state)
+            let t_sync = self.scheme.sync_time(sync_bytes, &st.workers, state)
                 / self.framework.comm_efficiency;
             t_comp + t_sync
         }
@@ -264,12 +262,10 @@ mod tests {
         let (st, p) = setup(100.0);
         let part = two_stage();
         let async_tp = model(&p, ScheduleKind::PipeDreamAsync).throughput(&part, &st);
-        let dapple_tp =
-            model(&p, ScheduleKind::Dapple { micro_batches: 4 }).throughput(&part, &st);
+        let dapple_tp = model(&p, ScheduleKind::Dapple { micro_batches: 4 }).throughput(&part, &st);
         assert!(dapple_tp < async_tp);
         // More micro-batches shrink the gap.
-        let dapple16 =
-            model(&p, ScheduleKind::Dapple { micro_batches: 16 }).throughput(&part, &st);
+        let dapple16 = model(&p, ScheduleKind::Dapple { micro_batches: 16 }).throughput(&part, &st);
         assert!(dapple16 > dapple_tp);
     }
 
@@ -287,8 +283,7 @@ mod tests {
         let (st, p) = setup(100.0);
         let part = two_stage();
         let dapple = model(&p, ScheduleKind::Dapple { micro_batches: 4 }).throughput(&part, &st);
-        let chimera =
-            model(&p, ScheduleKind::Chimera { micro_batches: 4 }).throughput(&part, &st);
+        let chimera = model(&p, ScheduleKind::Chimera { micro_batches: 4 }).throughput(&part, &st);
         assert!(chimera > dapple);
     }
 

@@ -18,7 +18,6 @@
 //! samples, where staleness discounts per-sample progress. This reproduces
 //! the ordering and plateau behaviour without running SGD for 80 hours.
 
-
 /// Synchronization paradigm of a training run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Paradigm {
@@ -96,13 +95,7 @@ impl ConvergenceModel {
 
     /// Accuracy (percent) after `t` seconds at `throughput` samples/sec
     /// with the paradigm's staleness semantics.
-    pub fn accuracy_at(
-        &self,
-        paradigm: Paradigm,
-        throughput: f64,
-        staleness: f64,
-        t: f64,
-    ) -> f64 {
+    pub fn accuracy_at(&self, paradigm: Paradigm, throughput: f64, staleness: f64, t: f64) -> f64 {
         let eff = throughput * t * paradigm.progress_factor(staleness);
         let plateau = self.max_accuracy * paradigm.plateau_factor();
         plateau * (1.0 - (-eff / self.tau_samples).exp())
@@ -184,9 +177,7 @@ mod tests {
         assert!(m
             .time_to_accuracy(Paradigm::Tap, 1000.0, 5.0, 70.0)
             .is_none());
-        assert!(m
-            .time_to_accuracy(Paradigm::Bsp, 10.0, 0.0, 70.0)
-            .is_some());
+        assert!(m.time_to_accuracy(Paradigm::Bsp, 10.0, 0.0, 70.0).is_some());
     }
 
     #[test]

@@ -28,9 +28,57 @@ use ap_cluster::{max_min_fair_rates, ClusterState, Flow, GpuId, ResourceTimeline
 use ap_models::ModelProfile;
 
 use crate::framework::Framework;
-use crate::partition::Partition;
+use crate::partition::{Partition, PartitionError};
 use crate::schedule::ScheduleKind;
 use crate::sync::SyncScheme;
+
+/// Why a simulation run could not complete.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The run was configured with a structurally invalid partition.
+    InvalidPartition(PartitionError),
+    /// Nothing is runnable and no future resource event can unblock the
+    /// pipeline: the configuration cannot make progress.
+    Deadlock {
+        /// Simulated time at which progress stopped.
+        at: f64,
+        /// Mini-batches completed before the deadlock.
+        done: u64,
+        /// Mini-batches that were requested.
+        target: u64,
+    },
+    /// The event loop exceeded its step budget — the run is degenerate
+    /// (e.g. a pathological rate collapse producing infinitesimal steps).
+    StepBudgetExhausted {
+        /// Steps taken before giving up.
+        steps: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::InvalidPartition(e) => write!(f, "invalid partition: {e}"),
+            SimError::Deadlock { at, done, target } => {
+                write!(
+                    f,
+                    "deadlock at t={at} with {done} / {target} iterations done"
+                )
+            }
+            SimError::StepBudgetExhausted { steps } => {
+                write!(f, "engine step budget exhausted after {steps} steps")
+            }
+        }
+    }
+}
+
+impl From<PartitionError> for SimError {
+    fn from(e: PartitionError) -> Self {
+        SimError::InvalidPartition(e)
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// Forward or backward work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -140,7 +188,13 @@ impl SimResult {
     pub fn utilization(&self) -> Vec<f64> {
         self.busy
             .iter()
-            .map(|&b| if self.makespan > 0.0 { b / self.makespan } else { 0.0 })
+            .map(|&b| {
+                if self.makespan > 0.0 {
+                    b / self.makespan
+                } else {
+                    0.0
+                }
+            })
             .collect()
     }
 }
@@ -200,14 +254,10 @@ enum Activity {
         unlocks: Unlock,
     },
     /// Synchronous-schedule flush barrier (gradient sync), fixed duration.
-    Flush {
-        remaining_seconds: f64,
-    },
+    Flush { remaining_seconds: f64 },
     /// A pure time delay (e.g. a fine-grained migration stall); completion
     /// has no effect beyond advancing the clock so frozen workers re-check.
-    Timer {
-        remaining_seconds: f64,
-    },
+    Timer { remaining_seconds: f64 },
 }
 
 /// One partition regime during a run. Units carry the epoch that was
@@ -303,16 +353,18 @@ pub struct Engine<'a> {
 
 impl<'a> Engine<'a> {
     /// Build an engine for one job.
+    ///
+    /// Fails with a [`PartitionError`] when `partition` is structurally
+    /// invalid for `profile` (the caller controls both, so the mismatch is
+    /// theirs to handle, not a process abort).
     pub fn new(
         profile: &'a ModelProfile,
         partition: Partition,
         state: ClusterState,
         resources: ResourceTimeline,
         cfg: EngineConfig,
-    ) -> Self {
-        partition
-            .validate(profile.n_layers())
-            .expect("invalid partition");
+    ) -> Result<Self, PartitionError> {
+        partition.validate(profile.n_layers())?;
         let workers = partition.all_workers();
         let worker_index: HashMap<GpuId, usize> =
             workers.iter().enumerate().map(|(i, &g)| (g, i)).collect();
@@ -327,7 +379,7 @@ impl<'a> Engine<'a> {
         let n_workers = workers.len();
         let n_stages = partition.n_stages();
         let epoch0 = Epoch::build(partition, profile, micro, recompute, &worker_index, 0);
-        Engine {
+        Ok(Engine {
             profile,
             cfg,
             state,
@@ -355,7 +407,7 @@ impl<'a> Engine<'a> {
             iterations: Vec::new(),
             sync_iteration: 0,
             sync_pending_b: 0,
-        }
+        })
     }
 
     fn n_stages(&self) -> usize {
@@ -454,7 +506,11 @@ impl<'a> Engine<'a> {
 
     fn mark_ready(&mut self, task: Task) {
         let w = self.owner(task.unit, task.stage);
-        let pri = if task.kind == WorkKind::Backward { 0 } else { 1 };
+        let pri = if task.kind == WorkKind::Backward {
+            0
+        } else {
+            1
+        };
         self.ready[w].insert((pri, task.unit, task.stage));
     }
 
@@ -527,7 +583,8 @@ impl<'a> Engine<'a> {
             };
             let task = Task { unit, stage, kind };
             if kind == WorkKind::Forward && self.cfg.schedule.is_async() {
-                self.fwd_versions.insert((unit, stage), self.versions[stage]);
+                self.fwd_versions
+                    .insert((unit, stage), self.versions[stage]);
             }
             let flops = self.task_flops(task, w);
             self.worker_busy_flag[w] = true;
@@ -595,8 +652,10 @@ impl<'a> Engine<'a> {
                         kind: WorkKind::Backward,
                     });
                 } else {
-                    let cut_layer =
-                        self.epoch_for(task.unit).partition.stages[task.stage].layers.end - 1;
+                    let cut_layer = self.epoch_for(task.unit).partition.stages[task.stage]
+                        .layers
+                        .end
+                        - 1;
                     let bytes = self.profile.cut_bytes(cut_layer) / self.micro as f64;
                     self.launch_transfer(
                         worker,
@@ -635,8 +694,10 @@ impl<'a> Engine<'a> {
                         });
                     }
                 } else {
-                    let cut_layer =
-                        self.epoch_for(task.unit).partition.stages[task.stage - 1].layers.end - 1;
+                    let cut_layer = self.epoch_for(task.unit).partition.stages[task.stage - 1]
+                        .layers
+                        .end
+                        - 1;
                     let bytes = self.profile.cut_bytes(cut_layer) / self.micro as f64;
                     self.launch_transfer(
                         worker,
@@ -655,7 +716,9 @@ impl<'a> Engine<'a> {
                         .map(|s| {
                             let st = &self.current_epoch().partition.stages[s];
                             self.cfg.scheme.sync_time(
-                                self.current_epoch().partition.stage_param_bytes(s, self.profile),
+                                self.current_epoch()
+                                    .partition
+                                    .stage_param_bytes(s, self.profile),
                                 &st.workers,
                                 &self.state,
                             ) / self.cfg.framework.comm_efficiency
@@ -670,14 +733,17 @@ impl<'a> Engine<'a> {
     }
 
     /// Advance the simulation until `n_iterations` mini-batches complete.
-    pub fn run(mut self, n_iterations: usize) -> SimResult {
+    ///
+    /// Fails with [`SimError::Deadlock`] when the pipeline can no longer
+    /// make progress, instead of aborting the process.
+    pub fn run(mut self, n_iterations: usize) -> Result<SimResult, SimError> {
         let target = n_iterations as u64;
         let mut steps = 0usize;
         while self.done_count() < target {
             steps += 1;
-            self.tick(steps, target);
+            self.tick(steps, target)?;
         }
-        self.finish()
+        Ok(self.finish())
     }
 
     /// Advance the simulation until `n_iterations` mini-batches complete,
@@ -695,7 +761,7 @@ impl<'a> Engine<'a> {
         n_iterations: usize,
         check_every: usize,
         mut control: F,
-    ) -> SimResult
+    ) -> Result<SimResult, SimError>
     where
         F: FnMut(&ClusterState, u64, f64, Option<f64>) -> Option<(Partition, f64, bool)>,
     {
@@ -710,7 +776,7 @@ impl<'a> Engine<'a> {
         let mut steps = 0usize;
         while self.done_count() < target {
             steps += 1;
-            self.tick(steps, target);
+            self.tick(steps, target)?;
             if self.done_count() >= next_check && self.done_count() < target {
                 next_check = self.done_count() + check;
                 let measured = prev_mark.map(|(units, at)| {
@@ -725,12 +791,14 @@ impl<'a> Engine<'a> {
                 }
             }
         }
-        self.finish()
+        Ok(self.finish())
     }
 
     /// Apply a new partition live (same worker set, same stage count).
     fn switch_partition(&mut self, new: Partition, stall: f64, global_stall: bool) {
-        new.validate(self.profile.n_layers()).expect("invalid partition");
+        // Internal invariant: controllers only propose partitions derived
+        // from valid ones via structure-preserving moves.
+        debug_assert!(new.validate(self.profile.n_layers()).is_ok());
         let old = self.current_epoch().partition.clone();
         // Stage counts may differ (merge/split moves); in-flight units keep
         // their own epoch's stage indices, so only the per-stage version
@@ -779,11 +847,8 @@ impl<'a> Engine<'a> {
         // Re-home queued (not yet started) tasks onto the owners their
         // epoch dictates — queued tasks keep their original epoch, so only
         // bookkeeping position changes, not semantics.
-        let queued: Vec<(u8, u64, usize)> = self
-            .ready
-            .iter()
-            .flat_map(|s| s.iter().copied())
-            .collect();
+        let queued: Vec<(u8, u64, usize)> =
+            self.ready.iter().flat_map(|s| s.iter().copied()).collect();
         for r in &mut self.ready {
             r.clear();
         }
@@ -798,58 +863,62 @@ impl<'a> Engine<'a> {
     }
 
     /// One simulation step: inject, dispatch, advance to the next event.
-    fn tick(&mut self, steps: usize, target: u64) {
+    fn tick(&mut self, steps: usize, target: u64) -> Result<(), SimError> {
         const MAX_STEPS: usize = 50_000_000;
-        {
-            assert!(steps < MAX_STEPS, "engine step budget exhausted");
-            self.inject();
-            self.dispatch();
-            if self.activities.is_empty() {
-                // Nothing runnable: only resource events can advance time.
-                match self.resources.next_event_after(self.res_cursor) {
-                    Some(t) => {
-                        self.advance_to(t);
-                        return;
-                    }
-                    None => panic!(
-                        "deadlock at t={} with {} / {target} iterations done",
-                        self.now,
-                        self.done_count()
-                    ),
-                }
-            }
-            // Earliest completion among activities at current rates.
-            let rates = self.transfer_rates();
-            let mut t_done = f64::INFINITY;
-            let mut ti = 0usize;
-            for a in &self.activities {
-                let dt = match a {
-                    Activity::Compute {
-                        worker,
-                        remaining_flops,
-                        ..
-                    } => remaining_flops / self.compute_rate(*worker),
-                    Activity::Transfer { remaining_bytes, .. } => {
-                        remaining_bytes / rates[ti].max(1e-3)
-                    }
-                    Activity::Flush { remaining_seconds }
-                    | Activity::Timer { remaining_seconds } => *remaining_seconds,
-                };
-                if let Activity::Transfer { .. } = a {
-                    ti += 1;
-                }
-                if dt < t_done {
-                    t_done = dt;
-                }
-            }
-            let t_complete = self.now + t_done.max(0.0);
-            // A resource event may land first.
-            let t_next = match self.resources.next_event_after(self.res_cursor) {
-                Some(te) if te < t_complete => te,
-                _ => t_complete,
-            };
-            self.advance_to(t_next);
+        if steps >= MAX_STEPS {
+            return Err(SimError::StepBudgetExhausted { steps });
         }
+        self.inject();
+        self.dispatch();
+        if self.activities.is_empty() {
+            // Nothing runnable: only resource events can advance time.
+            match self.resources.next_event_after(self.res_cursor) {
+                Some(t) => {
+                    self.advance_to(t);
+                    return Ok(());
+                }
+                None => {
+                    return Err(SimError::Deadlock {
+                        at: self.now,
+                        done: self.done_count(),
+                        target,
+                    })
+                }
+            }
+        }
+        // Earliest completion among activities at current rates.
+        let rates = self.transfer_rates();
+        let mut t_done = f64::INFINITY;
+        let mut ti = 0usize;
+        for a in &self.activities {
+            let dt = match a {
+                Activity::Compute {
+                    worker,
+                    remaining_flops,
+                    ..
+                } => remaining_flops / self.compute_rate(*worker),
+                Activity::Transfer {
+                    remaining_bytes, ..
+                } => remaining_bytes / rates[ti].max(1e-3),
+                Activity::Flush { remaining_seconds } | Activity::Timer { remaining_seconds } => {
+                    *remaining_seconds
+                }
+            };
+            if let Activity::Transfer { .. } = a {
+                ti += 1;
+            }
+            if dt < t_done {
+                t_done = dt;
+            }
+        }
+        let t_complete = self.now + t_done.max(0.0);
+        // A resource event may land first.
+        let t_next = match self.resources.next_event_after(self.res_cursor) {
+            Some(te) if te < t_complete => te,
+            _ => t_complete,
+        };
+        self.advance_to(t_next);
+        Ok(())
     }
 
     fn finish(&mut self) -> SimResult {
@@ -893,12 +962,13 @@ impl<'a> Engine<'a> {
                         * self.cfg.framework.compute_efficiency;
                     *remaining_flops -= rate * dt;
                 }
-                Activity::Transfer { remaining_bytes, .. } => {
+                Activity::Transfer {
+                    remaining_bytes, ..
+                } => {
                     *remaining_bytes -= rates[ti] * dt;
                     ti += 1;
                 }
-                Activity::Flush { remaining_seconds }
-                | Activity::Timer { remaining_seconds } => {
+                Activity::Flush { remaining_seconds } | Activity::Timer { remaining_seconds } => {
                     *remaining_seconds -= dt;
                 }
             }
@@ -923,10 +993,15 @@ impl<'a> Engine<'a> {
         let mut i = 0;
         while i < self.activities.len() {
             let finished = match &self.activities[i] {
-                Activity::Compute { remaining_flops, .. } => *remaining_flops <= 1.0,
-                Activity::Transfer { remaining_bytes, .. } => *remaining_bytes <= 1.0,
-                Activity::Flush { remaining_seconds }
-                | Activity::Timer { remaining_seconds } => *remaining_seconds <= 1e-9,
+                Activity::Compute {
+                    remaining_flops, ..
+                } => *remaining_flops <= 1.0,
+                Activity::Transfer {
+                    remaining_bytes, ..
+                } => *remaining_bytes <= 1.0,
+                Activity::Flush { remaining_seconds } | Activity::Timer { remaining_seconds } => {
+                    *remaining_seconds <= 1e-9
+                }
             };
             if finished {
                 done.push(self.activities.swap_remove(i));
@@ -995,8 +1070,9 @@ mod tests {
         };
         // Profile is borrowed by the engine; keep it alive in this frame.
         let state = ClusterState::new(topo);
-        let eng = Engine::new(&profile, partition, state, ResourceTimeline::empty(), cfg);
-        eng.run(n_iters)
+        let eng =
+            Engine::new(&profile, partition, state, ResourceTimeline::empty(), cfg).expect("valid");
+        eng.run(n_iters).expect("run")
     }
 
     #[test]
@@ -1033,7 +1109,9 @@ mod tests {
                 ResourceTimeline::empty(),
                 EngineConfig::default(),
             )
+            .expect("valid")
             .run(30)
+            .expect("run")
             .steady_throughput(8)
         };
         let pipelined = run(mk(4));
@@ -1102,7 +1180,9 @@ mod tests {
             tl,
             EngineConfig::default(),
         )
-        .run(40);
+        .expect("valid")
+        .run(40)
+        .expect("run");
         let series = r.speed_series(2);
         let early: Vec<f64> = series
             .iter()
@@ -1151,7 +1231,9 @@ mod tests {
             tl,
             EngineConfig::default(),
         )
-        .run(50);
+        .expect("valid")
+        .run(50)
+        .expect("run");
         let series = r.speed_series(3);
         let early = series[1].1;
         let late = series.last().unwrap().1;
@@ -1201,6 +1283,7 @@ mod tests {
             ResourceTimeline::empty(),
             EngineConfig::default(),
         )
+        .expect("valid")
         .run_controlled(40, 6, |_, _, _, _| {
             if switched {
                 None
@@ -1208,7 +1291,8 @@ mod tests {
                 switched = true;
                 Some((balanced.clone(), 0.001, false))
             }
-        });
+        })
+        .expect("run");
         assert!(switched);
         assert!(r.iterations.len() >= 40);
         for w in r.iterations.windows(2) {
@@ -1245,9 +1329,14 @@ mod tests {
             ResourceTimeline::empty(),
             EngineConfig::default(),
         )
-        .run(10);
+        .expect("valid")
+        .run(10)
+        .expect("run");
         let per_iter = r.makespan / 10.0;
         let floor = 125e6 / (gbps(10.0) * 0.92);
-        assert!(per_iter >= floor * 0.9, "per_iter {per_iter} < floor {floor}");
+        assert!(
+            per_iter >= floor * 0.9,
+            "per_iter {per_iter} < floor {floor}"
+        );
     }
 }

@@ -6,7 +6,6 @@
 //! communication stack gets to line rate. We encode published
 //! rule-of-thumb differences; see DESIGN.md §2.
 
-
 /// Constant factors of an ML framework.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Framework {

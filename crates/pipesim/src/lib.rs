@@ -37,11 +37,13 @@ pub mod trace;
 
 pub use analytic::AnalyticModel;
 pub use convergence::{accuracy_curve, ConvergenceModel, Paradigm};
-pub use engine::{Engine, EngineConfig, IterationRecord, SimResult, TimelineSegment, WorkKind};
+pub use engine::{
+    Engine, EngineConfig, IterationRecord, SimError, SimResult, TimelineSegment, WorkKind,
+};
 pub use framework::Framework;
 pub use memory::{cap_in_flight, estimate as estimate_memory, max_in_flight, MemoryEstimate};
-pub use partition::{Partition, Stage};
+pub use partition::{Partition, PartitionError, Stage};
 pub use schedule::ScheduleKind;
-pub use switching::{fine_grained_cost, stop_restart_cost, SwitchPlan};
+pub use switching::{fine_grained_cost, stop_restart_cost, MigrationStep, SwitchPlan};
 pub use sync::SyncScheme;
-pub use trace::to_chrome_trace;
+pub use trace::{to_chrome_trace, to_chrome_trace_with_events, TraceEvent};

@@ -57,11 +57,7 @@ pub fn estimate(
     let mut out = Vec::with_capacity(partition.n_workers());
     for st in &partition.stages {
         let weights = profile.range_params(st.layers.start, st.layers.end);
-        let acts_per_unit: f64 = st
-            .layers
-            .clone()
-            .map(|j| profile.out_bytes[j])
-            .sum::<f64>()
+        let acts_per_unit: f64 = st.layers.clone().map(|j| profile.out_bytes[j]).sum::<f64>()
             / schedule.micro_batches() as f64;
         let m = st.workers.len() as f64;
         let pinned = (partition.in_flight as f64 / m).ceil();
@@ -92,9 +88,9 @@ pub fn max_in_flight(
     // in_flight, so the first fit is maximal among <= requested.
     for n in (1..=partition.in_flight).rev() {
         candidate.in_flight = n;
-        let fits = estimate(profile, &candidate, schedule).iter().all(|e| {
-            e.total() <= state.topology.gpu(e.worker).kind.memory_bytes()
-        });
+        let fits = estimate(profile, &candidate, schedule)
+            .iter()
+            .all(|e| e.total() <= state.topology.gpu(e.worker).kind.memory_bytes());
         if fits {
             return Some(n);
         }
@@ -148,7 +144,10 @@ mod tests {
         let sp = ModelProfile::with_batch(&small, 32);
         let p = two_stage(8, 6);
         let st = state();
-        assert_eq!(max_in_flight(&sp, &p, ScheduleKind::PipeDreamAsync, &st), Some(6));
+        assert_eq!(
+            max_in_flight(&sp, &p, ScheduleKind::PipeDreamAsync, &st),
+            Some(6)
+        );
         // ...while VGG16 at batch 64 (an 822 MB conv1 activation per
         // mini-batch) gets its stash depth trimmed on a 16 GB P100.
         let profile = ModelProfile::of(&vgg16());
@@ -188,7 +187,12 @@ mod tests {
         let capped = max_in_flight(&profile, &p, ScheduleKind::PipeDreamAsync, &st)
             .expect("feasible at low depth");
         assert!(capped < 20, "got {capped}");
-        assert!(cap_in_flight(&profile, &mut p, ScheduleKind::PipeDreamAsync, &st));
+        assert!(cap_in_flight(
+            &profile,
+            &mut p,
+            ScheduleKind::PipeDreamAsync,
+            &st
+        ));
         assert_eq!(p.in_flight, capped);
     }
 

@@ -4,10 +4,79 @@
 //! layers with the form of stages; 2) number of workers for each stage;
 //! 3) optimal number of on-the-fly mini-batches to fill the pipeline."
 
+use std::fmt;
 use std::ops::Range;
 
 use ap_cluster::GpuId;
 use ap_models::ModelProfile;
+
+/// Why a [`Partition`] failed structural validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// The partition has no stages at all.
+    NoStages,
+    /// `in_flight` is zero.
+    ZeroInFlight,
+    /// Stage `stage` starts at `start` instead of the expected layer.
+    Gap {
+        /// Offending stage index.
+        stage: usize,
+        /// Layer the stage starts at.
+        start: usize,
+        /// Layer it should have started at.
+        expected: usize,
+    },
+    /// Stage `stage` covers an empty layer range.
+    EmptyStage {
+        /// Offending stage index.
+        stage: usize,
+    },
+    /// Stage `stage` has no workers.
+    NoWorkers {
+        /// Offending stage index.
+        stage: usize,
+    },
+    /// The stages cover `covered` layers but the model has `n_layers`.
+    Coverage {
+        /// Layers covered by the stages (`0..covered`).
+        covered: usize,
+        /// Layers the model actually has.
+        n_layers: usize,
+    },
+    /// A worker appears in more than one stage.
+    DuplicateWorker {
+        /// The doubly-assigned worker.
+        worker: GpuId,
+    },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::NoStages => write!(f, "partition has no stages"),
+            PartitionError::ZeroInFlight => write!(f, "in_flight must be at least 1"),
+            PartitionError::Gap {
+                stage,
+                start,
+                expected,
+            } => write!(
+                f,
+                "stage {stage} starts at layer {start} but expected {expected}"
+            ),
+            PartitionError::EmptyStage { stage } => write!(f, "stage {stage} covers no layers"),
+            PartitionError::NoWorkers { stage } => write!(f, "stage {stage} has no workers"),
+            PartitionError::Coverage { covered, n_layers } => write!(
+                f,
+                "stages cover layers 0..{covered} but the model has {n_layers}"
+            ),
+            PartitionError::DuplicateWorker { worker } => {
+                write!(f, "worker {worker:?} assigned to multiple stages")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
 
 /// One pipeline stage: a contiguous layer range replicated over workers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,7 +156,12 @@ impl Partition {
     /// over-deep pipeline still costs real fill time and staleness, so the
     /// overlap term is additive, not per-replica.)
     pub fn default_in_flight(&self) -> usize {
-        let first = self.stages.first().map(Stage::n_workers).unwrap_or(1).max(1);
+        let first = self
+            .stages
+            .first()
+            .map(Stage::n_workers)
+            .unwrap_or(1)
+            .max(1);
         let round_robin = self.n_workers().div_ceil(first) * first;
         round_robin.max(2 * self.n_stages() + first).max(1)
     }
@@ -95,39 +169,41 @@ impl Partition {
     /// Check structural validity against a model with `n_layers` layers:
     /// contiguous full coverage, nonempty stages, globally distinct
     /// workers, positive in-flight count.
-    pub fn validate(&self, n_layers: usize) -> Result<(), String> {
+    pub fn validate(&self, n_layers: usize) -> Result<(), PartitionError> {
         if self.stages.is_empty() {
-            return Err("partition has no stages".into());
+            return Err(PartitionError::NoStages);
         }
         if self.in_flight == 0 {
-            return Err("in_flight must be at least 1".into());
+            return Err(PartitionError::ZeroInFlight);
         }
         let mut expect = 0usize;
         for (i, s) in self.stages.iter().enumerate() {
             if s.layers.start != expect {
-                return Err(format!(
-                    "stage {i} starts at layer {} but expected {expect}",
-                    s.layers.start
-                ));
+                return Err(PartitionError::Gap {
+                    stage: i,
+                    start: s.layers.start,
+                    expected: expect,
+                });
             }
             if s.layers.is_empty() {
-                return Err(format!("stage {i} covers no layers"));
+                return Err(PartitionError::EmptyStage { stage: i });
             }
             if s.workers.is_empty() {
-                return Err(format!("stage {i} has no workers"));
+                return Err(PartitionError::NoWorkers { stage: i });
             }
             expect = s.layers.end;
         }
         if expect != n_layers {
-            return Err(format!(
-                "stages cover layers 0..{expect} but the model has {n_layers}"
-            ));
+            return Err(PartitionError::Coverage {
+                covered: expect,
+                n_layers,
+            });
         }
         let mut seen = std::collections::HashSet::new();
         for s in &self.stages {
             for w in &s.workers {
                 if !seen.insert(*w) {
-                    return Err(format!("worker {w:?} assigned to multiple stages"));
+                    return Err(PartitionError::DuplicateWorker { worker: *w });
                 }
             }
         }
@@ -187,26 +263,45 @@ mod tests {
     fn gap_in_coverage_rejected() {
         let mut p = two_stage();
         p.stages[1].layers = 6..12;
-        assert!(p.validate(12).unwrap_err().contains("expected 5"));
+        let err = p.validate(12).unwrap_err();
+        assert_eq!(
+            err,
+            PartitionError::Gap {
+                stage: 1,
+                start: 6,
+                expected: 5
+            }
+        );
+        assert!(err.to_string().contains("expected 5"));
     }
 
     #[test]
     fn incomplete_coverage_rejected() {
-        assert!(two_stage().validate(13).unwrap_err().contains("has 13"));
+        let err = two_stage().validate(13).unwrap_err();
+        assert_eq!(
+            err,
+            PartitionError::Coverage {
+                covered: 12,
+                n_layers: 13
+            }
+        );
+        assert!(err.to_string().contains("has 13"));
     }
 
     #[test]
     fn duplicate_worker_rejected() {
         let mut p = two_stage();
         p.stages[1].workers = gpus(&[1]);
-        assert!(p.validate(12).unwrap_err().contains("multiple stages"));
+        let err = p.validate(12).unwrap_err();
+        assert_eq!(err, PartitionError::DuplicateWorker { worker: GpuId(1) });
+        assert!(err.to_string().contains("multiple stages"));
     }
 
     #[test]
     fn zero_in_flight_rejected() {
         let mut p = two_stage();
         p.in_flight = 0;
-        assert!(p.validate(12).is_err());
+        assert_eq!(p.validate(12), Err(PartitionError::ZeroInFlight));
     }
 
     #[test]

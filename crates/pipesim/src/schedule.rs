@@ -8,7 +8,6 @@
 //! variants natively, while Chimera's bidirectional trick enters through
 //! its reduced bubble term (see DESIGN.md §2).
 
-
 /// Which pipeline-parallel scheme is running.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ScheduleKind {

@@ -30,6 +30,21 @@ pub struct SwitchPlan {
     /// Total bytes to migrate: parameters of moved layers times the number
     /// of stashed weight versions.
     pub transfer_bytes: f64,
+    /// Stashed weight copies per moved layer under the outgoing schedule
+    /// (one per active mini-batch for async schedules, one for flush
+    /// schedules).
+    pub stashed_versions: usize,
+}
+
+/// One step of a fine-grained migration: move stashed weight copy
+/// `version` of `layer` to its new owner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationStep {
+    /// The layer being migrated.
+    pub layer: usize,
+    /// Weight-stash version index, `0..stashed_versions`; higher versions
+    /// serve later-injected (more recently active) mini-batches.
+    pub version: usize,
 }
 
 impl SwitchPlan {
@@ -62,12 +77,29 @@ impl SwitchPlan {
             moved_layers: moved,
             affected_workers: affected.into_iter().collect(),
             transfer_bytes: bytes,
+            stashed_versions: versions as usize,
         }
     }
 
     /// True when nothing moves (identical assignments).
     pub fn is_noop(&self) -> bool {
         self.moved_layers.is_empty()
+    }
+
+    /// The §4.4 migration order: layer by layer (input side first), and
+    /// within each layer "migrating the weight copy of later active
+    /// mini-batch first" — the stashed copy serving the most recently
+    /// injected mini-batch (highest version) moves before older copies, so
+    /// the weights needed soonest on the new owner arrive first and the
+    /// in-flight mini-batches can keep draining on the old assignment.
+    pub fn migration_order(&self) -> Vec<MigrationStep> {
+        let mut steps = Vec::with_capacity(self.moved_layers.len() * self.stashed_versions);
+        for &layer in &self.moved_layers {
+            for version in (0..self.stashed_versions).rev() {
+                steps.push(MigrationStep { layer, version });
+            }
+        }
+        steps
     }
 
     /// Seconds to push the weights over the network and PCIe.
@@ -142,7 +174,10 @@ mod tests {
     fn setup() -> (ClusterState, ModelProfile) {
         let topo = ClusterTopology::single_switch(4, 1, GpuKind::P100, 25.0);
         let model = synthetic_uniform(8, 1e9, 4e6, 16e6);
-        (ClusterState::new(topo), ModelProfile::with_batch(&model, 32))
+        (
+            ClusterState::new(topo),
+            ModelProfile::with_batch(&model, 32),
+        )
     }
 
     fn part(split: usize) -> Partition {
@@ -178,7 +213,12 @@ mod tests {
     fn stashed_versions_multiply_traffic() {
         let (_, p) = setup();
         let a = SwitchPlan::between(&part(4), &part(5), &p, ScheduleKind::PipeDreamAsync);
-        let b = SwitchPlan::between(&part(4), &part(5), &p, ScheduleKind::Dapple { micro_batches: 4 });
+        let b = SwitchPlan::between(
+            &part(4),
+            &part(5),
+            &p,
+            ScheduleKind::Dapple { micro_batches: 4 },
+        );
         // Async stashes in_flight=2 versions, sync keeps 1.
         assert!((a.transfer_bytes / b.transfer_bytes - 2.0).abs() < 1e-9);
     }
@@ -207,6 +247,69 @@ mod tests {
         let fine = fine_grained_cost(&plan, 0.05, &part(4), &st);
         // 16 GB over ~3 GB/s of 25 Gbps: seconds of stall remain.
         assert!(fine > 1.0, "huge weights must stall: {fine}");
+    }
+
+    /// §4.4 pinning test: layer-by-layer migration follows the weight
+    /// stash — for every moved layer, the copy of the *later* active
+    /// mini-batch (the newest stashed version) moves first, and layers go
+    /// out in pipeline order.
+    #[test]
+    fn migration_order_moves_later_minibatch_copy_first() {
+        let (_, p) = setup();
+        // Boundary shift 4 -> 6 moves layers 4 and 5; PipeDreamAsync with
+        // in_flight=2 stashes 2 weight versions per layer.
+        let plan = SwitchPlan::between(&part(4), &part(6), &p, ScheduleKind::PipeDreamAsync);
+        assert_eq!(plan.stashed_versions, 2);
+        let steps = plan.migration_order();
+        assert_eq!(
+            steps,
+            vec![
+                MigrationStep {
+                    layer: 4,
+                    version: 1
+                },
+                MigrationStep {
+                    layer: 4,
+                    version: 0
+                },
+                MigrationStep {
+                    layer: 5,
+                    version: 1
+                },
+                MigrationStep {
+                    layer: 5,
+                    version: 0
+                },
+            ]
+        );
+        // Within every layer, versions are strictly descending (later
+        // active mini-batch's copy first), whatever the stash depth.
+        let deep = Partition {
+            in_flight: 5,
+            ..part(4)
+        };
+        let plan = SwitchPlan::between(&deep, &part(6), &p, ScheduleKind::PipeDreamAsync);
+        assert_eq!(plan.stashed_versions, 5);
+        for pair in plan.migration_order().windows(2) {
+            if pair[0].layer == pair[1].layer {
+                assert!(pair[0].version > pair[1].version, "{pair:?}");
+            }
+        }
+        // Flush schedules keep a single version: one step per moved layer.
+        let flush = SwitchPlan::between(
+            &part(4),
+            &part(6),
+            &p,
+            ScheduleKind::Dapple { micro_batches: 4 },
+        );
+        assert_eq!(flush.stashed_versions, 1);
+        assert_eq!(flush.migration_order().len(), flush.moved_layers.len());
+        // A no-op plan migrates nothing.
+        assert!(
+            SwitchPlan::between(&part(4), &part(4), &p, ScheduleKind::PipeDreamAsync)
+                .migration_order()
+                .is_empty()
+        );
     }
 
     #[test]

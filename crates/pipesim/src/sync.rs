@@ -119,7 +119,12 @@ mod tests {
     use ap_cluster::ClusterTopology;
 
     fn state(link_gbps: f64) -> ClusterState {
-        ClusterState::new(ClusterTopology::single_switch(4, 1, GpuKind::P100, link_gbps))
+        ClusterState::new(ClusterTopology::single_switch(
+            4,
+            1,
+            GpuKind::P100,
+            link_gbps,
+        ))
     }
 
     fn w(ids: &[usize]) -> Vec<GpuId> {

@@ -5,6 +5,11 @@
 //! Speedscope can open — one row per worker, one slice per forward or
 //! backward pass, labeled with the mini-batch id. Run the engine with
 //! `record_timeline: true` to collect segments.
+//!
+//! [`to_chrome_trace_with_events`] additionally merges caller-supplied
+//! [`TraceEvent`]s (e.g. a controller's decision journal) into the same
+//! trace on a dedicated thread row, so compute segments and control-plane
+//! decisions line up on one timeline.
 
 use crate::engine::{SimResult, WorkKind};
 
@@ -13,9 +18,84 @@ fn esc(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// A generic annotation event to merge into a chrome trace, expressed in
+/// engine time (seconds). Events with zero duration render as instant
+/// marks, others as complete ("X") slices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Short event label shown on the slice.
+    pub name: String,
+    /// Trace category (used by viewers for filtering/coloring).
+    pub cat: String,
+    /// Event time, seconds.
+    pub ts_seconds: f64,
+    /// Event duration, seconds; `0.0` renders an instant mark.
+    pub dur_seconds: f64,
+    /// Key/value payload rendered into the event's `args` object (values
+    /// are emitted as JSON strings).
+    pub args: Vec<(String, String)>,
+}
+
+impl TraceEvent {
+    /// An instant annotation at `ts_seconds`.
+    pub fn instant(name: impl Into<String>, cat: impl Into<String>, ts_seconds: f64) -> Self {
+        TraceEvent {
+            name: name.into(),
+            cat: cat.into(),
+            ts_seconds,
+            dur_seconds: 0.0,
+            args: Vec::new(),
+        }
+    }
+
+    /// Append one `args` entry, builder style.
+    pub fn arg(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.args.push((key.into(), value.into()));
+        self
+    }
+
+    fn render(&self, tid: usize) -> String {
+        let mut args = String::new();
+        for (i, (k, v)) in self.args.iter().enumerate() {
+            if i > 0 {
+                args.push(',');
+            }
+            args.push_str(&format!("\"{}\":\"{}\"", esc(k), esc(v)));
+        }
+        if self.dur_seconds > 0.0 {
+            format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{:.3},\"dur\":{:.3},\"args\":{{{args}}}}}",
+                esc(&self.name),
+                esc(&self.cat),
+                self.ts_seconds * 1e6,
+                self.dur_seconds * 1e6,
+            )
+        } else {
+            format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\"ts\":{:.3},\"args\":{{{args}}}}}",
+                esc(&self.name),
+                esc(&self.cat),
+                self.ts_seconds * 1e6,
+            )
+        }
+    }
+}
+
 /// Render `result` as Trace Event Format JSON (complete events, "X" phase,
 /// microsecond timestamps). `process_name` labels the trace's process row.
 pub fn to_chrome_trace(result: &SimResult, process_name: &str) -> String {
+    to_chrome_trace_with_events(result, process_name, "", &[])
+}
+
+/// Like [`to_chrome_trace`], but merges `events` into the trace on an
+/// extra thread row named `lane_name` (placed after the worker rows).
+/// Passing no events degenerates to the plain engine trace.
+pub fn to_chrome_trace_with_events(
+    result: &SimResult,
+    process_name: &str,
+    lane_name: &str,
+    events: &[TraceEvent],
+) -> String {
     let mut out = String::from("[\n");
     // Process metadata record.
     out.push_str(&format!(
@@ -26,6 +106,13 @@ pub fn to_chrome_trace(result: &SimResult, process_name: &str) -> String {
         let _ = busy;
         out.push_str(&format!(
             ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{w},\"args\":{{\"name\":\"worker {w}\"}}}}"
+        ));
+    }
+    let lane = result.busy.len();
+    if !events.is_empty() {
+        out.push_str(&format!(
+            ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{lane},\"args\":{{\"name\":\"{}\"}}}}",
+            esc(lane_name)
         ));
     }
     for seg in &result.segments {
@@ -44,6 +131,10 @@ pub fn to_chrome_trace(result: &SimResult, process_name: &str) -> String {
             (seg.end - seg.start) * 1e6,
             seg.unit
         ));
+    }
+    for ev in events {
+        out.push_str(",\n");
+        out.push_str(&ev.render(lane));
     }
     out.push_str("\n]\n");
     out
@@ -79,7 +170,9 @@ mod tests {
                 ..EngineConfig::default()
             },
         )
+        .expect("valid")
         .run(5)
+        .expect("run")
     }
 
     #[test]
@@ -121,5 +214,36 @@ mod tests {
         let r = sample_result();
         let json = to_chrome_trace(&r, "job \"quoted\"");
         assert!(json.contains("job \\\"quoted\\\""));
+    }
+
+    #[test]
+    fn merged_trace_interleaves_annotation_events() {
+        let r = sample_result();
+        let events = vec![
+            TraceEvent::instant("change", "decision", 0.5).arg("signals", "2"),
+            TraceEvent {
+                name: "switch".into(),
+                cat: "decision".into(),
+                ts_seconds: 1.0,
+                dur_seconds: 0.25,
+                args: vec![("pause_s".into(), "0.25".into())],
+            },
+        ];
+        let json = to_chrome_trace_with_events(&r, "merged", "controller", &events);
+        // All engine slices plus the one timed decision slice.
+        let x_events = json.matches("\"ph\":\"X\"").count();
+        assert_eq!(x_events, r.segments.len() + 1);
+        // The instant event and the decision lane both render.
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), 1);
+        assert!(json.contains("\"name\":\"controller\""));
+        // Decision events live on the row after the last worker.
+        let lane = format!("\"tid\":{}", r.busy.len());
+        assert!(json.contains(&lane));
+        assert!(json.contains("\"signals\":\"2\""));
+        // Zero events degenerates to the plain trace.
+        assert_eq!(
+            to_chrome_trace_with_events(&r, "p", "lane", &[]),
+            to_chrome_trace(&r, "p")
+        );
     }
 }

@@ -108,8 +108,14 @@ fn evaluation_is_consistent() {
                 schedule: ScheduleKind::PipeDreamAsync,
             };
             let e = m.evaluate(&p, &st);
-            assert!(e.throughput.is_finite() && e.throughput > 0.0, "case {case}");
-            assert!((e.throughput * e.iteration_time - 16.0).abs() < 1e-6, "case {case}");
+            assert!(
+                e.throughput.is_finite() && e.throughput > 0.0,
+                "case {case}"
+            );
+            assert!(
+                (e.throughput * e.iteration_time - 16.0).abs() < 1e-6,
+                "case {case}"
+            );
             assert_eq!(e.stage_times.len(), p.n_stages());
             assert_eq!(e.cut_times.len(), p.n_stages() - 1);
         }

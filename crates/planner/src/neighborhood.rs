@@ -139,8 +139,7 @@ pub fn split_moves(
         let mut cuts = Vec::new();
         for frac in [0.25, 0.5, 0.75] {
             let mut cut = st.layers.start + 1;
-            while cut < st.layers.end - 1
-                && profile.range_work(st.layers.start, cut) < total * frac
+            while cut < st.layers.end - 1 && profile.range_work(st.layers.start, cut) < total * frac
             {
                 cut += 1;
             }
@@ -154,10 +153,8 @@ pub fn split_moves(
                 let left_workers = st.workers[..left].to_vec();
                 let right_workers = st.workers[left..].to_vec();
                 p.stages[s] = crate::Stage::new(st.layers.start..cut, left_workers);
-                p.stages.insert(
-                    s + 1,
-                    crate::Stage::new(cut..st.layers.end, right_workers),
-                );
+                p.stages
+                    .insert(s + 1, crate::Stage::new(cut..st.layers.end, right_workers));
                 p.in_flight = p.default_in_flight();
                 out.push((MoveKind::SplitStage { stage: s }, p));
             }

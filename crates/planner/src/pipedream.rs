@@ -248,7 +248,15 @@ mod tests {
         let times: Vec<f64> = plan
             .stages
             .iter()
-            .map(|s| stage_time(&p, s.layers.start, s.layers.end, s.workers.len(), view(100.0)))
+            .map(|s| {
+                stage_time(
+                    &p,
+                    s.layers.start,
+                    s.layers.end,
+                    s.workers.len(),
+                    view(100.0),
+                )
+            })
             .collect();
         let max = times.iter().cloned().fold(0.0, f64::max);
         let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -271,7 +279,11 @@ mod tests {
         let model = synthetic_uniform(6, 1e9, 1e4, 800e6);
         let p = ModelProfile::with_batch(&model, 16);
         let plan = pipedream_plan(&p, &gpus(4), view(10.0));
-        assert!(plan.stages.iter().all(|s| s.workers.len() == 1), "{}", plan.summary());
+        assert!(
+            plan.stages.iter().all(|s| s.workers.len() == 1),
+            "{}",
+            plan.summary()
+        );
     }
 
     #[test]

@@ -43,23 +43,27 @@ fn main() {
         ..AutoPipeConfig::default()
     };
 
-    let baseline = run_dynamic_scenario(&profile, &topo, &timeline, init.clone(), None, &cfg, 90);
+    let baseline = run_dynamic_scenario(&profile, &topo, &timeline, init.clone(), None, &cfg, 90)
+        .expect("dynamic scenario");
     let mut ctrl = AutoPipeController::new(
         &profile,
         init.clone(),
         Scorer::Analytic,
         ArbiterMode::Threshold(0.0),
         cfg.clone(),
-    );
-    let adaptive = run_dynamic_scenario(&profile, &topo, &timeline, init, Some(&mut ctrl), &cfg, 90);
+    )
+    .expect("valid initial partition");
+    let adaptive =
+        run_dynamic_scenario(&profile, &topo, &timeline, init, Some(&mut ctrl), &cfg, 90)
+            .expect("dynamic scenario");
 
     println!("\niter   AutoPipe   PipeDream   (img/s)");
     let sample = |series: &[(u64, f64)], it: u64| {
         series
             .iter()
-            .filter(|&&(i, _)| i <= it)
+            .rev()
+            .find(|&&(i, _)| i <= it)
             .map(|&(_, s)| s)
-            .last()
             .unwrap_or(0.0)
     };
     for it in (4..90).step_by(10) {

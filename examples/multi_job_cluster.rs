@@ -49,15 +49,15 @@ fn main() {
     ];
     let names = ["resnet50", "vgg16", "bert12"];
 
-    let before = evaluate(&topo, &jobs, &env);
+    let before = evaluate(&topo, &jobs, &env).expect("static tenancy");
     println!("static PipeDream tenancy:");
     for (n, tp) in names.iter().zip(&before.per_job) {
         println!("  {n:9} {tp:8.1} samples/s");
     }
     println!("  total     {:8.1} samples/s", before.total);
 
-    let changes = best_response_rounds(&topo, &mut jobs, &env, 4);
-    let after = evaluate(&topo, &jobs, &env);
+    let changes = best_response_rounds(&topo, &mut jobs, &env, 4).expect("best response");
+    let after = evaluate(&topo, &jobs, &env).expect("adaptive tenancy");
     println!("\nAutoPipe tenancy after {changes} coordinated plan changes:");
     for ((n, tp), j) in names.iter().zip(&after.per_job).zip(&jobs) {
         println!("  {n:9} {tp:8.1} samples/s   {}", j.partition.summary());

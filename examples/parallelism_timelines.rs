@@ -55,7 +55,9 @@ fn main() {
         ResourceTimeline::empty(),
         cfg.clone(),
     )
-    .run(6);
+    .expect("valid partition")
+    .run(6)
+    .expect("engine run");
     render("(a) data parallelism", &r, 2, 72);
 
     // (b) Model parallelism: one layer per worker, one batch in flight.
@@ -73,7 +75,9 @@ fn main() {
         ResourceTimeline::empty(),
         cfg.clone(),
     )
-    .run(6);
+    .expect("valid partition")
+    .run(6)
+    .expect("engine run");
     render("(b) model parallelism (note the idle gaps)", &r, 2, 72);
 
     // (c) Pipeline parallelism: same placement, batches kept in flight.
@@ -89,6 +93,8 @@ fn main() {
             ..EngineConfig::default()
         },
     )
-    .run(6);
+    .expect("valid partition")
+    .run(6)
+    .expect("engine run");
     render("(c) pipeline parallelism (gaps filled)", &r, 2, 72);
 }

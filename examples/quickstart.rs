@@ -30,7 +30,11 @@ fn main() {
         gpus: (0..6).map(GpuId).collect(),
         net_bytes_per_sec: gbps(8.0),
     });
-    println!("cluster: {} GPUs on {} servers (shared with another job)", state.topology.n_gpus(), state.topology.servers.len());
+    println!(
+        "cluster: {} GPUs on {} servers (shared with another job)",
+        state.topology.n_gpus(),
+        state.topology.servers.len()
+    );
 
     // 2. Profile VGG16 at the paper's batch size (Table 1 statics).
     let model = vgg16();
@@ -66,7 +70,11 @@ fn main() {
         schedule: ScheduleKind::PipeDreamAsync,
     };
     let mut by_speed = gpus.clone();
-    by_speed.sort_by(|&a, &b| state.effective_flops(b).total_cmp(&state.effective_flops(a)));
+    by_speed.sort_by(|&a, &b| {
+        state
+            .effective_flops(b)
+            .total_cmp(&state.effective_flops(a))
+    });
     let restart = ap_planner::brute_force_plan(&analytic, &by_speed, &state, 3);
     let ap_plan = [
         hill_climb(&analytic, pd_plan.clone(), &state, 30),
@@ -90,7 +98,9 @@ fn main() {
             ResourceTimeline::empty(),
             EngineConfig::default(),
         )
-        .run(60);
+        .expect("valid partition")
+        .run(60)
+        .expect("engine run");
         println!(
             "{name:10} -> {:6.1} img/s steady ({:.1}% mean utilization, staleness {:.1})",
             result.steady_throughput(20),

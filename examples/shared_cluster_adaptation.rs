@@ -9,9 +9,9 @@
 use ap_cluster::gpu::GpuKind;
 use ap_cluster::{gbps, ClusterTopology, DetectorConfig, EventKind, GpuId, ResourceTimeline};
 use ap_models::{resnet50, ModelProfile};
+use ap_planner::{pipedream_plan, PipeDreamView};
 use autopipe::arbiter::{default_episode_sampler, Arbiter, ArbiterMode};
 use autopipe::controller::{run_dynamic_scenario, AutoPipeConfig, AutoPipeController, Scorer};
-use ap_planner::{pipedream_plan, PipeDreamView};
 
 fn main() {
     let profile = ModelProfile::of(&resnet50());
@@ -40,7 +40,8 @@ fn main() {
     };
 
     // Static PipeDream baseline.
-    let baseline = run_dynamic_scenario(&profile, &topo, &timeline, init.clone(), None, &cfg, 120);
+    let baseline = run_dynamic_scenario(&profile, &topo, &timeline, init.clone(), None, &cfg, 120)
+        .expect("dynamic scenario");
 
     // AutoPipe with an offline-trained RL arbiter.
     let mut arbiter = Arbiter::new(7);
@@ -52,16 +53,19 @@ fn main() {
         Scorer::Analytic,
         ArbiterMode::Rl(arbiter),
         cfg.clone(),
-    );
-    let adaptive = run_dynamic_scenario(&profile, &topo, &timeline, init, Some(&mut ctrl), &cfg, 120);
+    )
+    .expect("valid initial partition");
+    let adaptive =
+        run_dynamic_scenario(&profile, &topo, &timeline, init, Some(&mut ctrl), &cfg, 120)
+            .expect("dynamic scenario");
 
     println!("\niter   AutoPipe   PipeDream   (img/s)");
     let sample = |series: &[(u64, f64)], it: u64| {
         series
             .iter()
-            .filter(|&&(i, _)| i <= it)
+            .rev()
+            .find(|&&(i, _)| i <= it)
             .map(|&(_, s)| s)
-            .last()
             .unwrap_or(0.0)
     };
     for it in (4..120).step_by(10) {

@@ -5,9 +5,9 @@
 //! substrates in the sibling `crates/*` packages. See `DESIGN.md` for the
 //! system inventory and `EXPERIMENTS.md` for the reproduction results.
 
-pub use autopipe;
 pub use ap_cluster;
 pub use ap_models;
 pub use ap_nn;
 pub use ap_pipesim;
 pub use ap_planner;
+pub use autopipe;

@@ -40,7 +40,8 @@ fn autopipe_with_rl_arbiter_never_loses_under_bandwidth_collapse() {
     tl.push(2.0, EventKind::SetAllLinksGbps(8.0));
     let cfg = config();
 
-    let baseline = run_dynamic_scenario(&profile, &topo, &tl, init.clone(), None, &cfg, 100);
+    let baseline = run_dynamic_scenario(&profile, &topo, &tl, init.clone(), None, &cfg, 100)
+        .expect("static baseline");
 
     let mut arbiter = Arbiter::new(7);
     arbiter.train_offline(default_episode_sampler, 4000, 42);
@@ -50,8 +51,10 @@ fn autopipe_with_rl_arbiter_never_loses_under_bandwidth_collapse() {
         Scorer::Analytic,
         ArbiterMode::Rl(arbiter),
         cfg.clone(),
-    );
-    let adaptive = run_dynamic_scenario(&profile, &topo, &tl, init, Some(&mut ctrl), &cfg, 100);
+    )
+    .expect("valid initial partition");
+    let adaptive = run_dynamic_scenario(&profile, &topo, &tl, init, Some(&mut ctrl), &cfg, 100)
+        .expect("adaptive scenario");
     assert!(
         adaptive.mean_throughput >= baseline.mean_throughput * 0.97,
         "AutoPipe {:.1} vs PipeDream {:.1}",
@@ -77,8 +80,10 @@ fn live_switching_preserves_iteration_accounting() {
         Scorer::Analytic,
         ArbiterMode::Threshold(0.0),
         cfg.clone(),
-    );
-    let r = run_dynamic_scenario(&profile, &topo, &tl, init, Some(&mut ctrl), &cfg, 70);
+    )
+    .expect("valid initial partition");
+    let r = run_dynamic_scenario(&profile, &topo, &tl, init, Some(&mut ctrl), &cfg, 70)
+        .expect("controlled scenario");
     assert_eq!(r.speed_series.len(), 70);
     assert!(r.speed_series.iter().all(|&(_, s)| s > 0.0));
     assert!(r.total_seconds > 0.0);
@@ -96,15 +101,18 @@ fn autopipe_evacuates_a_degraded_gpu() {
     tl.push(1.0, EventKind::SetGpuSharing(GpuId(0), 50));
     let cfg = config();
 
-    let baseline = run_dynamic_scenario(&profile, &topo, &tl, init.clone(), None, &cfg, 90);
+    let baseline = run_dynamic_scenario(&profile, &topo, &tl, init.clone(), None, &cfg, 90)
+        .expect("static baseline");
     let mut ctrl = AutoPipeController::new(
         &profile,
         init.clone(),
         Scorer::Analytic,
         ArbiterMode::Threshold(0.0),
         cfg.clone(),
-    );
-    let adaptive = run_dynamic_scenario(&profile, &topo, &tl, init, Some(&mut ctrl), &cfg, 90);
+    )
+    .expect("valid initial partition");
+    let adaptive = run_dynamic_scenario(&profile, &topo, &tl, init, Some(&mut ctrl), &cfg, 90)
+        .expect("adaptive scenario");
     assert!(
         adaptive.mean_throughput > baseline.mean_throughput * 1.1,
         "evacuation should clearly win: {:.1} vs {:.1} (final plan {})",
@@ -152,15 +160,18 @@ fn autopipe_survives_stochastic_multi_tenant_churn() {
     cfg.horizon_iterations = 25.0;
     cfg.moves_per_decision = 2;
 
-    let baseline = run_dynamic_scenario(&profile, &topo, &tl, init.clone(), None, &cfg, 120);
+    let baseline = run_dynamic_scenario(&profile, &topo, &tl, init.clone(), None, &cfg, 120)
+        .expect("static baseline");
     let mut ctrl = AutoPipeController::new(
         &profile,
         init.clone(),
         Scorer::Analytic,
         ArbiterMode::Threshold(0.1),
         cfg.clone(),
-    );
-    let adaptive = run_dynamic_scenario(&profile, &topo, &tl, init, Some(&mut ctrl), &cfg, 120);
+    )
+    .expect("valid initial partition");
+    let adaptive = run_dynamic_scenario(&profile, &topo, &tl, init, Some(&mut ctrl), &cfg, 120)
+        .expect("adaptive scenario");
     assert_eq!(adaptive.speed_series.len(), 120);
     assert!(
         adaptive.mean_throughput >= baseline.mean_throughput * 0.9,
@@ -189,8 +200,10 @@ fn meta_net_scorer_controller_runs_end_to_end() {
         Scorer::MetaNet(Box::new(net)),
         ArbiterMode::Threshold(0.0),
         cfg.clone(),
-    );
-    let r = run_dynamic_scenario(&profile, &topo, &tl, init, Some(&mut ctrl), &cfg, 50);
+    )
+    .expect("valid initial partition");
+    let r = run_dynamic_scenario(&profile, &topo, &tl, init, Some(&mut ctrl), &cfg, 50)
+        .expect("meta-net scenario");
     assert!(r.mean_throughput > 0.0);
     assert_eq!(r.speed_series.len(), 50);
 }

@@ -24,7 +24,9 @@ fn agreement(profile: &ModelProfile, partition: &Partition, link_gbps: f64) -> (
         ResourceTimeline::empty(),
         EngineConfig::default(),
     )
+    .expect("valid partition")
     .run(3 * partition.in_flight.max(20))
+    .expect("engine run")
     .steady_throughput(partition.in_flight);
     (analytic, engine)
 }
@@ -88,6 +90,12 @@ fn both_models_agree_on_partition_ranking() {
     };
     let (a_good, e_good) = agreement(&profile, &good, 25.0);
     let (a_bad, e_bad) = agreement(&profile, &bad, 25.0);
-    assert!(a_good > 1.5 * a_bad, "analytic must separate: {a_good} vs {a_bad}");
-    assert!(e_good > 1.5 * e_bad, "engine must separate: {e_good} vs {e_bad}");
+    assert!(
+        a_good > 1.5 * a_bad,
+        "analytic must separate: {a_good} vs {a_bad}"
+    );
+    assert!(
+        e_good > 1.5 * e_bad,
+        "engine must separate: {e_good} vs {e_bad}"
+    );
 }

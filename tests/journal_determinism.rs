@@ -1,0 +1,151 @@
+//! The decision journal is a deterministic function of the scenario and
+//! the seed: re-running a dynamic scenario must reproduce it exactly, and
+//! the `ap_par` worker-pool width must not leak into any decision.
+//!
+//! The second property needs subprocesses: `ap_par` latches
+//! `AP_PAR_THREADS` once per process, so the parent re-invokes this test
+//! binary with different settings and compares the journal digests the
+//! children print.
+
+use std::collections::VecDeque;
+
+use ap_cluster::gpu::GpuKind;
+use ap_cluster::{gbps, ClusterTopology, DetectorConfig, EventKind, GpuId, ResourceTimeline};
+use ap_models::{synthetic_skewed, ModelProfile};
+use ap_planner::{pipedream_plan, PipeDreamView};
+use autopipe::arbiter::ArbiterMode;
+use autopipe::controller::{run_dynamic_scenario, AutoPipeConfig, AutoPipeController, Scorer};
+use autopipe::{DecisionJournal, ScenarioResult};
+
+/// A scenario busy enough to exercise every journal event kind: a
+/// bandwidth collapse forces detection, scoring, switching and
+/// verification.
+fn run_once() -> ScenarioResult {
+    let model = synthetic_skewed(12, 2e9, 40e6, 10e6);
+    let profile = ModelProfile::with_batch(&model, 32);
+    let topo = ClusterTopology::single_switch(4, 1, GpuKind::P100, 25.0);
+    let init = pipedream_plan(
+        &profile,
+        &(0..4).map(GpuId).collect::<Vec<_>>(),
+        PipeDreamView {
+            bandwidth: gbps(25.0),
+            gpu_flops: GpuKind::P100.peak_flops(),
+        },
+    );
+    let mut tl = ResourceTimeline::empty();
+    tl.push(3.0, EventKind::SetAllLinksGbps(2.0));
+    let cfg = AutoPipeConfig {
+        check_every: 6,
+        detector: DetectorConfig {
+            threshold: 0.12,
+            persistence: 1,
+        },
+        ..AutoPipeConfig::default()
+    };
+    let mut ctrl = AutoPipeController::new(
+        &profile,
+        init.clone(),
+        Scorer::Analytic,
+        ArbiterMode::Threshold(0.0),
+        cfg.clone(),
+    )
+    .expect("valid initial partition");
+    run_dynamic_scenario(&profile, &topo, &tl, init, Some(&mut ctrl), &cfg, 60)
+        .expect("controlled scenario")
+}
+
+/// FNV-1a over the journal's full debug rendering (every field of every
+/// event, including float formatting, participates).
+fn digest(journal: &DecisionJournal) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in format!("{journal:?}").bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn journal_is_identical_across_reruns() {
+    let a = run_once();
+    let b = run_once();
+    assert!(!a.journal.is_empty(), "scenario must produce decisions");
+    assert_eq!(a.journal, b.journal, "journals must match structurally");
+    assert_eq!(a.speed_series, b.speed_series);
+    assert_eq!(a.switches, b.switches);
+}
+
+/// Child mode: print the journal digest and nothing else of consequence.
+/// Inert unless the parent test re-invokes the binary with
+/// `AP_DETERMINISM_CHILD=1`.
+#[test]
+fn journal_digest_child() {
+    if std::env::var("AP_DETERMINISM_CHILD").is_err() {
+        return;
+    }
+    let r = run_once();
+    println!(
+        "JOURNAL_DIGEST={:016x}/{}",
+        digest(&r.journal),
+        r.journal.len()
+    );
+}
+
+#[test]
+fn journal_is_independent_of_worker_pool_width() {
+    let exe = std::env::current_exe().expect("test binary path");
+    let digest_at = |threads: &str| -> String {
+        let out = std::process::Command::new(&exe)
+            .args(["journal_digest_child", "--exact", "--nocapture"])
+            .env("AP_DETERMINISM_CHILD", "1")
+            .env("AP_PAR_THREADS", threads)
+            .output()
+            .expect("spawn child test");
+        assert!(
+            out.status.success(),
+            "child (AP_PAR_THREADS={threads}) failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        // The libtest harness may print its own status text around (or on
+        // the same line as) the digest, so match by substring.
+        let start = stdout
+            .find("JOURNAL_DIGEST=")
+            .unwrap_or_else(|| panic!("no digest in child output:\n{stdout}"));
+        stdout[start..]
+            .split_whitespace()
+            .next()
+            .expect("digest token")
+            .to_string()
+    };
+    let serial = digest_at("1");
+    let parallel = digest_at("4");
+    assert_eq!(
+        serial, parallel,
+        "decision journal must not depend on AP_PAR_THREADS"
+    );
+}
+
+#[test]
+fn journal_digest_separates_different_scenarios() {
+    // Guard against a degenerate digest: an empty journal and a populated
+    // one must not collide.
+    let r = run_once();
+    assert_ne!(digest(&r.journal), digest(&DecisionJournal::new()));
+}
+
+#[test]
+fn scorer_history_snapshot_is_order_stable() {
+    // The scorer consumes the observation history in insertion order; a
+    // cheap structural check that the VecDeque-to-Vec snapshot the MetaNet
+    // path takes preserves it.
+    let mut dq: VecDeque<Vec<f64>> = VecDeque::new();
+    for i in 0..5 {
+        dq.push_back(vec![i as f64]);
+    }
+    let snap: Vec<Vec<f64>> = dq.iter().cloned().collect();
+    assert_eq!(
+        snap,
+        vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0], vec![4.0]]
+    );
+}

@@ -64,7 +64,10 @@ fn moves_preserve_validity_and_workers() {
             assert!(q.validate(12).is_ok(), "case {case}: {kind:?}");
             let mut w = q.all_workers();
             w.sort();
-            assert_eq!(&w, &base_workers, "case {case}: {kind:?} changed the worker set");
+            assert_eq!(
+                &w, &base_workers,
+                "case {case}: {kind:?} changed the worker set"
+            );
         }
     }
 }
@@ -83,7 +86,10 @@ fn switch_plans_are_symmetric() {
         let ba = SwitchPlan::between(&b, &a, &profile, ScheduleKind::PipeDream2Bw);
         assert_eq!(&ab.moved_layers, &ba.moved_layers, "case {case}");
         assert_eq!(&ab.affected_workers, &ba.affected_workers, "case {case}");
-        assert!((ab.transfer_bytes - ba.transfer_bytes).abs() < 1.0, "case {case}");
+        assert!(
+            (ab.transfer_bytes - ba.transfer_bytes).abs() < 1.0,
+            "case {case}"
+        );
         // Self-diff is a no-op.
         let aa = SwitchPlan::between(&a, &a, &profile, ScheduleKind::PipeDream2Bw);
         assert!(aa.is_noop(), "case {case}");
@@ -109,7 +115,9 @@ fn engine_conservation() {
             ResourceTimeline::empty(),
             EngineConfig::default(),
         )
-        .run(iters);
+        .expect("valid partition")
+        .run(iters)
+        .expect("engine run");
         assert!(r.iterations.len() >= iters, "case {case}");
         for w in r.iterations.windows(2) {
             assert!(w[1].finish >= w[0].finish - 1e-9, "case {case}");
@@ -121,7 +129,11 @@ fn engine_conservation() {
         ids.sort_unstable();
         let unique_before = ids.len();
         ids.dedup();
-        assert_eq!(ids.len(), unique_before, "case {case}: duplicate iteration ids");
+        assert_eq!(
+            ids.len(),
+            unique_before,
+            "case {case}: duplicate iteration ids"
+        );
         let max_injected = (r.iterations.len() + 64) as u64;
         assert!(ids.iter().all(|&id| id < max_injected), "case {case}");
         for &b in &r.busy {

@@ -20,4 +20,9 @@ cargo build --release --offline
 echo "== test =="
 cargo test -q --offline
 
+echo "== chaos drill =="
+# Fault-injection smoke: exits 2 on a wedged (deadlocked) run and 3 if
+# AutoPipe fails to keep completing work through a scored outage.
+cargo run --release --offline -p ap-bench --bin repro -- chaos --smoke
+
 echo "ci: all green"

@@ -1,7 +1,7 @@
 //! `repro` — regenerate every figure of the AutoPipe paper.
 //!
 //! ```text
-//! repro <fig2|fig3|fig4|fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|multijob|ablations|all> [--json DIR] [--trace DIR]
+//! repro <fig2|fig3|fig4|fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|multijob|ablations|chaos|all> [--json DIR] [--trace DIR] [--smoke]
 //! ```
 //!
 //! Each subcommand prints the figure's rows/series as a markdown table
@@ -19,7 +19,8 @@ use std::path::PathBuf;
 
 use ap_bench::experiments::motivation::{panel_bandwidths, panel_models, MotivationRow, Scenario};
 use ap_bench::experiments::{
-    ablations, convergence, dynamic, enhanced, multi_job, overhead, pipeline_fill, static_alloc,
+    ablations, chaos, convergence, dynamic, enhanced, multi_job, overhead, pipeline_fill,
+    static_alloc,
 };
 use ap_bench::json::ToJson;
 
@@ -87,6 +88,70 @@ fn main() {
     }
     if run("ablations") {
         run_ablations(&json_dir);
+    }
+    if run("chaos") {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        run_chaos(smoke, &json_dir);
+    }
+}
+
+/// The chaos drill: a seeded fault schedule against AutoPipe-with-recovery
+/// and a drain-and-restart baseline. The full run exports
+/// `BENCH_chaos.json` to the working directory (same-seed runs are
+/// byte-identical); `--smoke` is a pure gate and writes nothing, so a CI
+/// run never clobbers the committed full-length artifact. Exits non-zero
+/// if the simulation wedges or AutoPipe fails to complete work inside any
+/// scored outage window.
+fn run_chaos(smoke: bool, json: &Option<PathBuf>) {
+    const CHAOS_SEED: u64 = 9;
+    let iters = if smoke { 30 } else { DYNAMIC_ITERS };
+    println!("\n## Chaos — seeded worker failures and NIC flaps (ResNet50)\n");
+    let r = match chaos::run(iters, CHAOS_SEED) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("chaos run failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "{} outage window(s), {} link-flap burst(s) over a {:.1}s horizon (seed {})\n",
+        r.outages.len(),
+        r.link_flaps,
+        r.horizon,
+        r.seed
+    );
+    println!("| outage | window (s) | AutoPipe units | drain-and-restart units |");
+    println!("|---|---|---|---|");
+    for w in &r.outages {
+        println!(
+            "| gpu{}{} | {:.1}-{:.1} | {} | {} |",
+            w.worker,
+            if w.scored { "" } else { " (unscored)" },
+            w.start,
+            w.end,
+            w.autopipe_units,
+            w.baseline_units
+        );
+    }
+    println!(
+        "\nMean throughput: AutoPipe {:.1} img/s vs drain-and-restart {:.1} img/s (+{:.0}%)",
+        r.mean.0,
+        r.mean.1,
+        (r.mean.0 / r.mean.1.max(1e-12) - 1.0) * 100.0
+    );
+    println!(
+        "Emergency repartitions: {}; rollbacks: {}; stranded-unit restarts: {}",
+        r.emergency_switches, r.rollbacks, r.restarts
+    );
+    if !smoke {
+        let out = PathBuf::from("BENCH_chaos.json");
+        fs::write(&out, r.to_json().pretty()).expect("write BENCH_chaos.json");
+        eprintln!("wrote {}", out.display());
+    }
+    dump_json(json, "chaos", &r);
+    if !r.survived_all_outages {
+        eprintln!("FAIL: AutoPipe completed no work inside a scored outage window");
+        std::process::exit(3);
     }
 }
 

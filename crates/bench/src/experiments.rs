@@ -1,6 +1,7 @@
 //! One submodule per paper figure (DESIGN.md §4 maps them).
 
 pub mod ablations;
+pub mod chaos;
 pub mod convergence;
 pub mod dynamic;
 pub mod enhanced;

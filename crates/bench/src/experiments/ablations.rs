@@ -52,6 +52,7 @@ fn base_cfg(env: &ExperimentEnv) -> AutoPipeConfig {
         profiler_noise: 0.01,
         moves_per_decision: 4,
         seed: 5,
+        ..AutoPipeConfig::default()
     }
 }
 

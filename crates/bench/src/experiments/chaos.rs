@@ -1,0 +1,398 @@
+//! `repro chaos` — fault-tolerant reconfiguration under a seeded fault
+//! schedule (DESIGN.md §7).
+//!
+//! ResNet50 on the paper testbed with a [`FaultPlan`] of worker outages
+//! and NIC flap bursts. Two arms run the identical schedule:
+//!
+//! * **AutoPipe with recovery** — the controller's emergency path
+//!   repartitions onto the survivors the moment a worker dies (bypassing
+//!   the arbiter's gain-vs-cost gate), retries failed switches under its
+//!   backoff policy, and rolls back migrations a death interrupts.
+//! * **Drain-and-restart** — the conventional fallback: on failure the
+//!   pipeline drains and waits for the victim; on recovery it restarts
+//!   the original plan from a checkpoint (a global stall).
+//!
+//! The headline claim is per-outage: inside every outage window AutoPipe
+//! keeps completing mini-batches on the survivors while the baseline
+//! completes none. Everything is seeded, so the exported
+//! `BENCH_chaos.json` is byte-identical across runs and thread counts.
+
+use ap_cluster::{
+    ClusterState, ClusterTopology, FaultEvent, FaultPlan, FaultPlanConfig, ResourceTimeline,
+};
+use ap_models::{resnet50, ModelProfile};
+use ap_pipesim::{Engine, IterationRecord, Partition, SimError, SimResult};
+use autopipe::controller::run_dynamic_scenario_traced;
+use autopipe::{
+    ArbiterMode, AutoPipeConfig, AutoPipeController, DecisionEvent, DecisionJournal, Scorer,
+};
+
+use crate::setup::{paper_pipedream_plan, ExperimentEnv};
+
+/// One worker-outage window and what each arm completed inside it.
+#[derive(Debug, Clone)]
+pub struct OutageWindow {
+    /// The dead worker's GPU id.
+    pub worker: usize,
+    /// Failure time, seconds.
+    pub start: f64,
+    /// Recovery time, seconds.
+    pub end: f64,
+    /// Mini-batches AutoPipe completed inside the window.
+    pub autopipe_units: usize,
+    /// Mini-batches the drain-and-restart baseline completed inside it.
+    pub baseline_units: usize,
+    /// Whether the window opened early enough in the AutoPipe run to
+    /// demonstrate anything (at least two fault-free iteration times
+    /// before the run's end). Only scored windows gate the verdict.
+    pub scored: bool,
+}
+
+/// The chaos scenario's outcome.
+#[derive(Debug, Clone)]
+pub struct ChaosResult {
+    /// The fault-plan seed.
+    pub seed: u64,
+    /// Mini-batches each arm ran.
+    pub n_iterations: usize,
+    /// Fault-free makespan used as the fault-plan horizon, seconds.
+    pub horizon: f64,
+    /// Worker-outage windows in time order.
+    pub outages: Vec<OutageWindow>,
+    /// NIC flap bursts in the schedule.
+    pub link_flaps: usize,
+    /// `(iteration, samples/sec)` for AutoPipe with recovery.
+    pub autopipe: Vec<(u64, f64)>,
+    /// `(iteration, samples/sec)` for drain-and-restart.
+    pub baseline: Vec<(u64, f64)>,
+    /// Mean throughput `(autopipe, baseline)`, samples/sec.
+    pub mean: (f64, f64),
+    /// Wall-clock seconds to finish `(autopipe, baseline)`.
+    pub total_seconds: (f64, f64),
+    /// Emergency repartitions the controller performed.
+    pub emergency_switches: usize,
+    /// Mid-migration rollbacks the engine performed (both arms).
+    pub rollbacks: usize,
+    /// Stranded-unit restarts (both arms).
+    pub restarts: usize,
+    /// AutoPipe completed >0 mini-batches inside every scored outage.
+    pub survived_all_outages: bool,
+    /// The baseline completed 0 mini-batches inside some scored outage.
+    pub baseline_stalled: bool,
+    /// The AutoPipe arm's merged decision/fault journal.
+    pub journal: DecisionJournal,
+}
+
+/// Controller configuration for the chaos arm: analytic scorer and a
+/// small fixed switch threshold keep the run fast and fully
+/// deterministic; the detector is tuned with persistence 2 so flap noise
+/// is debounced (§4.1 hysteresis) while real collapses still trigger.
+fn chaos_cfg(env: &ExperimentEnv) -> AutoPipeConfig {
+    AutoPipeConfig {
+        scheme: env.scheme,
+        framework: env.framework,
+        schedule: env.schedule,
+        check_every: 5,
+        horizon_iterations: 60.0,
+        detector: ap_cluster::DetectorConfig {
+            threshold: 0.15,
+            persistence: 2,
+        },
+        switch_mode: autopipe::SwitchMode::FineGrained,
+        profiler_noise: 0.01,
+        moves_per_decision: 4,
+        seed: 23,
+        ..AutoPipeConfig::default()
+    }
+}
+
+/// Per-iteration speeds from completion records (completions sharing an
+/// instant share the rate measured at the next distinct completion).
+fn speed_series(iterations: &[IterationRecord], batch: usize) -> Vec<(u64, f64)> {
+    let mut out = Vec::with_capacity(iterations.len());
+    let mut prev_finish = 0.0_f64;
+    let mut pending: Vec<u64> = Vec::new();
+    for (idx, rec) in iterations.iter().enumerate() {
+        pending.push(idx as u64);
+        let dt = rec.finish - prev_finish;
+        if dt > 1e-12 {
+            let speed = pending.len() as f64 * batch as f64 / dt;
+            for &i in &pending {
+                out.push((i, speed));
+            }
+            pending.clear();
+            prev_finish = rec.finish;
+        }
+    }
+    if !pending.is_empty() {
+        let speed = out.last().map(|&(_, s)| s).unwrap_or(0.0);
+        for &i in &pending {
+            out.push((i, speed));
+        }
+    }
+    out
+}
+
+/// Mini-batches finishing inside `[start, end]`.
+fn units_in(iterations: &[IterationRecord], start: f64, end: f64) -> usize {
+    iterations
+        .iter()
+        .filter(|r| r.finish >= start && r.finish <= end)
+        .count()
+}
+
+/// The drain-and-restart baseline: never repartitions. On a failure the
+/// whole job stops — in-flight work drains, then every worker idles until
+/// the victim returns plus a checkpoint-reload pause (`restart_pause`);
+/// on recovery the original plan is reinstated verbatim, which also
+/// restarts any mini-batches the outage stranded. `outage_windows` is the
+/// fault schedule's `(start, end)` list — a checkpoint system does not
+/// predict recovery, but stalling until the known end is equivalent to
+/// "wait for the node, then reload" and keeps the run deterministic.
+fn run_baseline(
+    profile: &ModelProfile,
+    topo: &ClusterTopology,
+    timeline: &ResourceTimeline,
+    init: &Partition,
+    env: &ExperimentEnv,
+    n_iterations: usize,
+    restart_pause: f64,
+    outage_windows: &[(f64, f64)],
+) -> Result<SimResult, SimError> {
+    let engine = Engine::new(
+        profile,
+        init.clone(),
+        ClusterState::new(topo.clone()),
+        timeline.clone(),
+        env.engine_cfg(),
+    )?;
+    let mut down = false;
+    let mut result = engine.run_controlled(n_iterations, 5, |state, _done, now, _measured| {
+        if !state.failed_workers().is_empty() {
+            let end = outage_windows
+                .iter()
+                .filter(|&&(s, e)| now >= s - 1e-9 && now < e)
+                .map(|&(_, e)| e)
+                .fold(f64::NEG_INFINITY, f64::max);
+            if !down && end.is_finite() {
+                down = true;
+                // Stop the job for the rest of the outage + the reload.
+                return Some((init.clone(), (end - now) + restart_pause, true));
+            }
+            return None;
+        }
+        if down {
+            down = false;
+            // Reinstate the full plan (the recovered worker rejoins its
+            // stage); the reload pause was charged above.
+            return Some((init.clone(), 0.0, false));
+        }
+        None
+    })?;
+    result.iterations.truncate(n_iterations);
+    Ok(result)
+}
+
+/// Run the chaos scenario.
+pub fn run(n_iterations: usize, seed: u64) -> Result<ChaosResult, SimError> {
+    let profile = ModelProfile::of(&resnet50());
+    let env = ExperimentEnv::default_at(25.0);
+    let topo = ClusterTopology::paper_testbed(env.link_gbps);
+    let init = paper_pipedream_plan(&profile, env.link_gbps, topo.n_gpus());
+
+    // The fault-free makespan anchors the schedule: MTBF/MTTR scale with
+    // it, so smoke runs and full runs draw the *same relative* schedule
+    // from the same seed (exponential variates scale linearly with their
+    // mean).
+    let clean = Engine::new(
+        &profile,
+        init.clone(),
+        ClusterState::new(topo.clone()),
+        ResourceTimeline::empty(),
+        env.engine_cfg(),
+    )?
+    .run(n_iterations)?;
+    let horizon = clean.makespan;
+    let iter_time = horizon / n_iterations.max(1) as f64;
+
+    let fault_cfg = FaultPlanConfig {
+        mtbf: horizon / 3.0,
+        mttr: horizon / 2.0, // finite: every outage ends within the run
+        max_concurrent_failures: 1,
+        flap_mtbf: horizon / 1.5,
+        flap_down_gbps: 2.0,
+        flap_period: (horizon / 25.0).max(4.0 * iter_time),
+        flap_count: 2,
+    };
+    let mut plan = FaultPlan::generate(&topo, &fault_cfg, horizon, seed);
+    // Faults slow both arms past the horizon, so a recovery clipped off
+    // the plan's end (a permanent failure) would still fall inside the
+    // actual run — and a checkpoint baseline can never finish without its
+    // worker. Keep the drill to transient outages; permanent loss is
+    // exercised by the engine's unit tests.
+    plan.faults
+        .retain(|f| !matches!(f, FaultEvent::WorkerOutage { until: None, .. }));
+    let timeline = plan.to_timeline();
+    let outage_windows: Vec<(f64, f64)> = plan
+        .faults
+        .iter()
+        .filter_map(|f| match f {
+            FaultEvent::WorkerOutage {
+                at, until: Some(u), ..
+            } => Some((*at, *u)),
+            _ => None,
+        })
+        .collect();
+
+    // AutoPipe arm: emergency repartitions, retry policy, rollbacks. The
+    // retry backoff scales with the simulated iteration time so a failed
+    // emergency switch retries within the run, not after it.
+    let mut cfg = chaos_cfg(&env);
+    cfg.retry_base_delay_seconds = (4.0 * iter_time).max(1e-3);
+    let mut ctrl = AutoPipeController::new(
+        &profile,
+        init.clone(),
+        Scorer::Analytic,
+        ArbiterMode::Threshold(0.02),
+        cfg.clone(),
+    )
+    .expect("valid initial partition");
+    let (scenario, ap_sim) = run_dynamic_scenario_traced(
+        &profile,
+        &topo,
+        &timeline,
+        init.clone(),
+        Some(&mut ctrl),
+        &cfg,
+        n_iterations,
+    )?;
+
+    // Baseline arm: drain on failure, global-stall restart on recovery.
+    // The restart pause models a checkpoint reload: two fault-free
+    // iteration times (drain residue + pipeline re-fill).
+    let bl_sim = run_baseline(
+        &profile,
+        &topo,
+        &timeline,
+        &init,
+        &env,
+        n_iterations,
+        2.0 * iter_time,
+        &outage_windows,
+    )?;
+
+    let ap_total = ap_sim.iterations.last().map(|r| r.finish).unwrap_or(0.0);
+    let bl_total = bl_sim.iterations.last().map(|r| r.finish).unwrap_or(0.0);
+
+    // Score each outage window: an outage only demonstrates survival if
+    // it opens after the pipeline has filled, with room to spare before
+    // the AutoPipe arm finishes, and lasts long enough that a healthy
+    // pipeline would complete something inside it.
+    let fill_time = init.in_flight as f64 * iter_time;
+    let mut outages = Vec::new();
+    for f in &plan.faults {
+        if let FaultEvent::WorkerOutage {
+            worker,
+            at,
+            until: Some(until),
+        } = f
+        {
+            let scored = *at > fill_time
+                && *at + 2.0 * iter_time < ap_total
+                && *until - *at > 2.0 * iter_time;
+            outages.push(OutageWindow {
+                worker: worker.0,
+                start: *at,
+                end: *until,
+                autopipe_units: units_in(&ap_sim.iterations, *at, (*until).min(ap_total).max(*at)),
+                baseline_units: units_in(&bl_sim.iterations, *at, *until),
+                scored,
+            });
+        }
+    }
+    let link_flaps = plan
+        .faults
+        .iter()
+        .filter(|f| matches!(f, FaultEvent::LinkFlap { .. }))
+        .count();
+
+    let emergency_switches = scenario
+        .journal
+        .records
+        .iter()
+        .filter(|r| matches!(r.event, DecisionEvent::EmergencyRepartition { .. }))
+        .count();
+    let rollbacks = ap_sim
+        .faults
+        .iter()
+        .chain(bl_sim.faults.iter())
+        .filter(|f| matches!(f, ap_pipesim::FaultRecord::MigrationRolledBack { .. }))
+        .count();
+    let restarts = ap_sim
+        .faults
+        .iter()
+        .chain(bl_sim.faults.iter())
+        .filter(|f| matches!(f, ap_pipesim::FaultRecord::UnitsRestarted { .. }))
+        .count();
+
+    let survived_all_outages = outages
+        .iter()
+        .filter(|w| w.scored)
+        .all(|w| w.autopipe_units > 0);
+    let baseline_stalled = outages.iter().any(|w| w.scored && w.baseline_units == 0);
+
+    let batch = profile.batch;
+    Ok(ChaosResult {
+        seed,
+        n_iterations,
+        horizon,
+        outages,
+        link_flaps,
+        autopipe: speed_series(&ap_sim.iterations, batch),
+        baseline: speed_series(&bl_sim.iterations, batch),
+        mean: (
+            ap_sim.iterations.len() as f64 * batch as f64 / ap_total.max(1e-12),
+            bl_sim.iterations.len() as f64 * batch as f64 / bl_total.max(1e-12),
+        ),
+        total_seconds: (ap_total, bl_total),
+        emergency_switches,
+        rollbacks,
+        restarts,
+        survived_all_outages,
+        baseline_stalled,
+        journal: scenario.journal,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_has_outages_and_autopipe_survives_them() {
+        let r = run(30, 9).expect("chaos run");
+        assert!(
+            r.outages.iter().any(|w| w.scored),
+            "the schedule must contain at least one scored outage: {:?}",
+            r.outages
+        );
+        assert!(
+            r.survived_all_outages,
+            "AutoPipe must complete work inside every scored outage: {:?}",
+            r.outages
+        );
+        assert!(r.emergency_switches > 0, "recovery must have repartitioned");
+        assert!(r.mean.0 > 0.0 && r.mean.1 > 0.0);
+    }
+
+    #[test]
+    fn chaos_is_deterministic() {
+        let a = run(30, 9).expect("first run");
+        let b = run(30, 9).expect("second run");
+        assert_eq!(a.outages.len(), b.outages.len());
+        assert_eq!(a.horizon.to_bits(), b.horizon.to_bits());
+        assert_eq!(a.mean.0.to_bits(), b.mean.0.to_bits());
+        assert_eq!(a.mean.1.to_bits(), b.mean.1.to_bits());
+        assert_eq!(a.journal.records, b.journal.records);
+    }
+}

@@ -78,6 +78,7 @@ fn controller_config(env: &ExperimentEnv) -> AutoPipeConfig {
         profiler_noise: 0.01,
         moves_per_decision: 4,
         seed: 5,
+        ..AutoPipeConfig::default()
     }
 }
 

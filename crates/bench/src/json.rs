@@ -339,6 +339,44 @@ impl ToJson for autopipe::DecisionEvent {
                 fields.push(("trust", trust.to_json()));
             }
             E::Kept { reason } => fields.push(("reason", reason.label().to_json())),
+            E::InfeasibleDetected { failed_workers } => {
+                fields.push(("failed_workers", failed_workers.to_json()));
+            }
+            E::EmergencyRepartition {
+                from,
+                to,
+                dropped,
+                attempt,
+                pause_seconds,
+            } => {
+                fields.push(("from", from.to_json()));
+                fields.push(("to", to.to_json()));
+                fields.push(("dropped", dropped.to_json()));
+                fields.push(("attempt", attempt.to_json()));
+                fields.push(("pause_seconds", pause_seconds.to_json()));
+            }
+            E::RetryScheduled {
+                attempt,
+                not_before,
+            } => {
+                fields.push(("attempt", attempt.to_json()));
+                fields.push(("not_before", not_before.to_json()));
+            }
+            E::RetryExhausted { attempts } => fields.push(("attempts", attempts.to_json())),
+            E::WorkerFailed { worker } | E::WorkerRecovered { worker } => {
+                fields.push(("worker", worker.to_json()));
+            }
+            E::MigrationRolledBack {
+                worker,
+                progress,
+                rollback_seconds,
+            } => {
+                fields.push(("worker", worker.to_json()));
+                fields.push(("progress", progress.to_json()));
+                fields.push(("rollback_seconds", rollback_seconds.to_json()));
+            }
+            E::UnitsRestarted { count } => fields.push(("count", count.to_json())),
+            E::SwitchRejected => {}
         }
         Json::obj(fields)
     }
@@ -362,6 +400,41 @@ impl ToJson for autopipe::DecisionRecord {
 impl ToJson for autopipe::DecisionJournal {
     fn to_json(&self) -> Json {
         self.records.to_json()
+    }
+}
+
+impl ToJson for crate::experiments::chaos::OutageWindow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("worker", self.worker.to_json()),
+            ("start", self.start.to_json()),
+            ("end", self.end.to_json()),
+            ("autopipe_units", self.autopipe_units.to_json()),
+            ("baseline_units", self.baseline_units.to_json()),
+            ("scored", self.scored.to_json()),
+        ])
+    }
+}
+
+impl ToJson for crate::experiments::chaos::ChaosResult {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("seed", self.seed.to_json()),
+            ("n_iterations", self.n_iterations.to_json()),
+            ("horizon", self.horizon.to_json()),
+            ("outages", self.outages.to_json()),
+            ("link_flaps", self.link_flaps.to_json()),
+            ("autopipe", self.autopipe.to_json()),
+            ("baseline", self.baseline.to_json()),
+            ("mean", self.mean.to_json()),
+            ("total_seconds", self.total_seconds.to_json()),
+            ("emergency_switches", self.emergency_switches.to_json()),
+            ("rollbacks", self.rollbacks.to_json()),
+            ("restarts", self.restarts.to_json()),
+            ("survived_all_outages", self.survived_all_outages.to_json()),
+            ("baseline_stalled", self.baseline_stalled.to_json()),
+            ("journal", self.journal.to_json()),
+        ])
     }
 }
 

@@ -9,7 +9,11 @@
 //! number of observations. The persistence requirement is hysteresis: §4.1
 //! requires "a strategic balance between reaction sensitivity and
 //! environmental fluctuations", so a single noisy sample must not trigger a
-//! re-partition.
+//! re-partition. Persistence is additionally *direction-consistent*: a
+//! deviation streak only accumulates while successive samples deviate the
+//! same way (all above or all below the reference), so a flapping NIC that
+//! alternates between levels is debounced instead of confirming a bogus
+//! averaged change.
 
 /// Which resource moved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +71,10 @@ struct Channel {
     reference: Option<f64>,
     deviating: usize,
     candidate_sum: f64,
+    /// Direction of the current deviation streak: `1` above the
+    /// reference, `-1` below. A flip restarts the streak, so a flapping
+    /// link (alternating high/low samples) never accumulates persistence.
+    sign: i8,
 }
 
 /// Per-worker, per-resource change detection with hysteresis.
@@ -138,12 +146,22 @@ fn step(ch: &mut Channel, value: f64, cfg: &DetectorConfig) -> Option<(f64, f64)
         }
         Some(r) => r,
     };
-    let rel = if reference == 0.0 {
+    let signed = if reference == 0.0 {
         0.0
     } else {
-        ((value - reference) / reference).abs()
+        (value - reference) / reference
     };
+    let rel = signed.abs();
     if rel >= cfg.threshold {
+        let sign = if signed >= 0.0 { 1 } else { -1 };
+        if ch.deviating > 0 && sign != ch.sign {
+            // The deviation flipped direction mid-streak: that is flap
+            // noise, not a persistent change. Start counting afresh from
+            // this sample.
+            ch.deviating = 0;
+            ch.candidate_sum = 0.0;
+        }
+        ch.sign = sign;
         ch.deviating += 1;
         ch.candidate_sum += value;
         if ch.deviating >= cfg.persistence {
@@ -223,6 +241,36 @@ mod tests {
         assert_eq!(fired.len(), 1);
         assert_eq!(fired[0].kind, ChangeKind::Compute);
         assert_eq!(fired[0].worker, 1);
+    }
+
+    #[test]
+    fn alternating_flap_noise_never_confirms() {
+        // A flapping link swings ±30% around the reference — every sample
+        // deviates past the 20% threshold, but the direction alternates,
+        // so persistence must never accumulate to 3.
+        let mut d = det(1);
+        d.observe(&[10.0], &[1.0]);
+        for i in 0..40 {
+            let v = if i % 2 == 0 { 13.0 } else { 7.0 };
+            assert!(d.observe(&[v], &[1.0]).is_empty(), "fired at sample {i}");
+        }
+    }
+
+    #[test]
+    fn direction_flip_restarts_the_streak_at_the_boundary() {
+        // persistence = 3: two low samples, a flip up, then two more low
+        // samples — five deviating observations, but no three consecutive
+        // ones agree in direction until the 3rd post-flip low sample.
+        let mut d = det(1);
+        d.observe(&[10.0], &[1.0]);
+        assert!(d.observe(&[5.0], &[1.0]).is_empty());
+        assert!(d.observe(&[5.0], &[1.0]).is_empty());
+        assert!(d.observe(&[14.0], &[1.0]).is_empty()); // flip: streak resets to 1 (up)
+        assert!(d.observe(&[5.0], &[1.0]).is_empty()); // flip back: streak = 1 (down)
+        assert!(d.observe(&[5.0], &[1.0]).is_empty()); // streak = 2
+        let fired = d.observe(&[5.0], &[1.0]); // streak = 3: confirm
+        assert_eq!(fired.len(), 1);
+        assert!((fired[0].after - 5.0).abs() < 1e-9);
     }
 
     #[test]

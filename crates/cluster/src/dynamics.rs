@@ -9,7 +9,7 @@
 //! 3–6, 9, 10); [`BackgroundJobGenerator`] produces stochastic multi-tenant
 //! churn for stress tests.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use ap_rng::Rng;
 
@@ -48,6 +48,19 @@ pub enum EventKind {
     /// cluster-utilization study the paper cites (ref. 7) lists failures as a
     /// distinct churn source).
     SetGpuSharing(GpuId, u32),
+    /// A worker dies fail-stop: it leaves the availability view, its
+    /// effective compute drops to zero, and any state it held is lost.
+    WorkerFail(GpuId),
+    /// A previously failed worker rejoins the cluster at full health
+    /// (cold: it holds no model state until the job re-plans onto it).
+    WorkerRecover(GpuId),
+    /// A server NIC flaps down to the given Gbps; the pre-flap rate is
+    /// saved so [`EventKind::LinkFlapRestore`] can undo exactly this flap
+    /// even if other bandwidth events interleave.
+    LinkFlapDown(ServerId, f64),
+    /// The flapped NIC returns to its saved pre-flap rate (no-op if the
+    /// server is not currently flapped down).
+    LinkFlapRestore(ServerId),
 }
 
 /// A timestamped cluster event.
@@ -71,16 +84,21 @@ impl ResourceTimeline {
         Self::default()
     }
 
-    /// Build from events (sorted internally by time).
+    /// Build from events, sorted by time. The sort is stable, so events
+    /// sharing a timestamp keep their order in `events` — coincident fault
+    /// and bandwidth events apply in a defined (input) order.
     pub fn new(mut events: Vec<ResourceEvent>) -> Self {
         events.sort_by(|a, b| a.time.total_cmp(&b.time));
         ResourceTimeline { events }
     }
 
-    /// Append an event, keeping time order.
+    /// Append an event, keeping time order. Among events at exactly the
+    /// same timestamp, insertion order is preserved: the one pushed first
+    /// applies first (and is returned first by
+    /// [`ResourceTimeline::events_between`]).
     pub fn push(&mut self, time: f64, kind: EventKind) {
-        self.events.push(ResourceEvent { time, kind });
-        self.events.sort_by(|a, b| a.time.total_cmp(&b.time));
+        let idx = self.events.partition_point(|e| e.time <= time);
+        self.events.insert(idx, ResourceEvent { time, kind });
     }
 
     /// All events.
@@ -113,6 +131,12 @@ pub struct ClusterState {
     pub background: HashMap<LinkId, f64>,
     /// Live background jobs (for departures).
     jobs: HashMap<BgJobId, (Vec<GpuId>, f64)>,
+    /// Workers currently failed (fail-stop). Ordered so iteration — and
+    /// everything derived from it — is deterministic.
+    failed: BTreeSet<GpuId>,
+    /// Pre-flap NIC rates of servers currently flapped down, keyed by
+    /// server, so a restore undoes exactly the matching flap.
+    flap_saved: HashMap<ServerId, f64>,
 }
 
 impl ClusterState {
@@ -122,7 +146,37 @@ impl ClusterState {
             topology,
             background: HashMap::new(),
             jobs: HashMap::new(),
+            failed: BTreeSet::new(),
+            flap_saved: HashMap::new(),
         }
+    }
+
+    /// `true` if `gpu` is alive (not failed fail-stop).
+    pub fn is_available(&self, gpu: GpuId) -> bool {
+        !self.failed.contains(&gpu)
+    }
+
+    /// Workers currently failed, in id order.
+    pub fn failed_workers(&self) -> Vec<GpuId> {
+        self.failed.iter().copied().collect()
+    }
+
+    /// The subset of `candidates` that is alive, preserving order. Planners
+    /// go through this view so they only ever place stages on survivors.
+    pub fn available_of(&self, candidates: &[GpuId]) -> Vec<GpuId> {
+        candidates
+            .iter()
+            .copied()
+            .filter(|&g| self.is_available(g))
+            .collect()
+    }
+
+    /// Every live worker in the cluster, in id order.
+    pub fn available_workers(&self) -> Vec<GpuId> {
+        (0..self.topology.n_gpus())
+            .map(GpuId)
+            .filter(|&g| self.is_available(g))
+            .collect()
     }
 
     /// Capacity of `link` left for the observed job, bytes/s.
@@ -132,8 +186,12 @@ impl ClusterState {
         (cap - bg).max(cap * 0.01) // a fair-share floor: never fully starved
     }
 
-    /// Effective FLOP/s of a GPU for the observed job.
+    /// Effective FLOP/s of a GPU for the observed job. A failed worker
+    /// contributes zero.
     pub fn effective_flops(&self, gpu: GpuId) -> f64 {
+        if self.failed.contains(&gpu) {
+            return 0.0;
+        }
         self.topology.gpu(gpu).effective_flops()
     }
 
@@ -176,6 +234,24 @@ impl ClusterState {
             }
             EventKind::SetGpuSharing(g, n) => {
                 self.topology.gpu_mut(*g).colocated_jobs = (*n).max(1);
+            }
+            EventKind::WorkerFail(g) => {
+                self.failed.insert(*g);
+            }
+            EventKind::WorkerRecover(g) => {
+                self.failed.remove(g);
+            }
+            EventKind::LinkFlapDown(s, g) => {
+                let nic = &mut self.topology.servers[s.0].nic_bytes_per_sec;
+                // Only the first flap of a down/down/restore pile-up saves
+                // the rate: restores unwind to the true pre-flap level.
+                self.flap_saved.entry(*s).or_insert(*nic);
+                *nic = gbps(*g);
+            }
+            EventKind::LinkFlapRestore(s) => {
+                if let Some(rate) = self.flap_saved.remove(s) {
+                    self.topology.servers[s.0].nic_bytes_per_sec = rate;
+                }
             }
             EventKind::JobDepart(id) => {
                 if let Some((gpus, net)) = self.jobs.remove(id) {
@@ -422,6 +498,62 @@ mod tests {
         assert_eq!(tl.events_between(2.0, 9.0).len(), 0);
         assert_eq!(tl.next_event_after(1.0), Some(2.0));
         assert_eq!(tl.next_event_after(2.0), None);
+    }
+
+    #[test]
+    fn coincident_events_keep_insertion_order() {
+        // Regression: `push` used to re-sort the whole vec; the sort was
+        // stable so this passed by accident. Now insertion order at equal
+        // timestamps is an explicit contract that fault + bandwidth events
+        // at the same instant rely on.
+        let mut tl = ResourceTimeline::empty();
+        tl.push(5.0, EventKind::SetAllLinksGbps(1.0));
+        tl.push(2.0, EventKind::WorkerFail(GpuId(0)));
+        tl.push(5.0, EventKind::SetAllLinksGbps(2.0));
+        tl.push(5.0, EventKind::WorkerRecover(GpuId(0)));
+        tl.push(1.0, EventKind::SetAllLinksGbps(9.0));
+        let at5: Vec<_> = tl.events_between(2.0, 5.0).iter().collect();
+        assert_eq!(at5.len(), 3);
+        assert!(matches!(at5[0].kind, EventKind::SetAllLinksGbps(g) if g == 1.0));
+        assert!(matches!(at5[1].kind, EventKind::SetAllLinksGbps(g) if g == 2.0));
+        assert!(matches!(at5[2].kind, EventKind::WorkerRecover(GpuId(0))));
+        // Replay applies them in the same order: the last SetAllLinksGbps
+        // wins, and the worker ends alive.
+        let st = ClusterState::at_time(topo(), &tl, 5.0);
+        assert!((st.available_capacity(LinkId::Up(ServerId(0))) - gbps(2.0)).abs() < 1.0);
+        assert!(st.is_available(GpuId(0)));
+        assert_eq!(tl.next_event_after(2.0), Some(5.0));
+    }
+
+    #[test]
+    fn worker_failure_leaves_availability_view() {
+        let mut st = ClusterState::new(topo());
+        assert_eq!(st.available_workers().len(), 6);
+        st.apply(&EventKind::WorkerFail(GpuId(2)));
+        assert!(!st.is_available(GpuId(2)));
+        assert_eq!(st.effective_flops(GpuId(2)), 0.0);
+        assert_eq!(st.failed_workers(), vec![GpuId(2)]);
+        let avail = st.available_of(&[GpuId(1), GpuId(2), GpuId(3)]);
+        assert_eq!(avail, vec![GpuId(1), GpuId(3)]);
+        st.apply(&EventKind::WorkerRecover(GpuId(2)));
+        assert!(st.is_available(GpuId(2)));
+        assert!(st.effective_flops(GpuId(2)) > 0.0);
+        assert_eq!(st.available_workers().len(), 6);
+    }
+
+    #[test]
+    fn link_flap_restores_pre_flap_rate_across_interleaved_events() {
+        let mut st = ClusterState::new(topo());
+        st.apply(&EventKind::SetServerLinkGbps(ServerId(1), 40.0));
+        st.apply(&EventKind::LinkFlapDown(ServerId(1), 0.5));
+        assert!((st.available_capacity(LinkId::Up(ServerId(1))) - gbps(0.5)).abs() < 1.0);
+        // A second down before the restore must not clobber the saved rate.
+        st.apply(&EventKind::LinkFlapDown(ServerId(1), 0.25));
+        st.apply(&EventKind::LinkFlapRestore(ServerId(1)));
+        assert!((st.available_capacity(LinkId::Up(ServerId(1))) - gbps(40.0)).abs() < 1.0);
+        // Restore without a matching down is a no-op.
+        st.apply(&EventKind::LinkFlapRestore(ServerId(1)));
+        assert!((st.available_capacity(LinkId::Up(ServerId(1))) - gbps(40.0)).abs() < 1.0);
     }
 
     #[test]

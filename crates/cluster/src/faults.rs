@@ -1,0 +1,328 @@
+//! Seeded fault injection: fail-stop workers and flapping NICs.
+//!
+//! The cluster-churn study the paper cites (ref. 7) lists *failures* as a
+//! churn source distinct from the contention fluctuations of §3.1. This
+//! module turns that into a first-class, reproducible input: a
+//! [`FaultPlan`] is a schedule of [`FaultEvent`]s — worker outages with
+//! sampled MTBF/MTTR and NIC flap bursts — generated deterministically
+//! from a seed and compiled into the ordinary [`ResourceTimeline`] the
+//! simulator already consumes. The fault model is **fail-stop**: a failed
+//! worker does no work, holds no state, and is invisible to planners via
+//! [`crate::ClusterState`]'s availability view until it recovers (cold).
+
+use ap_rng::Rng;
+
+use crate::dynamics::{EventKind, ResourceTimeline};
+use crate::gpu::GpuId;
+use crate::topology::{ClusterTopology, ServerId};
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEvent {
+    /// `worker` dies fail-stop at `at`; if `until` is set it recovers then
+    /// (cold — it holds no model state), otherwise it stays dead for the
+    /// rest of the run.
+    WorkerOutage {
+        /// The victim.
+        worker: GpuId,
+        /// Failure time, seconds.
+        at: f64,
+        /// Recovery time, if within the horizon.
+        until: Option<f64>,
+    },
+    /// `server`'s NIC flaps: `count` times, starting at `at`, it drops to
+    /// `down_gbps` for half of each `period` and recovers for the other
+    /// half.
+    LinkFlap {
+        /// The server whose NIC flaps.
+        server: ServerId,
+        /// Degraded rate while down, Gbps.
+        down_gbps: f64,
+        /// Start of the first down phase, seconds.
+        at: f64,
+        /// Seconds per down+up cycle.
+        period: f64,
+        /// Number of down+up cycles.
+        count: usize,
+    },
+}
+
+/// Tuning for [`FaultPlan::generate`].
+#[derive(Debug, Clone)]
+pub struct FaultPlanConfig {
+    /// Mean time between worker failures, cluster-wide (exponential), s.
+    pub mtbf: f64,
+    /// Mean time to recover a failed worker (exponential), s. `f64::INFINITY`
+    /// makes every failure permanent.
+    pub mttr: f64,
+    /// At most this many workers down at once; failure draws that would
+    /// exceed the cap are skipped (the job must stay schedulable).
+    pub max_concurrent_failures: usize,
+    /// Mean time between NIC flap bursts (exponential); `f64::INFINITY`
+    /// disables flapping.
+    pub flap_mtbf: f64,
+    /// Degraded NIC rate during a flap, Gbps.
+    pub flap_down_gbps: f64,
+    /// Seconds per flap cycle.
+    pub flap_period: f64,
+    /// Flap cycles per burst.
+    pub flap_count: usize,
+}
+
+impl Default for FaultPlanConfig {
+    fn default() -> Self {
+        FaultPlanConfig {
+            mtbf: 60.0,
+            mttr: 30.0,
+            max_concurrent_failures: 1,
+            flap_mtbf: 45.0,
+            flap_down_gbps: 1.0,
+            flap_period: 2.0,
+            flap_count: 3,
+        }
+    }
+}
+
+/// A deterministic, seeded schedule of faults.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The scheduled faults, in start-time order.
+    pub faults: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Sample a fault schedule over `[0, horizon)`.
+    ///
+    /// Fully deterministic: the same `(topo, cfg, horizon, seed)` yields a
+    /// byte-identical plan on every run and under any thread count —
+    /// worker outages and link flaps draw from independent
+    /// [`Rng::stream`]s, and victims are picked from id-ordered worker
+    /// lists.
+    pub fn generate(
+        topo: &ClusterTopology,
+        cfg: &FaultPlanConfig,
+        horizon: f64,
+        seed: u64,
+    ) -> FaultPlan {
+        assert!(
+            cfg.mtbf > 0.0 && cfg.mttr > 0.0,
+            "MTBF/MTTR must be positive"
+        );
+        assert!(horizon > 0.0, "horizon must be positive");
+        let mut faults = Vec::new();
+
+        // Worker outages: a Poisson process of failures over the cluster.
+        let mut rng = Rng::stream(seed, 0);
+        // (worker, recovery time) of outstanding outages, insertion order.
+        let mut down: Vec<(GpuId, f64)> = Vec::new();
+        let mut t = 0.0;
+        loop {
+            t += exponential(&mut rng, cfg.mtbf);
+            if t >= horizon {
+                break;
+            }
+            down.retain(|&(_, until)| until > t);
+            if down.len() >= cfg.max_concurrent_failures.max(1) {
+                continue; // cap reached: this draw fizzles
+            }
+            let alive: Vec<GpuId> = (0..topo.n_gpus())
+                .map(GpuId)
+                .filter(|g| down.iter().all(|&(w, _)| w != *g))
+                .collect();
+            let Some(&victim) = rng.choose(&alive) else {
+                continue;
+            };
+            let until = if cfg.mttr.is_finite() {
+                Some(t + exponential(&mut rng, cfg.mttr))
+            } else {
+                None
+            };
+            down.push((victim, until.unwrap_or(f64::INFINITY)));
+            faults.push(FaultEvent::WorkerOutage {
+                worker: victim,
+                at: t,
+                until: until.filter(|&u| u < horizon),
+            });
+        }
+
+        // Link flaps: an independent stream so toggling one knob does not
+        // reshuffle the other's draws.
+        if cfg.flap_mtbf.is_finite() && cfg.flap_count > 0 {
+            let mut rng = Rng::stream(seed, 1);
+            let mut t = 0.0;
+            loop {
+                t += exponential(&mut rng, cfg.flap_mtbf);
+                if t >= horizon {
+                    break;
+                }
+                let server = ServerId(rng.gen_range(0..topo.servers.len()));
+                faults.push(FaultEvent::LinkFlap {
+                    server,
+                    down_gbps: cfg.flap_down_gbps,
+                    at: t,
+                    period: cfg.flap_period,
+                    count: cfg.flap_count,
+                });
+            }
+        }
+
+        faults.sort_by(|a, b| start_of(a).total_cmp(&start_of(b)));
+        FaultPlan { faults }
+    }
+
+    /// Compile the plan into timeline events. Events are pushed in
+    /// timestamp order, so coincident faults keep plan order (the
+    /// timeline's same-timestamp contract).
+    pub fn compile_into(&self, timeline: &mut ResourceTimeline) {
+        let mut pending: Vec<(f64, EventKind)> = Vec::new();
+        for f in &self.faults {
+            match f {
+                FaultEvent::WorkerOutage { worker, at, until } => {
+                    pending.push((*at, EventKind::WorkerFail(*worker)));
+                    if let Some(u) = until {
+                        pending.push((*u, EventKind::WorkerRecover(*worker)));
+                    }
+                }
+                FaultEvent::LinkFlap {
+                    server,
+                    down_gbps,
+                    at,
+                    period,
+                    count,
+                } => {
+                    for k in 0..*count {
+                        let t0 = at + *period * k as f64;
+                        pending.push((t0, EventKind::LinkFlapDown(*server, *down_gbps)));
+                        pending.push((t0 + period * 0.5, EventKind::LinkFlapRestore(*server)));
+                    }
+                }
+            }
+        }
+        // Stable by time: ties keep the order built above.
+        pending.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for (t, kind) in pending {
+            timeline.push(t, kind);
+        }
+    }
+
+    /// Convenience: a fresh timeline holding only this plan's events.
+    pub fn to_timeline(&self) -> ResourceTimeline {
+        let mut tl = ResourceTimeline::empty();
+        self.compile_into(&mut tl);
+        tl
+    }
+}
+
+/// Exponential variate with the given mean.
+fn exponential(rng: &mut Rng, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(1e-12..1.0);
+    -u.ln() * mean
+}
+
+/// Start time of a fault (sort key).
+fn start_of(f: &FaultEvent) -> f64 {
+    match f {
+        FaultEvent::WorkerOutage { at, .. } | FaultEvent::LinkFlap { at, .. } => *at,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamics::ClusterState;
+    use crate::gpu::GpuKind;
+
+    fn topo() -> ClusterTopology {
+        ClusterTopology::single_switch(4, 2, GpuKind::P100, 25.0)
+    }
+
+    #[test]
+    fn generation_is_deterministic_by_seed() {
+        let t = topo();
+        let cfg = FaultPlanConfig::default();
+        let a = FaultPlan::generate(&t, &cfg, 300.0, 11);
+        let b = FaultPlan::generate(&t, &cfg, 300.0, 11);
+        assert_eq!(a, b);
+        assert!(!a.faults.is_empty(), "300 s at 60 s MTBF should fault");
+        let c = FaultPlan::generate(&t, &cfg, 300.0, 12);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn outages_respect_the_concurrency_cap() {
+        let t = topo();
+        let cfg = FaultPlanConfig {
+            mtbf: 2.0,
+            mttr: 50.0,
+            max_concurrent_failures: 2,
+            flap_mtbf: f64::INFINITY,
+            ..FaultPlanConfig::default()
+        };
+        let plan = FaultPlan::generate(&t, &cfg, 400.0, 3);
+        // Sweep the compiled timeline: never more than 2 down at once, and
+        // no worker fails while already down.
+        let tl = plan.to_timeline();
+        let mut st = ClusterState::new(t.clone());
+        for e in tl.events() {
+            if let EventKind::WorkerFail(g) = e.kind {
+                assert!(st.is_available(g), "{g:?} failed while already down");
+            }
+            st.apply(&e.kind);
+            assert!(st.failed_workers().len() <= 2);
+        }
+    }
+
+    #[test]
+    fn flap_bursts_compile_to_matched_down_restore_pairs() {
+        let plan = FaultPlan {
+            faults: vec![FaultEvent::LinkFlap {
+                server: ServerId(1),
+                down_gbps: 0.5,
+                at: 10.0,
+                period: 2.0,
+                count: 3,
+            }],
+        };
+        let tl = plan.to_timeline();
+        let downs = tl
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::LinkFlapDown(..)))
+            .count();
+        let ups = tl
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::LinkFlapRestore(..)))
+            .count();
+        assert_eq!((downs, ups), (3, 3));
+        // After the full burst the NIC is back at its base rate.
+        let st = ClusterState::at_time(topo(), &tl, 100.0);
+        let base = ClusterState::new(topo());
+        for s in 0..topo().servers.len() {
+            use crate::topology::LinkId;
+            let l = LinkId::Up(ServerId(s));
+            assert!((st.available_capacity(l) - base.available_capacity(l)).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn permanent_failures_never_recover() {
+        let t = topo();
+        let cfg = FaultPlanConfig {
+            mtbf: 20.0,
+            mttr: f64::INFINITY,
+            flap_mtbf: f64::INFINITY,
+            ..FaultPlanConfig::default()
+        };
+        let plan = FaultPlan::generate(&t, &cfg, 500.0, 7);
+        assert!(plan
+            .faults
+            .iter()
+            .all(|f| matches!(f, FaultEvent::WorkerOutage { until: None, .. })));
+        let tl = plan.to_timeline();
+        assert!(!tl
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::WorkerRecover(_))));
+    }
+}

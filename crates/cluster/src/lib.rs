@@ -12,7 +12,10 @@
 //! * max-min fair bandwidth sharing between concurrent flows
 //!   ([`bandwidth`]),
 //! * resource dynamics ([`dynamics`]) — timelines of bandwidth changes and
-//!   background-job arrivals/departures, both scripted and stochastic, and
+//!   background-job arrivals/departures, both scripted and stochastic,
+//! * seeded fault injection ([`faults`]) — fail-stop worker outages
+//!   (MTBF/MTTR) and NIC flap bursts that compile into the same
+//!   timelines, and
 //! * a resource-change detector ([`detector`]) matching AutoPipe's monitor
 //!   component (§4.1 of the paper: "a resource changing detector, which is
 //!   used to monitor the available bandwidth and GPUs").
@@ -23,6 +26,7 @@
 pub mod bandwidth;
 pub mod detector;
 pub mod dynamics;
+pub mod faults;
 pub mod gpu;
 pub mod topology;
 pub mod units;
@@ -33,6 +37,7 @@ pub use dynamics::{
     BackgroundJobGenerator, ClusterState, DiurnalGenerator, EventKind, ResourceEvent,
     ResourceTimeline,
 };
+pub use faults::{FaultEvent, FaultPlan, FaultPlanConfig};
 pub use gpu::{Gpu, GpuId, GpuKind};
 pub use topology::{ClusterTopology, LinkId, Server, ServerId};
 pub use units::{gbps, to_gbps};

@@ -28,6 +28,12 @@ pub struct AutoPipeConfig {
     /// gradually; chaining a few moves per decision reaches the target
     /// configuration with fewer pipeline disturbances).
     pub moves_per_decision: usize,
+    /// Emergency-repair attempts allowed per fault episode before the
+    /// controller gives up (see [`super::retry::RetryPolicy`]).
+    pub retry_max_attempts: u32,
+    /// Base backoff between repair attempts, sim-seconds (doubles per
+    /// attempt, jittered).
+    pub retry_base_delay_seconds: f64,
     /// RNG seed.
     pub seed: u64,
 }
@@ -44,6 +50,8 @@ impl Default for AutoPipeConfig {
             switch_mode: SwitchMode::FineGrained,
             profiler_noise: 0.02,
             moves_per_decision: 4,
+            retry_max_attempts: 5,
+            retry_base_delay_seconds: 2.0,
             seed: 1,
         }
     }

@@ -10,7 +10,7 @@
 //! `ap-bench`, and renderable onto an engine timeline as a chrome-trace
 //! decision lane via [`DecisionJournal::to_trace_events`].
 
-use ap_pipesim::TraceEvent;
+use ap_pipesim::{FaultRecord, TraceEvent};
 
 /// Why a decision point that considered switching chose to keep the
 /// current partition.
@@ -24,6 +24,8 @@ pub enum KeepReason {
     BelowGainFloor,
     /// The arbiter declined the priced switch.
     ArbiterRejected,
+    /// A repair is needed but the retry policy's backoff window is open.
+    RetryBackoff,
 }
 
 impl KeepReason {
@@ -34,6 +36,7 @@ impl KeepReason {
             KeepReason::NoImprovement => "no-improvement",
             KeepReason::BelowGainFloor => "below-gain-floor",
             KeepReason::ArbiterRejected => "arbiter-rejected",
+            KeepReason::RetryBackoff => "retry-backoff",
         }
     }
 }
@@ -111,6 +114,69 @@ pub enum DecisionEvent {
         /// Why.
         reason: KeepReason,
     },
+    /// The current partition names failed workers: the plan is
+    /// *infeasible* (a dead stage replica), not merely degraded, and the
+    /// normal gain-vs-cost gate no longer applies.
+    InfeasibleDetected {
+        /// Failed workers still named by the partition.
+        failed_workers: Vec<usize>,
+    },
+    /// An emergency repartition was applied to evacuate failed workers,
+    /// bypassing the arbiter.
+    EmergencyRepartition {
+        /// Summary of the infeasible partition being replaced.
+        from: String,
+        /// Summary of the repaired partition.
+        to: String,
+        /// Workers evacuated by the repair.
+        dropped: Vec<usize>,
+        /// Which repair attempt this was (1-based).
+        attempt: u32,
+        /// Pipeline pause charged for the repair switch, seconds.
+        pause_seconds: f64,
+    },
+    /// A repair attempt was consumed; the next one waits out a backoff.
+    RetryScheduled {
+        /// The attempt just consumed (1-based).
+        attempt: u32,
+        /// Earliest sim-time the next attempt may start.
+        not_before: f64,
+    },
+    /// The repair attempt budget is spent; the controller stops proposing.
+    RetryExhausted {
+        /// Attempts consumed.
+        attempts: u32,
+    },
+    /// Engine-observed fault: a worker died (fail-stop).
+    WorkerFailed {
+        /// The worker.
+        worker: usize,
+    },
+    /// Engine-observed fault: a failed worker came back.
+    WorkerRecovered {
+        /// The worker.
+        worker: usize,
+    },
+    /// Engine-observed: a death inside the migration window aborted the
+    /// switch; completed copies were unwound in reverse stash-version
+    /// order and the pre-switch partition reinstated.
+    MigrationRolledBack {
+        /// The worker whose death aborted the migration.
+        worker: usize,
+        /// Fraction of the migration window elapsed at the abort.
+        progress: f64,
+        /// Time spent unwinding, seconds.
+        rollback_seconds: f64,
+    },
+    /// Engine-observed: mini-batches stranded by a dead stage were
+    /// restarted from stage 0 (re-done, never lost).
+    UnitsRestarted {
+        /// How many units restarted.
+        count: usize,
+    },
+    /// Engine-observed: a proposed switch was structurally invalid and
+    /// ignored by the engine.
+    SwitchRejected,
 }
 
 impl DecisionEvent {
@@ -124,6 +190,15 @@ impl DecisionEvent {
             DecisionEvent::Verified { .. } => "verified",
             DecisionEvent::Reverted { .. } => "revert",
             DecisionEvent::Kept { .. } => "keep",
+            DecisionEvent::InfeasibleDetected { .. } => "infeasible",
+            DecisionEvent::EmergencyRepartition { .. } => "emergency",
+            DecisionEvent::RetryScheduled { .. } => "retry",
+            DecisionEvent::RetryExhausted { .. } => "retry-exhausted",
+            DecisionEvent::WorkerFailed { .. } => "worker-fail",
+            DecisionEvent::WorkerRecovered { .. } => "worker-recover",
+            DecisionEvent::MigrationRolledBack { .. } => "rollback",
+            DecisionEvent::UnitsRestarted { .. } => "restart",
+            DecisionEvent::SwitchRejected => "switch-rejected",
         }
     }
 }
@@ -271,9 +346,109 @@ impl DecisionJournal {
                     DecisionEvent::Kept { reason } => {
                         ev = ev.arg("reason", reason.label().to_string());
                     }
+                    DecisionEvent::InfeasibleDetected { failed_workers } => {
+                        let ws: Vec<String> =
+                            failed_workers.iter().map(|w| w.to_string()).collect();
+                        ev = ev.arg("failed", ws.join(","));
+                    }
+                    DecisionEvent::EmergencyRepartition {
+                        from,
+                        to,
+                        dropped,
+                        attempt,
+                        pause_seconds,
+                    } => {
+                        ev.dur_seconds = *pause_seconds;
+                        let ws: Vec<String> = dropped.iter().map(|w| w.to_string()).collect();
+                        ev = ev
+                            .arg("from", from.clone())
+                            .arg("to", to.clone())
+                            .arg("dropped", ws.join(","))
+                            .arg("attempt", attempt.to_string())
+                            .arg("pause_s", format!("{pause_seconds:.4}"));
+                    }
+                    DecisionEvent::RetryScheduled {
+                        attempt,
+                        not_before,
+                    } => {
+                        ev = ev
+                            .arg("attempt", attempt.to_string())
+                            .arg("not_before", format!("{not_before:.3}"));
+                    }
+                    DecisionEvent::RetryExhausted { attempts } => {
+                        ev = ev.arg("attempts", attempts.to_string());
+                    }
+                    DecisionEvent::WorkerFailed { worker }
+                    | DecisionEvent::WorkerRecovered { worker } => {
+                        ev = ev.arg("worker", worker.to_string());
+                    }
+                    DecisionEvent::MigrationRolledBack {
+                        worker,
+                        progress,
+                        rollback_seconds,
+                    } => {
+                        ev.dur_seconds = *rollback_seconds;
+                        ev = ev
+                            .arg("worker", worker.to_string())
+                            .arg("progress", format!("{progress:.4}"))
+                            .arg("rollback_s", format!("{rollback_seconds:.4}"));
+                    }
+                    DecisionEvent::UnitsRestarted { count } => {
+                        ev = ev.arg("count", count.to_string());
+                    }
+                    DecisionEvent::SwitchRejected => {}
                 }
                 ev
             })
             .collect()
+    }
+
+    /// Fold the engine's fault log into the journal, time-sorted, so one
+    /// audit trail covers both what the controller decided and what the
+    /// fault machinery actually did. Each fault record is attributed to
+    /// the decision point it landed inside (the latest record at or
+    /// before its time).
+    pub fn merge_engine_faults(&mut self, faults: &[FaultRecord]) {
+        for f in faults {
+            let (time, event) = match f {
+                FaultRecord::WorkerFailed { worker, at } => {
+                    (*at, DecisionEvent::WorkerFailed { worker: worker.0 })
+                }
+                FaultRecord::WorkerRecovered { worker, at } => {
+                    (*at, DecisionEvent::WorkerRecovered { worker: worker.0 })
+                }
+                FaultRecord::MigrationRolledBack {
+                    worker,
+                    at,
+                    progress,
+                    rollback_seconds,
+                } => (
+                    *at,
+                    DecisionEvent::MigrationRolledBack {
+                        worker: worker.0,
+                        progress: *progress,
+                        rollback_seconds: *rollback_seconds,
+                    },
+                ),
+                FaultRecord::UnitsRestarted { count, at } => {
+                    (*at, DecisionEvent::UnitsRestarted { count: *count })
+                }
+                FaultRecord::SwitchRejected { at } => (*at, DecisionEvent::SwitchRejected),
+            };
+            let idx = self.records.partition_point(|r| r.time <= time);
+            let (decision, iteration) = match idx.checked_sub(1).and_then(|i| self.records.get(i)) {
+                Some(prev) => (prev.decision, prev.iteration),
+                None => (0, 0),
+            };
+            self.records.insert(
+                idx,
+                DecisionRecord {
+                    decision,
+                    iteration,
+                    time,
+                    event,
+                },
+            );
+        }
     }
 }

@@ -36,6 +36,7 @@ pub mod journal;
 pub mod observe;
 pub mod optimize;
 pub mod pretrain;
+pub mod retry;
 pub mod scenario;
 pub mod score;
 pub mod stages;
@@ -59,6 +60,7 @@ pub use journal::{DecisionEvent, DecisionJournal, DecisionRecord, KeepReason};
 pub use observe::ProfilerObserver;
 pub use optimize::{hill_climb, refine};
 pub use pretrain::pretrain_meta_net;
+pub use retry::RetryPolicy;
 pub use scenario::{run_dynamic_scenario, run_dynamic_scenario_traced, ScenarioResult};
 pub use score::Scorer;
 pub use stages::{
@@ -88,6 +90,14 @@ pub struct AutoPipeController<'a> {
     verifier: RewardVerifier,
     /// The audit trail of every decision point.
     pub journal: DecisionJournal,
+    /// Paces emergency-repair attempts (bounded, backed off, seeded).
+    retry: retry::RetryPolicy,
+    /// Whether this fault episode's exhaustion was already journaled.
+    retry_exhausted_logged: bool,
+    /// A fault episode ended (worker recovered) before any repair switch
+    /// was applied: the engine's live epoch still excludes the worker, so
+    /// the current partition must be re-applied to rebuild it.
+    reinstate_pending: bool,
     first_decision_done: bool,
     /// Count of approved switches (diagnostics).
     pub switches_applied: usize,
@@ -116,6 +126,14 @@ impl<'a> AutoPipeController<'a> {
             enumerator: MoveEnumerator::new(),
             switcher: SwitchExecutor::new(cfg.switch_mode),
             verifier: RewardVerifier::new(),
+            retry: retry::RetryPolicy::new(
+                cfg.retry_max_attempts,
+                cfg.retry_base_delay_seconds,
+                cfg.retry_base_delay_seconds.max(1e-3) * 64.0,
+                cfg.seed ^ 0x5e7f,
+            ),
+            retry_exhausted_logged: false,
+            reinstate_pending: false,
             cfg,
             scorer,
             arbiter,
@@ -179,10 +197,204 @@ impl<'a> AutoPipeController<'a> {
             ref switcher,
             ref mut verifier,
             ref mut journal,
+            ref mut retry,
+            ref mut retry_exhausted_logged,
+            ref mut reinstate_pending,
             ref mut first_decision_done,
             ref mut switches_applied,
             decisions: _,
         } = *self;
+
+        // — Detect (fault class): a partition that names a failed worker
+        // is *infeasible* — a stage has lost a replica for good — which is
+        // a different class from "degraded". The gain-vs-cost gate does
+        // not apply (the current plan cannot run at all), so the repair
+        // bypasses the arbiter entirely; attempts are paced by the seeded
+        // retry policy so a repair that keeps failing backs off instead
+        // of thrashing.
+        let failed: Vec<GpuId> = partition
+            .all_workers()
+            .iter()
+            .copied()
+            .filter(|g| !state.is_available(*g))
+            .collect();
+        if !failed.is_empty() {
+            journal.record(
+                decision,
+                iteration,
+                now,
+                DecisionEvent::InfeasibleDetected {
+                    failed_workers: failed.iter().map(|g| g.0).collect(),
+                },
+            );
+            if retry.exhausted() {
+                if !*retry_exhausted_logged {
+                    *retry_exhausted_logged = true;
+                    journal.record(
+                        decision,
+                        iteration,
+                        now,
+                        DecisionEvent::RetryExhausted {
+                            attempts: retry.attempts(),
+                        },
+                    );
+                }
+                *reinstate_pending = true;
+                return Decision::Keep;
+            }
+            if !retry.ready(now) {
+                journal.record(
+                    decision,
+                    iteration,
+                    now,
+                    DecisionEvent::Kept {
+                        reason: KeepReason::RetryBackoff,
+                    },
+                );
+                *reinstate_pending = true;
+                return Decision::Keep;
+            }
+            let attempt = retry.attempt(now);
+            journal.record(
+                decision,
+                iteration,
+                now,
+                DecisionEvent::RetryScheduled {
+                    attempt,
+                    not_before: retry.next_allowed(),
+                },
+            );
+            // Greedy evacuation: chain the incremental moves (merges make
+            // a sole dead replica droppable) that shed the most failed
+            // workers, score breaking ties, until none remain.
+            let ctx = ScoreCtx {
+                profile,
+                scheme: cfg.scheme,
+                framework: cfg.framework,
+                schedule: cfg.schedule,
+                history: observer.history(),
+                state,
+            };
+            let dead_count = |p: &Partition| {
+                p.all_workers()
+                    .iter()
+                    .filter(|g| failed.contains(g))
+                    .count()
+            };
+            let mut best = partition.clone();
+            let mut bad = dead_count(&best);
+            for _ in 0..(failed.len() * 4).max(4) {
+                if bad == 0 {
+                    break;
+                }
+                let viable: Vec<Partition> = enumerator
+                    .candidates(&best, profile, &failed)
+                    .into_iter()
+                    .filter(|p| dead_count(p) < bad)
+                    .collect();
+                let Some((_, p)) = scorer.best(&ctx, viable) else {
+                    break;
+                };
+                bad = dead_count(&p);
+                best = p;
+            }
+            if bad > 0 {
+                // The incremental chain stalled — e.g. a dead worker is a
+                // stage's sole replica, so a merge keeps it in the union
+                // and a drop needs two replicas: no single move strictly
+                // reduces the dead count. Fall back to pure data
+                // parallelism over the survivors, which is always
+                // schedulable (the scorer-guided chain stays the primary
+                // path because it preserves pipeline structure).
+                let survivors: Vec<GpuId> = partition
+                    .all_workers()
+                    .iter()
+                    .copied()
+                    .filter(|g| state.is_available(*g))
+                    .collect();
+                if survivors.is_empty() {
+                    journal.record(
+                        decision,
+                        iteration,
+                        now,
+                        DecisionEvent::Kept {
+                            reason: KeepReason::RetryBackoff,
+                        },
+                    );
+                    *reinstate_pending = true;
+                    return Decision::Keep;
+                }
+                best = Partition::single_stage(profile.n_layers(), survivors);
+            }
+            let plan = switcher.plan(partition, &best, profile, cfg.schedule);
+            let pred = scorer.predict(&ctx, &best).max(1e-9);
+            let iter_time = profile.batch as f64 / pred;
+            let pause = switcher.pause_seconds(&plan, iter_time, partition, state);
+            let dropped: Vec<usize> = failed
+                .iter()
+                .filter(|g| !best.all_workers().contains(g))
+                .map(|g| g.0)
+                .collect();
+            journal.record(
+                decision,
+                iteration,
+                now,
+                DecisionEvent::EmergencyRepartition {
+                    from: partition.summary(),
+                    to: best.summary(),
+                    dropped,
+                    attempt,
+                    pause_seconds: pause,
+                },
+            );
+            // A pending verification would revert onto a partition that
+            // may name the dead worker; drop it.
+            verifier.disarm();
+            monitor.reset();
+            *reinstate_pending = false;
+            *first_decision_done = false;
+            *partition = best.clone();
+            *switches_applied += 1;
+            return Decision::Switch {
+                partition: best,
+                pause_seconds: pause,
+            };
+        }
+        // Feasible: any fault episode is over — the next one starts with
+        // a full repair budget.
+        if retry.attempts() > 0 {
+            retry.reset();
+            *retry_exhausted_logged = false;
+        }
+        if *reinstate_pending {
+            // The episode ended with no repair switch applied (the worker
+            // recovered first, or every attempt was held back). The engine
+            // shed the worker from its live epoch when it died and rejoins
+            // it only on a switch, so re-apply the current partition:
+            // zero-cost structurally (nothing moves), and it restarts any
+            // mini-batches the outage stranded.
+            *reinstate_pending = false;
+            journal.record(
+                decision,
+                iteration,
+                now,
+                DecisionEvent::EmergencyRepartition {
+                    from: partition.summary(),
+                    to: partition.summary(),
+                    dropped: Vec::new(),
+                    attempt: 0,
+                    pause_seconds: 0.0,
+                },
+            );
+            verifier.disarm();
+            monitor.reset();
+            *first_decision_done = false;
+            *switches_applied += 1;
+            return Decision::Switch {
+                partition: partition.clone(),
+                pause_seconds: 0.0,
+            };
+        }
 
         // — Verify: judge the previous switch against its realized reward,
         // once the pipeline has had time to settle.

@@ -1,0 +1,136 @@
+//! Deterministic retry policy for failure-repair switches.
+//!
+//! When the cluster leaves the controller's partition infeasible (a worker
+//! died) the controller proposes an emergency repartition. That proposal
+//! can itself fail — the engine may reject it, or another worker may die
+//! while it is in flight — so repair attempts are paced by this policy:
+//! a bounded number of attempts with exponential backoff in *simulated*
+//! time, plus seeded jitter so co-scheduled jobs do not retry in
+//! lockstep. Everything is a pure function of the seed and the attempt
+//! count: replaying a scenario replays the exact same retry schedule.
+
+use ap_rng::Rng;
+
+/// Bounded, exponentially backed-off retry schedule in sim-time seconds.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Attempts allowed before the policy reports exhaustion.
+    max_attempts: u32,
+    /// Backoff base: attempt `n` waits `base * 2^n` seconds (jittered).
+    base_delay: f64,
+    /// Ceiling on any single backoff delay, seconds.
+    max_delay: f64,
+    rng: Rng,
+    attempts: u32,
+    not_before: f64,
+}
+
+impl RetryPolicy {
+    /// A fresh policy. `base_delay` is the wait after the first failed
+    /// attempt; successive waits double, capped at `max_delay`.
+    pub fn new(max_attempts: u32, base_delay: f64, max_delay: f64, seed: u64) -> Self {
+        RetryPolicy {
+            max_attempts,
+            base_delay: base_delay.max(0.0),
+            max_delay: max_delay.max(base_delay.max(0.0)),
+            rng: Rng::stream(seed, 0x7e717),
+            attempts: 0,
+            not_before: 0.0,
+        }
+    }
+
+    /// Whether another attempt may start at sim-time `now`.
+    pub fn ready(&self, now: f64) -> bool {
+        !self.exhausted() && now >= self.not_before
+    }
+
+    /// Whether the attempt budget is spent.
+    pub fn exhausted(&self) -> bool {
+        self.attempts >= self.max_attempts
+    }
+
+    /// Attempts consumed so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Earliest sim-time the next attempt may start.
+    pub fn next_allowed(&self) -> f64 {
+        self.not_before
+    }
+
+    /// Consume one attempt at sim-time `now`; returns its 1-based ordinal
+    /// and schedules the backoff window for the next one. The jitter adds
+    /// up to 50% of the nominal delay, drawn from the seeded stream.
+    pub fn attempt(&mut self, now: f64) -> u32 {
+        let exp = self.attempts.min(30);
+        let nominal = (self.base_delay * f64::from(1u32 << exp)).min(self.max_delay);
+        let jitter = self.rng.gen_range(0.0..0.5);
+        self.attempts += 1;
+        self.not_before = now + nominal * (1.0 + jitter);
+        self.attempts
+    }
+
+    /// Clear the schedule after the fault is repaired (the partition is
+    /// feasible again): future faults start from a full budget.
+    pub fn reset(&mut self) {
+        self.attempts = 0;
+        self.not_before = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let mut p = RetryPolicy::new(10, 1.0, 8.0, 7);
+        let mut prev_delay = 0.0;
+        for i in 0..5 {
+            assert!(p.ready(1000.0 * i as f64));
+            p.attempt(0.0);
+            let delay = p.next_allowed();
+            assert!(
+                delay >= prev_delay,
+                "delay must not shrink: {prev_delay} -> {delay}"
+            );
+            // nominal * 1.5 is the jitter ceiling; cap is 8.0 * 1.5.
+            assert!(delay <= 8.0 * 1.5 + 1e-9);
+            prev_delay = delay;
+        }
+    }
+
+    #[test]
+    fn bounded_attempts_then_exhausted() {
+        let mut p = RetryPolicy::new(3, 0.1, 1.0, 1);
+        for _ in 0..3 {
+            assert!(!p.exhausted());
+            p.attempt(0.0);
+        }
+        assert!(p.exhausted());
+        assert!(!p.ready(f64::INFINITY));
+        p.reset();
+        assert!(p.ready(0.0));
+    }
+
+    #[test]
+    fn not_ready_inside_the_backoff_window() {
+        let mut p = RetryPolicy::new(5, 2.0, 100.0, 3);
+        p.attempt(10.0);
+        assert!(!p.ready(10.0 + 1.9));
+        // Jitter is at most +50%, so 10 + 3 seconds is always past it.
+        assert!(p.ready(10.0 + 3.0 + 1e-9));
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mut a = RetryPolicy::new(6, 1.0, 64.0, 42);
+        let mut b = RetryPolicy::new(6, 1.0, 64.0, 42);
+        for i in 0..6 {
+            a.attempt(i as f64);
+            b.attempt(i as f64);
+            assert_eq!(a.next_allowed().to_bits(), b.next_allowed().to_bits());
+        }
+    }
+}

@@ -136,6 +136,9 @@ fn run_scenario_impl(
     // Simultaneous completions can overshoot the request; trim.
     let mut result = result;
     result.iterations.truncate(n_iterations);
+    // Fold the engine's fault log (failures, recoveries, rollbacks,
+    // restarts) into the journal: one time-sorted audit trail for the run.
+    journal.merge_engine_faults(&result.faults);
     // Per-iteration speeds; completions sharing an instant share the rate
     // measured at the next distinct completion time.
     let mut speed_series = Vec::with_capacity(result.iterations.len());

@@ -195,6 +195,11 @@ pub trait Verify {
 
     /// Tick the post-revert cooldown; `true` while sitting out.
     fn tick_cooldown(&mut self) -> bool;
+
+    /// Drop any pending verification. Emergency repairs call this: the
+    /// pending revert target may name a worker that just died, and
+    /// reinstating it would re-break the job.
+    fn disarm(&mut self) {}
 }
 
 /// The controller's verdict for one decision point.

@@ -401,3 +401,132 @@ fn parallel_scoring_matches_serial_reference() {
         }
     }
 }
+
+#[test]
+fn worker_death_triggers_emergency_evacuation() {
+    let p = profile();
+    let init = initial(&p);
+    let victim = init.stages[0].workers[0];
+    let mut ctrl = AutoPipeController::new(
+        &p,
+        init,
+        Scorer::Analytic,
+        ArbiterMode::Threshold(0.02),
+        AutoPipeConfig::default(),
+    )
+    .expect("valid initial partition");
+    let mut st = ClusterState::new(topo());
+    st.apply(&EventKind::WorkerFail(victim));
+    match ctrl.observe_and_decide_at(&st, None, 0, 0.0) {
+        Decision::Switch { partition, .. } => {
+            assert!(
+                !partition.all_workers().contains(&victim),
+                "evacuation must drop the dead worker: {}",
+                partition.summary()
+            );
+            partition.validate(p.n_layers()).expect("repair is valid");
+        }
+        Decision::Keep => panic!("an infeasible partition must be repaired"),
+    }
+    let has = |f: fn(&DecisionEvent) -> bool| ctrl.journal.records.iter().any(|r| f(&r.event));
+    assert!(has(|e| matches!(
+        e,
+        DecisionEvent::InfeasibleDetected { .. }
+    )));
+    assert!(has(|e| matches!(
+        e,
+        DecisionEvent::EmergencyRepartition { .. }
+    )));
+}
+
+#[test]
+fn evacuation_dead_end_falls_back_to_data_parallel() {
+    // Two single-replica stages: when the last stage's only worker dies,
+    // no incremental move strictly reduces the dead-worker count (merging
+    // keeps the victim in the union, dropping needs a second replica), so
+    // the repair must fall back to pure data parallelism over survivors.
+    let p = profile();
+    let init = Partition {
+        stages: vec![
+            Stage::new(0..8, vec![GpuId(0)]),
+            Stage::new(8..12, vec![GpuId(1)]),
+        ],
+        in_flight: 2,
+    };
+    let mut ctrl = AutoPipeController::new(
+        &p,
+        init,
+        Scorer::Analytic,
+        ArbiterMode::Threshold(0.02),
+        AutoPipeConfig::default(),
+    )
+    .expect("valid initial partition");
+    let mut st = ClusterState::new(topo());
+    st.apply(&EventKind::WorkerFail(GpuId(1)));
+    match ctrl.observe_and_decide_at(&st, None, 0, 0.0) {
+        Decision::Switch { partition, .. } => {
+            assert_eq!(partition.all_workers(), vec![GpuId(0)]);
+            assert_eq!(partition.stages.len(), 1, "{}", partition.summary());
+            partition.validate(p.n_layers()).expect("fallback is valid");
+        }
+        Decision::Keep => panic!("the dead-end must trigger the data-parallel fallback"),
+    }
+}
+
+#[test]
+fn recovery_before_repair_reinstates_current_partition() {
+    let p = profile();
+    let init = initial(&p);
+    let first_victim = init.stages[0].workers[0];
+    let mut cfg = AutoPipeConfig::default();
+    cfg.retry_base_delay_seconds = 10.0; // wide backoff window
+    let mut ctrl = AutoPipeController::new(
+        &p,
+        init,
+        Scorer::Analytic,
+        ArbiterMode::Threshold(0.02),
+        cfg,
+    )
+    .expect("valid initial partition");
+    let mut st = ClusterState::new(topo());
+
+    // First death: repaired by an emergency switch (consumes attempt 1).
+    st.apply(&EventKind::WorkerFail(first_victim));
+    let repaired = match ctrl.observe_and_decide_at(&st, None, 0, 0.0) {
+        Decision::Switch { partition, .. } => partition,
+        Decision::Keep => panic!("first death must be repaired"),
+    };
+    st.apply(&EventKind::WorkerRecover(first_victim));
+
+    // Second death inside the backoff window: the controller must wait
+    // (Keep) and remember the unrepaired episode.
+    let second_victim = repaired.all_workers()[0];
+    st.apply(&EventKind::WorkerFail(second_victim));
+    match ctrl.observe_and_decide_at(&st, None, 5, 0.5) {
+        Decision::Keep => {}
+        Decision::Switch { .. } => panic!("backoff window must gate the second repair"),
+    }
+
+    // The victim recovers before any repair switch was applied: the
+    // engine's live epoch still excludes it, so the controller must
+    // re-apply the current partition (pause 0) to rebuild a full epoch.
+    st.apply(&EventKind::WorkerRecover(second_victim));
+    match ctrl.observe_and_decide_at(&st, None, 10, 1.0) {
+        Decision::Switch {
+            partition,
+            pause_seconds,
+        } => {
+            assert_eq!(
+                partition, ctrl.partition,
+                "reinstate re-applies, not re-plans"
+            );
+            assert_eq!(pause_seconds, 0.0);
+        }
+        Decision::Keep => panic!("recovery with no repair applied must reinstate the epoch"),
+    }
+    // And the reinstate fires once: the next consult is quiet.
+    match ctrl.observe_and_decide_at(&st, None, 15, 1.5) {
+        Decision::Keep => {}
+        Decision::Switch { .. } => panic!("reinstate must not repeat"),
+    }
+}

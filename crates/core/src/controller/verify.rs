@@ -108,4 +108,8 @@ impl Verify for RewardVerifier {
             false
         }
     }
+
+    fn disarm(&mut self) {
+        self.pending = None;
+    }
 }

@@ -24,7 +24,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use ap_cluster::{max_min_fair_rates, ClusterState, Flow, GpuId, ResourceTimeline};
+use ap_cluster::{max_min_fair_rates, ClusterState, EventKind, Flow, GpuId, ResourceTimeline};
 use ap_models::ModelProfile;
 
 use crate::framework::Framework;
@@ -53,6 +53,20 @@ pub enum SimError {
         /// Steps taken before giving up.
         steps: usize,
     },
+    /// A pipeline stage lost every worker to fail-stop failures and no
+    /// repartition restored it: the job cannot continue on the current
+    /// assignment. Controlled runs get a chance to repartition before this
+    /// fires; uncontrolled runs surface it directly.
+    WorkerLost {
+        /// The stage with zero surviving workers (current partition).
+        stage: usize,
+        /// Simulated time at which the loss became terminal.
+        at: f64,
+        /// Mini-batches completed before the loss.
+        done: u64,
+        /// Mini-batches that were requested.
+        target: u64,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -67,6 +81,17 @@ impl std::fmt::Display for SimError {
             }
             SimError::StepBudgetExhausted { steps } => {
                 write!(f, "engine step budget exhausted after {steps} steps")
+            }
+            SimError::WorkerLost {
+                stage,
+                at,
+                done,
+                target,
+            } => {
+                write!(
+                    f,
+                    "stage {stage} lost all workers at t={at} with {done} / {target} iterations done"
+                )
             }
         }
     }
@@ -104,6 +129,60 @@ pub struct TimelineSegment {
     pub end: f64,
 }
 
+/// A fault-path incident the engine handled during a run. These are the
+/// engine-side half of the recovery story: the controller folds them into
+/// its decision journal (and the chrome trace) so every fault, rollback
+/// and restart is auditable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultRecord {
+    /// A worker of this job died fail-stop.
+    WorkerFailed {
+        /// The dead worker.
+        worker: GpuId,
+        /// When it died, seconds.
+        at: f64,
+    },
+    /// A previously failed worker came back (cold — it rejoins the
+    /// pipeline only when a later repartition assigns it work).
+    WorkerRecovered {
+        /// The recovered worker.
+        worker: GpuId,
+        /// When it recovered, seconds.
+        at: f64,
+    },
+    /// A worker involved in an in-progress fine-grained migration died;
+    /// the partial migration was rolled back to the pre-switch partition
+    /// (completed steps revert in reverse stash-version order — the later
+    /// active mini-batch's copy first, the dual of the §4.4 forward
+    /// order).
+    MigrationRolledBack {
+        /// The worker whose death aborted the migration.
+        worker: GpuId,
+        /// When the rollback happened, seconds.
+        at: f64,
+        /// Fraction of the migration window that had elapsed in `[0, 1)`.
+        progress: f64,
+        /// Stall charged to undo the partially copied state.
+        rollback_seconds: f64,
+    },
+    /// In-flight mini-batches stranded by a failure (their pipeline stage
+    /// had no surviving replica) were restarted from stage 0 under the
+    /// current partition — work is re-done, never silently dropped.
+    UnitsRestarted {
+        /// How many mini-batches restarted.
+        count: usize,
+        /// When, seconds.
+        at: f64,
+    },
+    /// The controller proposed a switch the engine could not apply (e.g. a
+    /// partition naming a worker outside the job); the switch was ignored
+    /// rather than panicking mid-run.
+    SwitchRejected {
+        /// When, seconds.
+        at: f64,
+    },
+}
+
 /// Completion record of one mini-batch.
 #[derive(Debug, Clone)]
 pub struct IterationRecord {
@@ -128,6 +207,8 @@ pub struct SimResult {
     pub segments: Vec<TimelineSegment>,
     /// Mean weight staleness observed at stage 0 (async schedules only).
     pub mean_staleness: f64,
+    /// Fault-path incidents handled during the run, in time order.
+    pub faults: Vec<FaultRecord>,
 }
 
 impl SimResult {
@@ -159,10 +240,13 @@ impl SimResult {
                 _ => groups.push((rec.finish, 1)),
             }
         }
+        let (Some(first), Some(last)) = (groups.first(), groups.last()) else {
+            return self.throughput();
+        };
         if groups.len() < 2 {
             return self.throughput();
         }
-        let span = groups.last().unwrap().0 - groups[0].0;
+        let span = last.0 - first.0;
         let counted: usize = groups[1..].iter().map(|&(_, c)| c).sum();
         counted as f64 * self.batch as f64 / span.max(1e-12)
     }
@@ -287,6 +371,10 @@ impl Epoch {
             stage_workers.push(
                 st.workers
                     .iter()
+                    // Invariant: `worker_index` is built from the initial
+                    // partition and `switch_partition` rejects (does not
+                    // apply) any proposal naming a worker outside it, so
+                    // every partition that reaches here resolves fully.
                     .map(|g| *worker_index.get(g).expect("worker set must be preserved"))
                     .collect(),
             );
@@ -307,6 +395,24 @@ impl Epoch {
             stage_bwd_flops: stage_bwd,
         }
     }
+}
+
+/// An in-progress migration window. While the clock is inside it, a
+/// fail-stop death of an affected worker aborts the switch: the completed
+/// migration steps are undone in reverse stash-version order and the
+/// pre-switch partition is reinstated.
+#[derive(Debug, Clone)]
+struct ActiveMigration {
+    /// The pre-switch partition (the rollback target).
+    from: Partition,
+    /// First unit injected under the new (to-be-aborted) epoch.
+    start_unit: u64,
+    /// Window start, seconds.
+    started: f64,
+    /// Window end (start + migration stall), seconds.
+    ends: f64,
+    /// Global worker indices whose assignment the switch changes.
+    affected: Vec<usize>,
 }
 
 /// The simulator.
@@ -349,6 +455,24 @@ pub struct Engine<'a> {
     // Sync-schedule bookkeeping.
     sync_iteration: u64,
     sync_pending_b: u64,
+    // Fault tolerance.
+    /// Per-worker fail-stop flag (index parallel to `workers`).
+    dead: Vec<bool>,
+    /// In-flight units whose pipeline stage lost every replica; they
+    /// restart from stage 0 once a feasible partition is in place.
+    stranded: BTreeSet<u64>,
+    /// Units re-homed onto a later epoch (restarts); overrides the
+    /// injection-time epoch lookup. Epochs are append-only, so stored
+    /// indices stay valid.
+    epoch_override: HashMap<u64, usize>,
+    /// Fault incidents, in time order.
+    fault_log: Vec<FaultRecord>,
+    /// The migration window currently vulnerable to mid-switch failure.
+    active_migration: Option<ActiveMigration>,
+    /// A fault was applied since the controller last ran; controlled runs
+    /// consult the controller immediately instead of waiting for the
+    /// completion cadence.
+    fault_consult: bool,
 }
 
 impl<'a> Engine<'a> {
@@ -407,6 +531,12 @@ impl<'a> Engine<'a> {
             iterations: Vec::new(),
             sync_iteration: 0,
             sync_pending_b: 0,
+            dead: vec![false; n_workers],
+            stranded: BTreeSet::new(),
+            epoch_override: HashMap::new(),
+            fault_log: Vec::new(),
+            active_migration: None,
+            fault_consult: false,
         })
     }
 
@@ -418,8 +548,16 @@ impl<'a> Engine<'a> {
         self.epochs.last().expect("at least the initial epoch")
     }
 
-    /// The partition regime a unit was injected under.
+    /// The partition regime a unit runs under: its injection-time epoch,
+    /// unless a fault restarted it onto a later one.
+    ///
+    /// Invariant: `epochs[0].start_unit == 0` and epochs are append-only,
+    /// so the reverse scan always finds a regime and stored override
+    /// indices never dangle.
     fn epoch_for(&self, unit: u64) -> &Epoch {
+        if let Some(&i) = self.epoch_override.get(&unit) {
+            return &self.epochs[i];
+        }
         self.epochs
             .iter()
             .rev()
@@ -427,10 +565,14 @@ impl<'a> Engine<'a> {
             .expect("epoch 0 starts at unit 0")
     }
 
-    /// Replica (global worker index) owning `unit` in `stage`.
-    fn owner(&self, unit: u64, stage: usize) -> usize {
+    /// Replica (global worker index) owning `unit` in `stage`, or `None`
+    /// when the stage has no surviving replica under the unit's epoch.
+    fn try_owner(&self, unit: u64, stage: usize) -> Option<usize> {
         let replicas = &self.epoch_for(unit).stage_workers[stage];
-        replicas[(unit % replicas.len() as u64) as usize]
+        if replicas.is_empty() {
+            return None;
+        }
+        Some(replicas[(unit % replicas.len() as u64) as usize])
     }
 
     fn compute_rate(&self, worker: usize) -> f64 {
@@ -505,7 +647,12 @@ impl<'a> Engine<'a> {
     }
 
     fn mark_ready(&mut self, task: Task) {
-        let w = self.owner(task.unit, task.stage);
+        let Some(w) = self.try_owner(task.unit, task.stage) else {
+            // The stage has no surviving replica: the unit is stranded and
+            // will restart from stage 0 once a feasible partition exists.
+            self.strand_unit(task.unit);
+            return;
+        };
         let pri = if task.kind == WorkKind::Backward {
             0
         } else {
@@ -514,8 +661,22 @@ impl<'a> Engine<'a> {
         self.ready[w].insert((pri, task.unit, task.stage));
     }
 
+    /// `true` while every stage of the current partition has a surviving
+    /// replica (new work can flow end to end).
+    fn current_epoch_feasible(&self) -> bool {
+        self.current_epoch()
+            .stage_workers
+            .iter()
+            .all(|r| !r.is_empty())
+    }
+
     /// Inject new units while the schedule admits them.
     fn inject(&mut self) {
+        // A stage with zero survivors blocks the pipe; injecting would
+        // only strand more units. Wait for a repartition.
+        if !self.current_epoch_feasible() {
+            return;
+        }
         if self.cfg.schedule.is_async() {
             let in_flight = self.current_epoch().partition.in_flight as u64;
             while self.injected - self.completed_units < in_flight {
@@ -552,7 +713,7 @@ impl<'a> Engine<'a> {
     /// Give idle workers their best ready task (1F1B: backward first).
     fn dispatch(&mut self) {
         for w in 0..self.workers.len() {
-            if self.worker_busy_flag[w] || self.now < self.ready_after[w] - 1e-9 {
+            if self.dead[w] || self.worker_busy_flag[w] || self.now < self.ready_after[w] - 1e-9 {
                 continue;
             }
             // 1F1B order (backward first); GPipe instead drains every
@@ -617,7 +778,10 @@ impl<'a> Engine<'a> {
 
     /// Launch the transfer that feeds `unlocks` from `from_worker`.
     fn launch_transfer(&mut self, from_worker: usize, unlocks: Task, bytes: f64) {
-        let to_worker = self.owner(unlocks.unit, unlocks.stage);
+        let Some(to_worker) = self.try_owner(unlocks.unit, unlocks.stage) else {
+            self.strand_unit(unlocks.unit);
+            return;
+        };
         let links = self
             .state
             .topology
@@ -776,6 +940,17 @@ impl<'a> Engine<'a> {
         let mut steps = 0usize;
         while self.done_count() < target {
             steps += 1;
+            // A fault (failure or recovery) consults the controller out of
+            // band: an emergency repartition cannot wait for the next
+            // completion milestone — completions may never come.
+            if self.fault_consult {
+                self.fault_consult = false;
+                if let Some((partition, stall, global_stall)) =
+                    control(&self.state, self.done_count(), self.now, None)
+                {
+                    self.switch_partition(partition, stall, global_stall);
+                }
+            }
             self.tick(steps, target)?;
             if self.done_count() >= next_check && self.done_count() < target {
                 next_check = self.done_count() + check;
@@ -794,11 +969,24 @@ impl<'a> Engine<'a> {
         Ok(self.finish())
     }
 
-    /// Apply a new partition live (same worker set, same stage count).
+    /// Apply a new partition live.
+    ///
+    /// A structurally invalid proposal or one naming a worker outside the
+    /// job is rejected (recorded as [`FaultRecord::SwitchRejected`]) rather
+    /// than panicking mid-run: fault-path controllers synthesize emergency
+    /// partitions, and the engine is the last line of defense.
     fn switch_partition(&mut self, new: Partition, stall: f64, global_stall: bool) {
-        // Internal invariant: controllers only propose partitions derived
-        // from valid ones via structure-preserving moves.
         debug_assert!(new.validate(self.profile.n_layers()).is_ok());
+        if new.validate(self.profile.n_layers()).is_err()
+            || new
+                .all_workers()
+                .iter()
+                .any(|g| !self.worker_index.contains_key(g))
+        {
+            self.fault_log
+                .push(FaultRecord::SwitchRejected { at: self.now });
+            return;
+        }
         let old = self.current_epoch().partition.clone();
         // Stage counts may differ (merge/split moves); in-flight units keep
         // their own epoch's stage indices, so only the per-stage version
@@ -810,9 +998,11 @@ impl<'a> Engine<'a> {
         // Freeze the workers whose assignment changes for the migration
         // stall (two workers for AutoPipe's incremental moves); a
         // stop-and-restart switch freezes everyone.
+        let mut affected: Vec<usize> = Vec::new();
         if global_stall {
             for w in 0..self.workers.len() {
                 self.ready_after[w] = self.ready_after[w].max(self.now + stall);
+                affected.push(w);
             }
         } else {
             // Freeze every worker whose layer assignment changed.
@@ -826,27 +1016,35 @@ impl<'a> Engine<'a> {
                 if assigned(&old) != assigned(&new) {
                     if let Some(&w) = self.worker_index.get(g) {
                         self.ready_after[w] = self.ready_after[w].max(self.now + stall);
+                        affected.push(w);
                     }
                 }
             }
         }
-        let epoch = Epoch::build(
-            new,
-            self.profile,
-            self.micro,
-            self.cfg.schedule.recompute_factor(),
-            &self.worker_index,
-            self.injected,
-        );
+        let epoch = self.build_epoch(new, self.injected);
         self.epochs.push(epoch);
         if stall > 0.0 {
+            // While the migration is in flight, a death of an affected
+            // worker aborts and rolls back the switch.
+            self.active_migration = Some(ActiveMigration {
+                from: old,
+                start_unit: self.injected,
+                started: self.now,
+                ends: self.now + stall,
+                affected,
+            });
             self.activities.push(Activity::Timer {
                 remaining_seconds: stall,
             });
         }
-        // Re-home queued (not yet started) tasks onto the owners their
-        // epoch dictates — queued tasks keep their original epoch, so only
-        // bookkeeping position changes, not semantics.
+        self.rehome_ready();
+        self.try_restart_stranded();
+    }
+
+    /// Re-home queued (not yet started) tasks onto the owners their epoch
+    /// dictates — queued tasks keep their original epoch, so only
+    /// bookkeeping position changes, not semantics.
+    fn rehome_ready(&mut self) {
         let queued: Vec<(u8, u64, usize)> =
             self.ready.iter().flat_map(|s| s.iter().copied()).collect();
         for r in &mut self.ready {
@@ -862,12 +1060,211 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Build an epoch for `partition`, shedding currently dead workers
+    /// from its replica sets (the partition may still *name* them — e.g. a
+    /// rollback target — but no work is ever scheduled on a dead worker).
+    fn build_epoch(&self, partition: Partition, start_unit: u64) -> Epoch {
+        let mut e = Epoch::build(
+            partition,
+            self.profile,
+            self.micro,
+            self.cfg.schedule.recompute_factor(),
+            &self.worker_index,
+            start_unit,
+        );
+        for reps in &mut e.stage_workers {
+            reps.retain(|&w| !self.dead[w]);
+        }
+        e
+    }
+
+    /// Mark `unit` stranded and purge its in-flight state: queued tasks,
+    /// feeding transfers, a running compute, and stashed forward versions.
+    /// The unit's id stays live — it restarts from stage 0 later, so no
+    /// mini-batch is ever silently dropped.
+    fn strand_unit(&mut self, unit: u64) {
+        self.stranded.insert(unit);
+        for r in &mut self.ready {
+            let stale: Vec<(u8, u64, usize)> =
+                r.iter().copied().filter(|&(_, u, _)| u == unit).collect();
+            for k in stale {
+                r.remove(&k);
+            }
+        }
+        let mut i = 0;
+        while i < self.activities.len() {
+            let drop = match &self.activities[i] {
+                Activity::Transfer {
+                    unlocks: Unlock::Task(t),
+                    ..
+                } => t.unit == unit,
+                Activity::Compute { task, .. } => task.unit == unit,
+                _ => false,
+            };
+            if drop {
+                if let Activity::Compute { worker, .. } = self.activities.swap_remove(i) {
+                    self.worker_busy_flag[worker] = false;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        self.fwd_versions.retain(|&(u, _), _| u != unit);
+    }
+
+    /// Restart stranded units from stage 0 under the current partition
+    /// once it is feasible again. Their partial work is discarded —
+    /// re-done, never lost.
+    fn try_restart_stranded(&mut self) {
+        if self.stranded.is_empty() || !self.current_epoch_feasible() {
+            return;
+        }
+        let units: Vec<u64> = std::mem::take(&mut self.stranded).into_iter().collect();
+        let idx = self.epochs.len() - 1;
+        let count = units.len();
+        for u in units {
+            self.epoch_override.insert(u, idx);
+            self.mark_ready(Task {
+                unit: u,
+                stage: 0,
+                kind: WorkKind::Forward,
+            });
+        }
+        self.fault_log.push(FaultRecord::UnitsRestarted {
+            count,
+            at: self.now,
+        });
+    }
+
+    /// Handle a fail-stop death of `g`: roll back a vulnerable in-flight
+    /// migration, shed the worker from every partition regime, abort and
+    /// requeue its work, and strand units whose stage lost its last
+    /// replica.
+    fn fail_worker(&mut self, g: GpuId) {
+        let Some(&w) = self.worker_index.get(&g) else {
+            return; // not one of this job's workers
+        };
+        if self.dead[w] {
+            return;
+        }
+        self.dead[w] = true;
+        self.fault_log.push(FaultRecord::WorkerFailed {
+            worker: g,
+            at: self.now,
+        });
+        self.fault_consult = true;
+        // Mid-migration death of an affected worker aborts the switch
+        // first, so the shedding below operates on the reinstated
+        // pre-switch partition.
+        if let Some(m) = self.active_migration.clone() {
+            if self.now < m.ends - 1e-9 {
+                if m.affected.contains(&w) {
+                    self.rollback_migration(&m, g);
+                }
+            } else {
+                self.active_migration = None;
+            }
+        }
+        // Shed the worker from every regime's replica sets.
+        for e in &mut self.epochs {
+            for reps in &mut e.stage_workers {
+                reps.retain(|&r| r != w);
+            }
+        }
+        // Abort its running compute (that work is lost) and requeue the
+        // task; queued tasks re-home onto surviving replicas (or strand).
+        let mut requeue: Vec<Task> = Vec::new();
+        let mut i = 0;
+        while i < self.activities.len() {
+            let aborts =
+                matches!(&self.activities[i], Activity::Compute { worker, .. } if *worker == w);
+            if aborts {
+                if let Activity::Compute { task, .. } = self.activities.swap_remove(i) {
+                    requeue.push(task);
+                }
+            } else {
+                i += 1;
+            }
+        }
+        self.worker_busy_flag[w] = false;
+        self.sync_busy[w] = false;
+        let queued: Vec<(u8, u64, usize)> = self.ready[w].iter().copied().collect();
+        self.ready[w].clear();
+        for (pri, unit, stage) in queued {
+            let kind = if pri == 0 {
+                WorkKind::Backward
+            } else {
+                WorkKind::Forward
+            };
+            requeue.push(Task { unit, stage, kind });
+        }
+        for t in requeue {
+            self.mark_ready(t);
+        }
+    }
+
+    /// A failed worker comes back. It rejoins cold: no epoch references it
+    /// until a later switch assigns it layers, so recovery alone never
+    /// perturbs the running pipeline.
+    fn recover_worker(&mut self, g: GpuId) {
+        let Some(&w) = self.worker_index.get(&g) else {
+            return;
+        };
+        if !self.dead[w] {
+            return;
+        }
+        self.dead[w] = false;
+        self.fault_log.push(FaultRecord::WorkerRecovered {
+            worker: g,
+            at: self.now,
+        });
+        self.fault_consult = true;
+    }
+
+    /// Undo a partial fine-grained migration after `victim` died inside
+    /// the window. Completed steps revert in reverse stash-version order —
+    /// within each moved layer the later active mini-batch's copy reverts
+    /// first, the dual of the §4.4 forward order — which costs about as
+    /// long as the partial copies took to make. The pre-switch partition
+    /// is reinstated for the aborted epoch's units by shadowing it.
+    fn rollback_migration(&mut self, m: &ActiveMigration, victim: GpuId) {
+        self.active_migration = None;
+        let progress = ((self.now - m.started) / (m.ends - m.started).max(1e-12)).clamp(0.0, 1.0);
+        let rollback = (self.now - m.started).max(0.0);
+        // Shadow the aborted epoch: a fresh regime with the pre-switch
+        // partition at the same start unit wins the reverse scan for every
+        // unit injected under the aborted one.
+        let revert = self.build_epoch(m.from.clone(), m.start_unit);
+        self.epochs.push(revert);
+        // The aborted switch froze the affected workers until `m.ends`;
+        // that freeze is void now — they are busy only for the rollback
+        // copies, which take about as long as the partial forward copies
+        // did. Override, don't max: the migration this freeze served no
+        // longer exists.
+        for &w in &m.affected {
+            self.ready_after[w] = self.now + rollback;
+        }
+        if rollback > 0.0 {
+            self.activities.push(Activity::Timer {
+                remaining_seconds: rollback,
+            });
+        }
+        self.fault_log.push(FaultRecord::MigrationRolledBack {
+            worker: victim,
+            at: self.now,
+            progress,
+            rollback_seconds: rollback,
+        });
+        self.rehome_ready();
+    }
+
     /// One simulation step: inject, dispatch, advance to the next event.
     fn tick(&mut self, steps: usize, target: u64) -> Result<(), SimError> {
         const MAX_STEPS: usize = 50_000_000;
         if steps >= MAX_STEPS {
             return Err(SimError::StepBudgetExhausted { steps });
         }
+        self.try_restart_stranded();
         self.inject();
         self.dispatch();
         if self.activities.is_empty() {
@@ -878,11 +1275,26 @@ impl<'a> Engine<'a> {
                     return Ok(());
                 }
                 None => {
+                    // Distinguish "a stage has no survivors" (worker loss
+                    // nobody repaired) from a structural deadlock.
+                    if let Some(stage) = self
+                        .current_epoch()
+                        .stage_workers
+                        .iter()
+                        .position(|r| r.is_empty())
+                    {
+                        return Err(SimError::WorkerLost {
+                            stage,
+                            at: self.now,
+                            done: self.done_count(),
+                            target,
+                        });
+                    }
                     return Err(SimError::Deadlock {
                         at: self.now,
                         done: self.done_count(),
                         target,
-                    })
+                    });
                 }
             }
         }
@@ -896,7 +1308,7 @@ impl<'a> Engine<'a> {
                     worker,
                     remaining_flops,
                     ..
-                } => remaining_flops / self.compute_rate(*worker),
+                } => remaining_flops / self.compute_rate(*worker).max(1e-6),
                 Activity::Transfer {
                     remaining_bytes, ..
                 } => remaining_bytes / rates[ti].max(1e-3),
@@ -911,7 +1323,14 @@ impl<'a> Engine<'a> {
                 t_done = dt;
             }
         }
-        let t_complete = self.now + t_done.max(0.0);
+        let mut t_complete = self.now + t_done.max(0.0);
+        // At large `now` a nearly-drained activity can need a dt below the
+        // f64 resolution of the clock (`now + dt == now`), which would stall
+        // time forever. Nudge to the next representable instant so the
+        // activity keeps draining and eventually collects.
+        if t_complete == self.now && t_done > 0.0 {
+            t_complete = f64::from_bits(self.now.to_bits() + 1);
+        }
         // A resource event may land first.
         let t_next = match self.resources.next_event_after(self.res_cursor) {
             Some(te) if te < t_complete => te,
@@ -933,6 +1352,7 @@ impl<'a> Engine<'a> {
             } else {
                 0.0
             },
+            faults: std::mem::take(&mut self.fault_log),
         }
     }
 
@@ -984,8 +1404,20 @@ impl<'a> Engine<'a> {
             .collect();
         for k in &events {
             self.state.apply(k);
+            match k {
+                EventKind::WorkerFail(g) => self.fail_worker(*g),
+                EventKind::WorkerRecover(g) => self.recover_worker(*g),
+                _ => {}
+            }
         }
         self.res_cursor = self.res_cursor.max(t);
+        // A migration window that elapsed without incident is no longer
+        // vulnerable to rollback.
+        if let Some(m) = &self.active_migration {
+            if self.now >= m.ends - 1e-9 {
+                self.active_migration = None;
+            }
+        }
 
         // Collect completions. Tolerances absorb float drain error: one
         // FLOP / one byte / a nanosecond are all far below model scale.
@@ -1306,6 +1738,287 @@ mod tests {
             tail > 1.3 * head,
             "live switch should speed the tail: {head:.1} -> {tail:.1}"
         );
+    }
+
+    #[test]
+    fn replicated_stage_survives_one_replica_failing() {
+        // Stage 0 is 2-way replicated; killing one replica mid-run re-homes
+        // its work onto the survivor and every mini-batch still completes.
+        let topo = ClusterTopology::single_switch(3, 1, GpuKind::P100, 100.0);
+        let model = synthetic_uniform(8, 2e9, 4e6, 8e6);
+        let profile = ModelProfile::with_batch(&model, 32);
+        let partition = Partition {
+            stages: vec![
+                Stage::new(0..4, vec![GpuId(0), GpuId(1)]),
+                Stage::new(4..8, vec![GpuId(2)]),
+            ],
+            in_flight: 3,
+        };
+        let mut tl = ResourceTimeline::empty();
+        tl.push(2.0, EventKind::WorkerFail(GpuId(1)));
+        let r = Engine::new(
+            &profile,
+            partition,
+            ClusterState::new(topo),
+            tl,
+            EngineConfig::default(),
+        )
+        .expect("valid")
+        .run(30)
+        .expect("survives replica loss");
+        let mut ids: Vec<u64> = r.iterations.iter().map(|i| i.iteration).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..30).collect::<Vec<u64>>(), "no mini-batch lost");
+        assert!(r
+            .faults
+            .iter()
+            .any(|f| matches!(f, FaultRecord::WorkerFailed { worker, .. } if *worker == GpuId(1))));
+    }
+
+    #[test]
+    fn sole_worker_loss_is_a_typed_error_not_a_wedge() {
+        let topo = ClusterTopology::single_switch(2, 1, GpuKind::P100, 100.0);
+        let model = synthetic_uniform(8, 2e9, 4e6, 8e6);
+        let profile = ModelProfile::with_batch(&model, 32);
+        let partition = Partition {
+            stages: vec![
+                Stage::new(0..4, vec![GpuId(0)]),
+                Stage::new(4..8, vec![GpuId(1)]),
+            ],
+            in_flight: 2,
+        };
+        let mut tl = ResourceTimeline::empty();
+        tl.push(1.0, EventKind::WorkerFail(GpuId(1)));
+        let err = Engine::new(
+            &profile,
+            partition,
+            ClusterState::new(topo),
+            tl,
+            EngineConfig::default(),
+        )
+        .expect("valid")
+        .run(1000)
+        .expect_err("an unrepaired stage loss must error");
+        assert!(
+            matches!(err, SimError::WorkerLost { stage: 1, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn controlled_run_repartitions_around_a_dead_worker() {
+        let topo = ClusterTopology::single_switch(2, 1, GpuKind::P100, 100.0);
+        let model = synthetic_uniform(8, 2e9, 4e6, 8e6);
+        let profile = ModelProfile::with_batch(&model, 32);
+        let partition = Partition {
+            stages: vec![
+                Stage::new(0..4, vec![GpuId(0)]),
+                Stage::new(4..8, vec![GpuId(1)]),
+            ],
+            in_flight: 2,
+        };
+        let solo = Partition {
+            stages: vec![Stage::new(0..8, vec![GpuId(0)])],
+            in_flight: 1,
+        };
+        let mut tl = ResourceTimeline::empty();
+        tl.push(1.5, EventKind::WorkerFail(GpuId(1)));
+        let mut emergencies = 0;
+        let r = Engine::new(
+            &profile,
+            partition,
+            ClusterState::new(topo),
+            tl,
+            EngineConfig::default(),
+        )
+        .expect("valid")
+        .run_controlled(30, 5, |state, _, _, _| {
+            if state.failed_workers().contains(&GpuId(1)) && emergencies == 0 {
+                emergencies += 1;
+                Some((solo.clone(), 0.01, false))
+            } else {
+                None
+            }
+        })
+        .expect("emergency repartition must save the run");
+        assert_eq!(emergencies, 1, "fault consult must fire out of band");
+        let mut ids: Vec<u64> = r.iterations.iter().map(|i| i.iteration).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..30).collect::<Vec<u64>>(), "no mini-batch lost");
+        // Units stranded at the dead stage were restarted, not dropped.
+        assert!(r
+            .faults
+            .iter()
+            .any(|f| matches!(f, FaultRecord::UnitsRestarted { count, .. } if *count > 0)));
+    }
+
+    #[test]
+    fn mid_migration_failure_rolls_back_and_recovers() {
+        let topo = ClusterTopology::single_switch(2, 1, GpuKind::P100, 100.0);
+        let model = synthetic_uniform(8, 2e9, 1e5, 1e6);
+        let profile = ModelProfile::with_batch(&model, 32);
+        let lopsided = Partition {
+            stages: vec![
+                Stage::new(0..1, vec![GpuId(0)]),
+                Stage::new(1..8, vec![GpuId(1)]),
+            ],
+            in_flight: 4,
+        };
+        let balanced = Partition {
+            stages: vec![
+                Stage::new(0..4, vec![GpuId(0)]),
+                Stage::new(4..8, vec![GpuId(1)]),
+            ],
+            in_flight: 4,
+        };
+        let solo = Partition {
+            stages: vec![Stage::new(0..8, vec![GpuId(0)])],
+            in_flight: 1,
+        };
+        // GpuId(1) dies at t=50, long before the (enormous) migration
+        // window closes — the switch must roll back, then the emergency
+        // repartition onto GpuId(0) saves the run.
+        let mut tl = ResourceTimeline::empty();
+        tl.push(50.0, EventKind::WorkerFail(GpuId(1)));
+        let mut phase = 0;
+        let r = Engine::new(
+            &profile,
+            lopsided,
+            ClusterState::new(topo),
+            tl,
+            EngineConfig::default(),
+        )
+        .expect("valid")
+        .run_controlled(40, 4, |state, _, _, _| {
+            if state.failed_workers().contains(&GpuId(1)) {
+                if phase < 2 {
+                    phase = 2;
+                    return Some((solo.clone(), 0.01, false));
+                }
+                return None;
+            }
+            if phase == 0 {
+                phase = 1;
+                // A migration "in flight" for a very long time: both
+                // workers' assignments change, so both are vulnerable.
+                return Some((balanced.clone(), 1e6, false));
+            }
+            None
+        })
+        .expect("rollback + emergency repartition must save the run");
+        assert_eq!(phase, 2);
+        let rolled: Vec<_> = r
+            .faults
+            .iter()
+            .filter(|f| matches!(f, FaultRecord::MigrationRolledBack { .. }))
+            .collect();
+        assert_eq!(rolled.len(), 1, "exactly one rollback: {:?}", r.faults);
+        if let FaultRecord::MigrationRolledBack {
+            worker, progress, ..
+        } = rolled[0]
+        {
+            assert_eq!(*worker, GpuId(1));
+            assert!((0.0..1.0).contains(progress));
+        }
+        let mut ids: Vec<u64> = r.iterations.iter().map(|i| i.iteration).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..40).collect::<Vec<u64>>(), "no mini-batch lost");
+    }
+
+    #[test]
+    fn switch_naming_an_unknown_worker_is_rejected_not_a_panic() {
+        let topo = ClusterTopology::single_switch(3, 1, GpuKind::P100, 100.0);
+        let model = synthetic_uniform(8, 2e9, 4e6, 8e6);
+        let profile = ModelProfile::with_batch(&model, 32);
+        let partition = Partition {
+            stages: vec![
+                Stage::new(0..4, vec![GpuId(0)]),
+                Stage::new(4..8, vec![GpuId(1)]),
+            ],
+            in_flight: 2,
+        };
+        // GpuId(2) exists in the cluster but is not part of this job.
+        let bogus = Partition {
+            stages: vec![
+                Stage::new(0..4, vec![GpuId(0)]),
+                Stage::new(4..8, vec![GpuId(2)]),
+            ],
+            in_flight: 2,
+        };
+        let mut asked = false;
+        let r = Engine::new(
+            &profile,
+            partition,
+            ClusterState::new(topo),
+            ResourceTimeline::empty(),
+            EngineConfig::default(),
+        )
+        .expect("valid")
+        .run_controlled(20, 5, |_, _, _, _| {
+            if asked {
+                None
+            } else {
+                asked = true;
+                Some((bogus.clone(), 0.01, false))
+            }
+        })
+        .expect("rejected switch must not sink the run");
+        assert!(r
+            .faults
+            .iter()
+            .any(|f| matches!(f, FaultRecord::SwitchRejected { .. })));
+        assert_eq!(r.iterations.len(), 20);
+    }
+
+    #[test]
+    fn recovered_worker_rejoins_on_the_next_switch() {
+        let topo = ClusterTopology::single_switch(2, 1, GpuKind::P100, 100.0);
+        let model = synthetic_uniform(8, 2e9, 4e6, 8e6);
+        let profile = ModelProfile::with_batch(&model, 32);
+        let two = Partition {
+            stages: vec![
+                Stage::new(0..4, vec![GpuId(0)]),
+                Stage::new(4..8, vec![GpuId(1)]),
+            ],
+            in_flight: 2,
+        };
+        let solo = Partition {
+            stages: vec![Stage::new(0..8, vec![GpuId(0)])],
+            in_flight: 1,
+        };
+        let mut tl = ResourceTimeline::empty();
+        tl.push(1.0, EventKind::WorkerFail(GpuId(1)));
+        tl.push(6.0, EventKind::WorkerRecover(GpuId(1)));
+        let mut went_solo = false;
+        let mut back = false;
+        let r = Engine::new(
+            &profile,
+            two.clone(),
+            ClusterState::new(topo),
+            tl,
+            EngineConfig::default(),
+        )
+        .expect("valid")
+        .run_controlled(60, 5, |state, _, _, _| {
+            if !state.is_available(GpuId(1)) {
+                if !went_solo {
+                    went_solo = true;
+                    return Some((solo.clone(), 0.01, false));
+                }
+                return None;
+            }
+            if went_solo && !back {
+                back = true;
+                return Some((two.clone(), 0.01, false));
+            }
+            None
+        })
+        .expect("recovery round trip");
+        assert!(back, "controller must see the recovery");
+        assert!(r.faults.iter().any(
+            |f| matches!(f, FaultRecord::WorkerRecovered { worker, .. } if *worker == GpuId(1))
+        ));
+        assert_eq!(r.iterations.len(), 60);
     }
 
     #[test]

@@ -38,12 +38,16 @@ pub mod trace;
 pub use analytic::AnalyticModel;
 pub use convergence::{accuracy_curve, ConvergenceModel, Paradigm};
 pub use engine::{
-    Engine, EngineConfig, IterationRecord, SimError, SimResult, TimelineSegment, WorkKind,
+    Engine, EngineConfig, FaultRecord, IterationRecord, SimError, SimResult, TimelineSegment,
+    WorkKind,
 };
 pub use framework::Framework;
 pub use memory::{cap_in_flight, estimate as estimate_memory, max_in_flight, MemoryEstimate};
 pub use partition::{Partition, PartitionError, Stage};
 pub use schedule::ScheduleKind;
-pub use switching::{fine_grained_cost, stop_restart_cost, MigrationStep, SwitchPlan};
+pub use switching::{
+    abort_recovery_cost, abort_rollback_cost, fine_grained_cost, stop_restart_cost, MigrationStep,
+    SwitchPlan,
+};
 pub use sync::SyncScheme;
 pub use trace::{to_chrome_trace, to_chrome_trace_with_events, TraceEvent};

@@ -62,6 +62,9 @@ impl SwitchPlan {
         let mut bytes = 0.0;
         let mut affected = std::collections::BTreeSet::new();
         for layer in 0..n_layers {
+            // Invariant: a partition that passes `validate(n_layers)` covers
+            // `0..n_layers` with no gaps (PartitionError::{Gap, Coverage}
+            // otherwise), so every layer resolves to a stage.
             let so = old.stage_of_layer(layer).expect("old covers model");
             let sn = new.stage_of_layer(layer).expect("new covers model");
             let wo = &old.stages[so].workers;
@@ -100,6 +103,32 @@ impl SwitchPlan {
             }
         }
         steps
+    }
+
+    /// The rollback order when a migration aborts (a source or destination
+    /// worker fails) after `completed` steps of
+    /// [`SwitchPlan::migration_order`] have executed: the dual of the §4.4
+    /// forward order. Touched layers revert in *reverse* migration order
+    /// (the most recently started layer first, unwinding the pipeline from
+    /// the point of failure back), and within each layer the later active
+    /// mini-batch's copy reverts first — exactly as it moved, so the stash
+    /// versions the draining mini-batches need soonest are restored first.
+    pub fn rollback_order(&self, completed: usize) -> Vec<MigrationStep> {
+        let steps = self.migration_order();
+        let done = &steps[..completed.min(steps.len())];
+        let mut layers: Vec<usize> = Vec::new();
+        for s in done {
+            if layers.last() != Some(&s.layer) {
+                layers.push(s.layer);
+            }
+        }
+        let mut out = Vec::with_capacity(done.len());
+        for &layer in layers.iter().rev() {
+            // The completed prefix already lists each layer's versions in
+            // descending order (later active mini-batch first).
+            out.extend(done.iter().filter(|s| s.layer == layer).copied());
+        }
+        out
     }
 
     /// Seconds to push the weights over the network and PCIe.
@@ -161,6 +190,44 @@ pub fn fine_grained_cost(
     // iteration, not a full pipeline refill.
     let reprime = iteration_time / partition.n_stages() as f64;
     stall + reprime + PER_LAYER_CALL_OVERHEAD * plan.moved_layers.len() as f64
+}
+
+/// Cost of aborting a fine-grained migration `progress` (in `[0, 1]`) of
+/// the way through and rolling it back: the copies made so far move back
+/// over the same links, the already-touched layers pay their call overhead
+/// again, and the affected workers re-prime once.
+pub fn abort_rollback_cost(
+    plan: &SwitchPlan,
+    iteration_time: f64,
+    partition: &Partition,
+    state: &ClusterState,
+    progress: f64,
+) -> f64 {
+    if plan.is_noop() {
+        return 0.0;
+    }
+    let p = progress.clamp(0.0, 1.0);
+    let undo = p * plan.raw_transfer_time(state);
+    let touched = (p * plan.moved_layers.len() as f64).ceil();
+    let reprime = iteration_time / partition.n_stages() as f64;
+    undo + reprime + PER_LAYER_CALL_OVERHEAD * touched
+}
+
+/// Price of recovering from a mid-migration failure: the cheaper of
+/// rolling the partial migration back ([`abort_rollback_cost`]) and
+/// abandoning fine-grained switching for a stop-restart from wherever the
+/// migration stopped ([`stop_restart_cost`]). Both outcomes are priced so
+/// the controller's retry policy can reason about the worst case.
+pub fn abort_recovery_cost(
+    plan: &SwitchPlan,
+    iteration_time: f64,
+    partition: &Partition,
+    state: &ClusterState,
+    progress: f64,
+) -> f64 {
+    let rollback = abort_rollback_cost(plan, iteration_time, partition, state, progress);
+    let restart = stop_restart_cost(plan, iteration_time, partition, state);
+    rollback.min(restart)
 }
 
 #[cfg(test)]
@@ -310,6 +377,70 @@ mod tests {
                 .migration_order()
                 .is_empty()
         );
+    }
+
+    /// Rollback pinning test: the dual of the §4.4 forward order — layers
+    /// unwind most-recently-migrated first, and within each layer the
+    /// later active mini-batch's copy (highest stash version) reverts
+    /// first.
+    #[test]
+    fn rollback_order_is_the_dual_of_the_forward_order() {
+        let (_, p) = setup();
+        let plan = SwitchPlan::between(&part(4), &part(6), &p, ScheduleKind::PipeDreamAsync);
+        // Forward order: [4v1, 4v0, 5v1, 5v0]. Abort after 3 steps: layer
+        // 5 (only v1 copied) unwinds first, then layer 4's two copies,
+        // later mini-batch's copy first within each layer.
+        let rb = plan.rollback_order(3);
+        assert_eq!(
+            rb,
+            vec![
+                MigrationStep {
+                    layer: 5,
+                    version: 1
+                },
+                MigrationStep {
+                    layer: 4,
+                    version: 1
+                },
+                MigrationStep {
+                    layer: 4,
+                    version: 0
+                },
+            ]
+        );
+        // Versions descend within every layer, whatever the abort point.
+        for completed in 0..=plan.migration_order().len() {
+            let rb = plan.rollback_order(completed);
+            assert_eq!(rb.len(), completed);
+            for pair in rb.windows(2) {
+                if pair[0].layer == pair[1].layer {
+                    assert!(pair[0].version > pair[1].version, "{pair:?}");
+                }
+            }
+        }
+        // Nothing completed -> nothing to undo; over-reporting saturates.
+        assert!(plan.rollback_order(0).is_empty());
+        assert_eq!(
+            plan.rollback_order(usize::MAX).len(),
+            plan.migration_order().len()
+        );
+    }
+
+    #[test]
+    fn abort_costs_grow_with_progress_and_never_exceed_stop_restart() {
+        let (st, p) = setup();
+        let plan = SwitchPlan::between(&part(4), &part(6), &p, ScheduleKind::PipeDreamAsync);
+        let iter = 0.2;
+        let early = abort_rollback_cost(&plan, iter, &part(4), &st, 0.1);
+        let late = abort_rollback_cost(&plan, iter, &part(4), &st, 0.9);
+        assert!(late > early, "undoing more copies must cost more");
+        let recovery = abort_recovery_cost(&plan, iter, &part(4), &st, 0.9);
+        let restart = stop_restart_cost(&plan, iter, &part(4), &st);
+        assert!(recovery <= restart + 1e-12);
+        assert!(recovery <= late + 1e-12);
+        // A no-op plan aborts for free.
+        let noop = SwitchPlan::between(&part(4), &part(4), &p, ScheduleKind::PipeDreamAsync);
+        assert_eq!(abort_rollback_cost(&noop, iter, &part(4), &st, 0.5), 0.0);
     }
 
     #[test]

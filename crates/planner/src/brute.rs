@@ -25,7 +25,11 @@ pub fn brute_force_plan(
     assert!(n > 0, "no workers");
     let smax = max_stages.min(l).min(n).max(1);
 
-    let mut best: Option<(f64, Partition)> = None;
+    // Seed the search with pure data parallelism (the s = 1 composition),
+    // which exists for any non-empty worker set — the search can then
+    // only improve on it, and the function is total without unwrapping.
+    let seed = Partition::single_stage(l, workers.to_vec());
+    let mut best: (f64, Partition) = (model.throughput(&seed, state), seed);
     // comp_l: composition of layers into s parts; comp_w: workers into s.
     for s in 1..=smax {
         let mut layer_cuts = vec![0usize; s + 1];
@@ -48,14 +52,14 @@ pub fn brute_force_plan(
                 };
                 p.in_flight = p.default_in_flight();
                 let tp = model.throughput(&p, state);
-                if best.as_ref().is_none_or(|(b, _)| tp > *b) {
-                    best = Some((tp, p));
+                if tp > best.0 {
+                    best = (tp, p);
                 }
             });
         });
         let _ = &layer_cuts;
     }
-    best.expect("at least one partition exists").1
+    best.1
 }
 
 /// Call `f` with every composition of `total` into `parts` positive parts.

@@ -96,7 +96,9 @@ pub fn two_worker_moves(current: &Partition, n_layers: usize) -> Vec<(MoveKind, 
                 continue;
             }
             let mut p = current.clone();
-            let w = p.stages[s].workers.pop().expect("donor checked nonempty");
+            let Some(w) = p.stages[s].workers.pop() else {
+                continue;
+            };
             p.stages[t].workers.push(w);
             p.in_flight = p.default_in_flight();
             out.push((MoveKind::ReplicaMigration { from: s, to: t }, p));

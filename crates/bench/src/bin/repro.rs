@@ -1,7 +1,7 @@
 //! `repro` — regenerate every figure of the AutoPipe paper.
 //!
 //! ```text
-//! repro <fig2|fig3|fig4|fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|multijob|ablations|chaos|all> [--json DIR] [--trace DIR] [--smoke]
+//! repro <fig2|fig3|fig4|fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|multijob|ablations|chaos|serve-bench|all> [--json DIR] [--trace DIR] [--smoke]
 //! ```
 //!
 //! Each subcommand prints the figure's rows/series as a markdown table
@@ -20,7 +20,7 @@ use std::path::PathBuf;
 use ap_bench::experiments::motivation::{panel_bandwidths, panel_models, MotivationRow, Scenario};
 use ap_bench::experiments::{
     ablations, chaos, convergence, dynamic, enhanced, multi_job, overhead, pipeline_fill,
-    static_alloc,
+    serve_bench, static_alloc,
 };
 use ap_bench::json::ToJson;
 
@@ -92,6 +92,85 @@ fn main() {
     if run("chaos") {
         let smoke = args.iter().any(|a| a == "--smoke");
         run_chaos(smoke, &json_dir);
+    }
+    if run("serve-bench") {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        run_serve_bench(smoke, &json_dir);
+    }
+}
+
+/// The serving-layer drill: spawn the `ap-serve` daemon on an ephemeral
+/// loopback port and drive every endpoint — functional checks, a latency
+/// sweep, a cached-plan throughput sweep, a 4x-capacity overload burst and
+/// a graceful shutdown. The full run exports `BENCH_serve.json`; `--smoke`
+/// runs the same checks with fixed-clock reporting (every wall-clock field
+/// zeroed), so its `--json` output is byte-identical across runs and
+/// `AP_PAR_THREADS` settings. Exits non-zero if the daemon misbehaves.
+fn run_serve_bench(smoke: bool, json: &Option<PathBuf>) {
+    println!("\n## Serve — planning-as-a-service daemon under load\n");
+    let r = match serve_bench::run(smoke) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve-bench failed to run: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "mode {}; {} workers, admission queue {}, plan cache {}\n",
+        r.mode, r.workers, r.queue_capacity, r.cache_capacity
+    );
+    println!("| check | status | ok |");
+    println!("|---|---|---|");
+    for c in &r.checks {
+        println!(
+            "| {} | {} | {} |",
+            c.name,
+            c.status,
+            if c.ok { "yes" } else { "NO" }
+        );
+    }
+    if !smoke {
+        println!(
+            "\nPlan: {} -> {} (predicted {:.1} samples/s); cold {:.4}s, cached {:.6}s ({:.0}x)",
+            r.plan.model,
+            r.plan.partition,
+            r.plan.predicted_throughput,
+            r.plan.cold_seconds,
+            r.plan.cached_seconds,
+            r.plan.cache_speedup
+        );
+        println!("\n| endpoint | requests | p50 ms | p95 ms | p99 ms |");
+        println!("|---|---|---|---|---|");
+        for l in &r.latency {
+            println!(
+                "| {} | {} | {:.3} | {:.3} | {:.3} |",
+                l.endpoint, l.requests, l.p50_ms, l.p95_ms, l.p99_ms
+            );
+        }
+        println!("\n| connections | req/s | p50 ms | p95 ms | p99 ms | hit rate |");
+        println!("|---|---|---|---|---|---|");
+        for t in &r.throughput {
+            println!(
+                "| {} | {:.0} | {:.3} | {:.3} | {:.3} | {:.2} |",
+                t.connections, t.req_per_sec, t.p50_ms, t.p95_ms, t.p99_ms, t.cache_hit_rate
+            );
+        }
+        println!(
+            "\nOverload: {} connections vs queue bound {}: {} served, {} shed with 503, peak depth {}",
+            r.overload.offered_connections,
+            r.overload.queue_capacity,
+            r.overload.served_200,
+            r.overload.shed_503,
+            r.overload.peak_queue_depth
+        );
+        let out = PathBuf::from("BENCH_serve.json");
+        fs::write(&out, r.to_json().pretty()).expect("write BENCH_serve.json");
+        eprintln!("wrote {}", out.display());
+    }
+    dump_json(json, "serve", &r);
+    if !r.all_ok() {
+        eprintln!("FAIL: serve-bench checks failed");
+        std::process::exit(3);
     }
 }
 

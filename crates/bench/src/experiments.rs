@@ -9,4 +9,5 @@ pub mod motivation;
 pub mod multi_job;
 pub mod overhead;
 pub mod pipeline_fill;
+pub mod serve_bench;
 pub mod static_alloc;

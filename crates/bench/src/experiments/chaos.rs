@@ -149,6 +149,7 @@ fn units_in(iterations: &[IterationRecord], start: f64, end: f64) -> usize {
 /// fault schedule's `(start, end)` list — a checkpoint system does not
 /// predict recovery, but stalling until the known end is equivalent to
 /// "wait for the node, then reload" and keeps the run deterministic.
+#[allow(clippy::too_many_arguments)]
 fn run_baseline(
     profile: &ModelProfile,
     topo: &ClusterTopology,

@@ -1,226 +1,13 @@
-//! Minimal JSON emission for the `repro` series output.
+//! JSON emission for the `repro` series output.
 //!
-//! The harness only ever *writes* JSON (one file per figure, consumed by
-//! plotting scripts), so this module provides exactly that: a [`Json`]
-//! value tree, a [`ToJson`] conversion trait implemented for the
-//! experiment row types, and a pretty printer matching the layout the
-//! previous serde_json output used (2-space indent). No parsing, no
-//! derive machinery, no external dependencies.
+//! The value tree, serializer and parser live in the shared [`ap_json`]
+//! crate (serve, bench and the journal export all use the same
+//! implementation); this module re-exports them and adds the [`ToJson`]
+//! impls for the experiment row types that are local to the harness.
+//! Impls for simulator and journal types live with their types
+//! (`ap_pipesim::json`, `autopipe::json`).
 
-use ap_pipesim::{TimelineSegment, WorkKind};
-
-/// A JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any finite number (non-finite floats print as `null`).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object with insertion-ordered keys.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Build an object from `(key, value)` pairs.
-    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
-        Json::Obj(
-            fields
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
-    }
-
-    /// Pretty-print with 2-space indentation.
-    pub fn pretty(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0);
-        out
-    }
-
-    fn write(&self, out: &mut String, depth: usize) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Num(x) => {
-                if x.is_finite() {
-                    if *x == x.trunc() && x.abs() < 1e15 {
-                        out.push_str(&format!("{}", *x as i64));
-                    } else {
-                        out.push_str(&format!("{x}"));
-                    }
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => write_escaped(out, s),
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    indent(out, depth + 1);
-                    item.write(out, depth + 1);
-                }
-                out.push('\n');
-                indent(out, depth);
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                if fields.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    indent(out, depth + 1);
-                    write_escaped(out, k);
-                    out.push_str(": ");
-                    v.write(out, depth + 1);
-                }
-                out.push('\n');
-                indent(out, depth);
-                out.push('}');
-            }
-        }
-    }
-}
-
-fn indent(out: &mut String, depth: usize) {
-    for _ in 0..depth {
-        out.push_str("  ");
-    }
-}
-
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// Conversion into a [`Json`] tree.
-pub trait ToJson {
-    /// Convert to a JSON value.
-    fn to_json(&self) -> Json;
-}
-
-impl ToJson for Json {
-    fn to_json(&self) -> Json {
-        self.clone()
-    }
-}
-
-impl ToJson for f64 {
-    fn to_json(&self) -> Json {
-        Json::Num(*self)
-    }
-}
-
-impl ToJson for bool {
-    fn to_json(&self) -> Json {
-        Json::Bool(*self)
-    }
-}
-
-impl ToJson for String {
-    fn to_json(&self) -> Json {
-        Json::Str(self.clone())
-    }
-}
-
-impl ToJson for &str {
-    fn to_json(&self) -> Json {
-        Json::Str((*self).to_string())
-    }
-}
-
-macro_rules! impl_tojson_int {
-    ($($t:ty),*) => {$(
-        impl ToJson for $t {
-            fn to_json(&self) -> Json {
-                Json::Num(*self as f64)
-            }
-        }
-    )*};
-}
-impl_tojson_int!(usize, u64, u32, i64, i32);
-
-impl<T: ToJson> ToJson for Option<T> {
-    fn to_json(&self) -> Json {
-        match self {
-            Some(v) => v.to_json(),
-            None => Json::Null,
-        }
-    }
-}
-
-impl<T: ToJson> ToJson for Vec<T> {
-    fn to_json(&self) -> Json {
-        Json::Arr(self.iter().map(ToJson::to_json).collect())
-    }
-}
-
-impl<T: ToJson> ToJson for [T] {
-    fn to_json(&self) -> Json {
-        Json::Arr(self.iter().map(ToJson::to_json).collect())
-    }
-}
-
-impl<A: ToJson, B: ToJson> ToJson for (A, B) {
-    fn to_json(&self) -> Json {
-        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
-    }
-}
-
-impl ToJson for WorkKind {
-    fn to_json(&self) -> Json {
-        Json::Str(
-            match self {
-                WorkKind::Forward => "Forward",
-                WorkKind::Backward => "Backward",
-            }
-            .to_string(),
-        )
-    }
-}
-
-impl ToJson for TimelineSegment {
-    fn to_json(&self) -> Json {
-        Json::obj(vec![
-            ("worker", self.worker.to_json()),
-            ("unit", self.unit.to_json()),
-            ("kind", self.kind.to_json()),
-            ("start", self.start.to_json()),
-            ("end", self.end.to_json()),
-        ])
-    }
-}
+pub use ap_json::{parse, Json, JsonError, JsonErrorKind, ToJson};
 
 impl ToJson for crate::experiments::pipeline_fill::PipelineFill {
     fn to_json(&self) -> Json {
@@ -266,140 +53,6 @@ impl ToJson for crate::experiments::dynamic::DynamicResult {
             ("switches", self.switches.to_json()),
             ("mean", self.mean.to_json()),
         ])
-    }
-}
-
-impl ToJson for autopipe::DecisionEvent {
-    fn to_json(&self) -> Json {
-        use autopipe::DecisionEvent as E;
-        let mut fields = vec![("event", self.name().to_json())];
-        match self {
-            E::ChangeDetected {
-                signals,
-                degraded_workers,
-            } => {
-                fields.push(("signals", signals.to_json()));
-                fields.push(("degraded_workers", degraded_workers.to_json()));
-            }
-            E::CandidatesScored {
-                rounds,
-                scored,
-                current_pred,
-                best_pred,
-                best,
-            } => {
-                fields.push(("rounds", rounds.to_json()));
-                fields.push(("scored", scored.to_json()));
-                fields.push(("current_pred", current_pred.to_json()));
-                fields.push(("best_pred", best_pred.to_json()));
-                fields.push(("best", best.to_json()));
-            }
-            E::ArbiterVerdict {
-                approved,
-                predicted_speedup,
-                switch_cost_seconds,
-                reward,
-            } => {
-                fields.push(("approved", approved.to_json()));
-                fields.push(("predicted_speedup", predicted_speedup.to_json()));
-                fields.push(("switch_cost_seconds", switch_cost_seconds.to_json()));
-                fields.push(("reward", reward.to_json()));
-            }
-            E::SwitchApplied {
-                from,
-                to,
-                moved_layers,
-                transfer_bytes,
-                pause_seconds,
-            } => {
-                fields.push(("from", from.to_json()));
-                fields.push(("to", to.to_json()));
-                fields.push(("moved_layers", moved_layers.to_json()));
-                fields.push(("transfer_bytes", transfer_bytes.to_json()));
-                fields.push(("pause_seconds", pause_seconds.to_json()));
-            }
-            E::Verified {
-                measured,
-                expected_floor,
-                trust,
-            } => {
-                fields.push(("measured", measured.to_json()));
-                fields.push(("expected_floor", expected_floor.to_json()));
-                fields.push(("trust", trust.to_json()));
-            }
-            E::Reverted {
-                to,
-                measured,
-                expected_floor,
-                trust,
-            } => {
-                fields.push(("to", to.to_json()));
-                fields.push(("measured", measured.to_json()));
-                fields.push(("expected_floor", expected_floor.to_json()));
-                fields.push(("trust", trust.to_json()));
-            }
-            E::Kept { reason } => fields.push(("reason", reason.label().to_json())),
-            E::InfeasibleDetected { failed_workers } => {
-                fields.push(("failed_workers", failed_workers.to_json()));
-            }
-            E::EmergencyRepartition {
-                from,
-                to,
-                dropped,
-                attempt,
-                pause_seconds,
-            } => {
-                fields.push(("from", from.to_json()));
-                fields.push(("to", to.to_json()));
-                fields.push(("dropped", dropped.to_json()));
-                fields.push(("attempt", attempt.to_json()));
-                fields.push(("pause_seconds", pause_seconds.to_json()));
-            }
-            E::RetryScheduled {
-                attempt,
-                not_before,
-            } => {
-                fields.push(("attempt", attempt.to_json()));
-                fields.push(("not_before", not_before.to_json()));
-            }
-            E::RetryExhausted { attempts } => fields.push(("attempts", attempts.to_json())),
-            E::WorkerFailed { worker } | E::WorkerRecovered { worker } => {
-                fields.push(("worker", worker.to_json()));
-            }
-            E::MigrationRolledBack {
-                worker,
-                progress,
-                rollback_seconds,
-            } => {
-                fields.push(("worker", worker.to_json()));
-                fields.push(("progress", progress.to_json()));
-                fields.push(("rollback_seconds", rollback_seconds.to_json()));
-            }
-            E::UnitsRestarted { count } => fields.push(("count", count.to_json())),
-            E::SwitchRejected => {}
-        }
-        Json::obj(fields)
-    }
-}
-
-impl ToJson for autopipe::DecisionRecord {
-    fn to_json(&self) -> Json {
-        let Json::Obj(mut fields) = self.event.to_json() else {
-            unreachable!("DecisionEvent serializes to an object");
-        };
-        let mut all = vec![
-            ("decision".to_string(), self.decision.to_json()),
-            ("iteration".to_string(), self.iteration.to_json()),
-            ("time".to_string(), self.time.to_json()),
-        ];
-        all.append(&mut fields);
-        Json::Obj(all)
-    }
-}
-
-impl ToJson for autopipe::DecisionJournal {
-    fn to_json(&self) -> Json {
-        self.records.to_json()
     }
 }
 
@@ -493,42 +146,88 @@ impl ToJson for crate::experiments::ablations::AblationRow {
     }
 }
 
+impl ToJson for crate::experiments::serve_bench::ServeBenchResult {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("mode", self.mode.to_json()),
+            ("workers", self.workers.to_json()),
+            ("queue_capacity", self.queue_capacity.to_json()),
+            ("cache_capacity", self.cache_capacity.to_json()),
+            ("checks", self.checks.to_json()),
+            ("plan", self.plan.to_json()),
+            ("latency", self.latency.to_json()),
+            ("throughput", self.throughput.to_json()),
+            ("overload", self.overload.to_json()),
+        ])
+    }
+}
+
+impl ToJson for crate::experiments::serve_bench::CheckRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("status", self.status.to_json()),
+            ("ok", self.ok.to_json()),
+        ])
+    }
+}
+
+impl ToJson for crate::experiments::serve_bench::PlanSummary {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("model", self.model.to_json()),
+            ("partition", self.partition.to_json()),
+            ("predicted_throughput", self.predicted_throughput.to_json()),
+            ("cold_seconds", self.cold_seconds.to_json()),
+            ("cached_seconds", self.cached_seconds.to_json()),
+            ("cache_speedup", self.cache_speedup.to_json()),
+        ])
+    }
+}
+
+impl ToJson for crate::experiments::serve_bench::LatencyRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("endpoint", self.endpoint.to_json()),
+            ("requests", self.requests.to_json()),
+            ("p50_ms", self.p50_ms.to_json()),
+            ("p95_ms", self.p95_ms.to_json()),
+            ("p99_ms", self.p99_ms.to_json()),
+        ])
+    }
+}
+
+impl ToJson for crate::experiments::serve_bench::ThroughputRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("connections", self.connections.to_json()),
+            ("requests", self.requests.to_json()),
+            ("req_per_sec", self.req_per_sec.to_json()),
+            ("p50_ms", self.p50_ms.to_json()),
+            ("p95_ms", self.p95_ms.to_json()),
+            ("p99_ms", self.p99_ms.to_json()),
+            ("cache_hit_rate", self.cache_hit_rate.to_json()),
+        ])
+    }
+}
+
+impl ToJson for crate::experiments::serve_bench::OverloadSummary {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("offered_connections", self.offered_connections.to_json()),
+            ("queue_capacity", self.queue_capacity.to_json()),
+            ("shed_503", self.shed_503.to_json()),
+            ("served_200", self.served_200.to_json()),
+            ("got_retry_after", self.got_retry_after.to_json()),
+            ("peak_queue_depth", self.peak_queue_depth.to_json()),
+            ("depth_within_bound", self.depth_within_bound.to_json()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn scalars_and_escapes() {
-        assert_eq!(Json::Null.pretty(), "null");
-        assert_eq!(Json::Bool(true).pretty(), "true");
-        assert_eq!(Json::Num(3.0).pretty(), "3");
-        assert_eq!(Json::Num(0.25).pretty(), "0.25");
-        assert_eq!(Json::Num(f64::NAN).pretty(), "null");
-        assert_eq!(Json::Str("a\"b\\c\nd".into()).pretty(), r#""a\"b\\c\nd""#);
-    }
-
-    #[test]
-    fn nested_structure_pretty_prints() {
-        let v = Json::obj(vec![
-            ("name", "fig9".to_json()),
-            ("rows", vec![(0u64, 1.5f64), (1, 2.0)].to_json()),
-            ("empty", Json::Arr(vec![])),
-        ]);
-        let s = v.pretty();
-        assert_eq!(
-            s,
-            "{\n  \"name\": \"fig9\",\n  \"rows\": [\n    [\n      0,\n      1.5\n    ],\n    [\n      1,\n      2\n    ]\n  ],\n  \"empty\": []\n}"
-        );
-    }
-
-    #[test]
-    fn options_and_floats_round_trip_textually() {
-        assert_eq!(None::<f64>.to_json().pretty(), "null");
-        assert_eq!(Some(2.5).to_json().pretty(), "2.5");
-        // Shortest round-trip formatting keeps full precision.
-        let x = 0.1f64 + 0.2;
-        assert_eq!(x.to_json().pretty().parse::<f64>().unwrap(), x);
-    }
 
     #[test]
     fn row_types_serialize_with_stable_keys() {

@@ -22,9 +22,32 @@ pub struct Sample {
     pub max: f64,
     /// Number of timed runs.
     pub runs: usize,
+    /// Every timed run, sorted ascending (for percentile queries).
+    pub samples: Vec<f64>,
 }
 
 impl Sample {
+    /// Build a summary from raw timings (sorts them internally).
+    pub fn from_samples(name: &str, samples: Vec<f64>) -> Sample {
+        assert!(!samples.is_empty(), "no samples");
+        let mut sorted = samples;
+        sorted.sort_by(f64::total_cmp);
+        Sample {
+            name: name.to_string(),
+            median: sorted_percentile(&sorted, 50.0),
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            runs: sorted.len(),
+            samples: sorted,
+        }
+    }
+
+    /// The `p`-th percentile (0–100) of the timed runs, linearly
+    /// interpolated between order statistics.
+    pub fn percentile(&self, p: f64) -> f64 {
+        sorted_percentile(&self.samples, p)
+    }
+
     /// One-line human-readable report.
     pub fn report(&self) -> String {
         format!(
@@ -63,6 +86,27 @@ pub fn median(mut xs: Vec<f64>) -> f64 {
     }
 }
 
+/// The `p`-th percentile (0–100) of an unsorted sample set, linearly
+/// interpolated between order statistics (the "linear" / type-7 estimator:
+/// rank `p/100 * (n-1)` into the sorted values). `p` is clamped to
+/// [0, 100].
+pub fn percentile(mut xs: Vec<f64>, p: f64) -> f64 {
+    assert!(!xs.is_empty(), "no samples");
+    xs.sort_by(f64::total_cmp);
+    sorted_percentile(&xs, p)
+}
+
+/// [`percentile`] over an already ascending-sorted slice.
+pub fn sorted_percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "no samples");
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+}
+
 /// Time `f` once, returning seconds. The result is passed through
 /// [`black_box`] so the work cannot be optimized away.
 pub fn time_once<R>(f: impl FnOnce() -> R) -> f64 {
@@ -78,19 +122,11 @@ pub fn bench<R>(name: &str, runs: usize, mut f: impl FnMut() -> R) -> Sample {
         black_box(f());
     }
     let samples: Vec<f64> = (0..runs).map(|_| time_once(&mut f)).collect();
-    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
-    let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    Sample {
-        name: name.to_string(),
-        median: median(samples),
-        min,
-        max,
-        runs,
-    }
+    Sample::from_samples(name, samples)
 }
 
 /// Run and print a benchmark; returns the sample for further use.
-pub fn run(name: &str, runs: usize, f: impl FnMut() -> ()) -> Sample {
+pub fn run(name: &str, runs: usize, f: impl FnMut()) -> Sample {
     let s = bench(name, runs, f);
     println!("{}", s.report());
     s
@@ -111,6 +147,36 @@ mod tests {
         let s = bench("noop", 5, || 1 + 1);
         assert_eq!(s.runs, 5);
         assert!(s.min <= s.median && s.median <= s.max);
+    }
+
+    #[test]
+    fn percentiles_of_known_distribution() {
+        // 1..=100: the linear estimator interpolates between order
+        // statistics, so the landmarks are exact by hand.
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(xs.clone(), 0.0), 1.0);
+        assert_eq!(percentile(xs.clone(), 100.0), 100.0);
+        assert!((percentile(xs.clone(), 50.0) - 50.5).abs() < 1e-12);
+        assert!((percentile(xs.clone(), 95.0) - 95.05).abs() < 1e-12);
+        assert!((percentile(xs.clone(), 99.0) - 99.01).abs() < 1e-12);
+        // Order independence: shuffle-ish reversal sorts internally.
+        let rev: Vec<f64> = xs.iter().rev().copied().collect();
+        assert_eq!(percentile(rev, 95.0), percentile(xs, 95.0));
+        // Out-of-range p clamps instead of panicking.
+        assert_eq!(percentile(vec![3.0, 1.0], 150.0), 3.0);
+        assert_eq!(percentile(vec![3.0, 1.0], -5.0), 1.0);
+        // Single sample: every percentile is that sample.
+        assert_eq!(percentile(vec![7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn sample_percentile_matches_free_function() {
+        let s = Sample::from_samples("t", (1..=100).map(f64::from).collect());
+        assert!((s.percentile(99.0) - 99.01).abs() < 1e-12);
+        assert!((s.median - 50.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.runs, 100);
     }
 
     #[test]

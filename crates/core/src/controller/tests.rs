@@ -478,8 +478,10 @@ fn recovery_before_repair_reinstates_current_partition() {
     let p = profile();
     let init = initial(&p);
     let first_victim = init.stages[0].workers[0];
-    let mut cfg = AutoPipeConfig::default();
-    cfg.retry_base_delay_seconds = 10.0; // wide backoff window
+    let cfg = AutoPipeConfig {
+        retry_base_delay_seconds: 10.0, // wide backoff window
+        ..Default::default()
+    };
     let mut ctrl = AutoPipeController::new(
         &p,
         init,

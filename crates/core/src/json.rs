@@ -1,0 +1,166 @@
+//! [`ToJson`] conversions for the decision journal (moved here from
+//! `ap-bench` when the JSON implementation became the shared `ap-json`
+//! crate — orphan rules require the impls to live with the types). The
+//! journal export in `repro --trace` and serve's `/plan` responses both
+//! serialize through these impls.
+
+use ap_json::{Json, ToJson};
+
+use crate::controller::{DecisionEvent, DecisionJournal, DecisionRecord};
+
+impl ToJson for DecisionEvent {
+    fn to_json(&self) -> Json {
+        use DecisionEvent as E;
+        let mut fields = vec![("event", self.name().to_json())];
+        match self {
+            E::ChangeDetected {
+                signals,
+                degraded_workers,
+            } => {
+                fields.push(("signals", signals.to_json()));
+                fields.push(("degraded_workers", degraded_workers.to_json()));
+            }
+            E::CandidatesScored {
+                rounds,
+                scored,
+                current_pred,
+                best_pred,
+                best,
+            } => {
+                fields.push(("rounds", rounds.to_json()));
+                fields.push(("scored", scored.to_json()));
+                fields.push(("current_pred", current_pred.to_json()));
+                fields.push(("best_pred", best_pred.to_json()));
+                fields.push(("best", best.to_json()));
+            }
+            E::ArbiterVerdict {
+                approved,
+                predicted_speedup,
+                switch_cost_seconds,
+                reward,
+            } => {
+                fields.push(("approved", approved.to_json()));
+                fields.push(("predicted_speedup", predicted_speedup.to_json()));
+                fields.push(("switch_cost_seconds", switch_cost_seconds.to_json()));
+                fields.push(("reward", reward.to_json()));
+            }
+            E::SwitchApplied {
+                from,
+                to,
+                moved_layers,
+                transfer_bytes,
+                pause_seconds,
+            } => {
+                fields.push(("from", from.to_json()));
+                fields.push(("to", to.to_json()));
+                fields.push(("moved_layers", moved_layers.to_json()));
+                fields.push(("transfer_bytes", transfer_bytes.to_json()));
+                fields.push(("pause_seconds", pause_seconds.to_json()));
+            }
+            E::Verified {
+                measured,
+                expected_floor,
+                trust,
+            } => {
+                fields.push(("measured", measured.to_json()));
+                fields.push(("expected_floor", expected_floor.to_json()));
+                fields.push(("trust", trust.to_json()));
+            }
+            E::Reverted {
+                to,
+                measured,
+                expected_floor,
+                trust,
+            } => {
+                fields.push(("to", to.to_json()));
+                fields.push(("measured", measured.to_json()));
+                fields.push(("expected_floor", expected_floor.to_json()));
+                fields.push(("trust", trust.to_json()));
+            }
+            E::Kept { reason } => fields.push(("reason", reason.label().to_json())),
+            E::InfeasibleDetected { failed_workers } => {
+                fields.push(("failed_workers", failed_workers.to_json()));
+            }
+            E::EmergencyRepartition {
+                from,
+                to,
+                dropped,
+                attempt,
+                pause_seconds,
+            } => {
+                fields.push(("from", from.to_json()));
+                fields.push(("to", to.to_json()));
+                fields.push(("dropped", dropped.to_json()));
+                fields.push(("attempt", attempt.to_json()));
+                fields.push(("pause_seconds", pause_seconds.to_json()));
+            }
+            E::RetryScheduled {
+                attempt,
+                not_before,
+            } => {
+                fields.push(("attempt", attempt.to_json()));
+                fields.push(("not_before", not_before.to_json()));
+            }
+            E::RetryExhausted { attempts } => fields.push(("attempts", attempts.to_json())),
+            E::WorkerFailed { worker } | E::WorkerRecovered { worker } => {
+                fields.push(("worker", worker.to_json()));
+            }
+            E::MigrationRolledBack {
+                worker,
+                progress,
+                rollback_seconds,
+            } => {
+                fields.push(("worker", worker.to_json()));
+                fields.push(("progress", progress.to_json()));
+                fields.push(("rollback_seconds", rollback_seconds.to_json()));
+            }
+            E::UnitsRestarted { count } => fields.push(("count", count.to_json())),
+            E::SwitchRejected => {}
+        }
+        Json::obj(fields)
+    }
+}
+
+impl ToJson for DecisionRecord {
+    fn to_json(&self) -> Json {
+        let Json::Obj(mut fields) = self.event.to_json() else {
+            unreachable!("DecisionEvent serializes to an object");
+        };
+        let mut all = vec![
+            ("decision".to_string(), self.decision.to_json()),
+            ("iteration".to_string(), self.iteration.to_json()),
+            ("time".to_string(), self.time.to_json()),
+        ];
+        all.append(&mut fields);
+        Json::Obj(all)
+    }
+}
+
+impl ToJson for DecisionJournal {
+    fn to_json(&self) -> Json {
+        self.records.to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::KeepReason;
+
+    #[test]
+    fn record_flattens_event_fields_after_position() {
+        let mut journal = DecisionJournal::new();
+        journal.record(
+            3,
+            40,
+            1.5,
+            DecisionEvent::Kept {
+                reason: KeepReason::NoImprovement,
+            },
+        );
+        let s = journal.to_json().pretty();
+        assert!(s.contains("\"decision\": 3"));
+        assert!(s.contains("\"event\": \"keep\""));
+        assert!(s.contains("\"reason\": \"no-improvement\""));
+    }
+}

@@ -45,6 +45,7 @@
 pub mod arbiter;
 pub mod controller;
 pub mod enhanced;
+pub mod json;
 pub mod meta_net;
 pub mod metrics;
 pub mod multi_job;

@@ -1,0 +1,25 @@
+//! # ap-json — the workspace's one JSON implementation
+//!
+//! Everything that crosses a process boundary in this workspace is JSON:
+//! the `repro` figure series, the decision-journal export, the chrome
+//! traces, and every `ap-serve` request and response. This crate is the
+//! single implementation all of them share:
+//!
+//! * [`Json`] — an insertion-ordered value tree with a deterministic
+//!   pretty printer (2-space indent, shortest-round-trip floats);
+//! * [`ToJson`] — the conversion trait the domain crates implement for
+//!   their row/record types;
+//! * [`parse`] — a full RFC 8259 parser with typed, offset-carrying
+//!   [`JsonError`]s and a recursion-depth bound, so hostile input can
+//!   never panic the caller.
+//!
+//! The printer and parser are inverse on the printer's image: for any
+//! tree, `parse(t.pretty()).pretty() == t.pretty()` byte-for-byte
+//! (numbers print as shortest-round-trip decimals, which `parse` maps
+//! back to the same `f64`). The serve round-trip tests pin this down.
+
+pub mod parse;
+pub mod value;
+
+pub use parse::{parse, JsonError, JsonErrorKind};
+pub use value::{Json, ToJson};

@@ -1,0 +1,466 @@
+//! A full JSON parser (RFC 8259) producing [`Json`] trees.
+//!
+//! Built for parsing *hostile* input on the serve request path: every
+//! failure mode is a typed [`JsonError`] carrying the byte offset where
+//! parsing stopped — no panics, no unbounded recursion (nesting is capped
+//! at [`MAX_DEPTH`]), no partial results. Object key order is preserved,
+//! so a parse/print cycle reproduces the printer's output byte-for-byte.
+
+use std::fmt;
+
+use crate::value::Json;
+
+/// Maximum nesting depth (arrays + objects) the parser accepts. Deeper
+/// input returns [`JsonErrorKind::TooDeep`] instead of overflowing the
+/// stack.
+pub const MAX_DEPTH: usize = 128;
+
+/// What went wrong while parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonErrorKind {
+    /// Input ended in the middle of a value (truncated document).
+    UnexpectedEof,
+    /// A byte that cannot start or continue the expected token.
+    UnexpectedChar(char),
+    /// Bytes remain after the first complete value.
+    TrailingData,
+    /// A malformed numeric literal (`1.`, `-`, `1e+`, `01`, ...).
+    BadNumber,
+    /// A `\\` escape that is not one of the eight JSON escapes.
+    BadEscape,
+    /// A `\\u` escape with bad hex digits or an unpaired surrogate.
+    BadUnicode,
+    /// An unescaped control character inside a string.
+    ControlChar,
+    /// Nesting beyond [`MAX_DEPTH`].
+    TooDeep,
+    /// Missing `:` between an object key and its value.
+    ExpectedColon,
+    /// Missing `,` or the closing bracket in an array/object.
+    ExpectedCommaOrClose,
+    /// An object key that is not a string.
+    ExpectedKey,
+}
+
+impl JsonErrorKind {
+    /// Short kebab-case label (for error payloads).
+    pub fn label(&self) -> &'static str {
+        match self {
+            JsonErrorKind::UnexpectedEof => "unexpected-eof",
+            JsonErrorKind::UnexpectedChar(_) => "unexpected-char",
+            JsonErrorKind::TrailingData => "trailing-data",
+            JsonErrorKind::BadNumber => "bad-number",
+            JsonErrorKind::BadEscape => "bad-escape",
+            JsonErrorKind::BadUnicode => "bad-unicode",
+            JsonErrorKind::ControlChar => "control-char",
+            JsonErrorKind::TooDeep => "too-deep",
+            JsonErrorKind::ExpectedColon => "expected-colon",
+            JsonErrorKind::ExpectedCommaOrClose => "expected-comma-or-close",
+            JsonErrorKind::ExpectedKey => "expected-key",
+        }
+    }
+}
+
+/// A parse failure: what, and where in the input (byte offset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// The failure class.
+    pub kind: JsonErrorKind,
+    /// Byte offset into the input where parsing stopped.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match &self.kind {
+            JsonErrorKind::UnexpectedEof => "input ended mid-value".to_string(),
+            JsonErrorKind::UnexpectedChar(c) => format!("unexpected character {c:?}"),
+            JsonErrorKind::TrailingData => "trailing data after the document".to_string(),
+            JsonErrorKind::BadNumber => "malformed number".to_string(),
+            JsonErrorKind::BadEscape => "invalid string escape".to_string(),
+            JsonErrorKind::BadUnicode => "invalid \\u escape".to_string(),
+            JsonErrorKind::ControlChar => "unescaped control character in string".to_string(),
+            JsonErrorKind::TooDeep => format!("nesting deeper than {MAX_DEPTH}"),
+            JsonErrorKind::ExpectedColon => "expected ':' after object key".to_string(),
+            JsonErrorKind::ExpectedCommaOrClose => "expected ',' or closing bracket".to_string(),
+            JsonErrorKind::ExpectedKey => "expected string object key".to_string(),
+        };
+        write!(f, "{what} at byte {}", self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parse one complete JSON document. Leading/trailing whitespace is
+/// allowed; anything else after the first value is
+/// [`JsonErrorKind::TrailingData`].
+pub fn parse(text: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(p.err(JsonErrorKind::TrailingData));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, kind: JsonErrorKind) -> JsonError {
+        JsonError {
+            kind,
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else if self.bytes.len() - self.pos < lit.len() {
+            Err(self.err(JsonErrorKind::UnexpectedEof))
+        } else {
+            Err(self.err(JsonErrorKind::UnexpectedChar(self.char_here())))
+        }
+    }
+
+    /// The char at the cursor, for error reporting (lossy on bad UTF-8
+    /// boundaries, which `&str` input precludes anyway).
+    fn char_here(&self) -> char {
+        std::str::from_utf8(&self.bytes[self.pos..])
+            .ok()
+            .and_then(|s| s.chars().next())
+            .unwrap_or('\u{fffd}')
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err(JsonErrorKind::TooDeep));
+        }
+        match self.peek() {
+            None => Err(self.err(JsonErrorKind::UnexpectedEof)),
+            Some(b'n') => self.expect_literal("null", Json::Null),
+            Some(b't') => self.expect_literal("true", Json::Bool(true)),
+            Some(b'f') => self.expect_literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err(JsonErrorKind::UnexpectedChar(self.char_here()))),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.pos += 1; // consume '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                None => return Err(self.err(JsonErrorKind::UnexpectedEof)),
+                Some(_) => return Err(self.err(JsonErrorKind::ExpectedCommaOrClose)),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.pos += 1; // consume '{'
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = match self.peek() {
+                Some(b'"') => self.string()?,
+                None => return Err(self.err(JsonErrorKind::UnexpectedEof)),
+                Some(_) => return Err(self.err(JsonErrorKind::ExpectedKey)),
+            };
+            self.skip_ws();
+            match self.peek() {
+                Some(b':') => self.pos += 1,
+                None => return Err(self.err(JsonErrorKind::UnexpectedEof)),
+                Some(_) => return Err(self.err(JsonErrorKind::ExpectedColon)),
+            }
+            self.skip_ws();
+            fields.push((key, self.value(depth + 1)?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                None => return Err(self.err(JsonErrorKind::UnexpectedEof)),
+                Some(_) => return Err(self.err(JsonErrorKind::ExpectedCommaOrClose)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.pos += 1; // consume opening '"'
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err(JsonErrorKind::UnexpectedEof)),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        None => return Err(self.err(JsonErrorKind::UnexpectedEof)),
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            out.push(self.unicode_escape()?);
+                            continue; // unicode_escape consumed its digits
+                        }
+                        Some(_) => return Err(self.err(JsonErrorKind::BadEscape)),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.err(JsonErrorKind::ControlChar)),
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is &str, so boundaries
+                    // are valid).
+                    let c = self.char_here();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Parse the 4 hex digits after `\u` (cursor already past the `u`),
+    /// combining surrogate pairs.
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let hi = self.hex4()?;
+        if (0xD800..0xDC00).contains(&hi) {
+            // High surrogate: require a following \uXXXX low surrogate.
+            if self.bytes[self.pos..].starts_with(b"\\u") {
+                self.pos += 2;
+                let lo = self.hex4()?;
+                if (0xDC00..0xE000).contains(&lo) {
+                    let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    return char::from_u32(c).ok_or_else(|| self.err(JsonErrorKind::BadUnicode));
+                }
+            }
+            Err(self.err(JsonErrorKind::BadUnicode))
+        } else if (0xDC00..0xE000).contains(&hi) {
+            Err(self.err(JsonErrorKind::BadUnicode))
+        } else {
+            char::from_u32(hi).ok_or_else(|| self.err(JsonErrorKind::BadUnicode))
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                None => return Err(self.err(JsonErrorKind::UnexpectedEof)),
+                Some(c @ b'0'..=b'9') => (c - b'0') as u32,
+                Some(c @ b'a'..=b'f') => (c - b'a') as u32 + 10,
+                Some(c @ b'A'..=b'F') => (c - b'A') as u32 + 10,
+                Some(_) => return Err(self.err(JsonErrorKind::BadUnicode)),
+            };
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: one zero, or a nonzero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err(JsonErrorKind::BadNumber)),
+        }
+        if matches!(self.peek(), Some(b'0'..=b'9')) {
+            // A digit after a leading zero: "01" is not a JSON number.
+            return Err(self.err(JsonErrorKind::BadNumber));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err(JsonErrorKind::BadNumber));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err(JsonErrorKind::BadNumber));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number spans ASCII bytes only");
+        match text.parse::<f64>() {
+            Ok(x) if x.is_finite() => Ok(Json::Num(x)),
+            // Overflowing literals (1e999) parse to infinity; reject them
+            // rather than store a value the printer would turn into null.
+            _ => Err(self.err(JsonErrorKind::BadNumber)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(s: &str) -> Json {
+        parse(s).unwrap_or_else(|e| panic!("{s:?}: {e}"))
+    }
+
+    fn kind(s: &str) -> JsonErrorKind {
+        parse(s).expect_err(s).kind
+    }
+
+    #[test]
+    fn scalars() {
+        assert_eq!(ok("null"), Json::Null);
+        assert_eq!(ok(" true "), Json::Bool(true));
+        assert_eq!(ok("false"), Json::Bool(false));
+        assert_eq!(ok("0"), Json::Num(0.0));
+        assert_eq!(ok("-12.5e2"), Json::Num(-1250.0));
+        assert_eq!(ok("\"hi\""), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn structures_preserve_order() {
+        let v = ok(r#"{"b": 1, "a": [2, {"x": null}]}"#);
+        let Json::Obj(fields) = &v else { panic!() };
+        assert_eq!(fields[0].0, "b");
+        assert_eq!(fields[1].0, "a");
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn string_escapes_and_unicode() {
+        assert_eq!(ok(r#""a\n\t\"\\\/ b""#), Json::Str("a\n\t\"\\/ b".into()));
+        assert_eq!(ok(r#""Aé""#), Json::Str("Aé".into()));
+        // Surrogate pair: U+1F600.
+        assert_eq!(ok(r#""😀""#), Json::Str("😀".into()));
+        assert_eq!(kind(r#""\ud83d""#), JsonErrorKind::BadUnicode);
+        assert_eq!(kind(r#""\ude00""#), JsonErrorKind::BadUnicode);
+        assert_eq!(kind(r#""\q""#), JsonErrorKind::BadEscape);
+        assert_eq!(kind("\"a\nb\""), JsonErrorKind::ControlChar);
+    }
+
+    #[test]
+    fn truncation_is_unexpected_eof() {
+        for s in [
+            "", "{", "[1,", "\"ab", "{\"a\"", "{\"a\":", "tru", "[{\"k\":",
+        ] {
+            assert_eq!(kind(s), JsonErrorKind::UnexpectedEof, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_numbers_rejected() {
+        // A bare minus sign is a number cut short.
+        for s in ["01", "1.", "1e", "1e+", "-", "1e999"] {
+            assert_eq!(kind(s), JsonErrorKind::BadNumber, "{s:?}");
+        }
+        // Neither a leading plus nor a bare dot starts a JSON value.
+        assert_eq!(kind("+1"), JsonErrorKind::UnexpectedChar('+'));
+        assert_eq!(kind(".5"), JsonErrorKind::UnexpectedChar('.'));
+    }
+
+    #[test]
+    fn structural_errors_carry_offsets() {
+        let e = parse("[1 2]").unwrap_err();
+        assert_eq!(e.kind, JsonErrorKind::ExpectedCommaOrClose);
+        assert_eq!(e.offset, 3);
+        assert_eq!(kind("{1: 2}"), JsonErrorKind::ExpectedKey);
+        assert_eq!(kind("{\"a\" 2}"), JsonErrorKind::ExpectedColon);
+        assert_eq!(kind("{} {}"), JsonErrorKind::TrailingData);
+        assert_eq!(kind("@"), JsonErrorKind::UnexpectedChar('@'));
+        assert!(parse("[1 2]").unwrap_err().to_string().contains("byte 3"));
+    }
+
+    #[test]
+    fn depth_is_bounded() {
+        let deep = "[".repeat(MAX_DEPTH + 2);
+        assert_eq!(kind(&deep), JsonErrorKind::TooDeep);
+        let fine = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+        assert!(parse(&fine).is_ok());
+    }
+
+    #[test]
+    fn print_parse_print_is_identity() {
+        let src = r#"{
+  "name": "serve",
+  "xs": [
+    1,
+    2.5,
+    -0.0003,
+    null,
+    true
+  ],
+  "nested": {
+    "s": "q\"uote\n",
+    "empty": {}
+  }
+}"#;
+        let v = ok(src);
+        assert_eq!(v.pretty(), src);
+        assert_eq!(ok(&v.pretty()).pretty(), v.pretty());
+    }
+}

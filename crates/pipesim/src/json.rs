@@ -1,0 +1,88 @@
+//! [`ToJson`] conversions for the simulator's exported types.
+//!
+//! These live here (not in `ap-bench`) because the `ToJson` trait belongs
+//! to `ap-json` and Rust's orphan rules require the impl to sit with the
+//! type. Serve and bench both serialize partitions and timelines through
+//! these impls.
+
+use ap_json::{Json, ToJson};
+
+use crate::engine::{TimelineSegment, WorkKind};
+use crate::partition::{Partition, Stage};
+
+impl ToJson for WorkKind {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                WorkKind::Forward => "Forward",
+                WorkKind::Backward => "Backward",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl ToJson for TimelineSegment {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("worker", self.worker.to_json()),
+            ("unit", self.unit.to_json()),
+            ("kind", self.kind.to_json()),
+            ("start", self.start.to_json()),
+            ("end", self.end.to_json()),
+        ])
+    }
+}
+
+impl ToJson for Stage {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "layers",
+                Json::Arr(vec![self.layers.start.to_json(), self.layers.end.to_json()]),
+            ),
+            (
+                "workers",
+                Json::Arr(self.workers.iter().map(|w| w.0.to_json()).collect()),
+            ),
+        ])
+    }
+}
+
+impl ToJson for Partition {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("stages", self.stages.to_json()),
+            ("in_flight", self.in_flight.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ap_cluster::GpuId;
+
+    #[test]
+    fn partition_serializes_stages_and_in_flight() {
+        let p = Partition {
+            stages: vec![
+                Stage::new(0..5, vec![GpuId(0), GpuId(1)]),
+                Stage::new(5..12, vec![GpuId(2)]),
+            ],
+            in_flight: 3,
+        };
+        let j = p.to_json();
+        assert_eq!(j.get("in_flight").and_then(Json::as_usize), Some(3));
+        let stages = j.get("stages").and_then(Json::as_arr).unwrap();
+        assert_eq!(stages.len(), 2);
+        assert_eq!(
+            stages[0].get("layers").unwrap(),
+            &Json::Arr(vec![Json::Num(0.0), Json::Num(5.0)])
+        );
+        assert_eq!(
+            stages[1].get("workers").unwrap(),
+            &Json::Arr(vec![Json::Num(2.0)])
+        );
+    }
+}

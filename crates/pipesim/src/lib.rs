@@ -28,6 +28,7 @@ pub mod analytic;
 pub mod convergence;
 pub mod engine;
 pub mod framework;
+pub mod json;
 pub mod memory;
 pub mod partition;
 pub mod schedule;

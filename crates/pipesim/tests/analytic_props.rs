@@ -21,7 +21,7 @@ fn random_partition(rng: &mut Rng) -> Partition {
             Stage::new(lo.max(1)..12, vec![GpuId(2), GpuId(3)]),
         ],
         _ => {
-            let m = lo.max(1).min(10);
+            let m = lo.clamp(1, 10);
             let h = (hi.max(m + 1)).min(11);
             vec![
                 Stage::new(0..m, vec![GpuId(0)]),

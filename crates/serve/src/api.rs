@@ -1,0 +1,869 @@
+//! Request schemas, validation, and the `/plan` and `/simulate`
+//! handlers.
+//!
+//! Error discipline: transport-level garbage (bad JSON, wrong shapes,
+//! missing fields) is **400**; well-formed requests naming things that do
+//! not exist or cannot run (unknown model, out-of-range GPU, structurally
+//! invalid partition) are **422**. Every error body is JSON. Handlers
+//! never panic on request content — anything user-controlled is validated
+//! before it reaches the planner or engine.
+//!
+//! Planning is the `paper_autopipe_plan` recipe behind an API: start from
+//! PipeDream's static plan (nominal bandwidth, exclusive GPUs), refine
+//! with two-worker moves scored by the analytic model against the *true*
+//! cluster state, then verify both on the event engine and keep the
+//! faster. Every step lands in a [`DecisionJournal`] echoed in the
+//! response.
+
+use std::collections::VecDeque;
+
+use ap_cluster::dynamics::BgJobId;
+use ap_cluster::{
+    gbps, ClusterState, ClusterTopology, EventKind, GpuId, GpuKind, ResourceTimeline,
+};
+use ap_json::{Json, ToJson};
+use ap_models::{ModelDesc, ModelProfile};
+use ap_pipesim::{Engine, EngineConfig, Framework, Partition, ScheduleKind, Stage, SyncScheme};
+use ap_planner::{pipedream_plan, sort_stage_workers_by, PipeDreamView};
+use autopipe::controller::enumerate::MoveEnumerator;
+use autopipe::controller::stages::{Enumerate, Score, ScoreCtx};
+use autopipe::controller::DecisionJournal;
+use autopipe::{DecisionEvent, Scorer};
+
+/// An API failure with its HTTP status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// 400 for malformed requests, 422 for semantically invalid ones,
+    /// 500 for internal failures.
+    pub status: u16,
+    /// Short kebab-case class.
+    pub kind: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ApiError {
+    /// Malformed request content (HTTP 400).
+    pub fn bad_request(kind: &str, message: impl Into<String>) -> Self {
+        ApiError {
+            status: 400,
+            kind: kind.to_string(),
+            message: message.into(),
+        }
+    }
+
+    /// Well-formed but semantically impossible (HTTP 422).
+    pub fn unprocessable(kind: &str, message: impl Into<String>) -> Self {
+        ApiError {
+            status: 422,
+            kind: kind.to_string(),
+            message: message.into(),
+        }
+    }
+
+    /// Internal failure (HTTP 500).
+    pub fn internal(message: impl Into<String>) -> Self {
+        ApiError {
+            status: 500,
+            kind: "internal".to_string(),
+            message: message.into(),
+        }
+    }
+
+    /// The JSON error body.
+    pub fn body(&self) -> Json {
+        Json::obj(vec![(
+            "error",
+            Json::obj(vec![
+                ("status", self.status.to_json()),
+                ("kind", self.kind.as_str().to_json()),
+                ("message", self.message.as_str().to_json()),
+            ]),
+        )])
+    }
+}
+
+/// Parse a request body as JSON, mapping parser errors to 400.
+pub fn parse_body(body: &[u8]) -> Result<Json, ApiError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ApiError::bad_request("bad-utf8", "request body is not UTF-8"))?;
+    ap_json::parse(text)
+        .map_err(|e| ApiError::bad_request(&format!("bad-json:{}", e.kind.label()), e.to_string()))
+}
+
+fn field<'a>(obj: &'a Json, key: &str) -> Option<&'a Json> {
+    obj.get(key)
+}
+
+fn usize_field(
+    obj: &Json,
+    key: &str,
+    default: usize,
+    lo: usize,
+    hi: usize,
+) -> Result<usize, ApiError> {
+    match field(obj, key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(v) => {
+            let n = v.as_usize().ok_or_else(|| {
+                ApiError::bad_request("bad-field", format!("{key} must be a non-negative integer"))
+            })?;
+            if n < lo || n > hi {
+                return Err(ApiError::unprocessable(
+                    "out-of-range",
+                    format!("{key} must be in [{lo}, {hi}], got {n}"),
+                ));
+            }
+            Ok(n)
+        }
+    }
+}
+
+fn f64_field(obj: &Json, key: &str, default: f64, lo: f64, hi: f64) -> Result<f64, ApiError> {
+    match field(obj, key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(v) => {
+            let x = v.as_f64().ok_or_else(|| {
+                ApiError::bad_request("bad-field", format!("{key} must be a number"))
+            })?;
+            if !x.is_finite() || x < lo || x > hi {
+                return Err(ApiError::unprocessable(
+                    "out-of-range",
+                    format!("{key} must be in [{lo}, {hi}], got {x}"),
+                ));
+            }
+            Ok(x)
+        }
+    }
+}
+
+/// A background job sharing part of the cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BgJobSpec {
+    /// GPU ids the job time-shares.
+    pub gpus: Vec<usize>,
+    /// Network traffic it adds on its servers' links, Gbps.
+    pub gbps: f64,
+}
+
+/// The cluster a request plans against: the paper's single-switch shape,
+/// parameterized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    /// Number of servers behind the switch.
+    pub n_servers: usize,
+    /// GPUs per server.
+    pub gpus_per_server: usize,
+    /// GPU kind everywhere.
+    pub gpu: GpuKind,
+    /// NIC line rate, Gbps.
+    pub link_gbps: f64,
+    /// Background jobs contending for GPUs and links.
+    pub background_jobs: Vec<BgJobSpec>,
+}
+
+fn gpu_kind_of(name: &str) -> Option<GpuKind> {
+    match name.to_ascii_lowercase().as_str() {
+        "p100" => Some(GpuKind::P100),
+        "v100" => Some(GpuKind::V100),
+        "a100" => Some(GpuKind::A100),
+        _ => None,
+    }
+}
+
+fn gpu_kind_name(kind: GpuKind) -> &'static str {
+    match kind {
+        GpuKind::P100 => "p100",
+        GpuKind::V100 => "v100",
+        GpuKind::A100 => "a100",
+    }
+}
+
+impl ClusterSpec {
+    /// The paper's testbed (5x2 P100 at 25 Gbps), exclusive.
+    pub fn default_testbed() -> Self {
+        ClusterSpec {
+            n_servers: 5,
+            gpus_per_server: 2,
+            gpu: GpuKind::P100,
+            link_gbps: 25.0,
+            background_jobs: Vec::new(),
+        }
+    }
+
+    /// Parse and validate from the `"cluster"` object (missing → default
+    /// testbed).
+    pub fn from_json(v: Option<&Json>) -> Result<Self, ApiError> {
+        let d = ClusterSpec::default_testbed();
+        let obj = match v {
+            None | Some(Json::Null) => return Ok(d),
+            Some(o @ Json::Obj(_)) => o,
+            Some(_) => {
+                return Err(ApiError::bad_request(
+                    "bad-field",
+                    "cluster must be an object",
+                ))
+            }
+        };
+        let n_servers = usize_field(obj, "n_servers", d.n_servers, 1, 64)?;
+        let gpus_per_server = usize_field(obj, "gpus_per_server", d.gpus_per_server, 1, 16)?;
+        let link_gbps = f64_field(obj, "link_gbps", d.link_gbps, 0.1, 1000.0)?;
+        let gpu = match field(obj, "gpu") {
+            None | Some(Json::Null) => d.gpu,
+            Some(v) => {
+                let name = v
+                    .as_str()
+                    .ok_or_else(|| ApiError::bad_request("bad-field", "gpu must be a string"))?;
+                gpu_kind_of(name).ok_or_else(|| {
+                    ApiError::unprocessable(
+                        "unknown-gpu",
+                        format!("unknown gpu kind {name:?}; known: p100, v100, a100"),
+                    )
+                })?
+            }
+        };
+        let n_gpus = n_servers * gpus_per_server;
+        let mut background_jobs = Vec::new();
+        if let Some(jobs) = field(obj, "background_jobs") {
+            let arr = jobs.as_arr().ok_or_else(|| {
+                ApiError::bad_request("bad-field", "background_jobs must be an array")
+            })?;
+            if arr.len() > 32 {
+                return Err(ApiError::unprocessable(
+                    "out-of-range",
+                    "at most 32 background jobs",
+                ));
+            }
+            for (i, job) in arr.iter().enumerate() {
+                let gpus_json = field(job, "gpus").and_then(Json::as_arr).ok_or_else(|| {
+                    ApiError::bad_request(
+                        "bad-field",
+                        format!("background_jobs[{i}].gpus must be an array"),
+                    )
+                })?;
+                let mut gpus = Vec::with_capacity(gpus_json.len());
+                for g in gpus_json {
+                    let id = g.as_usize().ok_or_else(|| {
+                        ApiError::bad_request(
+                            "bad-field",
+                            format!("background_jobs[{i}].gpus entries must be integers"),
+                        )
+                    })?;
+                    if id >= n_gpus {
+                        return Err(ApiError::unprocessable(
+                            "infeasible-cluster",
+                            format!(
+                                "background_jobs[{i}] names gpu {id} but the cluster has {n_gpus}"
+                            ),
+                        ));
+                    }
+                    gpus.push(id);
+                }
+                let job_gbps = f64_field(job, "gbps", 0.0, 0.0, 1000.0)?;
+                background_jobs.push(BgJobSpec {
+                    gpus,
+                    gbps: job_gbps,
+                });
+            }
+        }
+        Ok(ClusterSpec {
+            n_servers,
+            gpus_per_server,
+            gpu,
+            link_gbps,
+            background_jobs,
+        })
+    }
+
+    /// Canonical JSON: defaults filled, fields in fixed order. Two
+    /// requests meaning the same cluster serialize identically, so they
+    /// share a cache entry.
+    pub fn canonical(&self) -> Json {
+        Json::obj(vec![
+            ("n_servers", self.n_servers.to_json()),
+            ("gpus_per_server", self.gpus_per_server.to_json()),
+            ("gpu", gpu_kind_name(self.gpu).to_json()),
+            ("link_gbps", self.link_gbps.to_json()),
+            (
+                "background_jobs",
+                Json::Arr(
+                    self.background_jobs
+                        .iter()
+                        .map(|j| {
+                            Json::obj(vec![("gpus", j.gpus.to_json()), ("gbps", j.gbps.to_json())])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Total GPUs.
+    pub fn n_gpus(&self) -> usize {
+        self.n_servers * self.gpus_per_server
+    }
+
+    /// Materialize the cluster state the planner scores against.
+    pub fn to_state(&self) -> ClusterState {
+        let topo = ClusterTopology::single_switch(
+            self.n_servers,
+            self.gpus_per_server,
+            self.gpu,
+            self.link_gbps,
+        );
+        let mut state = ClusterState::new(topo);
+        for (i, job) in self.background_jobs.iter().enumerate() {
+            state.apply(&EventKind::JobArrive {
+                id: BgJobId(1000 + i as u64),
+                gpus: job.gpus.iter().map(|&g| GpuId(g)).collect(),
+                net_bytes_per_sec: gbps(job.gbps),
+            });
+        }
+        state
+    }
+}
+
+/// Planner knobs a request may override.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannerConfig {
+    /// Greedy refinement rounds.
+    pub refine_rounds: usize,
+    /// Engine iterations per measurement.
+    pub measure_iters: usize,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            refine_rounds: 40,
+            measure_iters: 10,
+        }
+    }
+}
+
+impl PlannerConfig {
+    /// Parse and validate from the `"planner"` object (missing →
+    /// defaults).
+    pub fn from_json(v: Option<&Json>) -> Result<Self, ApiError> {
+        let d = PlannerConfig::default();
+        let obj = match v {
+            None | Some(Json::Null) => return Ok(d),
+            Some(o @ Json::Obj(_)) => o,
+            Some(_) => {
+                return Err(ApiError::bad_request(
+                    "bad-field",
+                    "planner must be an object",
+                ))
+            }
+        };
+        Ok(PlannerConfig {
+            refine_rounds: usize_field(obj, "refine_rounds", d.refine_rounds, 1, 200)?,
+            measure_iters: usize_field(obj, "measure_iters", d.measure_iters, 1, 256)?,
+        })
+    }
+
+    /// Canonical JSON (fixed order, defaults filled).
+    pub fn canonical(&self) -> Json {
+        Json::obj(vec![
+            ("refine_rounds", self.refine_rounds.to_json()),
+            ("measure_iters", self.measure_iters.to_json()),
+        ])
+    }
+}
+
+/// Names the daemon's model zoo answers to.
+pub const KNOWN_MODELS: &[&str] = &[
+    "alexnet",
+    "vgg16",
+    "resnet50",
+    "resnet101",
+    "resnet152",
+    "bert12",
+    "bert24",
+    "bert48",
+    "gpt2-small",
+    "gpt2-medium",
+];
+
+/// Look up a model by serving name.
+pub fn model_by_name(name: &str) -> Option<ModelDesc> {
+    match name {
+        "alexnet" => Some(ap_models::alexnet()),
+        "vgg16" => Some(ap_models::vgg16()),
+        "resnet50" => Some(ap_models::resnet50()),
+        "resnet101" => Some(ap_models::resnet101()),
+        "resnet152" => Some(ap_models::resnet152()),
+        "bert12" => Some(ap_models::bert_n(12)),
+        "bert24" => Some(ap_models::bert_n(24)),
+        "bert48" => Some(ap_models::bert48()),
+        "gpt2-small" => Some(ap_models::gpt2_small()),
+        "gpt2-medium" => Some(ap_models::gpt2_medium()),
+        _ => None,
+    }
+}
+
+fn model_field(obj: &Json) -> Result<String, ApiError> {
+    let name = field(obj, "model")
+        .ok_or_else(|| ApiError::bad_request("missing-field", "request needs a \"model\""))?
+        .as_str()
+        .ok_or_else(|| ApiError::bad_request("bad-field", "model must be a string"))?;
+    if model_by_name(name).is_none() {
+        return Err(ApiError::unprocessable(
+            "unknown-model",
+            format!("unknown model {name:?}; known: {}", KNOWN_MODELS.join(", ")),
+        ));
+    }
+    Ok(name.to_string())
+}
+
+/// A validated `/plan` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanRequest {
+    /// Model serving name (validated against [`KNOWN_MODELS`]).
+    pub model: String,
+    /// The cluster to plan for.
+    pub cluster: ClusterSpec,
+    /// Planner knobs.
+    pub planner: PlannerConfig,
+}
+
+impl PlanRequest {
+    /// Parse and validate a `/plan` body.
+    pub fn from_json(v: &Json) -> Result<Self, ApiError> {
+        if v.as_obj().is_none() {
+            return Err(ApiError::bad_request(
+                "bad-body",
+                "request body must be a JSON object",
+            ));
+        }
+        Ok(PlanRequest {
+            model: model_field(v)?,
+            cluster: ClusterSpec::from_json(field(v, "cluster"))?,
+            planner: PlannerConfig::from_json(field(v, "planner"))?,
+        })
+    }
+
+    /// The canonical cache key: model + cluster signature + planner
+    /// config, defaults filled, fixed field order.
+    pub fn canonical_key(&self) -> String {
+        Json::obj(vec![
+            ("model", self.model.as_str().to_json()),
+            ("cluster", self.cluster.canonical()),
+            ("planner", self.planner.canonical()),
+        ])
+        .pretty()
+    }
+}
+
+fn experiment_env() -> (SyncScheme, Framework, ScheduleKind) {
+    (
+        SyncScheme::RingAllReduce,
+        Framework::pytorch(),
+        ScheduleKind::PipeDreamAsync,
+    )
+}
+
+fn engine_throughput(
+    profile: &ModelProfile,
+    partition: &Partition,
+    state: &ClusterState,
+    iterations: usize,
+) -> Result<f64, ApiError> {
+    let (scheme, framework, schedule) = experiment_env();
+    let cfg = EngineConfig {
+        scheme,
+        framework,
+        schedule,
+        record_timeline: false,
+    };
+    let engine = Engine::new(
+        profile,
+        partition.clone(),
+        state.clone(),
+        ResourceTimeline::empty(),
+        cfg,
+    )
+    .map_err(|e| ApiError::unprocessable("invalid-partition", e.to_string()))?;
+    let n = iterations.max(3 * partition.in_flight).max(12);
+    let skip = n / 3;
+    let r = engine
+        .run(n)
+        .map_err(|e| ApiError::internal(format!("engine run failed: {e}")))?;
+    Ok(r.steady_throughput(skip))
+}
+
+/// Serve a validated `/plan` request: PipeDream seed, analytic greedy
+/// refinement (journaled), engine verification, response assembly.
+pub fn compute_plan(req: &PlanRequest) -> Result<Json, ApiError> {
+    let desc = model_by_name(&req.model).expect("model validated at parse time");
+    let profile = ModelProfile::of(&desc);
+    let state = req.cluster.to_state();
+    let (scheme, framework, schedule) = experiment_env();
+
+    // PipeDream's one-shot view: nominal line rate, exclusive GPUs.
+    let all_gpus: Vec<GpuId> = (0..req.cluster.n_gpus()).map(GpuId).collect();
+    let start = pipedream_plan(
+        &profile,
+        &all_gpus,
+        PipeDreamView {
+            bandwidth: gbps(req.cluster.link_gbps),
+            gpu_flops: req.cluster.gpu.peak_flops(),
+        },
+    );
+
+    // Greedy refinement against the true cluster state, journaled round
+    // by round (the serve-side equivalent of `hill_climb`, kept explicit
+    // so candidate counts land in the journal).
+    let mut journal = DecisionJournal::new();
+    let history = VecDeque::new();
+    let ctx = ScoreCtx {
+        profile: &profile,
+        scheme,
+        framework,
+        schedule,
+        history: &history,
+        state: &state,
+    };
+    let scorer = Scorer::Analytic;
+    let enumerator = MoveEnumerator::new();
+    let mut current = start.clone();
+    sort_stage_workers_by(&mut current, |g| state.effective_flops(g));
+    let start_pred = scorer.predict(&ctx, &current);
+    let mut current_pred = start_pred;
+    let mut rounds = 0usize;
+    let mut scored = 0usize;
+    for _ in 0..req.planner.refine_rounds {
+        let candidates = enumerator.candidates(&current, &profile, &[]);
+        if candidates.is_empty() {
+            break;
+        }
+        rounds += 1;
+        scored += candidates.len();
+        match scorer.best(&ctx, candidates) {
+            Some((score, p)) if score > current_pred * (1.0 + 1e-9) => {
+                current = p;
+                current_pred = score;
+            }
+            _ => break,
+        }
+    }
+    journal.record(
+        0,
+        0,
+        0.0,
+        DecisionEvent::CandidatesScored {
+            rounds,
+            scored,
+            current_pred: start_pred,
+            best_pred: current_pred,
+            best: current.summary(),
+        },
+    );
+
+    // Verify by measurement: the accepted plan never loses to the
+    // PipeDream seed on the engine.
+    let start_measured = engine_throughput(&profile, &start, &state, req.planner.measure_iters)?;
+    let (chosen, measured, refined_won) = if current == start {
+        (start.clone(), start_measured, false)
+    } else {
+        let refined_measured =
+            engine_throughput(&profile, &current, &state, req.planner.measure_iters)?;
+        if refined_measured > start_measured {
+            (current.clone(), refined_measured, true)
+        } else {
+            (start.clone(), start_measured, false)
+        }
+    };
+    journal.record(
+        0,
+        0,
+        0.0,
+        DecisionEvent::ArbiterVerdict {
+            approved: refined_won,
+            predicted_speedup: current_pred / start_pred.max(1e-12),
+            switch_cost_seconds: 0.0,
+            reward: measured / start_measured.max(1e-12) - 1.0,
+        },
+    );
+
+    Ok(Json::obj(vec![
+        ("model", req.model.as_str().to_json()),
+        ("partition", chosen.to_json()),
+        ("summary", chosen.summary().to_json()),
+        ("predicted_throughput", current_pred.to_json()),
+        ("measured_throughput", measured.to_json()),
+        (
+            "journal",
+            Json::obj(vec![
+                ("events", journal.records.len().to_json()),
+                ("rounds", rounds.to_json()),
+                ("candidates_scored", scored.to_json()),
+                ("refined", refined_won.to_json()),
+                ("records", journal.to_json()),
+            ]),
+        ),
+        ("cached", false.to_json()),
+    ]))
+}
+
+/// A validated `/simulate` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateRequest {
+    /// Model serving name.
+    pub model: String,
+    /// The cluster to simulate on.
+    pub cluster: ClusterSpec,
+    /// The partition to execute.
+    pub partition: Partition,
+    /// Mini-batches to simulate.
+    pub iterations: usize,
+}
+
+/// Parse `"partition"`: `{"stages": [{"layers": [s, e], "workers":
+/// [...]}, ...], "in_flight": n}` (`in_flight` optional).
+fn partition_from_json(v: &Json, n_gpus: usize) -> Result<Partition, ApiError> {
+    let stages_json = field(v, "stages")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ApiError::bad_request("bad-field", "partition.stages must be an array"))?;
+    if stages_json.is_empty() || stages_json.len() > 256 {
+        return Err(ApiError::unprocessable(
+            "invalid-partition",
+            "partition needs 1..=256 stages",
+        ));
+    }
+    let mut stages = Vec::with_capacity(stages_json.len());
+    for (i, s) in stages_json.iter().enumerate() {
+        let layers = field(s, "layers").and_then(Json::as_arr).ok_or_else(|| {
+            ApiError::bad_request(
+                "bad-field",
+                format!("stages[{i}].layers must be [start, end]"),
+            )
+        })?;
+        let (Some(lo), Some(hi)) = (
+            layers.first().and_then(Json::as_usize),
+            layers.get(1).and_then(Json::as_usize),
+        ) else {
+            return Err(ApiError::bad_request(
+                "bad-field",
+                format!("stages[{i}].layers must be two non-negative integers"),
+            ));
+        };
+        if layers.len() != 2 || hi > 100_000 {
+            return Err(ApiError::bad_request(
+                "bad-field",
+                format!("stages[{i}].layers must be [start, end]"),
+            ));
+        }
+        let workers_json = field(s, "workers").and_then(Json::as_arr).ok_or_else(|| {
+            ApiError::bad_request("bad-field", format!("stages[{i}].workers must be an array"))
+        })?;
+        let mut workers = Vec::with_capacity(workers_json.len());
+        for w in workers_json {
+            let id = w.as_usize().ok_or_else(|| {
+                ApiError::bad_request(
+                    "bad-field",
+                    format!("stages[{i}].workers entries must be integers"),
+                )
+            })?;
+            if id >= n_gpus {
+                return Err(ApiError::unprocessable(
+                    "infeasible-partition",
+                    format!("stages[{i}] names gpu {id} but the cluster has {n_gpus}"),
+                ));
+            }
+            workers.push(GpuId(id));
+        }
+        stages.push(Stage::new(lo..hi, workers));
+    }
+    let mut partition = Partition {
+        stages,
+        in_flight: 1,
+    };
+    partition.in_flight = match field(v, "in_flight") {
+        None | Some(Json::Null) => partition.default_in_flight(),
+        Some(n) => {
+            let n = n.as_usize().ok_or_else(|| {
+                ApiError::bad_request("bad-field", "in_flight must be a non-negative integer")
+            })?;
+            if n == 0 || n > 4096 {
+                return Err(ApiError::unprocessable(
+                    "invalid-partition",
+                    "in_flight must be in [1, 4096]",
+                ));
+            }
+            n
+        }
+    };
+    Ok(partition)
+}
+
+impl SimulateRequest {
+    /// Parse and validate a `/simulate` body, including the partition's
+    /// structural validity against the model.
+    pub fn from_json(v: &Json) -> Result<Self, ApiError> {
+        if v.as_obj().is_none() {
+            return Err(ApiError::bad_request(
+                "bad-body",
+                "request body must be a JSON object",
+            ));
+        }
+        let model = model_field(v)?;
+        let cluster = ClusterSpec::from_json(field(v, "cluster"))?;
+        let partition_json = field(v, "partition").ok_or_else(|| {
+            ApiError::bad_request("missing-field", "request needs a \"partition\"")
+        })?;
+        let partition = partition_from_json(partition_json, cluster.n_gpus())?;
+        let desc = model_by_name(&model).expect("model validated above");
+        let n_layers = desc.n_layers();
+        partition
+            .validate(n_layers)
+            .map_err(|e| ApiError::unprocessable("invalid-partition", e.to_string()))?;
+        let iterations = usize_field(v, "iterations", 64, 1, 512)?;
+        Ok(SimulateRequest {
+            model,
+            cluster,
+            partition,
+            iterations,
+        })
+    }
+}
+
+/// Serve a validated `/simulate` request: run the event engine, report
+/// timings.
+pub fn compute_simulate(req: &SimulateRequest) -> Result<Json, ApiError> {
+    let desc = model_by_name(&req.model).expect("model validated at parse time");
+    let profile = ModelProfile::of(&desc);
+    let state = req.cluster.to_state();
+    let (scheme, framework, schedule) = experiment_env();
+    let cfg = EngineConfig {
+        scheme,
+        framework,
+        schedule,
+        record_timeline: false,
+    };
+    let engine = Engine::new(
+        &profile,
+        req.partition.clone(),
+        state,
+        ResourceTimeline::empty(),
+        cfg,
+    )
+    .map_err(|e| ApiError::unprocessable("invalid-partition", e.to_string()))?;
+    let r = engine
+        .run(req.iterations)
+        .map_err(|e| ApiError::unprocessable("simulation-failed", e.to_string()))?;
+    Ok(Json::obj(vec![
+        ("model", req.model.as_str().to_json()),
+        ("partition", req.partition.to_json()),
+        ("iterations", r.iterations.len().to_json()),
+        ("throughput", r.throughput().to_json()),
+        (
+            "steady_throughput",
+            r.steady_throughput(req.iterations / 3).to_json(),
+        ),
+        ("makespan", r.makespan.to_json()),
+        ("mean_staleness", r.mean_staleness.to_json()),
+        ("utilization", r.utilization().to_json()),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Json {
+        ap_json::parse(s).unwrap()
+    }
+
+    #[test]
+    fn plan_request_fills_defaults_and_canonicalizes() {
+        let a = PlanRequest::from_json(&parse(r#"{"model": "vgg16"}"#)).unwrap();
+        let b = PlanRequest::from_json(&parse(
+            r#"{"model": "vgg16", "cluster": {"n_servers": 5, "gpus_per_server": 2,
+                "gpu": "p100", "link_gbps": 25.0, "background_jobs": []},
+                "planner": {"refine_rounds": 40, "measure_iters": 10}}"#,
+        ))
+        .unwrap();
+        assert_eq!(a.canonical_key(), b.canonical_key());
+        assert_eq!(a.cluster, ClusterSpec::default_testbed());
+    }
+
+    #[test]
+    fn unknown_model_is_422() {
+        let e = PlanRequest::from_json(&parse(r#"{"model": "vgg99"}"#)).unwrap_err();
+        assert_eq!(e.status, 422);
+        assert_eq!(e.kind, "unknown-model");
+        assert!(e.message.contains("vgg16"));
+    }
+
+    #[test]
+    fn missing_model_is_400() {
+        let e = PlanRequest::from_json(&parse("{}")).unwrap_err();
+        assert_eq!(e.status, 400);
+        assert_eq!(e.kind, "missing-field");
+    }
+
+    #[test]
+    fn infeasible_cluster_is_422() {
+        let e = PlanRequest::from_json(&parse(
+            r#"{"model": "vgg16", "cluster": {"n_servers": 2, "gpus_per_server": 2,
+                "background_jobs": [{"gpus": [7], "gbps": 1.0}]}}"#,
+        ))
+        .unwrap_err();
+        assert_eq!(e.status, 422);
+        assert_eq!(e.kind, "infeasible-cluster");
+        let e =
+            PlanRequest::from_json(&parse(r#"{"model": "vgg16", "cluster": {"n_servers": 0}}"#))
+                .unwrap_err();
+        assert_eq!(e.status, 422);
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_beats_or_matches_seed() {
+        let req = PlanRequest::from_json(&parse(
+            r#"{"model": "resnet50", "cluster": {"link_gbps": 10.0,
+                "background_jobs": [{"gpus": [0, 1, 2, 3], "gbps": 5.0}]},
+                "planner": {"measure_iters": 8}}"#,
+        ))
+        .unwrap();
+        let a = compute_plan(&req).unwrap();
+        let b = compute_plan(&req).unwrap();
+        assert_eq!(a.pretty(), b.pretty());
+        let measured = a.get("measured_throughput").and_then(Json::as_f64).unwrap();
+        assert!(measured > 0.0);
+        assert_eq!(a.get("cached").and_then(Json::as_bool), Some(false));
+        assert!(a.get("journal").unwrap().get("records").is_some());
+    }
+
+    #[test]
+    fn simulate_validates_partition_structure() {
+        // Gap between stages → 422 with the validator's message.
+        let e = SimulateRequest::from_json(&parse(
+            r#"{"model": "alexnet", "partition": {"stages": [
+                {"layers": [0, 3], "workers": [0]},
+                {"layers": [4, 11], "workers": [1]}]}}"#,
+        ))
+        .unwrap_err();
+        assert_eq!(e.status, 422);
+        assert_eq!(e.kind, "invalid-partition");
+        // Worker beyond the cluster → 422.
+        let e = SimulateRequest::from_json(&parse(
+            r#"{"model": "alexnet", "cluster": {"n_servers": 1, "gpus_per_server": 2},
+                "partition": {"stages": [{"layers": [0, 11], "workers": [5]}]}}"#,
+        ))
+        .unwrap_err();
+        assert_eq!(e.kind, "infeasible-partition");
+    }
+
+    #[test]
+    fn simulate_runs_a_valid_partition() {
+        let req = SimulateRequest::from_json(&parse(
+            r#"{"model": "alexnet", "partition": {"stages": [
+                {"layers": [0, 11], "workers": [0, 1, 2, 3]}]}, "iterations": 24}"#,
+        ))
+        .unwrap();
+        let out = compute_simulate(&req).unwrap();
+        assert!(out.get("throughput").and_then(Json::as_f64).unwrap() > 0.0);
+        assert_eq!(out.get("iterations").and_then(Json::as_usize), Some(24));
+    }
+}

@@ -1,0 +1,41 @@
+//! `ap-serve` — run the planning daemon from the command line.
+//!
+//! ```text
+//! ap-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+//! ```
+//!
+//! Prints the bound address (useful with `--addr 127.0.0.1:0`) and runs
+//! until `POST /shutdown`.
+
+use ap_serve::{spawn, ServeConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: ap-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]");
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut cfg = ServeConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else { usage() };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value,
+            "--workers" => cfg.workers = value.parse().unwrap_or_else(|_| usage()),
+            "--queue" => cfg.queue_capacity = value.parse().unwrap_or_else(|_| usage()),
+            "--cache" => cfg.cache_capacity = value.parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    match spawn(cfg) {
+        Ok(handle) => {
+            println!("ap-serve listening on http://{}", handle.addr());
+            handle.wait();
+            println!("ap-serve drained and stopped");
+        }
+        Err(e) => {
+            eprintln!("ap-serve: failed to bind: {e}");
+            std::process::exit(1);
+        }
+    }
+}

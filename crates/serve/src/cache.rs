@@ -1,0 +1,174 @@
+//! The LRU plan cache.
+//!
+//! Planning is pure: the chosen partition is a deterministic function of
+//! `(cluster signature, model, planner config)`. The cache keys on an
+//! FNV-1a digest of that triple's **canonical** serialization (defaults
+//! filled in, fields in fixed order — two spellings of the same request
+//! share an entry) and stores the finished response body. Capacity is
+//! bounded with least-recently-*used* eviction.
+//!
+//! Invalidation is explicit and global: when resource dynamics change in
+//! ways the cluster signature does not capture (a calibration update, a
+//! topology edit out-of-band), `POST /invalidate` bumps the generation
+//! and drops every entry. The generation is echoed in `/plan` and
+//! `/stats` responses so clients can tell which epoch served them.
+
+use std::collections::HashMap;
+
+use ap_json::Json;
+
+/// 64-bit FNV-1a: canonical digest of a cache key string.
+pub fn fnv1a64(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A bounded LRU map from request digest to finished plan response.
+pub struct PlanCache {
+    capacity: usize,
+    map: HashMap<u64, Json>,
+    /// Keys, least recently used first.
+    order: Vec<u64>,
+    hits: u64,
+    misses: u64,
+    generation: u64,
+}
+
+impl PlanCache {
+    /// An empty cache holding at most `capacity` plans.
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity: capacity.max(1),
+            map: HashMap::new(),
+            order: Vec::new(),
+            hits: 0,
+            misses: 0,
+            generation: 0,
+        }
+    }
+
+    /// Look up a digest, refreshing its recency. Counts a hit or miss.
+    pub fn get(&mut self, digest: u64) -> Option<Json> {
+        match self.map.get(&digest) {
+            Some(v) => {
+                self.hits += 1;
+                let v = v.clone();
+                self.touch(digest);
+                Some(v)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly computed plan, evicting the least recently used
+    /// entry if full.
+    pub fn insert(&mut self, digest: u64, response: Json) {
+        if let std::collections::hash_map::Entry::Occupied(mut e) = self.map.entry(digest) {
+            e.insert(response);
+            self.touch(digest);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let lru = self.order.remove(0);
+            self.map.remove(&lru);
+        }
+        self.map.insert(digest, response);
+        self.order.push(digest);
+    }
+
+    /// Drop everything and bump the generation.
+    pub fn invalidate_all(&mut self) -> u64 {
+        self.map.clear();
+        self.order.clear();
+        self.generation += 1;
+        self.generation
+    }
+
+    /// `(hits, misses, entries, capacity, generation)`.
+    pub fn stats(&self) -> (u64, u64, usize, usize, u64) {
+        (
+            self.hits,
+            self.misses,
+            self.map.len(),
+            self.capacity,
+            self.generation,
+        )
+    }
+
+    /// Hit rate over all lookups so far (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    fn touch(&mut self, digest: u64) {
+        if let Some(pos) = self.order.iter().position(|&k| k == digest) {
+            self.order.remove(pos);
+            self.order.push(digest);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: f64) -> Json {
+        Json::Num(n)
+    }
+
+    #[test]
+    fn digest_is_stable_and_spreads() {
+        assert_eq!(fnv1a64("abc"), fnv1a64("abc"));
+        assert_ne!(fnv1a64("abc"), fnv1a64("abd"));
+        assert_ne!(fnv1a64(""), fnv1a64(" "));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = PlanCache::new(2);
+        c.insert(1, v(1.0));
+        c.insert(2, v(2.0));
+        assert!(c.get(1).is_some()); // 1 is now most recent
+        c.insert(3, v(3.0)); // evicts 2
+        assert!(c.get(2).is_none());
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        let (hits, misses, entries, capacity, generation) = c.stats();
+        assert_eq!(
+            (hits, misses, entries, capacity, generation),
+            (3, 1, 2, 2, 0)
+        );
+        assert!((c.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalidate_clears_and_bumps_generation() {
+        let mut c = PlanCache::new(4);
+        c.insert(1, v(1.0));
+        assert_eq!(c.invalidate_all(), 1);
+        assert!(c.get(1).is_none());
+        assert_eq!(c.invalidate_all(), 2);
+    }
+
+    #[test]
+    fn reinsert_updates_value_in_place() {
+        let mut c = PlanCache::new(2);
+        c.insert(1, v(1.0));
+        c.insert(1, v(9.0));
+        assert_eq!(c.get(1), Some(v(9.0)));
+        let (_, _, entries, _, _) = c.stats();
+        assert_eq!(entries, 1);
+    }
+}

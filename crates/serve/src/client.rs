@@ -1,0 +1,175 @@
+//! A small blocking HTTP/1.1 client for the daemon's JSON API.
+//!
+//! Shared by the serve-bench load generator and the crate's own tests;
+//! also the easiest way to poke a running daemon from Rust. One client
+//! holds one keep-alive connection; requests on it are sequential.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use ap_json::Json;
+
+/// How long to wait for a response before giving up.
+const RESPONSE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One parsed response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (the daemon always sends JSON).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Look up a header by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parse the body as JSON.
+    pub fn json(&self) -> Option<Json> {
+        let text = std::str::from_utf8(&self.body).ok()?;
+        ap_json::parse(text).ok()
+    }
+
+    /// Whether the server will keep this connection open.
+    pub fn keep_alive(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
+    }
+}
+
+/// A keep-alive connection to the daemon.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(RESPONSE_TIMEOUT))?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Send one request and read the response. `body = None` sends no
+    /// body (the usual GET shape).
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> io::Result<Response> {
+        let body_text = body.map(Json::pretty).unwrap_or_default();
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: ap-serve\r\nContent-Length: {}\r\nContent-Type: application/json\r\n\r\n",
+            body_text.len(),
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body_text.as_bytes())?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    /// Write raw bytes on the wire and read whatever comes back — the
+    /// hostile-input path for malformed-request tests.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<Response> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    /// Write bytes without waiting for a response (build up a partial
+    /// request).
+    pub fn send_partial(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// Read one response — the follow-up to [`Client::send_partial`] /
+    /// [`Client::shutdown_write`].
+    pub fn read_any(&mut self) -> io::Result<Response> {
+        self.read_response()
+    }
+
+    /// Half-close the write side (simulates a client that stops sending
+    /// mid-request).
+    pub fn shutdown_write(&mut self) -> io::Result<()> {
+        self.stream.shutdown(std::net::Shutdown::Write)
+    }
+
+    /// Wait up to `wait` for a response the server sends **unprompted** —
+    /// the shed path writes `503 + Retry-After` at accept time, before
+    /// any request. Returns `None` if nothing arrived (the connection was
+    /// admitted and the server is waiting for a request).
+    pub fn read_unsolicited(&mut self, wait: Duration) -> Option<Response> {
+        self.stream.set_read_timeout(Some(wait)).ok()?;
+        let r = self.read_response();
+        let _ = self.stream.set_read_timeout(Some(RESPONSE_TIMEOUT));
+        r.ok()
+    }
+
+    fn read_response(&mut self) -> io::Result<Response> {
+        let mut buf: Vec<u8> = Vec::with_capacity(1024);
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed before response head",
+                    ))
+                }
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        };
+        let head = std::str::from_utf8(&buf[..head_end])
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response head not UTF-8"))?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or("");
+        let status = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+        let mut headers = Vec::new();
+        for line in lines {
+            if let Some((k, v)) = line.split_once(':') {
+                headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+            }
+        }
+        let content_length = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok())
+            .unwrap_or(0);
+        let mut body: Vec<u8> = buf[(head_end + 4).min(buf.len())..].to_vec();
+        while body.len() < content_length {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => body.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        body.truncate(content_length);
+        Ok(Response {
+            status,
+            headers,
+            body,
+        })
+    }
+}

@@ -1,0 +1,42 @@
+//! # ap-serve — planning as a service
+//!
+//! AutoPipe's value is answering "what partition should this job run
+//! with, *right now*?" — a query, not a batch script. This crate puts the
+//! planner, the analytic scorer and the pipesim engine behind a long-lived
+//! daemon so that a scheduler (or a `curl`) can ask that question over a
+//! socket:
+//!
+//! | endpoint           | meaning                                               |
+//! |--------------------|-------------------------------------------------------|
+//! | `POST /plan`       | cluster spec + model → partition, predicted + measured throughput, decision-journal summary |
+//! | `POST /simulate`   | partition + cluster + model → pipesim timings          |
+//! | `GET /health`      | liveness                                               |
+//! | `GET /stats`       | request counts, cache hit rate, queue depth            |
+//! | `POST /invalidate` | drop every cached plan (resource dynamics changed)     |
+//! | `POST /shutdown`   | drain in-flight requests, then exit                    |
+//!
+//! The stack is hermetic: HTTP/1.1 over [`std::net::TcpListener`]
+//! ([`http`]), JSON via the shared [`ap_json`] crate, and a worker pool
+//! sized like [`ap_par::threads`]. In front of the planner sits an LRU
+//! **plan cache** ([`cache`]) keyed by a canonical digest of
+//! `(cluster signature, model, planner config)`, and a bounded
+//! **admission queue** ([`admission`]) that sheds load with
+//! `503 + Retry-After` instead of queuing without bound. Shutdown drains:
+//! accepted connections finish their in-flight request before workers
+//! exit.
+//!
+//! Planning is deterministic — same request, same plan, regardless of
+//! worker count or `AP_PAR_THREADS` — because every parallel stage below
+//! it preserves order ([`ap_par::map`]).
+
+pub mod admission;
+pub mod api;
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod server;
+
+pub use api::{ApiError, ClusterSpec, PlannerConfig};
+pub use cache::PlanCache;
+pub use client::Client;
+pub use server::{spawn, ServeConfig, ServerHandle};

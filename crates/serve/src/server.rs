@@ -1,0 +1,398 @@
+//! The daemon: acceptor, admission queue, worker pool, routing, and
+//! graceful shutdown.
+//!
+//! Thread shape: one **acceptor** blocks on [`TcpListener::accept`] and
+//! offers each connection to the bounded [`AdmissionQueue`] — at capacity
+//! it writes `503 + Retry-After` inline and closes, so overload costs one
+//! socket write, never unbounded memory. `workers` threads block on
+//! [`AdmissionQueue::pop`] and speak keep-alive HTTP/1.1.
+//!
+//! Shutdown (from [`ServerHandle::shutdown`] or `POST /shutdown`) drains:
+//! set the draining flag (read polls notice within [`http::POLL`] on idle
+//! keep-alive connections), close the queue (workers finish what was
+//! admitted, then exit), then wake the acceptor with a loopback connect so
+//! its blocking `accept` returns and it can observe the stop flag.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use ap_json::{Json, ToJson};
+
+use crate::admission::{AdmissionQueue, Admit};
+use crate::api::{self, ApiError, PlanRequest, SimulateRequest};
+use crate::cache::{fnv1a64, PlanCache};
+use crate::http::{self, ReadError, Request};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads (each owns one connection at a time).
+    pub workers: usize,
+    /// Admission queue bound — waiting connections beyond this are shed.
+    pub queue_capacity: usize,
+    /// Plan cache capacity, entries.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: ap_par::threads(),
+            queue_capacity: 64,
+            cache_capacity: 128,
+        }
+    }
+}
+
+struct State {
+    addr: SocketAddr,
+    workers: usize,
+    cache: Mutex<PlanCache>,
+    queue: AdmissionQueue,
+    /// Set first on shutdown: idle keep-alive reads abort promptly.
+    draining: AtomicBool,
+    /// Tells the acceptor (once woken) to exit.
+    stop: AtomicBool,
+    requests: AtomicU64,
+    plan_requests: AtomicU64,
+    simulate_requests: AtomicU64,
+    error_responses: AtomicU64,
+}
+
+impl State {
+    /// Initiate the drain sequence; idempotent, callable from any thread.
+    fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.queue.close();
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of its blocking accept().
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn stats_json(&self) -> Json {
+        let (hits, misses, entries, capacity, generation) = self.cache.lock().unwrap().stats();
+        let hit_rate = self.cache.lock().unwrap().hit_rate();
+        let (admitted, shed, peak_depth) = self.queue.counters();
+        Json::obj(vec![
+            (
+                "requests",
+                Json::obj(vec![
+                    ("total", self.requests.load(Ordering::Relaxed).to_json()),
+                    ("plan", self.plan_requests.load(Ordering::Relaxed).to_json()),
+                    (
+                        "simulate",
+                        self.simulate_requests.load(Ordering::Relaxed).to_json(),
+                    ),
+                    (
+                        "errors",
+                        self.error_responses.load(Ordering::Relaxed).to_json(),
+                    ),
+                ]),
+            ),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("hits", hits.to_json()),
+                    ("misses", misses.to_json()),
+                    ("entries", entries.to_json()),
+                    ("capacity", capacity.to_json()),
+                    ("hit_rate", hit_rate.to_json()),
+                    ("generation", generation.to_json()),
+                ]),
+            ),
+            (
+                "queue",
+                Json::obj(vec![
+                    ("depth", self.queue.depth().to_json()),
+                    ("capacity", self.queue.capacity().to_json()),
+                    ("peak_depth", peak_depth.to_json()),
+                    ("admitted", admitted.to_json()),
+                    ("shed", shed.to_json()),
+                ]),
+            ),
+            ("workers", self.workers.to_json()),
+            ("draining", self.draining.load(Ordering::Relaxed).to_json()),
+        ])
+    }
+}
+
+/// A running daemon. Dropping the handle does **not** stop it; call
+/// [`ServerHandle::shutdown`] (or POST `/shutdown` and then
+/// [`ServerHandle::wait`]).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<State>,
+    acceptor: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Drain in-flight requests and stop. Blocks until every thread has
+    /// exited. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.state.begin_drain();
+        self.join_all();
+    }
+
+    /// Block until the daemon stops on its own (e.g. via `POST
+    /// /shutdown`).
+    pub fn wait(mut self) {
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.worker_handles.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Bind, start the acceptor and worker pool, return immediately.
+pub fn spawn(cfg: ServeConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let workers = cfg.workers.max(1);
+    let state = Arc::new(State {
+        addr,
+        workers,
+        cache: Mutex::new(PlanCache::new(cfg.cache_capacity)),
+        queue: AdmissionQueue::new(cfg.queue_capacity),
+        draining: AtomicBool::new(false),
+        stop: AtomicBool::new(false),
+        requests: AtomicU64::new(0),
+        plan_requests: AtomicU64::new(0),
+        simulate_requests: AtomicU64::new(0),
+        error_responses: AtomicU64::new(0),
+    });
+
+    let accept_state = Arc::clone(&state);
+    let acceptor = std::thread::Builder::new()
+        .name("ap-serve-accept".to_string())
+        .spawn(move || acceptor_loop(listener, &accept_state))?;
+
+    let mut worker_handles = Vec::with_capacity(workers);
+    for i in 0..workers {
+        let worker_state = Arc::clone(&state);
+        worker_handles.push(
+            std::thread::Builder::new()
+                .name(format!("ap-serve-worker-{i}"))
+                .spawn(move || worker_loop(&worker_state))?,
+        );
+    }
+
+    Ok(ServerHandle {
+        addr,
+        state,
+        acceptor: Some(acceptor),
+        worker_handles,
+    })
+}
+
+fn acceptor_loop(listener: TcpListener, state: &State) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => {
+                if state.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if state.stop.load(Ordering::SeqCst) {
+            // The wake-up connect (or a late client); nothing to serve.
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        match state.queue.offer(stream) {
+            Admit::Enqueued => {}
+            Admit::Shed(mut s) | Admit::Closed(mut s) => {
+                // One cheap write on the acceptor thread; the worker pool
+                // never sees shed load.
+                state.error_responses.fetch_add(1, Ordering::Relaxed);
+                let body = ApiError {
+                    status: 503,
+                    kind: "overloaded".to_string(),
+                    message: "admission queue full; retry shortly".to_string(),
+                }
+                .body();
+                let _ = http::respond(
+                    &mut s,
+                    503,
+                    &[("Retry-After", "1".to_string())],
+                    &body.pretty(),
+                    true,
+                );
+            }
+        }
+    }
+}
+
+fn worker_loop(state: &State) {
+    while let Some(mut stream) = state.queue.pop() {
+        serve_connection(&mut stream, state);
+    }
+}
+
+fn serve_connection(stream: &mut TcpStream, state: &State) {
+    loop {
+        let req = match http::read_request(stream, &state.draining) {
+            Ok(req) => req,
+            Err(ReadError::Closed) | Err(ReadError::Draining) | Err(ReadError::Io(_)) => return,
+            Err(ReadError::HeadTooLarge) => {
+                let _ = error_response(
+                    stream,
+                    state,
+                    431,
+                    "head-too-large",
+                    "request head exceeds 8 KiB",
+                );
+                return;
+            }
+            Err(ReadError::BodyTooLarge) => {
+                let _ = error_response(
+                    stream,
+                    state,
+                    413,
+                    "body-too-large",
+                    "request body exceeds 1 MiB",
+                );
+                return;
+            }
+            Err(ReadError::Malformed(m)) => {
+                let _ = error_response(stream, state, 400, "malformed-request", m);
+                return;
+            }
+            Err(ReadError::TimedOut) => {
+                let _ = error_response(
+                    stream,
+                    state,
+                    408,
+                    "request-timeout",
+                    "request did not arrive in time",
+                );
+                return;
+            }
+        };
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        let (status, extra, body) = route(state, &req);
+        if status >= 400 {
+            state.error_responses.fetch_add(1, Ordering::Relaxed);
+        }
+        let close = req.wants_close() || state.draining.load(Ordering::Relaxed);
+        if http::respond(stream, status, &extra, &body.pretty(), close).is_err() || close {
+            return;
+        }
+    }
+}
+
+fn error_response(
+    stream: &mut TcpStream,
+    state: &State,
+    status: u16,
+    kind: &str,
+    message: &str,
+) -> io::Result<()> {
+    state.error_responses.fetch_add(1, Ordering::Relaxed);
+    let body = ApiError {
+        status,
+        kind: kind.to_string(),
+        message: message.to_string(),
+    }
+    .body();
+    http::respond(stream, status, &[], &body.pretty(), true)
+}
+
+type Routed = (u16, Vec<(&'static str, String)>, Json);
+
+fn route(state: &State, req: &Request) -> Routed {
+    let ok = |j: Json| (200u16, Vec::new(), j);
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/health") => ok(Json::obj(vec![("status", "ok".to_json())])),
+        ("GET", "/stats") => ok(state.stats_json()),
+        ("POST", "/plan") => match handle_plan(state, &req.body) {
+            Ok(j) => ok(j),
+            Err(e) => (e.status, Vec::new(), e.body()),
+        },
+        ("POST", "/simulate") => match handle_simulate(state, &req.body) {
+            Ok(j) => ok(j),
+            Err(e) => (e.status, Vec::new(), e.body()),
+        },
+        ("POST", "/invalidate") => {
+            let generation = state.cache.lock().unwrap().invalidate_all();
+            ok(Json::obj(vec![
+                ("invalidated", true.to_json()),
+                ("generation", generation.to_json()),
+            ]))
+        }
+        ("POST", "/shutdown") => {
+            state.begin_drain();
+            ok(Json::obj(vec![("draining", true.to_json())]))
+        }
+        (_, "/health" | "/stats" | "/plan" | "/simulate" | "/invalidate" | "/shutdown") => {
+            let e = ApiError {
+                status: 405,
+                kind: "method-not-allowed".to_string(),
+                message: format!("{} does not accept {}", req.path, req.method),
+            };
+            (e.status, Vec::new(), e.body())
+        }
+        _ => {
+            let e = ApiError {
+                status: 404,
+                kind: "not-found".to_string(),
+                message: format!("no route for {}", req.path),
+            };
+            (e.status, Vec::new(), e.body())
+        }
+    }
+}
+
+/// Replace (or append) a top-level field of an object.
+fn set_field(obj: &mut Json, key: &str, value: Json) {
+    if let Json::Obj(pairs) = obj {
+        if let Some(slot) = pairs.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+            return;
+        }
+        pairs.push((key.to_string(), value));
+    }
+}
+
+fn handle_plan(state: &State, body: &[u8]) -> Result<Json, ApiError> {
+    state.plan_requests.fetch_add(1, Ordering::Relaxed);
+    let parsed = api::parse_body(body)?;
+    let req = PlanRequest::from_json(&parsed)?;
+    let digest = fnv1a64(&req.canonical_key());
+    if let Some(mut hit) = state.cache.lock().unwrap().get(digest) {
+        set_field(&mut hit, "cached", true.to_json());
+        return Ok(hit);
+    }
+    // Compute outside the cache lock: planning takes milliseconds and
+    // other workers' cache hits must not wait on it. Concurrent misses on
+    // the same key may compute twice; both arrive at the same plan.
+    let response = api::compute_plan(&req)?;
+    state.cache.lock().unwrap().insert(digest, response.clone());
+    Ok(response)
+}
+
+fn handle_simulate(state: &State, body: &[u8]) -> Result<Json, ApiError> {
+    state.simulate_requests.fetch_add(1, Ordering::Relaxed);
+    let parsed = api::parse_body(body)?;
+    let req = SimulateRequest::from_json(&parsed)?;
+    api::compute_simulate(&req)
+}

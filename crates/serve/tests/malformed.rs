@@ -1,0 +1,231 @@
+//! Hostile-input tests: every malformed or semantically impossible
+//! request gets a clean JSON error with the right status, and the daemon
+//! neither panics nor wedges.
+//!
+//! The daemon runs with **one** worker on purpose: if any hostile request
+//! panicked or hung that worker, every later request in the file would
+//! time out — liveness of the final `/health` probe proves the worker
+//! survived everything above it.
+
+use std::time::Duration;
+
+use ap_json::{Json, ToJson};
+use ap_serve::client::Client;
+use ap_serve::{spawn, ServeConfig};
+
+fn server() -> ap_serve::ServerHandle {
+    spawn(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_capacity: 16,
+        cache_capacity: 8,
+    })
+    .expect("spawn")
+}
+
+fn error_kind(body: &[u8]) -> String {
+    let j = ap_json::parse(std::str::from_utf8(body).expect("error body is UTF-8"))
+        .expect("error body is JSON");
+    j.get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(Json::as_str)
+        .map(String::from)
+        .expect("error body has error.kind")
+}
+
+#[test]
+fn hostile_requests_get_json_errors_and_never_wedge() {
+    let mut handle = server();
+    let addr = handle.addr();
+
+    // Truncated body: client dies mid-request.
+    let mut c = Client::connect(addr).unwrap();
+    c.send_partial(b"POST /plan HTTP/1.1\r\nHost: x\r\nContent-Length: 300\r\n\r\n{\"model\"")
+        .unwrap();
+    c.shutdown_write().unwrap();
+    let r = c.read_any().unwrap();
+    assert_eq!(r.status, 400);
+    assert_eq!(error_kind(&r.body), "malformed-request");
+    drop(c);
+
+    // Complete body, broken JSON.
+    let mut c = Client::connect(addr).unwrap();
+    let r = c
+        .send_raw(b"POST /plan HTTP/1.1\r\nHost: x\r\nContent-Length: 9\r\n\r\n{\"model\":")
+        .unwrap();
+    assert_eq!(r.status, 400);
+    assert!(error_kind(&r.body).starts_with("bad-json"));
+    drop(c);
+
+    // Valid JSON, wrong shape (array, not object).
+    let mut c = Client::connect(addr).unwrap();
+    let r = c
+        .send_raw(b"POST /plan HTTP/1.1\r\nHost: x\r\nContent-Length: 6\r\n\r\n[1, 2]")
+        .unwrap();
+    assert_eq!(r.status, 400);
+    assert_eq!(error_kind(&r.body), "bad-body");
+    drop(c);
+
+    // Garbage request line.
+    let mut c = Client::connect(addr).unwrap();
+    let r = c.send_raw(b"NONSENSE\r\n\r\n").unwrap();
+    assert_eq!(r.status, 400);
+    drop(c);
+
+    // Declared body over the 1 MiB cap is rejected without reading it.
+    let mut c = Client::connect(addr).unwrap();
+    let r = c
+        .send_raw(b"POST /plan HTTP/1.1\r\nHost: x\r\nContent-Length: 2097152\r\n\r\n")
+        .unwrap();
+    assert_eq!(r.status, 413);
+    drop(c);
+
+    // Oversized head.
+    let mut c = Client::connect(addr).unwrap();
+    let mut big = b"GET /health HTTP/1.1\r\n".to_vec();
+    for _ in 0..600 {
+        big.extend_from_slice(b"X-Pad: aaaaaaaaaaaaaaaa\r\n");
+    }
+    big.extend_from_slice(b"\r\n");
+    let r = c.send_raw(&big).unwrap();
+    assert_eq!(r.status, 431);
+    drop(c);
+
+    // Unsupported transfer encoding is refused, not misparsed.
+    let mut c = Client::connect(addr).unwrap();
+    let r = c
+        .send_raw(b"POST /plan HTTP/1.1\r\nHost: x\r\nTransfer-Encoding: chunked\r\n\r\n")
+        .unwrap();
+    assert_eq!(r.status, 400);
+    drop(c);
+
+    // Well-formed request, unknown model.
+    let mut c = Client::connect(addr).unwrap();
+    let r = c
+        .request(
+            "POST",
+            "/plan",
+            Some(&Json::obj(vec![("model", "vgg9000".to_json())])),
+        )
+        .unwrap();
+    assert_eq!(r.status, 422);
+    assert_eq!(error_kind(&r.body), "unknown-model");
+
+    // Infeasible cluster: a background job on a GPU that does not exist.
+    let r = c
+        .request(
+            "POST",
+            "/plan",
+            Some(
+                &ap_json::parse(
+                    r#"{"model": "vgg16", "cluster": {"n_servers": 1, "gpus_per_server": 2,
+                        "background_jobs": [{"gpus": [9], "gbps": 1.0}]}}"#,
+                )
+                .unwrap(),
+            ),
+        )
+        .unwrap();
+    assert_eq!(r.status, 422);
+    assert_eq!(error_kind(&r.body), "infeasible-cluster");
+
+    // Out-of-range sizes.
+    let r = c
+        .request(
+            "POST",
+            "/plan",
+            Some(&ap_json::parse(r#"{"model": "vgg16", "cluster": {"n_servers": 0}}"#).unwrap()),
+        )
+        .unwrap();
+    assert_eq!(r.status, 422);
+    assert_eq!(error_kind(&r.body), "out-of-range");
+
+    // Structurally invalid partition (layer gap between stages).
+    let r = c
+        .request(
+            "POST",
+            "/simulate",
+            Some(
+                &ap_json::parse(
+                    r#"{"model": "alexnet", "partition": {"stages": [
+                        {"layers": [0, 3], "workers": [0]},
+                        {"layers": [4, 11], "workers": [1]}]}}"#,
+                )
+                .unwrap(),
+            ),
+        )
+        .unwrap();
+    assert_eq!(r.status, 422);
+    assert_eq!(error_kind(&r.body), "invalid-partition");
+
+    // Unknown route / wrong method still answer JSON.
+    let r = c.request("GET", "/nope", None).unwrap();
+    assert_eq!(r.status, 404);
+    let r = c.request("DELETE", "/plan", None).unwrap();
+    assert_eq!(r.status, 405);
+    drop(c);
+
+    // The single worker survived everything above.
+    let mut c = Client::connect(addr).unwrap();
+    let r = c.request("GET", "/health", None).unwrap();
+    assert_eq!(r.status, 200);
+    drop(c);
+
+    handle.shutdown();
+}
+
+#[test]
+fn keep_alive_connection_survives_a_422_and_serves_the_next_request() {
+    let mut handle = server();
+    let addr = handle.addr();
+    let mut c = Client::connect(addr).unwrap();
+    let r = c
+        .request(
+            "POST",
+            "/plan",
+            Some(&Json::obj(vec![("model", "nope".to_json())])),
+        )
+        .unwrap();
+    assert_eq!(r.status, 422);
+    assert!(r.keep_alive(), "a 422 must not tear down the connection");
+    // Same connection, next request works.
+    let r = c.request("GET", "/health", None).unwrap();
+    assert_eq!(r.status, 200);
+    drop(c);
+    handle.shutdown();
+}
+
+#[test]
+fn shed_connections_get_retry_after_and_admitted_ones_finish() {
+    // Zero... one-capacity queue and one worker: hold the worker with an
+    // admitted connection that is slow to ask, then watch a burst shed.
+    let mut handle = spawn(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_capacity: 1,
+        cache_capacity: 2,
+    })
+    .unwrap();
+    let addr = handle.addr();
+    // Occupy the worker (admitted, popped, waiting for its request) and
+    // fill the one queue slot.
+    let holder = Client::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(60));
+    let queued = Client::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(60));
+    // Now every further connection must be shed, unprompted.
+    for _ in 0..3 {
+        let mut extra = Client::connect(addr).unwrap();
+        let r = extra
+            .read_unsolicited(Duration::from_secs(2))
+            .expect("shed connection gets an unprompted 503");
+        assert_eq!(r.status, 503);
+        assert_eq!(r.header("retry-after"), Some("1"));
+    }
+    // The held and queued connections still serve fine.
+    for mut c in [holder, queued] {
+        let r = c.request("GET", "/health", None).unwrap();
+        assert_eq!(r.status, 200);
+        drop(c);
+    }
+    handle.shutdown();
+}

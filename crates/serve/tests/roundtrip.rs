@@ -1,0 +1,130 @@
+//! JSON round-trip property: for every payload the daemon and the
+//! decision journal emit, `serialize -> parse -> serialize` is
+//! byte-identical. This pins the serializer and the parser to the same
+//! dialect — a formatting drift in either breaks here, not in a consumer.
+
+use ap_json::{parse, Json, ToJson};
+use ap_serve::api::{compute_plan, compute_simulate, ApiError, PlanRequest, SimulateRequest};
+use ap_serve::client::Client;
+use ap_serve::{spawn, ServeConfig};
+use autopipe::{DecisionEvent, DecisionJournal, KeepReason};
+
+fn assert_roundtrips(label: &str, j: &Json) {
+    let first = j.pretty();
+    let reparsed = parse(&first).unwrap_or_else(|e| panic!("{label}: reparse failed: {e}"));
+    let second = reparsed.pretty();
+    assert_eq!(
+        first, second,
+        "{label}: serialize->parse->serialize drifted"
+    );
+}
+
+#[test]
+fn plan_and_simulate_responses_roundtrip() {
+    let req = PlanRequest::from_json(
+        &parse(
+            r#"{"model": "resnet50", "cluster": {"link_gbps": 10.0,
+                "background_jobs": [{"gpus": [0, 1], "gbps": 4.0}]},
+                "planner": {"measure_iters": 6}}"#,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let plan = compute_plan(&req).unwrap();
+    assert_roundtrips("plan response", &plan);
+
+    let partition = plan.get("partition").cloned().unwrap();
+    let sim_req = SimulateRequest::from_json(&Json::obj(vec![
+        ("model", "resnet50".to_json()),
+        (
+            "cluster",
+            parse(r#"{"link_gbps": 10.0, "background_jobs": [{"gpus": [0, 1], "gbps": 4.0}]}"#)
+                .unwrap(),
+        ),
+        ("partition", partition),
+        ("iterations", 16usize.to_json()),
+    ]))
+    .unwrap();
+    assert_roundtrips("simulate response", &compute_simulate(&sim_req).unwrap());
+}
+
+#[test]
+fn error_bodies_roundtrip() {
+    for e in [
+        ApiError::bad_request("bad-json:unexpected end of input", "at offset 9"),
+        ApiError::unprocessable("unknown-model", "unknown model \"x\""),
+        ApiError::internal("engine run failed"),
+    ] {
+        assert_roundtrips("error body", &e.body());
+    }
+}
+
+#[test]
+fn decision_journal_roundtrips() {
+    let mut j = DecisionJournal::new();
+    j.record(
+        0,
+        10,
+        1.25,
+        DecisionEvent::CandidatesScored {
+            rounds: 3,
+            scored: 42,
+            current_pred: 100.0,
+            best_pred: 112.5,
+            best: "4 stages [0..5 x2 | ...]".to_string(),
+        },
+    );
+    j.record(
+        0,
+        10,
+        1.5,
+        DecisionEvent::ArbiterVerdict {
+            approved: true,
+            predicted_speedup: 1.125,
+            switch_cost_seconds: 0.75,
+            reward: 0.08,
+        },
+    );
+    j.record(
+        1,
+        20,
+        3.0,
+        DecisionEvent::Kept {
+            reason: KeepReason::NoImprovement,
+        },
+    );
+    assert_roundtrips("decision journal", &j.to_json());
+}
+
+#[test]
+fn over_the_wire_payloads_roundtrip() {
+    let mut handle = spawn(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_capacity: 8,
+        cache_capacity: 4,
+    })
+    .unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let plan_req = Json::obj(vec![("model", "alexnet".to_json())]);
+    for (label, method, path, body) in [
+        ("health", "GET", "/health", None),
+        ("plan", "POST", "/plan", Some(&plan_req)),
+        ("plan (cached)", "POST", "/plan", Some(&plan_req)),
+        ("stats", "GET", "/stats", None),
+        ("invalidate", "POST", "/invalidate", None),
+    ] {
+        let r = c.request(method, path, body).unwrap();
+        assert_eq!(r.status, 200, "{label}");
+        let j = r.json().unwrap_or_else(|| panic!("{label}: body not JSON"));
+        assert_roundtrips(label, &j);
+        // What travels on the wire is already the canonical form.
+        assert_eq!(
+            std::str::from_utf8(&r.body).unwrap(),
+            j.pretty(),
+            "{label}: wire bytes are not canonical"
+        );
+    }
+    drop(c);
+    handle.shutdown();
+}

@@ -40,4 +40,19 @@ cargo run --release --offline -p ap-bench --bin repro -- serve-bench --smoke --j
 AP_PAR_THREADS=1 cargo run --release --offline -p ap-bench --bin repro -- serve-bench --smoke --json "$serve_tmp/b"
 cmp "$serve_tmp/a/serve.json" "$serve_tmp/b/serve.json"
 
+echo "== exec smoke =="
+# Execution-runtime smoke: trains partitioned Mlps for real on the
+# ap-exec pipeline runtime (threads + byte channels, 1F1B with weight
+# stashing) and replays a controller-driven reconfiguration live through
+# the §4.4 drain-free migration protocol. Exits 2 if a run fails, 3 if
+# an invariant breaks (loss not decreasing, pipeline drained, migration
+# bytes over the SwitchPlan prediction). The static op schedules make
+# numerics independent of thread timing, so the two runs' JSON must be
+# byte-identical.
+exec_tmp="$(mktemp -d)"
+trap 'rm -rf "$serve_tmp" "$exec_tmp"' EXIT
+cargo run --release --offline -p ap-bench --bin repro -- exec-validate --smoke --json "$exec_tmp/a"
+AP_PAR_THREADS=1 cargo run --release --offline -p ap-bench --bin repro -- exec-validate --smoke --json "$exec_tmp/b"
+cmp "$exec_tmp/a/exec_validate.json" "$exec_tmp/b/exec_validate.json"
+
 echo "ci: all green"

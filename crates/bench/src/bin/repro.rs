@@ -1,8 +1,11 @@
 //! `repro` — regenerate every figure of the AutoPipe paper.
 //!
 //! ```text
-//! repro <fig2|fig3|fig4|fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|multijob|ablations|chaos|serve-bench|all> [--json DIR] [--trace DIR] [--smoke]
+//! repro <experiment|list|all> [--json DIR] [--trace DIR] [--smoke]
 //! ```
+//!
+//! `repro list` prints every experiment with a one-line description; an
+//! unknown experiment name prints the valid set and exits 2.
 //!
 //! Each subcommand prints the figure's rows/series as a markdown table
 //! (the source for EXPERIMENTS.md) and, with `--json DIR`, also writes the
@@ -19,10 +22,36 @@ use std::path::PathBuf;
 
 use ap_bench::experiments::motivation::{panel_bandwidths, panel_models, MotivationRow, Scenario};
 use ap_bench::experiments::{
-    ablations, chaos, convergence, dynamic, enhanced, multi_job, overhead, pipeline_fill,
-    serve_bench, static_alloc,
+    ablations, chaos, convergence, dynamic, enhanced, exec_validate, multi_job, overhead,
+    pipeline_fill, serve_bench, static_alloc,
 };
 use ap_bench::json::ToJson;
+
+/// Every experiment name with a one-line description (`repro list`).
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("fig2", "filling the pipeline: startup vs steady state"),
+    ("fig3", "motivation: dynamic changing bandwidth"),
+    ("fig4", "motivation: dynamic changing computation resource"),
+    ("fig5", "motivation: a new distributed training job joins"),
+    (
+        "fig6",
+        "motivation: an old distributed training job finishes",
+    ),
+    ("fig8", "static resource allocation grid"),
+    ("fig9", "training under dynamic bandwidth"),
+    ("fig10", "training under dynamic GPU contention"),
+    ("fig11", "accuracy vs time across paradigms"),
+    ("fig12", "computation time of worker-partition modeling"),
+    ("fig13", "AutoPipe-enhanced pipeline variants"),
+    ("multijob", "coordinated AutoPipe tenancy"),
+    ("ablations", "design-choice ablations"),
+    ("chaos", "seeded fault injection vs drain-and-restart"),
+    ("serve-bench", "ap-serve daemon under load"),
+    (
+        "exec-validate",
+        "ap-exec runtime vs simulator prediction, with a live migration",
+    ),
+];
 
 /// Iterations per engine measurement (kept moderate so `repro all`
 /// finishes in minutes).
@@ -32,7 +61,29 @@ const DYNAMIC_ITERS: usize = 80;
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
-    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let cmd = match args.first().map(String::as_str) {
+        // Flags without an experiment name mean "all".
+        None => "all",
+        Some(c) if c.starts_with("--") => "all",
+        Some(c) => c,
+    };
+    if cmd == "list" {
+        println!("| experiment | description |");
+        println!("|---|---|");
+        for (name, desc) in EXPERIMENTS {
+            println!("| {name} | {desc} |");
+        }
+        return;
+    }
+    if cmd != "all" && !EXPERIMENTS.iter().any(|(name, _)| *name == cmd) {
+        eprintln!("unknown experiment '{cmd}'; valid names:");
+        for (name, _) in EXPERIMENTS {
+            eprintln!("  {name}");
+        }
+        eprintln!("  all");
+        eprintln!("(or 'repro list' for descriptions)");
+        std::process::exit(2);
+    }
     let json_dir = args
         .iter()
         .position(|a| a == "--json")
@@ -96,6 +147,71 @@ fn main() {
     if run("serve-bench") {
         let smoke = args.iter().any(|a| a == "--smoke");
         run_serve_bench(smoke, &json_dir);
+    }
+    if run("exec-validate") {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        run_exec_validate(smoke, &json_dir);
+    }
+}
+
+/// Simulator-vs-reality: run the same (model, partition, bandwidth)
+/// configs on the real `ap-exec` pipeline runtime and as an engine
+/// prediction seeded from a host calibration pass, then replay one
+/// controller-driven §4.4 reconfiguration live. The full run exports
+/// `BENCH_exec.json`; `--smoke` zeroes every wall-clock-derived field so
+/// its `--json` output is byte-identical across runs and `AP_PAR_THREADS`
+/// settings. Exits non-zero if the pipeline drains during the switch, a
+/// pre-cutover loss diverges, or training fails to make progress.
+fn run_exec_validate(smoke: bool, json: &Option<PathBuf>) {
+    println!("\n## Exec — real pipeline runtime vs simulator prediction\n");
+    let r = match exec_validate::run(smoke) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("exec-validate failed to run: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "mode {}; model {:?}, batch {}, {} mini-batches per run\n",
+        r.mode, r.sizes, r.batch, r.total
+    );
+    println!("| partition | predicted (samples/s) | measured (samples/s) | error | wire bytes | loss first -> last |");
+    println!("|---|---|---|---|---|---|");
+    for row in &r.rows {
+        println!(
+            "| {} | {:.1} | {:.1} | {:+.1}% | {} | {:.4} -> {:.4} |",
+            row.label,
+            row.predicted,
+            row.measured,
+            row.rel_error * 100.0,
+            row.wire_bytes,
+            row.first_loss,
+            row.last_loss
+        );
+    }
+    let m = &r.migration;
+    println!(
+        "\nLive reconfiguration: cuts {:?} -> {:?} at mini-batch {} (layers {:?} moved)",
+        m.from_cuts, m.to_cuts, m.cutover_mb, m.moved_layers
+    );
+    println!(
+        "  {} weight versions moved (stash order {:?}), {} param bytes on the wire vs {} predicted ({} total migration bytes)",
+        m.versions_moved, m.versions_sent, m.measured_param_bytes, m.predicted_bytes, m.wire_bytes
+    );
+    println!(
+        "  drain-free: {} (min in-flight {}), pre-cutover losses bit-identical: {}",
+        m.drain_free, m.min_in_flight, m.pre_cutover_losses_match
+    );
+    if !smoke {
+        println!("  switch took {:.6}s wall-clock", m.switch_seconds);
+        let out = PathBuf::from("BENCH_exec.json");
+        fs::write(&out, r.to_json().pretty()).expect("write BENCH_exec.json");
+        eprintln!("wrote {}", out.display());
+    }
+    dump_json(json, "exec_validate", &r);
+    if !r.all_ok() {
+        eprintln!("FAIL: exec-validate invariant violated");
+        std::process::exit(3);
     }
 }
 

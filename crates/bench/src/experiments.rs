@@ -5,6 +5,7 @@ pub mod chaos;
 pub mod convergence;
 pub mod dynamic;
 pub mod enhanced;
+pub mod exec_validate;
 pub mod motivation;
 pub mod multi_job;
 pub mod overhead;

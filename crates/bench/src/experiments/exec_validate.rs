@@ -1,0 +1,492 @@
+//! `exec-validate` — simulator-vs-reality validation on the ap-exec
+//! runtime.
+//!
+//! The same (model, partition, bandwidth) configuration runs twice: once
+//! for real on `ap-exec` (OS threads, serialized frames, throttled byte
+//! channels) and once predicted by the event engine, seeded from a
+//! calibration pass on this very host (`calibrate_layer_times` →
+//! `ProfilingMetrics` → `autopipe::profile_from_metrics`). The report is
+//! the measured-vs-predicted steady-state throughput error per partition.
+//!
+//! The second half replays a *controller-driven* reconfiguration live: the
+//! controller hill-climbs from a deliberately imbalanced partition, the
+//! proposal is clamped to one boundary move (all the runtime supports in
+//! one switch), and the §4.4 migration executes while the pipeline keeps
+//! admitting mini-batches. The run checks the drain-free invariant, the
+//! newest-first stash order, byte accounting against the simulator's
+//! `SwitchPlan`, and that pre-cutover losses are bit-identical to an
+//! unswitched run.
+//!
+//! `--smoke` keeps everything deterministic: synthetic calibration times
+//! feed the prediction, and every wall-clock-derived field is reported as
+//! zero, so the `--json` output is byte-identical across reruns and
+//! `AP_PAR_THREADS` settings.
+
+use ap_cluster::gpu::GpuKind;
+use ap_cluster::{gbps, ClusterState, ClusterTopology, GpuId, ResourceTimeline};
+use ap_exec::runtime::{run_pipeline, ExecResult, ExecSpec, SwitchSpec};
+use ap_exec::{calibrate_layer_times, metrics_from_times};
+use ap_models::ModelProfile;
+use ap_nn::ActKind;
+use ap_pipesim::{
+    AnalyticModel, Engine, EngineConfig, Framework, Partition, ScheduleKind, Stage, SwitchPlan,
+    SyncScheme,
+};
+use autopipe::controller::hill_climb;
+use autopipe::profile_from_metrics;
+
+/// Measured vs predicted throughput for one (partition, bandwidth) cell.
+#[derive(Debug, Clone)]
+pub struct PartitionRow {
+    /// Human label, e.g. `cuts=[2,4] @ 1 Gbps`.
+    pub label: String,
+    /// Interior stage boundaries.
+    pub cuts: Vec<usize>,
+    /// 1F1B in-flight depth.
+    pub in_flight: usize,
+    /// Link throttle, Gbps.
+    pub link_gbps: f64,
+    /// Engine-predicted steady throughput, samples/s (0 in smoke).
+    pub predicted: f64,
+    /// ap-exec measured steady throughput, samples/s (0 in smoke).
+    pub measured: f64,
+    /// `measured / predicted - 1` (0 in smoke).
+    pub rel_error: f64,
+    /// Bytes that crossed all inter-stage channels (deterministic).
+    pub wire_bytes: u64,
+    /// Frames that crossed all inter-stage channels (deterministic).
+    pub frames: u64,
+    /// First mini-batch loss.
+    pub first_loss: f64,
+    /// Last mini-batch loss.
+    pub last_loss: f64,
+    /// Training made progress (last loss below first).
+    pub loss_decreased: bool,
+}
+
+/// What the live controller-driven reconfiguration did.
+#[derive(Debug, Clone)]
+pub struct MigrationSummary {
+    /// Starting (imbalanced) cuts.
+    pub from_cuts: Vec<usize>,
+    /// Controller proposal after clamping to one boundary move.
+    pub to_cuts: Vec<usize>,
+    /// First mini-batch routed under the new partition.
+    pub cutover_mb: u64,
+    /// Global layers that moved owner.
+    pub moved_layers: Vec<usize>,
+    /// Weight copies transferred (1 master + stashed versions).
+    pub versions_moved: usize,
+    /// Stash versions in send order (must be newest-first).
+    pub versions_sent: Vec<u64>,
+    /// Simulator-predicted transfer bytes (`SwitchPlan::transfer_bytes`,
+    /// which assumes the full `in_flight` stash depth).
+    pub predicted_bytes: f64,
+    /// Measured weight-copy payload bytes on the wire.
+    pub measured_param_bytes: u64,
+    /// All migration bytes on the wire (headers, inputs, deltas too).
+    pub wire_bytes: u64,
+    /// ≥ 1 mini-batch in flight at every migration tick (§4.4).
+    pub drain_free: bool,
+    /// Smallest in-flight sample during the switch.
+    pub min_in_flight: u64,
+    /// Losses before the cutover are bit-identical to an unswitched run.
+    pub pre_cutover_losses_match: bool,
+    /// Wall-clock master-send → last-install, seconds (0 in smoke).
+    pub switch_seconds: f64,
+}
+
+/// The full exec-validate report.
+#[derive(Debug, Clone)]
+pub struct ExecValidateResult {
+    /// `"smoke"` or `"full"`.
+    pub mode: String,
+    /// MLP widths.
+    pub sizes: Vec<usize>,
+    /// Rows per mini-batch.
+    pub batch: usize,
+    /// Mini-batches per run.
+    pub total: u64,
+    /// Per-partition sim-vs-real cells.
+    pub rows: Vec<PartitionRow>,
+    /// The live reconfiguration replay.
+    pub migration: MigrationSummary,
+}
+
+impl ExecValidateResult {
+    /// Every hard invariant held.
+    pub fn all_ok(&self) -> bool {
+        self.rows.iter().all(|r| r.loss_decreased)
+            && self.migration.drain_free
+            && self.migration.pre_cutover_losses_match
+            && newest_first(&self.migration.versions_sent)
+            && self.migration.measured_param_bytes as f64 <= self.migration.predicted_bytes + 0.5
+    }
+}
+
+fn newest_first(versions: &[u64]) -> bool {
+    versions.windows(2).all(|w| w[0] > w[1])
+}
+
+/// Everything that parameterizes one validation campaign.
+struct Campaign {
+    smoke: bool,
+    sizes: Vec<usize>,
+    batch: usize,
+    total: u64,
+    in_flight: usize,
+    lr: f64,
+    seed: u64,
+}
+
+impl Campaign {
+    fn new(smoke: bool) -> Self {
+        if smoke {
+            Campaign {
+                smoke,
+                sizes: vec![12, 16, 16, 16, 12, 8],
+                batch: 4,
+                total: 12,
+                in_flight: 3,
+                lr: 0.01,
+                seed: 7,
+            }
+        } else {
+            Campaign {
+                smoke,
+                sizes: vec![96, 128, 128, 128, 96, 64],
+                batch: 32,
+                total: 48,
+                in_flight: 3,
+                lr: 0.005,
+                seed: 7,
+            }
+        }
+    }
+
+    fn spec(&self, cuts: &[usize], link_gbps: f64, switch: Option<SwitchSpec>) -> ExecSpec {
+        ExecSpec {
+            sizes: self.sizes.clone(),
+            act: ActKind::Tanh,
+            seed: self.seed,
+            batch: self.batch,
+            lr: self.lr,
+            cuts: cuts.to_vec(),
+            in_flight: self.in_flight,
+            total: self.total,
+            bytes_per_sec: Some(gbps(link_gbps)),
+            distinct_batches: 4,
+            switch,
+            record_timeline: false,
+        }
+    }
+
+    /// Per-layer (fwd, bwd) times seeding the prediction. Smoke uses
+    /// fixed synthetic times (byte-identical reports); full calibrates on
+    /// this host.
+    fn layer_times(&self) -> (Vec<f64>, Vec<f64>) {
+        if self.smoke {
+            let n = self.sizes.len() - 1;
+            let fwd: Vec<f64> = (0..n).map(|j| 1e-4 * (1.0 + j as f64 * 0.25)).collect();
+            let bwd: Vec<f64> = fwd.iter().map(|t| 2.0 * t).collect();
+            (fwd, bwd)
+        } else {
+            calibrate_layer_times(&self.sizes, ActKind::Tanh, self.seed, self.batch, 9)
+        }
+    }
+
+    /// Measured calibration → the profile the planner and engine consume.
+    fn profile(&self, link_gbps: f64) -> Result<ModelProfile, String> {
+        let (fwd, bwd) = self.layer_times();
+        let n_stages = 3;
+        let metrics = metrics_from_times(
+            &self.sizes,
+            self.batch,
+            n_stages,
+            &fwd,
+            &bwd,
+            gbps(link_gbps),
+        );
+        profile_from_metrics("exec-mlp", self.batch, &metrics, GpuKind::P100.peak_flops())
+    }
+}
+
+/// The exec runtime has no framework stack between it and the wire: no
+/// per-iteration dispatch overhead, and channels deliver at exactly the
+/// configured rate.
+fn bare_metal() -> Framework {
+    Framework {
+        name: "ap-exec",
+        per_iter_overhead: 0.0,
+        comm_efficiency: 1.0,
+        compute_efficiency: 1.0,
+    }
+}
+
+fn partition_for(cuts: &[usize], n_layers: usize, in_flight: usize) -> Partition {
+    let mut bounds = vec![0usize];
+    bounds.extend_from_slice(cuts);
+    bounds.push(n_layers);
+    let stages = bounds
+        .windows(2)
+        .enumerate()
+        .map(|(s, w)| Stage::new(w[0]..w[1], vec![GpuId(s)]))
+        .collect();
+    Partition { stages, in_flight }
+}
+
+fn engine_cfg() -> EngineConfig {
+    EngineConfig {
+        scheme: SyncScheme::RingAllReduce,
+        framework: bare_metal(),
+        schedule: ScheduleKind::PipeDreamAsync,
+        record_timeline: false,
+    }
+}
+
+fn exec_state(n_stages: usize, link_gbps: f64) -> ClusterState {
+    ClusterState::new(ClusterTopology::single_switch(
+        n_stages,
+        1,
+        GpuKind::P100,
+        link_gbps,
+    ))
+}
+
+/// Engine-predicted steady throughput in samples/s for one cell.
+fn predict(
+    profile: &ModelProfile,
+    cuts: &[usize],
+    in_flight: usize,
+    link_gbps: f64,
+) -> Result<f64, String> {
+    let partition = partition_for(cuts, profile.n_layers(), in_flight);
+    let state = exec_state(partition.n_stages(), link_gbps);
+    let engine = Engine::new(
+        profile,
+        partition,
+        state,
+        ResourceTimeline::empty(),
+        engine_cfg(),
+    )
+    .map_err(|e| format!("engine rejected partition {cuts:?}: {e:?}"))?;
+    let n = 48;
+    let r = engine.run(n).map_err(|e| format!("engine run: {e:?}"))?;
+    Ok(r.steady_throughput(n / 3))
+}
+
+fn run_cell(c: &Campaign, cuts: &[usize], link_gbps: f64) -> Result<PartitionRow, String> {
+    let spec = c.spec(cuts, link_gbps, None);
+    let r = run_pipeline(&spec)?;
+    let (predicted, measured) = if c.smoke {
+        // Predicted throughput from synthetic times is deterministic, but
+        // measured is wall clock; zero both so smoke errors are stable.
+        (0.0, 0.0)
+    } else {
+        let profile = c.profile(link_gbps)?;
+        let p = predict(&profile, cuts, c.in_flight, link_gbps)?;
+        let m = r.steady_throughput(c.in_flight * 2) * c.batch as f64;
+        (p, m)
+    };
+    let rel_error = if predicted > 0.0 {
+        measured / predicted - 1.0
+    } else {
+        0.0
+    };
+    Ok(PartitionRow {
+        label: format!("cuts={cuts:?} @ {link_gbps} Gbps"),
+        cuts: cuts.to_vec(),
+        in_flight: c.in_flight,
+        link_gbps,
+        predicted,
+        measured,
+        rel_error,
+        wire_bytes: r.total_wire_bytes(),
+        frames: r
+            .fwd_channels
+            .iter()
+            .chain(&r.bwd_channels)
+            .map(|s| s.frames)
+            .sum(),
+        first_loss: r.losses[0],
+        last_loss: *r.losses.last().unwrap(),
+        loss_decreased: *r.losses.last().unwrap() < r.losses[0],
+    })
+}
+
+/// Clamp a controller proposal to one boundary move (the unit the runtime
+/// migrates live): the first differing boundary whose change keeps the
+/// cut vector strictly ascending.
+fn clamp_to_one_boundary(start: &[usize], target: &[usize], n_layers: usize) -> Option<Vec<usize>> {
+    if target.len() != start.len() {
+        // The controller may also merge or split stages; the live runtime
+        // only replays stage-count-preserving boundary moves.
+        return None;
+    }
+    for i in 0..start.len() {
+        if start[i] == target[i] {
+            continue;
+        }
+        let mut cuts = start.to_vec();
+        cuts[i] = target[i];
+        let mut bounds = vec![0usize];
+        bounds.extend_from_slice(&cuts);
+        bounds.push(n_layers);
+        if bounds.windows(2).all(|w| w[0] < w[1]) {
+            return Some(cuts);
+        }
+    }
+    None
+}
+
+fn replay_migration(c: &Campaign, link_gbps: f64) -> Result<MigrationSummary, String> {
+    let n_layers = c.sizes.len() - 1;
+    // Deliberately bottom-heavy: stage 0 owns layers 0..3.
+    let from_cuts = vec![3usize, 4];
+    let profile = c.profile(link_gbps)?;
+    let start = partition_for(&from_cuts, n_layers, c.in_flight);
+    let state = exec_state(start.n_stages(), link_gbps);
+    let model = AnalyticModel {
+        profile: &profile,
+        scheme: SyncScheme::RingAllReduce,
+        framework: bare_metal(),
+        schedule: ScheduleKind::PipeDreamAsync,
+    };
+    let proposal = hill_climb(&model, start.clone(), &state, 40);
+    let to_cuts = clamp_to_one_boundary(&from_cuts, &proposal.cut_layers(), n_layers)
+        .unwrap_or_else(|| vec![2, 4]);
+    let cutover = c.total / 3;
+
+    let plan = SwitchPlan::between(
+        &start,
+        &partition_for(&to_cuts, n_layers, c.in_flight),
+        &profile,
+        ScheduleKind::PipeDreamAsync,
+    );
+
+    let spec = c.spec(
+        &from_cuts,
+        link_gbps,
+        Some(SwitchSpec {
+            at_mb: cutover,
+            new_cuts: to_cuts.clone(),
+        }),
+    );
+    let r = run_pipeline(&spec)?;
+    let m = r
+        .migration
+        .as_ref()
+        .ok_or("switch configured but no migration report")?;
+
+    let plain: ExecResult = run_pipeline(&c.spec(&from_cuts, link_gbps, None))?;
+    let k = cutover as usize;
+    let pre_match = r.losses[..k] == plain.losses[..k];
+
+    Ok(MigrationSummary {
+        from_cuts,
+        to_cuts,
+        cutover_mb: m.cutover_mb,
+        moved_layers: m.moved_layers.clone().collect(),
+        versions_moved: m.versions_moved,
+        versions_sent: m.versions_sent.clone(),
+        predicted_bytes: plan.transfer_bytes,
+        measured_param_bytes: m.param_bytes,
+        wire_bytes: m.wire_bytes,
+        drain_free: m.drain_free(),
+        min_in_flight: m.min_in_flight(),
+        pre_cutover_losses_match: pre_match,
+        switch_seconds: if c.smoke { 0.0 } else { m.switch_seconds },
+    })
+}
+
+/// Run the whole campaign.
+pub fn run(smoke: bool) -> Result<ExecValidateResult, String> {
+    let c = Campaign::new(smoke);
+    let cells: &[(&[usize], f64)] = &[
+        (&[2, 4], 1.0),
+        (&[1, 3], 1.0),
+        (&[2, 3], 1.0),
+        (&[2, 4], 4.0),
+        (&[1, 3], 4.0),
+    ];
+    let mut rows = Vec::with_capacity(cells.len());
+    for (cuts, g) in cells {
+        rows.push(run_cell(&c, cuts, *g)?);
+    }
+    let migration = replay_migration(&c, 1.0)?;
+    Ok(ExecValidateResult {
+        mode: if smoke { "smoke" } else { "full" }.into(),
+        sizes: c.sizes.clone(),
+        batch: c.batch,
+        total: c.total,
+        rows,
+        migration,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_campaign_upholds_every_invariant() {
+        let r = run(true).expect("smoke run");
+        assert_eq!(r.mode, "smoke");
+        assert_eq!(r.rows.len(), 5);
+        assert!(r.all_ok(), "{r:?}");
+        // The §4.4 acceptance gate, asserted in-test: a live two-worker
+        // layer migration with ≥ 1 mini-batch in flight at every tick.
+        assert!(r.migration.drain_free);
+        assert!(r.migration.min_in_flight >= 1);
+        assert!(newest_first(&r.migration.versions_sent));
+        assert!(r.migration.pre_cutover_losses_match);
+        assert!(!r.migration.moved_layers.is_empty());
+    }
+
+    #[test]
+    fn smoke_report_is_deterministic_across_runs() {
+        let (a, b) = (run(true).unwrap(), run(true).unwrap());
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(ra.wire_bytes, rb.wire_bytes);
+            assert_eq!(ra.frames, rb.frames);
+            assert_eq!(ra.first_loss.to_bits(), rb.first_loss.to_bits());
+            assert_eq!(ra.last_loss.to_bits(), rb.last_loss.to_bits());
+        }
+        assert_eq!(a.migration.versions_sent, b.migration.versions_sent);
+        assert_eq!(
+            a.migration.measured_param_bytes,
+            b.migration.measured_param_bytes
+        );
+        assert_eq!(a.migration.wire_bytes, b.migration.wire_bytes);
+    }
+
+    #[test]
+    fn downstream_stage0_migration_matches_switchplan_bytes_exactly() {
+        // A boundary moving down out of stage 0 migrates the full stash
+        // depth (master + in_flight-1 copies), which is exactly what
+        // SwitchPlan::between budgets for PipeDreamAsync.
+        let c = Campaign::new(true);
+        let n_layers = c.sizes.len() - 1;
+        let (from_cuts, to_cuts) = (vec![3usize, 4], vec![2usize, 4]);
+        let profile = c.profile(1.0).unwrap();
+        let plan = SwitchPlan::between(
+            &partition_for(&from_cuts, n_layers, c.in_flight),
+            &partition_for(&to_cuts, n_layers, c.in_flight),
+            &profile,
+            ScheduleKind::PipeDreamAsync,
+        );
+        let spec = c.spec(
+            &from_cuts,
+            1.0,
+            Some(SwitchSpec {
+                at_mb: 4,
+                new_cuts: to_cuts,
+            }),
+        );
+        let r = run_pipeline(&spec).unwrap();
+        let m = r.migration.unwrap();
+        assert_eq!((m.from_stage, m.to_stage), (0, 1));
+        assert_eq!(m.versions_moved, c.in_flight);
+        assert_eq!(m.param_bytes as f64, plan.transfer_bytes, "byte-exact");
+    }
+}

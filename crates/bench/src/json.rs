@@ -91,6 +91,61 @@ impl ToJson for crate::experiments::chaos::ChaosResult {
     }
 }
 
+impl ToJson for crate::experiments::exec_validate::PartitionRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("label", self.label.to_json()),
+            ("cuts", self.cuts.to_json()),
+            ("in_flight", self.in_flight.to_json()),
+            ("link_gbps", self.link_gbps.to_json()),
+            ("predicted", self.predicted.to_json()),
+            ("measured", self.measured.to_json()),
+            ("rel_error", self.rel_error.to_json()),
+            ("wire_bytes", self.wire_bytes.to_json()),
+            ("frames", self.frames.to_json()),
+            ("first_loss", self.first_loss.to_json()),
+            ("last_loss", self.last_loss.to_json()),
+            ("loss_decreased", self.loss_decreased.to_json()),
+        ])
+    }
+}
+
+impl ToJson for crate::experiments::exec_validate::MigrationSummary {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("from_cuts", self.from_cuts.to_json()),
+            ("to_cuts", self.to_cuts.to_json()),
+            ("cutover_mb", self.cutover_mb.to_json()),
+            ("moved_layers", self.moved_layers.to_json()),
+            ("versions_moved", self.versions_moved.to_json()),
+            ("versions_sent", self.versions_sent.to_json()),
+            ("predicted_bytes", self.predicted_bytes.to_json()),
+            ("measured_param_bytes", self.measured_param_bytes.to_json()),
+            ("wire_bytes", self.wire_bytes.to_json()),
+            ("drain_free", self.drain_free.to_json()),
+            ("min_in_flight", self.min_in_flight.to_json()),
+            (
+                "pre_cutover_losses_match",
+                self.pre_cutover_losses_match.to_json(),
+            ),
+            ("switch_seconds", self.switch_seconds.to_json()),
+        ])
+    }
+}
+
+impl ToJson for crate::experiments::exec_validate::ExecValidateResult {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("mode", self.mode.to_json()),
+            ("sizes", self.sizes.to_json()),
+            ("batch", self.batch.to_json()),
+            ("total", self.total.to_json()),
+            ("rows", self.rows.to_json()),
+            ("migration", self.migration.to_json()),
+        ])
+    }
+}
+
 impl ToJson for crate::experiments::convergence::ConvergenceRow {
     fn to_json(&self) -> Json {
         Json::obj(vec![

@@ -100,6 +100,43 @@ impl Profiler {
     }
 }
 
+/// Rebuild a planner-facing [`ModelProfile`] from *measured* Table-1
+/// metrics — the inverse of `static_metrics_from_profile`, and the path by
+/// which ground truth from the execution runtime (ap-exec) enters the
+/// planner/simulator stack.
+///
+/// Per-layer fwd/bwd times are averaged across workers and converted back
+/// into effective FLOPs against `ref_flops`, so
+/// `profile.fp_time(j, ref_flops)` reproduces the measured mean exactly.
+/// Byte columns are copied verbatim (they were measured off the wire).
+pub fn profile_from_metrics(
+    name: &str,
+    batch: usize,
+    m: &ProfilingMetrics,
+    ref_flops: f64,
+) -> Result<ModelProfile, String> {
+    m.validate()?;
+    if ref_flops.is_nan() || ref_flops <= 0.0 {
+        return Err(format!("ref_flops must be positive, got {ref_flops}"));
+    }
+    let n = m.n_layers;
+    let w = m.n_workers as f64;
+    let mean = |per_worker: &[Vec<f64>], j: usize| -> f64 {
+        per_worker.iter().map(|t| t[j]).sum::<f64>() / w
+    };
+    let eff_fwd: Vec<f64> = (0..n).map(|j| mean(&m.fp_time, j) * ref_flops).collect();
+    let eff_bwd: Vec<f64> = (0..n).map(|j| mean(&m.bp_time, j) * ref_flops).collect();
+    Ok(ModelProfile::from_raw(
+        name,
+        batch,
+        m.out_bytes.clone(),
+        m.grad_bytes.clone(),
+        m.param_bytes.clone(),
+        eff_fwd,
+        eff_bwd,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +193,28 @@ mod tests {
             let rel = (ma.bandwidth[w] - gbps(25.0)).abs() / gbps(25.0);
             assert!(rel <= 0.05 + 1e-12);
         }
+    }
+
+    #[test]
+    fn measured_metrics_round_trip_into_a_profile() {
+        let (st, p) = setup();
+        let mut prof = Profiler::new(&p, 0.0, 3);
+        let workers: Vec<GpuId> = (0..3).map(GpuId).collect();
+        let m = prof.observe(&workers, &st);
+        let ref_flops = GpuKind::P100.peak_flops();
+        let q = profile_from_metrics(&p.name, p.batch, &m, ref_flops).unwrap();
+        // Inverse property: reconstructed profile reproduces the measured
+        // mean layer times at the reference speed, and carries the byte
+        // columns through untouched.
+        for j in 0..p.n_layers() {
+            let want: f64 = (0..3).map(|w| m.fp_time[w][j]).sum::<f64>() / 3.0;
+            assert!((q.fp_time(j, ref_flops) - want).abs() / want < 1e-12);
+            let want_b: f64 = (0..3).map(|w| m.bp_time[w][j]).sum::<f64>() / 3.0;
+            assert!((q.bp_time(j, ref_flops) - want_b).abs() / want_b < 1e-12);
+        }
+        assert_eq!(q.out_bytes, m.out_bytes);
+        assert_eq!(q.param_bytes, m.param_bytes);
+        assert!(profile_from_metrics("x", 1, &m, 0.0).is_err());
     }
 
     #[test]

@@ -1,0 +1,231 @@
+//! Bounded byte-buffer channel with optional bandwidth throttling.
+//!
+//! One channel models one directed link between two pipeline stages. It
+//! carries encoded frames (opaque byte buffers) FIFO, enforces a byte
+//! capacity (a sender blocks while the queue is full — real backpressure),
+//! and optionally throttles delivery to a configured bytes-per-second
+//! rate: each frame becomes *visible to the receiver* only after its
+//! serialized length has "crossed the link", with frames sharing the link
+//! sequentially. The sender is never blocked by the throttle itself (a
+//! NIC queues and DMAs in the background; compute/communication overlap is
+//! the point of pipelining) — only by capacity.
+//!
+//! Byte and frame counters accumulate on the sender side, so a run's
+//! transfer volume is measured from what actually entered the wire.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Counters for one channel, read after a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Frames sent.
+    pub frames: u64,
+    /// Total encoded bytes sent.
+    pub bytes: u64,
+}
+
+struct Queue {
+    frames: VecDeque<(Vec<u8>, Instant)>,
+    used: usize,
+    link_free: Option<Instant>,
+    closed: bool,
+}
+
+/// A bounded, optionally throttled, byte-buffer channel.
+pub struct ByteChannel {
+    q: Mutex<Queue>,
+    can_send: Condvar,
+    can_recv: Condvar,
+    capacity: usize,
+    bytes_per_sec: Option<f64>,
+    frames: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl ByteChannel {
+    /// A channel holding at most `capacity` queued bytes, delivering at
+    /// `bytes_per_sec` if given (unthrottled otherwise).
+    pub fn new(capacity: usize, bytes_per_sec: Option<f64>) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        if let Some(b) = bytes_per_sec {
+            assert!(b > 0.0, "bandwidth must be positive");
+        }
+        ByteChannel {
+            q: Mutex::new(Queue {
+                frames: VecDeque::new(),
+                used: 0,
+                link_free: None,
+                closed: false,
+            }),
+            can_send: Condvar::new(),
+            can_recv: Condvar::new(),
+            capacity,
+            bytes_per_sec,
+            frames: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueue an encoded frame. Blocks while the queue is over capacity
+    /// (a frame larger than the whole capacity is admitted alone, so no
+    /// frame size can deadlock the pipeline). Returns `Err` if the
+    /// channel was closed.
+    pub fn send(&self, frame: Vec<u8>) -> Result<(), String> {
+        let len = frame.len();
+        let mut q = self.q.lock().unwrap();
+        while !q.closed && q.used > 0 && q.used + len > self.capacity {
+            q = self.can_send.wait(q).unwrap();
+        }
+        if q.closed {
+            return Err("send on closed channel".to_string());
+        }
+        let now = Instant::now();
+        let ready = match self.bytes_per_sec {
+            None => now,
+            Some(bw) => {
+                let start = match q.link_free {
+                    Some(f) if f > now => f,
+                    _ => now,
+                };
+                let ready = start + Duration::from_secs_f64(len as f64 / bw);
+                q.link_free = Some(ready);
+                ready
+            }
+        };
+        q.used += len;
+        q.frames.push_back((frame, ready));
+        self.frames.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(len as u64, Ordering::Relaxed);
+        self.can_recv.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue the next frame, blocking until one is available *and* its
+    /// transfer time has elapsed. Returns `None` once the channel is
+    /// closed and drained.
+    pub fn recv(&self) -> Option<Vec<u8>> {
+        let mut q = self.q.lock().unwrap();
+        loop {
+            if let Some((_, ready)) = q.frames.front() {
+                let now = Instant::now();
+                if *ready <= now {
+                    let (frame, _) = q.frames.pop_front().unwrap();
+                    q.used -= frame.len();
+                    self.can_send.notify_one();
+                    return Some(frame);
+                }
+                let wait = *ready - now;
+                let (guard, _) = self.can_recv.wait_timeout(q, wait).unwrap();
+                q = guard;
+            } else if q.closed {
+                return None;
+            } else {
+                q = self.can_recv.wait(q).unwrap();
+            }
+        }
+    }
+
+    /// Close the channel: senders fail, receivers drain then get `None`.
+    pub fn close(&self) {
+        let mut q = self.q.lock().unwrap();
+        q.closed = true;
+        self.can_send.notify_all();
+        self.can_recv.notify_all();
+    }
+
+    /// Sender-side counters.
+    pub fn stats(&self) -> ChannelStats {
+        ChannelStats {
+            frames: self.frames.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_and_counters() {
+        let c = ByteChannel::new(1024, None);
+        c.send(vec![1, 2, 3]).unwrap();
+        c.send(vec![4]).unwrap();
+        assert_eq!(c.recv().unwrap(), vec![1, 2, 3]);
+        assert_eq!(c.recv().unwrap(), vec![4]);
+        assert_eq!(
+            c.stats(),
+            ChannelStats {
+                frames: 2,
+                bytes: 4
+            }
+        );
+    }
+
+    #[test]
+    fn capacity_blocks_sender_until_receiver_drains() {
+        let c = Arc::new(ByteChannel::new(8, None));
+        c.send(vec![0; 8]).unwrap();
+        let c2 = Arc::clone(&c);
+        let sender = thread::spawn(move || {
+            // Blocks until the receiver drains the first frame.
+            c2.send(vec![1; 8]).unwrap();
+        });
+        thread::sleep(Duration::from_millis(20));
+        assert!(!sender.is_finished(), "sender should be backpressured");
+        assert_eq!(c.recv().unwrap().len(), 8);
+        sender.join().unwrap();
+        assert_eq!(c.recv().unwrap(), vec![1; 8]);
+    }
+
+    #[test]
+    fn oversized_frame_is_admitted_alone() {
+        let c = ByteChannel::new(4, None);
+        c.send(vec![0; 64]).unwrap(); // larger than capacity, queue empty
+        assert_eq!(c.recv().unwrap().len(), 64);
+    }
+
+    #[test]
+    fn throttle_delays_delivery_by_transfer_time() {
+        // 10 KB at 100 KB/s = 100 ms on the wire.
+        let c = ByteChannel::new(1 << 20, Some(100_000.0));
+        let t0 = Instant::now();
+        c.send(vec![0; 10_000]).unwrap();
+        let sent_at = t0.elapsed();
+        assert!(sent_at < Duration::from_millis(50), "send must not block");
+        let _ = c.recv().unwrap();
+        let got_at = t0.elapsed();
+        assert!(
+            got_at >= Duration::from_millis(95),
+            "frame arrived after {got_at:?}, expected ~100ms"
+        );
+    }
+
+    #[test]
+    fn link_is_serial_under_throttle() {
+        // Two 5 KB frames share the link: second arrives ~100ms in.
+        let c = ByteChannel::new(1 << 20, Some(100_000.0));
+        let t0 = Instant::now();
+        c.send(vec![0; 5_000]).unwrap();
+        c.send(vec![0; 5_000]).unwrap();
+        let _ = c.recv().unwrap();
+        let _ = c.recv().unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(95));
+    }
+
+    #[test]
+    fn close_wakes_receiver_with_none() {
+        let c = Arc::new(ByteChannel::new(16, None));
+        let c2 = Arc::clone(&c);
+        let rx = thread::spawn(move || c2.recv());
+        thread::sleep(Duration::from_millis(10));
+        c.close();
+        assert!(rx.join().unwrap().is_none());
+        assert!(c.send(vec![1]).is_err());
+    }
+}

@@ -1,0 +1,220 @@
+//! Per-stage measurement → Table-1 metrics.
+//!
+//! Each stage thread times every per-layer forward and backward it
+//! executes with `Instant`. After a run (or a standalone calibration
+//! pass) the accumulated sums become an `autopipe::ProfilingMetrics` —
+//! the exact Table-1 shape the planner, meta-network and simulator
+//! already consume — via [`metrics_from_times`]. From there,
+//! `autopipe::profile_from_metrics` turns measurements into a
+//! `ModelProfile`, closing the loop: measured reality in, planner
+//! predictions out.
+
+use ap_nn::{ActKind, Matrix, Mlp};
+use autopipe::ProfilingMetrics;
+use std::time::Instant;
+
+/// Accumulated per-layer timing sums for one run.
+#[derive(Debug, Clone)]
+pub struct LayerTimes {
+    /// Sum of forward durations per global layer, seconds.
+    pub fwd_sum: Vec<f64>,
+    /// Forward sample count per global layer.
+    pub fwd_n: Vec<u64>,
+    /// Sum of backward durations per global layer, seconds.
+    pub bwd_sum: Vec<f64>,
+    /// Backward sample count per global layer.
+    pub bwd_n: Vec<u64>,
+}
+
+impl LayerTimes {
+    /// Zeroed accumulator over `n_layers` global layers.
+    pub fn new(n_layers: usize) -> Self {
+        LayerTimes {
+            fwd_sum: vec![0.0; n_layers],
+            fwd_n: vec![0; n_layers],
+            bwd_sum: vec![0.0; n_layers],
+            bwd_n: vec![0; n_layers],
+        }
+    }
+
+    /// Record one forward of global layer `j`.
+    pub fn fwd(&mut self, j: usize, seconds: f64) {
+        self.fwd_sum[j] += seconds;
+        self.fwd_n[j] += 1;
+    }
+
+    /// Record one backward of global layer `j`.
+    pub fn bwd(&mut self, j: usize, seconds: f64) {
+        self.bwd_sum[j] += seconds;
+        self.bwd_n[j] += 1;
+    }
+
+    /// Merge another accumulator (e.g. a different stage's) into this one.
+    pub fn merge(&mut self, other: &LayerTimes) {
+        for j in 0..self.fwd_sum.len() {
+            self.fwd_sum[j] += other.fwd_sum[j];
+            self.fwd_n[j] += other.fwd_n[j];
+            self.bwd_sum[j] += other.bwd_sum[j];
+            self.bwd_n[j] += other.bwd_n[j];
+        }
+    }
+
+    /// Mean forward time of layer `j` (0 if never measured).
+    pub fn mean_fwd(&self, j: usize) -> f64 {
+        if self.fwd_n[j] == 0 {
+            0.0
+        } else {
+            self.fwd_sum[j] / self.fwd_n[j] as f64
+        }
+    }
+
+    /// Mean backward time of layer `j` (0 if never measured).
+    pub fn mean_bwd(&self, j: usize) -> f64 {
+        if self.bwd_n[j] == 0 {
+            0.0
+        } else {
+            self.bwd_sum[j] / self.bwd_n[j] as f64
+        }
+    }
+}
+
+/// Serialized activation payload bytes leaving layer `j` for one full
+/// mini-batch (`batch x sizes[j+1]` f64s) — matches the Act frame payload
+/// the codec actually puts on the wire, headers excluded.
+pub fn act_payload_bytes(sizes: &[usize], batch: usize, j: usize) -> f64 {
+    (batch * sizes[j + 1] * 8) as f64
+}
+
+/// Parameter payload bytes of layer `j` (weights + bias, 8 bytes each).
+pub fn param_payload_bytes(sizes: &[usize], j: usize) -> f64 {
+    ((sizes[j] * sizes[j + 1] + sizes[j + 1]) * 8) as f64
+}
+
+/// Assemble Table-1 metrics from measured (or synthetic) per-layer times.
+///
+/// `fwd`/`bwd` are per-layer times in seconds; every worker row carries
+/// the same column (stages run on identical host cores, and the paper's
+/// profiler likewise reconstructs the full matrix from per-layer ratios).
+/// `bandwidth` is the per-worker available link bandwidth in bytes/s.
+pub fn metrics_from_times(
+    sizes: &[usize],
+    batch: usize,
+    n_workers: usize,
+    fwd: &[f64],
+    bwd: &[f64],
+    bandwidth: f64,
+) -> ProfilingMetrics {
+    let n_layers = sizes.len() - 1;
+    assert_eq!(fwd.len(), n_layers, "one forward time per layer");
+    assert_eq!(bwd.len(), n_layers, "one backward time per layer");
+    ProfilingMetrics {
+        n_layers,
+        n_workers,
+        out_bytes: (0..n_layers)
+            .map(|j| act_payload_bytes(sizes, batch, j))
+            .collect(),
+        grad_bytes: (0..n_layers)
+            .map(|j| act_payload_bytes(sizes, batch, j))
+            .collect(),
+        param_bytes: (0..n_layers)
+            .map(|j| param_payload_bytes(sizes, j))
+            .collect(),
+        bandwidth: vec![bandwidth; n_workers],
+        fp_time: vec![fwd.to_vec(); n_workers],
+        bp_time: vec![bwd.to_vec(); n_workers],
+    }
+}
+
+/// Pre-run calibration: time each layer's forward and backward on this
+/// host, median over `iters` rounds (after one warmup), at the given
+/// batch size. This is the "profiling before training" pass whose output
+/// seeds the simulator prediction that `repro exec-validate` compares
+/// against measured reality.
+pub fn calibrate_layer_times(
+    sizes: &[usize],
+    act: ActKind,
+    seed: u64,
+    batch: usize,
+    iters: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    assert!(iters >= 1, "need at least one calibration round");
+    let n = sizes.len() - 1;
+    let mut net = Mlp::new(sizes, act, seed);
+    let x = Matrix::xavier(batch, sizes[0], seed.wrapping_add(101));
+    let mut fwd_samples = vec![Vec::with_capacity(iters); n];
+    let mut bwd_samples = vec![Vec::with_capacity(iters); n];
+    for round in 0..=iters {
+        let mut h = x.clone();
+        let mut fwd_round = Vec::with_capacity(n);
+        for j in 0..n {
+            let t = Instant::now();
+            h = net.forward_range(j..j + 1, &h);
+            fwd_round.push(t.elapsed().as_secs_f64());
+        }
+        let mut g = h; // any tensor of the right shape works as dL/dy
+        let mut bwd_round = vec![0.0; n];
+        for j in (0..n).rev() {
+            let t = Instant::now();
+            g = net.backward_range(j..j + 1, &g);
+            bwd_round[j] = t.elapsed().as_secs_f64();
+        }
+        if round > 0 {
+            // Round 0 is warmup (cold caches, first-touch allocation).
+            for j in 0..n {
+                fwd_samples[j].push(fwd_round[j]);
+                bwd_samples[j].push(bwd_round[j]);
+            }
+        }
+        net.zero_grad();
+    }
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    (
+        fwd_samples.into_iter().map(median).collect(),
+        bwd_samples.into_iter().map(median).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_shape_and_byte_columns() {
+        let sizes = [4usize, 8, 2];
+        let m = metrics_from_times(&sizes, 16, 2, &[1e-3, 2e-3], &[2e-3, 4e-3], 1e9);
+        assert!(m.validate().is_ok());
+        assert_eq!(m.n_layers, 2);
+        assert_eq!(m.out_bytes[0], (16 * 8 * 8) as f64);
+        assert_eq!(m.out_bytes[1], (16 * 2 * 8) as f64);
+        assert_eq!(m.param_bytes[0], ((4 * 8 + 8) * 8) as f64);
+        assert_eq!(m.fp_time[0], m.fp_time[1], "homogeneous worker rows");
+    }
+
+    #[test]
+    fn calibration_returns_positive_times() {
+        let (f, b) = calibrate_layer_times(&[8, 16, 4], ActKind::Tanh, 3, 8, 3);
+        assert_eq!(f.len(), 2);
+        assert_eq!(b.len(), 2);
+        for t in f.iter().chain(&b) {
+            assert!(*t >= 0.0 && t.is_finite());
+        }
+    }
+
+    #[test]
+    fn layer_times_merge_and_average() {
+        let mut a = LayerTimes::new(2);
+        a.fwd(0, 1.0);
+        a.fwd(0, 3.0);
+        a.bwd(1, 4.0);
+        let mut b = LayerTimes::new(2);
+        b.fwd(0, 2.0);
+        b.bwd(1, 0.0);
+        a.merge(&b);
+        assert!((a.mean_fwd(0) - 2.0).abs() < 1e-12);
+        assert!((a.mean_bwd(1) - 2.0).abs() < 1e-12);
+        assert_eq!(a.mean_fwd(1), 0.0, "unmeasured layers report zero");
+    }
+}

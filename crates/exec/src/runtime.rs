@@ -1,0 +1,1083 @@
+//! The pipeline runtime: stage threads, 1F1B execution, weight stashing,
+//! and live fine-grained state switching.
+//!
+//! ## Threading model
+//!
+//! Each pipeline stage is one OS thread owning a contiguous slice of the
+//! model. Adjacent stages are connected by two bounded byte channels (one
+//! per direction); every activation, gradient and migration payload is
+//! serialized through the codec, so the byte counters measure what really
+//! crossed the wire. A stage executes its precomputed 1F1B op list,
+//! blocking on exactly the frame each op needs — making all weight-update
+//! sequences, and therefore losses and final weights, independent of
+//! thread timing.
+//!
+//! ## Weight stashing
+//!
+//! A forward of mini-batch `v` clones the stage's master weights; the
+//! clone (which also holds the layer input caches) is stashed keyed by
+//! `v`. The backward of `v` runs against its own stashed copy — PipeDream
+//! weight-stashing semantics — and the resulting gradients are applied to
+//! the master with stateless SGD (`w -= lr * g`), in mini-batch order.
+//!
+//! ## Live migration (§4.4)
+//!
+//! A [`SwitchSpec`] moves the boundary between two adjacent stages at a
+//! planned cutover mini-batch `X` while the pipeline keeps admitting
+//! work. The old owner sends, over the regular data channel (so the
+//! traffic genuinely contends with activations): first the master copy —
+//! the *latest* version, letting the new owner forward mini-batch `X`
+//! immediately — then every stashed version newest-first ("the weight
+//! copy of later active mini-batch first"). In-flight mini-batches
+//! (`v < X`) back-propagate through the old owner's retained stash
+//! copies; their updates to the moved block travel as [`Frame::Delta`]s
+//! and are applied by the new owner strictly in mini-batch order via a
+//! sequencer, so the moved master sees exactly the update sequence it
+//! would have seen without the switch. Nothing ever waits for the
+//! pipeline to empty: a drain-free invariant (in-flight ≥ 1) is sampled
+//! at every migration tick.
+
+use crate::channel::{ByteChannel, ChannelStats};
+use crate::codec::{decode, encode, Frame, LayerBlob};
+use crate::profiler::{metrics_from_times, LayerTimes};
+use crate::schedule::{stage_ops, Op};
+use ap_nn::mlp::MlpWeights;
+use ap_nn::{mse_loss, ActKind, Linear, Matrix, Mlp};
+use ap_pipesim::{TimelineSegment, WorkKind};
+use ap_rng::Rng;
+use autopipe::ProfilingMetrics;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Runtime error (stage failures carry the stage index in the message).
+pub type ExecError = String;
+
+/// A planned live reconfiguration: at mini-batch `at_mb`, the stage
+/// boundaries become `new_cuts`. Exactly one boundary may shift (a
+/// contiguous layer block moving between two adjacent stages).
+#[derive(Debug, Clone)]
+pub struct SwitchSpec {
+    /// First mini-batch routed under the new partition.
+    pub at_mb: u64,
+    /// New interior stage boundaries.
+    pub new_cuts: Vec<usize>,
+}
+
+/// Full description of one pipeline run.
+#[derive(Debug, Clone)]
+pub struct ExecSpec {
+    /// MLP widths, `[in, h1, ..., out]` — layer `j` maps width `j` to
+    /// `j+1`.
+    pub sizes: Vec<usize>,
+    /// Hidden activation.
+    pub act: ActKind,
+    /// Weight-init and data seed.
+    pub seed: u64,
+    /// Rows per mini-batch.
+    pub batch: usize,
+    /// SGD learning rate (stateless SGD; no optimizer state to migrate).
+    pub lr: f64,
+    /// Interior stage boundaries (ascending layer indices); empty = one
+    /// stage.
+    pub cuts: Vec<usize>,
+    /// Mini-batches admitted concurrently (1F1B depth; also the number of
+    /// stashed weight versions).
+    pub in_flight: usize,
+    /// Mini-batches to train.
+    pub total: u64,
+    /// Channel bandwidth throttle, bytes/second (`None` = host memory
+    /// speed).
+    pub bytes_per_sec: Option<f64>,
+    /// The training set cycles through this many distinct mini-batches.
+    pub distinct_batches: u64,
+    /// Optional live reconfiguration.
+    pub switch: Option<SwitchSpec>,
+    /// Record per-op wall-clock segments (chrome-trace export).
+    pub record_timeline: bool,
+}
+
+impl ExecSpec {
+    /// Layer count.
+    pub fn n_layers(&self) -> usize {
+        self.sizes.len() - 1
+    }
+
+    /// Stage count.
+    pub fn n_stages(&self) -> usize {
+        self.cuts.len() + 1
+    }
+
+    /// Stage boundaries including 0 and `n_layers`.
+    fn starts(&self) -> Vec<usize> {
+        let mut s = Vec::with_capacity(self.cuts.len() + 2);
+        s.push(0);
+        s.extend_from_slice(&self.cuts);
+        s.push(self.n_layers());
+        s
+    }
+
+    fn validate(&self) -> Result<(), ExecError> {
+        if self.sizes.len() < 2 {
+            return Err("need at least one layer".into());
+        }
+        if self.batch == 0 || self.total == 0 || self.distinct_batches == 0 {
+            return Err("batch, total and distinct_batches must be positive".into());
+        }
+        if self.in_flight == 0 {
+            return Err("in_flight must be at least 1".into());
+        }
+        let starts = self.starts();
+        for w in starts.windows(2) {
+            if w[0] >= w[1] {
+                return Err(format!(
+                    "cuts must be strictly ascending in (0, {})",
+                    self.n_layers()
+                ));
+            }
+        }
+        if let Some(sw) = &self.switch {
+            plan_move(self, sw)?;
+        }
+        Ok(())
+    }
+}
+
+/// Resolved migration plan derived from a [`SwitchSpec`].
+#[derive(Debug, Clone)]
+struct MovePlan {
+    /// Old owner stage.
+    a: usize,
+    /// New owner stage.
+    b: usize,
+    /// Global layer indices migrating.
+    moved: Range<usize>,
+    /// True if the block moves to the *downstream* neighbor (migration
+    /// frames ride the forward channel), false for upstream (backward
+    /// channel).
+    downstream: bool,
+    /// Cutover mini-batch.
+    at_mb: u64,
+}
+
+fn plan_move(spec: &ExecSpec, sw: &SwitchSpec) -> Result<MovePlan, ExecError> {
+    if sw.new_cuts.len() != spec.cuts.len() {
+        return Err("switch must keep the stage count".into());
+    }
+    if sw.at_mb == 0 || sw.at_mb >= spec.total {
+        return Err(format!(
+            "cutover mini-batch must be in 1..{} (got {})",
+            spec.total, sw.at_mb
+        ));
+    }
+    let diffs: Vec<usize> = (0..spec.cuts.len())
+        .filter(|&i| spec.cuts[i] != sw.new_cuts[i])
+        .collect();
+    if diffs.len() != 1 {
+        return Err("switch must move exactly one stage boundary".into());
+    }
+    let i = diffs[0];
+    let (old_cut, new_cut) = (spec.cuts[i], sw.new_cuts[i]);
+    let lo_bound = if i == 0 { 0 } else { spec.cuts[i - 1] };
+    let hi_bound = if i + 1 == spec.cuts.len() {
+        spec.n_layers()
+    } else {
+        spec.cuts[i + 1]
+    };
+    if new_cut <= lo_bound || new_cut >= hi_bound {
+        return Err("switch would empty a stage".into());
+    }
+    if spec.in_flight < 2 {
+        return Err("a live switch needs in_flight >= 2 to stay drain-free".into());
+    }
+    Ok(if new_cut < old_cut {
+        // Boundary moves down: top layers of stage i go to stage i+1.
+        MovePlan {
+            a: i,
+            b: i + 1,
+            moved: new_cut..old_cut,
+            downstream: true,
+            at_mb: sw.at_mb,
+        }
+    } else {
+        // Boundary moves up: bottom layers of stage i+1 go to stage i.
+        MovePlan {
+            a: i + 1,
+            b: i,
+            moved: old_cut..new_cut,
+            downstream: false,
+            at_mb: sw.at_mb,
+        }
+    })
+}
+
+/// Shared migration bookkeeping (sender and receiver threads both write).
+#[derive(Debug, Default)]
+struct MigrationShared {
+    /// In-flight count sampled at every migration tick (frame send or
+    /// install).
+    samples: Vec<u64>,
+    /// Stash versions in send order (must be descending — §4.4).
+    versions_sent: Vec<u64>,
+    /// Stash versions in install order at the receiver.
+    installed: Vec<u64>,
+    /// Weight-copy payload bytes (master + stashes; excludes headers,
+    /// activations and deltas) — comparable to `SwitchPlan::transfer_bytes`.
+    param_bytes: u64,
+    /// Every migration frame's full wire size (master + stash + delta).
+    wire_bytes: u64,
+    /// Seconds since run start when the master copy was sent.
+    t_first: Option<f64>,
+    /// Seconds since run start when the last version was installed.
+    t_last: Option<f64>,
+    /// Stash installs expected at the receiver.
+    expected: Option<usize>,
+}
+
+/// What a live switch did, measured.
+#[derive(Debug, Clone)]
+pub struct MigrationReport {
+    /// Cutover mini-batch.
+    pub cutover_mb: u64,
+    /// Old owner stage, new owner stage.
+    pub from_stage: usize,
+    /// New owner stage.
+    pub to_stage: usize,
+    /// Global layers moved.
+    pub moved_layers: Range<usize>,
+    /// Weight copies transferred (1 master + stashed versions).
+    pub versions_moved: usize,
+    /// Weight-copy payload bytes (measure against the simulator's
+    /// `SwitchPlan::transfer_bytes` prediction).
+    pub param_bytes: u64,
+    /// Total migration bytes on the wire (headers, stashed inputs and
+    /// deltas included).
+    pub wire_bytes: u64,
+    /// Stash versions in send order.
+    pub versions_sent: Vec<u64>,
+    /// In-flight samples, one per migration tick.
+    pub in_flight_samples: Vec<u64>,
+    /// Wall-clock seconds from master send to last install.
+    pub switch_seconds: f64,
+}
+
+impl MigrationReport {
+    /// The §4.4 drain-free invariant: at least one mini-batch was in
+    /// flight at every migration tick.
+    pub fn drain_free(&self) -> bool {
+        !self.in_flight_samples.is_empty() && self.in_flight_samples.iter().all(|&s| s >= 1)
+    }
+
+    /// Smallest in-flight sample seen during the switch.
+    pub fn min_in_flight(&self) -> u64 {
+        self.in_flight_samples.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Versions were sent newest-first (later active mini-batch first).
+    pub fn newest_first(&self) -> bool {
+        self.versions_sent.windows(2).all(|w| w[0] > w[1])
+    }
+}
+
+/// Everything a finished run measured.
+#[derive(Debug, Clone)]
+pub struct ExecResult {
+    /// Stage count the run started with.
+    pub n_stages: usize,
+    /// Mini-batches fully trained.
+    pub completed: u64,
+    /// Per-mini-batch training loss, in mini-batch order.
+    pub losses: Vec<f64>,
+    /// Wall-clock duration of the whole run, seconds.
+    pub wall_seconds: f64,
+    /// Per-mini-batch completion times (seconds since start), in
+    /// completion order at stage 0.
+    pub completion_times: Vec<f64>,
+    /// Forward-channel counters, one per stage boundary.
+    pub fwd_channels: Vec<ChannelStats>,
+    /// Backward-channel counters, one per stage boundary.
+    pub bwd_channels: Vec<ChannelStats>,
+    /// Measured Table-1 metrics (per-layer times averaged over the run).
+    pub metrics: ProfilingMetrics,
+    /// Raw per-layer timing sums.
+    pub times: LayerTimes,
+    /// Wall-clock timeline segments (empty unless requested).
+    pub segments: Vec<TimelineSegment>,
+    /// Final master weights per stage as `(first_global_layer, weights)`,
+    /// in stage order.
+    pub final_weights: Vec<(usize, MlpWeights)>,
+    /// Migration measurements, if a switch ran.
+    pub migration: Option<MigrationReport>,
+}
+
+impl ExecResult {
+    /// Mini-batches per second over the whole run.
+    pub fn throughput(&self) -> f64 {
+        self.completed as f64 / self.wall_seconds.max(1e-12)
+    }
+
+    /// Steady-state throughput: drop the first `skip` completions (pipeline
+    /// fill) and measure the rest against the remaining wall time.
+    pub fn steady_throughput(&self, skip: usize) -> f64 {
+        if self.completion_times.len() <= skip + 1 {
+            return self.throughput();
+        }
+        let t0 = self.completion_times[skip];
+        let t1 = *self.completion_times.last().unwrap();
+        (self.completion_times.len() - skip - 1) as f64 / (t1 - t0).max(1e-12)
+    }
+
+    /// Total bytes that crossed all inter-stage channels.
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.fwd_channels
+            .iter()
+            .chain(&self.bwd_channels)
+            .map(|c| c.bytes)
+            .sum()
+    }
+}
+
+const DATA_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+const TARGET_SALT: u64 = 0x517c_c1b7_2722_0a95;
+
+fn gen_matrix(seed: u64, rows: usize, cols: usize) -> Matrix {
+    let mut rng = Rng::seed_from_u64(seed);
+    let data = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+fn gen_input(spec: &ExecSpec, mb: u64) -> Matrix {
+    gen_matrix(
+        spec.seed ^ DATA_SALT.wrapping_mul(1 + mb % spec.distinct_batches),
+        spec.batch,
+        spec.sizes[0],
+    )
+}
+
+fn gen_target(spec: &ExecSpec, mb: u64) -> Matrix {
+    gen_matrix(
+        spec.seed ^ TARGET_SALT.wrapping_mul(1 + mb % spec.distinct_batches),
+        spec.batch,
+        *spec.sizes.last().unwrap(),
+    )
+}
+
+/// The exact (input, target) pair stage 0 / the last stage synthesize for
+/// mini-batch `mb` — public so a sequential reference run can train on
+/// bit-identical data.
+pub fn training_batch(spec: &ExecSpec, mb: u64) -> (Matrix, Matrix) {
+    (gen_input(spec, mb), gen_target(spec, mb))
+}
+
+/// Applies moved-block updates strictly in mini-batch order: deltas from
+/// the old owner for in-flight mini-batches, then the new owner's own
+/// gradients, interleave into one totally ordered sequence.
+#[derive(Debug)]
+struct Sequencer {
+    next: u64,
+    pending: BTreeMap<u64, Vec<(usize, Matrix, Matrix)>>,
+}
+
+/// One stashed weight version: the cloned sub-network plus the global
+/// index of its first layer (ownership ranges change across a switch).
+struct StashEntry {
+    lo: usize,
+    net: Mlp,
+}
+
+/// A stage's op after migration markers are spliced in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RtOp {
+    Forward(u64),
+    Backward(u64),
+    /// Old owner: capture + send master and stashed versions.
+    SendMigration,
+    /// New owner (upstream move only): block on the backward channel
+    /// until the master copy is installed.
+    WaitMaster,
+}
+
+enum Role {
+    None,
+    Sender,
+    Receiver,
+}
+
+struct StageOut {
+    lo: usize,
+    weights: MlpWeights,
+    times: LayerTimes,
+    segments: Vec<TimelineSegment>,
+    losses: Vec<(u64, f64)>,
+    completions: Vec<f64>,
+}
+
+struct Stage<'a> {
+    s: usize,
+    last: bool,
+    spec: &'a ExecSpec,
+    lo: usize,
+    master: Mlp,
+    stash: BTreeMap<u64, StashEntry>,
+    migrated_stash: BTreeMap<u64, Mlp>,
+    fwd_in: Option<&'a ByteChannel>,
+    fwd_out: Option<&'a ByteChannel>,
+    bwd_in: Option<&'a ByteChannel>,
+    bwd_out: Option<&'a ByteChannel>,
+    act_buf: VecDeque<(u64, Matrix)>,
+    grad_buf: VecDeque<(u64, Matrix)>,
+    plan: Option<&'a MovePlan>,
+    role: Role,
+    migrated: bool,
+    seq: Option<Sequencer>,
+    /// Receiver only: in-flight mini-batches whose moved-layer delta has
+    /// not arrived yet.
+    outstanding: BTreeSet<u64>,
+    mig: &'a Mutex<MigrationShared>,
+    in_flight: &'a AtomicU64,
+    t0: Instant,
+    times: LayerTimes,
+    segments: Vec<TimelineSegment>,
+    losses: Vec<(u64, f64)>,
+    completions: Vec<f64>,
+}
+
+impl<'a> Stage<'a> {
+    fn owns(&self, global_layer: usize) -> bool {
+        global_layer >= self.lo && global_layer < self.lo + self.master.n_layers()
+    }
+
+    fn is_received_moved(&self, global_layer: usize) -> bool {
+        matches!(self.role, Role::Receiver)
+            && self.migrated
+            && self.plan.is_some_and(|p| p.moved.contains(&global_layer))
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ExecError {
+        format!("stage {}: {}", self.s, msg.into())
+    }
+
+    fn now(&self) -> f64 {
+        self.t0.elapsed().as_secs_f64()
+    }
+
+    fn send_on(&self, chan: Option<&ByteChannel>, frame: &Frame) -> Result<usize, ExecError> {
+        let bytes = encode(frame);
+        let len = bytes.len();
+        chan.ok_or_else(|| self.err(format!("no channel for {} frame", frame.kind())))?
+            .send(bytes)
+            .map_err(|e| self.err(e))?;
+        Ok(len)
+    }
+
+    /// The channel migration frames ride for this stage's role.
+    fn migration_channel(&self) -> Option<&'a ByteChannel> {
+        let p = self.plan?;
+        match self.role {
+            Role::Sender => {
+                if p.downstream {
+                    self.fwd_out
+                } else {
+                    self.bwd_out
+                }
+            }
+            Role::Receiver => {
+                if p.downstream {
+                    self.fwd_in
+                } else {
+                    self.bwd_in
+                }
+            }
+            Role::None => None,
+        }
+    }
+
+    fn apply_update(&mut self, global_layer: usize, dw: &Matrix, db: &Matrix) {
+        let li = global_layer - self.lo;
+        let lr = self.spec.lr;
+        let l = self.master.layer_mut(li);
+        l.w.value.axpy(-lr, dw);
+        l.b.value.axpy(-lr, db);
+    }
+
+    fn seq_insert(
+        &mut self,
+        mb: u64,
+        updates: Vec<(usize, Matrix, Matrix)>,
+    ) -> Result<(), ExecError> {
+        if self.seq.is_none() {
+            return Err(self.err("moved-layer update before master install"));
+        }
+        self.seq.as_mut().unwrap().pending.insert(mb, updates);
+        // Drain everything now in order.
+        loop {
+            let next = self.seq.as_ref().unwrap().next;
+            let Some(batch) = self.seq.as_mut().unwrap().pending.remove(&next) else {
+                break;
+            };
+            for (gl, dw, db) in batch {
+                self.apply_update(gl, &dw, &db);
+            }
+            self.seq.as_mut().unwrap().next += 1;
+        }
+        Ok(())
+    }
+
+    fn handle_ctrl(&mut self, frame: Frame) -> Result<(), ExecError> {
+        match frame {
+            Frame::Master {
+                first_layer,
+                layers,
+                pending,
+            } => {
+                if !matches!(self.role, Role::Receiver) {
+                    return Err(self.err("unexpected master frame"));
+                }
+                let plan = self.plan.unwrap();
+                let moved: Vec<Linear> = layers
+                    .iter()
+                    .map(|b| Linear::from_weights(b.w.clone(), b.b.clone()))
+                    .collect();
+                let kinds: Vec<ActKind> = layers.iter().map(|b| b.act).collect();
+                let n = self.master.n_layers();
+                let (mut new_layers, mut new_kinds) = (Vec::new(), Vec::new());
+                if (first_layer as usize) < self.lo {
+                    // Downstream move: block attaches below us.
+                    new_layers.extend(moved);
+                    new_kinds.extend(kinds);
+                    for i in 0..n {
+                        new_layers.push(self.master.layer(i).cold_clone());
+                        new_kinds.push(self.master.act_kind(i));
+                    }
+                    self.lo = first_layer as usize;
+                } else {
+                    // Upstream move: block attaches on top.
+                    for i in 0..n {
+                        new_layers.push(self.master.layer(i).cold_clone());
+                        new_kinds.push(self.master.act_kind(i));
+                    }
+                    new_layers.extend(moved);
+                    new_kinds.extend(kinds);
+                }
+                self.master = Mlp::from_parts(new_layers, &new_kinds);
+                self.seq = Some(Sequencer {
+                    next: pending.first().copied().unwrap_or(plan.at_mb),
+                    pending: BTreeMap::new(),
+                });
+                self.outstanding = pending.iter().copied().collect();
+                self.migrated = true;
+                let mut m = self.mig.lock().unwrap();
+                m.samples.push(self.in_flight.load(Ordering::SeqCst));
+                m.expected = Some(pending.len());
+                if pending.is_empty() {
+                    m.t_last = Some(self.now());
+                }
+                Ok(())
+            }
+            Frame::Stash {
+                mb,
+                first_layer: _,
+                layers,
+                input,
+            } => {
+                if !matches!(self.role, Role::Receiver) {
+                    return Err(self.err("unexpected stash frame"));
+                }
+                let ls: Vec<Linear> = layers
+                    .iter()
+                    .map(|b| Linear::from_weights(b.w.clone(), b.b.clone()))
+                    .collect();
+                let kinds: Vec<ActKind> = layers.iter().map(|b| b.act).collect();
+                let mut net = Mlp::from_parts(ls, &kinds);
+                // Rebuild the version's backward state by recomputing its
+                // forward from the shipped input activation.
+                let _ = net.forward(&input);
+                self.migrated_stash.insert(mb, net);
+                let mut m = self.mig.lock().unwrap();
+                m.installed.push(mb);
+                m.samples.push(self.in_flight.load(Ordering::SeqCst));
+                if Some(m.installed.len()) == m.expected {
+                    m.t_last = Some(self.now());
+                }
+                Ok(())
+            }
+            Frame::Delta {
+                mb,
+                first_layer,
+                grads,
+            } => {
+                // This in-flight mini-batch retired at the old owner; its
+                // migrated stash copy is obsolete.
+                self.migrated_stash.remove(&mb);
+                self.outstanding.remove(&mb);
+                let updates: Vec<(usize, Matrix, Matrix)> = grads
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (dw, db))| (first_layer as usize + i, dw, db))
+                    .collect();
+                self.seq_insert(mb, updates)
+            }
+            other => Err(self.err(format!("unexpected {} frame", other.kind()))),
+        }
+    }
+
+    fn next_act(&mut self, mb: u64) -> Result<Matrix, ExecError> {
+        if let Some(pos) = self.act_buf.iter().position(|(v, _)| *v == mb) {
+            return Ok(self.act_buf.remove(pos).unwrap().1);
+        }
+        loop {
+            let chan = self.fwd_in.ok_or_else(|| self.err("no forward input"))?;
+            let bytes = chan
+                .recv()
+                .ok_or_else(|| self.err("forward channel closed"))?;
+            match decode(&bytes).map_err(|e| self.err(e))? {
+                Frame::Act { mb: v, data } if v == mb => return Ok(data),
+                Frame::Act { mb: v, data } => self.act_buf.push_back((v, data)),
+                ctrl => self.handle_ctrl(ctrl)?,
+            }
+        }
+    }
+
+    fn next_grad(&mut self, mb: u64) -> Result<Matrix, ExecError> {
+        if let Some(pos) = self.grad_buf.iter().position(|(v, _)| *v == mb) {
+            return Ok(self.grad_buf.remove(pos).unwrap().1);
+        }
+        loop {
+            let chan = self.bwd_in.ok_or_else(|| self.err("no backward input"))?;
+            let bytes = chan
+                .recv()
+                .ok_or_else(|| self.err("backward channel closed"))?;
+            match decode(&bytes).map_err(|e| self.err(e))? {
+                Frame::Grad { mb: v, data } if v == mb => return Ok(data),
+                Frame::Grad { mb: v, data } => self.grad_buf.push_back((v, data)),
+                ctrl => self.handle_ctrl(ctrl)?,
+            }
+        }
+    }
+
+    /// Upstream-move receiver: block on the backward channel until the
+    /// master copy arrives (buffering any gradients popped on the way).
+    fn wait_master(&mut self) -> Result<(), ExecError> {
+        while !self.migrated {
+            let chan = self.bwd_in.ok_or_else(|| self.err("no backward input"))?;
+            let bytes = chan
+                .recv()
+                .ok_or_else(|| self.err("backward channel closed"))?;
+            match decode(&bytes).map_err(|e| self.err(e))? {
+                Frame::Grad { mb, data } => self.grad_buf.push_back((mb, data)),
+                ctrl => self.handle_ctrl(ctrl)?,
+            }
+        }
+        Ok(())
+    }
+
+    fn record_segment(&mut self, mb: u64, kind: WorkKind, start: f64) {
+        if self.spec.record_timeline {
+            self.segments.push(TimelineSegment {
+                worker: self.s,
+                unit: mb,
+                kind,
+                start,
+                end: self.now(),
+            });
+        }
+    }
+
+    fn forward(&mut self, mb: u64) -> Result<(), ExecError> {
+        let x = if self.s == 0 {
+            self.in_flight.fetch_add(1, Ordering::SeqCst);
+            gen_input(self.spec, mb)
+        } else {
+            self.next_act(mb)?
+        };
+        let start = self.now();
+        let mut entry = StashEntry {
+            lo: self.lo,
+            net: self.master.clone(),
+        };
+        let mut h = x;
+        for i in 0..entry.net.n_layers() {
+            let t = Instant::now();
+            h = entry.net.forward_range(i..i + 1, &h);
+            self.times.fwd(entry.lo + i, t.elapsed().as_secs_f64());
+        }
+        self.record_segment(mb, WorkKind::Forward, start);
+        self.stash.insert(mb, entry);
+        if self.last {
+            let target = gen_target(self.spec, mb);
+            let (loss, g) = mse_loss(&h, &target);
+            self.losses.push((mb, loss));
+            self.backward(mb, Some(g))
+        } else {
+            self.send_on(self.fwd_out, &Frame::Act { mb, data: h })?;
+            Ok(())
+        }
+    }
+
+    fn backward(&mut self, mb: u64, fused_grad: Option<Matrix>) -> Result<(), ExecError> {
+        let g_in = match fused_grad {
+            Some(g) => g,
+            None => self.next_grad(mb)?,
+        };
+        let entry = self
+            .stash
+            .remove(&mb)
+            .ok_or_else(|| self.err(format!("no stashed version for mb {mb}")))?;
+        let start = self.now();
+        let mut net = entry.net;
+        let mut g = g_in;
+        for i in (0..net.n_layers()).rev() {
+            let t = Instant::now();
+            g = net.backward_range(i..i + 1, &g);
+            self.times.bwd(entry.lo + i, t.elapsed().as_secs_f64());
+        }
+        self.record_segment(mb, WorkKind::Backward, start);
+        // Route the updates: own layers apply locally (moved-block layers
+        // at the receiver go through the sequencer); layers migrated away
+        // ship back to the new owner as one ordered delta.
+        let mut delta: Vec<(Matrix, Matrix)> = Vec::new();
+        let mut delta_first = 0usize;
+        let mut seq_updates: Vec<(usize, Matrix, Matrix)> = Vec::new();
+        for i in 0..net.n_layers() {
+            let gl = entry.lo + i;
+            let l = net.layer(i);
+            if self.is_received_moved(gl) {
+                seq_updates.push((gl, l.w.grad.clone(), l.b.grad.clone()));
+            } else if self.owns(gl) {
+                let (dw, db) = (l.w.grad.clone(), l.b.grad.clone());
+                self.apply_update(gl, &dw, &db);
+            } else {
+                if delta.is_empty() {
+                    delta_first = gl;
+                }
+                delta.push((l.w.grad.clone(), l.b.grad.clone()));
+            }
+        }
+        if !seq_updates.is_empty() {
+            self.seq_insert(mb, seq_updates)?;
+        }
+        if !delta.is_empty() {
+            if !(matches!(self.role, Role::Sender) && self.migrated) {
+                return Err(self.err(format!("stray un-owned layers in mb {mb} backward")));
+            }
+            let frame = Frame::Delta {
+                mb,
+                first_layer: delta_first as u32,
+                grads: delta,
+            };
+            let len = self.send_on(self.migration_channel(), &frame)?;
+            self.mig.lock().unwrap().wire_bytes += len as u64;
+        }
+        if self.s == 0 {
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+            self.completions.push(self.now());
+        } else {
+            self.send_on(self.bwd_out, &Frame::Grad { mb, data: g })?;
+        }
+        Ok(())
+    }
+
+    fn blob(l: &Linear, act: ActKind) -> LayerBlob {
+        LayerBlob {
+            w: l.w.value.clone(),
+            b: l.b.value.clone(),
+            act,
+        }
+    }
+
+    fn payload_bytes(blobs: &[LayerBlob]) -> u64 {
+        blobs
+            .iter()
+            .map(|b| ((b.w.data().len() + b.b.data().len()) * 8) as u64)
+            .sum()
+    }
+
+    fn send_migration(&mut self) -> Result<(), ExecError> {
+        let plan = self.plan.ok_or_else(|| self.err("no migration plan"))?;
+        let k = plan.moved.len();
+        let m = self.master.n_layers();
+        let local: Range<usize> = if plan.downstream { m - k..m } else { 0..k };
+        let blobs: Vec<LayerBlob> = local
+            .clone()
+            .map(|i| Self::blob(self.master.layer(i), self.master.act_kind(i)))
+            .collect();
+        let pending: Vec<u64> = self.stash.keys().copied().collect();
+        {
+            let mut mg = self.mig.lock().unwrap();
+            mg.t_first = Some(self.now());
+            mg.samples.push(self.in_flight.load(Ordering::SeqCst));
+            mg.param_bytes += Self::payload_bytes(&blobs);
+        }
+        let master_frame = Frame::Master {
+            first_layer: plan.moved.start as u32,
+            layers: blobs,
+            pending,
+        };
+        let len = self.send_on(self.migration_channel(), &master_frame)?;
+        self.mig.lock().unwrap().wire_bytes += len as u64;
+        // Stashed versions, newest first (§4.4: the copy of the later
+        // active mini-batch migrates first).
+        let versions: Vec<u64> = self.stash.keys().rev().copied().collect();
+        for v in versions {
+            let entry = &self.stash[&v];
+            let ml = plan.moved.start - entry.lo;
+            let input = entry
+                .net
+                .layer_input(ml)
+                .ok_or_else(|| self.err(format!("mb {v}: no cached input for migration")))?
+                .clone();
+            let blobs: Vec<LayerBlob> = (ml..ml + k)
+                .map(|i| Self::blob(entry.net.layer(i), entry.net.act_kind(i)))
+                .collect();
+            let frame = Frame::Stash {
+                mb: v,
+                first_layer: plan.moved.start as u32,
+                layers: blobs.clone(),
+                input,
+            };
+            let len = self.send_on(self.migration_channel(), &frame)?;
+            let mut mg = self.mig.lock().unwrap();
+            mg.samples.push(self.in_flight.load(Ordering::SeqCst));
+            mg.versions_sent.push(v);
+            mg.param_bytes += Self::payload_bytes(&blobs);
+            mg.wire_bytes += len as u64;
+        }
+        // Shrink to the retained block. Stash entries are retained in
+        // full: in-flight mini-batches back-propagate here, and their
+        // moved-block updates leave as deltas.
+        let keep: Range<usize> = if plan.downstream { 0..m - k } else { k..m };
+        self.master = self.master.slice(keep);
+        if !plan.downstream {
+            self.lo += k;
+        }
+        self.migrated = true;
+        Ok(())
+    }
+
+    fn run(&mut self, ops: &[RtOp]) -> Result<(), ExecError> {
+        for op in ops {
+            match *op {
+                RtOp::Forward(v) => self.forward(v)?,
+                RtOp::Backward(v) => self.backward(v, None)?,
+                RtOp::SendMigration => self.send_migration()?,
+                RtOp::WaitMaster => self.wait_master()?,
+            }
+        }
+        // A late cutover can leave moved-layer deltas in flight after the
+        // receiver's last scheduled op; drain them so no update is lost.
+        while !self.outstanding.is_empty() {
+            let chan = self
+                .migration_channel()
+                .ok_or_else(|| self.err("deltas outstanding but no migration channel"))?;
+            let bytes = chan
+                .recv()
+                .ok_or_else(|| self.err("channel closed with deltas outstanding"))?;
+            match decode(&bytes).map_err(|e| self.err(e))? {
+                Frame::Act { mb, data } => self.act_buf.push_back((mb, data)),
+                Frame::Grad { mb, data } => self.grad_buf.push_back((mb, data)),
+                ctrl => self.handle_ctrl(ctrl)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+fn rt_ops(spec: &ExecSpec, plan: Option<&MovePlan>, stage: usize) -> Vec<RtOp> {
+    let base = stage_ops(stage, spec.n_stages(), spec.total, spec.in_flight);
+    let mut ops: Vec<RtOp> = base
+        .iter()
+        .map(|o| match o {
+            Op::Forward(v) => RtOp::Forward(*v),
+            Op::Backward(v) => RtOp::Backward(*v),
+        })
+        .collect();
+    if let Some(p) = plan {
+        let marker = if stage == p.a {
+            Some(RtOp::SendMigration)
+        } else if stage == p.b && !p.downstream {
+            Some(RtOp::WaitMaster)
+        } else {
+            None
+        };
+        if let Some(marker) = marker {
+            let pos = ops
+                .iter()
+                .position(|o| *o == RtOp::Forward(p.at_mb))
+                .expect("cutover mini-batch not in schedule");
+            ops.insert(pos, marker);
+        }
+    }
+    ops
+}
+
+/// Run a full pipeline training session. Blocks until every stage thread
+/// has drained its schedule; returns the merged measurements.
+pub fn run_pipeline(spec: &ExecSpec) -> Result<ExecResult, ExecError> {
+    spec.validate()?;
+    let plan = match &spec.switch {
+        Some(sw) => Some(plan_move(spec, sw)?),
+        None => None,
+    };
+    let n_stages = spec.n_stages();
+    let starts = spec.starts();
+    let full = Mlp::new(&spec.sizes, spec.act, spec.seed);
+
+    // Channel capacity: a few in-flight activations per link; anything
+    // larger (migration frames) is admitted alone by the channel.
+    let max_width = *spec.sizes.iter().max().unwrap();
+    let frame_bytes = 32 + spec.batch * max_width * 8;
+    let capacity = frame_bytes * (spec.in_flight + 2);
+    let fwd: Vec<ByteChannel> = (0..n_stages.saturating_sub(1))
+        .map(|_| ByteChannel::new(capacity, spec.bytes_per_sec))
+        .collect();
+    let bwd: Vec<ByteChannel> = (0..n_stages.saturating_sub(1))
+        .map(|_| ByteChannel::new(capacity, spec.bytes_per_sec))
+        .collect();
+
+    let in_flight = AtomicU64::new(0);
+    let mig = Mutex::new(MigrationShared::default());
+    let t0 = Instant::now();
+
+    let outcomes: Vec<Result<StageOut, ExecError>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n_stages);
+        for s in 0..n_stages {
+            let master = full.slice(starts[s]..starts[s + 1]);
+            let ops = rt_ops(spec, plan.as_ref(), s);
+            let role = match &plan {
+                Some(p) if p.a == s => Role::Sender,
+                Some(p) if p.b == s => Role::Receiver,
+                _ => Role::None,
+            };
+            let (fwd_ref, bwd_ref) = (&fwd, &bwd);
+            let (in_flight_ref, mig_ref, plan_ref) = (&in_flight, &mig, plan.as_ref());
+            let lo = starts[s];
+            handles.push(scope.spawn(move || {
+                let mut stage = Stage {
+                    s,
+                    last: s == n_stages - 1,
+                    spec,
+                    lo,
+                    master,
+                    stash: BTreeMap::new(),
+                    migrated_stash: BTreeMap::new(),
+                    fwd_in: if s > 0 { Some(&fwd_ref[s - 1]) } else { None },
+                    fwd_out: if s + 1 < n_stages {
+                        Some(&fwd_ref[s])
+                    } else {
+                        None
+                    },
+                    bwd_in: if s + 1 < n_stages {
+                        Some(&bwd_ref[s])
+                    } else {
+                        None
+                    },
+                    bwd_out: if s > 0 { Some(&bwd_ref[s - 1]) } else { None },
+                    act_buf: VecDeque::new(),
+                    grad_buf: VecDeque::new(),
+                    plan: plan_ref,
+                    role,
+                    migrated: false,
+                    seq: None,
+                    outstanding: BTreeSet::new(),
+                    mig: mig_ref,
+                    in_flight: in_flight_ref,
+                    t0,
+                    times: LayerTimes::new(spec.n_layers()),
+                    segments: Vec::new(),
+                    losses: Vec::new(),
+                    completions: Vec::new(),
+                };
+                let run = stage.run(&ops);
+                // Unblock neighbors if this stage failed mid-schedule.
+                if run.is_err() {
+                    for c in fwd_ref.iter().chain(bwd_ref.iter()) {
+                        c.close();
+                    }
+                }
+                run.map(|()| StageOut {
+                    lo: stage.lo,
+                    weights: stage.master.weights(),
+                    times: stage.times,
+                    segments: stage.segments,
+                    losses: stage.losses,
+                    completions: stage.completions,
+                })
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(_) => Err("stage thread panicked".to_string()),
+            })
+            .collect()
+    });
+    let wall_seconds = t0.elapsed().as_secs_f64();
+
+    let mut outs = Vec::with_capacity(n_stages);
+    for o in outcomes {
+        outs.push(o?);
+    }
+
+    let mut times = LayerTimes::new(spec.n_layers());
+    let mut segments = Vec::new();
+    for o in &outs {
+        times.merge(&o.times);
+        segments.extend(o.segments.iter().cloned());
+    }
+    segments.sort_by(|a, b| {
+        a.start
+            .total_cmp(&b.start)
+            .then_with(|| a.worker.cmp(&b.worker))
+    });
+    let mut losses: Vec<(u64, f64)> = outs.last().unwrap().losses.clone();
+    losses.sort_by_key(|(mb, _)| *mb);
+    let completions = outs[0].completions.clone();
+
+    let fwd_times: Vec<f64> = (0..spec.n_layers()).map(|j| times.mean_fwd(j)).collect();
+    let bwd_times: Vec<f64> = (0..spec.n_layers()).map(|j| times.mean_bwd(j)).collect();
+    let metrics = metrics_from_times(
+        &spec.sizes,
+        spec.batch,
+        n_stages,
+        &fwd_times,
+        &bwd_times,
+        spec.bytes_per_sec.unwrap_or(1e12),
+    );
+
+    let migration = plan.map(|p| {
+        let m = mig.into_inner().unwrap();
+        MigrationReport {
+            cutover_mb: p.at_mb,
+            from_stage: p.a,
+            to_stage: p.b,
+            moved_layers: p.moved.clone(),
+            versions_moved: 1 + m.versions_sent.len(),
+            param_bytes: m.param_bytes,
+            wire_bytes: m.wire_bytes,
+            versions_sent: m.versions_sent,
+            in_flight_samples: m.samples,
+            switch_seconds: match (m.t_first, m.t_last) {
+                (Some(a), Some(b)) => (b - a).max(0.0),
+                _ => 0.0,
+            },
+        }
+    });
+
+    Ok(ExecResult {
+        n_stages,
+        completed: losses.len() as u64,
+        losses: losses.into_iter().map(|(_, l)| l).collect(),
+        wall_seconds,
+        completion_times: completions,
+        fwd_channels: fwd.iter().map(|c| c.stats()).collect(),
+        bwd_channels: bwd.iter().map(|c| c.stats()).collect(),
+        metrics,
+        times,
+        segments,
+        final_weights: outs.iter().map(|o| (o.lo, o.weights.clone())).collect(),
+        migration,
+    })
+}

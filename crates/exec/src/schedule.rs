@@ -1,0 +1,155 @@
+//! Static 1F1B op schedules.
+//!
+//! PipeDream's steady state runs one forward and one backward per stage
+//! per round. We precompute each stage's exact op sequence — warmup
+//! forwards, strict B/F alternation, drain backwards — and each stage
+//! then *blocks on the precise frame its next op needs*. This is how real
+//! PipeDream runs (the schedule is static), and it is also what makes the
+//! runtime's numerics independent of thread timing: execution order per
+//! stage is fixed, channels are FIFO, so every weight update sequence is
+//! deterministic.
+//!
+//! The last stage is special: it fuses forward, loss, and backward into
+//! one op per mini-batch (there is nothing to wait for between them).
+
+/// One scheduled operation at a stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Forward mini-batch `mb` (at the last stage: forward + loss +
+    /// backward, fused).
+    Forward(u64),
+    /// Backward mini-batch `mb`.
+    Backward(u64),
+}
+
+/// The 1F1B op sequence for `stage` of `n_stages`, training `total`
+/// mini-batches with at most `in_flight` admitted concurrently.
+///
+/// Warmup depth shrinks with stage index (`in_flight - stage`, floored at
+/// one), so stage 0 fills the pipeline to the in-flight cap and deeper
+/// stages start alternating sooner. The last stage always alternates
+/// immediately (fused ops), so it emits only `Forward` entries.
+pub fn stage_ops(stage: usize, n_stages: usize, total: u64, in_flight: usize) -> Vec<Op> {
+    assert!(n_stages > 0 && stage < n_stages, "bad stage index");
+    assert!(in_flight >= 1, "need at least one in-flight mini-batch");
+    if stage == n_stages - 1 {
+        return (0..total).map(Op::Forward).collect();
+    }
+    let warmup = (in_flight.saturating_sub(stage)).max(1) as u64;
+    let w = warmup.min(total);
+    let mut ops = Vec::with_capacity(2 * total as usize);
+    for v in 0..w {
+        ops.push(Op::Forward(v));
+    }
+    let mut b = 0;
+    let mut f = w;
+    while f < total {
+        ops.push(Op::Backward(b));
+        ops.push(Op::Forward(f));
+        b += 1;
+        f += 1;
+    }
+    for v in b..total {
+        ops.push(Op::Backward(v));
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(ops: &[Op], total: u64) -> (Vec<u64>, Vec<u64>) {
+        let mut fwd = vec![0u64; total as usize];
+        let mut bwd = vec![0u64; total as usize];
+        for op in ops {
+            match op {
+                Op::Forward(v) => fwd[*v as usize] += 1,
+                Op::Backward(v) => bwd[*v as usize] += 1,
+            }
+        }
+        (fwd, bwd)
+    }
+
+    #[test]
+    fn every_mini_batch_forwarded_and_backwarded_once() {
+        for stage in 0..3 {
+            let ops = stage_ops(stage, 4, 10, 4);
+            let (fwd, bwd) = counts(&ops, 10);
+            assert!(fwd.iter().all(|&c| c == 1), "stage {stage} forwards");
+            assert!(bwd.iter().all(|&c| c == 1), "stage {stage} backwards");
+        }
+        // Last stage: fused, Forward entries only.
+        let ops = stage_ops(3, 4, 10, 4);
+        assert_eq!(ops.len(), 10);
+        assert!(ops.iter().all(|o| matches!(o, Op::Forward(_))));
+    }
+
+    #[test]
+    fn forward_precedes_backward_per_mini_batch() {
+        let ops = stage_ops(0, 3, 8, 3);
+        for v in 0..8u64 {
+            let fi = ops.iter().position(|o| *o == Op::Forward(v)).unwrap();
+            let bi = ops.iter().position(|o| *o == Op::Backward(v)).unwrap();
+            assert!(fi < bi, "mb {v}: backward scheduled before forward");
+        }
+    }
+
+    #[test]
+    fn warmup_depth_matches_in_flight_cap() {
+        let ops = stage_ops(0, 2, 10, 4);
+        // First 4 ops are forwards (fill), then strict B/F alternation.
+        assert_eq!(
+            &ops[..6],
+            &[
+                Op::Forward(0),
+                Op::Forward(1),
+                Op::Forward(2),
+                Op::Forward(3),
+                Op::Backward(0),
+                Op::Forward(4),
+            ]
+        );
+    }
+
+    #[test]
+    fn in_flight_never_exceeds_cap_at_stage_zero() {
+        for cap in 1..=5usize {
+            let ops = stage_ops(0, 3, 12, cap);
+            let mut in_flight = 0i64;
+            let mut max = 0i64;
+            for op in &ops {
+                match op {
+                    Op::Forward(_) => in_flight += 1,
+                    Op::Backward(_) => in_flight -= 1,
+                }
+                max = max.max(in_flight);
+            }
+            assert!(max <= cap as i64, "cap {cap}: peak {max}");
+            assert_eq!(in_flight, 0, "pipeline must fully drain");
+        }
+    }
+
+    #[test]
+    fn cap_one_degenerates_to_sequential() {
+        let ops = stage_ops(0, 2, 3, 1);
+        assert_eq!(
+            ops,
+            vec![
+                Op::Forward(0),
+                Op::Backward(0),
+                Op::Forward(1),
+                Op::Backward(1),
+                Op::Forward(2),
+                Op::Backward(2),
+            ]
+        );
+    }
+
+    #[test]
+    fn tiny_totals_do_not_panic() {
+        assert_eq!(stage_ops(0, 2, 0, 4), vec![]);
+        let ops = stage_ops(0, 2, 1, 4);
+        assert_eq!(ops, vec![Op::Forward(0), Op::Backward(0)]);
+    }
+}

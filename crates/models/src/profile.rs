@@ -78,6 +78,52 @@ impl ModelProfile {
         }
     }
 
+    /// Build a profile directly from per-layer measurements (bytes already
+    /// at full mini-batch scale, FLOPs already effective). This is how a
+    /// *measured* profile enters the planner: the execution runtime times
+    /// each layer on real hardware and converts the observations into the
+    /// same Table-1 shape the static zoo profiles use.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw(
+        name: &str,
+        batch: usize,
+        out_bytes: Vec<f64>,
+        grad_bytes: Vec<f64>,
+        param_bytes: Vec<f64>,
+        eff_flops_fwd: Vec<f64>,
+        eff_flops_bwd: Vec<f64>,
+    ) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        let n = out_bytes.len();
+        assert!(n > 0, "need at least one layer");
+        assert!(
+            grad_bytes.len() == n
+                && param_bytes.len() == n
+                && eff_flops_fwd.len() == n
+                && eff_flops_bwd.len() == n,
+            "per-layer vectors must have equal length"
+        );
+        let mut work_prefix = Vec::with_capacity(n + 1);
+        let mut param_prefix = Vec::with_capacity(n + 1);
+        work_prefix.push(0.0);
+        param_prefix.push(0.0);
+        for i in 0..n {
+            work_prefix.push(work_prefix[i] + eff_flops_fwd[i] + eff_flops_bwd[i]);
+            param_prefix.push(param_prefix[i] + param_bytes[i]);
+        }
+        ModelProfile {
+            name: name.to_string(),
+            batch,
+            out_bytes,
+            grad_bytes,
+            param_bytes,
+            eff_flops_fwd,
+            eff_flops_bwd,
+            work_prefix,
+            param_prefix,
+        }
+    }
+
     /// Number of layers.
     pub fn n_layers(&self) -> usize {
         self.out_bytes.len()
@@ -187,5 +233,38 @@ mod tests {
     #[should_panic(expected = "batch size must be positive")]
     fn zero_batch_rejected() {
         let _ = ModelProfile::with_batch(&vgg16(), 0);
+    }
+
+    #[test]
+    fn from_raw_rebuilds_identical_prefix_sums() {
+        let p = ModelProfile::of(&vgg16());
+        let q = ModelProfile::from_raw(
+            &p.name,
+            p.batch,
+            p.out_bytes.clone(),
+            p.grad_bytes.clone(),
+            p.param_bytes.clone(),
+            p.eff_flops_fwd.clone(),
+            p.eff_flops_bwd.clone(),
+        );
+        assert_eq!(q.n_layers(), p.n_layers());
+        for lo in [0, 3, 7] {
+            assert!((q.range_work(lo, p.n_layers()) - p.range_work(lo, p.n_layers())).abs() < 1e-9);
+            assert!((q.range_params(0, lo.max(1)) - p.range_params(0, lo.max(1))).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn from_raw_rejects_ragged_vectors() {
+        let _ = ModelProfile::from_raw(
+            "x",
+            1,
+            vec![1.0, 2.0],
+            vec![1.0],
+            vec![1.0, 2.0],
+            vec![1.0, 2.0],
+            vec![1.0, 2.0],
+        );
     }
 }

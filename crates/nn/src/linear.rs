@@ -61,6 +61,31 @@ impl Linear {
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.w, &mut self.b]
     }
+
+    /// The input cached by the most recent `forward`, if any.
+    pub fn cached_input(&self) -> Option<&Matrix> {
+        self.cached_in.as_ref()
+    }
+
+    /// Clone weights and gradients but drop the forward cache.
+    pub fn cold_clone(&self) -> Linear {
+        Linear {
+            w: self.w.clone(),
+            b: self.b.clone(),
+            cached_in: None,
+        }
+    }
+
+    /// Build a layer from explicit weight and bias matrices.
+    pub fn from_weights(w: Matrix, b: Matrix) -> Linear {
+        assert_eq!(b.rows(), 1, "bias must be a row vector");
+        assert_eq!(w.cols(), b.cols(), "bias width must match output width");
+        Linear {
+            w: Param::new(w),
+            b: Param::new(b),
+            cached_in: None,
+        }
+    }
 }
 
 #[cfg(test)]

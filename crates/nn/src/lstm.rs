@@ -281,6 +281,51 @@ mod tests {
         }
     }
 
+    /// Exhaustive finite-difference check of *every* element of the gate
+    /// weight matrix on a tiny cell — the spot-check above samples 12
+    /// elements; this closes the gap on a net small enough to afford it
+    /// (w is (input+hidden) x 4*hidden = 4 x 8 here).
+    #[test]
+    fn bptt_full_weight_gradient_check_on_tiny_cell() {
+        let mut l = Lstm::new(2, 2, 77);
+        let s = seq(3, 2, 2, 500);
+        let h = l.forward(&s);
+        let _ = l.backward(&h.clone());
+        let analytic = l.cell.w.grad.clone();
+        let eps = 1e-6;
+        for idx in 0..l.cell.w.value.data().len() {
+            let orig = l.cell.w.value.data()[idx];
+            l.cell.w.value.data_mut()[idx] = orig + eps;
+            let lp = scalar_loss(&l.forward_inference(&s));
+            l.cell.w.value.data_mut()[idx] = orig - eps;
+            let lm = scalar_loss(&l.forward_inference(&s));
+            l.cell.w.value.data_mut()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = analytic.data()[idx];
+            assert!(
+                (fd - an).abs() < 1e-5 * (1.0 + fd.abs()),
+                "dW[{idx}]: fd {fd} vs analytic {an}"
+            );
+        }
+    }
+
+    /// BPTT gradients accumulate across forward/backward rounds until
+    /// explicitly zeroed (mirrors the optimizer contract `zero_grad`
+    /// depends on).
+    #[test]
+    fn bptt_gradients_accumulate_across_rounds() {
+        let mut l = Lstm::new(2, 3, 91);
+        let s = seq(3, 1, 2, 600);
+        let h = l.forward(&s);
+        let _ = l.backward(&h.clone());
+        let first = l.cell.w.grad.clone();
+        let h = l.forward(&s);
+        let _ = l.backward(&h.clone());
+        for (a, b) in l.cell.w.grad.data().iter().zip(first.data()) {
+            assert!((a - 2.0 * b).abs() < 1e-12);
+        }
+    }
+
     #[test]
     fn bptt_bias_gradients_match_finite_differences() {
         let mut l = Lstm::new(2, 2, 33);

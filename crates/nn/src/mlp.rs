@@ -4,6 +4,7 @@ use crate::activation::{ActKind, Activation};
 use crate::linear::Linear;
 use crate::matrix::Matrix;
 use crate::Param;
+use std::ops::Range;
 
 /// Serializable snapshot of MLP weights (for offline-trained models).
 #[derive(Debug, Clone)]
@@ -18,7 +19,6 @@ pub struct MlpWeights {
 pub struct Mlp {
     layers: Vec<Linear>,
     acts: Vec<Activation>,
-    hidden_act: ActKind,
 }
 
 impl Mlp {
@@ -36,11 +36,20 @@ impl Mlp {
                 hidden_act
             }));
         }
-        Mlp {
-            layers,
-            acts,
-            hidden_act,
+        Mlp { layers, acts }
+    }
+
+    /// Assemble a network from explicit layers and per-layer activation
+    /// kinds (the constructor the execution runtime uses when a stage
+    /// receives migrated layers over the wire).
+    pub fn from_parts(layers: Vec<Linear>, kinds: &[ActKind]) -> Self {
+        assert!(!layers.is_empty(), "need at least one layer");
+        assert_eq!(layers.len(), kinds.len(), "one activation kind per layer");
+        for w in layers.windows(2) {
+            assert_eq!(w[0].d_out(), w[1].d_in(), "adjacent layer width mismatch");
         }
+        let acts = kinds.iter().map(|&k| Activation::new(k)).collect();
+        Mlp { layers, acts }
     }
 
     /// Input width.
@@ -53,11 +62,59 @@ impl Mlp {
         self.layers.last().unwrap().d_out()
     }
 
+    /// Number of layers.
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Borrow layer `i`.
+    pub fn layer(&self, i: usize) -> &Linear {
+        &self.layers[i]
+    }
+
+    /// Mutably borrow layer `i`.
+    pub fn layer_mut(&mut self, i: usize) -> &mut Linear {
+        &mut self.layers[i]
+    }
+
+    /// The activation kind applied after layer `i`.
+    pub fn act_kind(&self, i: usize) -> ActKind {
+        self.acts[i].kind
+    }
+
+    /// The cached input of layer `i` from the most recent caching forward
+    /// pass through it, if any. The execution runtime ships this
+    /// activation alongside a stashed weight copy during a live layer
+    /// migration so the receiver can rebuild backward state.
+    pub fn layer_input(&self, i: usize) -> Option<&Matrix> {
+        self.layers[i].cached_input()
+    }
+
+    /// Clone the contiguous sub-network `r` (layer indices), preserving
+    /// each layer's weights and activation kind. Caches are not carried
+    /// over: the slice starts cold.
+    pub fn slice(&self, r: Range<usize>) -> Mlp {
+        assert!(r.start < r.end && r.end <= self.layers.len(), "bad range");
+        let layers: Vec<Linear> = self.layers[r.clone()]
+            .iter()
+            .map(Linear::cold_clone)
+            .collect();
+        let kinds: Vec<ActKind> = self.acts[r].iter().map(|a| a.kind).collect();
+        Mlp::from_parts(layers, &kinds)
+    }
+
     /// Forward pass, caching for backward.
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        self.forward_range(0..self.layers.len(), x)
+    }
+
+    /// Forward through layers `r` only (caching), feeding `x` into layer
+    /// `r.start`. Returns the activation leaving layer `r.end - 1`.
+    pub fn forward_range(&mut self, r: Range<usize>, x: &Matrix) -> Matrix {
+        assert!(r.start < r.end && r.end <= self.layers.len(), "bad range");
         let mut h = x.clone();
-        for (l, a) in self.layers.iter_mut().zip(&mut self.acts) {
-            h = a.forward(&l.forward(&h));
+        for i in r {
+            h = self.acts[i].forward(&self.layers[i].forward(&h));
         }
         h
     }
@@ -65,24 +122,27 @@ impl Mlp {
     /// Inference-only forward.
     pub fn forward_inference(&self, x: &Matrix) -> Matrix {
         let mut h = x.clone();
-        for (i, l) in self.layers.iter().enumerate() {
+        for (l, a) in self.layers.iter().zip(&self.acts) {
             h = l.forward_inference(&h);
-            let last = i == self.layers.len() - 1;
-            let kind = if last {
-                ActKind::Identity
-            } else {
-                self.hidden_act
-            };
-            h = h.map(|v| kind.apply(v));
+            h = h.map(|v| a.kind.apply(v));
         }
         h
     }
 
     /// Backward pass; returns dL/dx.
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        self.backward_range(0..self.layers.len(), grad_out)
+    }
+
+    /// Backward through layers `r` only (in reverse), starting from the
+    /// gradient w.r.t. the output of layer `r.end - 1`. Accumulates
+    /// parameter gradients for those layers and returns the gradient
+    /// w.r.t. the input of layer `r.start`.
+    pub fn backward_range(&mut self, r: Range<usize>, grad_out: &Matrix) -> Matrix {
+        assert!(r.start < r.end && r.end <= self.layers.len(), "bad range");
         let mut g = grad_out.clone();
-        for (l, a) in self.layers.iter_mut().zip(&mut self.acts).rev() {
-            g = l.backward(&a.backward(&g));
+        for i in r.rev() {
+            g = self.layers[i].backward(&self.acts[i].backward(&g));
         }
         g
     }
@@ -202,28 +262,151 @@ mod tests {
         assert_eq!(m.head_params_mut(99).len(), 6);
     }
 
+    /// Finite-difference check of every weight and bias element in every
+    /// layer of a three-layer net (the cross-layer chain-rule path, not
+    /// just the head).
     #[test]
     fn full_mlp_gradient_check() {
-        let mut m = Mlp::new(&[3, 4, 2], ActKind::Tanh, 4);
+        let mut m = Mlp::new(&[3, 4, 3, 2], ActKind::Tanh, 4);
         let x = Matrix::xavier(2, 3, 5);
         let t = Matrix::xavier(2, 2, 6);
         m.zero_grad();
         let y = m.forward(&x);
         let (_, g) = mse_loss(&y, &t);
         m.backward(&g);
-        // Finite-difference check on first-layer weights (cross-layer path).
         let eps = 1e-6;
-        let analytic = m.layers[0].w.grad.clone();
-        for idx in [0usize, 3, 7, 11] {
-            let orig = m.layers[0].w.value.data()[idx];
-            m.layers[0].w.value.data_mut()[idx] = orig + eps;
-            let (lp, _) = mse_loss(&m.forward_inference(&x), &t);
-            m.layers[0].w.value.data_mut()[idx] = orig - eps;
-            let (lm, _) = mse_loss(&m.forward_inference(&x), &t);
-            m.layers[0].w.value.data_mut()[idx] = orig;
-            let fd = (lp - lm) / (2.0 * eps);
-            let an = analytic.data()[idx];
-            assert!((fd - an).abs() < 1e-6, "fd {fd} vs an {an}");
+        for li in 0..m.n_layers() {
+            for (pname, pick) in [
+                ("w", 0usize), // weight matrix
+                ("b", 1usize), // bias row
+            ] {
+                let n = {
+                    let l = m.layer(li);
+                    let p = if pick == 0 { &l.w } else { &l.b };
+                    p.value.data().len()
+                };
+                for idx in 0..n {
+                    let an = {
+                        let l = m.layer(li);
+                        let p = if pick == 0 { &l.w } else { &l.b };
+                        p.grad.data()[idx]
+                    };
+                    let bump = |m: &mut Mlp, d: f64| {
+                        let l = m.layer_mut(li);
+                        let p = if pick == 0 { &mut l.w } else { &mut l.b };
+                        p.value.data_mut()[idx] += d;
+                    };
+                    bump(&mut m, eps);
+                    let (lp, _) = mse_loss(&m.forward_inference(&x), &t);
+                    bump(&mut m, -2.0 * eps);
+                    let (lm, _) = mse_loss(&m.forward_inference(&x), &t);
+                    bump(&mut m, eps);
+                    let fd = (lp - lm) / (2.0 * eps);
+                    assert!(
+                        (fd - an).abs() < 1e-6,
+                        "layer {li} {pname}[{idx}]: fd {fd} vs an {an}"
+                    );
+                }
+            }
         }
+    }
+
+    /// Parameter gradients accumulate across backward calls (the repeated
+    /// 1F1B backward path relies on explicit `zero_grad`).
+    #[test]
+    fn mlp_gradients_accumulate_across_backwards() {
+        let mut m = Mlp::new(&[3, 4, 2], ActKind::Tanh, 8);
+        let x = Matrix::xavier(2, 3, 9);
+        let t = Matrix::xavier(2, 2, 10);
+        m.zero_grad();
+        let y = m.forward(&x);
+        let (_, g) = mse_loss(&y, &t);
+        m.backward(&g);
+        let first = m.layer(0).w.grad.clone();
+        let y = m.forward(&x);
+        let (_, g) = mse_loss(&y, &t);
+        m.backward(&g);
+        for (a, b) in m.layer(0).w.grad.data().iter().zip(first.data()) {
+            assert!((a - 2.0 * b).abs() < 1e-12);
+        }
+    }
+
+    /// A mid-network slice keeps the hidden activation of its last layer
+    /// (not identity), and forwarding through two slices reproduces the
+    /// full network exactly.
+    #[test]
+    fn slices_compose_to_full_forward() {
+        let m = Mlp::new(&[3, 5, 4, 2], ActKind::Relu, 11);
+        let lo = m.slice(0..2);
+        let hi = m.slice(2..3);
+        assert_eq!(lo.act_kind(1), ActKind::Relu, "hidden act must survive");
+        assert_eq!(hi.act_kind(0), ActKind::Identity);
+        let x = Matrix::xavier(2, 3, 12);
+        let full = m.forward_inference(&x);
+        let split = hi.forward_inference(&lo.forward_inference(&x));
+        for (a, b) in full.data().iter().zip(split.data()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    /// forward_range/backward_range over a stage split produce the same
+    /// parameter gradients and input gradient as one full pass.
+    #[test]
+    fn range_passes_match_full_passes() {
+        let sizes = [3usize, 5, 4, 2];
+        let x = Matrix::xavier(2, 3, 13);
+        let t = Matrix::xavier(2, 2, 14);
+
+        let mut full = Mlp::new(&sizes, ActKind::Tanh, 15);
+        full.zero_grad();
+        let y = full.forward(&x);
+        let (_, g) = mse_loss(&y, &t);
+        let dx_full = full.backward(&g);
+
+        let mut split = Mlp::new(&sizes, ActKind::Tanh, 15);
+        split.zero_grad();
+        let mid = split.forward_range(0..2, &x);
+        let y2 = split.forward_range(2..3, &mid);
+        for (a, b) in y.data().iter().zip(y2.data()) {
+            assert!((a - b).abs() < 1e-12, "forward drifted");
+        }
+        let (_, g2) = mse_loss(&y2, &t);
+        let gm = split.backward_range(2..3, &g2);
+        let dx_split = split.backward_range(0..2, &gm);
+
+        for (a, b) in dx_full.data().iter().zip(dx_split.data()) {
+            assert!((a - b).abs() < 1e-12, "input gradient drifted");
+        }
+        for li in 0..3 {
+            for (a, b) in full
+                .layer(li)
+                .w
+                .grad
+                .data()
+                .iter()
+                .zip(split.layer(li).w.grad.data())
+            {
+                assert!((a - b).abs() < 1e-12, "layer {li} weight grad drifted");
+            }
+            for (a, b) in full
+                .layer(li)
+                .b
+                .grad
+                .data()
+                .iter()
+                .zip(split.layer(li).b.grad.data())
+            {
+                assert!((a - b).abs() < 1e-12, "layer {li} bias grad drifted");
+            }
+        }
+    }
+
+    /// Slices carry weights, and `from_parts` rejects incompatible shapes.
+    #[test]
+    #[should_panic(expected = "adjacent layer width mismatch")]
+    fn from_parts_rejects_width_mismatch() {
+        let a = Linear::new(3, 4, 1);
+        let b = Linear::new(5, 2, 2);
+        let _ = Mlp::from_parts(vec![a, b], &[ActKind::Relu, ActKind::Identity]);
     }
 }

@@ -51,4 +51,6 @@ pub use switching::{
     SwitchPlan,
 };
 pub use sync::SyncScheme;
-pub use trace::{to_chrome_trace, to_chrome_trace_with_events, TraceEvent};
+pub use trace::{
+    segments_to_chrome_trace, to_chrome_trace, to_chrome_trace_with_events, TraceEvent,
+};

@@ -11,7 +11,7 @@
 //! trace on a dedicated thread row, so compute segments and control-plane
 //! decisions line up on one timeline.
 
-use crate::engine::{SimResult, WorkKind};
+use crate::engine::{SimResult, TimelineSegment, WorkKind};
 
 /// Escape a string for inclusion in a JSON literal.
 fn esc(s: &str) -> String {
@@ -96,26 +96,45 @@ pub fn to_chrome_trace_with_events(
     lane_name: &str,
     events: &[TraceEvent],
 ) -> String {
+    segments_to_chrome_trace(
+        &result.segments,
+        result.busy.len(),
+        process_name,
+        lane_name,
+        events,
+    )
+}
+
+/// Render raw timeline segments as a chrome trace. This is the shared
+/// backend for both simulator timelines ([`to_chrome_trace`]) and
+/// *measured* timelines recorded by the execution runtime, which emits the
+/// same [`TimelineSegment`] type from real wall-clock stamps.
+pub fn segments_to_chrome_trace(
+    segments: &[TimelineSegment],
+    n_workers: usize,
+    process_name: &str,
+    lane_name: &str,
+    events: &[TraceEvent],
+) -> String {
     let mut out = String::from("[\n");
     // Process metadata record.
     out.push_str(&format!(
         "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{{\"name\":\"{}\"}}}}",
         esc(process_name)
     ));
-    for (w, busy) in result.busy.iter().enumerate() {
-        let _ = busy;
+    for w in 0..n_workers {
         out.push_str(&format!(
             ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{w},\"args\":{{\"name\":\"worker {w}\"}}}}"
         ));
     }
-    let lane = result.busy.len();
+    let lane = n_workers;
     if !events.is_empty() {
         out.push_str(&format!(
             ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{lane},\"args\":{{\"name\":\"{}\"}}}}",
             esc(lane_name)
         ));
     }
-    for seg in &result.segments {
+    for seg in segments {
         let name = match seg.kind {
             WorkKind::Forward => format!("F{}", seg.unit),
             WorkKind::Backward => format!("B{}", seg.unit),

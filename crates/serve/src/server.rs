@@ -18,6 +18,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use ap_json::{Json, ToJson};
 
@@ -59,9 +60,14 @@ struct State {
     draining: AtomicBool,
     /// Tells the acceptor (once woken) to exit.
     stop: AtomicBool,
+    started: Instant,
     requests: AtomicU64,
     plan_requests: AtomicU64,
     simulate_requests: AtomicU64,
+    health_requests: AtomicU64,
+    stats_requests: AtomicU64,
+    invalidate_requests: AtomicU64,
+    shutdown_requests: AtomicU64,
     error_responses: AtomicU64,
 }
 
@@ -90,10 +96,30 @@ impl State {
                         self.simulate_requests.load(Ordering::Relaxed).to_json(),
                     ),
                     (
+                        "health",
+                        self.health_requests.load(Ordering::Relaxed).to_json(),
+                    ),
+                    (
+                        "stats",
+                        self.stats_requests.load(Ordering::Relaxed).to_json(),
+                    ),
+                    (
+                        "invalidate",
+                        self.invalidate_requests.load(Ordering::Relaxed).to_json(),
+                    ),
+                    (
+                        "shutdown",
+                        self.shutdown_requests.load(Ordering::Relaxed).to_json(),
+                    ),
+                    (
                         "errors",
                         self.error_responses.load(Ordering::Relaxed).to_json(),
                     ),
                 ]),
+            ),
+            (
+                "uptime_secs",
+                self.started.elapsed().as_secs_f64().to_json(),
             ),
             (
                 "cache",
@@ -173,9 +199,14 @@ pub fn spawn(cfg: ServeConfig) -> io::Result<ServerHandle> {
         queue: AdmissionQueue::new(cfg.queue_capacity),
         draining: AtomicBool::new(false),
         stop: AtomicBool::new(false),
+        started: Instant::now(),
         requests: AtomicU64::new(0),
         plan_requests: AtomicU64::new(0),
         simulate_requests: AtomicU64::new(0),
+        health_requests: AtomicU64::new(0),
+        stats_requests: AtomicU64::new(0),
+        invalidate_requests: AtomicU64::new(0),
+        shutdown_requests: AtomicU64::new(0),
         error_responses: AtomicU64::new(0),
     });
 
@@ -322,8 +353,14 @@ type Routed = (u16, Vec<(&'static str, String)>, Json);
 fn route(state: &State, req: &Request) -> Routed {
     let ok = |j: Json| (200u16, Vec::new(), j);
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/health") => ok(Json::obj(vec![("status", "ok".to_json())])),
-        ("GET", "/stats") => ok(state.stats_json()),
+        ("GET", "/health") => {
+            state.health_requests.fetch_add(1, Ordering::Relaxed);
+            ok(Json::obj(vec![("status", "ok".to_json())]))
+        }
+        ("GET", "/stats") => {
+            state.stats_requests.fetch_add(1, Ordering::Relaxed);
+            ok(state.stats_json())
+        }
         ("POST", "/plan") => match handle_plan(state, &req.body) {
             Ok(j) => ok(j),
             Err(e) => (e.status, Vec::new(), e.body()),
@@ -333,6 +370,7 @@ fn route(state: &State, req: &Request) -> Routed {
             Err(e) => (e.status, Vec::new(), e.body()),
         },
         ("POST", "/invalidate") => {
+            state.invalidate_requests.fetch_add(1, Ordering::Relaxed);
             let generation = state.cache.lock().unwrap().invalidate_all();
             ok(Json::obj(vec![
                 ("invalidated", true.to_json()),
@@ -340,6 +378,7 @@ fn route(state: &State, req: &Request) -> Routed {
             ]))
         }
         ("POST", "/shutdown") => {
+            state.shutdown_requests.fetch_add(1, Ordering::Relaxed);
             state.begin_drain();
             ok(Json::obj(vec![("draining", true.to_json())]))
         }

@@ -124,7 +124,44 @@ fn over_the_wire_payloads_roundtrip() {
             j.pretty(),
             "{label}: wire bytes are not canonical"
         );
+        if label == "stats" {
+            assert_stats_shape(&j);
+        }
     }
     drop(c);
     handle.shutdown();
+}
+
+/// The /stats body in the sequence above arrives after one /health and
+/// two /plan requests (one cold, one cache hit), so the per-endpoint
+/// counters and the cache hit rate have known values.
+fn assert_stats_shape(j: &Json) {
+    let num = |j: &Json, key: &str| {
+        j.get(key)
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("/stats missing numeric \"{key}\""))
+    };
+    let uptime = num(j, "uptime_secs");
+    assert!(uptime > 0.0, "uptime_secs must be positive, got {uptime}");
+
+    let req = j.get("requests").expect("/stats missing \"requests\"");
+    assert_eq!(num(req, "health") as u64, 1, "one /health so far");
+    assert_eq!(num(req, "plan") as u64, 2, "two /plan so far");
+    // The stats counter includes the request being served.
+    assert_eq!(num(req, "stats") as u64, 1, "this /stats call counts");
+    assert_eq!(num(req, "invalidate") as u64, 0, "none yet");
+    assert_eq!(num(req, "shutdown") as u64, 0, "none yet");
+    assert_eq!(num(req, "errors") as u64, 0, "all requests were valid");
+    assert!(
+        num(req, "total") as u64 >= 4,
+        "total covers health + 2x plan + stats"
+    );
+
+    let cache = j.get("cache").expect("/stats missing \"cache\"");
+    assert_eq!(num(cache, "hits") as u64, 1, "second /plan was a hit");
+    assert_eq!(num(cache, "misses") as u64, 1, "first /plan was a miss");
+    assert!(
+        (num(cache, "hit_rate") - 0.5).abs() < 1e-12,
+        "hit rate is exactly 1 hit / 2 lookups"
+    );
 }

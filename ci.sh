@@ -48,11 +48,14 @@ echo "== exec smoke =="
 # an invariant breaks (loss not decreasing, pipeline drained, migration
 # bytes over the SwitchPlan prediction). The static op schedules make
 # numerics independent of thread timing, so the two runs' JSON must be
-# byte-identical.
+# byte-identical — including the calibrated predictions and the emitted
+# calibration.json (smoke pins synthetic calibration constants, and the
+# engine's calibrated simulation is deterministic).
 exec_tmp="$(mktemp -d)"
 trap 'rm -rf "$serve_tmp" "$exec_tmp"' EXIT
-cargo run --release --offline -p ap-bench --bin repro -- exec-validate --smoke --json "$exec_tmp/a"
-AP_PAR_THREADS=1 cargo run --release --offline -p ap-bench --bin repro -- exec-validate --smoke --json "$exec_tmp/b"
+cargo run --release --offline -p ap-bench --bin repro -- exec-validate --smoke --calibrate --json "$exec_tmp/a"
+AP_PAR_THREADS=1 cargo run --release --offline -p ap-bench --bin repro -- exec-validate --smoke --calibrate --json "$exec_tmp/b"
 cmp "$exec_tmp/a/exec_validate.json" "$exec_tmp/b/exec_validate.json"
+cmp "$exec_tmp/a/calibration.json" "$exec_tmp/b/calibration.json"
 
 echo "ci: all green"

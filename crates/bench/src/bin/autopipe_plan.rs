@@ -177,6 +177,7 @@ fn main() {
                 framework: env.framework,
                 schedule: env.schedule,
                 record_timeline: true,
+                calibration: None,
             },
         )
         .expect("valid partition")

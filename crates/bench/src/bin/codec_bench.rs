@@ -1,0 +1,145 @@
+//! Frame codec hot-path wall-clock: per-element reference vs the bulk
+//! zero-copy production path.
+//!
+//! Every activation and gradient crossing a stage boundary pays one
+//! encode and one decode, so the codec is on the steady-state 1F1B
+//! critical path. This binary measures the before/after of the codec
+//! rework on Act frames (the shape Grad shares):
+//!
+//! * `scalar` — the seed behavior, reproduced here as the reference: a
+//!   fresh `Vec` per encode with one `to_le_bytes` push per element, and
+//!   a decode that reads each f64 through a bounds-checked cursor.
+//! * `bulk` — the shipped path: `encode_into` a recycled buffer (one
+//!   memcpy of the payload on little-endian hosts) and `decode_view`,
+//!   which borrows the payload from the receive buffer and converts it
+//!   with a single bulk copy in `MatrixView::to_matrix`.
+//!
+//! Both paths must produce identical wire bytes and identical decoded
+//! matrices; this binary asserts that before timing. Results merge into
+//! the `"codec"` key of `BENCH_hotpath.json` in the current directory
+//! (or the path given as the first argument).
+
+use ap_bench::json::{merge_file_key, Json};
+use ap_bench::timing;
+use ap_exec::{decode_view, encode, encode_into, Frame, FrameView};
+use ap_nn::Matrix;
+use std::hint::black_box;
+use std::path::PathBuf;
+
+const RUNS: usize = 9;
+const TAG_ACT: u8 = 0;
+
+/// Reference encode: the seed's per-element path — fresh allocation,
+/// one 8-byte push per f64. Byte-compatible with [`encode`] for Act.
+fn encode_scalar(mb: u64, data: &Matrix) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.push(TAG_ACT);
+    out.extend_from_slice(&mb.to_le_bytes());
+    out.extend_from_slice(&(data.rows() as u32).to_le_bytes());
+    out.extend_from_slice(&(data.cols() as u32).to_le_bytes());
+    for &v in data.data() {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Reference decode: a bounds-checked cursor reading one f64 at a time,
+/// as the seed's `Reader::matrix` did.
+fn decode_scalar(buf: &[u8]) -> (u64, Matrix) {
+    assert_eq!(buf[0], TAG_ACT);
+    let mut at = 1usize;
+    let mut take = |n: usize| {
+        let s = &buf[at..at + n];
+        at += n;
+        s
+    };
+    let mb = u64::from_le_bytes(take(8).try_into().unwrap());
+    let rows = u32::from_le_bytes(take(4).try_into().unwrap()) as usize;
+    let cols = u32::from_le_bytes(take(4).try_into().unwrap()) as usize;
+    let mut data = Vec::with_capacity(rows * cols);
+    for _ in 0..rows * cols {
+        data.push(f64::from_bits(u64::from_le_bytes(
+            take(8).try_into().unwrap(),
+        )));
+    }
+    assert_eq!(at, buf.len(), "trailing garbage");
+    (mb, Matrix::from_vec(rows, cols, data))
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_hotpath.json"));
+
+    // Payload shapes spanning the runtime's boundary traffic: a small
+    // cut (batch 32 x 32 features), a wide cut, and a master-sized blob.
+    let shapes: [(usize, usize); 3] = [(32, 32), (32, 512), (32, 4096)];
+
+    println!("codec: scalar per-element vs bulk zero-copy");
+    let mut rows_json = Vec::new();
+    for (r, c) in shapes {
+        let data = Matrix::xavier(r, c, 17);
+        let frame = Frame::Act { mb: 42, data };
+        let payload_bytes = r * c * 8;
+
+        // Equivalence gates: identical wire bytes, identical round trip.
+        let reference_bytes = match &frame {
+            Frame::Act { mb, data } => encode_scalar(*mb, data),
+            _ => unreachable!(),
+        };
+        assert_eq!(reference_bytes, encode(&frame), "wire bytes diverged");
+        let (mb_ref, m_ref) = decode_scalar(&reference_bytes);
+        match decode_view(&reference_bytes).unwrap() {
+            FrameView::Act { mb, data } => {
+                assert_eq!(mb, mb_ref);
+                assert_eq!(data.to_matrix(), m_ref, "decoded matrix diverged");
+            }
+            _ => panic!("expected Act view"),
+        }
+
+        let scalar = timing::bench(&format!("scalar/{r}x{c}"), RUNS, || {
+            for _ in 0..64 {
+                let (mb, data) = match &frame {
+                    Frame::Act { mb, data } => (*mb, data),
+                    _ => unreachable!(),
+                };
+                let bytes = encode_scalar(mb, data);
+                black_box(decode_scalar(&bytes));
+            }
+        });
+        println!("{}", scalar.report());
+
+        let mut buf = Vec::new();
+        let bulk = timing::bench(&format!("bulk/{r}x{c}"), RUNS, || {
+            for _ in 0..64 {
+                encode_into(&frame, &mut buf);
+                match decode_view(&buf).unwrap() {
+                    FrameView::Act { data, .. } => {
+                        black_box(data.to_matrix());
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        });
+        println!("{}", bulk.report());
+        let speedup = scalar.median / bulk.median;
+        println!("   speedup {speedup:.2}x\n");
+
+        rows_json.push(Json::obj(vec![
+            ("rows", Json::Num(r as f64)),
+            ("cols", Json::Num(c as f64)),
+            ("payload_bytes", Json::Num(payload_bytes as f64)),
+            ("runs", Json::Num(RUNS as f64)),
+            ("round_trips_per_run", Json::Num(64.0)),
+            ("scalar_median_s", Json::Num(scalar.median)),
+            ("bulk_median_s", Json::Num(bulk.median)),
+            ("speedup", Json::Num(speedup)),
+            ("wire_identical", Json::Bool(true)),
+        ]));
+    }
+
+    let doc = Json::obj(vec![("shapes", Json::Arr(rows_json))]);
+    merge_file_key(&out_path, "codec", doc).expect("write BENCH_hotpath.json");
+    println!("merged key \"codec\" into {}", out_path.display());
+}

@@ -1,0 +1,108 @@
+//! Matmul hot-path wall-clock: naive ikj reference vs the blocked /
+//! row-parallel production kernel (`Matrix::matmul`).
+//!
+//! The exec runtime spends most of its compute in `Matrix::matmul`, so
+//! this binary measures exactly the before/after of the kernel rework:
+//! `naive` is the seed implementation (plain ikj triple loop, kept here
+//! verbatim as the reference), `blocked` is the shipped kernel — k-banded
+//! for cache reuse and fanned over row-blocks with `ap_par` above the
+//! parallel cutoff. Because the blocked kernel accumulates every output
+//! element in the same order as the naive loop, the two must agree
+//! **bit-for-bit** on every shape; this binary asserts that before timing.
+//!
+//! Results merge into the `"matmul"` key of `BENCH_hotpath.json` in the
+//! current directory (or the path given as the first argument), leaving
+//! other benches' keys intact.
+
+use ap_bench::json::{merge_file_key, Json};
+use ap_bench::timing;
+use ap_nn::Matrix;
+use std::hint::black_box;
+use std::path::PathBuf;
+
+const RUNS: usize = 9;
+
+/// The seed kernel: plain ikj with the `a == 0.0` skip, no blocking, no
+/// threads. The production kernel must reproduce its output exactly.
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul shape mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        for kk in 0..k {
+            let av = a.get(i, kk);
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                out.set(i, j, out.get(i, j) + av * b.get(kk, j));
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_hotpath.json"));
+
+    // Shapes bracketing the kernel's regimes: the exec runtime's own
+    // per-layer products (small, serial), the serial blocked sweet spot,
+    // and one comfortably above the parallel cutoff.
+    let shapes: [(usize, usize, usize); 4] = [
+        (32, 128, 128),
+        (128, 128, 128),
+        (256, 512, 256),
+        (512, 512, 512),
+    ];
+
+    println!(
+        "matmul: naive ikj vs blocked/parallel ({} threads)",
+        ap_par::threads()
+    );
+    let mut rows = Vec::new();
+    for (m, k, n) in shapes {
+        let a = Matrix::xavier(m, k, 11);
+        let b = Matrix::xavier(k, n, 13);
+
+        // Equivalence gate: the speedup only counts if the bytes match.
+        let want = naive_matmul(&a, &b);
+        let got = a.matmul(&b);
+        assert_eq!(
+            want.data(),
+            got.data(),
+            "blocked kernel diverged from naive at {m}x{k}x{n}"
+        );
+
+        let naive = timing::bench(&format!("naive/{m}x{k}x{n}"), RUNS, || {
+            black_box(naive_matmul(&a, &b));
+        });
+        println!("{}", naive.report());
+        let blocked = timing::bench(&format!("blocked/{m}x{k}x{n}"), RUNS, || {
+            black_box(a.matmul(&b));
+        });
+        println!("{}", blocked.report());
+        let speedup = naive.median / blocked.median;
+        println!("   speedup {speedup:.2}x\n");
+
+        rows.push(Json::obj(vec![
+            ("m", Json::Num(m as f64)),
+            ("k", Json::Num(k as f64)),
+            ("n", Json::Num(n as f64)),
+            ("runs", Json::Num(RUNS as f64)),
+            ("naive_median_s", Json::Num(naive.median)),
+            ("blocked_median_s", Json::Num(blocked.median)),
+            ("speedup", Json::Num(speedup)),
+            ("bit_identical", Json::Bool(true)),
+        ]));
+    }
+
+    let doc = Json::obj(vec![
+        ("threads", Json::Num(ap_par::threads() as f64)),
+        ("shapes", Json::Arr(rows)),
+    ]);
+    merge_file_key(&out_path, "matmul", doc).expect("write BENCH_hotpath.json");
+    println!("merged key \"matmul\" into {}", out_path.display());
+}

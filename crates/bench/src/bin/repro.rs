@@ -1,7 +1,7 @@
 //! `repro` — regenerate every figure of the AutoPipe paper.
 //!
 //! ```text
-//! repro <experiment|list|all> [--json DIR] [--trace DIR] [--smoke]
+//! repro <experiment|list|all> [--json DIR] [--trace DIR] [--smoke] [--calibrate]
 //! ```
 //!
 //! `repro list` prints every experiment with a one-line description; an
@@ -150,7 +150,8 @@ fn main() {
     }
     if run("exec-validate") {
         let smoke = args.iter().any(|a| a == "--smoke");
-        run_exec_validate(smoke, &json_dir);
+        let calibrate = args.iter().any(|a| a == "--calibrate");
+        run_exec_validate(smoke, calibrate, &json_dir);
     }
 }
 
@@ -162,7 +163,7 @@ fn main() {
 /// its `--json` output is byte-identical across runs and `AP_PAR_THREADS`
 /// settings. Exits non-zero if the pipeline drains during the switch, a
 /// pre-cutover loss diverges, or training fails to make progress.
-fn run_exec_validate(smoke: bool, json: &Option<PathBuf>) {
+fn run_exec_validate(smoke: bool, calibrate: bool, json: &Option<PathBuf>) {
     println!("\n## Exec — real pipeline runtime vs simulator prediction\n");
     let r = match exec_validate::run(smoke) {
         Ok(r) => r,
@@ -175,18 +176,47 @@ fn run_exec_validate(smoke: bool, json: &Option<PathBuf>) {
         "mode {}; model {:?}, batch {}, {} mini-batches per run\n",
         r.mode, r.sizes, r.batch, r.total
     );
-    println!("| partition | predicted (samples/s) | measured (samples/s) | error | wire bytes | loss first -> last |");
-    println!("|---|---|---|---|---|---|");
+    println!("| partition | raw pred (samples/s) | calibrated pred (samples/s) | measured (samples/s) | err raw | err cal | wire bytes | loss first -> last |");
+    println!("|---|---|---|---|---|---|---|---|");
     for row in &r.rows {
         println!(
-            "| {} | {:.1} | {:.1} | {:+.1}% | {} | {:.4} -> {:.4} |",
+            "| {} | {:.1} | {:.1} | {:.1} | {:+.1}% | {:+.1}% | {} | {:.4} -> {:.4} |",
             row.label,
             row.predicted,
+            row.predicted_calibrated,
             row.measured,
             row.rel_error * 100.0,
+            row.rel_error_calibrated * 100.0,
             row.wire_bytes,
             row.first_loss,
             row.last_loss
+        );
+    }
+    if calibrate {
+        let c = &r.calibration;
+        println!(
+            "\nCalibration ({}): per_frame {:.3e} s, per_byte {:.3e} s/B, stage_overhead {:.3e} s, stash {:.3e} s/B",
+            if smoke { "synthetic" } else { "fitted on this host" },
+            c.per_frame_s,
+            c.per_byte_s,
+            c.stage_overhead_s,
+            c.stash_byte_s
+        );
+        let path = match json {
+            Some(d) => {
+                fs::create_dir_all(d).expect("create json dir");
+                d.join("calibration.json")
+            }
+            None => PathBuf::from("CALIBRATION.json"),
+        };
+        fs::write(&path, c.to_json().pretty()).expect("write calibration json");
+        eprintln!("wrote {}", path.display());
+    }
+    if !smoke {
+        println!(
+            "\nCalibrated ranking matches measured: {}; max calibrated error {:+.1}%",
+            r.calibrated_ranking_matches_measured(),
+            r.max_calibrated_error() * 100.0
         );
     }
     let m = &r.migration;

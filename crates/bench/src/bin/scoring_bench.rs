@@ -113,6 +113,7 @@ fn main() {
             scheme: SyncScheme::RingAllReduce,
             framework: Framework::pytorch(),
             schedule: ScheduleKind::PipeDreamAsync,
+            calibration: None,
             history: &history,
             state: &state,
         };

@@ -233,6 +233,7 @@ fn pretrain_probe_samples(
         scheme: cfg.scheme,
         framework: cfg.framework,
         schedule: cfg.schedule,
+        calibration: None,
     };
     let all: Vec<GpuId> = (0..topo.n_gpus()).map(GpuId).collect();
     let mut out = Vec::with_capacity(n);

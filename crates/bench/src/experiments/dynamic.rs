@@ -50,6 +50,7 @@ fn iteration_times(
             framework: env.framework,
             schedule: env.schedule,
             record_timeline: false,
+            calibration: None,
         },
     )
     .expect("valid baseline plan");

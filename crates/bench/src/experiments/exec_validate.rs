@@ -3,10 +3,14 @@
 //!
 //! The same (model, partition, bandwidth) configuration runs twice: once
 //! for real on `ap-exec` (OS threads, serialized frames, throttled byte
-//! channels) and once predicted by the event engine, seeded from a
-//! calibration pass on this very host (`calibrate_layer_times` →
-//! `ProfilingMetrics` → `autopipe::profile_from_metrics`). The report is
-//! the measured-vs-predicted steady-state throughput error per partition.
+//! channels) and once in simulation, seeded from a calibration pass on
+//! this very host (`calibrate_layer_times` → `ProfilingMetrics` →
+//! `autopipe::profile_from_metrics`). Two predictions are reported per
+//! cell: the raw event-engine one (compute + wire only — the model's
+//! historical baseline) and a calibrated one from the closed-form
+//! analytic model carrying the fitted [`Calibration`] (codec, stash,
+//! dispatch, host compute slots). The report is the
+//! measured-vs-predicted steady-state throughput error per partition.
 //!
 //! The second half replays a *controller-driven* reconfiguration live: the
 //! controller hill-climbs from a deliberately imbalanced partition, the
@@ -25,15 +29,20 @@
 use ap_cluster::gpu::GpuKind;
 use ap_cluster::{gbps, ClusterState, ClusterTopology, GpuId, ResourceTimeline};
 use ap_exec::runtime::{run_pipeline, ExecResult, ExecSpec, SwitchSpec};
-use ap_exec::{calibrate_layer_times, metrics_from_times};
+use ap_exec::{calibrate_layer_times, fit_calibration, metrics_from_times};
 use ap_models::ModelProfile;
 use ap_nn::ActKind;
 use ap_pipesim::{
-    AnalyticModel, Engine, EngineConfig, Framework, Partition, ScheduleKind, Stage, SwitchPlan,
-    SyncScheme,
+    AnalyticModel, Calibration, Engine, EngineConfig, Framework, Partition, ScheduleKind, Stage,
+    SwitchPlan, SyncScheme,
 };
 use autopipe::controller::hill_climb;
 use autopipe::profile_from_metrics;
+
+/// Relative predicted-throughput gap below which the calibrated model
+/// treats two partitions as tied rather than claiming an order (see
+/// [`ExecValidateResult::calibrated_ranking_matches_measured`]).
+pub const RANKING_MARGIN: f64 = 0.02;
 
 /// Measured vs predicted throughput for one (partition, bandwidth) cell.
 #[derive(Debug, Clone)]
@@ -46,12 +55,20 @@ pub struct PartitionRow {
     pub in_flight: usize,
     /// Link throttle, Gbps.
     pub link_gbps: f64,
-    /// Engine-predicted steady throughput, samples/s (0 in smoke).
+    /// Engine-predicted steady throughput with the raw (uncalibrated)
+    /// cost model, samples/s. Deterministic in smoke (synthetic times).
     pub predicted: f64,
+    /// Analytically predicted steady throughput with the fitted
+    /// calibration applied, samples/s — the same closed form the planner
+    /// scores with, which is the consumer calibration exists to fix.
+    /// Deterministic in smoke.
+    pub predicted_calibrated: f64,
     /// ap-exec measured steady throughput, samples/s (0 in smoke).
     pub measured: f64,
     /// `measured / predicted - 1` (0 in smoke).
     pub rel_error: f64,
+    /// `measured / predicted_calibrated - 1` (0 in smoke).
+    pub rel_error_calibrated: f64,
     /// Bytes that crossed all inter-stage channels (deterministic).
     pub wire_bytes: u64,
     /// Frames that crossed all inter-stage channels (deterministic).
@@ -109,6 +126,9 @@ pub struct ExecValidateResult {
     pub total: u64,
     /// Per-partition sim-vs-real cells.
     pub rows: Vec<PartitionRow>,
+    /// The cost-model calibration every calibrated prediction used
+    /// (synthetic constants in smoke; fitted on this host in full).
+    pub calibration: Calibration,
     /// The live reconfiguration replay.
     pub migration: MigrationSummary,
 }
@@ -121,6 +141,37 @@ impl ExecValidateResult {
             && self.migration.pre_cutover_losses_match
             && newest_first(&self.migration.versions_sent)
             && self.migration.measured_param_bytes as f64 <= self.migration.predicted_bytes + 0.5
+    }
+}
+
+impl ExecValidateResult {
+    /// Every partition ordering the calibrated model actually *claims*
+    /// (a predicted gap wider than [`RANKING_MARGIN`]) agrees with the
+    /// measured ordering, per bandwidth group (trivially true in smoke,
+    /// where measurements are zeroed). Predictions closer than the
+    /// margin are ties: on a capacity-bound host the candidate
+    /// partitions legitimately finish within a fraction of a percent of
+    /// each other, and demanding a strict order among statistical ties
+    /// would grade measurement noise, not model skill. This is the
+    /// property the raw model gets wrong at 1 Gbps — it claims wide,
+    /// wrongly-ordered gaps — and the whole point of calibrating.
+    pub fn calibrated_ranking_matches_measured(&self) -> bool {
+        let rows: Vec<&PartitionRow> = self.rows.iter().filter(|r| r.measured > 0.0).collect();
+        rows.iter().all(|a| {
+            rows.iter().all(|b| {
+                a.link_gbps != b.link_gbps
+                    || a.predicted_calibrated <= b.predicted_calibrated * (1.0 + RANKING_MARGIN)
+                    || a.measured >= b.measured
+            })
+        })
+    }
+
+    /// Largest absolute calibrated relative error across rows.
+    pub fn max_calibrated_error(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| r.rel_error_calibrated.abs())
+            .fold(0.0, f64::max)
     }
 }
 
@@ -137,6 +188,10 @@ struct Campaign {
     in_flight: usize,
     lr: f64,
     seed: u64,
+    /// Layer times are fitted once and shared by every cell: rows must
+    /// differ only by partition and bandwidth, not by per-row fit noise
+    /// (which would make near-tied predictions claim phantom orderings).
+    times: std::cell::OnceCell<(Vec<f64>, Vec<f64>)>,
 }
 
 impl Campaign {
@@ -150,16 +205,20 @@ impl Campaign {
                 in_flight: 3,
                 lr: 0.01,
                 seed: 7,
+                times: std::cell::OnceCell::new(),
             }
         } else {
             Campaign {
                 smoke,
                 sizes: vec![96, 128, 128, 128, 96, 64],
                 batch: 32,
-                total: 48,
+                // Long enough that steady-state throughput is repeatable
+                // to ~1% on a noisy host; still well under a second/cell.
+                total: 144,
                 in_flight: 3,
                 lr: 0.005,
                 seed: 7,
+                times: std::cell::OnceCell::new(),
             }
         }
     }
@@ -181,17 +240,42 @@ impl Campaign {
         }
     }
 
-    /// Per-layer (fwd, bwd) times seeding the prediction. Smoke uses
-    /// fixed synthetic times (byte-identical reports); full calibrates on
-    /// this host.
+    /// Per-layer (fwd, bwd) times seeding the prediction, fitted once
+    /// per campaign (see the `times` field). Smoke uses fixed synthetic
+    /// times (byte-identical reports); full calibrates on this host.
     fn layer_times(&self) -> (Vec<f64>, Vec<f64>) {
+        self.times
+            .get_or_init(|| {
+                if self.smoke {
+                    let n = self.sizes.len() - 1;
+                    let fwd: Vec<f64> = (0..n).map(|j| 1e-4 * (1.0 + j as f64 * 0.25)).collect();
+                    let bwd: Vec<f64> = fwd.iter().map(|t| 2.0 * t).collect();
+                    (fwd, bwd)
+                } else {
+                    calibrate_layer_times(&self.sizes, ActKind::Tanh, self.seed, self.batch, 9)
+                }
+            })
+            .clone()
+    }
+
+    /// The cost-model calibration used for calibrated predictions. Smoke
+    /// uses fixed synthetic constants so reports stay byte-identical
+    /// across reruns and `AP_PAR_THREADS`; full fits from instrumented
+    /// micro-runs on this host.
+    fn calibration(&self) -> Result<Calibration, String> {
         if self.smoke {
-            let n = self.sizes.len() - 1;
-            let fwd: Vec<f64> = (0..n).map(|j| 1e-4 * (1.0 + j as f64 * 0.25)).collect();
-            let bwd: Vec<f64> = fwd.iter().map(|t| 2.0 * t).collect();
-            (fwd, bwd)
+            Ok(Calibration {
+                per_frame_s: 2e-6,
+                per_byte_s: 1e-9,
+                stage_overhead_s: 2e-5,
+                stash_byte_s: 5e-10,
+                // A fixed two-slot host: exercises the contention path
+                // deterministically (real hosts fit their true core
+                // count).
+                compute_slots: 2,
+            })
         } else {
-            calibrate_layer_times(&self.sizes, ActKind::Tanh, self.seed, self.batch, 9)
+            fit_calibration(&self.spec(&[2, 4], 1.0, None))
         }
     }
 
@@ -235,12 +319,13 @@ fn partition_for(cuts: &[usize], n_layers: usize, in_flight: usize) -> Partition
     Partition { stages, in_flight }
 }
 
-fn engine_cfg() -> EngineConfig {
+fn engine_cfg(calibration: Option<Calibration>) -> EngineConfig {
     EngineConfig {
         scheme: SyncScheme::RingAllReduce,
         framework: bare_metal(),
         schedule: ScheduleKind::PipeDreamAsync,
         record_timeline: false,
+        calibration,
     }
 }
 
@@ -259,6 +344,7 @@ fn predict(
     cuts: &[usize],
     in_flight: usize,
     link_gbps: f64,
+    calibration: Option<Calibration>,
 ) -> Result<f64, String> {
     let partition = partition_for(cuts, profile.n_layers(), in_flight);
     let state = exec_state(partition.n_stages(), link_gbps);
@@ -267,7 +353,7 @@ fn predict(
         partition,
         state,
         ResourceTimeline::empty(),
-        engine_cfg(),
+        engine_cfg(calibration),
     )
     .map_err(|e| format!("engine rejected partition {cuts:?}: {e:?}"))?;
     let n = 48;
@@ -275,23 +361,62 @@ fn predict(
     Ok(r.steady_throughput(n / 3))
 }
 
-fn run_cell(c: &Campaign, cuts: &[usize], link_gbps: f64) -> Result<PartitionRow, String> {
+/// Calibrated prediction from the closed-form analytic model — the form
+/// the planner scores candidate partitions with, so its error against
+/// reality is the number that decides whether planning can be trusted.
+fn predict_calibrated(
+    profile: &ModelProfile,
+    cuts: &[usize],
+    in_flight: usize,
+    link_gbps: f64,
+    calibration: Calibration,
+) -> f64 {
+    let partition = partition_for(cuts, profile.n_layers(), in_flight);
+    let state = exec_state(partition.n_stages(), link_gbps);
+    let model = AnalyticModel {
+        profile,
+        scheme: SyncScheme::RingAllReduce,
+        framework: bare_metal(),
+        schedule: ScheduleKind::PipeDreamAsync,
+        calibration: Some(calibration),
+    };
+    model.throughput(&partition, &state)
+}
+
+fn run_cell(
+    c: &Campaign,
+    cuts: &[usize],
+    link_gbps: f64,
+    cal: Calibration,
+) -> Result<PartitionRow, String> {
     let spec = c.spec(cuts, link_gbps, None);
     let r = run_pipeline(&spec)?;
-    let (predicted, measured) = if c.smoke {
-        // Predicted throughput from synthetic times is deterministic, but
-        // measured is wall clock; zero both so smoke errors are stable.
-        (0.0, 0.0)
-    } else {
-        let profile = c.profile(link_gbps)?;
-        let p = predict(&profile, cuts, c.in_flight, link_gbps)?;
-        let m = r.steady_throughput(c.in_flight * 2) * c.batch as f64;
-        (p, m)
-    };
-    let rel_error = if predicted > 0.0 {
-        measured / predicted - 1.0
-    } else {
+    // Both predictions are pure simulation — deterministic even in smoke.
+    let profile = c.profile(link_gbps)?;
+    let predicted = predict(&profile, cuts, c.in_flight, link_gbps, None)?;
+    let predicted_calibrated = predict_calibrated(&profile, cuts, c.in_flight, link_gbps, cal);
+    // Measured throughput is wall clock; zero it in smoke so reports are
+    // byte-identical across reruns. Full mode takes the best of three
+    // runs: the layer-time fit is a median over short quiet windows, so
+    // the comparable measurement is the run with the least background
+    // interference, not the average over whatever the host happened to
+    // be doing. (Every run computes identical losses and bytes — only
+    // timing varies.)
+    let measured = if c.smoke {
         0.0
+    } else {
+        let mut best = r.steady_throughput(c.in_flight * 2);
+        for _ in 0..2 {
+            best = best.max(run_pipeline(&spec)?.steady_throughput(c.in_flight * 2));
+        }
+        best * c.batch as f64
+    };
+    let rel = |pred: f64| {
+        if measured > 0.0 && pred > 0.0 {
+            measured / pred - 1.0
+        } else {
+            0.0
+        }
     };
     Ok(PartitionRow {
         label: format!("cuts={cuts:?} @ {link_gbps} Gbps"),
@@ -299,8 +424,10 @@ fn run_cell(c: &Campaign, cuts: &[usize], link_gbps: f64) -> Result<PartitionRow
         in_flight: c.in_flight,
         link_gbps,
         predicted,
+        predicted_calibrated,
         measured,
-        rel_error,
+        rel_error: rel(predicted),
+        rel_error_calibrated: rel(predicted_calibrated),
         wire_bytes: r.total_wire_bytes(),
         frames: r
             .fwd_channels
@@ -339,7 +466,11 @@ fn clamp_to_one_boundary(start: &[usize], target: &[usize], n_layers: usize) -> 
     None
 }
 
-fn replay_migration(c: &Campaign, link_gbps: f64) -> Result<MigrationSummary, String> {
+fn replay_migration(
+    c: &Campaign,
+    link_gbps: f64,
+    cal: Calibration,
+) -> Result<MigrationSummary, String> {
     let n_layers = c.sizes.len() - 1;
     // Deliberately bottom-heavy: stage 0 owns layers 0..3.
     let from_cuts = vec![3usize, 4];
@@ -351,6 +482,7 @@ fn replay_migration(c: &Campaign, link_gbps: f64) -> Result<MigrationSummary, St
         scheme: SyncScheme::RingAllReduce,
         framework: bare_metal(),
         schedule: ScheduleKind::PipeDreamAsync,
+        calibration: Some(cal),
     };
     let proposal = hill_climb(&model, start.clone(), &state, 40);
     let to_cuts = clamp_to_one_boundary(&from_cuts, &proposal.cut_layers(), n_layers)
@@ -402,6 +534,7 @@ fn replay_migration(c: &Campaign, link_gbps: f64) -> Result<MigrationSummary, St
 /// Run the whole campaign.
 pub fn run(smoke: bool) -> Result<ExecValidateResult, String> {
     let c = Campaign::new(smoke);
+    let cal = c.calibration()?;
     let cells: &[(&[usize], f64)] = &[
         (&[2, 4], 1.0),
         (&[1, 3], 1.0),
@@ -411,15 +544,16 @@ pub fn run(smoke: bool) -> Result<ExecValidateResult, String> {
     ];
     let mut rows = Vec::with_capacity(cells.len());
     for (cuts, g) in cells {
-        rows.push(run_cell(&c, cuts, *g)?);
+        rows.push(run_cell(&c, cuts, *g, cal)?);
     }
-    let migration = replay_migration(&c, 1.0)?;
+    let migration = replay_migration(&c, 1.0, cal)?;
     Ok(ExecValidateResult {
         mode: if smoke { "smoke" } else { "full" }.into(),
         sizes: c.sizes.clone(),
         batch: c.batch,
         total: c.total,
         rows,
+        calibration: cal,
         migration,
     })
 }

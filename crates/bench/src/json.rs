@@ -9,6 +9,24 @@
 
 pub use ap_json::{parse, Json, JsonError, JsonErrorKind, ToJson};
 
+/// Merge `(key, value)` into the JSON object stored at `path`, creating
+/// the file if absent and replacing the key if present, then write the
+/// merged document back. Several benchmark binaries share one output
+/// file this way (`BENCH_hotpath.json`), each owning its own top-level
+/// key. An unreadable or non-object existing file is replaced.
+pub fn merge_file_key(path: &std::path::Path, key: &str, value: Json) -> std::io::Result<()> {
+    let mut fields: Vec<(String, Json)> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| parse(&s).ok())
+        .and_then(|j| j.as_obj().map(<[_]>::to_vec))
+        .unwrap_or_default();
+    match fields.iter_mut().find(|(k, _)| k == key) {
+        Some((_, v)) => *v = value,
+        None => fields.push((key.to_string(), value)),
+    }
+    std::fs::write(path, Json::Obj(fields).pretty())
+}
+
 impl ToJson for crate::experiments::pipeline_fill::PipelineFill {
     fn to_json(&self) -> Json {
         Json::obj(vec![
@@ -99,8 +117,10 @@ impl ToJson for crate::experiments::exec_validate::PartitionRow {
             ("in_flight", self.in_flight.to_json()),
             ("link_gbps", self.link_gbps.to_json()),
             ("predicted", self.predicted.to_json()),
+            ("predicted_calibrated", self.predicted_calibrated.to_json()),
             ("measured", self.measured.to_json()),
             ("rel_error", self.rel_error.to_json()),
+            ("rel_error_calibrated", self.rel_error_calibrated.to_json()),
             ("wire_bytes", self.wire_bytes.to_json()),
             ("frames", self.frames.to_json()),
             ("first_loss", self.first_loss.to_json()),
@@ -141,6 +161,11 @@ impl ToJson for crate::experiments::exec_validate::ExecValidateResult {
             ("batch", self.batch.to_json()),
             ("total", self.total.to_json()),
             ("rows", self.rows.to_json()),
+            ("calibration", self.calibration.to_json()),
+            (
+                "calibrated_ranking_matches_measured",
+                self.calibrated_ranking_matches_measured().to_json(),
+            ),
             ("migration", self.migration.to_json()),
         ])
     }
@@ -295,5 +320,19 @@ mod tests {
         assert!(s.contains("\"variant\": \"x\""));
         assert!(s.contains("\"value\": 1"));
         assert!(s.contains("\"switches\": 2"));
+    }
+
+    #[test]
+    fn merge_file_key_creates_replaces_and_preserves_other_keys() {
+        let path = std::env::temp_dir().join(format!("ap_bench_merge_{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        merge_file_key(&path, "a", Json::Num(1.0)).unwrap();
+        merge_file_key(&path, "b", Json::Num(2.0)).unwrap();
+        merge_file_key(&path, "a", Json::Num(3.0)).unwrap();
+        let doc = parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc.get("a").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(doc.get("b").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(doc.as_obj().unwrap().len(), 2);
+        std::fs::remove_file(&path).unwrap();
     }
 }

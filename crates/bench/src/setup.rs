@@ -42,6 +42,7 @@ impl ExperimentEnv {
             scheme: self.scheme,
             framework: self.framework,
             schedule: self.schedule,
+            calibration: None,
         }
     }
 
@@ -52,6 +53,7 @@ impl ExperimentEnv {
             framework: self.framework,
             schedule: self.schedule,
             record_timeline: false,
+            calibration: None,
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Tuning knobs of the decision pipeline.
 
 use ap_cluster::DetectorConfig;
-use ap_pipesim::{Framework, ScheduleKind, SyncScheme};
+use ap_pipesim::{Calibration, Framework, ScheduleKind, SyncScheme};
 
 use super::switch::SwitchMode;
 
@@ -14,6 +14,9 @@ pub struct AutoPipeConfig {
     pub framework: Framework,
     /// Pipeline schedule.
     pub schedule: ScheduleKind,
+    /// Fitted runtime overheads threaded into analytic scoring; `None`
+    /// scores with the raw compute/wire model.
+    pub calibration: Option<Calibration>,
     /// Decision cadence in iterations.
     pub check_every: usize,
     /// Amortization horizon (iterations) for switching decisions.
@@ -44,6 +47,7 @@ impl Default for AutoPipeConfig {
             scheme: SyncScheme::RingAllReduce,
             framework: Framework::pytorch(),
             schedule: ScheduleKind::PipeDreamAsync,
+            calibration: None,
             check_every: 5,
             horizon_iterations: 100.0,
             detector: DetectorConfig::default(),

@@ -272,6 +272,7 @@ impl<'a> AutoPipeController<'a> {
                 scheme: cfg.scheme,
                 framework: cfg.framework,
                 schedule: cfg.schedule,
+                calibration: cfg.calibration,
                 history: observer.history(),
                 state,
             };
@@ -404,6 +405,7 @@ impl<'a> AutoPipeController<'a> {
                 scheme: cfg.scheme,
                 framework: cfg.framework,
                 schedule: cfg.schedule,
+                calibration: cfg.calibration,
                 history: observer.history(),
                 state,
             };
@@ -504,6 +506,7 @@ impl<'a> AutoPipeController<'a> {
             scheme: cfg.scheme,
             framework: cfg.framework,
             schedule: cfg.schedule,
+            calibration: cfg.calibration,
             history: observer.history(),
             state,
         };

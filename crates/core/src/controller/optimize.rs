@@ -62,6 +62,7 @@ pub fn hill_climb(
         scheme: model.scheme,
         framework: model.framework,
         schedule: model.schedule,
+        calibration: model.calibration,
         history: &history,
         state,
     };

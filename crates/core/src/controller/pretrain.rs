@@ -29,6 +29,7 @@ pub fn pretrain_meta_net(
         scheme: cfg.scheme,
         framework: cfg.framework,
         schedule: cfg.schedule,
+        calibration: cfg.calibration,
     };
     let all_gpus: Vec<GpuId> = (0..topo.n_gpus()).map(GpuId).collect();
     let seq_len = meta_cfg.seq_len;

@@ -103,6 +103,7 @@ fn run_scenario_impl(
             framework: cfg.framework,
             schedule: cfg.schedule,
             record_timeline,
+            calibration: cfg.calibration,
         },
     )?;
     let mut switches: Vec<(u64, f64)> = Vec::new();

@@ -23,6 +23,7 @@ fn analytic<'a>(ctx: &ScoreCtx<'a>) -> AnalyticModel<'a> {
         scheme: ctx.scheme,
         framework: ctx.framework,
         schedule: ctx.schedule,
+        calibration: ctx.calibration,
     }
 }
 

@@ -18,7 +18,7 @@ use std::collections::VecDeque;
 
 use ap_cluster::{ClusterState, GpuId, ResourceChange};
 use ap_models::ModelProfile;
-use ap_pipesim::{Framework, Partition, ScheduleKind, SwitchPlan, SyncScheme};
+use ap_pipesim::{Calibration, Framework, Partition, ScheduleKind, SwitchPlan, SyncScheme};
 
 use crate::arbiter::ArbiterInput;
 use crate::metrics::ProfilingMetrics;
@@ -35,6 +35,8 @@ pub struct ScoreCtx<'a> {
     pub framework: Framework,
     /// Pipeline schedule.
     pub schedule: ScheduleKind,
+    /// Fitted runtime overheads; `None` scores raw.
+    pub calibration: Option<Calibration>,
     /// Recent dynamic observations, oldest first (the meta-network's LSTM
     /// input; ignored by the analytic scorer).
     pub history: &'a VecDeque<Vec<f64>>,

@@ -58,6 +58,7 @@ fn hill_climb_never_regresses_and_improves_imbalanced_starts() {
         scheme: SyncScheme::RingAllReduce,
         framework: Framework::pytorch(),
         schedule: ScheduleKind::PipeDreamAsync,
+        calibration: None,
     };
     // Deliberately terrible start: 11 layers on one GPU.
     let bad = Partition {
@@ -144,6 +145,7 @@ fn controller_reacts_to_bandwidth_drop() {
         scheme: SyncScheme::RingAllReduce,
         framework: Framework::pytorch(),
         schedule: ScheduleKind::PipeDreamAsync,
+        calibration: None,
     };
     assert!(model.throughput(&ctrl.partition, &slow) > model.throughput(&before, &slow));
 
@@ -295,6 +297,7 @@ fn pretrained_meta_net_correlates_with_analytic_truth() {
         scheme: cfg.scheme,
         framework: cfg.framework,
         schedule: cfg.schedule,
+        calibration: None,
     };
     let good = Partition {
         stages: vec![
@@ -372,6 +375,7 @@ fn parallel_scoring_matches_serial_reference() {
                 scheme: cfg.scheme,
                 framework: cfg.framework,
                 schedule: cfg.schedule,
+                calibration: cfg.calibration,
                 history: &history,
                 state: &st,
             };

@@ -36,6 +36,7 @@ pub fn enhanced_throughput(
         scheme,
         framework,
         schedule,
+        calibration: None,
     };
     let gpus: Vec<GpuId> = (0..state.topology.n_gpus()).map(GpuId).collect();
     let vanilla = uniform_plan(profile, n_stages, &gpus);
@@ -50,6 +51,7 @@ pub fn enhanced_throughput(
         scheme,
         framework,
         schedule,
+        calibration: None,
         history: &history,
         state,
     };

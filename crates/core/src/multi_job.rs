@@ -65,6 +65,7 @@ pub fn comm_bytes_per_sec(
         scheme: env.scheme,
         framework: env.framework,
         schedule: env.schedule,
+        calibration: None,
     };
     let eval = model.evaluate(partition, state);
     let cut_bytes: f64 = partition
@@ -128,6 +129,7 @@ pub fn evaluate(
                     framework: env.framework,
                     schedule: env.schedule,
                     record_timeline: false,
+                    calibration: None,
                 },
             )?
             .run(n)?
@@ -181,6 +183,7 @@ pub fn best_response_rounds(
                 scheme: env.scheme,
                 framework: env.framework,
                 schedule: env.schedule,
+                calibration: None,
             };
             let better = hill_climb(&model, jobs[j].partition.clone(), &st, 20);
             if better == jobs[j].partition {

@@ -34,6 +34,10 @@ struct Queue {
     closed: bool,
 }
 
+/// Most buffers a channel's free list retains; enough for the deepest
+/// in-flight window the runtime uses, small enough to bound idle memory.
+const POOL_CAP: usize = 8;
+
 /// A bounded, optionally throttled, byte-buffer channel.
 pub struct ByteChannel {
     q: Mutex<Queue>,
@@ -43,6 +47,7 @@ pub struct ByteChannel {
     bytes_per_sec: Option<f64>,
     frames: AtomicU64,
     bytes: AtomicU64,
+    pool: Mutex<Vec<Vec<u8>>>,
 }
 
 impl ByteChannel {
@@ -66,6 +71,28 @@ impl ByteChannel {
             bytes_per_sec,
             frames: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Take a scratch buffer from the channel's free list (empty but with
+    /// warmed capacity once the pipeline is in steady state), or a fresh
+    /// one if the list is dry. Pair with [`ByteChannel::recycle`]: the
+    /// receiver returns buffers after decoding, so steady-state 1F1B
+    /// sends stop allocating per frame. Purely an allocation cache — wire
+    /// bytes and counters are unaffected.
+    pub fn take_buffer(&self) -> Vec<u8> {
+        self.pool.lock().unwrap().pop().unwrap_or_default()
+    }
+
+    /// Return a spent buffer to the free list for a future
+    /// [`ByteChannel::take_buffer`]. Keeps at most a handful; extras are
+    /// dropped.
+    pub fn recycle(&self, mut buf: Vec<u8>) {
+        buf.clear();
+        let mut pool = self.pool.lock().unwrap();
+        if pool.len() < POOL_CAP {
+            pool.push(buf);
         }
     }
 
@@ -216,6 +243,58 @@ mod tests {
         let _ = c.recv().unwrap();
         let _ = c.recv().unwrap();
         assert!(t0.elapsed() >= Duration::from_millis(95));
+    }
+
+    #[test]
+    fn recycled_buffers_are_reused_with_capacity_intact() {
+        let c = ByteChannel::new(1024, None);
+        assert!(c.take_buffer().is_empty(), "fresh buffer must be empty");
+        let mut b = Vec::with_capacity(256);
+        b.extend_from_slice(&[7; 100]);
+        c.recycle(b);
+        let got = c.take_buffer();
+        assert!(got.is_empty(), "recycled buffer must come back cleared");
+        assert!(got.capacity() >= 256, "recycled capacity was lost");
+        // The list is bounded: flooding it must not grow without limit.
+        for _ in 0..64 {
+            c.recycle(Vec::with_capacity(64));
+        }
+        assert!(c.pool.lock().unwrap().len() <= POOL_CAP);
+    }
+
+    #[test]
+    fn pooled_send_path_leaves_wire_bytes_and_counters_unchanged() {
+        // The same payload sequence through the pooled path (take_buffer /
+        // send / recv / recycle) and the plain path must hit the wire
+        // identically: same frame count, same byte count, same contents.
+        let payloads: Vec<Vec<u8>> = (1u8..=5).map(|i| vec![i; i as usize * 17]).collect();
+
+        let plain = ByteChannel::new(1 << 16, None);
+        for p in &payloads {
+            plain.send(p.clone()).unwrap();
+        }
+        let plain_recv: Vec<Vec<u8>> = payloads.iter().map(|_| plain.recv().unwrap()).collect();
+
+        let pooled = ByteChannel::new(1 << 16, None);
+        let mut pooled_recv = Vec::new();
+        for p in &payloads {
+            let mut buf = pooled.take_buffer();
+            buf.extend_from_slice(p);
+            pooled.send(buf).unwrap();
+            let got = pooled.recv().unwrap();
+            pooled_recv.push(got.clone());
+            pooled.recycle(got);
+        }
+
+        assert_eq!(plain_recv, pooled_recv);
+        assert_eq!(plain.stats(), pooled.stats());
+        assert_eq!(
+            pooled.stats(),
+            ChannelStats {
+                frames: payloads.len() as u64,
+                bytes: payloads.iter().map(|p| p.len() as u64).sum(),
+            }
+        );
     }
 
     #[test]

@@ -107,12 +107,54 @@ fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+/// Append `vals` as little-endian IEEE-754 bit patterns.
+fn put_f64s(out: &mut Vec<u8>, vals: &[f64]) {
+    #[cfg(target_endian = "little")]
+    {
+        // On a little-endian host the in-memory representation *is* the
+        // wire representation, so the whole payload is one memcpy. Sound:
+        // any f64 slice is valid to reinterpret as bytes.
+        let bytes = unsafe {
+            std::slice::from_raw_parts(vals.as_ptr().cast::<u8>(), std::mem::size_of_val(vals))
+        };
+        out.extend_from_slice(bytes);
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        out.reserve(vals.len() * 8);
+        for &v in vals {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+}
+
+/// Decode a little-endian f64 payload (`raw.len()` divisible by 8).
+fn f64s_from_le(raw: &[u8]) -> Vec<f64> {
+    debug_assert_eq!(raw.len() % 8, 0);
+    let n = raw.len() / 8;
+    #[cfg(target_endian = "little")]
+    {
+        let mut out = Vec::<f64>::with_capacity(n);
+        // Sound: the destination has capacity for `raw.len()` bytes, the
+        // source is plain bytes, and every bit pattern is a valid f64.
+        unsafe {
+            std::ptr::copy_nonoverlapping(raw.as_ptr(), out.as_mut_ptr().cast::<u8>(), raw.len());
+            out.set_len(n);
+        }
+        out
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        raw.chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
+            .collect()
+    }
+}
+
 fn put_matrix(out: &mut Vec<u8>, m: &Matrix) {
     put_u32(out, m.rows() as u32);
     put_u32(out, m.cols() as u32);
-    for &v in m.data() {
-        out.extend_from_slice(&v.to_bits().to_le_bytes());
-    }
+    put_f64s(out, m.data());
 }
 
 fn act_tag(k: ActKind) -> u8 {
@@ -136,16 +178,27 @@ fn put_layers(out: &mut Vec<u8>, layers: &[LayerBlob]) {
 /// Serialize a frame to wire bytes.
 pub fn encode(f: &Frame) -> Vec<u8> {
     let mut out = Vec::new();
+    encode_into(f, &mut out);
+    out
+}
+
+/// Serialize a frame into a caller-provided buffer, reusing its
+/// capacity. The buffer is cleared first; after the call it holds
+/// exactly the wire bytes [`encode`] would have produced. Steady-state
+/// 1F1B sends use this with recycled channel buffers so no per-frame
+/// allocation happens once capacities have warmed up.
+pub fn encode_into(f: &Frame, out: &mut Vec<u8>) {
+    out.clear();
     match f {
         Frame::Act { mb, data } => {
             out.push(TAG_ACT);
-            put_u64(&mut out, *mb);
-            put_matrix(&mut out, data);
+            put_u64(out, *mb);
+            put_matrix(out, data);
         }
         Frame::Grad { mb, data } => {
             out.push(TAG_GRAD);
-            put_u64(&mut out, *mb);
-            put_matrix(&mut out, data);
+            put_u64(out, *mb);
+            put_matrix(out, data);
         }
         Frame::Master {
             first_layer,
@@ -153,11 +206,11 @@ pub fn encode(f: &Frame) -> Vec<u8> {
             pending,
         } => {
             out.push(TAG_MASTER);
-            put_u32(&mut out, *first_layer);
-            put_layers(&mut out, layers);
-            put_u32(&mut out, pending.len() as u32);
+            put_u32(out, *first_layer);
+            put_layers(out, layers);
+            put_u32(out, pending.len() as u32);
             for &p in pending {
-                put_u64(&mut out, p);
+                put_u64(out, p);
             }
         }
         Frame::Stash {
@@ -167,10 +220,10 @@ pub fn encode(f: &Frame) -> Vec<u8> {
             input,
         } => {
             out.push(TAG_STASH);
-            put_u64(&mut out, *mb);
-            put_u32(&mut out, *first_layer);
-            put_layers(&mut out, layers);
-            put_matrix(&mut out, input);
+            put_u64(out, *mb);
+            put_u32(out, *first_layer);
+            put_layers(out, layers);
+            put_matrix(out, input);
         }
         Frame::Delta {
             mb,
@@ -178,16 +231,95 @@ pub fn encode(f: &Frame) -> Vec<u8> {
             grads,
         } => {
             out.push(TAG_DELTA);
-            put_u64(&mut out, *mb);
-            put_u32(&mut out, *first_layer);
-            put_u32(&mut out, grads.len() as u32);
+            put_u64(out, *mb);
+            put_u32(out, *first_layer);
+            put_u32(out, grads.len() as u32);
             for (dw, db) in grads {
-                put_matrix(&mut out, dw);
-                put_matrix(&mut out, db);
+                put_matrix(out, dw);
+                put_matrix(out, db);
             }
         }
     }
-    out
+}
+
+/// A matrix parsed off the wire but not yet materialized: shape plus a
+/// borrowed view of the raw payload bytes inside the receive buffer.
+/// [`MatrixView::to_matrix`] materializes it with a single allocation
+/// and one bulk little-endian conversion (a memcpy on LE hosts), instead
+/// of the per-element chunking the eager decoder used to do.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixView<'a> {
+    rows: usize,
+    cols: usize,
+    raw: &'a [u8],
+}
+
+impl MatrixView<'_> {
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Materialize into an owned matrix, bit-exactly.
+    pub fn to_matrix(&self) -> Matrix {
+        Matrix::from_vec(self.rows, self.cols, f64s_from_le(self.raw))
+    }
+}
+
+/// A decoded frame whose hot-path payloads still borrow the receive
+/// buffer. `Act` and `Grad` — the only per-mini-batch frames — carry
+/// [`MatrixView`]s so the receiver decides when (and into what) to
+/// materialize; the rare migration control frames (`Master`, `Stash`,
+/// `Delta`, sent only during a live switch) are decoded eagerly.
+#[derive(Debug)]
+pub enum FrameView<'a> {
+    /// Borrowed view of an activation frame.
+    Act {
+        /// Mini-batch id.
+        mb: u64,
+        /// Borrowed activation payload.
+        data: MatrixView<'a>,
+    },
+    /// Borrowed view of a gradient frame.
+    Grad {
+        /// Mini-batch id.
+        mb: u64,
+        /// Borrowed gradient payload.
+        data: MatrixView<'a>,
+    },
+    /// An eagerly-decoded migration control frame.
+    Control(Frame),
+}
+
+impl FrameView<'_> {
+    /// Short label for diagnostics, matching [`Frame::kind`].
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FrameView::Act { .. } => "act",
+            FrameView::Grad { .. } => "grad",
+            FrameView::Control(f) => f.kind(),
+        }
+    }
+
+    /// Materialize into an owned [`Frame`]; bit-identical to [`decode`].
+    pub fn to_frame(self) -> Frame {
+        match self {
+            FrameView::Act { mb, data } => Frame::Act {
+                mb,
+                data: data.to_matrix(),
+            },
+            FrameView::Grad { mb, data } => Frame::Grad {
+                mb,
+                data: data.to_matrix(),
+            },
+            FrameView::Control(f) => f,
+        }
+    }
 }
 
 struct Reader<'a> {
@@ -221,18 +353,18 @@ impl<'a> Reader<'a> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn matrix(&mut self) -> Result<Matrix, String> {
+    fn matrix_view(&mut self) -> Result<MatrixView<'a>, String> {
         let rows = self.u32()? as usize;
         let cols = self.u32()? as usize;
         let n = rows
             .checked_mul(cols)
             .ok_or_else(|| "matrix size overflow".to_string())?;
         let raw = self.take(n * 8)?;
-        let data = raw
-            .chunks_exact(8)
-            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
-            .collect();
-        Ok(Matrix::from_vec(rows, cols, data))
+        Ok(MatrixView { rows, cols, raw })
+    }
+
+    fn matrix(&mut self) -> Result<Matrix, String> {
+        Ok(self.matrix_view()?.to_matrix())
     }
 
     fn act(&mut self) -> Result<ActKind, String> {
@@ -256,6 +388,32 @@ impl<'a> Reader<'a> {
         }
         Ok(out)
     }
+}
+
+/// Decode wire bytes into a borrowed [`FrameView`]: the hot-path frame
+/// kinds (`Act`, `Grad`) keep their payload as a view over `buf`, so the
+/// caller can recycle the buffer after materializing — or skip
+/// materializing entirely when only the header matters.
+pub fn decode_view(buf: &[u8]) -> Result<FrameView<'_>, String> {
+    let mut r = Reader { buf, pos: 0 };
+    let view = match r.u8()? {
+        TAG_ACT => FrameView::Act {
+            mb: r.u64()?,
+            data: r.matrix_view()?,
+        },
+        TAG_GRAD => FrameView::Grad {
+            mb: r.u64()?,
+            data: r.matrix_view()?,
+        },
+        _ => return decode(buf).map(FrameView::Control),
+    };
+    if r.pos != buf.len() {
+        return Err(format!(
+            "trailing garbage: {} bytes after frame",
+            buf.len() - r.pos
+        ));
+    }
+    Ok(view)
 }
 
 /// Decode wire bytes back into a frame.
@@ -407,6 +565,97 @@ mod tests {
         });
         trailing.push(0);
         assert!(decode(&trailing).is_err());
+    }
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Act {
+                mb: 7,
+                data: m(4, 3, 21),
+            },
+            Frame::Grad {
+                mb: 8,
+                data: m(3, 4, 22),
+            },
+            Frame::Master {
+                first_layer: 2,
+                layers: vec![LayerBlob {
+                    w: m(3, 2, 23),
+                    b: m(1, 2, 24),
+                    act: ActKind::Sigmoid,
+                }],
+                pending: vec![5, 6],
+            },
+            Frame::Stash {
+                mb: 5,
+                first_layer: 2,
+                layers: vec![LayerBlob {
+                    w: m(3, 2, 25),
+                    b: m(1, 2, 26),
+                    act: ActKind::Relu,
+                }],
+                input: m(4, 3, 27),
+            },
+            Frame::Delta {
+                mb: 6,
+                first_layer: 2,
+                grads: vec![(m(3, 2, 28), m(1, 2, 29))],
+            },
+        ]
+    }
+
+    #[test]
+    fn decode_view_round_trips_every_frame_kind() {
+        for f in sample_frames() {
+            let bytes = encode(&f);
+            let view = decode_view(&bytes).unwrap_or_else(|e| panic!("{}: {e}", f.kind()));
+            assert_eq!(view.kind(), f.kind());
+            // Hot-path kinds must take the borrowed path, not Control.
+            match (&view, &f) {
+                (FrameView::Act { data, .. }, Frame::Act { data: d, .. })
+                | (FrameView::Grad { data, .. }, Frame::Grad { data: d, .. }) => {
+                    assert_eq!((data.rows(), data.cols()), (d.rows(), d.cols()));
+                }
+                (FrameView::Control(_), Frame::Master { .. })
+                | (FrameView::Control(_), Frame::Stash { .. })
+                | (FrameView::Control(_), Frame::Delta { .. }) => {}
+                other => panic!("unexpected view/frame pairing: {other:?}"),
+            }
+            assert_eq!(view.to_frame(), f, "{} view drifted", f.kind());
+        }
+    }
+
+    #[test]
+    fn decode_view_rejects_corrupt_input_like_decode() {
+        assert!(decode_view(&[]).is_err());
+        assert!(decode_view(&[99]).is_err());
+        let mut bytes = encode(&Frame::Act {
+            mb: 1,
+            data: m(2, 2, 1),
+        });
+        bytes.push(0);
+        assert!(decode_view(&bytes).is_err(), "trailing garbage accepted");
+        bytes.truncate(bytes.len() - 4);
+        assert!(decode_view(&bytes).is_err(), "truncated frame accepted");
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_reuses_capacity() {
+        let frames = sample_frames();
+        let mut buf = Vec::new();
+        // Warm the buffer on the largest frame first.
+        let largest = frames
+            .iter()
+            .max_by_key(|f| encode(f).len())
+            .unwrap()
+            .clone();
+        encode_into(&largest, &mut buf);
+        let warmed = buf.capacity();
+        for f in &frames {
+            encode_into(f, &mut buf);
+            assert_eq!(buf, encode(f), "{}: encode_into drifted", f.kind());
+            assert_eq!(buf.capacity(), warmed, "{}: buffer reallocated", f.kind());
+        }
     }
 
     #[test]

@@ -28,14 +28,18 @@
 //!   next op needs, instead of racing on arrival order);
 //! - stateless SGD (no optimizer state to migrate or reorder).
 
+pub mod calib;
 pub mod channel;
 pub mod codec;
 pub mod profiler;
 pub mod runtime;
 pub mod schedule;
 
+pub use calib::fit_calibration;
 pub use channel::{ByteChannel, ChannelStats};
-pub use codec::{decode, encode, Frame, LayerBlob};
+pub use codec::{
+    decode, decode_view, encode, encode_into, Frame, FrameView, LayerBlob, MatrixView,
+};
 pub use profiler::{calibrate_layer_times, metrics_from_times, LayerTimes};
 pub use runtime::{
     run_pipeline, training_batch, ExecError, ExecResult, ExecSpec, MigrationReport, SwitchSpec,

@@ -38,7 +38,7 @@
 //! at every migration tick.
 
 use crate::channel::{ByteChannel, ChannelStats};
-use crate::codec::{decode, encode, Frame, LayerBlob};
+use crate::codec::{decode_view, encode_into, Frame, FrameView, LayerBlob};
 use crate::profiler::{metrics_from_times, LayerTimes};
 use crate::schedule::{stage_ops, Op};
 use ap_nn::mlp::MlpWeights;
@@ -431,6 +431,15 @@ struct Stage<'a> {
     plan: Option<&'a MovePlan>,
     role: Role,
     migrated: bool,
+    /// Mini-batches allowed to run directly on the master weights — no
+    /// stash clone. Computed statically from the op schedule: `v` is in
+    /// here iff no *other* mini-batch's backward (i.e. no weight update)
+    /// sits between `Forward(v)` and `Backward(v)`, so the master at
+    /// backward time is bit-identical to a stash taken at forward time.
+    /// Empty whenever a migration plan exists (stashes are the migration
+    /// payload) — so `in_flight = 1` runs and fused last-stage ops never
+    /// pay the per-mini-batch master clone.
+    direct: BTreeSet<u64>,
     seq: Option<Sequencer>,
     /// Receiver only: in-flight mini-batches whose moved-layer delta has
     /// not arrived yet.
@@ -464,11 +473,15 @@ impl<'a> Stage<'a> {
     }
 
     fn send_on(&self, chan: Option<&ByteChannel>, frame: &Frame) -> Result<usize, ExecError> {
-        let bytes = encode(frame);
+        let chan =
+            chan.ok_or_else(|| self.err(format!("no channel for {} frame", frame.kind())))?;
+        // Encode into a recycled channel buffer: in steady state the
+        // receiver keeps returning warmed buffers, so a send allocates
+        // nothing. Wire bytes are identical to a fresh `encode`.
+        let mut bytes = chan.take_buffer();
+        encode_into(frame, &mut bytes);
         let len = bytes.len();
-        chan.ok_or_else(|| self.err(format!("no channel for {} frame", frame.kind())))?
-            .send(bytes)
-            .map_err(|e| self.err(e))?;
+        chan.send(bytes).map_err(|e| self.err(e))?;
         Ok(len)
     }
 
@@ -632,10 +645,21 @@ impl<'a> Stage<'a> {
             let bytes = chan
                 .recv()
                 .ok_or_else(|| self.err("forward channel closed"))?;
-            match decode(&bytes).map_err(|e| self.err(e))? {
-                Frame::Act { mb: v, data } if v == mb => return Ok(data),
-                Frame::Act { mb: v, data } => self.act_buf.push_back((v, data)),
-                ctrl => self.handle_ctrl(ctrl)?,
+            let got = match decode_view(&bytes).map_err(|e| self.err(e))? {
+                FrameView::Act { mb: v, data } if v == mb => Some(data.to_matrix()),
+                FrameView::Act { mb: v, data } => {
+                    self.act_buf.push_back((v, data.to_matrix()));
+                    None
+                }
+                FrameView::Grad { .. } => return Err(self.err("unexpected grad frame")),
+                FrameView::Control(ctrl) => {
+                    self.handle_ctrl(ctrl)?;
+                    None
+                }
+            };
+            chan.recycle(bytes);
+            if let Some(data) = got {
+                return Ok(data);
             }
         }
     }
@@ -649,10 +673,21 @@ impl<'a> Stage<'a> {
             let bytes = chan
                 .recv()
                 .ok_or_else(|| self.err("backward channel closed"))?;
-            match decode(&bytes).map_err(|e| self.err(e))? {
-                Frame::Grad { mb: v, data } if v == mb => return Ok(data),
-                Frame::Grad { mb: v, data } => self.grad_buf.push_back((v, data)),
-                ctrl => self.handle_ctrl(ctrl)?,
+            let got = match decode_view(&bytes).map_err(|e| self.err(e))? {
+                FrameView::Grad { mb: v, data } if v == mb => Some(data.to_matrix()),
+                FrameView::Grad { mb: v, data } => {
+                    self.grad_buf.push_back((v, data.to_matrix()));
+                    None
+                }
+                FrameView::Act { .. } => return Err(self.err("unexpected act frame")),
+                FrameView::Control(ctrl) => {
+                    self.handle_ctrl(ctrl)?;
+                    None
+                }
+            };
+            chan.recycle(bytes);
+            if let Some(data) = got {
+                return Ok(data);
             }
         }
     }
@@ -665,10 +700,12 @@ impl<'a> Stage<'a> {
             let bytes = chan
                 .recv()
                 .ok_or_else(|| self.err("backward channel closed"))?;
-            match decode(&bytes).map_err(|e| self.err(e))? {
-                Frame::Grad { mb, data } => self.grad_buf.push_back((mb, data)),
-                ctrl => self.handle_ctrl(ctrl)?,
+            match decode_view(&bytes).map_err(|e| self.err(e))? {
+                FrameView::Grad { mb, data } => self.grad_buf.push_back((mb, data.to_matrix())),
+                FrameView::Act { .. } => return Err(self.err("unexpected act frame")),
+                FrameView::Control(ctrl) => self.handle_ctrl(ctrl)?,
             }
+            chan.recycle(bytes);
         }
         Ok(())
     }
@@ -693,18 +730,29 @@ impl<'a> Stage<'a> {
             self.next_act(mb)?
         };
         let start = self.now();
-        let mut entry = StashEntry {
-            lo: self.lo,
-            net: self.master.clone(),
-        };
         let mut h = x;
-        for i in 0..entry.net.n_layers() {
-            let t = Instant::now();
-            h = entry.net.forward_range(i..i + 1, &h);
-            self.times.fwd(entry.lo + i, t.elapsed().as_secs_f64());
+        if self.direct.contains(&mb) {
+            // No weight update can land before this mini-batch's backward,
+            // so the master *is* the stash: run on it in place. The owned
+            // forward moves `h` into the layer cache instead of cloning.
+            for i in 0..self.master.n_layers() {
+                let t = Instant::now();
+                h = self.master.forward_range_owned(i..i + 1, h);
+                self.times.fwd(self.lo + i, t.elapsed().as_secs_f64());
+            }
+        } else {
+            let mut entry = StashEntry {
+                lo: self.lo,
+                net: self.master.clone(),
+            };
+            for i in 0..entry.net.n_layers() {
+                let t = Instant::now();
+                h = entry.net.forward_range_owned(i..i + 1, h);
+                self.times.fwd(entry.lo + i, t.elapsed().as_secs_f64());
+            }
+            self.stash.insert(mb, entry);
         }
         self.record_segment(mb, WorkKind::Forward, start);
-        self.stash.insert(mb, entry);
         if self.last {
             let target = gen_target(self.spec, mb);
             let (loss, g) = mse_loss(&h, &target);
@@ -716,11 +764,46 @@ impl<'a> Stage<'a> {
         }
     }
 
+    /// Backward for a mini-batch that ran its forward directly on the
+    /// master: back-propagate in place, apply the accumulated gradients,
+    /// then zero them so the master's accumulators stay clean for any
+    /// later stash clone. Bit-identical to the stashed path because the
+    /// master cannot have changed since this mini-batch's forward.
+    fn backward_direct(&mut self, mb: u64, g_in: Matrix) -> Result<(), ExecError> {
+        let start = self.now();
+        let mut g = g_in;
+        let n = self.master.n_layers();
+        for i in (0..n).rev() {
+            let t = Instant::now();
+            g = self.master.backward_range(i..i + 1, &g);
+            self.times.bwd(self.lo + i, t.elapsed().as_secs_f64());
+        }
+        self.record_segment(mb, WorkKind::Backward, start);
+        let lr = self.spec.lr;
+        for i in 0..n {
+            let l = self.master.layer_mut(i);
+            l.w.value.axpy(-lr, &l.w.grad);
+            l.b.value.axpy(-lr, &l.b.grad);
+            l.w.zero_grad();
+            l.b.zero_grad();
+        }
+        if self.s == 0 {
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+            self.completions.push(self.now());
+        } else {
+            self.send_on(self.bwd_out, &Frame::Grad { mb, data: g })?;
+        }
+        Ok(())
+    }
+
     fn backward(&mut self, mb: u64, fused_grad: Option<Matrix>) -> Result<(), ExecError> {
         let g_in = match fused_grad {
             Some(g) => g,
             None => self.next_grad(mb)?,
         };
+        if self.direct.contains(&mb) {
+            return self.backward_direct(mb, g_in);
+        }
         let entry = self
             .stash
             .remove(&mb)
@@ -746,8 +829,9 @@ impl<'a> Stage<'a> {
             if self.is_received_moved(gl) {
                 seq_updates.push((gl, l.w.grad.clone(), l.b.grad.clone()));
             } else if self.owns(gl) {
-                let (dw, db) = (l.w.grad.clone(), l.b.grad.clone());
-                self.apply_update(gl, &dw, &db);
+                // `net` is a local stash copy, so its gradients can be
+                // borrowed straight into the update — no clones.
+                self.apply_update(gl, &l.w.grad, &l.b.grad);
             } else {
                 if delta.is_empty() {
                     delta_first = gl;
@@ -874,14 +958,43 @@ impl<'a> Stage<'a> {
             let bytes = chan
                 .recv()
                 .ok_or_else(|| self.err("channel closed with deltas outstanding"))?;
-            match decode(&bytes).map_err(|e| self.err(e))? {
-                Frame::Act { mb, data } => self.act_buf.push_back((mb, data)),
-                Frame::Grad { mb, data } => self.grad_buf.push_back((mb, data)),
-                ctrl => self.handle_ctrl(ctrl)?,
+            match decode_view(&bytes).map_err(|e| self.err(e))? {
+                FrameView::Act { mb, data } => self.act_buf.push_back((mb, data.to_matrix())),
+                FrameView::Grad { mb, data } => self.grad_buf.push_back((mb, data.to_matrix())),
+                FrameView::Control(ctrl) => self.handle_ctrl(ctrl)?,
             }
+            chan.recycle(bytes);
         }
         Ok(())
     }
+}
+
+/// Mini-batches that may run without a stash clone on this stage: those
+/// whose forward→backward window contains no other mini-batch's backward
+/// (the only op that updates weights), so the master at backward time is
+/// bit-identical to a stash taken at forward time. Covers every op on the
+/// fused last stage and every op when `in_flight = 1`; windows of two
+/// direct mini-batches can never overlap (the earlier one's backward
+/// would sit inside the later one's window), so their master-held layer
+/// caches can't clobber each other. With a migration plan the stash *is*
+/// the §4.4 payload, so nothing runs direct.
+fn direct_mbs(ops: &[RtOp], plan: Option<&MovePlan>) -> BTreeSet<u64> {
+    let mut direct = BTreeSet::new();
+    if plan.is_some() {
+        return direct;
+    }
+    for (i, op) in ops.iter().enumerate() {
+        if let RtOp::Forward(v) = *op {
+            let clean = ops[i + 1..]
+                .iter()
+                .take_while(|o| !matches!(o, RtOp::Backward(u) if *u == v))
+                .all(|o| !matches!(o, RtOp::Backward(_)));
+            if clean {
+                direct.insert(v);
+            }
+        }
+    }
+    direct
 }
 
 fn rt_ops(spec: &ExecSpec, plan: Option<&MovePlan>, stage: usize) -> Vec<RtOp> {
@@ -945,6 +1058,7 @@ pub fn run_pipeline(spec: &ExecSpec) -> Result<ExecResult, ExecError> {
         for s in 0..n_stages {
             let master = full.slice(starts[s]..starts[s + 1]);
             let ops = rt_ops(spec, plan.as_ref(), s);
+            let direct = direct_mbs(&ops, plan.as_ref());
             let role = match &plan {
                 Some(p) if p.a == s => Role::Sender,
                 Some(p) if p.b == s => Role::Receiver,
@@ -979,6 +1093,7 @@ pub fn run_pipeline(spec: &ExecSpec) -> Result<ExecResult, ExecError> {
                     plan: plan_ref,
                     role,
                     migrated: false,
+                    direct,
                     seq: None,
                     outstanding: BTreeSet::new(),
                     mig: mig_ref,

@@ -83,6 +83,17 @@ impl Activation {
         y
     }
 
+    /// Forward pass taking ownership of the input, caching it without a
+    /// clone. Numerically identical to [`Activation::forward`]; the
+    /// pipeline hot path uses it to keep steady-state 1F1B allocation
+    /// minimal.
+    pub fn forward_owned(&mut self, x: Matrix) -> Matrix {
+        let y = x.map(|v| self.kind.apply(v));
+        self.cached_in = Some(x);
+        self.cached_out = Some(y.clone());
+        y
+    }
+
     /// Backward pass: dL/dx from dL/dy.
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let x = self.cached_in.as_ref().expect("backward before forward");

@@ -41,6 +41,16 @@ impl Linear {
         y
     }
 
+    /// Forward pass taking ownership of the input: the cache keeps `x`
+    /// itself instead of a clone. Numerically identical to
+    /// [`Linear::forward`].
+    pub fn forward_owned(&mut self, x: Matrix) -> Matrix {
+        let mut y = x.matmul(&self.w.value);
+        y.add_row_broadcast(&self.b.value);
+        self.cached_in = Some(x);
+        y
+    }
+
     /// Stateless forward (no cache) for inference-only paths.
     pub fn forward_inference(&self, x: &Matrix) -> Matrix {
         let mut y = x.matmul(&self.w.value);

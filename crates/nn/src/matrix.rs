@@ -86,24 +86,46 @@ impl Matrix {
     }
 
     /// `self @ other` (matrix product).
+    ///
+    /// Register-tiled over output columns so each tile accumulates in
+    /// registers across the whole `k` loop (the naive ikj kernel instead
+    /// re-loads and re-stores the output row at every `k` step, which
+    /// makes it memory-traffic-bound), and parallelized over row-blocks
+    /// with `ap_par` once the product is large enough to amortize thread
+    /// spawns. Every output element still accumulates its `k` terms in
+    /// strictly ascending order (rows and column tiles are independent),
+    /// so the result is **bit-identical** to the naive ikj triple loop at
+    /// any thread count — the exec runtime's determinism tests rely on
+    /// this.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        // ikj loop order: streams through `other` rows, cache-friendly.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
-                let crow = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (c, &o) in crow.iter_mut().zip(orow) {
-                    *c += a * o;
-                }
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let elems = m.saturating_mul(k).saturating_mul(n);
+        let workers = ap_par::threads();
+        if elems >= PAR_ELEMS_CUTOFF && workers > 1 && m > 1 {
+            let n_blocks = workers.min(m);
+            let block = m.div_ceil(n_blocks);
+            let ranges: Vec<std::ops::Range<usize>> = (0..m)
+                .step_by(block)
+                .map(|lo| lo..(lo + block).min(m))
+                .collect();
+            let parts =
+                ap_par::map_eager(ranges, |r| matmul_rows(&self.data, k, &other.data, n, r));
+            let mut data = Vec::with_capacity(m * n);
+            for part in parts {
+                data.extend_from_slice(&part);
             }
+            return Matrix {
+                rows: m,
+                cols: n,
+                data,
+            };
         }
-        out
+        Matrix {
+            rows: m,
+            cols: n,
+            data: matmul_rows(&self.data, k, &other.data, n, 0..m),
+        }
     }
 
     /// Transpose.
@@ -214,6 +236,107 @@ impl Matrix {
     pub fn norm(&self) -> f64 {
         self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
     }
+}
+
+/// Products below this many `m*k*n` elements run serially: the compute
+/// is cheaper than the ~10 µs/worker a scoped spawn costs. The exec
+/// runtime's per-layer matmuls (batch ≤ 32, widths ≤ 128) stay under it
+/// on purpose — their speedup comes from the blocked kernel, not from
+/// oversubscribing stage threads.
+const PAR_ELEMS_CUTOFF: usize = 1 << 21;
+
+/// Output-column tile width: one tile's accumulators live in registers
+/// for the whole `k` loop (a `[f64; J_TILE]` that the autovectorizer
+/// keeps in a few SIMD registers), so the output row is written once
+/// instead of loaded and stored at every `k` step. Wider vectors fit
+/// wider tiles before spilling: 4 accumulator registers either way.
+#[cfg(target_feature = "avx512f")]
+const J_TILE: usize = 32;
+#[cfg(not(target_feature = "avx512f"))]
+const J_TILE: usize = 16;
+
+/// Once `b` is bigger than this, register tiling loses: each column
+/// tile walks all `k` rows of `b` with an `n * 8`-byte stride, and when
+/// `b` no longer fits in L2 those strided loads miss where the
+/// streaming kernel's sequential full-row sweeps prefetch cleanly. Past
+/// the threshold `matmul_rows` switches to the row-streaming kernel.
+const B_STREAM_BYTES: usize = 3 << 19;
+
+/// Multiply rows `rows` of `a` (shape `? x k`) by `b` (shape `k x n`)
+/// into a fresh row-major buffer of `rows.len() * n`.
+///
+/// Each output element accumulates its `k` terms in ascending order —
+/// in a register instead of in memory, but through the identical
+/// sequence of IEEE mul-then-add operations — so the result matches the
+/// naive loop bit-for-bit. The `a == 0.0` skip is kept from the
+/// original kernel: dropping it would change NaN/infinity propagation.
+fn matmul_rows(a: &[f64], k: usize, b: &[f64], n: usize, rows: std::ops::Range<usize>) -> Vec<f64> {
+    if k * n * std::mem::size_of::<f64>() > B_STREAM_BYTES {
+        return matmul_rows_stream(a, k, b, n, rows);
+    }
+    let mut out = vec![0.0; rows.len() * n];
+    for (ri, i) in rows.enumerate() {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut out[ri * n..(ri + 1) * n];
+        let mut j = 0;
+        while j + J_TILE <= n {
+            let mut acc = [0.0f64; J_TILE];
+            for (kk, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n + j..kk * n + j + J_TILE];
+                for t in 0..J_TILE {
+                    acc[t] += av * brow[t];
+                }
+            }
+            crow[j..j + J_TILE].copy_from_slice(&acc);
+            j += J_TILE;
+        }
+        while j < n {
+            let mut acc = 0.0;
+            for (kk, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                acc += av * b[kk * n + j];
+            }
+            crow[j] = acc;
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Large-`b` kernel: for each row of `a`, sweep whole rows of `b` in
+/// order, accumulating into the output row (which stays L1-resident —
+/// it is only `n * 8` bytes). Memory traffic over `b` is sequential, so
+/// the hardware prefetcher hides the misses that hurt the tiled kernel
+/// at this size. Accumulation order per output element is still
+/// ascending `k` with the same mul-then-add and the same `a == 0.0`
+/// skip, so the result stays bit-identical to the other kernels.
+fn matmul_rows_stream(
+    a: &[f64],
+    k: usize,
+    b: &[f64],
+    n: usize,
+    rows: std::ops::Range<usize>,
+) -> Vec<f64> {
+    let mut out = vec![0.0; rows.len() * n];
+    for (ri, i) in rows.enumerate() {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut out[ri * n..(ri + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..kk * n + n];
+            for (c, &bv) in crow.iter_mut().zip(brow) {
+                *c += av * bv;
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]

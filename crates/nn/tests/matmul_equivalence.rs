@@ -1,0 +1,145 @@
+//! The blocked/parallel `matmul` must be **bit-identical** to the naive
+//! ikj triple loop: the exec runtime's sequential-SGD and cross-thread
+//! determinism guarantees are built on every stage computing the exact
+//! same bits regardless of kernel blocking or `AP_PAR_THREADS`.
+
+use ap_nn::Matrix;
+
+/// The original serial kernel, kept verbatim as the reference semantics
+/// (including the `a == 0.0` skip, which affects NaN propagation).
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows());
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for k in 0..a.cols() {
+            let av = a.get(i, k);
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..b.cols() {
+                out.set(i, j, out.get(i, j) + av * b.get(k, j));
+            }
+        }
+    }
+    out
+}
+
+fn assert_bits_equal(x: &Matrix, y: &Matrix, label: &str) {
+    assert_eq!((x.rows(), x.cols()), (y.rows(), y.cols()), "{label}: shape");
+    for (i, (a, b)) in x.data().iter().zip(y.data()).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{label}: element {i} differs: {a} vs {b}"
+        );
+    }
+}
+
+/// Odd shapes, exec-runtime shapes, and shapes big enough to cross the
+/// parallel row-block cutoff (the last one: 160*161*87 ≈ 2.2M elements).
+const SHAPES: &[(usize, usize, usize)] = &[
+    (1, 1, 1),
+    (3, 7, 5),
+    (17, 33, 9),
+    (1, 129, 1),
+    (61, 1, 61),
+    (32, 96, 128),
+    (129, 65, 130),
+    (160, 161, 87),
+];
+
+#[test]
+fn blocked_matmul_bit_identical_to_naive_across_odd_shapes() {
+    for &(m, k, n) in SHAPES {
+        let a = Matrix::xavier(m, k, 0xA5A5 + m as u64);
+        let b = Matrix::xavier(k, n, 0x5A5A + n as u64);
+        assert_bits_equal(
+            &a.matmul(&b),
+            &naive_matmul(&a, &b),
+            &format!("{m}x{k}x{n}"),
+        );
+    }
+}
+
+#[test]
+fn zero_skip_semantics_are_preserved() {
+    // Sprinkle exact zeros into the left operand: the kernel's zero-skip
+    // must fire identically in blocked and naive form (a 0.0 * inf would
+    // otherwise produce NaN in one and not the other).
+    for &(m, k, n) in SHAPES {
+        let mut a = Matrix::xavier(m, k, 17);
+        for idx in (0..m * k).step_by(3) {
+            a.data_mut()[idx] = 0.0;
+        }
+        let mut b = Matrix::xavier(k, n, 18);
+        if k * n > 4 {
+            b.data_mut()[1] = f64::INFINITY;
+        }
+        assert_bits_equal(
+            &a.matmul(&b),
+            &naive_matmul(&a, &b),
+            &format!("{m}x{k}x{n} zeros"),
+        );
+    }
+}
+
+fn digest(m: &Matrix) -> u64 {
+    // FNV-1a over the exact bit patterns.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for v in m.data() {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+fn child_digest() -> u64 {
+    // Big enough to take the parallel path at every thread count > 1.
+    let a = Matrix::xavier(160, 161, 1);
+    let b = Matrix::xavier(161, 87, 2);
+    digest(&a.matmul(&b))
+}
+
+/// `AP_PAR_THREADS` is latched once per process, so covering several
+/// values requires re-executing this test binary as a child with the
+/// variable set; each child prints its result digest and the parent
+/// asserts they all agree (and match the in-process value).
+#[test]
+fn matmul_digest_stable_across_thread_counts() {
+    if std::env::var("AP_MATMUL_CHILD").is_ok() {
+        println!("matmul-digest={:016x}", child_digest());
+        return;
+    }
+    let here = child_digest();
+    let exe = std::env::current_exe().expect("test binary path");
+    for threads in ["1", "2", "3", "16"] {
+        let out = std::process::Command::new(&exe)
+            .args([
+                "--exact",
+                "matmul_digest_stable_across_thread_counts",
+                "--nocapture",
+            ])
+            .env("AP_MATMUL_CHILD", "1")
+            .env("AP_PAR_THREADS", threads)
+            .output()
+            .expect("spawn child test");
+        assert!(out.status.success(), "child failed for {threads} threads");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        // libtest may glue the println onto its own "test ..." line, so
+        // search within lines rather than anchoring at the start.
+        let got = stdout
+            .lines()
+            .find_map(|l| l.split("matmul-digest=").nth(1))
+            .map(|rest| rest.split_whitespace().next().unwrap_or(""))
+            .unwrap_or_else(|| {
+                panic!(
+                    "no digest line in child output.\nstdout:\n{stdout}\nstderr:\n{}",
+                    String::from_utf8_lossy(&out.stderr)
+                )
+            });
+        let got = u64::from_str_radix(got.trim(), 16).expect("hex digest");
+        assert_eq!(got, here, "AP_PAR_THREADS={threads} changed matmul bits");
+    }
+}

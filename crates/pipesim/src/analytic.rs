@@ -12,6 +12,7 @@
 use ap_cluster::ClusterState;
 use ap_models::ModelProfile;
 
+use crate::calibration::Calibration;
 use crate::framework::Framework;
 use crate::partition::Partition;
 use crate::schedule::ScheduleKind;
@@ -29,6 +30,9 @@ pub struct AnalyticModel<'a> {
     pub framework: Framework,
     /// Pipeline schedule.
     pub schedule: ScheduleKind,
+    /// Fitted runtime overheads (codec, stash, dispatch); `None` predicts
+    /// the raw compute/wire model.
+    pub calibration: Option<Calibration>,
 }
 
 /// The result of evaluating one partition.
@@ -42,7 +46,8 @@ pub struct Eval {
     pub stage_times: Vec<f64>,
     /// Per-cut communication time per mini-batch.
     pub cut_times: Vec<f64>,
-    /// Index of the bottleneck stage (or cut, offset by stage count).
+    /// Index of the bottleneck stage (or cut, offset by stage count;
+    /// `stages + cuts` means the host's aggregate compute capacity).
     pub bottleneck: usize,
 }
 
@@ -52,19 +57,11 @@ impl<'a> AnalyticModel<'a> {
     pub fn stage_time(&self, partition: &Partition, s: usize, state: &ClusterState) -> f64 {
         let st = &partition.stages[s];
         let (lo, hi) = (st.layers.start, st.layers.end);
-        let mut work = self.profile.range_work(lo, hi);
-        // GPipe-style recomputation re-runs the forward (1/3 of fwd+bwd).
-        work *= 1.0 + self.schedule.recompute_factor() / 3.0;
         // Replicated stages round-robin whole mini-batches (PipeDream's
         // scheme), so a straggling replica throttles the stage: the
         // sustained rate is m x the slowest replica, not the pooled sum.
         let m = st.workers.len() as f64;
-        let min_rate = st
-            .workers
-            .iter()
-            .map(|&w| state.effective_flops(w) * self.framework.compute_efficiency)
-            .fold(f64::INFINITY, f64::min);
-        let t_comp = work / (m * min_rate);
+        let occ = self.stage_occupancy(partition, s, state);
         let sync_bytes = self.profile.range_params(lo, hi);
         if self.schedule.is_async() {
             // Each replica's update cadence is paced by whichever is
@@ -76,15 +73,70 @@ impl<'a> AnalyticModel<'a> {
                 .scheme
                 .async_update_time(sync_bytes, &st.workers, state)
                 / self.framework.comm_efficiency;
-            let cadence = (work / min_rate).max(sync_one);
-            cadence / m
+            occ.max(sync_one) / m
         } else {
             // Flush schedules synchronize the full stage once per
             // mini-batch at the barrier.
             let t_sync = self.scheme.sync_time(sync_bytes, &st.workers, state)
                 / self.framework.comm_efficiency;
-            t_comp + t_sync
+            occ / m + t_sync
         }
+    }
+
+    /// Per-mini-batch *CPU occupancy* of one replica of stage `s`:
+    /// compute at the slowest replica's rate plus calibrated runtime
+    /// overheads (codec ops on each boundary — one act + one grad frame
+    /// per mini-batch, each encoded once and decoded once — the
+    /// weight-stash snapshot, and the fixed dispatch/loss residual), all
+    /// of which occupy the stage thread serially with compute. Excludes
+    /// wire and sync time: those wait, they don't burn a core. Exactly
+    /// one replica pays this per mini-batch, so it doubles as the stage's
+    /// per-mini-batch contribution to host CPU demand.
+    fn stage_occupancy(&self, partition: &Partition, s: usize, state: &ClusterState) -> f64 {
+        let st = &partition.stages[s];
+        let (lo, hi) = (st.layers.start, st.layers.end);
+        let mut work = self.profile.range_work(lo, hi);
+        // GPipe-style recomputation re-runs the forward (1/3 of fwd+bwd).
+        work *= 1.0 + self.schedule.recompute_factor() / 3.0;
+        let min_rate = st
+            .workers
+            .iter()
+            .map(|&w| state.effective_flops(w) * self.framework.compute_efficiency)
+            .fold(f64::INFINITY, f64::min);
+        let extra = match self.calibration {
+            Some(c) => {
+                let last = partition.n_stages() - 1;
+                let in_bytes = (s > 0).then(|| self.profile.cut_bytes(lo - 1));
+                let out_bytes = (s < last).then(|| self.profile.cut_bytes(hi - 1));
+                let stashes = self.schedule.is_async() && partition.in_flight > 1 && s < last;
+                let stash_bytes = if stashes {
+                    partition.stage_param_bytes(s, self.profile)
+                } else {
+                    0.0
+                };
+                c.stage_extra_s(in_bytes, out_bytes, stash_bytes)
+            }
+            None => 0.0,
+        };
+        work / min_rate + extra
+    }
+
+    /// Seconds per mini-batch the execution host's cores need to push
+    /// every stage's work through `compute_slots` slots, or `None` when
+    /// the calibration is absent or uncontended. With fewer cores than
+    /// stages, pipelining cannot hide compute behind compute: the host
+    /// can finish at most `slots` stage-seconds per wall-second, so the
+    /// aggregate `Σ occupancy / slots` is a hard throughput floor — on a
+    /// one-core host it is exactly the serialized sum of stage work.
+    fn host_capacity_time(&self, partition: &Partition, state: &ClusterState) -> Option<f64> {
+        let c = self.calibration?;
+        if c.compute_slots == 0 || partition.n_stages() <= c.compute_slots {
+            return None;
+        }
+        let total: f64 = (0..partition.n_stages())
+            .map(|s| self.stage_occupancy(partition, s, state))
+            .sum();
+        Some(total / c.compute_slots as f64)
     }
 
     /// Activation/gradient transfer time across cut `c` (between stages
@@ -140,6 +192,14 @@ impl<'a> AnalyticModel<'a> {
                 bottleneck = s_count + i;
             }
         }
+        // A host with fewer compute slots than stages adds one more
+        // bottleneck: its aggregate capacity across all stage threads.
+        if let Some(cap) = self.host_capacity_time(partition, state) {
+            if cap > unit {
+                unit = cap;
+                bottleneck = s_count + cut_times.len();
+            }
+        }
 
         // Async: one mini-batch completes per bottleneck unit.
         // Sync-flush: m micro-batches at 1/m unit each, inflated by the
@@ -190,6 +250,7 @@ mod tests {
             scheme: SyncScheme::RingAllReduce,
             framework: Framework::pytorch(),
             schedule,
+            calibration: None,
         }
     }
 
@@ -285,6 +346,56 @@ mod tests {
         let dapple = model(&p, ScheduleKind::Dapple { micro_batches: 4 }).throughput(&part, &st);
         let chimera = model(&p, ScheduleKind::Chimera { micro_batches: 4 }).throughput(&part, &st);
         assert!(chimera > dapple);
+    }
+
+    #[test]
+    fn calibration_lowers_predictions_and_zero_is_identity() {
+        let (st, p) = setup(100.0);
+        let mut m = model(&p, ScheduleKind::PipeDreamAsync);
+        let part = two_stage();
+        let raw = m.throughput(&part, &st);
+        m.calibration = Some(Calibration::zero());
+        assert_eq!(m.throughput(&part, &st), raw, "zero calibration is raw");
+        m.calibration = Some(Calibration {
+            per_frame_s: 1e-4,
+            per_byte_s: 1e-9,
+            stage_overhead_s: 1e-3,
+            stash_byte_s: 1e-9,
+            compute_slots: 0,
+        });
+        let cal = m.throughput(&part, &st);
+        assert!(
+            cal < raw,
+            "calibrated must price in overheads: {cal} vs {raw}"
+        );
+    }
+
+    #[test]
+    fn one_compute_slot_serializes_the_stages() {
+        let (st, p) = setup(100.0);
+        let mut m = model(&p, ScheduleKind::PipeDreamAsync);
+        m.calibration = Some(Calibration::zero());
+        let part = two_stage();
+        let uncontended = m.evaluate(&part, &st);
+        // One slot: both stage threads share a single core, so the
+        // iteration unit is the *sum* of stage occupancies, not the max.
+        let mut c = Calibration::zero();
+        c.compute_slots = 1;
+        m.calibration = Some(c);
+        let serialized = m.evaluate(&part, &st);
+        let sum: f64 = uncontended.stage_times.iter().sum();
+        let unit = serialized.iteration_time - m.framework.per_iter_overhead;
+        assert!((unit - sum).abs() < 1e-12, "{unit} vs {sum}");
+        assert_eq!(
+            serialized.bottleneck,
+            part.n_stages() + 1,
+            "bottleneck index past stages and cuts means host capacity"
+        );
+        // Slots >= stages: capacity can't bind, prediction is unchanged.
+        c.compute_slots = 2;
+        m.calibration = Some(c);
+        let fits = m.evaluate(&part, &st);
+        assert_eq!(fits.iteration_time, uncontended.iteration_time);
     }
 
     #[test]

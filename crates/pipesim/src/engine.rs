@@ -27,6 +27,7 @@ use std::collections::{BTreeSet, HashMap};
 use ap_cluster::{max_min_fair_rates, ClusterState, EventKind, Flow, GpuId, ResourceTimeline};
 use ap_models::ModelProfile;
 
+use crate::calibration::Calibration;
 use crate::framework::Framework;
 use crate::partition::{Partition, PartitionError};
 use crate::schedule::ScheduleKind;
@@ -294,6 +295,9 @@ pub struct EngineConfig {
     pub schedule: ScheduleKind,
     /// Record per-worker busy segments (costs memory).
     pub record_timeline: bool,
+    /// Fitted runtime overheads (codec, stash, dispatch) charged as
+    /// extra task time; `None` simulates the raw compute/wire model.
+    pub calibration: Option<Calibration>,
 }
 
 impl Default for EngineConfig {
@@ -303,6 +307,7 @@ impl Default for EngineConfig {
             framework: Framework::pytorch(),
             schedule: ScheduleKind::PipeDreamAsync,
             record_timeline: false,
+            calibration: None,
         }
     }
 }
@@ -579,13 +584,76 @@ impl<'a> Engine<'a> {
         self.state.effective_flops(self.workers[worker]) * self.cfg.framework.compute_efficiency
     }
 
+    /// Calibrated extra seconds a task occupies its stage thread beyond
+    /// layer compute: codec ops on each boundary, the stash snapshot on
+    /// forwards, and the fixed dispatch residual (split evenly between
+    /// the forward and backward halves). Byte counts are per unit, so
+    /// micro-batched schedules pay per-micro-batch codec costs.
+    fn task_extra_seconds(&self, task: Task, epoch: &Epoch) -> f64 {
+        let Some(c) = self.cfg.calibration else {
+            return 0.0;
+        };
+        let last = epoch.partition.n_stages() - 1;
+        let st = &epoch.partition.stages[task.stage];
+        let micro = self.micro as f64;
+        let in_bytes =
+            (task.stage > 0).then(|| self.profile.cut_bytes(st.layers.start - 1) / micro);
+        let out_bytes =
+            (task.stage < last).then(|| self.profile.cut_bytes(st.layers.end - 1) / micro);
+        match task.kind {
+            WorkKind::Forward => {
+                let stashes = self.cfg.schedule.is_async()
+                    && epoch.partition.in_flight > 1
+                    && task.stage < last;
+                let stash_bytes = if stashes {
+                    epoch.partition.stage_param_bytes(task.stage, self.profile)
+                } else {
+                    0.0
+                };
+                c.forward_extra_s(in_bytes, out_bytes, stash_bytes)
+            }
+            WorkKind::Backward => c.backward_extra_s(in_bytes, out_bytes),
+        }
+    }
+
+    /// Fraction of its nominal rate each in-flight compute task gets
+    /// right now. A calibration with `compute_slots > 0` says every
+    /// worker in this simulation is really a thread on one host with
+    /// that many cores (the setup the calibration was fitted on); when
+    /// more tasks are busy than cores exist, the OS scheduler
+    /// processor-shares them fairly. The model is work-conserving — a
+    /// core freed by a blocked stage immediately speeds up the others —
+    /// so a backlogged host sustains exactly `compute_slots`
+    /// stage-seconds of occupancy per wall-second, the same capacity
+    /// bound the analytic model's `host_capacity_time` folds in. Without
+    /// a calibration (cluster simulations, where workers are genuinely
+    /// separate devices) every task runs at full rate.
+    fn compute_share(&self) -> f64 {
+        let Some(c) = self.cfg.calibration else {
+            return 1.0;
+        };
+        if c.compute_slots == 0 {
+            return 1.0;
+        }
+        let busy = self
+            .activities
+            .iter()
+            .filter(|a| matches!(a, Activity::Compute { .. }))
+            .count();
+        if busy <= c.compute_slots {
+            return 1.0;
+        }
+        c.compute_slots as f64 / busy as f64
+    }
+
     /// Effective FLOPs a task costs on its owner (sync time folded in for
     /// async backward passes at the owner's current rate).
     fn task_flops(&self, task: Task, worker: usize) -> f64 {
         let epoch = self.epoch_for(task.unit);
+        let extra = self.task_extra_seconds(task, epoch) * self.compute_rate(worker);
         match task.kind {
             WorkKind::Forward => {
-                let mut f = epoch.stage_fwd_flops[task.stage];
+                let mut f = epoch.stage_fwd_flops[task.stage] + extra;
                 // Per-iteration framework overhead charged on entry.
                 if task.stage == 0 {
                     f += self.cfg.framework.per_iter_overhead / self.micro as f64
@@ -596,8 +664,7 @@ impl<'a> Engine<'a> {
             WorkKind::Backward => {
                 // Gradient sync is a real network flow launched at
                 // completion (see `launch_sync`), not folded time.
-                let _ = worker;
-                epoch.stage_bwd_flops[task.stage]
+                epoch.stage_bwd_flops[task.stage] + extra
             }
         }
     }
@@ -1300,6 +1367,7 @@ impl<'a> Engine<'a> {
         }
         // Earliest completion among activities at current rates.
         let rates = self.transfer_rates();
+        let share = self.compute_share();
         let mut t_done = f64::INFINITY;
         let mut ti = 0usize;
         for a in &self.activities {
@@ -1308,7 +1376,7 @@ impl<'a> Engine<'a> {
                     worker,
                     remaining_flops,
                     ..
-                } => remaining_flops / self.compute_rate(*worker).max(1e-6),
+                } => remaining_flops / (self.compute_rate(*worker) * share).max(1e-6),
                 Activity::Transfer {
                     remaining_bytes, ..
                 } => remaining_bytes / rates[ti].max(1e-3),
@@ -1370,6 +1438,9 @@ impl<'a> Engine<'a> {
         let dt = t - self.now;
         debug_assert!(dt >= -1e-9, "time went backwards");
         let rates = self.transfer_rates();
+        // The busy set only changes at event boundaries, so one share
+        // value is exact for the whole [now, t] interval.
+        let share = self.compute_share();
         let mut ti = 0usize;
         for a in &mut self.activities {
             match a {
@@ -1379,7 +1450,8 @@ impl<'a> Engine<'a> {
                     ..
                 } => {
                     let rate = self.state.effective_flops(self.workers[*worker])
-                        * self.cfg.framework.compute_efficiency;
+                        * self.cfg.framework.compute_efficiency
+                        * share;
                     *remaining_flops -= rate * dt;
                 }
                 Activity::Transfer {
@@ -1515,6 +1587,68 @@ mod tests {
             assert!(w[1].finish >= w[0].finish);
         }
         assert!(r.throughput() > 0.0);
+    }
+
+    #[test]
+    fn one_compute_slot_removes_the_pipelining_win() {
+        // Same 4-stage pipeline, but a calibration says all four
+        // "workers" are threads sharing one core. Processor sharing is
+        // work-conserving, so throughput collapses to roughly the
+        // serialized sum of stage work — within a few percent of the
+        // in_flight=1 schedule on the same host — while the uncontended
+        // run keeps its ~4x pipelining win.
+        let topo = ClusterTopology::single_switch(4, 1, GpuKind::P100, 100.0);
+        let model = synthetic_uniform(8, 2e9, 4e6, 8e6);
+        let profile = ModelProfile::with_batch(&model, 32);
+        let mk = |in_flight| Partition {
+            stages: vec![
+                Stage::new(0..2, vec![GpuId(0)]),
+                Stage::new(2..4, vec![GpuId(1)]),
+                Stage::new(4..6, vec![GpuId(2)]),
+                Stage::new(6..8, vec![GpuId(3)]),
+            ],
+            in_flight,
+        };
+        let run = |p: Partition, slots: usize| {
+            let calibration = (slots > 0).then(|| {
+                let mut c = Calibration::zero();
+                c.compute_slots = slots;
+                c
+            });
+            Engine::new(
+                &profile,
+                p,
+                ClusterState::new(topo.clone()),
+                ResourceTimeline::empty(),
+                EngineConfig {
+                    calibration,
+                    ..EngineConfig::default()
+                },
+            )
+            .expect("valid")
+            .run(30)
+            .expect("run")
+            .steady_throughput(8)
+        };
+        let uncontended = run(mk(4), 0);
+        let one_core = run(mk(4), 1);
+        let sequential = run(mk(1), 1);
+        assert!(
+            uncontended > 2.5 * one_core,
+            "one slot should erase the pipeline win: {one_core} vs {uncontended}"
+        );
+        let ratio = one_core / sequential;
+        assert!(
+            (0.9..1.5).contains(&ratio),
+            "one-core pipelining should track serialized execution: \
+             pipelined {one_core} vs sequential {sequential}"
+        );
+        // Plenty of slots behaves exactly like no calibration at all.
+        let roomy = run(mk(4), 4);
+        assert!(
+            (roomy / uncontended - 1.0).abs() < 1e-9,
+            "{roomy} vs {uncontended}"
+        );
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //!   accuracy curves (BSP / TAP / weight-stashing semantics, Figure 11).
 
 pub mod analytic;
+pub mod calibration;
 pub mod convergence;
 pub mod engine;
 pub mod framework;
@@ -37,6 +38,7 @@ pub mod sync;
 pub mod trace;
 
 pub use analytic::AnalyticModel;
+pub use calibration::Calibration;
 pub use convergence::{accuracy_curve, ConvergenceModel, Paradigm};
 pub use engine::{
     Engine, EngineConfig, FaultRecord, IterationRecord, SimError, SimResult, TimelineSegment,

@@ -51,6 +51,7 @@ fn throughput(p: &Partition, gbps: f64, contended: &[usize], scheme: SyncScheme)
         scheme,
         framework: Framework::pytorch(),
         schedule: ScheduleKind::PipeDreamAsync,
+        calibration: None,
     };
     m.throughput(p, &st)
 }
@@ -106,6 +107,7 @@ fn evaluation_is_consistent() {
                 scheme,
                 framework: Framework::pytorch(),
                 schedule: ScheduleKind::PipeDreamAsync,
+                calibration: None,
             };
             let e = m.evaluate(&p, &st);
             assert!(

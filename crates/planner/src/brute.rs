@@ -119,6 +119,7 @@ mod tests {
             scheme: SyncScheme::RingAllReduce,
             framework: Framework::pytorch(),
             schedule: ScheduleKind::PipeDreamAsync,
+            calibration: None,
         };
         let st = state(2, 100.0);
         let workers: Vec<GpuId> = (0..2).map(GpuId).collect();
@@ -146,6 +147,7 @@ mod tests {
             scheme: SyncScheme::ParameterServer,
             framework: Framework::mxnet(),
             schedule: ScheduleKind::PipeDreamAsync,
+            calibration: None,
         };
         let st = state(3, 25.0);
         let workers: Vec<GpuId> = (0..3).map(GpuId).collect();
@@ -174,6 +176,7 @@ mod tests {
             scheme: SyncScheme::RingAllReduce,
             framework: Framework::pytorch(),
             schedule: ScheduleKind::PipeDreamAsync,
+            calibration: None,
         };
         let st = state(1, 10.0);
         let p = brute_force_plan(&m, &[GpuId(0)], &st, 4);

@@ -23,7 +23,9 @@ use ap_cluster::{
 };
 use ap_json::{Json, ToJson};
 use ap_models::{ModelDesc, ModelProfile};
-use ap_pipesim::{Engine, EngineConfig, Framework, Partition, ScheduleKind, Stage, SyncScheme};
+use ap_pipesim::{
+    Calibration, Engine, EngineConfig, Framework, Partition, ScheduleKind, Stage, SyncScheme,
+};
 use ap_planner::{pipedream_plan, sort_stage_workers_by, PipeDreamView};
 use autopipe::controller::enumerate::MoveEnumerator;
 use autopipe::controller::stages::{Enumerate, Score, ScoreCtx};
@@ -324,12 +326,16 @@ impl ClusterSpec {
 }
 
 /// Planner knobs a request may override.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlannerConfig {
     /// Greedy refinement rounds.
     pub refine_rounds: usize,
     /// Engine iterations per measurement.
     pub measure_iters: usize,
+    /// Fitted runtime overheads (see `ap_pipesim::Calibration`); when
+    /// present the plan is scored and verified against the calibrated
+    /// cost model instead of the raw one.
+    pub calibration: Option<Calibration>,
 }
 
 impl Default for PlannerConfig {
@@ -337,6 +343,7 @@ impl Default for PlannerConfig {
         PlannerConfig {
             refine_rounds: 40,
             measure_iters: 10,
+            calibration: None,
         }
     }
 }
@@ -356,9 +363,22 @@ impl PlannerConfig {
                 ))
             }
         };
+        let calibration = match obj.get("calibration") {
+            None | Some(Json::Null) => None,
+            Some(v @ Json::Obj(_)) => {
+                Some(Calibration::from_json(v).map_err(|e| ApiError::bad_request("bad-field", e))?)
+            }
+            Some(_) => {
+                return Err(ApiError::bad_request(
+                    "bad-field",
+                    "planner.calibration must be an object",
+                ))
+            }
+        };
         Ok(PlannerConfig {
             refine_rounds: usize_field(obj, "refine_rounds", d.refine_rounds, 1, 200)?,
             measure_iters: usize_field(obj, "measure_iters", d.measure_iters, 1, 256)?,
+            calibration,
         })
     }
 
@@ -367,6 +387,13 @@ impl PlannerConfig {
         Json::obj(vec![
             ("refine_rounds", self.refine_rounds.to_json()),
             ("measure_iters", self.measure_iters.to_json()),
+            (
+                "calibration",
+                match self.calibration {
+                    Some(c) => c.to_json(),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 }
@@ -468,6 +495,7 @@ fn engine_throughput(
     partition: &Partition,
     state: &ClusterState,
     iterations: usize,
+    calibration: Option<Calibration>,
 ) -> Result<f64, ApiError> {
     let (scheme, framework, schedule) = experiment_env();
     let cfg = EngineConfig {
@@ -475,6 +503,7 @@ fn engine_throughput(
         framework,
         schedule,
         record_timeline: false,
+        calibration,
     };
     let engine = Engine::new(
         profile,
@@ -521,6 +550,7 @@ pub fn compute_plan(req: &PlanRequest) -> Result<Json, ApiError> {
         scheme,
         framework,
         schedule,
+        calibration: req.planner.calibration,
         history: &history,
         state: &state,
     };
@@ -562,12 +592,23 @@ pub fn compute_plan(req: &PlanRequest) -> Result<Json, ApiError> {
 
     // Verify by measurement: the accepted plan never loses to the
     // PipeDream seed on the engine.
-    let start_measured = engine_throughput(&profile, &start, &state, req.planner.measure_iters)?;
+    let start_measured = engine_throughput(
+        &profile,
+        &start,
+        &state,
+        req.planner.measure_iters,
+        req.planner.calibration,
+    )?;
     let (chosen, measured, refined_won) = if current == start {
         (start.clone(), start_measured, false)
     } else {
-        let refined_measured =
-            engine_throughput(&profile, &current, &state, req.planner.measure_iters)?;
+        let refined_measured = engine_throughput(
+            &profile,
+            &current,
+            &state,
+            req.planner.measure_iters,
+            req.planner.calibration,
+        )?;
         if refined_measured > start_measured {
             (current.clone(), refined_measured, true)
         } else {
@@ -740,6 +781,7 @@ pub fn compute_simulate(req: &SimulateRequest) -> Result<Json, ApiError> {
         framework,
         schedule,
         record_timeline: false,
+        calibration: None,
     };
     let engine = Engine::new(
         &profile,

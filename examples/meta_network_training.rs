@@ -31,6 +31,7 @@ fn main() {
         scheme: cfg.scheme,
         framework: cfg.framework,
         schedule: cfg.schedule,
+        calibration: None,
     };
     let encoder = FeatureEncoder;
     let mut profiler = Profiler::new(&profile, 0.0, 3);

@@ -68,6 +68,7 @@ fn main() {
         scheme: SyncScheme::RingAllReduce,
         framework: Framework::pytorch(),
         schedule: ScheduleKind::PipeDreamAsync,
+        calibration: None,
     };
     let mut by_speed = gpus.clone();
     by_speed.sort_by(|&a, &b| {

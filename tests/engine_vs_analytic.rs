@@ -15,6 +15,7 @@ fn agreement(profile: &ModelProfile, partition: &Partition, link_gbps: f64) -> (
         scheme: ap_pipesim::SyncScheme::RingAllReduce,
         framework: ap_pipesim::Framework::pytorch(),
         schedule: ap_pipesim::ScheduleKind::PipeDreamAsync,
+        calibration: None,
     };
     let analytic = model.throughput(partition, &state);
     let engine = Engine::new(

@@ -51,11 +51,15 @@ echo "== exec smoke =="
 # byte-identical — including the calibrated predictions and the emitted
 # calibration.json (smoke pins synthetic calibration constants, and the
 # engine's calibrated simulation is deterministic).
+# Both an async and a flush schedule replay the same IR contract, so the
+# determinism gate runs per schedule kind.
 exec_tmp="$(mktemp -d)"
 trap 'rm -rf "$serve_tmp" "$exec_tmp"' EXIT
-cargo run --release --offline -p ap-bench --bin repro -- exec-validate --smoke --calibrate --json "$exec_tmp/a"
-AP_PAR_THREADS=1 cargo run --release --offline -p ap-bench --bin repro -- exec-validate --smoke --calibrate --json "$exec_tmp/b"
-cmp "$exec_tmp/a/exec_validate.json" "$exec_tmp/b/exec_validate.json"
-cmp "$exec_tmp/a/calibration.json" "$exec_tmp/b/calibration.json"
+for sched in pipedream_async gpipe; do
+  cargo run --release --offline -p ap-bench --bin repro -- exec-validate --smoke --calibrate --schedule "$sched" --json "$exec_tmp/$sched-a"
+  AP_PAR_THREADS=1 cargo run --release --offline -p ap-bench --bin repro -- exec-validate --smoke --calibrate --schedule "$sched" --json "$exec_tmp/$sched-b"
+  cmp "$exec_tmp/$sched-a/exec_validate.json" "$exec_tmp/$sched-b/exec_validate.json"
+  cmp "$exec_tmp/$sched-a/calibration.json" "$exec_tmp/$sched-b/calibration.json"
+done
 
 echo "ci: all green"

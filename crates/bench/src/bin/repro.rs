@@ -26,6 +26,7 @@ use ap_bench::experiments::{
     pipeline_fill, serve_bench, static_alloc,
 };
 use ap_bench::json::ToJson;
+use ap_pipesim::ScheduleKind;
 
 /// Every experiment name with a one-line description (`repro list`).
 const EXPERIMENTS: &[(&str, &str)] = &[
@@ -151,21 +152,47 @@ fn main() {
     if run("exec-validate") {
         let smoke = args.iter().any(|a| a == "--smoke");
         let calibrate = args.iter().any(|a| a == "--calibrate");
-        run_exec_validate(smoke, calibrate, &json_dir);
+        let schedules = match args
+            .iter()
+            .position(|a| a == "--schedule")
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+        {
+            None => vec![ScheduleKind::PipeDreamAsync],
+            Some("all") => ScheduleKind::zoo().to_vec(),
+            Some(id) => match ScheduleKind::parse(id) {
+                Some(k) => vec![k],
+                None => {
+                    eprintln!("unknown schedule '{id}'; valid: all");
+                    for k in ScheduleKind::zoo() {
+                        eprintln!("  {}", k.id());
+                    }
+                    std::process::exit(2);
+                }
+            },
+        };
+        run_exec_validate(smoke, calibrate, &schedules, &json_dir);
     }
 }
 
-/// Simulator-vs-reality: run the same (model, partition, bandwidth)
-/// configs on the real `ap-exec` pipeline runtime and as an engine
+/// Simulator-vs-reality: run the same (schedule, partition, bandwidth)
+/// configs on the real `ap-exec` pipeline runtime and as an IR-priced
 /// prediction seeded from a host calibration pass, then replay one
-/// controller-driven §4.4 reconfiguration live. The full run exports
-/// `BENCH_exec.json`; `--smoke` zeroes every wall-clock-derived field so
-/// its `--json` output is byte-identical across runs and `AP_PAR_THREADS`
-/// settings. Exits non-zero if the pipeline drains during the switch, a
-/// pre-cutover loss diverges, or training fails to make progress.
-fn run_exec_validate(smoke: bool, calibrate: bool, json: &Option<PathBuf>) {
+/// controller-driven §4.4 reconfiguration live. `--schedule <id|all>`
+/// picks which pipeline schedules get sim-vs-real rows (default
+/// `pipedream_async`). The full run exports `BENCH_exec.json`; `--smoke`
+/// zeroes every wall-clock-derived field so its `--json` output is
+/// byte-identical across runs and `AP_PAR_THREADS` settings. Exits
+/// non-zero if the pipeline drains during the switch, a pre-cutover loss
+/// diverges, or training fails to make progress.
+fn run_exec_validate(
+    smoke: bool,
+    calibrate: bool,
+    schedules: &[ScheduleKind],
+    json: &Option<PathBuf>,
+) {
     println!("\n## Exec — real pipeline runtime vs simulator prediction\n");
-    let r = match exec_validate::run(smoke) {
+    let r = match exec_validate::run_schedules(smoke, schedules) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("exec-validate failed to run: {e}");

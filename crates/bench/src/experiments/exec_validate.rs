@@ -27,13 +27,14 @@
 //! `AP_PAR_THREADS` settings.
 
 use ap_cluster::gpu::GpuKind;
-use ap_cluster::{gbps, ClusterState, ClusterTopology, GpuId, ResourceTimeline};
+use ap_cluster::{gbps, ClusterState, ClusterTopology, GpuId};
 use ap_exec::runtime::{run_pipeline, ExecResult, ExecSpec, SwitchSpec};
 use ap_exec::{calibrate_layer_times, fit_calibration, metrics_from_times};
+use ap_ir::generate;
 use ap_models::ModelProfile;
 use ap_nn::ActKind;
 use ap_pipesim::{
-    AnalyticModel, Calibration, Engine, EngineConfig, Framework, Partition, ScheduleKind, Stage,
+    AnalyticModel, Calibration, Framework, Partition, ProgramPricer, ScheduleKind, Stage,
     SwitchPlan, SyncScheme,
 };
 use autopipe::controller::hill_climb;
@@ -47,16 +48,19 @@ pub const RANKING_MARGIN: f64 = 0.02;
 /// Measured vs predicted throughput for one (partition, bandwidth) cell.
 #[derive(Debug, Clone)]
 pub struct PartitionRow {
-    /// Human label, e.g. `cuts=[2,4] @ 1 Gbps`.
+    /// Human label, e.g. `pipedream_async cuts=[2,4] @ 1 Gbps`.
     pub label: String,
+    /// Schedule id this cell ran under (`ScheduleKind::id`).
+    pub schedule: String,
     /// Interior stage boundaries.
     pub cuts: Vec<usize>,
     /// 1F1B in-flight depth.
     pub in_flight: usize,
     /// Link throttle, Gbps.
     pub link_gbps: f64,
-    /// Engine-predicted steady throughput with the raw (uncalibrated)
-    /// cost model, samples/s. Deterministic in smoke (synthetic times).
+    /// IR-priced steady throughput with the raw (uncalibrated) cost
+    /// model, samples/s: [`ProgramPricer`] walking the same op-program
+    /// ap-exec replays. Deterministic in smoke (synthetic times).
     pub predicted: f64,
     /// Analytically predicted steady throughput with the fitted
     /// calibration applied, samples/s — the same closed form the planner
@@ -223,7 +227,13 @@ impl Campaign {
         }
     }
 
-    fn spec(&self, cuts: &[usize], link_gbps: f64, switch: Option<SwitchSpec>) -> ExecSpec {
+    fn spec(
+        &self,
+        kind: ScheduleKind,
+        cuts: &[usize],
+        link_gbps: f64,
+        switch: Option<SwitchSpec>,
+    ) -> ExecSpec {
         ExecSpec {
             sizes: self.sizes.clone(),
             act: ActKind::Tanh,
@@ -231,6 +241,7 @@ impl Campaign {
             batch: self.batch,
             lr: self.lr,
             cuts: cuts.to_vec(),
+            schedule: kind,
             in_flight: self.in_flight,
             total: self.total,
             bytes_per_sec: Some(gbps(link_gbps)),
@@ -275,7 +286,7 @@ impl Campaign {
                 compute_slots: 2,
             })
         } else {
-            fit_calibration(&self.spec(&[2, 4], 1.0, None))
+            fit_calibration(&self.spec(ScheduleKind::PipeDreamAsync, &[2, 4], 1.0, None))
         }
     }
 
@@ -319,16 +330,6 @@ fn partition_for(cuts: &[usize], n_layers: usize, in_flight: usize) -> Partition
     Partition { stages, in_flight }
 }
 
-fn engine_cfg(calibration: Option<Calibration>) -> EngineConfig {
-    EngineConfig {
-        scheme: SyncScheme::RingAllReduce,
-        framework: bare_metal(),
-        schedule: ScheduleKind::PipeDreamAsync,
-        record_timeline: false,
-        calibration,
-    }
-}
-
 fn exec_state(n_stages: usize, link_gbps: f64) -> ClusterState {
     ClusterState::new(ClusterTopology::single_switch(
         n_stages,
@@ -338,9 +339,12 @@ fn exec_state(n_stages: usize, link_gbps: f64) -> ClusterState {
     ))
 }
 
-/// Engine-predicted steady throughput in samples/s for one cell.
+/// IR-priced steady throughput in samples/s for one cell: generate the
+/// schedule's op-program and walk it with [`ProgramPricer`] — the exact
+/// program ap-exec replays, priced instead of run.
 fn predict(
     profile: &ModelProfile,
+    kind: ScheduleKind,
     cuts: &[usize],
     in_flight: usize,
     link_gbps: f64,
@@ -348,17 +352,17 @@ fn predict(
 ) -> Result<f64, String> {
     let partition = partition_for(cuts, profile.n_layers(), in_flight);
     let state = exec_state(partition.n_stages(), link_gbps);
-    let engine = Engine::new(
-        profile,
-        partition,
-        state,
-        ResourceTimeline::empty(),
-        engine_cfg(calibration),
-    )
-    .map_err(|e| format!("engine rejected partition {cuts:?}: {e:?}"))?;
     let n = 48;
-    let r = engine.run(n).map_err(|e| format!("engine run: {e:?}"))?;
-    Ok(r.steady_throughput(n / 3))
+    let program = generate(kind, partition.n_stages(), n, in_flight);
+    let pricer = ProgramPricer {
+        profile,
+        partition: &partition,
+        state: &state,
+        framework: bare_metal(),
+        calibration,
+    };
+    let eval = pricer.price(&program)?;
+    Ok(eval.steady_throughput(n as usize / 3))
 }
 
 /// Calibrated prediction from the closed-form analytic model — the form
@@ -366,6 +370,7 @@ fn predict(
 /// reality is the number that decides whether planning can be trusted.
 fn predict_calibrated(
     profile: &ModelProfile,
+    kind: ScheduleKind,
     cuts: &[usize],
     in_flight: usize,
     link_gbps: f64,
@@ -377,7 +382,7 @@ fn predict_calibrated(
         profile,
         scheme: SyncScheme::RingAllReduce,
         framework: bare_metal(),
-        schedule: ScheduleKind::PipeDreamAsync,
+        schedule: kind,
         calibration: Some(calibration),
     };
     model.throughput(&partition, &state)
@@ -385,16 +390,18 @@ fn predict_calibrated(
 
 fn run_cell(
     c: &Campaign,
+    kind: ScheduleKind,
     cuts: &[usize],
     link_gbps: f64,
     cal: Calibration,
 ) -> Result<PartitionRow, String> {
-    let spec = c.spec(cuts, link_gbps, None);
+    let spec = c.spec(kind, cuts, link_gbps, None);
     let r = run_pipeline(&spec)?;
     // Both predictions are pure simulation — deterministic even in smoke.
     let profile = c.profile(link_gbps)?;
-    let predicted = predict(&profile, cuts, c.in_flight, link_gbps, None)?;
-    let predicted_calibrated = predict_calibrated(&profile, cuts, c.in_flight, link_gbps, cal);
+    let predicted = predict(&profile, kind, cuts, c.in_flight, link_gbps, None)?;
+    let predicted_calibrated =
+        predict_calibrated(&profile, kind, cuts, c.in_flight, link_gbps, cal);
     // Measured throughput is wall clock; zero it in smoke so reports are
     // byte-identical across reruns. Full mode takes the best of three
     // runs: the layer-time fit is a median over short quiet windows, so
@@ -419,7 +426,8 @@ fn run_cell(
         }
     };
     Ok(PartitionRow {
-        label: format!("cuts={cuts:?} @ {link_gbps} Gbps"),
+        label: format!("{} cuts={cuts:?} @ {link_gbps} Gbps", kind.id()),
+        schedule: kind.id().to_string(),
         cuts: cuts.to_vec(),
         in_flight: c.in_flight,
         link_gbps,
@@ -437,8 +445,21 @@ fn run_cell(
             .sum(),
         first_loss: r.losses[0],
         last_loss: *r.losses.last().unwrap(),
-        loss_decreased: *r.losses.last().unwrap() < r.losses[0],
+        loss_decreased: lap_loss_decreased(&r.losses, 4),
     })
+}
+
+/// Training progress on cycling data: the mean loss over the last lap
+/// through the `distinct` mini-batches must sit below the first lap's.
+/// (Comparing `losses[0]` to the final loss directly would compare two
+/// *different* data batches — unfair to schedules that defer updates to
+/// generation boundaries, like PipeDream-2BW.)
+fn lap_loss_decreased(losses: &[f64], distinct: usize) -> bool {
+    if losses.len() < 2 * distinct {
+        return losses.last() < losses.first();
+    }
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    mean(&losses[losses.len() - distinct..]) < mean(&losses[..distinct])
 }
 
 /// Clamp a controller proposal to one boundary move (the unit the runtime
@@ -497,6 +518,7 @@ fn replay_migration(
     );
 
     let spec = c.spec(
+        ScheduleKind::PipeDreamAsync,
         &from_cuts,
         link_gbps,
         Some(SwitchSpec {
@@ -510,7 +532,8 @@ fn replay_migration(
         .as_ref()
         .ok_or("switch configured but no migration report")?;
 
-    let plain: ExecResult = run_pipeline(&c.spec(&from_cuts, link_gbps, None))?;
+    let plain: ExecResult =
+        run_pipeline(&c.spec(ScheduleKind::PipeDreamAsync, &from_cuts, link_gbps, None))?;
     let k = cutover as usize;
     let pre_match = r.losses[..k] == plain.losses[..k];
 
@@ -531,8 +554,19 @@ fn replay_migration(
     })
 }
 
-/// Run the whole campaign.
+/// Run the whole campaign for one schedule (PipeDream async: the
+/// historical default report).
 pub fn run(smoke: bool) -> Result<ExecValidateResult, String> {
+    run_schedules(smoke, &[ScheduleKind::PipeDreamAsync])
+}
+
+/// Run the campaign with one block of sim-vs-real rows per schedule.
+/// The §4.4 migration replay always runs under PipeDream async (the only
+/// schedule the runtime live-switches).
+pub fn run_schedules(
+    smoke: bool,
+    schedules: &[ScheduleKind],
+) -> Result<ExecValidateResult, String> {
     let c = Campaign::new(smoke);
     let cal = c.calibration()?;
     let cells: &[(&[usize], f64)] = &[
@@ -542,9 +576,11 @@ pub fn run(smoke: bool) -> Result<ExecValidateResult, String> {
         (&[2, 4], 4.0),
         (&[1, 3], 4.0),
     ];
-    let mut rows = Vec::with_capacity(cells.len());
-    for (cuts, g) in cells {
-        rows.push(run_cell(&c, cuts, *g, cal)?);
+    let mut rows = Vec::with_capacity(cells.len() * schedules.len());
+    for &kind in schedules {
+        for (cuts, g) in cells {
+            rows.push(run_cell(&c, kind, cuts, *g, cal)?);
+        }
     }
     let migration = replay_migration(&c, 1.0, cal)?;
     Ok(ExecValidateResult {
@@ -610,6 +646,7 @@ mod tests {
             ScheduleKind::PipeDreamAsync,
         );
         let spec = c.spec(
+            ScheduleKind::PipeDreamAsync,
             &from_cuts,
             1.0,
             Some(SwitchSpec {

@@ -113,6 +113,7 @@ impl ToJson for crate::experiments::exec_validate::PartitionRow {
     fn to_json(&self) -> Json {
         Json::obj(vec![
             ("label", self.label.to_json()),
+            ("schedule", self.schedule.to_json()),
             ("cuts", self.cuts.to_json()),
             ("in_flight", self.in_flight.to_json()),
             ("link_gbps", self.link_gbps.to_json()),

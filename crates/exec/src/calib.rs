@@ -131,6 +131,7 @@ mod tests {
             batch: 8,
             lr: 0.05,
             cuts: vec![2],
+            schedule: ap_ir::ScheduleKind::PipeDreamAsync,
             in_flight: 2,
             total: 8,
             bytes_per_sec: None,

@@ -35,6 +35,7 @@ pub mod profiler;
 pub mod runtime;
 pub mod schedule;
 
+pub use ap_ir::ScheduleKind;
 pub use calib::fit_calibration;
 pub use channel::{ByteChannel, ChannelStats};
 pub use codec::{

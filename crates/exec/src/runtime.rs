@@ -1,5 +1,19 @@
-//! The pipeline runtime: stage threads, 1F1B execution, weight stashing,
-//! and live fine-grained state switching.
+//! The pipeline runtime: stage threads replaying a schedule-IR program
+//! against real tensors, with weight stashing and live fine-grained state
+//! switching.
+//!
+//! ## One IR, two engines
+//!
+//! The runtime no longer owns its schedule logic: it asks [`ap_ir`] for
+//! the declarative op-program of the requested [`ScheduleKind`]
+//! (PipeDream async 1F1B, GPipe with recompute, DAPPLE, Chimera,
+//! PipeDream-2BW) and replays each stage's op sequence literally —
+//! `Recv`/`Send` become frames on the byte channels, `StashPush` becomes
+//! a master clone, `Forward`/`Backward`/`FusedFwdLossBwd`/`Recompute`
+//! become real matrix math, `ApplyUpdate` becomes SGD on the master
+//! weights. The pipesim pricer walks the *same* program charging time
+//! (DESIGN.md §10), so simulation and execution cannot drift apart on
+//! what a schedule does.
 //!
 //! ## Threading model
 //!
@@ -7,43 +21,47 @@
 //! model. Adjacent stages are connected by two bounded byte channels (one
 //! per direction); every activation, gradient and migration payload is
 //! serialized through the codec, so the byte counters measure what really
-//! crossed the wire. A stage executes its precomputed 1F1B op list,
-//! blocking on exactly the frame each op needs — making all weight-update
+//! crossed the wire. A stage executes its static op program, blocking on
+//! exactly the frame each `Recv` needs — making all weight-update
 //! sequences, and therefore losses and final weights, independent of
 //! thread timing.
 //!
 //! ## Weight stashing
 //!
-//! A forward of mini-batch `v` clones the stage's master weights; the
-//! clone (which also holds the layer input caches) is stashed keyed by
-//! `v`. The backward of `v` runs against its own stashed copy — PipeDream
-//! weight-stashing semantics — and the resulting gradients are applied to
-//! the master with stateless SGD (`w -= lr * g`), in mini-batch order.
+//! A `StashPush` for unit `u` clones the stage's master weights; the
+//! clone (which also accumulates the layer input caches during `u`'s
+//! forward) backs `u`'s backward — PipeDream weight-stashing semantics.
+//! Units whose program carries no `StashPush` run directly on the master
+//! (the IR generator only omits the push when no other unit's update can
+//! land inside the forward→backward window, so the master *is* the
+//! stash). Deferred-apply schedules (GPipe/DAPPLE/Chimera/2BW) accumulate
+//! unit gradients into the master's gradient buffers and fold them in at
+//! `ApplyUpdate` with the per-unit learning rate `lr / units`.
 //!
 //! ## Live migration (§4.4)
 //!
 //! A [`SwitchSpec`] moves the boundary between two adjacent stages at a
 //! planned cutover mini-batch `X` while the pipeline keeps admitting
-//! work. The old owner sends, over the regular data channel (so the
-//! traffic genuinely contends with activations): first the master copy —
-//! the *latest* version, letting the new owner forward mini-batch `X`
-//! immediately — then every stashed version newest-first ("the weight
-//! copy of later active mini-batch first"). In-flight mini-batches
-//! (`v < X`) back-propagate through the old owner's retained stash
-//! copies; their updates to the moved block travel as [`Frame::Delta`]s
-//! and are applied by the new owner strictly in mini-batch order via a
-//! sequencer, so the moved master sees exactly the update sequence it
-//! would have seen without the switch. Nothing ever waits for the
-//! pipeline to empty: a drain-free invariant (in-flight ≥ 1) is sampled
-//! at every migration tick.
+//! work. In the IR this is a *splice* ([`ap_ir::generate_spliced`]): a
+//! `Send WeightState` before `X`'s forward group at the old owner — the
+//! master copy first (the *latest* version, letting the new owner forward
+//! `X` immediately), then every stashed version newest-first ("the weight
+//! copy of later active mini-batch first") — over the regular data
+//! channel, so the traffic genuinely contends with activations.
+//! In-flight mini-batches back-propagate through the old owner's retained
+//! stash copies; their updates to the moved block travel as
+//! [`Frame::Delta`]s and are applied by the new owner strictly in
+//! mini-batch order via a sequencer. Nothing ever waits for the pipeline
+//! to empty: a drain-free invariant (in-flight ≥ 1) is sampled at every
+//! migration tick.
 
 use crate::channel::{ByteChannel, ChannelStats};
 use crate::codec::{decode_view, encode_into, Frame, FrameView, LayerBlob};
 use crate::profiler::{metrics_from_times, LayerTimes};
-use crate::schedule::{stage_ops, Op};
+use ap_ir::{generate, generate_spliced, IrOp, Payload, SpliceSpec, UnitId};
 use ap_nn::mlp::MlpWeights;
 use ap_nn::{mse_loss, ActKind, Linear, Matrix, Mlp};
-use ap_pipesim::{TimelineSegment, WorkKind};
+use ap_pipesim::{ScheduleKind, TimelineSegment, WorkKind};
 use ap_rng::Rng;
 use autopipe::ProfilingMetrics;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -83,8 +101,11 @@ pub struct ExecSpec {
     /// Interior stage boundaries (ascending layer indices); empty = one
     /// stage.
     pub cuts: Vec<usize>,
+    /// Pipeline schedule to replay. Sync kinds split each mini-batch into
+    /// `schedule.micro_batches()` row slices; `batch` must divide evenly.
+    pub schedule: ScheduleKind,
     /// Mini-batches admitted concurrently (1F1B depth; also the number of
-    /// stashed weight versions).
+    /// stashed weight versions for async schedules).
     pub in_flight: usize,
     /// Mini-batches to train.
     pub total: u64,
@@ -93,7 +114,7 @@ pub struct ExecSpec {
     pub bytes_per_sec: Option<f64>,
     /// The training set cycles through this many distinct mini-batches.
     pub distinct_batches: u64,
-    /// Optional live reconfiguration.
+    /// Optional live reconfiguration (PipeDream async only).
     pub switch: Option<SwitchSpec>,
     /// Record per-op wall-clock segments (chrome-trace export).
     pub record_timeline: bool,
@@ -129,6 +150,13 @@ impl ExecSpec {
         if self.in_flight == 0 {
             return Err("in_flight must be at least 1".into());
         }
+        let m = self.schedule.micro_batches();
+        if self.batch % m != 0 {
+            return Err(format!(
+                "batch {} must divide evenly into {m} micro-batches",
+                self.batch
+            ));
+        }
         let starts = self.starts();
         for w in starts.windows(2) {
             if w[0] >= w[1] {
@@ -139,6 +167,12 @@ impl ExecSpec {
             }
         }
         if let Some(sw) = &self.switch {
+            if self.schedule != ScheduleKind::PipeDreamAsync {
+                return Err(format!(
+                    "live switching requires the pipedream_async schedule (got {})",
+                    self.schedule.id()
+                ));
+            }
             plan_move(self, sw)?;
         }
         Ok(())
@@ -288,7 +322,8 @@ pub struct ExecResult {
     pub n_stages: usize,
     /// Mini-batches fully trained.
     pub completed: u64,
-    /// Per-mini-batch training loss, in mini-batch order.
+    /// Per-mini-batch training loss, in mini-batch order (mean over
+    /// micro-batches for sync schedules).
     pub losses: Vec<f64>,
     /// Wall-clock duration of the whole run, seconds.
     pub wall_seconds: f64,
@@ -387,18 +422,6 @@ struct StashEntry {
     net: Mlp,
 }
 
-/// A stage's op after migration markers are spliced in.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum RtOp {
-    Forward(u64),
-    Backward(u64),
-    /// Old owner: capture + send master and stashed versions.
-    SendMigration,
-    /// New owner (upstream move only): block on the backward channel
-    /// until the master copy is installed.
-    WaitMaster,
-}
-
 enum Role {
     None,
     Sender,
@@ -418,9 +441,13 @@ struct Stage<'a> {
     s: usize,
     last: bool,
     spec: &'a ExecSpec,
+    /// The schedule being replayed (cached off the spec).
+    kind: ScheduleKind,
+    /// Micro-batches per mini-batch (1 for async schedules).
+    m: usize,
     lo: usize,
     master: Mlp,
-    stash: BTreeMap<u64, StashEntry>,
+    stash: BTreeMap<UnitId, StashEntry>,
     migrated_stash: BTreeMap<u64, Mlp>,
     fwd_in: Option<&'a ByteChannel>,
     fwd_out: Option<&'a ByteChannel>,
@@ -428,18 +455,24 @@ struct Stage<'a> {
     bwd_out: Option<&'a ByteChannel>,
     act_buf: VecDeque<(u64, Matrix)>,
     grad_buf: VecDeque<(u64, Matrix)>,
+    /// Received activations waiting for their `Forward`/`Fused` op.
+    pending_act: BTreeMap<UnitId, Matrix>,
+    /// Forward outputs waiting for their `Send Act` op.
+    staged_out: BTreeMap<UnitId, Matrix>,
+    /// Received gradients waiting for their `Backward` op.
+    grad_in: BTreeMap<UnitId, Matrix>,
+    /// Backward input-gradients waiting for their `Send Grad` op.
+    grad_out: BTreeMap<UnitId, Matrix>,
+    /// GPipe loss stage: recomputed outputs waiting for their backward.
+    recomputed: BTreeMap<UnitId, Matrix>,
+    /// Stash entries between `StashPop`/`Fused` and their `ApplyUpdate`
+    /// (PipeDream) or `Recompute`/`Backward` (sync kinds).
+    cur: BTreeMap<UnitId, StashEntry>,
+    /// Per-mini-batch micro-loss accumulator (sync kinds report the mean).
+    loss_acc: BTreeMap<u64, (f64, u32)>,
     plan: Option<&'a MovePlan>,
     role: Role,
     migrated: bool,
-    /// Mini-batches allowed to run directly on the master weights — no
-    /// stash clone. Computed statically from the op schedule: `v` is in
-    /// here iff no *other* mini-batch's backward (i.e. no weight update)
-    /// sits between `Forward(v)` and `Backward(v)`, so the master at
-    /// backward time is bit-identical to a stash taken at forward time.
-    /// Empty whenever a migration plan exists (stashes are the migration
-    /// payload) — so `in_flight = 1` runs and fused last-stage ops never
-    /// pay the per-mini-batch master clone.
-    direct: BTreeSet<u64>,
     seq: Option<Sequencer>,
     /// Receiver only: in-flight mini-batches whose moved-layer delta has
     /// not arrived yet.
@@ -710,11 +743,11 @@ impl<'a> Stage<'a> {
         Ok(())
     }
 
-    fn record_segment(&mut self, mb: u64, kind: WorkKind, start: f64) {
+    fn record_segment(&mut self, unit: u64, kind: WorkKind, start: f64) {
         if self.spec.record_timeline {
             self.segments.push(TimelineSegment {
                 worker: self.s,
-                unit: mb,
+                unit,
                 kind,
                 start,
                 end: self.now(),
@@ -722,104 +755,305 @@ impl<'a> Stage<'a> {
         }
     }
 
-    fn forward(&mut self, mb: u64) -> Result<(), ExecError> {
-        let x = if self.s == 0 {
-            self.in_flight.fetch_add(1, Ordering::SeqCst);
-            gen_input(self.spec, mb)
-        } else {
-            self.next_act(mb)?
-        };
-        let start = self.now();
-        let mut h = x;
-        if self.direct.contains(&mb) {
-            // No weight update can land before this mini-batch's backward,
-            // so the master *is* the stash: run on it in place. The owned
-            // forward moves `h` into the layer cache instead of cloning.
-            for i in 0..self.master.n_layers() {
-                let t = Instant::now();
-                h = self.master.forward_range_owned(i..i + 1, h);
-                self.times.fwd(self.lo + i, t.elapsed().as_secs_f64());
-            }
-        } else {
-            let mut entry = StashEntry {
-                lo: self.lo,
-                net: self.master.clone(),
-            };
-            for i in 0..entry.net.n_layers() {
-                let t = Instant::now();
-                h = entry.net.forward_range_owned(i..i + 1, h);
-                self.times.fwd(entry.lo + i, t.elapsed().as_secs_f64());
-            }
-            self.stash.insert(mb, entry);
+    /// Rows of `full` belonging to micro-batch `micro` (the whole matrix
+    /// when the schedule doesn't micro-batch).
+    fn micro_rows(&self, full: Matrix, micro: u32) -> Matrix {
+        if self.m == 1 {
+            return full;
         }
-        self.record_segment(mb, WorkKind::Forward, start);
-        if self.last {
-            let target = gen_target(self.spec, mb);
-            let (loss, g) = mse_loss(&h, &target);
-            self.losses.push((mb, loss));
-            self.backward(mb, Some(g))
+        let rows = full.rows() / self.m;
+        let cols = full.cols();
+        let lo = micro as usize * rows * cols;
+        Matrix::from_vec(rows, cols, full.data()[lo..lo + rows * cols].to_vec())
+    }
+
+    /// The input activation for a unit: synthesized at stage 0 (admitting
+    /// the mini-batch on its first micro), received otherwise.
+    fn take_input(&mut self, unit: UnitId) -> Result<Matrix, ExecError> {
+        if self.s == 0 {
+            if unit.micro == 0 {
+                self.in_flight.fetch_add(1, Ordering::SeqCst);
+            }
+            Ok(self.micro_rows(gen_input(self.spec, unit.mb), unit.micro))
         } else {
-            self.send_on(self.fwd_out, &Frame::Act { mb, data: h })?;
-            Ok(())
+            self.pending_act
+                .remove(&unit)
+                .ok_or_else(|| self.err(format!("no received activation for {unit:?}")))
         }
     }
 
-    /// Backward for a mini-batch that ran its forward directly on the
-    /// master: back-propagate in place, apply the accumulated gradients,
-    /// then zero them so the master's accumulators stay clean for any
-    /// later stash clone. Bit-identical to the stashed path because the
-    /// master cannot have changed since this mini-batch's forward.
-    fn backward_direct(&mut self, mb: u64, g_in: Matrix) -> Result<(), ExecError> {
-        let start = self.now();
-        let mut g = g_in;
-        let n = self.master.n_layers();
-        for i in (0..n).rev() {
-            let t = Instant::now();
-            g = self.master.backward_range(i..i + 1, &g);
-            self.times.bwd(self.lo + i, t.elapsed().as_secs_f64());
+    /// Record one mini-batch loss: directly for async schedules, as the
+    /// mean over micro-batches once all of them reported for sync ones.
+    fn push_loss(&mut self, mb: u64, loss: f64) {
+        if self.m == 1 {
+            self.losses.push((mb, loss));
+            return;
         }
-        self.record_segment(mb, WorkKind::Backward, start);
-        let lr = self.spec.lr;
-        for i in 0..n {
+        let e = self.loss_acc.entry(mb).or_insert((0.0, 0));
+        e.0 += loss;
+        e.1 += 1;
+        if e.1 as usize == self.m {
+            let (sum, _) = self.loss_acc.remove(&mb).unwrap();
+            self.losses.push((mb, sum / self.m as f64));
+        }
+    }
+
+    fn op_recv(&mut self, payload: Payload, unit: UnitId) -> Result<(), ExecError> {
+        match payload {
+            Payload::Act => {
+                let x = self.next_act(unit.wire(self.m))?;
+                self.pending_act.insert(unit, x);
+            }
+            Payload::Grad => {
+                let g = self.next_grad(unit.wire(self.m))?;
+                self.grad_in.insert(unit, g);
+            }
+            Payload::WeightState => self.wait_master()?,
+        }
+        Ok(())
+    }
+
+    fn op_send(&mut self, payload: Payload, unit: UnitId) -> Result<(), ExecError> {
+        match payload {
+            Payload::Act => {
+                let data = self
+                    .staged_out
+                    .remove(&unit)
+                    .ok_or_else(|| self.err(format!("no staged activation for {unit:?}")))?;
+                let mb = unit.wire(self.m);
+                self.send_on(self.fwd_out, &Frame::Act { mb, data })?;
+            }
+            Payload::Grad => {
+                let data = self
+                    .grad_out
+                    .remove(&unit)
+                    .ok_or_else(|| self.err(format!("no staged gradient for {unit:?}")))?;
+                let mb = unit.wire(self.m);
+                self.send_on(self.bwd_out, &Frame::Grad { mb, data })?;
+            }
+            Payload::WeightState => self.send_migration()?,
+        }
+        Ok(())
+    }
+
+    /// Snapshot the master for a unit. The clone's gradient buffers are
+    /// zeroed: deferred-apply schedules accumulate unit gradients in the
+    /// *master's* buffers between applies, and a stash must start clean
+    /// (for PipeDream the buffers are already zero, so this is a bitwise
+    /// no-op).
+    fn op_stash_push(&mut self, unit: UnitId) {
+        let mut net = self.master.clone();
+        net.zero_grad();
+        self.stash.insert(unit, StashEntry { lo: self.lo, net });
+    }
+
+    fn op_stash_pop(&mut self, unit: UnitId) -> Result<(), ExecError> {
+        let entry = self
+            .stash
+            .remove(&unit)
+            .ok_or_else(|| self.err(format!("no stashed version for {unit:?}")))?;
+        self.cur.insert(unit, entry);
+        Ok(())
+    }
+
+    /// Timed forward through a network, layer by layer.
+    fn timed_forward(times: &mut LayerTimes, net: &mut Mlp, lo: usize, x: Matrix) -> Matrix {
+        let mut h = x;
+        for i in 0..net.n_layers() {
+            let t = Instant::now();
+            h = net.forward_range_owned(i..i + 1, h);
+            times.fwd(lo + i, t.elapsed().as_secs_f64());
+        }
+        h
+    }
+
+    /// Timed backward through a network, layer by layer (reverse order).
+    fn timed_backward(times: &mut LayerTimes, net: &mut Mlp, lo: usize, g0: Matrix) -> Matrix {
+        let mut g = g0;
+        for i in (0..net.n_layers()).rev() {
+            let t = Instant::now();
+            g = net.backward_range(i..i + 1, &g);
+            times.bwd(lo + i, t.elapsed().as_secs_f64());
+        }
+        g
+    }
+
+    fn op_forward(&mut self, unit: UnitId) -> Result<(), ExecError> {
+        let x = self.take_input(unit)?;
+        let start = self.now();
+        let h = if let Some(mut entry) = self.stash.remove(&unit) {
+            let h = Self::timed_forward(&mut self.times, &mut entry.net, entry.lo, x);
+            self.stash.insert(unit, entry);
+            h
+        } else {
+            // No snapshot scheduled: the master *is* the stash (the IR
+            // generator guarantees no update lands before this unit's
+            // backward).
+            Self::timed_forward(&mut self.times, &mut self.master, self.lo, x)
+        };
+        self.record_segment(unit.wire(self.m), WorkKind::Forward, start);
+        if self.last {
+            // GPipe's loss stage runs a plain (unfused) forward phase: the
+            // output is discarded — activation discard is the point — and
+            // the loss comes from the recompute in the backward phase.
+            drop(h);
+        } else {
+            self.staged_out.insert(unit, h);
+        }
+        Ok(())
+    }
+
+    /// The last-stage fusion: forward, loss and backward as one atomic
+    /// op. On the stashed path (only under a migration splice) the entry
+    /// is kept for the `ApplyUpdate` that routes its gradients.
+    fn op_fused(&mut self, unit: UnitId) -> Result<(), ExecError> {
+        let x = self.take_input(unit)?;
+        let w = unit.wire(self.m);
+        let start = self.now();
+        if let Some(mut entry) = self.stash.remove(&unit) {
+            let h = Self::timed_forward(&mut self.times, &mut entry.net, entry.lo, x);
+            self.record_segment(w, WorkKind::Forward, start);
+            let target = self.micro_rows(gen_target(self.spec, unit.mb), unit.micro);
+            let (loss, g0) = mse_loss(&h, &target);
+            self.push_loss(unit.mb, loss);
+            let start = self.now();
+            let g = Self::timed_backward(&mut self.times, &mut entry.net, entry.lo, g0);
+            self.record_segment(w, WorkKind::Backward, start);
+            self.cur.insert(unit, entry);
+            if self.s > 0 {
+                self.grad_out.insert(unit, g);
+            }
+        } else {
+            let h = Self::timed_forward(&mut self.times, &mut self.master, self.lo, x);
+            self.record_segment(w, WorkKind::Forward, start);
+            let target = self.micro_rows(gen_target(self.spec, unit.mb), unit.micro);
+            let (loss, g0) = mse_loss(&h, &target);
+            self.push_loss(unit.mb, loss);
+            let start = self.now();
+            let g = Self::timed_backward(&mut self.times, &mut self.master, self.lo, g0);
+            self.record_segment(w, WorkKind::Backward, start);
+            // Gradients stay accumulated in the master's buffers for the
+            // ApplyUpdate that follows (possibly after more fused units).
+            if self.s > 0 {
+                self.grad_out.insert(unit, g);
+            }
+        }
+        Ok(())
+    }
+
+    /// GPipe's recompute: re-run the unit's forward on its stash entry
+    /// from the cached input, paying real compute time and rebuilding the
+    /// backward state the flush discarded.
+    fn op_recompute(&mut self, unit: UnitId) -> Result<(), ExecError> {
+        let mut entry = self
+            .cur
+            .remove(&unit)
+            .ok_or_else(|| self.err(format!("recompute without a popped stash for {unit:?}")))?;
+        let input = entry
+            .net
+            .layer_input(0)
+            .cloned()
+            .ok_or_else(|| self.err(format!("no cached input to recompute {unit:?}")))?;
+        let start = self.now();
+        let h = Self::timed_forward(&mut self.times, &mut entry.net, entry.lo, input);
+        self.record_segment(unit.wire(self.m), WorkKind::Forward, start);
+        if self.last {
+            self.recomputed.insert(unit, h);
+        }
+        self.cur.insert(unit, entry);
+        Ok(())
+    }
+
+    fn op_backward(&mut self, unit: UnitId) -> Result<(), ExecError> {
+        let g_in = match self.grad_in.remove(&unit) {
+            Some(g) => g,
+            None if self.last => {
+                // GPipe's loss stage: the backward phase recomputed the
+                // output, so the loss gradient originates here.
+                let h = self
+                    .recomputed
+                    .remove(&unit)
+                    .ok_or_else(|| self.err(format!("no recomputed output for {unit:?}")))?;
+                let target = self.micro_rows(gen_target(self.spec, unit.mb), unit.micro);
+                let (loss, g) = mse_loss(&h, &target);
+                self.push_loss(unit.mb, loss);
+                g
+            }
+            None => return Err(self.err(format!("no received gradient for {unit:?}"))),
+        };
+        let w = unit.wire(self.m);
+        let start = self.now();
+        if let Some(mut entry) = self.cur.remove(&unit) {
+            let g = Self::timed_backward(&mut self.times, &mut entry.net, entry.lo, g_in);
+            self.record_segment(w, WorkKind::Backward, start);
+            if self.kind == ScheduleKind::PipeDreamAsync {
+                // Held for the ApplyUpdate that routes its gradients
+                // (sequencer / local apply / migration delta).
+                self.cur.insert(unit, entry);
+            } else {
+                self.fold_grads(&entry)?;
+            }
+            if self.s > 0 {
+                self.grad_out.insert(unit, g);
+            }
+        } else {
+            // Direct path: backward on the master; its accumulated
+            // gradients are consumed by the ApplyUpdate that follows.
+            let g = Self::timed_backward(&mut self.times, &mut self.master, self.lo, g_in);
+            self.record_segment(w, WorkKind::Backward, start);
+            if self.s > 0 {
+                self.grad_out.insert(unit, g);
+            }
+        }
+        Ok(())
+    }
+
+    /// Deferred-apply schedules: fold a stash copy's unit gradients into
+    /// the master's gradient buffers (summed across units until the
+    /// `ApplyUpdate`).
+    fn fold_grads(&mut self, entry: &StashEntry) -> Result<(), ExecError> {
+        if entry.net.n_layers() != self.master.n_layers() {
+            return Err(self.err("stash shape drifted from master"));
+        }
+        for i in 0..self.master.n_layers() {
+            let el = entry.net.layer(i);
+            let l = self.master.layer_mut(i);
+            l.w.grad.add_assign(&el.w.grad);
+            l.b.grad.add_assign(&el.b.grad);
+        }
+        Ok(())
+    }
+
+    fn op_apply(&mut self, mb: u64, units: u32) -> Result<(), ExecError> {
+        if let Some(entry) = self.cur.remove(&UnitId::new(mb, 0)) {
+            // PipeDream: one stashed mini-batch applies immediately, with
+            // migration-aware routing.
+            return self.route_and_apply(mb, entry);
+        }
+        // Everything else: unit gradients were accumulated into the
+        // master's own buffers — by direct/fused backprop or by
+        // `fold_grads` — and fold in with the per-unit learning rate.
+        let lr = if units <= 1 {
+            self.spec.lr
+        } else {
+            self.spec.lr / units as f64
+        };
+        for i in 0..self.master.n_layers() {
             let l = self.master.layer_mut(i);
             l.w.value.axpy(-lr, &l.w.grad);
             l.b.value.axpy(-lr, &l.b.grad);
             l.w.zero_grad();
             l.b.zero_grad();
         }
-        if self.s == 0 {
-            self.in_flight.fetch_sub(1, Ordering::SeqCst);
-            self.completions.push(self.now());
-        } else {
-            self.send_on(self.bwd_out, &Frame::Grad { mb, data: g })?;
-        }
         Ok(())
     }
 
-    fn backward(&mut self, mb: u64, fused_grad: Option<Matrix>) -> Result<(), ExecError> {
-        let g_in = match fused_grad {
-            Some(g) => g,
-            None => self.next_grad(mb)?,
-        };
-        if self.direct.contains(&mb) {
-            return self.backward_direct(mb, g_in);
-        }
-        let entry = self
-            .stash
-            .remove(&mb)
-            .ok_or_else(|| self.err(format!("no stashed version for mb {mb}")))?;
-        let start = self.now();
-        let mut net = entry.net;
-        let mut g = g_in;
-        for i in (0..net.n_layers()).rev() {
-            let t = Instant::now();
-            g = net.backward_range(i..i + 1, &g);
-            self.times.bwd(entry.lo + i, t.elapsed().as_secs_f64());
-        }
-        self.record_segment(mb, WorkKind::Backward, start);
-        // Route the updates: own layers apply locally (moved-block layers
-        // at the receiver go through the sequencer); layers migrated away
-        // ship back to the new owner as one ordered delta.
+    /// Route a stashed mini-batch's updates: own layers apply locally
+    /// (moved-block layers at the receiver go through the sequencer);
+    /// layers migrated away ship back to the new owner as one ordered
+    /// delta.
+    fn route_and_apply(&mut self, mb: u64, entry: StashEntry) -> Result<(), ExecError> {
+        let net = entry.net;
         let mut delta: Vec<(Matrix, Matrix)> = Vec::new();
         let mut delta_first = 0usize;
         let mut seq_updates: Vec<(usize, Matrix, Matrix)> = Vec::new();
@@ -854,12 +1088,6 @@ impl<'a> Stage<'a> {
             let len = self.send_on(self.migration_channel(), &frame)?;
             self.mig.lock().unwrap().wire_bytes += len as u64;
         }
-        if self.s == 0 {
-            self.in_flight.fetch_sub(1, Ordering::SeqCst);
-            self.completions.push(self.now());
-        } else {
-            self.send_on(self.bwd_out, &Frame::Grad { mb, data: g })?;
-        }
         Ok(())
     }
 
@@ -887,7 +1115,7 @@ impl<'a> Stage<'a> {
             .clone()
             .map(|i| Self::blob(self.master.layer(i), self.master.act_kind(i)))
             .collect();
-        let pending: Vec<u64> = self.stash.keys().copied().collect();
+        let pending: Vec<u64> = self.stash.keys().map(|u| u.wire(self.m)).collect();
         {
             let mut mg = self.mig.lock().unwrap();
             mg.t_first = Some(self.now());
@@ -903,20 +1131,20 @@ impl<'a> Stage<'a> {
         self.mig.lock().unwrap().wire_bytes += len as u64;
         // Stashed versions, newest first (§4.4: the copy of the later
         // active mini-batch migrates first).
-        let versions: Vec<u64> = self.stash.keys().rev().copied().collect();
-        for v in versions {
-            let entry = &self.stash[&v];
+        let versions: Vec<UnitId> = self.stash.keys().rev().copied().collect();
+        for u in versions {
+            let entry = &self.stash[&u];
             let ml = plan.moved.start - entry.lo;
             let input = entry
                 .net
                 .layer_input(ml)
-                .ok_or_else(|| self.err(format!("mb {v}: no cached input for migration")))?
+                .ok_or_else(|| self.err(format!("mb {}: no cached input for migration", u.mb)))?
                 .clone();
             let blobs: Vec<LayerBlob> = (ml..ml + k)
                 .map(|i| Self::blob(entry.net.layer(i), entry.net.act_kind(i)))
                 .collect();
             let frame = Frame::Stash {
-                mb: v,
+                mb: u.wire(self.m),
                 first_layer: plan.moved.start as u32,
                 layers: blobs.clone(),
                 input,
@@ -924,7 +1152,7 @@ impl<'a> Stage<'a> {
             let len = self.send_on(self.migration_channel(), &frame)?;
             let mut mg = self.mig.lock().unwrap();
             mg.samples.push(self.in_flight.load(Ordering::SeqCst));
-            mg.versions_sent.push(v);
+            mg.versions_sent.push(u.wire(self.m));
             mg.param_bytes += Self::payload_bytes(&blobs);
             mg.wire_bytes += len as u64;
         }
@@ -940,13 +1168,32 @@ impl<'a> Stage<'a> {
         Ok(())
     }
 
-    fn run(&mut self, ops: &[RtOp]) -> Result<(), ExecError> {
-        for op in ops {
+    fn run(&mut self, ops: &[IrOp]) -> Result<(), ExecError> {
+        // Stage 0 retires a mini-batch — decrements the in-flight counter
+        // and records its completion time — after the last op carrying it
+        // (its ApplyUpdate for most schedules; its final backward for
+        // 2BW mini-batches inside a generation).
+        let mut retire: BTreeMap<u64, usize> = BTreeMap::new();
+        if self.s == 0 {
+            for (i, op) in ops.iter().enumerate() {
+                retire.insert(op.mb(), i);
+            }
+        }
+        for (i, op) in ops.iter().enumerate() {
             match *op {
-                RtOp::Forward(v) => self.forward(v)?,
-                RtOp::Backward(v) => self.backward(v, None)?,
-                RtOp::SendMigration => self.send_migration()?,
-                RtOp::WaitMaster => self.wait_master()?,
+                IrOp::Recv { payload, unit } => self.op_recv(payload, unit)?,
+                IrOp::Send { payload, unit } => self.op_send(payload, unit)?,
+                IrOp::StashPush { unit, .. } => self.op_stash_push(unit),
+                IrOp::StashPop { unit } => self.op_stash_pop(unit)?,
+                IrOp::Forward { unit } => self.op_forward(unit)?,
+                IrOp::FusedFwdLossBwd { unit } => self.op_fused(unit)?,
+                IrOp::Recompute { unit } => self.op_recompute(unit)?,
+                IrOp::Backward { unit } => self.op_backward(unit)?,
+                IrOp::ApplyUpdate { mb, units } => self.op_apply(mb, units)?,
+            }
+            if self.s == 0 && retire.get(&op.mb()) == Some(&i) {
+                self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                self.completions.push(self.now());
             }
         }
         // A late cutover can leave moved-layer deltas in flight after the
@@ -969,62 +1216,6 @@ impl<'a> Stage<'a> {
     }
 }
 
-/// Mini-batches that may run without a stash clone on this stage: those
-/// whose forward→backward window contains no other mini-batch's backward
-/// (the only op that updates weights), so the master at backward time is
-/// bit-identical to a stash taken at forward time. Covers every op on the
-/// fused last stage and every op when `in_flight = 1`; windows of two
-/// direct mini-batches can never overlap (the earlier one's backward
-/// would sit inside the later one's window), so their master-held layer
-/// caches can't clobber each other. With a migration plan the stash *is*
-/// the §4.4 payload, so nothing runs direct.
-fn direct_mbs(ops: &[RtOp], plan: Option<&MovePlan>) -> BTreeSet<u64> {
-    let mut direct = BTreeSet::new();
-    if plan.is_some() {
-        return direct;
-    }
-    for (i, op) in ops.iter().enumerate() {
-        if let RtOp::Forward(v) = *op {
-            let clean = ops[i + 1..]
-                .iter()
-                .take_while(|o| !matches!(o, RtOp::Backward(u) if *u == v))
-                .all(|o| !matches!(o, RtOp::Backward(_)));
-            if clean {
-                direct.insert(v);
-            }
-        }
-    }
-    direct
-}
-
-fn rt_ops(spec: &ExecSpec, plan: Option<&MovePlan>, stage: usize) -> Vec<RtOp> {
-    let base = stage_ops(stage, spec.n_stages(), spec.total, spec.in_flight);
-    let mut ops: Vec<RtOp> = base
-        .iter()
-        .map(|o| match o {
-            Op::Forward(v) => RtOp::Forward(*v),
-            Op::Backward(v) => RtOp::Backward(*v),
-        })
-        .collect();
-    if let Some(p) = plan {
-        let marker = if stage == p.a {
-            Some(RtOp::SendMigration)
-        } else if stage == p.b && !p.downstream {
-            Some(RtOp::WaitMaster)
-        } else {
-            None
-        };
-        if let Some(marker) = marker {
-            let pos = ops
-                .iter()
-                .position(|o| *o == RtOp::Forward(p.at_mb))
-                .expect("cutover mini-batch not in schedule");
-            ops.insert(pos, marker);
-        }
-    }
-    ops
-}
-
 /// Run a full pipeline training session. Blocks until every stage thread
 /// has drained its schedule; returns the merged measurements.
 pub fn run_pipeline(spec: &ExecSpec) -> Result<ExecResult, ExecError> {
@@ -1037,11 +1228,32 @@ pub fn run_pipeline(spec: &ExecSpec) -> Result<ExecResult, ExecError> {
     let starts = spec.starts();
     let full = Mlp::new(&spec.sizes, spec.act, spec.seed);
 
+    // The one program both engines agree on: replayed here, priced by
+    // pipesim's ProgramPricer.
+    let program = match &plan {
+        Some(p) => generate_spliced(
+            spec.schedule,
+            n_stages,
+            spec.total,
+            spec.in_flight,
+            &SpliceSpec {
+                sender: p.a,
+                receiver: p.b,
+                at_mb: p.at_mb,
+                receiver_waits: !p.downstream,
+            },
+        )?,
+        None => generate(spec.schedule, n_stages, spec.total, spec.in_flight),
+    };
+    program
+        .validate()
+        .map_err(|e| format!("ill-formed schedule program: {e}"))?;
+
     // Channel capacity: a few in-flight activations per link; anything
     // larger (migration frames) is admitted alone by the channel.
     let max_width = *spec.sizes.iter().max().unwrap();
     let frame_bytes = 32 + spec.batch * max_width * 8;
-    let capacity = frame_bytes * (spec.in_flight + 2);
+    let capacity = frame_bytes * (spec.in_flight.max(program.micro_batches) + 2);
     let fwd: Vec<ByteChannel> = (0..n_stages.saturating_sub(1))
         .map(|_| ByteChannel::new(capacity, spec.bytes_per_sec))
         .collect();
@@ -1053,12 +1265,11 @@ pub fn run_pipeline(spec: &ExecSpec) -> Result<ExecResult, ExecError> {
     let mig = Mutex::new(MigrationShared::default());
     let t0 = Instant::now();
 
+    let program_ref = &program;
     let outcomes: Vec<Result<StageOut, ExecError>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n_stages);
         for s in 0..n_stages {
             let master = full.slice(starts[s]..starts[s + 1]);
-            let ops = rt_ops(spec, plan.as_ref(), s);
-            let direct = direct_mbs(&ops, plan.as_ref());
             let role = match &plan {
                 Some(p) if p.a == s => Role::Sender,
                 Some(p) if p.b == s => Role::Receiver,
@@ -1072,6 +1283,8 @@ pub fn run_pipeline(spec: &ExecSpec) -> Result<ExecResult, ExecError> {
                     s,
                     last: s == n_stages - 1,
                     spec,
+                    kind: spec.schedule,
+                    m: program_ref.micro_batches,
                     lo,
                     master,
                     stash: BTreeMap::new(),
@@ -1090,10 +1303,16 @@ pub fn run_pipeline(spec: &ExecSpec) -> Result<ExecResult, ExecError> {
                     bwd_out: if s > 0 { Some(&bwd_ref[s - 1]) } else { None },
                     act_buf: VecDeque::new(),
                     grad_buf: VecDeque::new(),
+                    pending_act: BTreeMap::new(),
+                    staged_out: BTreeMap::new(),
+                    grad_in: BTreeMap::new(),
+                    grad_out: BTreeMap::new(),
+                    recomputed: BTreeMap::new(),
+                    cur: BTreeMap::new(),
+                    loss_acc: BTreeMap::new(),
                     plan: plan_ref,
                     role,
                     migrated: false,
-                    direct,
                     seq: None,
                     outstanding: BTreeSet::new(),
                     mig: mig_ref,
@@ -1104,7 +1323,7 @@ pub fn run_pipeline(spec: &ExecSpec) -> Result<ExecResult, ExecError> {
                     losses: Vec::new(),
                     completions: Vec::new(),
                 };
-                let run = stage.run(&ops);
+                let run = stage.run(&program_ref.stages[s].ops);
                 // Unblock neighbors if this stage failed mid-schedule.
                 if run.is_err() {
                     for c in fwd_ref.iter().chain(bwd_ref.iter()) {

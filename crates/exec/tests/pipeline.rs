@@ -2,6 +2,7 @@
 //! determinism, and live §4.4 migration.
 
 use ap_exec::runtime::{run_pipeline, training_batch, ExecResult, ExecSpec, SwitchSpec};
+use ap_exec::ScheduleKind;
 use ap_nn::{mse_loss, ActKind, Mlp};
 
 fn base_spec() -> ExecSpec {
@@ -12,6 +13,7 @@ fn base_spec() -> ExecSpec {
         batch: 4,
         lr: 0.01,
         cuts: vec![2, 4],
+        schedule: ScheduleKind::PipeDreamAsync,
         in_flight: 3,
         total: 12,
         bytes_per_sec: None,

@@ -1,0 +1,235 @@
+//! Pipeline schedules.
+//!
+//! §2.1 of the paper surveys both families. Asynchronous schedules
+//! (PipeDream, PipeDream-2BW) keep the pipeline full at the cost of weight
+//! staleness; synchronous schedules (GPipe, DAPPLE, Chimera) flush and pay
+//! a bubble. We capture each flavour's bubble fraction and staleness
+//! semantics; [`crate::program::generate`] turns each flavour into a
+//! concrete per-stage op-program, while Chimera's bidirectional trick
+//! enters through its reduced bubble term (see DESIGN.md §2, §10).
+
+/// Micro-batches per mini-batch used when a schedule is named by id alone
+/// (CLI `--schedule`, ap-serve request field).
+pub const DEFAULT_MICRO_BATCHES: usize = 4;
+
+/// Which pipeline-parallel scheme is running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScheduleKind {
+    /// PipeDream: asynchronous 1F1B with weight stashing (the paper's base
+    /// system).
+    PipeDreamAsync,
+    /// GPipe: micro-batched, full flush every mini-batch, activation
+    /// recomputation on the backward pass.
+    GPipe {
+        /// Micro-batches per mini-batch.
+        micro_batches: usize,
+    },
+    /// DAPPLE: synchronous 1F1B (early backward) with flush.
+    Dapple {
+        /// Micro-batches per mini-batch.
+        micro_batches: usize,
+    },
+    /// Chimera: two interleaved pipelines in opposite directions, roughly
+    /// halving the bubble.
+    Chimera {
+        /// Micro-batches per mini-batch.
+        micro_batches: usize,
+    },
+    /// PipeDream-2BW: asynchronous with double-buffered weights (bounded
+    /// staleness of exactly 1).
+    PipeDream2Bw,
+}
+
+impl ScheduleKind {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScheduleKind::PipeDreamAsync => "PipeDream",
+            ScheduleKind::GPipe { .. } => "GPipe",
+            ScheduleKind::Dapple { .. } => "DAPPLE",
+            ScheduleKind::Chimera { .. } => "Chimera",
+            ScheduleKind::PipeDream2Bw => "PipeDream-2BW",
+        }
+    }
+
+    /// Stable machine id, the wire/CLI spelling ([`ScheduleKind::parse`]
+    /// inverts it).
+    pub fn id(self) -> &'static str {
+        match self {
+            ScheduleKind::PipeDreamAsync => "pipedream_async",
+            ScheduleKind::GPipe { .. } => "gpipe",
+            ScheduleKind::Dapple { .. } => "dapple",
+            ScheduleKind::Chimera { .. } => "chimera",
+            ScheduleKind::PipeDream2Bw => "pipedream_2bw",
+        }
+    }
+
+    /// Parse a machine id (as accepted on the `repro exec-validate
+    /// --schedule` CLI and in ap-serve request JSON). Synchronous kinds
+    /// get [`DEFAULT_MICRO_BATCHES`] micro-batches.
+    pub fn parse(id: &str) -> Option<ScheduleKind> {
+        match id {
+            "pipedream_async" => Some(ScheduleKind::PipeDreamAsync),
+            "gpipe" => Some(ScheduleKind::GPipe {
+                micro_batches: DEFAULT_MICRO_BATCHES,
+            }),
+            "dapple" => Some(ScheduleKind::Dapple {
+                micro_batches: DEFAULT_MICRO_BATCHES,
+            }),
+            "chimera" => Some(ScheduleKind::Chimera {
+                micro_batches: DEFAULT_MICRO_BATCHES,
+            }),
+            "pipedream_2bw" => Some(ScheduleKind::PipeDream2Bw),
+            _ => None,
+        }
+    }
+
+    /// The whole zoo, one entry per kind (sync kinds at
+    /// [`DEFAULT_MICRO_BATCHES`]), in reporting order.
+    pub fn zoo() -> [ScheduleKind; 5] {
+        [
+            ScheduleKind::PipeDreamAsync,
+            ScheduleKind::GPipe {
+                micro_batches: DEFAULT_MICRO_BATCHES,
+            },
+            ScheduleKind::Dapple {
+                micro_batches: DEFAULT_MICRO_BATCHES,
+            },
+            ScheduleKind::Chimera {
+                micro_batches: DEFAULT_MICRO_BATCHES,
+            },
+            ScheduleKind::PipeDream2Bw,
+        ]
+    }
+
+    /// Is this an asynchronous (no-flush) schedule?
+    pub fn is_async(self) -> bool {
+        matches!(
+            self,
+            ScheduleKind::PipeDreamAsync | ScheduleKind::PipeDream2Bw
+        )
+    }
+
+    /// Micro-batches per mini-batch (1 for async schedules, which pipeline
+    /// whole mini-batches).
+    pub fn micro_batches(self) -> usize {
+        match self {
+            ScheduleKind::PipeDreamAsync | ScheduleKind::PipeDream2Bw => 1,
+            ScheduleKind::GPipe { micro_batches }
+            | ScheduleKind::Dapple { micro_batches }
+            | ScheduleKind::Chimera { micro_batches } => micro_batches.max(1),
+        }
+    }
+
+    /// Steady-state bubble fraction for `n_stages` pipeline stages:
+    /// the fraction of each iteration spent idle because of fill/drain.
+    ///
+    /// * async: 0 (the pipeline never flushes),
+    /// * GPipe / DAPPLE with `m` micro-batches: `(S-1)/(m+S-1)`,
+    /// * Chimera: bidirectional pipelines remove about half the bubbles
+    ///   (Li & Hoefler report up to 50%): `((S-1)/2)/(m+(S-1)/2)`.
+    pub fn bubble_fraction(self, n_stages: usize) -> f64 {
+        let s = n_stages as f64;
+        let m = self.micro_batches() as f64;
+        match self {
+            ScheduleKind::PipeDreamAsync | ScheduleKind::PipeDream2Bw => 0.0,
+            ScheduleKind::GPipe { .. } | ScheduleKind::Dapple { .. } => (s - 1.0) / (m + s - 1.0),
+            ScheduleKind::Chimera { .. } => {
+                let half = (s - 1.0) / 2.0;
+                half / (m + half)
+            }
+        }
+    }
+
+    /// Extra compute multiplier on the backward pass. GPipe recomputes the
+    /// forward during backward to save memory ("GPipe recomputes the FP",
+    /// §2.1), costing one extra forward.
+    pub fn recompute_factor(self) -> f64 {
+        match self {
+            ScheduleKind::GPipe { .. } => 1.0, // one extra forward per backward
+            _ => 0.0,
+        }
+    }
+
+    /// How many weight versions a stage must stash.
+    ///
+    /// PipeDream stashes one version per in-flight mini-batch; 2BW double
+    /// buffers (2); synchronous schedules keep 1.
+    pub fn weight_versions(self, in_flight: usize) -> usize {
+        match self {
+            ScheduleKind::PipeDreamAsync => in_flight.max(1),
+            ScheduleKind::PipeDream2Bw => 2,
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn async_schedules_have_no_bubble() {
+        assert_eq!(ScheduleKind::PipeDreamAsync.bubble_fraction(4), 0.0);
+        assert_eq!(ScheduleKind::PipeDream2Bw.bubble_fraction(8), 0.0);
+    }
+
+    #[test]
+    fn gpipe_bubble_matches_formula() {
+        let k = ScheduleKind::GPipe { micro_batches: 4 };
+        // (4-1)/(4+4-1) = 3/7.
+        assert!((k.bubble_fraction(4) - 3.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chimera_halves_the_bubble_roughly() {
+        let m = 8;
+        let s = 4;
+        let g = ScheduleKind::Dapple { micro_batches: m }.bubble_fraction(s);
+        let c = ScheduleKind::Chimera { micro_batches: m }.bubble_fraction(s);
+        assert!(c < g);
+        assert!(c > 0.0);
+    }
+
+    #[test]
+    fn more_micro_batches_shrink_bubble() {
+        let a = ScheduleKind::GPipe { micro_batches: 2 }.bubble_fraction(4);
+        let b = ScheduleKind::GPipe { micro_batches: 16 }.bubble_fraction(4);
+        assert!(b < a);
+    }
+
+    #[test]
+    fn single_stage_has_no_bubble() {
+        for k in [
+            ScheduleKind::GPipe { micro_batches: 4 },
+            ScheduleKind::Dapple { micro_batches: 4 },
+            ScheduleKind::Chimera { micro_batches: 4 },
+        ] {
+            assert_eq!(k.bubble_fraction(1), 0.0, "{}", k.label());
+        }
+    }
+
+    #[test]
+    fn weight_versions_semantics() {
+        assert_eq!(ScheduleKind::PipeDreamAsync.weight_versions(4), 4);
+        assert_eq!(ScheduleKind::PipeDream2Bw.weight_versions(7), 2);
+        assert_eq!(
+            ScheduleKind::GPipe { micro_batches: 8 }.weight_versions(4),
+            1
+        );
+    }
+
+    #[test]
+    fn zero_micro_batches_clamped() {
+        assert_eq!(ScheduleKind::GPipe { micro_batches: 0 }.micro_batches(), 1);
+    }
+
+    #[test]
+    fn ids_roundtrip_through_parse() {
+        for k in ScheduleKind::zoo() {
+            assert_eq!(ScheduleKind::parse(k.id()), Some(k), "{}", k.label());
+        }
+        assert_eq!(ScheduleKind::parse("one_f_one_b"), None);
+        assert_eq!(ScheduleKind::parse(""), None);
+    }
+}

@@ -16,6 +16,8 @@
 //!   PyTorch panels of Figure 8);
 //! * [`analytic`] — a fast closed-form steady-state throughput model used
 //!   inside planners;
+//! * [`program`] — a deterministic pricer for declarative [`ap_ir`]
+//!   op-programs, covering the whole schedule zoo with one cost walk;
 //! * [`engine`] — a discrete-event simulation with fluid fair-share
 //!   networking, 1F1B scheduling, weight versions/staleness, per-iteration
 //!   speed traces and worker timelines (Figure 2);
@@ -32,6 +34,7 @@ pub mod framework;
 pub mod json;
 pub mod memory;
 pub mod partition;
+pub mod program;
 pub mod schedule;
 pub mod switching;
 pub mod sync;
@@ -47,6 +50,7 @@ pub use engine::{
 pub use framework::Framework;
 pub use memory::{cap_in_flight, estimate as estimate_memory, max_in_flight, MemoryEstimate};
 pub use partition::{Partition, PartitionError, Stage};
+pub use program::{ProgramEval, ProgramPricer};
 pub use schedule::ScheduleKind;
 pub use switching::{
     abort_recovery_cost, abort_rollback_cost, fine_grained_cost, stop_restart_cost, MigrationStep,

@@ -1,0 +1,474 @@
+//! Pricing a schedule IR [`Program`] — the event engine's IR front end.
+//!
+//! [`ProgramPricer`] walks the per-stage op sequences of an
+//! [`ap_ir::Program`] with a deterministic greedy discrete-event loop:
+//! each stage executes its ops strictly in program order, ops charge
+//! serial stage time (compute, codec, stash snapshots, dispatch
+//! overhead), `Send`/`Recv` pairs serialize frames through FIFO links at
+//! the cluster's pair bandwidths, and — when a [`Calibration`] caps
+//! `compute_slots` below the stage count — every serial op also contends
+//! for a host compute slot (work-conserving, earliest-free-slot). This is
+//! the same cost vocabulary as [`crate::analytic::AnalyticModel`], but
+//! applied to the *actual op order* of any [`ScheduleKind`], so one
+//! pricer covers the whole schedule zoo; the closed forms stay as a
+//! cross-check (see DESIGN.md §10).
+//!
+//! The pricer is pure arithmetic over a static program: two calls with
+//! the same inputs produce bit-identical results.
+
+use crate::calibration::Calibration;
+use crate::framework::Framework;
+use crate::partition::Partition;
+use crate::sync::pair_bw;
+use ap_cluster::ClusterState;
+use ap_ir::{IrOp, Payload, Program, UnitId};
+use ap_models::ModelProfile;
+use std::collections::BTreeMap;
+
+/// What pricing a program produced.
+#[derive(Debug, Clone)]
+pub struct ProgramEval {
+    /// Per-mini-batch completion times at stage 0 (seconds since start,
+    /// mini-batch order): the time stage 0 finished its last op of that
+    /// mini-batch.
+    pub completions: Vec<f64>,
+    /// End of the last op anywhere.
+    pub makespan: f64,
+    /// Samples per mini-batch (the profile's batch size).
+    pub batch: usize,
+}
+
+impl ProgramEval {
+    /// Steady-state throughput in samples/s: drop the first `skip`
+    /// completions (pipeline fill) and rate the rest.
+    pub fn steady_throughput(&self, skip: usize) -> f64 {
+        if self.completions.len() <= skip + 1 {
+            return if self.makespan > 0.0 {
+                self.completions.len() as f64 * self.batch as f64 / self.makespan
+            } else {
+                0.0
+            };
+        }
+        let t0 = self.completions[skip];
+        let t1 = *self.completions.last().unwrap();
+        (self.completions.len() - skip - 1) as f64 * self.batch as f64 / (t1 - t0).max(1e-12)
+    }
+}
+
+/// Prices IR programs against a profile, partition and cluster state.
+pub struct ProgramPricer<'a> {
+    /// Layer cost model.
+    pub profile: &'a ModelProfile,
+    /// Stage → layer-range/worker assignment (must have as many stages as
+    /// the program).
+    pub partition: &'a Partition,
+    /// Cluster state supplying compute rates and pair bandwidths.
+    pub state: &'a ClusterState,
+    /// Framework constant factors (compute/comm efficiency).
+    pub framework: Framework,
+    /// Fitted runtime-overhead constants; `None` prices compute + wire
+    /// only.
+    pub calibration: Option<Calibration>,
+}
+
+/// A frame in flight: keyed by (boundary, payload, unit), valued by its
+/// arrival time at the receiver.
+type InFlight = BTreeMap<(usize, u8, UnitId), f64>;
+
+fn payload_tag(p: Payload) -> u8 {
+    match p {
+        Payload::Act => 0,
+        Payload::Grad => 1,
+        Payload::WeightState => 2,
+    }
+}
+
+impl<'a> ProgramPricer<'a> {
+    /// Serial compute seconds of one full-mini-batch forward at stage `s`.
+    fn stage_fwd(&self, s: usize) -> f64 {
+        let st = &self.partition.stages[s];
+        let rate = self.rate(s);
+        (st.layers.start..st.layers.end)
+            .map(|l| self.profile.fp_time(l, rate))
+            .sum()
+    }
+
+    fn stage_bwd(&self, s: usize) -> f64 {
+        let st = &self.partition.stages[s];
+        let rate = self.rate(s);
+        (st.layers.start..st.layers.end)
+            .map(|l| self.profile.bp_time(l, rate))
+            .sum()
+    }
+
+    /// Slowest-replica compute rate of stage `s` (replicas round-robin
+    /// whole units, so the straggler paces the stage — same convention as
+    /// the analytic model).
+    fn rate(&self, s: usize) -> f64 {
+        self.partition.stages[s]
+            .workers
+            .iter()
+            .map(|&w| self.state.effective_flops(w) * self.framework.compute_efficiency)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Wire seconds/byte across boundary `c` (harmonic-mean pair
+    /// bandwidth, as in `AnalyticModel::cut_time`).
+    fn link_time_per_byte(&self, c: usize) -> f64 {
+        let senders = &self.partition.stages[c].workers;
+        let receivers = &self.partition.stages[c + 1].workers;
+        let mut inv_sum = 0.0;
+        let mut n = 0usize;
+        for &a in senders {
+            for &b in receivers {
+                inv_sum += 1.0 / pair_bw(a, b, self.state);
+                n += 1;
+            }
+        }
+        inv_sum / n as f64 / self.framework.comm_efficiency
+    }
+
+    /// Full-mini-batch frame bytes across boundary `c`.
+    fn cut_bytes(&self, c: usize) -> f64 {
+        let cut_layer = self.partition.stages[c].layers.end - 1;
+        self.profile.cut_bytes(cut_layer)
+    }
+
+    /// Price `program`. Deterministic greedy list scheduling: among every
+    /// stage's *next* op, repeatedly run the one that can start earliest
+    /// (ties break toward the lower stage index). `Recv` is only feasible
+    /// once its frame was sent; a program whose `Recv`s can never be fed
+    /// is reported as a deadlock (the IR validator rejects these shapes
+    /// up front).
+    pub fn price(&self, program: &Program) -> Result<ProgramEval, String> {
+        if program.n_stages != self.partition.n_stages() {
+            return Err(format!(
+                "program has {} stages, partition {}",
+                program.n_stages,
+                self.partition.n_stages()
+            ));
+        }
+        let s_count = program.n_stages;
+        let m = program.micro_batches as f64;
+        let fwd: Vec<f64> = (0..s_count).map(|s| self.stage_fwd(s) / m).collect();
+        let bwd: Vec<f64> = (0..s_count).map(|s| self.stage_bwd(s) / m).collect();
+        let link: Vec<f64> = (0..s_count.saturating_sub(1))
+            .map(|c| self.link_time_per_byte(c))
+            .collect();
+        let frame_bytes: Vec<f64> = (0..s_count.saturating_sub(1))
+            .map(|c| self.cut_bytes(c) / m)
+            .collect();
+        let stash_cost: Vec<f64> = (0..s_count)
+            .map(|s| match &self.calibration {
+                Some(c) => c.stash_byte_s * self.partition.stage_param_bytes(s, self.profile),
+                None => 0.0,
+            })
+            .collect();
+        let half_overhead = self
+            .calibration
+            .as_ref()
+            .map_or(0.0, |c| c.stage_overhead_s / 2.0 / m);
+        let codec = |bytes: f64| {
+            self.calibration
+                .as_ref()
+                .map_or(0.0, |c| c.codec_op_s(bytes))
+        };
+
+        // Host compute slots (work-conserving processor sharing, as in
+        // the engine): every serial op occupies one slot.
+        let slots = match &self.calibration {
+            Some(c) if c.compute_slots > 0 && c.compute_slots < s_count => c.compute_slots,
+            _ => s_count,
+        };
+        let mut slot_free = vec![0.0f64; slots];
+
+        let mut cursor = vec![0usize; s_count];
+        let mut stage_free = vec![0.0f64; s_count];
+        // Per-boundary, per-direction FIFO link occupancy (0 = fwd).
+        let mut link_free = vec![[0.0f64; 2]; s_count.saturating_sub(1)];
+        let mut in_flight: InFlight = BTreeMap::new();
+        let mut stage0_done: BTreeMap<u64, f64> = BTreeMap::new();
+        let mut makespan = 0.0f64;
+        let total_ops: usize = program.stages.iter().map(|sp| sp.ops.len()).sum();
+
+        for _ in 0..total_ops {
+            // Pick the earliest-feasible next op.
+            let mut best: Option<(f64, usize)> = None;
+            for s in 0..s_count {
+                let Some(op) = program.stages[s].ops.get(cursor[s]) else {
+                    continue;
+                };
+                let ready = match *op {
+                    IrOp::Recv { payload, unit } => {
+                        let c = match payload {
+                            Payload::Act => s.checked_sub(1),
+                            Payload::Grad | Payload::WeightState => Some(s),
+                        };
+                        // Grad/weight-state arrive on the boundary above
+                        // us only if we are not the top stage; a
+                        // weight-state recv keys on the sender's side.
+                        let key = match payload {
+                            Payload::Act => c.map(|b| (b, payload_tag(payload), unit)),
+                            Payload::Grad => {
+                                (s < s_count - 1).then_some((s, payload_tag(payload), unit))
+                            }
+                            Payload::WeightState => in_flight
+                                .keys()
+                                .find(|(_, t, u)| *t == payload_tag(payload) && *u == unit)
+                                .copied(),
+                        };
+                        // None: the frame has not been sent yet.
+                        key.and_then(|k| in_flight.get(&k).copied())
+                            .map(|arrival| stage_free[s].max(arrival))
+                    }
+                    _ => Some(stage_free[s]),
+                };
+                if let Some(t) = ready {
+                    if best.is_none_or(|(bt, _)| t < bt) {
+                        best = Some((t, s));
+                    }
+                }
+            }
+            let Some((_, s)) = best else {
+                return Err("program deadlocked (unfeedable Recv)".into());
+            };
+            let op = program.stages[s].ops[cursor[s]];
+            cursor[s] += 1;
+
+            // Serial stage seconds this op occupies, plus any wire leg.
+            let mut start = stage_free[s];
+            let mut serial = 0.0f64;
+            match op {
+                IrOp::Forward { .. } => serial = fwd[s] + half_overhead,
+                IrOp::Recompute { .. } => serial = fwd[s],
+                IrOp::Backward { .. } => serial = bwd[s] + half_overhead,
+                IrOp::FusedFwdLossBwd { .. } => serial = fwd[s] + bwd[s] + 2.0 * half_overhead,
+                IrOp::StashPush { .. } => serial = stash_cost[s],
+                IrOp::StashPop { .. } | IrOp::ApplyUpdate { .. } => {}
+                IrOp::Recv { payload, unit } => {
+                    let tag = payload_tag(payload);
+                    let key = match payload {
+                        Payload::Act => (s - 1, tag, unit),
+                        Payload::Grad => (s, tag, unit),
+                        Payload::WeightState => in_flight
+                            .keys()
+                            .find(|(_, t, u)| *t == tag && *u == unit)
+                            .copied()
+                            .expect("feasibility checked"),
+                    };
+                    let arrival = in_flight.remove(&key).expect("feasibility checked");
+                    start = start.max(arrival);
+                    let bytes = match payload {
+                        Payload::WeightState => 0.0, // priced by SwitchPlan
+                        _ => frame_bytes[key.0],
+                    };
+                    serial = codec(bytes);
+                }
+                IrOp::Send { payload, unit } => {
+                    let (boundary, dir) = match payload {
+                        Payload::Act => (s, 0usize),
+                        Payload::Grad => (s - 1, 1),
+                        // Migration frames: ride toward whichever neighbor
+                        // exists; cost is carried by SwitchPlan, so only
+                        // FIFO ordering matters here.
+                        Payload::WeightState => (s.min(s_count.saturating_sub(2)), 0),
+                    };
+                    let bytes = match payload {
+                        Payload::WeightState => 0.0,
+                        _ => frame_bytes[boundary],
+                    };
+                    serial = codec(bytes);
+                    // Encode, then serialize onto the FIFO link.
+                    let sent = {
+                        let slot = argmin(&slot_free);
+                        let b = start.max(slot_free[slot]);
+                        slot_free[slot] = b + serial;
+                        b + serial
+                    };
+                    let wire_start = sent.max(link_free[boundary][dir]);
+                    let arrival = wire_start + bytes * link[boundary];
+                    link_free[boundary][dir] = arrival;
+                    in_flight.insert((boundary, payload_tag(payload), unit), arrival);
+                    stage_free[s] = sent;
+                    makespan = makespan.max(arrival);
+                    if s == 0 {
+                        let e = stage0_done.entry(op.mb()).or_insert(0.0);
+                        *e = e.max(sent);
+                    }
+                    continue;
+                }
+            }
+            let end = if serial > 0.0 {
+                let slot = argmin(&slot_free);
+                let b = start.max(slot_free[slot]);
+                slot_free[slot] = b + serial;
+                b + serial
+            } else {
+                start
+            };
+            stage_free[s] = end;
+            makespan = makespan.max(end);
+            if s == 0 {
+                let e = stage0_done.entry(op.mb()).or_insert(0.0);
+                *e = e.max(end);
+            }
+        }
+
+        Ok(ProgramEval {
+            completions: stage0_done.into_values().collect(),
+            makespan,
+            batch: self.profile.batch,
+        })
+    }
+}
+
+fn argmin(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x < xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::AnalyticModel;
+    use crate::partition::Stage;
+    use crate::schedule::ScheduleKind;
+    use crate::sync::SyncScheme;
+    use ap_cluster::gpu::GpuKind;
+    use ap_cluster::{ClusterTopology, GpuId};
+    use ap_ir::generate;
+    use ap_models::{synthetic_uniform, ModelProfile};
+
+    fn setup() -> (ModelProfile, Partition, ClusterState) {
+        let model = synthetic_uniform(6, 2e9, 4e5, 8e5);
+        let profile = ModelProfile::with_batch(&model, 32);
+        let partition = Partition {
+            stages: vec![
+                Stage::new(0..2, vec![GpuId(0)]),
+                Stage::new(2..4, vec![GpuId(1)]),
+                Stage::new(4..6, vec![GpuId(2)]),
+            ],
+            in_flight: 3,
+        };
+        let state = ClusterState::new(ClusterTopology::single_switch(3, 1, GpuKind::P100, 10.0));
+        (profile, partition, state)
+    }
+
+    fn pricer<'a>(
+        profile: &'a ModelProfile,
+        partition: &'a Partition,
+        state: &'a ClusterState,
+    ) -> ProgramPricer<'a> {
+        ProgramPricer {
+            profile,
+            partition,
+            state,
+            framework: Framework::pytorch(),
+            calibration: None,
+        }
+    }
+
+    fn throughput(kind: ScheduleKind) -> f64 {
+        let (profile, partition, state) = setup();
+        let p = generate(kind, 3, 48, 3);
+        pricer(&profile, &partition, &state)
+            .price(&p)
+            .unwrap()
+            .steady_throughput(16)
+    }
+
+    #[test]
+    fn pipedream_pricing_tracks_the_analytic_closed_form() {
+        let (profile, partition, state) = setup();
+        let analytic = AnalyticModel {
+            profile: &profile,
+            scheme: SyncScheme::RingAllReduce,
+            framework: Framework::pytorch(),
+            schedule: ScheduleKind::PipeDreamAsync,
+            calibration: None,
+        }
+        .throughput(&partition, &state);
+        let priced = throughput(ScheduleKind::PipeDreamAsync);
+        let ratio = priced / analytic;
+        assert!(
+            (0.8..=1.25).contains(&ratio),
+            "priced {priced} vs analytic {analytic} (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn async_beats_flush_schedules() {
+        let pd = throughput(ScheduleKind::PipeDreamAsync);
+        let dapple = throughput(ScheduleKind::Dapple { micro_batches: 4 });
+        let gpipe = throughput(ScheduleKind::GPipe { micro_batches: 4 });
+        assert!(pd > dapple, "PipeDream {pd} <= DAPPLE {dapple}");
+        // GPipe pays the recompute tax on top of the same bubble.
+        assert!(dapple > gpipe, "DAPPLE {dapple} <= GPipe {gpipe}");
+    }
+
+    #[test]
+    fn more_micro_batches_shrink_the_priced_bubble() {
+        let m2 = throughput(ScheduleKind::GPipe { micro_batches: 2 });
+        let m8 = throughput(ScheduleKind::GPipe { micro_batches: 8 });
+        assert!(m8 > m2, "m=8 {m8} <= m=2 {m2}");
+    }
+
+    #[test]
+    fn pricing_is_deterministic() {
+        let (profile, partition, state) = setup();
+        let program = generate(ScheduleKind::Dapple { micro_batches: 4 }, 3, 24, 3);
+        let a = pricer(&profile, &partition, &state)
+            .price(&program)
+            .unwrap();
+        let b = pricer(&profile, &partition, &state)
+            .price(&program)
+            .unwrap();
+        assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+        assert_eq!(a.completions.len(), b.completions.len());
+        for (x, y) in a.completions.iter().zip(&b.completions) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn calibration_slows_the_priced_program_down() {
+        let (profile, partition, state) = setup();
+        let program = generate(ScheduleKind::PipeDreamAsync, 3, 48, 3);
+        let raw = pricer(&profile, &partition, &state)
+            .price(&program)
+            .unwrap()
+            .steady_throughput(16);
+        let mut p = pricer(&profile, &partition, &state);
+        p.calibration = Some(Calibration {
+            per_frame_s: 2e-6,
+            per_byte_s: 1e-9,
+            stage_overhead_s: 2e-5,
+            stash_byte_s: 5e-10,
+            compute_slots: 2,
+        });
+        let calibrated = p.price(&program).unwrap().steady_throughput(16);
+        assert!(calibrated < raw, "calibrated {calibrated} >= raw {raw}");
+    }
+
+    #[test]
+    fn completions_cover_every_mini_batch() {
+        let (profile, partition, state) = setup();
+        for kind in ScheduleKind::zoo() {
+            let program = generate(kind, 3, 12, 3);
+            let eval = pricer(&profile, &partition, &state)
+                .price(&program)
+                .unwrap();
+            assert_eq!(eval.completions.len(), 12, "{}", kind.label());
+            assert!(
+                eval.completions.windows(2).all(|w| w[0] <= w[1]),
+                "{} completions must be monotone",
+                kind.label()
+            );
+        }
+    }
+}

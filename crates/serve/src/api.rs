@@ -443,6 +443,30 @@ fn model_field(obj: &Json) -> Result<String, ApiError> {
     Ok(name.to_string())
 }
 
+/// Parse the optional `"schedule"` field: a [`ScheduleKind`] id
+/// (`pipedream_async`, `gpipe`, `dapple`, `chimera`, `pipedream_2bw`),
+/// defaulting to PipeDream async. Unknown ids are semantically invalid
+/// (422), a non-string is malformed (400).
+fn schedule_field(v: &Json) -> Result<ScheduleKind, ApiError> {
+    match field(v, "schedule") {
+        None | Some(Json::Null) => Ok(ScheduleKind::PipeDreamAsync),
+        Some(j) => {
+            let id = j
+                .as_str()
+                .ok_or_else(|| ApiError::bad_request("bad-field", "schedule must be a string"))?;
+            ScheduleKind::parse(id).ok_or_else(|| {
+                ApiError::unprocessable(
+                    "unknown-schedule",
+                    format!(
+                        "unknown schedule {id:?}; known: {}",
+                        ScheduleKind::zoo().map(|k| k.id()).join(", ")
+                    ),
+                )
+            })
+        }
+    }
+}
+
 /// A validated `/plan` request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlanRequest {
@@ -452,6 +476,8 @@ pub struct PlanRequest {
     pub cluster: ClusterSpec,
     /// Planner knobs.
     pub planner: PlannerConfig,
+    /// Pipeline schedule to plan under (default PipeDream async).
+    pub schedule: ScheduleKind,
 }
 
 impl PlanRequest {
@@ -467,37 +493,36 @@ impl PlanRequest {
             model: model_field(v)?,
             cluster: ClusterSpec::from_json(field(v, "cluster"))?,
             planner: PlannerConfig::from_json(field(v, "planner"))?,
+            schedule: schedule_field(v)?,
         })
     }
 
     /// The canonical cache key: model + cluster signature + planner
-    /// config, defaults filled, fixed field order.
+    /// config + schedule, defaults filled, fixed field order.
     pub fn canonical_key(&self) -> String {
         Json::obj(vec![
             ("model", self.model.as_str().to_json()),
             ("cluster", self.cluster.canonical()),
             ("planner", self.planner.canonical()),
+            ("schedule", self.schedule.id().to_json()),
         ])
         .pretty()
     }
 }
 
-fn experiment_env() -> (SyncScheme, Framework, ScheduleKind) {
-    (
-        SyncScheme::RingAllReduce,
-        Framework::pytorch(),
-        ScheduleKind::PipeDreamAsync,
-    )
+fn experiment_env() -> (SyncScheme, Framework) {
+    (SyncScheme::RingAllReduce, Framework::pytorch())
 }
 
 fn engine_throughput(
     profile: &ModelProfile,
     partition: &Partition,
     state: &ClusterState,
+    schedule: ScheduleKind,
     iterations: usize,
     calibration: Option<Calibration>,
 ) -> Result<f64, ApiError> {
-    let (scheme, framework, schedule) = experiment_env();
+    let (scheme, framework) = experiment_env();
     let cfg = EngineConfig {
         scheme,
         framework,
@@ -527,7 +552,8 @@ pub fn compute_plan(req: &PlanRequest) -> Result<Json, ApiError> {
     let desc = model_by_name(&req.model).expect("model validated at parse time");
     let profile = ModelProfile::of(&desc);
     let state = req.cluster.to_state();
-    let (scheme, framework, schedule) = experiment_env();
+    let (scheme, framework) = experiment_env();
+    let schedule = req.schedule;
 
     // PipeDream's one-shot view: nominal line rate, exclusive GPUs.
     let all_gpus: Vec<GpuId> = (0..req.cluster.n_gpus()).map(GpuId).collect();
@@ -596,6 +622,7 @@ pub fn compute_plan(req: &PlanRequest) -> Result<Json, ApiError> {
         &profile,
         &start,
         &state,
+        schedule,
         req.planner.measure_iters,
         req.planner.calibration,
     )?;
@@ -606,6 +633,7 @@ pub fn compute_plan(req: &PlanRequest) -> Result<Json, ApiError> {
             &profile,
             &current,
             &state,
+            schedule,
             req.planner.measure_iters,
             req.planner.calibration,
         )?;
@@ -629,6 +657,7 @@ pub fn compute_plan(req: &PlanRequest) -> Result<Json, ApiError> {
 
     Ok(Json::obj(vec![
         ("model", req.model.as_str().to_json()),
+        ("schedule", req.schedule.id().to_json()),
         ("partition", chosen.to_json()),
         ("summary", chosen.summary().to_json()),
         ("predicted_throughput", current_pred.to_json()),
@@ -656,6 +685,8 @@ pub struct SimulateRequest {
     pub cluster: ClusterSpec,
     /// The partition to execute.
     pub partition: Partition,
+    /// Pipeline schedule to simulate (default PipeDream async).
+    pub schedule: ScheduleKind,
     /// Mini-batches to simulate.
     pub iterations: usize,
 }
@@ -764,6 +795,7 @@ impl SimulateRequest {
             model,
             cluster,
             partition,
+            schedule: schedule_field(v)?,
             iterations,
         })
     }
@@ -775,11 +807,11 @@ pub fn compute_simulate(req: &SimulateRequest) -> Result<Json, ApiError> {
     let desc = model_by_name(&req.model).expect("model validated at parse time");
     let profile = ModelProfile::of(&desc);
     let state = req.cluster.to_state();
-    let (scheme, framework, schedule) = experiment_env();
+    let (scheme, framework) = experiment_env();
     let cfg = EngineConfig {
         scheme,
         framework,
-        schedule,
+        schedule: req.schedule,
         record_timeline: false,
         calibration: None,
     };
@@ -796,6 +828,7 @@ pub fn compute_simulate(req: &SimulateRequest) -> Result<Json, ApiError> {
         .map_err(|e| ApiError::unprocessable("simulation-failed", e.to_string()))?;
     Ok(Json::obj(vec![
         ("model", req.model.as_str().to_json()),
+        ("schedule", req.schedule.id().to_json()),
         ("partition", req.partition.to_json()),
         ("iterations", r.iterations.len().to_json()),
         ("throughput", r.throughput().to_json()),

@@ -139,6 +139,27 @@ fn hostile_requests_get_json_errors_and_never_wedge() {
     assert_eq!(r.status, 422);
     assert_eq!(error_kind(&r.body), "out-of-range");
 
+    // Unknown schedule id on /plan is semantically invalid, and a
+    // non-string schedule is malformed.
+    let r = c
+        .request(
+            "POST",
+            "/plan",
+            Some(&ap_json::parse(r#"{"model": "vgg16", "schedule": "one_f_one_b"}"#).unwrap()),
+        )
+        .unwrap();
+    assert_eq!(r.status, 422);
+    assert_eq!(error_kind(&r.body), "unknown-schedule");
+    let r = c
+        .request(
+            "POST",
+            "/plan",
+            Some(&ap_json::parse(r#"{"model": "vgg16", "schedule": 7}"#).unwrap()),
+        )
+        .unwrap();
+    assert_eq!(r.status, 400);
+    assert_eq!(error_kind(&r.body), "bad-field");
+
     // Structurally invalid partition (layer gap between stages).
     let r = c
         .request(

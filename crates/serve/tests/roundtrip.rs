@@ -49,6 +49,60 @@ fn plan_and_simulate_responses_roundtrip() {
 }
 
 #[test]
+fn schedule_field_selects_the_schedule_and_keys_the_cache() {
+    let with = |schedule: &str| {
+        PlanRequest::from_json(&Json::obj(vec![
+            ("model", "alexnet".to_json()),
+            ("planner", parse(r#"{"measure_iters": 4}"#).unwrap()),
+            ("schedule", schedule.to_json()),
+        ]))
+        .unwrap()
+    };
+    // Default and explicit pipedream_async are the same request.
+    let default = PlanRequest::from_json(&Json::obj(vec![
+        ("model", "alexnet".to_json()),
+        ("planner", parse(r#"{"measure_iters": 4}"#).unwrap()),
+    ]))
+    .unwrap();
+    assert_eq!(
+        default.canonical_key(),
+        with("pipedream_async").canonical_key()
+    );
+    // A different schedule is a different cache entry.
+    assert_ne!(default.canonical_key(), with("gpipe").canonical_key());
+
+    // The response echoes the schedule and still round-trips.
+    let gp = compute_plan(&with("gpipe")).unwrap();
+    assert_eq!(gp.get("schedule").and_then(Json::as_str), Some("gpipe"));
+    assert_roundtrips("gpipe plan response", &gp);
+
+    // /simulate: a flush schedule cannot out-run the async one on the
+    // same partition, and both responses label themselves.
+    let sim = |schedule: &str| {
+        let partition = gp.get("partition").cloned().unwrap();
+        let r = compute_simulate(
+            &SimulateRequest::from_json(&Json::obj(vec![
+                ("model", "alexnet".to_json()),
+                ("partition", partition),
+                ("schedule", schedule.to_json()),
+                ("iterations", 16usize.to_json()),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        assert_roundtrips("simulate response", &r);
+        assert_eq!(r.get("schedule").and_then(Json::as_str), Some(schedule));
+        r.get("steady_throughput").and_then(Json::as_f64).unwrap()
+    };
+    let pd = sim("pipedream_async");
+    let gpipe = sim("gpipe");
+    assert!(
+        gpipe <= pd * 1.001,
+        "gpipe {gpipe} should not beat pipedream {pd}"
+    );
+}
+
+#[test]
 fn error_bodies_roundtrip() {
     for e in [
         ApiError::bad_request("bad-json:unexpected end of input", "at offset 9"),

@@ -25,15 +25,20 @@ echo "== chaos drill =="
 # AutoPipe fails to keep completing work through a scored outage.
 cargo run --release --offline -p ap-bench --bin repro -- chaos --smoke
 
-echo "== serve smoke =="
+echo "== serve + resilience smoke =="
 # Serving-layer smoke: spawns the ap-serve daemon on an ephemeral port and
 # drives every endpoint — plan + cache hit, invalidation, simulate,
-# malformed input, a 4x-capacity overload burst (503 + Retry-After, queue
-# depth within bound) and a graceful drain. Exits 2 if the daemon fails to
-# run and 3 if any check fails. Run twice under different AP_PAR_THREADS:
-# smoke output uses fixed-clock reporting, so the JSON must be
-# byte-identical (the planner is deterministic across thread counts).
-cargo test -q --offline -p ap-json -p ap-serve
+# malformed input, a 4x-capacity overload burst (503 with a computed
+# Retry-After that shed clients honor and recover from, queue depth
+# within bound), the degraded-operation drill (induced verification
+# failures open the circuit breaker, /plan keeps answering 200 with
+# "degraded": true, the half-open probe closes it again, a zero-capacity
+# bulkhead sheds cleanly) and a graceful drain. Exits 2 if the daemon
+# fails to run and 3 if any check fails. Run twice under different
+# AP_PAR_THREADS: smoke output uses fixed-clock reporting, so the JSON
+# must be byte-identical (the planner is deterministic across thread
+# counts).
+cargo test -q --offline -p ap-json -p ap-resilience -p ap-serve
 serve_tmp="$(mktemp -d)"
 trap 'rm -rf "$serve_tmp"' EXIT
 cargo run --release --offline -p ap-bench --bin repro -- serve-bench --smoke --json "$serve_tmp/a"

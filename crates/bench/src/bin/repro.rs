@@ -329,12 +329,36 @@ fn run_serve_bench(smoke: bool, json: &Option<PathBuf>) {
             );
         }
         println!(
-            "\nOverload: {} connections vs queue bound {}: {} served, {} shed with 503, peak depth {}",
+            "\nOverload: {} connections vs queue bound {}: {} served, {} shed with 503, peak depth {}; {} shed clients recovered after Retry-After",
             r.overload.offered_connections,
             r.overload.queue_capacity,
             r.overload.served_200,
             r.overload.shed_503,
-            r.overload.peak_queue_depth
+            r.overload.peak_queue_depth,
+            r.overload.recovered_after_hint
+        );
+        println!(
+            "Degraded drill: {} induced failures -> {} degraded deadline-exhausted, breaker {}; \
+             {} degraded breaker-open at p99 {:.3} ms; recovery {}; bulkhead shed {}",
+            r.degraded.induced_failures,
+            r.degraded.degraded_deadline,
+            if r.degraded.breaker_opened {
+                "opened"
+            } else {
+                "DID NOT OPEN"
+            },
+            r.degraded.degraded_breaker_open,
+            r.degraded.degraded_p99_ms,
+            if r.degraded.breaker_recovered {
+                "via half-open probe"
+            } else {
+                "FAILED"
+            },
+            if r.degraded.bulkhead_shed {
+                "ok"
+            } else {
+                "BAD"
+            }
         );
         let out = PathBuf::from("BENCH_serve.json");
         fs::write(&out, r.to_json().pretty()).expect("write BENCH_serve.json");

@@ -6,7 +6,11 @@
 //! (plan, cache hit, invalidation, simulate, malformed input), a
 //! single-connection latency sweep, a fixed-concurrency throughput sweep
 //! on the cached plan path, a 4x-admission-capacity overload burst
-//! against a one-worker daemon, and a graceful shutdown.
+//! against a one-worker daemon (shed clients honor the computed
+//! `Retry-After` via [`ap_resilience::Retry`] and recover), a graceful
+//! shutdown, and a degraded-operation drill: induced verification
+//! failures trip the circuit breaker, `/plan` keeps answering 200 with
+//! `"degraded": true`, and the half-open probe closes the breaker again.
 //!
 //! Two modes share the code path:
 //!
@@ -21,8 +25,9 @@ use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use ap_json::{Json, ToJson};
+use ap_resilience::{Retry, RetryConfig, SystemClock};
 use ap_serve::client::Client;
-use ap_serve::{spawn, ServeConfig};
+use ap_serve::{spawn, ResilienceConfig, ServeConfig};
 
 use crate::timing::percentile;
 
@@ -105,6 +110,34 @@ pub struct OverloadSummary {
     pub peak_queue_depth: usize,
     /// Peak depth never exceeded the configured bound.
     pub depth_within_bound: bool,
+    /// Shed clients that came back after honoring `Retry-After` and got a
+    /// 200 (0 in smoke — racy tally).
+    pub recovered_after_hint: u64,
+    /// Every shed client recovered within its retry budget.
+    pub all_shed_recovered: bool,
+}
+
+/// The degraded-operation drill against a tight-breaker daemon.
+#[derive(Debug, Clone)]
+pub struct DegradedSummary {
+    /// Zero-budget (`deadline_ms: 0`) requests used to trip the breaker.
+    pub induced_failures: usize,
+    /// Responses degraded `deadline-exhausted` (equals `induced_failures`
+    /// when healthy).
+    pub degraded_deadline: u64,
+    /// Responses degraded `breaker-open` while the breaker cooled down.
+    pub degraded_breaker_open: u64,
+    /// `/metrics` showed `ap_breaker_state 1` after the induced failures.
+    pub breaker_opened: bool,
+    /// The first request past the cooldown rode the half-open probe,
+    /// verified fine, and closed the breaker again.
+    pub breaker_recovered: bool,
+    /// p99 of the degraded answers, ms (0 in smoke) — degrading must be
+    /// cheap, that is the point.
+    pub degraded_p99_ms: f64,
+    /// A zero-capacity plan bulkhead shed with `503 + Retry-After` while
+    /// `/simulate` kept working.
+    pub bulkhead_shed: bool,
 }
 
 /// The full serve-bench outcome.
@@ -128,6 +161,8 @@ pub struct ServeBenchResult {
     pub throughput: Vec<ThroughputRow>,
     /// The overload burst.
     pub overload: OverloadSummary,
+    /// The breaker/degradation drill.
+    pub degraded: DegradedSummary,
 }
 
 impl ServeBenchResult {
@@ -219,6 +254,7 @@ pub fn run(smoke: bool) -> Result<ServeBenchResult, String> {
         workers,
         queue_capacity,
         cache_capacity,
+        ..ServeConfig::default()
     })
     .map_err(err("spawn"))?;
     let addr = handle.addr();
@@ -537,6 +573,7 @@ pub fn run(smoke: bool) -> Result<ServeBenchResult, String> {
         workers: 1,
         queue_capacity: overload_queue,
         cache_capacity: 4,
+        ..ServeConfig::default()
     })
     .map_err(err("overload spawn"))?;
     let small_addr = small.addr();
@@ -544,32 +581,70 @@ pub fn run(smoke: bool) -> Result<ServeBenchResult, String> {
     let threads: Vec<_> = (0..offered)
         .map(|i| {
             let barrier = Arc::clone(&barrier);
-            std::thread::spawn(move || -> Result<(u16, bool), String> {
+            std::thread::spawn(move || -> Result<(u16, bool, bool), String> {
                 let mut c = Client::connect(small_addr).map_err(|e| e.to_string())?;
                 barrier.wait();
                 // Shed connections get their 503 unprompted at accept time.
-                if let Some(r) = c.read_unsolicited(Duration::from_millis(400)) {
-                    return Ok((r.status, r.header("retry-after").is_some()));
-                }
-                let r = c
-                    .request("POST", "/plan", Some(&cold_plan_body(i)))
-                    .map_err(|e| e.to_string())?;
-                Ok((r.status, r.header("retry-after").is_some()))
+                let Some(r) = c.read_unsolicited(Duration::from_millis(400)) else {
+                    let r = c
+                        .request("POST", "/plan", Some(&cold_plan_body(i)))
+                        .map_err(|e| e.to_string())?;
+                    return Ok((r.status, r.header("retry-after").is_some(), false));
+                };
+                let Some(hint) = r.retry_after() else {
+                    return Ok((r.status, false, false));
+                };
+                // A well-behaved client honors the hint: wait it out, then
+                // come back under the composed retry policy (seeded
+                // backoff, stretched by any further Retry-After).
+                drop(c);
+                std::thread::sleep(hint);
+                let clock = SystemClock::new();
+                let mut retry = Retry::new(
+                    RetryConfig {
+                        max_attempts: 5,
+                        base_delay: Duration::from_millis(100),
+                        max_delay: Duration::from_secs(2),
+                    },
+                    i as u64,
+                );
+                let recovered = retry
+                    .run(&clock, std::thread::sleep, |_| {
+                        let mut c =
+                            Client::connect(small_addr).map_err(|e| (e.to_string(), None))?;
+                        if let Some(r) = c.read_unsolicited(Duration::from_millis(200)) {
+                            return Err((format!("re-shed {}", r.status), r.retry_after()));
+                        }
+                        let r = c
+                            .request("POST", "/plan", Some(&cold_plan_body(i)))
+                            .map_err(|e| (e.to_string(), None))?;
+                        if r.status == 200 {
+                            Ok(())
+                        } else {
+                            Err((format!("retry got {}", r.status), r.retry_after()))
+                        }
+                    })
+                    .is_ok();
+                Ok((r.status, true, recovered))
             })
         })
         .collect();
     let mut shed_503 = 0u64;
     let mut served_200 = 0u64;
+    let mut recovered_after_hint = 0u64;
     let mut got_retry_after = true;
+    let mut all_shed_recovered = true;
     let mut overload_errors = Vec::new();
     for t in threads {
         match t.join().map_err(|_| "overload thread panicked")? {
-            Ok((200, _)) => served_200 += 1,
-            Ok((503, retry)) => {
+            Ok((200, _, _)) => served_200 += 1,
+            Ok((503, retry, recovered)) => {
                 shed_503 += 1;
                 got_retry_after &= retry;
+                all_shed_recovered &= recovered;
+                recovered_after_hint += recovered as u64;
             }
-            Ok((other, _)) => overload_errors.push(format!("unexpected status {other}")),
+            Ok((other, _, _)) => overload_errors.push(format!("unexpected status {other}")),
             Err(e) => overload_errors.push(e),
         }
     }
@@ -606,6 +681,15 @@ pub fn run(smoke: bool) -> Result<ServeBenchResult, String> {
             )
         },
     ));
+    checks.push(check(
+        "shed_clients_recover_after_hint",
+        all_shed_recovered,
+        if all_shed_recovered {
+            "every shed client got a 200 after honoring Retry-After".to_string()
+        } else {
+            format!("recovered {recovered_after_hint}/{shed_503}")
+        },
+    ));
 
     let overload = OverloadSummary {
         offered_connections: offered,
@@ -615,7 +699,12 @@ pub fn run(smoke: bool) -> Result<ServeBenchResult, String> {
         got_retry_after,
         peak_queue_depth: if smoke { 0 } else { peak_depth },
         depth_within_bound,
+        recovered_after_hint: if smoke { 0 } else { recovered_after_hint },
+        all_shed_recovered,
     };
+
+    // -- degraded operation: breaker trip, degrade, recover ---------------
+    let degraded = degraded_drill(smoke, &mut checks)?;
 
     let cache_speedup = cold_seconds / cached_seconds.max(1e-9);
     if !smoke {
@@ -650,6 +739,245 @@ pub fn run(smoke: bool) -> Result<ServeBenchResult, String> {
         latency,
         throughput,
         overload,
+        degraded,
+    })
+}
+
+/// A `/plan` request with a born-expired budget (`deadline_ms: 0`) and a
+/// distinct cache key per index: each one must degrade
+/// `deadline-exhausted` and charge a failure to the verify breaker.
+fn hurried_plan_body(i: usize) -> Json {
+    Json::obj(vec![
+        ("model", "alexnet".to_json()),
+        (
+            "cluster",
+            Json::obj(vec![("link_gbps", (50.0 + i as f64).to_json())]),
+        ),
+        (
+            "planner",
+            Json::obj(vec![("deadline_ms", 0usize.to_json())]),
+        ),
+    ])
+}
+
+fn degraded_of(j: &Json) -> (Option<bool>, Option<String>) {
+    (
+        j.get("degraded").and_then(Json::as_bool),
+        j.get("degraded_reason")
+            .and_then(Json::as_str)
+            .map(String::from),
+    )
+}
+
+fn breaker_metric_gauge(c: &mut Client) -> Result<u64, String> {
+    let r = c
+        .request("GET", "/metrics", None)
+        .map_err(|e| format!("metrics: {e}"))?;
+    let text = String::from_utf8(r.body.clone()).map_err(|e| e.to_string())?;
+    text.lines()
+        .find_map(|l| l.strip_prefix("ap_breaker_state{breaker=\"verify\"} "))
+        .ok_or_else(|| "breaker state series missing from /metrics".to_string())?
+        .parse::<u64>()
+        .map_err(|e| e.to_string())
+}
+
+/// Trip the verify breaker with induced failures, show `/plan` degrading
+/// instead of failing, recover through the half-open probe, and prove the
+/// zero-capacity bulkhead lever sheds cleanly.
+fn degraded_drill(smoke: bool, checks: &mut Vec<CheckRow>) -> Result<DegradedSummary, String> {
+    fn err(stage: &'static str) -> impl Fn(std::io::Error) -> String {
+        move |e| format!("{stage}: {e}")
+    }
+    // Tight breaker: window 4, min 4, rate 0.5 -> four failures trip it.
+    // The cooldown is long enough that the three in-between requests
+    // cannot accidentally ride the probe, short enough to wait out.
+    let cooldown = Duration::from_millis(400);
+    let induced = 4usize;
+    let mut dg = spawn(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_capacity: 8,
+        cache_capacity: 8,
+        resilience: ResilienceConfig {
+            breaker_window: 4,
+            breaker_min_samples: 4,
+            breaker_failure_rate: 0.5,
+            breaker_cooldown_ms: cooldown.as_millis() as u64,
+            breaker_probes: 1,
+            ..ResilienceConfig::default()
+        },
+        ..ServeConfig::default()
+    })
+    .map_err(err("degraded spawn"))?;
+    let mut c = Client::connect(dg.addr()).map_err(err("degraded connect"))?;
+
+    // Phase 1: four zero-budget requests, each 200 but degraded.
+    let mut degraded_deadline = 0u64;
+    let mut phase1_ok = true;
+    for i in 0..induced {
+        let r = c
+            .request("POST", "/plan", Some(&hurried_plan_body(i)))
+            .map_err(err("hurried plan"))?;
+        let j = r.json().unwrap_or(Json::Null);
+        let (flag, reason) = degraded_of(&j);
+        let ok = r.status == 200
+            && flag == Some(true)
+            && reason.as_deref() == Some("deadline-exhausted")
+            && j.get("partition").is_some();
+        phase1_ok &= ok;
+        degraded_deadline += ok as u64;
+    }
+    checks.push(check(
+        "exhausted_deadline_degrades_not_fails",
+        phase1_ok,
+        if phase1_ok {
+            format!("{induced}/{induced} zero-budget plans answered 200 degraded")
+        } else {
+            "a zero-budget plan failed outright".to_string()
+        },
+    ));
+
+    // Phase 2: the failure rate tripped the breaker; patient requests now
+    // degrade breaker-open — and cheaply, since the engine is skipped.
+    let breaker_opened = breaker_metric_gauge(&mut c)? == 1;
+    checks.push(check(
+        "induced_failures_open_breaker",
+        breaker_opened,
+        if breaker_opened {
+            "ap_breaker_state 1 after four failures"
+        } else {
+            "breaker still closed"
+        },
+    ));
+    let mut degraded_breaker_open = 0u64;
+    let mut open_samples = Vec::new();
+    let mut phase2_ok = true;
+    for i in 0..3usize {
+        let body = cold_plan_body(100 + i);
+        let t0 = Instant::now();
+        let r = c
+            .request("POST", "/plan", Some(&body))
+            .map_err(err("open-breaker plan"))?;
+        open_samples.push(ms(t0.elapsed()));
+        let j = r.json().unwrap_or(Json::Null);
+        let (flag, reason) = degraded_of(&j);
+        let ok = r.status == 200
+            && flag == Some(true)
+            && reason.as_deref() == Some("breaker-open")
+            && matches!(j.get("measured_throughput"), Some(Json::Null))
+            && j.get("predicted_throughput")
+                .and_then(Json::as_f64)
+                .is_some_and(|t| t > 0.0);
+        phase2_ok &= ok;
+        degraded_breaker_open += ok as u64;
+    }
+    checks.push(check(
+        "open_breaker_serves_analytic_plans",
+        phase2_ok,
+        if phase2_ok {
+            "3/3 answered 200 degraded breaker-open, analytic prediction attached"
+        } else {
+            "a request under an open breaker misbehaved"
+        },
+    ));
+
+    // Phase 3: wait out the cooldown; the next request is the half-open
+    // probe, verification succeeds, and the breaker closes.
+    std::thread::sleep(cooldown + Duration::from_millis(150));
+    let r = c
+        .request("POST", "/plan", Some(&cold_plan_body(200)))
+        .map_err(err("probe plan"))?;
+    let j = r.json().unwrap_or(Json::Null);
+    let probe_full = r.status == 200
+        && degraded_of(&j) == (Some(false), None)
+        && j.get("measured_throughput")
+            .and_then(Json::as_f64)
+            .is_some_and(|t| t > 0.0);
+    let breaker_recovered = probe_full && breaker_metric_gauge(&mut c)? == 0;
+    checks.push(check(
+        "half_open_probe_closes_breaker",
+        breaker_recovered,
+        if breaker_recovered {
+            "first post-cooldown request verified fully; ap_breaker_state back to 0"
+        } else {
+            "probe did not close the breaker"
+        },
+    ));
+    drop(c);
+    dg.shutdown();
+
+    // Bulkhead lever: capacity 0 on /plan sheds deterministically with a
+    // computed Retry-After while /simulate (its own bulkhead) still works.
+    let mut bh = spawn(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_capacity: 4,
+        cache_capacity: 4,
+        resilience: ResilienceConfig {
+            plan_bulkhead: 0,
+            ..ResilienceConfig::default()
+        },
+        ..ServeConfig::default()
+    })
+    .map_err(err("bulkhead spawn"))?;
+    let mut c = Client::connect(bh.addr()).map_err(err("bulkhead connect"))?;
+    let r = c
+        .request("POST", "/plan", Some(&cold_plan_body(0)))
+        .map_err(err("bulkhead plan"))?;
+    let shed_right = r.status == 503
+        && r.json()
+            .and_then(|j| {
+                j.get("error")
+                    .and_then(|e| e.get("kind"))
+                    .and_then(Json::as_str)
+                    .map(String::from)
+            })
+            .as_deref()
+            == Some("bulkhead-full")
+        && r.retry_after()
+            .is_some_and(|h| h >= Duration::from_secs(1) && h <= Duration::from_secs(30));
+    let sim = Json::obj(vec![
+        ("model", "alexnet".to_json()),
+        (
+            "partition",
+            Json::obj(vec![(
+                "stages",
+                Json::Arr(vec![Json::obj(vec![
+                    ("layers", vec![0usize, 11].to_json()),
+                    ("workers", vec![0usize, 1].to_json()),
+                ])]),
+            )]),
+        ),
+        ("iterations", 12usize.to_json()),
+    ]);
+    let r = c
+        .request("POST", "/simulate", Some(&sim))
+        .map_err(err("bulkhead simulate"))?;
+    let bulkhead_shed = shed_right && r.status == 200;
+    checks.push(check(
+        "zero_bulkhead_sheds_plan_only",
+        bulkhead_shed,
+        if bulkhead_shed {
+            "plan 503 bulkhead-full with Retry-After; simulate unaffected"
+        } else {
+            "bulkhead lever misbehaved"
+        },
+    ));
+    drop(c);
+    bh.shutdown();
+
+    Ok(DegradedSummary {
+        induced_failures: induced,
+        degraded_deadline,
+        degraded_breaker_open,
+        breaker_opened,
+        breaker_recovered,
+        degraded_p99_ms: if smoke {
+            0.0
+        } else {
+            percentile(open_samples, 99.0)
+        },
+        bulkhead_shed,
     })
 }
 

@@ -239,6 +239,7 @@ impl ToJson for crate::experiments::serve_bench::ServeBenchResult {
             ("latency", self.latency.to_json()),
             ("throughput", self.throughput.to_json()),
             ("overload", self.overload.to_json()),
+            ("degraded", self.degraded.to_json()),
         ])
     }
 }
@@ -302,6 +303,25 @@ impl ToJson for crate::experiments::serve_bench::OverloadSummary {
             ("got_retry_after", self.got_retry_after.to_json()),
             ("peak_queue_depth", self.peak_queue_depth.to_json()),
             ("depth_within_bound", self.depth_within_bound.to_json()),
+            ("recovered_after_hint", self.recovered_after_hint.to_json()),
+            ("all_shed_recovered", self.all_shed_recovered.to_json()),
+        ])
+    }
+}
+
+impl ToJson for crate::experiments::serve_bench::DegradedSummary {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("induced_failures", self.induced_failures.to_json()),
+            ("degraded_deadline", self.degraded_deadline.to_json()),
+            (
+                "degraded_breaker_open",
+                self.degraded_breaker_open.to_json(),
+            ),
+            ("breaker_opened", self.breaker_opened.to_json()),
+            ("breaker_recovered", self.breaker_recovered.to_json()),
+            ("degraded_p99_ms", self.degraded_p99_ms.to_json()),
+            ("bulkhead_shed", self.bulkhead_shed.to_json()),
         ])
     }
 }

@@ -1,0 +1,499 @@
+//! Circuit breaker: stop hammering a dependency that is failing.
+//!
+//! Classic three-state machine over an injected [`Clock`]:
+//!
+//! * **Closed** — calls flow; outcomes land in a rolling window of the
+//!   last `window` results. When at least `min_samples` outcomes are
+//!   present and the failure rate reaches `failure_rate`, the breaker
+//!   **opens**.
+//! * **Open** — calls are rejected instantly (the caller degrades or
+//!   sheds). After `cooldown` has elapsed the first admission attempt
+//!   moves the breaker to half-open.
+//! * **Half-open** — exactly `half_open_probes` trial calls are
+//!   admitted. If all of them succeed the breaker **closes** (window
+//!   cleared); the first probe failure re-opens it and restarts the
+//!   cooldown.
+//!
+//! Operators can pin the state with [`Mode::ForcedOpen`] /
+//! [`Mode::ForcedClosed`] (outcomes are still recorded so the window is
+//! warm when the breaker returns to [`Mode::Auto`]).
+//!
+//! Every transition is a pure function of recorded outcomes and clock
+//! readings — the test suite drives it entirely with a
+//! [`FakeClock`](crate::clock::FakeClock).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::clock::Clock;
+
+/// Breaker tuning.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Rolling outcome window length.
+    pub window: usize,
+    /// Minimum outcomes in the window before the rate can trip.
+    pub min_samples: usize,
+    /// Failure rate in `[0, 1]` that opens the breaker.
+    pub failure_rate: f64,
+    /// How long the breaker stays open before probing.
+    pub cooldown: Duration,
+    /// Trial calls admitted in half-open; all must succeed to close.
+    pub half_open_probes: usize,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window: 16,
+            min_samples: 8,
+            failure_rate: 0.5,
+            cooldown: Duration::from_secs(5),
+            half_open_probes: 1,
+        }
+    }
+}
+
+/// The observable state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow.
+    Closed,
+    /// Calls are rejected.
+    Open,
+    /// A bounded number of probes flow.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable id for logs and metrics labels.
+    pub fn id(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+
+    /// Prometheus gauge encoding: closed 0, open 1, half-open 2.
+    pub fn gauge(self) -> u64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+}
+
+/// Operator override.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// The state machine runs.
+    Auto,
+    /// Every call is rejected, regardless of outcomes.
+    ForcedOpen,
+    /// Every call is admitted, regardless of outcomes.
+    ForcedClosed,
+}
+
+impl Mode {
+    /// Stable id (accepted by `parse`).
+    pub fn id(self) -> &'static str {
+        match self {
+            Mode::Auto => "auto",
+            Mode::ForcedOpen => "forced_open",
+            Mode::ForcedClosed => "forced_closed",
+        }
+    }
+
+    /// Inverse of [`Mode::id`].
+    pub fn parse(s: &str) -> Option<Mode> {
+        match s {
+            "auto" => Some(Mode::Auto),
+            "forced_open" => Some(Mode::ForcedOpen),
+            "forced_closed" => Some(Mode::ForcedClosed),
+            _ => None,
+        }
+    }
+}
+
+/// Whether a call may proceed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Proceed; report the outcome with `record_success`/`record_failure`.
+    Allowed,
+    /// Rejected — degrade or shed, and do **not** record an outcome.
+    Rejected,
+}
+
+/// Monotonic counters for observability.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BreakerCounters {
+    /// Transitions into open (natural trips only, not forced mode).
+    pub opens: u64,
+    /// Calls rejected (open state, exhausted probes, or forced open).
+    pub rejected: u64,
+    /// Successes recorded.
+    pub successes: u64,
+    /// Failures recorded.
+    pub failures: u64,
+}
+
+/// A point-in-time view for `/stats`-style reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerSnapshot {
+    /// Current state (as forced mode presents it).
+    pub state: BreakerState,
+    /// Current operator mode.
+    pub mode: Mode,
+    /// Failure rate over the current window (0 when empty).
+    pub window_failure_rate: f64,
+    /// Outcomes currently in the window.
+    pub window_len: usize,
+    /// Counters since construction.
+    pub counters: BreakerCounters,
+}
+
+#[derive(Debug)]
+enum Phase {
+    Closed,
+    Open { since: Duration },
+    HalfOpen { admitted: usize, succeeded: usize },
+}
+
+#[derive(Debug)]
+struct Inner {
+    phase: Phase,
+    mode: Mode,
+    /// Rolling window of outcomes, `true` = failure.
+    window: VecDeque<bool>,
+    counters: BreakerCounters,
+}
+
+/// The breaker. Cheap to share: clone the surrounding `Arc`.
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    clock: Arc<dyn Clock>,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for CircuitBreaker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CircuitBreaker")
+            .field("cfg", &self.cfg)
+            .field("snapshot", &self.snapshot())
+            .finish()
+    }
+}
+
+impl CircuitBreaker {
+    /// A closed breaker in [`Mode::Auto`].
+    pub fn new(cfg: BreakerConfig, clock: Arc<dyn Clock>) -> Self {
+        let cfg = BreakerConfig {
+            window: cfg.window.max(1),
+            min_samples: cfg.min_samples.max(1),
+            failure_rate: cfg.failure_rate.clamp(0.0, 1.0),
+            half_open_probes: cfg.half_open_probes.max(1),
+            ..cfg
+        };
+        CircuitBreaker {
+            cfg,
+            clock,
+            inner: Mutex::new(Inner {
+                phase: Phase::Closed,
+                mode: Mode::Auto,
+                window: VecDeque::new(),
+                counters: BreakerCounters::default(),
+            }),
+        }
+    }
+
+    /// Ask to make a call. `Rejected` means degrade/shed — and skip the
+    /// outcome report. `Allowed` during half-open consumes one probe.
+    pub fn try_acquire(&self) -> Admission {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.mode {
+            Mode::ForcedOpen => {
+                inner.counters.rejected += 1;
+                return Admission::Rejected;
+            }
+            Mode::ForcedClosed => return Admission::Allowed,
+            Mode::Auto => {}
+        }
+        let now = self.clock.now();
+        match inner.phase {
+            Phase::Closed => Admission::Allowed,
+            Phase::Open { since } => {
+                if now.saturating_sub(since) >= self.cfg.cooldown {
+                    inner.phase = Phase::HalfOpen {
+                        admitted: 1,
+                        succeeded: 0,
+                    };
+                    Admission::Allowed
+                } else {
+                    inner.counters.rejected += 1;
+                    Admission::Rejected
+                }
+            }
+            Phase::HalfOpen {
+                ref mut admitted, ..
+            } => {
+                if *admitted < self.cfg.half_open_probes {
+                    *admitted += 1;
+                    Admission::Allowed
+                } else {
+                    inner.counters.rejected += 1;
+                    Admission::Rejected
+                }
+            }
+        }
+    }
+
+    /// Report a successful call.
+    pub fn record_success(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.counters.successes += 1;
+        self.push_outcome(&mut inner, false);
+        if let (Mode::Auto, Phase::HalfOpen { succeeded, .. }) = (inner.mode, &mut inner.phase) {
+            *succeeded += 1;
+            if *succeeded >= self.cfg.half_open_probes {
+                inner.phase = Phase::Closed;
+                inner.window.clear();
+            }
+        }
+    }
+
+    /// Report a failed call.
+    pub fn record_failure(&self) {
+        let now = self.clock.now();
+        let mut inner = self.inner.lock().unwrap();
+        inner.counters.failures += 1;
+        self.push_outcome(&mut inner, true);
+        if inner.mode != Mode::Auto {
+            return;
+        }
+        match inner.phase {
+            // A probe failure re-opens immediately and restarts cooldown.
+            Phase::HalfOpen { .. } => self.trip(&mut inner, now),
+            Phase::Closed => {
+                let failures = inner.window.iter().filter(|&&f| f).count();
+                let len = inner.window.len();
+                if len >= self.cfg.min_samples
+                    && failures as f64 >= self.cfg.failure_rate * len as f64
+                {
+                    self.trip(&mut inner, now);
+                }
+            }
+            Phase::Open { .. } => {}
+        }
+    }
+
+    /// Set the operator mode. Returning to [`Mode::Auto`] from a forced
+    /// mode resumes from a closed state with the recorded window intact.
+    pub fn set_mode(&self, mode: Mode) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.mode != mode {
+            inner.mode = mode;
+            if mode == Mode::Auto {
+                inner.phase = Phase::Closed;
+            }
+        }
+    }
+
+    /// Current operator mode.
+    pub fn mode(&self) -> Mode {
+        self.inner.lock().unwrap().mode
+    }
+
+    /// The state a caller would observe right now (forced modes present
+    /// as open/closed; an elapsed cooldown still reads open until a call
+    /// actually probes).
+    pub fn state(&self) -> BreakerState {
+        let inner = self.inner.lock().unwrap();
+        match inner.mode {
+            Mode::ForcedOpen => BreakerState::Open,
+            Mode::ForcedClosed => BreakerState::Closed,
+            Mode::Auto => match inner.phase {
+                Phase::Closed => BreakerState::Closed,
+                Phase::Open { .. } => BreakerState::Open,
+                Phase::HalfOpen { .. } => BreakerState::HalfOpen,
+            },
+        }
+    }
+
+    /// Point-in-time view for stats/metrics.
+    pub fn snapshot(&self) -> BreakerSnapshot {
+        let state = self.state();
+        let inner = self.inner.lock().unwrap();
+        let len = inner.window.len();
+        let failures = inner.window.iter().filter(|&&f| f).count();
+        BreakerSnapshot {
+            state,
+            mode: inner.mode,
+            window_failure_rate: if len == 0 {
+                0.0
+            } else {
+                failures as f64 / len as f64
+            },
+            window_len: len,
+            counters: inner.counters,
+        }
+    }
+
+    fn push_outcome(&self, inner: &mut Inner, failed: bool) {
+        inner.window.push_back(failed);
+        while inner.window.len() > self.cfg.window {
+            inner.window.pop_front();
+        }
+    }
+
+    fn trip(&self, inner: &mut Inner, now: Duration) {
+        inner.phase = Phase::Open { since: now };
+        inner.counters.opens += 1;
+        inner.window.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::FakeClock;
+
+    fn breaker(clock: Arc<FakeClock>) -> CircuitBreaker {
+        CircuitBreaker::new(
+            BreakerConfig {
+                window: 8,
+                min_samples: 4,
+                failure_rate: 0.5,
+                cooldown: Duration::from_secs(10),
+                half_open_probes: 2,
+            },
+            clock,
+        )
+    }
+
+    #[test]
+    fn trips_at_the_threshold_not_before() {
+        let clock = FakeClock::shared();
+        let b = breaker(clock);
+        // 3 failures: under min_samples, still closed.
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        // A success then a 4th failure: window = [f f f s f] -> 4/5 >= 0.5.
+        b.record_success();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.snapshot().counters.opens, 1);
+    }
+
+    #[test]
+    fn open_rejects_until_cooldown_then_probes() {
+        let clock = FakeClock::shared();
+        let b = breaker(clock.clone());
+        for _ in 0..4 {
+            b.record_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.try_acquire(), Admission::Rejected);
+        clock.advance(Duration::from_secs(9));
+        assert_eq!(b.try_acquire(), Admission::Rejected);
+        clock.advance(Duration::from_secs(1));
+        // Cooldown elapsed: exactly half_open_probes admissions.
+        assert_eq!(b.try_acquire(), Admission::Allowed);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.try_acquire(), Admission::Allowed);
+        assert_eq!(b.try_acquire(), Admission::Rejected);
+        assert_eq!(b.try_acquire(), Admission::Rejected);
+    }
+
+    #[test]
+    fn all_probe_successes_close() {
+        let clock = FakeClock::shared();
+        let b = breaker(clock.clone());
+        for _ in 0..4 {
+            b.record_failure();
+        }
+        clock.advance(Duration::from_secs(10));
+        assert_eq!(b.try_acquire(), Admission::Allowed);
+        assert_eq!(b.try_acquire(), Admission::Allowed);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::HalfOpen, "one probe is not all");
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        // The window restarts clean: old failures cannot re-trip it.
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn probe_failure_reopens_with_fresh_cooldown() {
+        let clock = FakeClock::shared();
+        let b = breaker(clock.clone());
+        for _ in 0..4 {
+            b.record_failure();
+        }
+        clock.advance(Duration::from_secs(10));
+        assert_eq!(b.try_acquire(), Admission::Allowed);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.snapshot().counters.opens, 2);
+        // The cooldown restarted at the probe failure.
+        clock.advance(Duration::from_secs(9));
+        assert_eq!(b.try_acquire(), Admission::Rejected);
+        clock.advance(Duration::from_secs(1));
+        assert_eq!(b.try_acquire(), Admission::Allowed);
+    }
+
+    #[test]
+    fn forced_modes_override_and_auto_resumes() {
+        let clock = FakeClock::shared();
+        let b = breaker(clock);
+        b.set_mode(Mode::ForcedOpen);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.try_acquire(), Admission::Rejected);
+        b.set_mode(Mode::ForcedClosed);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.try_acquire(), Admission::Allowed);
+        b.set_mode(Mode::Auto);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.try_acquire(), Admission::Allowed);
+    }
+
+    #[test]
+    fn counters_track_rejections_and_outcomes() {
+        let clock = FakeClock::shared();
+        let b = breaker(clock);
+        b.record_success();
+        for _ in 0..4 {
+            b.record_failure();
+        }
+        let _ = b.try_acquire();
+        let _ = b.try_acquire();
+        let s = b.snapshot();
+        assert_eq!(s.counters.successes, 1);
+        assert_eq!(s.counters.failures, 4);
+        assert_eq!(s.counters.rejected, 2);
+        assert_eq!(s.counters.opens, 1);
+        assert_eq!(s.state, BreakerState::Open);
+    }
+
+    #[test]
+    fn window_rolls_old_outcomes_out() {
+        let clock = FakeClock::shared();
+        let b = breaker(clock);
+        // 4 early failures pushed out by 8 successes: never trips on a
+        // later single failure (window holds the last 8 outcomes only).
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        for _ in 0..8 {
+            b.record_success();
+        }
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.snapshot().window_failure_rate < 0.5);
+    }
+}

@@ -1,0 +1,212 @@
+//! Bulkhead: a bounded pool of concurrent permits per resource.
+//!
+//! Partitions a server's capacity so one slow endpoint cannot absorb
+//! every worker: each protected resource gets its own [`Bulkhead`], and a
+//! call runs only while it holds a [`BulkheadPermit`]. Acquisition never
+//! blocks — at capacity the caller is told to shed (HTTP 503 +
+//! `Retry-After`) instead of queueing without bound. Permits release on
+//! drop, so early returns and panics cannot leak occupancy.
+//!
+//! A capacity of **zero** is legal and rejects every call — an explicit
+//! "maintenance mode" lever, and a deterministic way to exercise the
+//! rejection path in tests.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Occupancy counters for observability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BulkheadSnapshot {
+    /// Permits currently held.
+    pub in_use: usize,
+    /// The configured bound.
+    pub capacity: usize,
+    /// High-water mark of concurrent permits.
+    pub peak_in_use: usize,
+    /// Successful acquisitions since construction.
+    pub acquired: u64,
+    /// Rejections since construction.
+    pub rejected: u64,
+}
+
+#[derive(Debug)]
+struct Shared {
+    capacity: usize,
+    in_use: AtomicUsize,
+    /// Guarded separately: peak update must see a consistent `in_use`.
+    peak: Mutex<usize>,
+    acquired: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// A bounded concurrent-permit pool. Clones share one pool.
+#[derive(Debug, Clone)]
+pub struct Bulkhead {
+    shared: Arc<Shared>,
+}
+
+impl Bulkhead {
+    /// A pool of `capacity` permits (0 rejects everything).
+    pub fn new(capacity: usize) -> Self {
+        Bulkhead {
+            shared: Arc::new(Shared {
+                capacity,
+                in_use: AtomicUsize::new(0),
+                peak: Mutex::new(0),
+                acquired: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Try to take a permit; `None` means shed. Never blocks.
+    pub fn try_acquire(&self) -> Option<BulkheadPermit> {
+        let s = &self.shared;
+        let mut cur = s.in_use.load(Ordering::Relaxed);
+        loop {
+            if cur >= s.capacity {
+                s.rejected.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            match s
+                .in_use
+                .compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        s.acquired.fetch_add(1, Ordering::Relaxed);
+        let now = cur + 1;
+        let mut peak = s.peak.lock().unwrap();
+        if now > *peak {
+            *peak = now;
+        }
+        drop(peak);
+        Some(BulkheadPermit {
+            shared: Arc::clone(s),
+        })
+    }
+
+    /// Permits currently held.
+    pub fn in_use(&self) -> usize {
+        self.shared.in_use.load(Ordering::Relaxed)
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Point-in-time counters.
+    pub fn snapshot(&self) -> BulkheadSnapshot {
+        let s = &self.shared;
+        BulkheadSnapshot {
+            in_use: s.in_use.load(Ordering::Relaxed),
+            capacity: s.capacity,
+            peak_in_use: *s.peak.lock().unwrap(),
+            acquired: s.acquired.load(Ordering::Relaxed),
+            rejected: s.rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A held permit; dropping it frees the slot.
+#[derive(Debug)]
+pub struct BulkheadPermit {
+    shared: Arc<Shared>,
+}
+
+impl Drop for BulkheadPermit {
+    fn drop(&mut self) {
+        self.shared.in_use.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permits_are_bounded_and_release_on_drop() {
+        let b = Bulkhead::new(2);
+        let p1 = b.try_acquire().unwrap();
+        let p2 = b.try_acquire().unwrap();
+        assert!(b.try_acquire().is_none());
+        assert_eq!(b.in_use(), 2);
+        drop(p1);
+        assert_eq!(b.in_use(), 1);
+        let p3 = b.try_acquire().unwrap();
+        assert!(b.try_acquire().is_none());
+        drop(p2);
+        drop(p3);
+        let s = b.snapshot();
+        assert_eq!(s.in_use, 0);
+        assert_eq!(s.peak_in_use, 2);
+        assert_eq!(s.acquired, 3);
+        assert_eq!(s.rejected, 2);
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let b = Bulkhead::new(0);
+        assert!(b.try_acquire().is_none());
+        assert_eq!(b.snapshot().rejected, 1);
+        assert_eq!(b.snapshot().acquired, 0);
+    }
+
+    #[test]
+    fn early_return_cannot_leak_a_permit() {
+        let b = Bulkhead::new(1);
+        fn guarded(b: &Bulkhead, fail: bool) -> Result<(), ()> {
+            let _permit = b.try_acquire().ok_or(())?;
+            if fail {
+                return Err(());
+            }
+            Ok(())
+        }
+        assert!(guarded(&b, true).is_err());
+        assert!(guarded(&b, false).is_ok());
+        assert_eq!(b.in_use(), 0);
+    }
+
+    #[test]
+    fn concurrent_accounting_is_exact() {
+        let b = Bulkhead::new(3);
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let b = b.clone();
+                std::thread::spawn(move || {
+                    let mut acquired = 0u64;
+                    let mut rejected = 0u64;
+                    for _ in 0..500 {
+                        match b.try_acquire() {
+                            Some(p) => {
+                                let held = b.in_use();
+                                assert!((1..=3).contains(&held), "in_use {held} out of bounds");
+                                acquired += 1;
+                                drop(p);
+                            }
+                            None => rejected += 1,
+                        }
+                    }
+                    (acquired, rejected)
+                })
+            })
+            .collect();
+        let mut acquired = 0;
+        let mut rejected = 0;
+        for t in threads {
+            let (a, r) = t.join().unwrap();
+            acquired += a;
+            rejected += r;
+        }
+        let s = b.snapshot();
+        assert_eq!(acquired + rejected, 8 * 500, "every attempt accounted");
+        assert_eq!(s.acquired, acquired);
+        assert_eq!(s.rejected, rejected);
+        assert_eq!(s.in_use, 0, "all permits returned");
+        assert!(s.peak_in_use <= 3, "peak never exceeded capacity");
+        assert!(acquired > 0);
+    }
+}

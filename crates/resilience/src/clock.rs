@@ -1,0 +1,120 @@
+//! The injectable time source every policy in this crate is built on.
+//!
+//! Policies never call [`std::time::Instant::now`] directly: they hold an
+//! `Arc<dyn Clock>` and ask it. Production code hands them a
+//! [`SystemClock`]; tests hand them a [`FakeClock`] and *advance it by
+//! hand*, so an open-circuit cooldown or a retry backoff window is
+//! crossed by a method call, not by sleeping. That is what makes the
+//! breaker/bulkhead/retry test suites deterministic and instant.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A monotonic time source. `now` is the elapsed time since the clock's
+/// own (arbitrary) origin; only differences between readings are
+/// meaningful.
+pub trait Clock: Send + Sync {
+    /// Monotonic reading since the clock's origin.
+    fn now(&self) -> Duration;
+}
+
+/// The real wall clock: [`Instant::elapsed`] since construction.
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> Self {
+        SystemClock {
+            origin: Instant::now(),
+        }
+    }
+
+    /// Convenience: a shareable system clock.
+    pub fn shared() -> Arc<dyn Clock> {
+        Arc::new(SystemClock::new())
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Duration {
+        self.origin.elapsed()
+    }
+}
+
+/// A hand-cranked clock for tests: time moves only when the test calls
+/// [`FakeClock::advance`] (or [`FakeClock::set`]).
+#[derive(Debug, Default)]
+pub struct FakeClock {
+    now: Mutex<Duration>,
+}
+
+impl FakeClock {
+    /// A fake clock at t = 0.
+    pub fn new() -> Self {
+        FakeClock::default()
+    }
+
+    /// Convenience: a shareable handle to a fresh fake clock, returned
+    /// both as the concrete type (for the test to crank) and usable as
+    /// `Arc<dyn Clock>` (for the policy under test).
+    pub fn shared() -> Arc<FakeClock> {
+        Arc::new(FakeClock::new())
+    }
+
+    /// Move time forward by `d`.
+    pub fn advance(&self, d: Duration) {
+        let mut now = self.now.lock().unwrap();
+        *now += d;
+    }
+
+    /// Jump to an absolute reading (may move backwards; tests only).
+    pub fn set(&self, t: Duration) {
+        *self.now.lock().unwrap() = t;
+    }
+}
+
+impl Clock for FakeClock {
+    fn now(&self) -> Duration {
+        *self.now.lock().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotone() {
+        let c = SystemClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn fake_clock_moves_only_by_hand() {
+        let c = FakeClock::new();
+        assert_eq!(c.now(), Duration::ZERO);
+        c.advance(Duration::from_millis(250));
+        assert_eq!(c.now(), Duration::from_millis(250));
+        c.set(Duration::from_secs(5));
+        assert_eq!(c.now(), Duration::from_secs(5));
+    }
+
+    #[test]
+    fn fake_clock_is_shareable_as_dyn() {
+        let c = FakeClock::shared();
+        let as_dyn: Arc<dyn Clock> = c.clone();
+        c.advance(Duration::from_secs(1));
+        assert_eq!(as_dyn.now(), Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,58 @@
+//! # ap-resilience — composable resilience policies
+//!
+//! AutoPipe's control plane runs in a *shared* cluster: resource events
+//! arrive continuously and the planning daemon must stay available under
+//! overload and partial failure. This crate provides the four policies
+//! that make that possible, as small, dependency-free building blocks
+//! (the only in-tree dependency is [`ap_rng`], for seeded retry jitter):
+//!
+//! | policy | question it answers |
+//! |---|---|
+//! | [`Retry`] | "transient failure — when may I try again?" (seeded exponential backoff) |
+//! | [`Deadline`] | "how much budget does this request have left?" |
+//! | [`CircuitBreaker`] | "is this dependency so unhealthy I should stop calling it?" |
+//! | [`Bulkhead`] | "how many concurrent calls may this resource absorb?" |
+//!
+//! Every policy is parameterized over an injectable [`Clock`]. Production
+//! code passes [`SystemClock`]; tests pass [`FakeClock`] and advance it
+//! explicitly, so **every state transition in this crate is unit-testable
+//! with zero real sleeps** — an open-circuit cooldown is crossed by
+//! `clock.advance(...)`, not `thread::sleep`.
+//!
+//! ## Composition order
+//!
+//! When stacking policies around one call, the canonical order from the
+//! outside in is:
+//!
+//! ```text
+//! Bulkhead  ->  Deadline  ->  CircuitBreaker  ->  Retry  ->  call
+//! ```
+//!
+//! * The **bulkhead** is outermost: work that cannot get a permit is shed
+//!   before it consumes any budget.
+//! * The **deadline** brackets everything that runs on behalf of the
+//!   request, so retries and breaker probes cannot outlive the caller's
+//!   patience.
+//! * The **breaker** sits inside the deadline: a rejected admission is an
+//!   instant, budget-free answer ("degrade now").
+//! * **Retry** is innermost and each attempt re-checks the deadline; a
+//!   breaker-rejected call is *not* retried (the point of the breaker is
+//!   to stop hammering).
+//!
+//! ap-serve wires exactly this stack around engine-verified planning; see
+//! DESIGN.md §11 for the tuning rationale and the degraded-mode
+//! semantics.
+
+pub mod breaker;
+pub mod bulkhead;
+pub mod clock;
+pub mod retry;
+pub mod timeout;
+
+pub use breaker::{
+    Admission, BreakerConfig, BreakerCounters, BreakerSnapshot, BreakerState, CircuitBreaker, Mode,
+};
+pub use bulkhead::{Bulkhead, BulkheadPermit, BulkheadSnapshot};
+pub use clock::{Clock, FakeClock, SystemClock};
+pub use retry::{Retry, RetryConfig, RetryError};
+pub use timeout::{Deadline, DeadlineExceeded};

@@ -1,0 +1,107 @@
+//! Deadline budgets: "this request has N milliseconds, total".
+//!
+//! A [`Deadline`] is an absolute point on an injected [`Clock`], created
+//! from a budget. Long-running pipelines thread a reference through
+//! their stages and poll [`Deadline::expired`] between steps instead of
+//! running open-loop — the ap-serve planner checks it between refinement
+//! rounds and around engine verification, so a tight budget degrades the
+//! answer instead of wedging a worker.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::clock::Clock;
+
+/// An absolute deadline on an injected clock.
+#[derive(Clone)]
+pub struct Deadline {
+    clock: Arc<dyn Clock>,
+    at: Duration,
+}
+
+impl std::fmt::Debug for Deadline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Deadline")
+            .field("at", &self.at)
+            .field("remaining", &self.remaining())
+            .finish()
+    }
+}
+
+impl Deadline {
+    /// A deadline `budget` from the clock's current reading.
+    pub fn after(clock: Arc<dyn Clock>, budget: Duration) -> Self {
+        let at = clock.now().saturating_add(budget);
+        Deadline { clock, at }
+    }
+
+    /// Time left; [`Duration::ZERO`] once expired.
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_sub(self.clock.now())
+    }
+
+    /// Whether the budget is spent.
+    pub fn expired(&self) -> bool {
+        self.clock.now() >= self.at
+    }
+
+    /// `Ok` while time remains, `Err` once expired — the shape for
+    /// `?`-threading through a staged computation.
+    pub fn check(&self) -> Result<(), DeadlineExceeded> {
+        if self.expired() {
+            Err(DeadlineExceeded)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// The deadline passed before the work finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineExceeded;
+
+impl std::fmt::Display for DeadlineExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deadline exceeded")
+    }
+}
+
+impl std::error::Error for DeadlineExceeded {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::FakeClock;
+
+    #[test]
+    fn expires_exactly_when_the_clock_reaches_it() {
+        let clock = FakeClock::shared();
+        let d = Deadline::after(clock.clone(), Duration::from_millis(100));
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), Duration::from_millis(100));
+        assert!(d.check().is_ok());
+        clock.advance(Duration::from_millis(99));
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), Duration::from_millis(1));
+        clock.advance(Duration::from_millis(1));
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Duration::ZERO);
+        assert_eq!(d.check(), Err(DeadlineExceeded));
+    }
+
+    #[test]
+    fn zero_budget_is_born_expired() {
+        let clock = FakeClock::shared();
+        let d = Deadline::after(clock, Duration::ZERO);
+        assert!(d.expired());
+    }
+
+    #[test]
+    fn clones_share_the_same_instant() {
+        let clock = FakeClock::shared();
+        let d = Deadline::after(clock.clone(), Duration::from_secs(1));
+        let d2 = d.clone();
+        clock.advance(Duration::from_secs(1));
+        assert!(d.expired() && d2.expired());
+    }
+}

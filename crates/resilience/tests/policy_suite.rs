@@ -1,0 +1,238 @@
+//! Deterministic property suite for the composed resilience stack.
+//!
+//! Everything here runs on a [`FakeClock`]: no test sleeps, ever. The
+//! per-policy unit tests live in the crate; this suite exercises the
+//! *composition* (bulkhead -> deadline -> breaker -> retry) and the
+//! breaker state machine under longer adversarial outcome sequences.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ap_resilience::{
+    Admission, BreakerConfig, BreakerState, Bulkhead, CircuitBreaker, Deadline, FakeClock, Retry,
+    RetryConfig,
+};
+
+fn secs(s: u64) -> Duration {
+    Duration::from_secs(s)
+}
+
+fn breaker(clock: Arc<FakeClock>, probes: usize) -> CircuitBreaker {
+    CircuitBreaker::new(
+        BreakerConfig {
+            window: 8,
+            min_samples: 4,
+            failure_rate: 0.5,
+            cooldown: secs(30),
+            half_open_probes: probes,
+        },
+        clock,
+    )
+}
+
+/// The full closed -> open -> half-open -> closed cycle, several laps,
+/// with the probe count varied — the state machine must come back to the
+/// same closed state every lap.
+#[test]
+fn breaker_cycles_are_reproducible() {
+    for probes in [1usize, 2, 3] {
+        let clock = FakeClock::shared();
+        let b = breaker(clock.clone(), probes);
+        for lap in 0..5 {
+            assert_eq!(b.state(), BreakerState::Closed, "lap {lap} start");
+            for _ in 0..4 {
+                assert_eq!(b.try_acquire(), Admission::Allowed);
+                b.record_failure();
+            }
+            assert_eq!(b.state(), BreakerState::Open, "lap {lap} tripped");
+            assert_eq!(b.try_acquire(), Admission::Rejected);
+            clock.advance(secs(30));
+            // Exactly `probes` trials are admitted, not one more.
+            for _ in 0..probes {
+                assert_eq!(b.try_acquire(), Admission::Allowed, "lap {lap}");
+            }
+            assert_eq!(b.try_acquire(), Admission::Rejected, "lap {lap}");
+            for _ in 0..probes {
+                b.record_success();
+            }
+            assert_eq!(b.state(), BreakerState::Closed, "lap {lap} closed");
+        }
+        assert_eq!(b.snapshot().counters.opens, 5);
+    }
+}
+
+/// An adversarial flapping dependency: every probe fails for a while,
+/// then recovers. The breaker must re-open on each failed probe (with a
+/// fresh cooldown) and never let more than one un-cooled call through.
+#[test]
+fn breaker_survives_flapping_probes() {
+    let clock = FakeClock::shared();
+    let b = breaker(clock.clone(), 1);
+    for _ in 0..4 {
+        b.record_failure();
+    }
+    let mut admitted_calls = 0u64;
+    for round in 0..10 {
+        clock.advance(secs(30));
+        assert_eq!(b.try_acquire(), Admission::Allowed, "round {round}");
+        admitted_calls += 1;
+        // Inside the new cooldown nothing gets through.
+        b.record_failure();
+        assert_eq!(b.try_acquire(), Admission::Rejected);
+        clock.advance(secs(29));
+        assert_eq!(b.try_acquire(), Admission::Rejected);
+        clock.advance(secs(1));
+        // 30s since the re-open: exactly one probe again.
+        assert_eq!(b.try_acquire(), Admission::Allowed);
+        admitted_calls += 1;
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Re-trip for the next round.
+        for _ in 0..4 {
+            b.record_failure();
+        }
+    }
+    assert_eq!(admitted_calls, 20, "exactly two probes per round");
+}
+
+/// The canonical stack around a flaky call: bulkhead permit, then
+/// deadline, then breaker, then seeded retry. Driven entirely on the
+/// fake clock.
+#[test]
+fn composed_stack_degrades_in_order() {
+    let clock = FakeClock::shared();
+    let bulkhead = Bulkhead::new(1);
+    let b = breaker(clock.clone(), 1);
+
+    // A call that fails `fail_first` times, then succeeds.
+    let run_call = |fail_remaining: &mut u32| -> Result<&'static str, &'static str> {
+        if *fail_remaining > 0 {
+            *fail_remaining -= 1;
+            Err("transient")
+        } else {
+            Ok("plan")
+        }
+    };
+
+    // Happy path: permit -> budget -> breaker allows -> retry absorbs two
+    // transient failures without real sleeping.
+    let permit = bulkhead.try_acquire().expect("bulkhead empty");
+    let deadline = Deadline::after(clock.clone(), secs(60));
+    let mut retry = Retry::new(
+        RetryConfig {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(100),
+            max_delay: secs(1),
+        },
+        7,
+    );
+    let mut fails = 2;
+    let out = retry.run(
+        &*clock,
+        |d| clock.advance(d),
+        |_| {
+            deadline.check().map_err(|_| ("deadline", None))?;
+            match b.try_acquire() {
+                Admission::Allowed => {}
+                Admission::Rejected => return Err(("breaker", None)),
+            }
+            match run_call(&mut fails) {
+                Ok(v) => {
+                    b.record_success();
+                    Ok(v)
+                }
+                Err(e) => {
+                    b.record_failure();
+                    Err((e, None))
+                }
+            }
+        },
+    );
+    assert_eq!(out, Ok("plan"));
+    assert!(!deadline.expired(), "backoff stayed inside the budget");
+    drop(permit);
+    assert_eq!(bulkhead.in_use(), 0);
+
+    // Saturated bulkhead: the second caller sheds before consuming any
+    // budget or breaker outcome.
+    let held = bulkhead.try_acquire().unwrap();
+    let before = b.snapshot().counters;
+    assert!(bulkhead.try_acquire().is_none(), "shed at the bulkhead");
+    assert_eq!(b.snapshot().counters, before, "breaker never consulted");
+    drop(held);
+
+    // Open breaker: the call degrades instantly; retry does not hammer.
+    for _ in 0..4 {
+        b.record_failure();
+    }
+    assert_eq!(b.state(), BreakerState::Open);
+    let deadline = Deadline::after(clock.clone(), secs(60));
+    match b.try_acquire() {
+        Admission::Rejected => { /* degrade: serve analytic-only */ }
+        Admission::Allowed => panic!("open breaker admitted a call"),
+    }
+    assert!(
+        !deadline.expired(),
+        "degrading on an open breaker costs no budget"
+    );
+}
+
+/// Retry schedules are a pure function of the seed: two policies with the
+/// same seed sleep identically; different seeds de-synchronize (the
+/// anti-lockstep property for a fleet of clients).
+#[test]
+fn retry_jitter_is_seeded_and_decorrelated() {
+    let schedule = |seed: u64| -> Vec<Duration> {
+        let clock = FakeClock::shared();
+        let mut r = Retry::new(
+            RetryConfig {
+                max_attempts: 5,
+                base_delay: Duration::from_millis(100),
+                max_delay: secs(10),
+            },
+            seed,
+        );
+        let mut waits = Vec::new();
+        let _ = r.run(
+            &*clock,
+            |d| {
+                waits.push(d);
+                clock.advance(d);
+            },
+            |_| Err::<(), _>(((), None)),
+        );
+        waits
+    };
+    assert_eq!(schedule(1), schedule(1));
+    assert_ne!(schedule(1), schedule(2));
+    // Every schedule still respects the exponential envelope.
+    for (i, w) in schedule(3).iter().enumerate() {
+        let nominal = Duration::from_millis(100 * (1 << i as u32));
+        assert!(*w >= nominal && *w <= nominal.mul_f64(1.5));
+    }
+}
+
+/// A deadline threaded through a staged computation stops the stages
+/// without wedging, no matter where the budget runs out.
+#[test]
+fn deadline_cuts_staged_work_at_any_point() {
+    for cutoff_stage in 0..5usize {
+        let clock = FakeClock::shared();
+        let d = Deadline::after(
+            clock.clone(),
+            Duration::from_millis(50 * cutoff_stage as u64),
+        );
+        let mut completed = 0usize;
+        for _ in 0..5 {
+            if d.expired() {
+                break;
+            }
+            completed += 1;
+            clock.advance(Duration::from_millis(50));
+        }
+        assert_eq!(
+            completed, cutoff_stage,
+            "budget for exactly {cutoff_stage} stages"
+        );
+    }
+}

@@ -27,6 +27,7 @@ use ap_pipesim::{
     Calibration, Engine, EngineConfig, Framework, Partition, ScheduleKind, Stage, SyncScheme,
 };
 use ap_planner::{pipedream_plan, sort_stage_workers_by, PipeDreamView};
+use ap_resilience::Deadline;
 use autopipe::controller::enumerate::MoveEnumerator;
 use autopipe::controller::stages::{Enumerate, Score, ScoreCtx};
 use autopipe::controller::DecisionJournal;
@@ -336,6 +337,13 @@ pub struct PlannerConfig {
     /// present the plan is scored and verified against the calibrated
     /// cost model instead of the raw one.
     pub calibration: Option<Calibration>,
+    /// Per-request planning budget, milliseconds. `None` uses the
+    /// server's default. `0` is legal and means "no budget": refinement
+    /// is skipped and the response degrades to the analytic answer —
+    /// which also makes it a deterministic lever for exercising the
+    /// degraded path. A QoS knob, **not** part of the cache key: two
+    /// requests for the same plan share an entry regardless of patience.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for PlannerConfig {
@@ -344,6 +352,7 @@ impl Default for PlannerConfig {
             refine_rounds: 40,
             measure_iters: 10,
             calibration: None,
+            deadline_ms: None,
         }
     }
 }
@@ -375,14 +384,21 @@ impl PlannerConfig {
                 ))
             }
         };
+        let deadline_ms = match field(obj, "deadline_ms") {
+            None | Some(Json::Null) => None,
+            Some(_) => Some(usize_field(obj, "deadline_ms", 0, 0, 600_000)? as u64),
+        };
         Ok(PlannerConfig {
             refine_rounds: usize_field(obj, "refine_rounds", d.refine_rounds, 1, 200)?,
             measure_iters: usize_field(obj, "measure_iters", d.measure_iters, 1, 256)?,
             calibration,
+            deadline_ms,
         })
     }
 
-    /// Canonical JSON (fixed order, defaults filled).
+    /// Canonical JSON (fixed order, defaults filled). `deadline_ms` is
+    /// deliberately absent: the budget shapes *when* an answer arrives,
+    /// not *what* the answer is, so it must not split the cache.
     pub fn canonical(&self) -> Json {
         Json::obj(vec![
             ("refine_rounds", self.refine_rounds.to_json()),
@@ -546,14 +562,51 @@ fn engine_throughput(
     Ok(r.steady_throughput(skip))
 }
 
-/// Serve a validated `/plan` request: PipeDream seed, analytic greedy
-/// refinement (journaled), engine verification, response assembly.
-pub fn compute_plan(req: &PlanRequest) -> Result<Json, ApiError> {
+/// The analytic half of planning: PipeDream seed plus journaled greedy
+/// refinement. Produced by [`refine_plan`]; already a servable answer
+/// (the degraded path stops here).
+#[derive(Debug, Clone)]
+pub struct RefinedPlan {
+    /// The PipeDream seed.
+    pub start: Partition,
+    /// The analytically refined candidate (== `start` when no move won).
+    pub refined: Partition,
+    /// Analytic prediction for the seed.
+    pub start_pred: f64,
+    /// Analytic prediction for the refined candidate.
+    pub predicted: f64,
+    /// Refinement rounds executed.
+    pub rounds: usize,
+    /// Candidate partitions scored across all rounds.
+    pub scored: usize,
+    /// Whether a deadline stopped refinement before its natural end.
+    pub deadline_cut: bool,
+}
+
+/// The engine half of planning: measured throughputs for seed and
+/// candidate, and the verdict. Produced by [`verify_plan`].
+#[derive(Debug, Clone)]
+pub struct VerifiedPlan {
+    /// The plan that measured faster.
+    pub chosen: Partition,
+    /// Its engine-measured throughput.
+    pub measured: f64,
+    /// The seed's engine-measured throughput.
+    pub start_measured: f64,
+    /// Whether the refined candidate beat the seed on the engine.
+    pub refined_won: bool,
+}
+
+/// PipeDream seed + analytic greedy refinement, journaled round by round
+/// (the serve-side equivalent of `hill_climb`, kept explicit so candidate
+/// counts land in the journal). When a `deadline` is supplied the loop
+/// checks remaining budget between rounds and stops early rather than
+/// overrun — the partial answer is still valid, just less refined.
+pub fn refine_plan(req: &PlanRequest, deadline: Option<&Deadline>) -> RefinedPlan {
     let desc = model_by_name(&req.model).expect("model validated at parse time");
     let profile = ModelProfile::of(&desc);
     let state = req.cluster.to_state();
     let (scheme, framework) = experiment_env();
-    let schedule = req.schedule;
 
     // PipeDream's one-shot view: nominal line rate, exclusive GPUs.
     let all_gpus: Vec<GpuId> = (0..req.cluster.n_gpus()).map(GpuId).collect();
@@ -566,16 +619,12 @@ pub fn compute_plan(req: &PlanRequest) -> Result<Json, ApiError> {
         },
     );
 
-    // Greedy refinement against the true cluster state, journaled round
-    // by round (the serve-side equivalent of `hill_climb`, kept explicit
-    // so candidate counts land in the journal).
-    let mut journal = DecisionJournal::new();
     let history = VecDeque::new();
     let ctx = ScoreCtx {
         profile: &profile,
         scheme,
         framework,
-        schedule,
+        schedule: req.schedule,
         calibration: req.planner.calibration,
         history: &history,
         state: &state,
@@ -588,7 +637,12 @@ pub fn compute_plan(req: &PlanRequest) -> Result<Json, ApiError> {
     let mut current_pred = start_pred;
     let mut rounds = 0usize;
     let mut scored = 0usize;
+    let mut deadline_cut = false;
     for _ in 0..req.planner.refine_rounds {
+        if deadline.is_some_and(Deadline::expired) {
+            deadline_cut = true;
+            break;
+        }
         let candidates = enumerator.candidates(&current, &profile, &[]);
         if candidates.is_empty() {
             break;
@@ -603,77 +657,141 @@ pub fn compute_plan(req: &PlanRequest) -> Result<Json, ApiError> {
             _ => break,
         }
     }
-    journal.record(
-        0,
-        0,
-        0.0,
-        DecisionEvent::CandidatesScored {
-            rounds,
-            scored,
-            current_pred: start_pred,
-            best_pred: current_pred,
-            best: current.summary(),
-        },
-    );
+    RefinedPlan {
+        start,
+        refined: current,
+        start_pred,
+        predicted: current_pred,
+        rounds,
+        scored,
+        deadline_cut,
+    }
+}
 
-    // Verify by measurement: the accepted plan never loses to the
-    // PipeDream seed on the engine.
+/// Verify by measurement: run seed and refined candidate on the event
+/// engine and keep the faster — the accepted plan never loses to the
+/// PipeDream seed.
+pub fn verify_plan(req: &PlanRequest, refined: &RefinedPlan) -> Result<VerifiedPlan, ApiError> {
+    let desc = model_by_name(&req.model).expect("model validated at parse time");
+    let profile = ModelProfile::of(&desc);
+    let state = req.cluster.to_state();
     let start_measured = engine_throughput(
         &profile,
-        &start,
+        &refined.start,
         &state,
-        schedule,
+        req.schedule,
         req.planner.measure_iters,
         req.planner.calibration,
     )?;
-    let (chosen, measured, refined_won) = if current == start {
-        (start.clone(), start_measured, false)
+    let (chosen, measured, refined_won) = if refined.refined == refined.start {
+        (refined.start.clone(), start_measured, false)
     } else {
         let refined_measured = engine_throughput(
             &profile,
-            &current,
+            &refined.refined,
             &state,
-            schedule,
+            req.schedule,
             req.planner.measure_iters,
             req.planner.calibration,
         )?;
         if refined_measured > start_measured {
-            (current.clone(), refined_measured, true)
+            (refined.refined.clone(), refined_measured, true)
         } else {
-            (start.clone(), start_measured, false)
+            (refined.start.clone(), start_measured, false)
         }
+    };
+    Ok(VerifiedPlan {
+        chosen,
+        measured,
+        start_measured,
+        refined_won,
+    })
+}
+
+/// Assemble the `/plan` response body. With a [`VerifiedPlan`] this is
+/// the full engine-verified answer; without one (`degraded_reason` set)
+/// the analytic candidate is served as-is: `measured_throughput` is null,
+/// `"degraded"` is true, and the reason says why the engine never ran.
+pub fn plan_response(
+    req: &PlanRequest,
+    refined: &RefinedPlan,
+    verified: Option<&VerifiedPlan>,
+    degraded_reason: Option<&str>,
+) -> Json {
+    let mut journal = DecisionJournal::new();
+    let (chosen, refined_won) = match verified {
+        Some(v) => (&v.chosen, v.refined_won),
+        None => (&refined.refined, false),
     };
     journal.record(
         0,
         0,
         0.0,
-        DecisionEvent::ArbiterVerdict {
-            approved: refined_won,
-            predicted_speedup: current_pred / start_pred.max(1e-12),
-            switch_cost_seconds: 0.0,
-            reward: measured / start_measured.max(1e-12) - 1.0,
+        DecisionEvent::CandidatesScored {
+            rounds: refined.rounds,
+            scored: refined.scored,
+            current_pred: refined.start_pred,
+            best_pred: refined.predicted,
+            best: refined.refined.summary(),
         },
     );
-
-    Ok(Json::obj(vec![
+    if let Some(v) = verified {
+        journal.record(
+            0,
+            0,
+            0.0,
+            DecisionEvent::ArbiterVerdict {
+                approved: v.refined_won,
+                predicted_speedup: refined.predicted / refined.start_pred.max(1e-12),
+                switch_cost_seconds: 0.0,
+                reward: v.measured / v.start_measured.max(1e-12) - 1.0,
+            },
+        );
+    }
+    Json::obj(vec![
         ("model", req.model.as_str().to_json()),
         ("schedule", req.schedule.id().to_json()),
         ("partition", chosen.to_json()),
         ("summary", chosen.summary().to_json()),
-        ("predicted_throughput", current_pred.to_json()),
-        ("measured_throughput", measured.to_json()),
+        ("predicted_throughput", refined.predicted.to_json()),
+        (
+            "measured_throughput",
+            match verified {
+                Some(v) => v.measured.to_json(),
+                None => Json::Null,
+            },
+        ),
         (
             "journal",
             Json::obj(vec![
                 ("events", journal.records.len().to_json()),
-                ("rounds", rounds.to_json()),
-                ("candidates_scored", scored.to_json()),
+                ("rounds", refined.rounds.to_json()),
+                ("candidates_scored", refined.scored.to_json()),
                 ("refined", refined_won.to_json()),
                 ("records", journal.to_json()),
             ]),
         ),
+        ("degraded", degraded_reason.is_some().to_json()),
+        (
+            "degraded_reason",
+            match degraded_reason {
+                Some(r) => r.to_json(),
+                None => Json::Null,
+            },
+        ),
         ("cached", false.to_json()),
-    ]))
+    ])
+}
+
+/// Serve a validated `/plan` request end to end, with no deadline and no
+/// degradation: PipeDream seed, analytic greedy refinement (journaled),
+/// engine verification, response assembly. The daemon's resilient path in
+/// `server::handle_plan` composes the same three stages with a budget and
+/// a breaker around the engine.
+pub fn compute_plan(req: &PlanRequest) -> Result<Json, ApiError> {
+    let refined = refine_plan(req, None);
+    let verified = verify_plan(req, &refined)?;
+    Ok(plan_response(req, &refined, Some(&verified), None))
 }
 
 /// A validated `/simulate` request.
@@ -908,6 +1026,60 @@ mod tests {
         assert!(measured > 0.0);
         assert_eq!(a.get("cached").and_then(Json::as_bool), Some(false));
         assert!(a.get("journal").unwrap().get("records").is_some());
+    }
+
+    #[test]
+    fn deadline_ms_is_a_qos_knob_not_a_cache_key() {
+        let patient = PlanRequest::from_json(&parse(r#"{"model": "vgg16"}"#)).unwrap();
+        let hurried = PlanRequest::from_json(&parse(
+            r#"{"model": "vgg16", "planner": {"deadline_ms": 0}}"#,
+        ))
+        .unwrap();
+        assert_eq!(hurried.planner.deadline_ms, Some(0));
+        assert_eq!(patient.planner.deadline_ms, None);
+        assert_eq!(patient.canonical_key(), hurried.canonical_key());
+        let e = PlanRequest::from_json(&parse(
+            r#"{"model": "vgg16", "planner": {"deadline_ms": "soon"}}"#,
+        ))
+        .unwrap_err();
+        assert_eq!(e.status, 400);
+    }
+
+    #[test]
+    fn expired_deadline_skips_refinement_and_degrades() {
+        use ap_resilience::{Deadline, FakeClock};
+        let req = PlanRequest::from_json(&parse(r#"{"model": "alexnet"}"#)).unwrap();
+        let clock = FakeClock::shared();
+        let spent = Deadline::after(clock, std::time::Duration::ZERO);
+        let refined = refine_plan(&req, Some(&spent));
+        assert!(refined.deadline_cut);
+        assert_eq!(refined.rounds, 0);
+        assert_eq!(refined.refined, refined.start, "no moves were taken");
+        let body = plan_response(&req, &refined, None, Some("deadline-exhausted"));
+        assert_eq!(body.get("degraded").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            body.get("degraded_reason").and_then(Json::as_str),
+            Some("deadline-exhausted")
+        );
+        assert!(matches!(body.get("measured_throughput"), Some(Json::Null)));
+        assert!(
+            body.get("predicted_throughput")
+                .and_then(Json::as_f64)
+                .unwrap()
+                > 0.0,
+            "the analytic answer is still a real answer"
+        );
+    }
+
+    #[test]
+    fn full_plan_reports_not_degraded() {
+        let req = PlanRequest::from_json(&parse(
+            r#"{"model": "alexnet", "planner": {"measure_iters": 4}}"#,
+        ))
+        .unwrap();
+        let out = compute_plan(&req).unwrap();
+        assert_eq!(out.get("degraded").and_then(Json::as_bool), Some(false));
+        assert!(matches!(out.get("degraded_reason"), Some(Json::Null)));
     }
 
     #[test]

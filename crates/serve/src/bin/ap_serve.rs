@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! ap-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+//!          [--plan-bulkhead N] [--simulate-bulkhead N]
+//!          [--deadline-ms MS] [--breaker-cooldown-ms MS]
 //! ```
 //!
 //! Prints the bound address (useful with `--addr 127.0.0.1:0`) and runs
@@ -10,7 +12,11 @@
 use ap_serve::{spawn, ServeConfig};
 
 fn usage() -> ! {
-    eprintln!("usage: ap-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]");
+    eprintln!(
+        "usage: ap-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]\n\
+         \x20               [--plan-bulkhead N] [--simulate-bulkhead N]\n\
+         \x20               [--deadline-ms MS] [--breaker-cooldown-ms MS]"
+    );
     std::process::exit(2)
 }
 
@@ -24,6 +30,18 @@ fn main() {
             "--workers" => cfg.workers = value.parse().unwrap_or_else(|_| usage()),
             "--queue" => cfg.queue_capacity = value.parse().unwrap_or_else(|_| usage()),
             "--cache" => cfg.cache_capacity = value.parse().unwrap_or_else(|_| usage()),
+            "--plan-bulkhead" => {
+                cfg.resilience.plan_bulkhead = value.parse().unwrap_or_else(|_| usage())
+            }
+            "--simulate-bulkhead" => {
+                cfg.resilience.simulate_bulkhead = value.parse().unwrap_or_else(|_| usage())
+            }
+            "--deadline-ms" => {
+                cfg.resilience.default_deadline_ms = value.parse().unwrap_or_else(|_| usage())
+            }
+            "--breaker-cooldown-ms" => {
+                cfg.resilience.breaker_cooldown_ms = value.parse().unwrap_or_else(|_| usage())
+            }
             _ => usage(),
         }
     }

@@ -10,8 +10,7 @@ use std::time::Duration;
 
 use ap_json::Json;
 
-/// How long to wait for a response before giving up.
-const RESPONSE_TIMEOUT: Duration = Duration::from_secs(30);
+use crate::http::Timing;
 
 /// One parsed response.
 #[derive(Debug, Clone)]
@@ -44,20 +43,39 @@ impl Response {
         self.header("connection")
             .is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
     }
+
+    /// The `Retry-After` hint (seconds form), when present and
+    /// well-formed. Shed clients feed this into their retry policy.
+    pub fn retry_after(&self) -> Option<Duration> {
+        self.header("retry-after")?
+            .parse::<u64>()
+            .ok()
+            .map(Duration::from_secs)
+    }
 }
 
 /// A keep-alive connection to the daemon.
 pub struct Client {
     stream: TcpStream,
+    response_timeout: Duration,
 }
 
 impl Client {
-    /// Connect.
+    /// Connect with the default [`Timing::response_timeout`].
     pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        Client::connect_with(addr, &Timing::default())
+    }
+
+    /// Connect with an explicit timing policy (tests shrink the response
+    /// timeout; load generators stretch it).
+    pub fn connect_with(addr: SocketAddr, timing: &Timing) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(RESPONSE_TIMEOUT))?;
+        stream.set_read_timeout(Some(timing.response_timeout))?;
         stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        Ok(Client {
+            stream,
+            response_timeout: timing.response_timeout,
+        })
     }
 
     /// Send one request and read the response. `body = None` sends no
@@ -113,7 +131,7 @@ impl Client {
     pub fn read_unsolicited(&mut self, wait: Duration) -> Option<Response> {
         self.stream.set_read_timeout(Some(wait)).ok()?;
         let r = self.read_response();
-        let _ = self.stream.set_read_timeout(Some(RESPONSE_TIMEOUT));
+        let _ = self.stream.set_read_timeout(Some(self.response_timeout));
         r.ok()
     }
 

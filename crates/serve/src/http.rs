@@ -19,10 +19,29 @@ use std::time::{Duration, Instant};
 pub const MAX_HEAD: usize = 8 * 1024;
 /// Maximum body bytes.
 pub const MAX_BODY: usize = 1024 * 1024;
-/// Socket read timeout per poll; drain responsiveness bound.
-pub const POLL: Duration = Duration::from_millis(25);
-/// How long a started request may take to finish arriving.
-pub const REQUEST_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Every socket timeout the daemon and its client use, in one place.
+/// The defaults are the values the constants used to hard-code; tests
+/// shrink them to keep slow-loris scenarios fast.
+#[derive(Debug, Clone)]
+pub struct Timing {
+    /// Socket read timeout per poll; drain responsiveness bound.
+    pub poll: Duration,
+    /// How long a started request may take to finish arriving.
+    pub request_deadline: Duration,
+    /// Client side: how long to wait for a response before giving up.
+    pub response_timeout: Duration,
+}
+
+impl Default for Timing {
+    fn default() -> Self {
+        Timing {
+            poll: Duration::from_millis(25),
+            request_deadline: Duration::from_secs(5),
+            response_timeout: Duration::from_secs(30),
+        }
+    }
+}
 
 /// One parsed request.
 #[derive(Debug, Clone)]
@@ -67,7 +86,7 @@ pub enum ReadError {
     BodyTooLarge,
     /// Malformed request line / headers / Content-Length → respond 400.
     Malformed(&'static str),
-    /// A started request did not finish inside [`REQUEST_DEADLINE`].
+    /// A started request did not finish inside [`Timing::request_deadline`].
     TimedOut,
     /// Transport error.
     Io(io::Error),
@@ -76,8 +95,14 @@ pub enum ReadError {
 /// Read one request. `draining` aborts idle waits between requests (the
 /// keep-alive case); a request whose first byte has arrived is always
 /// read to completion (or its deadline).
-pub fn read_request(stream: &mut TcpStream, draining: &AtomicBool) -> Result<Request, ReadError> {
-    stream.set_read_timeout(Some(POLL)).map_err(ReadError::Io)?;
+pub fn read_request(
+    stream: &mut TcpStream,
+    draining: &AtomicBool,
+    timing: &Timing,
+) -> Result<Request, ReadError> {
+    stream
+        .set_read_timeout(Some(timing.poll))
+        .map_err(ReadError::Io)?;
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
     let mut started_at: Option<Instant> = None;
@@ -90,7 +115,7 @@ pub fn read_request(stream: &mut TcpStream, draining: &AtomicBool) -> Result<Req
             return Err(ReadError::HeadTooLarge);
         }
         if let Some(t0) = started_at {
-            if t0.elapsed() > REQUEST_DEADLINE {
+            if t0.elapsed() > timing.request_deadline {
                 return Err(ReadError::TimedOut);
             }
         }
@@ -168,7 +193,7 @@ pub fn read_request(stream: &mut TcpStream, draining: &AtomicBool) -> Result<Req
     let mut body: Vec<u8> = buf[body_start.min(buf.len())..].to_vec();
     let deadline = started_at.unwrap_or_else(Instant::now);
     while body.len() < content_length {
-        if deadline.elapsed() > REQUEST_DEADLINE {
+        if deadline.elapsed() > timing.request_deadline {
             return Err(ReadError::TimedOut);
         }
         match stream.read(&mut chunk) {
@@ -221,10 +246,24 @@ pub fn respond(
     body: &str,
     close: bool,
 ) -> io::Result<()> {
+    respond_typed(stream, status, "application/json", extra, body, close)
+}
+
+/// [`respond`] with an explicit `Content-Type` — the `/metrics` endpoint
+/// speaks Prometheus text exposition, not JSON.
+pub fn respond_typed(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, String)],
+    body: &str,
+    close: bool,
+) -> io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status,
         reason(status),
+        content_type,
         body.len(),
         if close { "close" } else { "keep-alive" },
     );

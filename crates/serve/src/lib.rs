@@ -12,6 +12,8 @@
 //! | `POST /simulate`   | partition + cluster + model → pipesim timings          |
 //! | `GET /health`      | liveness                                               |
 //! | `GET /stats`       | request counts, cache hit rate, queue depth            |
+//! | `GET /metrics`     | Prometheus text exposition (latency, breaker, bulkheads, cache, queue) |
+//! | `POST /breaker`    | force the verify breaker open/closed, or back to auto  |
 //! | `POST /invalidate` | drop every cached plan (resource dynamics changed)     |
 //! | `POST /shutdown`   | drain in-flight requests, then exit                    |
 //!
@@ -21,9 +23,13 @@
 //! **plan cache** ([`cache`]) keyed by a canonical digest of
 //! `(cluster signature, model, planner config)`, and a bounded
 //! **admission queue** ([`admission`]) that sheds load with
-//! `503 + Retry-After` instead of queuing without bound. Shutdown drains:
-//! accepted connections finish their in-flight request before workers
-//! exit.
+//! `503 + Retry-After` (computed from queue depth and observed drain
+//! rate) instead of queuing without bound. Around planning sits the
+//! [`ap_resilience`] stack — per-endpoint bulkheads, per-request deadline
+//! budgets, and a circuit breaker on engine verification that degrades
+//! `/plan` to cached or analytic-only answers (marked `"degraded": true`)
+//! instead of failing. Shutdown drains: accepted connections finish their
+//! in-flight request before workers exit.
 //!
 //! Planning is deterministic — same request, same plan, regardless of
 //! worker count or `AP_PAR_THREADS` — because every parallel stage below
@@ -34,9 +40,11 @@ pub mod api;
 pub mod cache;
 pub mod client;
 pub mod http;
+pub mod metrics;
 pub mod server;
 
 pub use api::{ApiError, ClusterSpec, PlannerConfig};
 pub use cache::PlanCache;
 pub use client::Client;
-pub use server::{spawn, ServeConfig, ServerHandle};
+pub use http::Timing;
+pub use server::{retry_after_secs, spawn, ResilienceConfig, ServeConfig, ServerHandle};

@@ -1,0 +1,288 @@
+//! `GET /metrics`: hand-rolled Prometheus text exposition.
+//!
+//! No client library — the format is four line shapes (`# HELP`,
+//! `# TYPE`, samples, blank-free UTF-8), so the daemon renders it
+//! directly. Two discipline rules keep scrapes diff-able and the
+//! content tests exact:
+//!
+//! 1. **Stable ordering.** Families and label values are emitted in a
+//!    fixed, hand-written order — never from a hash map.
+//! 2. **No appearing series.** Every label value a counter can ever take
+//!    (endpoints, degraded reasons) is emitted from the first scrape with
+//!    value 0, so dashboards never see a series pop into existence.
+//!
+//! Latency lands in a fixed-bucket log-spaced [`Histogram`]; p50/p95/p99
+//! gauges are interpolated from the buckets the same way
+//! `histogram_quantile` would.
+
+use std::sync::Mutex;
+
+/// Upper bounds (seconds) of the latency buckets; `+Inf` is implicit.
+/// Log-spaced from 1ms to 10s — planning is milliseconds, engine
+/// verification tens of milliseconds, overload anything.
+pub const BUCKET_BOUNDS: [f64; 13] = [
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+];
+
+#[derive(Debug, Default, Clone)]
+struct HistInner {
+    /// Count per bucket in [`BUCKET_BOUNDS`] order, then the +Inf bucket.
+    counts: [u64; BUCKET_BOUNDS.len() + 1],
+    sum: f64,
+    count: u64,
+}
+
+/// A fixed-bucket latency histogram, shareable across worker threads.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    inner: Mutex<HistInner>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one observation, in seconds.
+    pub fn observe(&self, seconds: f64) {
+        if !seconds.is_finite() || seconds < 0.0 {
+            return;
+        }
+        let mut h = self.inner.lock().unwrap();
+        let idx = BUCKET_BOUNDS
+            .iter()
+            .position(|&b| seconds <= b)
+            .unwrap_or(BUCKET_BOUNDS.len());
+        h.counts[idx] += 1;
+        h.sum += seconds;
+        h.count += 1;
+    }
+
+    /// Point-in-time copy for rendering.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            inner: self.inner.lock().unwrap().clone(),
+        }
+    }
+}
+
+/// A consistent copy of a [`Histogram`].
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    inner: HistInner,
+}
+
+impl HistogramSnapshot {
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count
+    }
+
+    /// Sum of observations, seconds.
+    pub fn sum(&self) -> f64 {
+        self.inner.sum
+    }
+
+    /// Cumulative count at or below bucket `i` of [`BUCKET_BOUNDS`]
+    /// (`i == BUCKET_BOUNDS.len()` is `+Inf`).
+    pub fn cumulative(&self, i: usize) -> u64 {
+        self.inner.counts[..=i].iter().sum()
+    }
+
+    /// Quantile `q` in `[0, 1]`, linearly interpolated inside the owning
+    /// bucket (what PromQL's `histogram_quantile` computes). 0 when
+    /// empty; observations beyond the last finite bound clamp to it.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.inner.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.inner.count as f64;
+        let mut seen = 0u64;
+        for (i, &c) in self.inner.counts.iter().enumerate() {
+            seen += c;
+            if (seen as f64) >= rank && c > 0 {
+                let hi = if i < BUCKET_BOUNDS.len() {
+                    BUCKET_BOUNDS[i]
+                } else {
+                    return *BUCKET_BOUNDS.last().unwrap();
+                };
+                let lo = if i == 0 { 0.0 } else { BUCKET_BOUNDS[i - 1] };
+                let into = rank - (seen - c) as f64;
+                return lo + (hi - lo) * (into / c as f64);
+            }
+        }
+        *BUCKET_BOUNDS.last().unwrap()
+    }
+}
+
+/// Render a float the way Prometheus expects: integral values without a
+/// trailing `.0` would also parse, but keeping Rust's shortest-round-trip
+/// `{}` formatting is both valid and deterministic.
+fn num(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Builder for one exposition document.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+}
+
+impl Exposition {
+    /// An empty document.
+    pub fn new() -> Self {
+        Exposition::default()
+    }
+
+    /// Start a metric family: `# HELP` + `# TYPE` lines.
+    pub fn family(&mut self, name: &str, kind: &str, help: &str) -> &mut Self {
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(help);
+        self.out.push_str("\n# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+        self
+    }
+
+    /// One sample line. `labels` are `(key, value)` pairs, emitted in the
+    /// order given.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) -> &mut Self {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(k);
+                self.out.push_str("=\"");
+                self.out.push_str(v);
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        self.out.push_str(&num(value));
+        self.out.push('\n');
+        self
+    }
+
+    /// A full histogram family: `_bucket` series (cumulative, with
+    /// `+Inf`), `_sum`, and `_count`, for one label set.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        snap: &HistogramSnapshot,
+    ) -> &mut Self {
+        let bucket_name = format!("{name}_bucket");
+        for (i, b) in BUCKET_BOUNDS.iter().enumerate() {
+            let le = num(*b);
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            with_le.push(("le", le.as_str()));
+            self.sample(&bucket_name, &with_le, snap.cumulative(i) as f64);
+        }
+        let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+        with_le.push(("le", "+Inf"));
+        self.sample(&bucket_name, &with_le, snap.count() as f64);
+        self.sample(&format!("{name}_sum"), labels, snap.sum());
+        self.sample(&format!("{name}_count"), labels, snap.count() as f64);
+        self
+    }
+
+    /// The finished document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts_and_interpolates() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.observe(0.004); // bucket le=0.005
+        }
+        for _ in 0..10 {
+            h.observe(0.2); // bucket le=0.25
+        }
+        h.observe(f64::NAN); // dropped
+        h.observe(-1.0); // dropped
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        assert!((s.sum() - (90.0 * 0.004 + 10.0 * 0.2)).abs() < 1e-9);
+        // p50 lands inside the le=0.005 bucket.
+        let p50 = s.quantile(0.5);
+        assert!(p50 > 0.0025 && p50 <= 0.005, "p50 {p50}");
+        // p99 lands inside the le=0.25 bucket.
+        let p99 = s.quantile(0.99);
+        assert!(p99 > 0.1 && p99 <= 0.25, "p99 {p99}");
+    }
+
+    #[test]
+    fn overflow_observations_clamp_to_last_bound() {
+        let h = Histogram::new();
+        h.observe(1e6);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.cumulative(BUCKET_BOUNDS.len() - 1), 0, "no finite bucket");
+        assert_eq!(s.quantile(0.99), 10.0, "clamped to the last bound");
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn exposition_lines_are_exact() {
+        let mut e = Exposition::new();
+        e.family("ap_x_total", "counter", "Things.")
+            .sample("ap_x_total", &[("endpoint", "plan")], 3.0)
+            .sample("ap_x_total", &[], 0.5);
+        assert_eq!(
+            e.finish(),
+            "# HELP ap_x_total Things.\n# TYPE ap_x_total counter\nap_x_total{endpoint=\"plan\"} 3\nap_x_total 0.5\n"
+        );
+    }
+
+    #[test]
+    fn histogram_family_renders_cumulative_with_inf() {
+        let h = Histogram::new();
+        h.observe(0.0005);
+        h.observe(99.0);
+        let mut e = Exposition::new();
+        e.family("ap_d_seconds", "histogram", "Latency.").histogram(
+            "ap_d_seconds",
+            &[("endpoint", "plan")],
+            &h.snapshot(),
+        );
+        let text = e.finish();
+        assert!(text.contains("ap_d_seconds_bucket{endpoint=\"plan\",le=\"0.001\"} 1\n"));
+        assert!(text.contains("ap_d_seconds_bucket{endpoint=\"plan\",le=\"10\"} 1\n"));
+        assert!(text.contains("ap_d_seconds_bucket{endpoint=\"plan\",le=\"+Inf\"} 2\n"));
+        assert!(text.contains("ap_d_seconds_count{endpoint=\"plan\"} 2\n"));
+        // Cumulative: every bucket count is monotone non-decreasing.
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("ap_d_seconds_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(counts.len(), BUCKET_BOUNDS.len() + 1);
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

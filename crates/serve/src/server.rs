@@ -1,5 +1,5 @@
-//! The daemon: acceptor, admission queue, worker pool, routing, and
-//! graceful shutdown.
+//! The daemon: acceptor, admission queue, worker pool, routing, the
+//! resilience stack, and graceful shutdown.
 //!
 //! Thread shape: one **acceptor** blocks on [`TcpListener::accept`] and
 //! offers each connection to the bounded [`AdmissionQueue`] — at capacity
@@ -7,25 +7,77 @@
 //! socket write, never unbounded memory. `workers` threads block on
 //! [`AdmissionQueue::pop`] and speak keep-alive HTTP/1.1.
 //!
+//! Around planning sits the [`ap_resilience`] stack, outside in:
+//! per-endpoint **bulkheads** (a slow `/plan` burst cannot absorb the
+//! capacity `/simulate` runs on), a per-request **deadline budget**
+//! (refinement checks remaining budget between rounds), and a **circuit
+//! breaker** around engine verification. When the breaker is open — or
+//! the budget runs out first — `/plan` still answers 200 with the cached
+//! or analytic-only plan, marked `"degraded": true` with a reason. The
+//! daemon sheds and degrades; it does not 500 and it does not wedge.
+//!
 //! Shutdown (from [`ServerHandle::shutdown`] or `POST /shutdown`) drains:
-//! set the draining flag (read polls notice within [`http::POLL`] on idle
-//! keep-alive connections), close the queue (workers finish what was
-//! admitted, then exit), then wake the acceptor with a loopback connect so
-//! its blocking `accept` returns and it can observe the stop flag.
+//! set the draining flag (read polls notice within [`http::Timing::poll`]
+//! on idle keep-alive connections), close the queue (workers finish what
+//! was admitted, then exit), then wake the acceptor with a loopback
+//! connect so its blocking `accept` returns and it can observe the stop
+//! flag.
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ap_json::{Json, ToJson};
+use ap_resilience::{
+    Admission, BreakerConfig, Bulkhead, CircuitBreaker, Clock, Deadline, Mode, SystemClock,
+};
 
 use crate::admission::{AdmissionQueue, Admit};
 use crate::api::{self, ApiError, PlanRequest, SimulateRequest};
 use crate::cache::{fnv1a64, PlanCache};
-use crate::http::{self, ReadError, Request};
+use crate::http::{self, ReadError, Request, Timing};
+use crate::metrics::{Exposition, Histogram};
+
+/// Knobs for the resilience stack. Defaults suit an interactive daemon;
+/// tests shrink windows and cooldowns (or set a bulkhead to 0) to drive
+/// state transitions deterministically.
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Breaker rolling outcome window.
+    pub breaker_window: usize,
+    /// Outcomes required in the window before the breaker may trip.
+    pub breaker_min_samples: usize,
+    /// Failure fraction in the window that trips the breaker.
+    pub breaker_failure_rate: f64,
+    /// How long an open breaker rejects before probing, ms.
+    pub breaker_cooldown_ms: u64,
+    /// Successful half-open probes required to close.
+    pub breaker_probes: usize,
+    /// Concurrent `/plan` computations (0 = reject all).
+    pub plan_bulkhead: usize,
+    /// Concurrent `/simulate` computations (0 = reject all).
+    pub simulate_bulkhead: usize,
+    /// Planning budget when the request names none, ms.
+    pub default_deadline_ms: u64,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            breaker_window: 16,
+            breaker_min_samples: 8,
+            breaker_failure_rate: 0.5,
+            breaker_cooldown_ms: 5_000,
+            breaker_probes: 1,
+            plan_bulkhead: 8,
+            simulate_bulkhead: 8,
+            default_deadline_ms: 30_000,
+        }
+    }
+}
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -38,6 +90,10 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Plan cache capacity, entries.
     pub cache_capacity: usize,
+    /// Socket timing (poll interval, request deadline, response timeout).
+    pub timing: Timing,
+    /// Breaker / bulkhead / deadline knobs.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for ServeConfig {
@@ -47,6 +103,8 @@ impl Default for ServeConfig {
             workers: ap_par::threads(),
             queue_capacity: 64,
             cache_capacity: 128,
+            timing: Timing::default(),
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -54,8 +112,18 @@ impl Default for ServeConfig {
 struct State {
     addr: SocketAddr,
     workers: usize,
+    timing: Timing,
     cache: Mutex<PlanCache>,
     queue: AdmissionQueue,
+    clock: Arc<dyn Clock>,
+    /// Around engine verification of `/plan`; open means "serve the
+    /// analytic answer, stop paying for the engine".
+    verify_breaker: CircuitBreaker,
+    plan_bulkhead: Bulkhead,
+    simulate_bulkhead: Bulkhead,
+    default_deadline: Duration,
+    plan_latency: Histogram,
+    simulate_latency: Histogram,
     /// Set first on shutdown: idle keep-alive reads abort promptly.
     draining: AtomicBool,
     /// Tells the acceptor (once woken) to exit.
@@ -66,9 +134,32 @@ struct State {
     simulate_requests: AtomicU64,
     health_requests: AtomicU64,
     stats_requests: AtomicU64,
+    metrics_requests: AtomicU64,
     invalidate_requests: AtomicU64,
+    breaker_requests: AtomicU64,
     shutdown_requests: AtomicU64,
     error_responses: AtomicU64,
+    /// Responses fully written — the drain-rate numerator for the
+    /// computed `Retry-After` hint.
+    completed_responses: AtomicU64,
+    degraded_breaker_open: AtomicU64,
+    degraded_deadline: AtomicU64,
+    degraded_verification: AtomicU64,
+}
+
+/// Compute a `Retry-After` hint (seconds) from observed service rate:
+/// with `depth` connections queued ahead and `completed` responses
+/// finished over `uptime_secs`, the expected wait is `(depth + 1) /
+/// rate`, rounded up and clamped to `[1, 30]`. Before any response has
+/// completed the daemon assumes a brisk 10 req/s rather than guessing
+/// slow and turning clients away for longer than needed.
+pub fn retry_after_secs(depth: usize, completed: u64, uptime_secs: f64) -> u64 {
+    let rate = if completed > 0 && uptime_secs > 1e-3 {
+        (completed as f64 / uptime_secs).max(0.1)
+    } else {
+        10.0
+    };
+    (((depth as f64 + 1.0) / rate).ceil() as u64).clamp(1, 30)
 }
 
 impl State {
@@ -81,10 +172,21 @@ impl State {
         let _ = TcpStream::connect(self.addr);
     }
 
+    fn retry_after_hint(&self) -> u64 {
+        retry_after_secs(
+            self.queue.depth(),
+            self.completed_responses.load(Ordering::Relaxed),
+            self.started.elapsed().as_secs_f64(),
+        )
+    }
+
     fn stats_json(&self) -> Json {
         let (hits, misses, entries, capacity, generation) = self.cache.lock().unwrap().stats();
         let hit_rate = self.cache.lock().unwrap().hit_rate();
         let (admitted, shed, peak_depth) = self.queue.counters();
+        let breaker = self.verify_breaker.snapshot();
+        let plan_bh = self.plan_bulkhead.snapshot();
+        let sim_bh = self.simulate_bulkhead.snapshot();
         Json::obj(vec![
             (
                 "requests",
@@ -104,8 +206,16 @@ impl State {
                         self.stats_requests.load(Ordering::Relaxed).to_json(),
                     ),
                     (
+                        "metrics",
+                        self.metrics_requests.load(Ordering::Relaxed).to_json(),
+                    ),
+                    (
                         "invalidate",
                         self.invalidate_requests.load(Ordering::Relaxed).to_json(),
+                    ),
+                    (
+                        "breaker",
+                        self.breaker_requests.load(Ordering::Relaxed).to_json(),
                     ),
                     (
                         "shutdown",
@@ -142,9 +252,317 @@ impl State {
                     ("shed", shed.to_json()),
                 ]),
             ),
+            (
+                "resilience",
+                Json::obj(vec![
+                    (
+                        "breaker",
+                        Json::obj(vec![
+                            ("state", breaker.state.id().to_json()),
+                            ("mode", breaker.mode.id().to_json()),
+                            ("opens", breaker.counters.opens.to_json()),
+                            ("rejected", breaker.counters.rejected.to_json()),
+                            ("successes", breaker.counters.successes.to_json()),
+                            ("failures", breaker.counters.failures.to_json()),
+                        ]),
+                    ),
+                    (
+                        "bulkheads",
+                        Json::obj(vec![
+                            (
+                                "plan",
+                                Json::obj(vec![
+                                    ("in_use", plan_bh.in_use.to_json()),
+                                    ("capacity", plan_bh.capacity.to_json()),
+                                    ("rejected", plan_bh.rejected.to_json()),
+                                ]),
+                            ),
+                            (
+                                "simulate",
+                                Json::obj(vec![
+                                    ("in_use", sim_bh.in_use.to_json()),
+                                    ("capacity", sim_bh.capacity.to_json()),
+                                    ("rejected", sim_bh.rejected.to_json()),
+                                ]),
+                            ),
+                        ]),
+                    ),
+                    (
+                        "degraded",
+                        Json::obj(vec![
+                            (
+                                "breaker_open",
+                                self.degraded_breaker_open.load(Ordering::Relaxed).to_json(),
+                            ),
+                            (
+                                "deadline_exhausted",
+                                self.degraded_deadline.load(Ordering::Relaxed).to_json(),
+                            ),
+                            (
+                                "verification_failed",
+                                self.degraded_verification.load(Ordering::Relaxed).to_json(),
+                            ),
+                        ]),
+                    ),
+                ]),
+            ),
             ("workers", self.workers.to_json()),
             ("draining", self.draining.load(Ordering::Relaxed).to_json()),
         ])
+    }
+
+    /// The `/metrics` document. Families and label values are emitted in
+    /// a fixed hand-written order, and every label value a series can
+    /// take exists from the first scrape — see the [`crate::metrics`]
+    /// module docs.
+    fn metrics_text(&self) -> String {
+        let (hits, misses, entries, capacity, generation) = self.cache.lock().unwrap().stats();
+        let (admitted, shed, peak_depth) = self.queue.counters();
+        let breaker = self.verify_breaker.snapshot();
+        let plan_bh = self.plan_bulkhead.snapshot();
+        let sim_bh = self.simulate_bulkhead.snapshot();
+        let plan_lat = self.plan_latency.snapshot();
+        let sim_lat = self.simulate_latency.snapshot();
+        let count = |c: &AtomicU64| c.load(Ordering::Relaxed) as f64;
+
+        let mut e = Exposition::new();
+        e.family(
+            "ap_uptime_seconds",
+            "gauge",
+            "Seconds since the daemon started.",
+        )
+        .sample(
+            "ap_uptime_seconds",
+            &[],
+            self.started.elapsed().as_secs_f64(),
+        );
+        e.family(
+            "ap_requests_total",
+            "counter",
+            "Requests routed, by endpoint.",
+        );
+        for (endpoint, counter) in [
+            ("plan", &self.plan_requests),
+            ("simulate", &self.simulate_requests),
+            ("health", &self.health_requests),
+            ("stats", &self.stats_requests),
+            ("metrics", &self.metrics_requests),
+            ("invalidate", &self.invalidate_requests),
+            ("breaker", &self.breaker_requests),
+            ("shutdown", &self.shutdown_requests),
+        ] {
+            e.sample(
+                "ap_requests_total",
+                &[("endpoint", endpoint)],
+                count(counter),
+            );
+        }
+        e.family(
+            "ap_error_responses_total",
+            "counter",
+            "Responses with status >= 400, shed connections included.",
+        )
+        .sample(
+            "ap_error_responses_total",
+            &[],
+            count(&self.error_responses),
+        );
+        e.family(
+            "ap_degraded_responses_total",
+            "counter",
+            "200-with-degraded-plan responses, by reason.",
+        );
+        for (reason, counter) in [
+            ("breaker-open", &self.degraded_breaker_open),
+            ("deadline-exhausted", &self.degraded_deadline),
+            ("verification-failed", &self.degraded_verification),
+        ] {
+            e.sample(
+                "ap_degraded_responses_total",
+                &[("reason", reason)],
+                count(counter),
+            );
+        }
+        e.family("ap_cache_hits_total", "counter", "Plan cache hits.")
+            .sample("ap_cache_hits_total", &[], hits as f64);
+        e.family("ap_cache_misses_total", "counter", "Plan cache misses.")
+            .sample("ap_cache_misses_total", &[], misses as f64);
+        e.family("ap_cache_entries", "gauge", "Plans currently cached.")
+            .sample("ap_cache_entries", &[], entries as f64);
+        e.family("ap_cache_capacity", "gauge", "Plan cache capacity.")
+            .sample("ap_cache_capacity", &[], capacity as f64);
+        e.family(
+            "ap_cache_generation",
+            "gauge",
+            "Invalidation generation of the plan cache.",
+        )
+        .sample("ap_cache_generation", &[], generation as f64);
+        e.family(
+            "ap_queue_depth",
+            "gauge",
+            "Connections waiting in the admission queue.",
+        )
+        .sample("ap_queue_depth", &[], self.queue.depth() as f64);
+        e.family("ap_queue_capacity", "gauge", "Admission queue bound.")
+            .sample("ap_queue_capacity", &[], self.queue.capacity() as f64);
+        e.family(
+            "ap_queue_peak_depth",
+            "gauge",
+            "High-water mark of the admission queue.",
+        )
+        .sample("ap_queue_peak_depth", &[], peak_depth as f64);
+        e.family(
+            "ap_queue_admitted_total",
+            "counter",
+            "Connections admitted to the queue.",
+        )
+        .sample("ap_queue_admitted_total", &[], admitted as f64);
+        e.family(
+            "ap_queue_shed_total",
+            "counter",
+            "Connections shed at accept time (503).",
+        )
+        .sample("ap_queue_shed_total", &[], shed as f64);
+        e.family(
+            "ap_breaker_state",
+            "gauge",
+            "Circuit breaker state: 0 closed, 1 open, 2 half-open.",
+        )
+        .sample(
+            "ap_breaker_state",
+            &[("breaker", "verify")],
+            breaker.state.gauge() as f64,
+        );
+        e.family(
+            "ap_breaker_opens_total",
+            "counter",
+            "Times the breaker tripped open.",
+        )
+        .sample(
+            "ap_breaker_opens_total",
+            &[("breaker", "verify")],
+            breaker.counters.opens as f64,
+        );
+        e.family(
+            "ap_breaker_rejected_total",
+            "counter",
+            "Calls rejected by an open breaker.",
+        )
+        .sample(
+            "ap_breaker_rejected_total",
+            &[("breaker", "verify")],
+            breaker.counters.rejected as f64,
+        );
+        e.family(
+            "ap_breaker_failures_total",
+            "counter",
+            "Failure outcomes recorded on the breaker.",
+        )
+        .sample(
+            "ap_breaker_failures_total",
+            &[("breaker", "verify")],
+            breaker.counters.failures as f64,
+        );
+        e.family(
+            "ap_breaker_successes_total",
+            "counter",
+            "Success outcomes recorded on the breaker.",
+        )
+        .sample(
+            "ap_breaker_successes_total",
+            &[("breaker", "verify")],
+            breaker.counters.successes as f64,
+        );
+        e.family(
+            "ap_bulkhead_in_use",
+            "gauge",
+            "Bulkhead permits currently held, by endpoint.",
+        );
+        e.sample(
+            "ap_bulkhead_in_use",
+            &[("endpoint", "plan")],
+            plan_bh.in_use as f64,
+        );
+        e.sample(
+            "ap_bulkhead_in_use",
+            &[("endpoint", "simulate")],
+            sim_bh.in_use as f64,
+        );
+        e.family(
+            "ap_bulkhead_capacity",
+            "gauge",
+            "Bulkhead permit bound, by endpoint.",
+        );
+        e.sample(
+            "ap_bulkhead_capacity",
+            &[("endpoint", "plan")],
+            plan_bh.capacity as f64,
+        );
+        e.sample(
+            "ap_bulkhead_capacity",
+            &[("endpoint", "simulate")],
+            sim_bh.capacity as f64,
+        );
+        e.family(
+            "ap_bulkhead_rejected_total",
+            "counter",
+            "Calls shed at a full bulkhead, by endpoint.",
+        );
+        e.sample(
+            "ap_bulkhead_rejected_total",
+            &[("endpoint", "plan")],
+            plan_bh.rejected as f64,
+        );
+        e.sample(
+            "ap_bulkhead_rejected_total",
+            &[("endpoint", "simulate")],
+            sim_bh.rejected as f64,
+        );
+        e.family(
+            "ap_request_duration_seconds",
+            "histogram",
+            "Compute-endpoint handler latency.",
+        );
+        e.histogram(
+            "ap_request_duration_seconds",
+            &[("endpoint", "plan")],
+            &plan_lat,
+        );
+        e.histogram(
+            "ap_request_duration_seconds",
+            &[("endpoint", "simulate")],
+            &sim_lat,
+        );
+        e.family(
+            "ap_request_latency_seconds",
+            "gauge",
+            "Latency percentiles interpolated from the duration histogram.",
+        );
+        for (endpoint, lat) in [("plan", &plan_lat), ("simulate", &sim_lat)] {
+            for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                e.sample(
+                    "ap_request_latency_seconds",
+                    &[("endpoint", endpoint), ("quantile", label)],
+                    lat.quantile(q),
+                );
+            }
+        }
+        e.family("ap_workers", "gauge", "Worker threads.").sample(
+            "ap_workers",
+            &[],
+            self.workers as f64,
+        );
+        e.family(
+            "ap_draining",
+            "gauge",
+            "1 while the daemon is draining for shutdown.",
+        )
+        .sample(
+            "ap_draining",
+            &[],
+            self.draining.load(Ordering::Relaxed) as u8 as f64,
+        );
+        e.finish()
     }
 }
 
@@ -192,11 +610,30 @@ pub fn spawn(cfg: ServeConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     let workers = cfg.workers.max(1);
+    let clock: Arc<dyn Clock> = SystemClock::shared();
+    let r = &cfg.resilience;
     let state = Arc::new(State {
         addr,
         workers,
+        timing: cfg.timing.clone(),
         cache: Mutex::new(PlanCache::new(cfg.cache_capacity)),
         queue: AdmissionQueue::new(cfg.queue_capacity),
+        verify_breaker: CircuitBreaker::new(
+            BreakerConfig {
+                window: r.breaker_window,
+                min_samples: r.breaker_min_samples,
+                failure_rate: r.breaker_failure_rate,
+                cooldown: Duration::from_millis(r.breaker_cooldown_ms),
+                half_open_probes: r.breaker_probes,
+            },
+            Arc::clone(&clock),
+        ),
+        plan_bulkhead: Bulkhead::new(r.plan_bulkhead),
+        simulate_bulkhead: Bulkhead::new(r.simulate_bulkhead),
+        default_deadline: Duration::from_millis(r.default_deadline_ms),
+        clock,
+        plan_latency: Histogram::new(),
+        simulate_latency: Histogram::new(),
         draining: AtomicBool::new(false),
         stop: AtomicBool::new(false),
         started: Instant::now(),
@@ -205,9 +642,15 @@ pub fn spawn(cfg: ServeConfig) -> io::Result<ServerHandle> {
         simulate_requests: AtomicU64::new(0),
         health_requests: AtomicU64::new(0),
         stats_requests: AtomicU64::new(0),
+        metrics_requests: AtomicU64::new(0),
         invalidate_requests: AtomicU64::new(0),
+        breaker_requests: AtomicU64::new(0),
         shutdown_requests: AtomicU64::new(0),
         error_responses: AtomicU64::new(0),
+        completed_responses: AtomicU64::new(0),
+        degraded_breaker_open: AtomicU64::new(0),
+        degraded_deadline: AtomicU64::new(0),
+        degraded_verification: AtomicU64::new(0),
     });
 
     let accept_state = Arc::clone(&state);
@@ -253,18 +696,22 @@ fn acceptor_loop(listener: TcpListener, state: &State) {
             Admit::Enqueued => {}
             Admit::Shed(mut s) | Admit::Closed(mut s) => {
                 // One cheap write on the acceptor thread; the worker pool
-                // never sees shed load.
+                // never sees shed load. The Retry-After is computed from
+                // queue depth and the observed drain rate, so a fleet of
+                // backed-off clients returns when capacity plausibly
+                // exists rather than in one thundering second.
                 state.error_responses.fetch_add(1, Ordering::Relaxed);
+                let hint = state.retry_after_hint();
                 let body = ApiError {
                     status: 503,
                     kind: "overloaded".to_string(),
-                    message: "admission queue full; retry shortly".to_string(),
+                    message: format!("admission queue full; retry in {hint}s"),
                 }
                 .body();
                 let _ = http::respond(
                     &mut s,
                     503,
-                    &[("Retry-After", "1".to_string())],
+                    &[("Retry-After", hint.to_string())],
                     &body.pretty(),
                     true,
                 );
@@ -281,7 +728,7 @@ fn worker_loop(state: &State) {
 
 fn serve_connection(stream: &mut TcpStream, state: &State) {
     loop {
-        let req = match http::read_request(stream, &state.draining) {
+        let req = match http::read_request(stream, &state.draining, &state.timing) {
             Ok(req) => req,
             Err(ReadError::Closed) | Err(ReadError::Draining) | Err(ReadError::Io(_)) => return,
             Err(ReadError::HeadTooLarge) => {
@@ -320,12 +767,36 @@ fn serve_connection(stream: &mut TcpStream, state: &State) {
             }
         };
         state.requests.fetch_add(1, Ordering::Relaxed);
+        let handled_at = Instant::now();
         let (status, extra, body) = route(state, &req);
+        match req.path.as_str() {
+            "/plan" => state
+                .plan_latency
+                .observe(handled_at.elapsed().as_secs_f64()),
+            "/simulate" => state
+                .simulate_latency
+                .observe(handled_at.elapsed().as_secs_f64()),
+            _ => {}
+        }
         if status >= 400 {
             state.error_responses.fetch_add(1, Ordering::Relaxed);
         }
         let close = req.wants_close() || state.draining.load(Ordering::Relaxed);
-        if http::respond(stream, status, &extra, &body.pretty(), close).is_err() || close {
+        let written = match &body {
+            Body::Json(j) => http::respond(stream, status, &extra, &j.pretty(), close),
+            Body::Text(t) => http::respond_typed(
+                stream,
+                status,
+                "text/plain; version=0.0.4; charset=utf-8",
+                &extra,
+                t,
+                close,
+            ),
+        };
+        if written.is_ok() {
+            state.completed_responses.fetch_add(1, Ordering::Relaxed);
+        }
+        if written.is_err() || close {
             return;
         }
     }
@@ -348,10 +819,17 @@ fn error_response(
     http::respond(stream, status, &[], &body.pretty(), true)
 }
 
-type Routed = (u16, Vec<(&'static str, String)>, Json);
+/// A response body: JSON everywhere except the Prometheus exposition.
+enum Body {
+    Json(Json),
+    Text(String),
+}
+
+type Routed = (u16, Vec<(&'static str, String)>, Body);
 
 fn route(state: &State, req: &Request) -> Routed {
-    let ok = |j: Json| (200u16, Vec::new(), j);
+    let ok = |j: Json| (200u16, Vec::new(), Body::Json(j));
+    let err = |e: ApiError| (e.status, Vec::new(), Body::Json(e.body()));
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/health") => {
             state.health_requests.fetch_add(1, Ordering::Relaxed);
@@ -361,13 +839,32 @@ fn route(state: &State, req: &Request) -> Routed {
             state.stats_requests.fetch_add(1, Ordering::Relaxed);
             ok(state.stats_json())
         }
+        ("GET", "/metrics") => {
+            state.metrics_requests.fetch_add(1, Ordering::Relaxed);
+            (200, Vec::new(), Body::Text(state.metrics_text()))
+        }
         ("POST", "/plan") => match handle_plan(state, &req.body) {
             Ok(j) => ok(j),
-            Err(e) => (e.status, Vec::new(), e.body()),
+            Err(e) => {
+                // A full bulkhead is the one JSON error that carries a
+                // computed Retry-After: the caller should come back, just
+                // not immediately.
+                let mut extra = Vec::new();
+                if e.kind == "bulkhead-full" {
+                    extra.push(("Retry-After", state.retry_after_hint().to_string()));
+                }
+                (e.status, extra, Body::Json(e.body()))
+            }
         },
         ("POST", "/simulate") => match handle_simulate(state, &req.body) {
             Ok(j) => ok(j),
-            Err(e) => (e.status, Vec::new(), e.body()),
+            Err(e) => {
+                let mut extra = Vec::new();
+                if e.kind == "bulkhead-full" {
+                    extra.push(("Retry-After", state.retry_after_hint().to_string()));
+                }
+                (e.status, extra, Body::Json(e.body()))
+            }
         },
         ("POST", "/invalidate") => {
             state.invalidate_requests.fetch_add(1, Ordering::Relaxed);
@@ -377,27 +874,29 @@ fn route(state: &State, req: &Request) -> Routed {
                 ("generation", generation.to_json()),
             ]))
         }
+        ("POST", "/breaker") => match handle_breaker(state, &req.body) {
+            Ok(j) => ok(j),
+            Err(e) => err(e),
+        },
         ("POST", "/shutdown") => {
             state.shutdown_requests.fetch_add(1, Ordering::Relaxed);
             state.begin_drain();
             ok(Json::obj(vec![("draining", true.to_json())]))
         }
-        (_, "/health" | "/stats" | "/plan" | "/simulate" | "/invalidate" | "/shutdown") => {
-            let e = ApiError {
-                status: 405,
-                kind: "method-not-allowed".to_string(),
-                message: format!("{} does not accept {}", req.path, req.method),
-            };
-            (e.status, Vec::new(), e.body())
-        }
-        _ => {
-            let e = ApiError {
-                status: 404,
-                kind: "not-found".to_string(),
-                message: format!("no route for {}", req.path),
-            };
-            (e.status, Vec::new(), e.body())
-        }
+        (
+            _,
+            "/health" | "/stats" | "/metrics" | "/plan" | "/simulate" | "/invalidate" | "/breaker"
+            | "/shutdown",
+        ) => err(ApiError {
+            status: 405,
+            kind: "method-not-allowed".to_string(),
+            message: format!("{} does not accept {}", req.path, req.method),
+        }),
+        _ => err(ApiError {
+            status: 404,
+            kind: "not-found".to_string(),
+            message: format!("no route for {}", req.path),
+        }),
     }
 }
 
@@ -412,26 +911,176 @@ fn set_field(obj: &mut Json, key: &str, value: Json) {
     }
 }
 
+/// `/plan` behind the full stack — bulkhead, deadline, breaker — with
+/// graceful degradation. The invariant: a request that parses and
+/// validates gets **200 with a plan**. The engine not running (breaker
+/// open, budget spent, verification error) downgrades the answer to the
+/// analytic one, marked `"degraded": true`; it never becomes a 500.
 fn handle_plan(state: &State, body: &[u8]) -> Result<Json, ApiError> {
     state.plan_requests.fetch_add(1, Ordering::Relaxed);
     let parsed = api::parse_body(body)?;
     let req = PlanRequest::from_json(&parsed)?;
+
+    // Bulkhead first: shed before spending any budget.
+    let Some(_permit) = state.plan_bulkhead.try_acquire() else {
+        return Err(ApiError {
+            status: 503,
+            kind: "bulkhead-full".to_string(),
+            message: format!(
+                "{} /plan computations already in flight; retry shortly",
+                state.plan_bulkhead.capacity()
+            ),
+        });
+    };
+
+    // Cache next: hits are served even while the breaker is open — a
+    // previously verified plan is exactly the graceful fallback.
     let digest = fnv1a64(&req.canonical_key());
     if let Some(mut hit) = state.cache.lock().unwrap().get(digest) {
         set_field(&mut hit, "cached", true.to_json());
         return Ok(hit);
     }
+
+    // Deadline brackets all computation on behalf of this request.
+    let budget = req
+        .planner
+        .deadline_ms
+        .map(Duration::from_millis)
+        .unwrap_or(state.default_deadline);
+    let deadline = Deadline::after(Arc::clone(&state.clock), budget);
+
     // Compute outside the cache lock: planning takes milliseconds and
     // other workers' cache hits must not wait on it. Concurrent misses on
     // the same key may compute twice; both arrive at the same plan.
-    let response = api::compute_plan(&req)?;
-    state.cache.lock().unwrap().insert(digest, response.clone());
-    Ok(response)
+    let refined = api::refine_plan(&req, Some(&deadline));
+    if deadline.expired() {
+        // The analytic phase ate the whole budget; the engine would only
+        // overrun further. Counts as a failure on the breaker — a slow
+        // dependency and a dead one look the same to the caller.
+        state.verify_breaker.record_failure();
+        state.degraded_deadline.fetch_add(1, Ordering::Relaxed);
+        return Ok(api::plan_response(
+            &req,
+            &refined,
+            None,
+            Some("deadline-exhausted"),
+        ));
+    }
+
+    match state.verify_breaker.try_acquire() {
+        Admission::Rejected => {
+            state.degraded_breaker_open.fetch_add(1, Ordering::Relaxed);
+            Ok(api::plan_response(
+                &req,
+                &refined,
+                None,
+                Some("breaker-open"),
+            ))
+        }
+        Admission::Allowed => match api::verify_plan(&req, &refined) {
+            Ok(verified) => {
+                if deadline.expired() {
+                    // Verified, but past the caller's patience: return
+                    // the full answer (it is in hand) yet record the
+                    // overrun as a breaker failure and skip caching —
+                    // plans that cost more than their budget should not
+                    // be rewarded.
+                    state.verify_breaker.record_failure();
+                    return Ok(api::plan_response(&req, &refined, Some(&verified), None));
+                }
+                state.verify_breaker.record_success();
+                let response = api::plan_response(&req, &refined, Some(&verified), None);
+                state.cache.lock().unwrap().insert(digest, response.clone());
+                Ok(response)
+            }
+            Err(_) => {
+                state.verify_breaker.record_failure();
+                state.degraded_verification.fetch_add(1, Ordering::Relaxed);
+                Ok(api::plan_response(
+                    &req,
+                    &refined,
+                    None,
+                    Some("verification-failed"),
+                ))
+            }
+        },
+    }
 }
 
 fn handle_simulate(state: &State, body: &[u8]) -> Result<Json, ApiError> {
     state.simulate_requests.fetch_add(1, Ordering::Relaxed);
     let parsed = api::parse_body(body)?;
     let req = SimulateRequest::from_json(&parsed)?;
+    let Some(_permit) = state.simulate_bulkhead.try_acquire() else {
+        return Err(ApiError {
+            status: 503,
+            kind: "bulkhead-full".to_string(),
+            message: format!(
+                "{} /simulate computations already in flight; retry shortly",
+                state.simulate_bulkhead.capacity()
+            ),
+        });
+    };
     api::compute_simulate(&req)
+}
+
+/// `POST /breaker`: force the verify breaker open or closed, or return
+/// it to automatic operation. Body: `{"mode": "auto" | "forced_open" |
+/// "forced_closed"}`. The operator's lever for planned engine
+/// maintenance — and the deterministic way to exercise the degraded
+/// path.
+fn handle_breaker(state: &State, body: &[u8]) -> Result<Json, ApiError> {
+    state.breaker_requests.fetch_add(1, Ordering::Relaxed);
+    let parsed = api::parse_body(body)?;
+    if parsed.as_obj().is_none() {
+        return Err(ApiError::bad_request(
+            "bad-body",
+            "request body must be a JSON object",
+        ));
+    }
+    let mode_str = parsed
+        .get("mode")
+        .ok_or_else(|| ApiError::bad_request("missing-field", "request needs a \"mode\""))?
+        .as_str()
+        .ok_or_else(|| ApiError::bad_request("bad-field", "mode must be a string"))?;
+    let mode = Mode::parse(mode_str).ok_or_else(|| {
+        ApiError::unprocessable(
+            "unknown-mode",
+            format!("unknown mode {mode_str:?}; known: auto, forced_open, forced_closed"),
+        )
+    })?;
+    state.verify_breaker.set_mode(mode);
+    Ok(Json::obj(vec![
+        ("mode", mode.id().to_json()),
+        ("state", state.verify_breaker.state().id().to_json()),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_after_tracks_depth_and_drain_rate() {
+        // 100 responses over 10s = 10 req/s; 19 queued ahead -> 2s.
+        assert_eq!(retry_after_secs(19, 100, 10.0), 2);
+        // Same depth, slower server (1 req/s) -> 20s.
+        assert_eq!(retry_after_secs(19, 10, 10.0), 20);
+        // Empty queue on a fast server -> the 1s floor.
+        assert_eq!(retry_after_secs(0, 1000, 10.0), 1);
+        // Catastrophic backlog clamps at 30s, not minutes.
+        assert_eq!(retry_after_secs(10_000, 10, 100.0), 30);
+        // No completions yet: assume 10 req/s rather than guessing slow.
+        assert_eq!(retry_after_secs(5, 0, 0.5), 1);
+    }
+
+    #[test]
+    fn retry_after_is_monotone_in_depth() {
+        let mut prev = 0;
+        for depth in [0usize, 1, 4, 16, 64, 256] {
+            let s = retry_after_secs(depth, 50, 10.0);
+            assert!(s >= prev, "hint shrank as the queue grew");
+            prev = s;
+        }
+    }
 }

@@ -19,6 +19,7 @@ fn server() -> ap_serve::ServerHandle {
         workers: 1,
         queue_capacity: 16,
         cache_capacity: 8,
+        ..ServeConfig::default()
     })
     .expect("spawn")
 }
@@ -224,6 +225,7 @@ fn shed_connections_get_retry_after_and_admitted_ones_finish() {
         workers: 1,
         queue_capacity: 1,
         cache_capacity: 2,
+        ..ServeConfig::default()
     })
     .unwrap();
     let addr = handle.addr();

@@ -1,0 +1,223 @@
+//! Exact-content tests for `GET /metrics`: every expected family is
+//! present, every line is a valid Prometheus text-exposition line, and
+//! the ordering is stable scrape to scrape.
+
+use ap_json::{Json, ToJson};
+use ap_serve::client::Client;
+use ap_serve::{spawn, ServeConfig, ServerHandle};
+
+fn server() -> ServerHandle {
+    spawn(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_capacity: 8,
+        cache_capacity: 4,
+        ..ServeConfig::default()
+    })
+    .expect("spawn")
+}
+
+fn scrape(c: &mut Client) -> String {
+    let r = c.request("GET", "/metrics", None).unwrap();
+    assert_eq!(r.status, 200);
+    assert!(
+        r.header("content-type")
+            .is_some_and(|t| t.starts_with("text/plain")),
+        "exposition is text/plain, not JSON"
+    );
+    String::from_utf8(r.body.clone()).expect("exposition is UTF-8")
+}
+
+/// Every metric family the daemon promises, in the order promised.
+const FAMILIES: &[&str] = &[
+    "ap_uptime_seconds",
+    "ap_requests_total",
+    "ap_error_responses_total",
+    "ap_degraded_responses_total",
+    "ap_cache_hits_total",
+    "ap_cache_misses_total",
+    "ap_cache_entries",
+    "ap_cache_capacity",
+    "ap_cache_generation",
+    "ap_queue_depth",
+    "ap_queue_capacity",
+    "ap_queue_peak_depth",
+    "ap_queue_admitted_total",
+    "ap_queue_shed_total",
+    "ap_breaker_state",
+    "ap_breaker_opens_total",
+    "ap_breaker_rejected_total",
+    "ap_breaker_failures_total",
+    "ap_breaker_successes_total",
+    "ap_bulkhead_in_use",
+    "ap_bulkhead_capacity",
+    "ap_bulkhead_rejected_total",
+    "ap_request_duration_seconds",
+    "ap_request_latency_seconds",
+    "ap_workers",
+    "ap_draining",
+];
+
+#[test]
+fn every_promised_family_is_present_in_order() {
+    let mut handle = server();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let text = scrape(&mut c);
+    let mut last = 0usize;
+    for fam in FAMILIES {
+        let needle = format!("# TYPE {fam} ");
+        let pos = text
+            .find(&needle)
+            .unwrap_or_else(|| panic!("family {fam} missing from exposition"));
+        assert!(pos >= last, "family {fam} out of declared order");
+        last = pos;
+    }
+    // Every labelled series exists from the very first scrape, value 0 —
+    // no series pops into existence later.
+    for series in [
+        "ap_requests_total{endpoint=\"plan\"} ",
+        "ap_requests_total{endpoint=\"simulate\"} ",
+        "ap_requests_total{endpoint=\"health\"} ",
+        "ap_requests_total{endpoint=\"stats\"} ",
+        "ap_requests_total{endpoint=\"metrics\"} ",
+        "ap_requests_total{endpoint=\"invalidate\"} ",
+        "ap_requests_total{endpoint=\"breaker\"} ",
+        "ap_requests_total{endpoint=\"shutdown\"} ",
+        "ap_degraded_responses_total{reason=\"breaker-open\"} 0",
+        "ap_degraded_responses_total{reason=\"deadline-exhausted\"} 0",
+        "ap_degraded_responses_total{reason=\"verification-failed\"} 0",
+        "ap_breaker_state{breaker=\"verify\"} 0",
+        "ap_bulkhead_in_use{endpoint=\"plan\"} 0",
+        "ap_bulkhead_in_use{endpoint=\"simulate\"} 0",
+        "ap_request_duration_seconds_bucket{endpoint=\"plan\",le=\"+Inf\"} 0",
+        "ap_request_latency_seconds{endpoint=\"plan\",quantile=\"0.99\"} 0",
+    ] {
+        assert!(
+            text.lines().any(|l| l.starts_with(series)),
+            "series {series:?} missing from first scrape"
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn every_line_is_valid_exposition_syntax() {
+    let mut handle = server();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    // Drive some traffic first so counters and histograms are non-zero.
+    let plan = Json::obj(vec![
+        ("model", "alexnet".to_json()),
+        (
+            "planner",
+            Json::obj(vec![("measure_iters", 4usize.to_json())]),
+        ),
+    ]);
+    assert_eq!(c.request("POST", "/plan", Some(&plan)).unwrap().status, 200);
+    assert_eq!(c.request("GET", "/health", None).unwrap().status, 200);
+    let text = scrape(&mut c);
+    assert!(text.ends_with('\n'), "exposition ends with a newline");
+    let name_ok = |s: &str| {
+        !s.is_empty()
+            && s.chars()
+                .all(|ch| ch.is_ascii_alphanumeric() || ch == '_' || ch == ':')
+            && !s.starts_with(|ch: char| ch.is_ascii_digit())
+    };
+    for line in text.lines() {
+        assert!(!line.is_empty(), "no blank lines");
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let keyword = parts.next().unwrap();
+            assert!(
+                keyword == "HELP" || keyword == "TYPE",
+                "bad comment keyword in {line:?}"
+            );
+            let name = parts.next().expect("comment names a metric");
+            assert!(name_ok(name), "bad metric name in {line:?}");
+            let tail = parts.next().expect("comment has content");
+            if keyword == "TYPE" {
+                assert!(
+                    ["counter", "gauge", "histogram"].contains(&tail),
+                    "unknown type in {line:?}"
+                );
+            }
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+        assert!(
+            value == "+Inf" || value.parse::<f64>().is_ok(),
+            "unparseable value in {line:?}"
+        );
+        let name = match series.find('{') {
+            None => series,
+            Some(brace) => {
+                assert!(series.ends_with('}'), "unterminated labels in {line:?}");
+                let labels = &series[brace + 1..series.len() - 1];
+                for pair in labels.split(',') {
+                    let (k, v) = pair.split_once('=').expect("label is k=v");
+                    assert!(name_ok(k), "bad label name in {line:?}");
+                    assert!(
+                        v.starts_with('"') && v.ends_with('"') && v.len() >= 2,
+                        "unquoted label value in {line:?}"
+                    );
+                }
+                &series[..brace]
+            }
+        };
+        assert!(name_ok(name), "bad series name in {line:?}");
+    }
+    // The traffic we drove is visible.
+    assert!(text.contains("ap_requests_total{endpoint=\"plan\"} 1\n"));
+    assert!(text.contains("ap_requests_total{endpoint=\"health\"} 1\n"));
+    assert!(text.contains("ap_cache_misses_total 1\n"));
+    assert!(text.contains("ap_request_duration_seconds_count{endpoint=\"plan\"} 1\n"));
+    handle.shutdown();
+}
+
+#[test]
+fn series_ordering_is_stable_across_scrapes() {
+    let mut handle = server();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let skeleton = |text: &str| -> Vec<String> {
+        text.lines()
+            .map(|l| {
+                if l.starts_with('#') {
+                    l.to_string()
+                } else {
+                    // Keep the series identity, drop the (moving) value.
+                    l.rsplit_once(' ').unwrap().0.to_string()
+                }
+            })
+            .collect()
+    };
+    let first = skeleton(&scrape(&mut c));
+    // Mutate state between scrapes: traffic, a cache entry, an error.
+    let plan = Json::obj(vec![
+        ("model", "alexnet".to_json()),
+        (
+            "planner",
+            Json::obj(vec![("measure_iters", 4usize.to_json())]),
+        ),
+    ]);
+    assert_eq!(c.request("POST", "/plan", Some(&plan)).unwrap().status, 200);
+    assert_eq!(c.request("GET", "/nope", None).unwrap().status, 404);
+    let second = skeleton(&scrape(&mut c));
+    assert_eq!(first, second, "series set and order must not move");
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_rejects_post() {
+    let mut handle = server();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let r = c
+        .request("POST", "/metrics", Some(&Json::obj(vec![])))
+        .unwrap();
+    assert_eq!(r.status, 405);
+    assert!(
+        r.header("content-type")
+            .is_some_and(|t| t.starts_with("application/json")),
+        "errors stay JSON even on /metrics"
+    );
+    handle.shutdown();
+}

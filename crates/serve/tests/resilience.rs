@@ -1,0 +1,324 @@
+//! Degradation-under-failure tests: with the engine-verification breaker
+//! open — forced by an operator or tripped by budget exhaustion —
+//! `POST /plan` still answers **200 with a plan**, marked degraded. No
+//! 500s, no wedged workers.
+//!
+//! Like `malformed.rs`, daemons here run with **one** worker on purpose:
+//! a wedge anywhere would hang every later request in the test.
+
+use std::time::Duration;
+
+use ap_json::{Json, ToJson};
+use ap_serve::client::Client;
+use ap_serve::{spawn, ResilienceConfig, ServeConfig, ServerHandle};
+
+fn server(resilience: ResilienceConfig) -> ServerHandle {
+    spawn(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_capacity: 16,
+        cache_capacity: 8,
+        resilience,
+        ..ServeConfig::default()
+    })
+    .expect("spawn")
+}
+
+fn plan_req(model: &str) -> Json {
+    Json::obj(vec![
+        ("model", model.to_json()),
+        (
+            "planner",
+            Json::obj(vec![("measure_iters", 4usize.to_json())]),
+        ),
+    ])
+}
+
+/// `{"model": ..., "planner": {"deadline_ms": 0, ...}}` — a born-expired
+/// budget: refinement is skipped and the response must degrade.
+fn hurried_plan_req(model: &str, link_gbps: f64) -> Json {
+    Json::obj(vec![
+        ("model", model.to_json()),
+        (
+            "cluster",
+            Json::obj(vec![("link_gbps", link_gbps.to_json())]),
+        ),
+        (
+            "planner",
+            Json::obj(vec![("deadline_ms", 0usize.to_json())]),
+        ),
+    ])
+}
+
+fn degraded_of(j: &Json) -> (bool, Option<String>) {
+    (
+        j.get("degraded").and_then(Json::as_bool).expect("degraded"),
+        j.get("degraded_reason")
+            .and_then(Json::as_str)
+            .map(String::from),
+    )
+}
+
+fn breaker_state_line(c: &mut Client) -> String {
+    let r = c.request("GET", "/metrics", None).unwrap();
+    assert_eq!(r.status, 200);
+    let text = String::from_utf8(r.body.clone()).unwrap();
+    text.lines()
+        .find(|l| l.starts_with("ap_breaker_state{"))
+        .expect("breaker state series present")
+        .to_string()
+}
+
+#[test]
+fn forced_open_breaker_degrades_but_still_answers() {
+    let mut handle = server(ResilienceConfig::default());
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    // Baseline: breaker closed, full verified answer.
+    let r = c
+        .request("POST", "/plan", Some(&plan_req("alexnet")))
+        .unwrap();
+    assert_eq!(r.status, 200);
+    let j = r.json().unwrap();
+    assert_eq!(degraded_of(&j), (false, None));
+    assert!(j.get("measured_throughput").and_then(Json::as_f64).unwrap() > 0.0);
+    assert_eq!(
+        breaker_state_line(&mut c),
+        "ap_breaker_state{breaker=\"verify\"} 0"
+    );
+
+    // Operator forces the breaker open.
+    let body = Json::obj(vec![("mode", "forced_open".to_json())]);
+    let r = c.request("POST", "/breaker", Some(&body)).unwrap();
+    assert_eq!(r.status, 200);
+    let j = r.json().unwrap();
+    assert_eq!(j.get("mode").and_then(Json::as_str), Some("forced_open"));
+    assert_eq!(j.get("state").and_then(Json::as_str), Some("open"));
+    assert_eq!(
+        breaker_state_line(&mut c),
+        "ap_breaker_state{breaker=\"verify\"} 1",
+        "/metrics reflects the transition"
+    );
+
+    // A *new* plan (different model → cache miss) is still 200, served
+    // analytic-only: measured_throughput null, degraded true.
+    let r = c
+        .request("POST", "/plan", Some(&plan_req("vgg16")))
+        .unwrap();
+    assert_eq!(r.status, 200, "never a 500 on an open breaker");
+    let j = r.json().unwrap();
+    assert_eq!(degraded_of(&j), (true, Some("breaker-open".to_string())));
+    assert!(matches!(j.get("measured_throughput"), Some(Json::Null)));
+    assert!(j.get("partition").is_some(), "a real plan is attached");
+    assert!(
+        j.get("predicted_throughput")
+            .and_then(Json::as_f64)
+            .unwrap()
+            > 0.0,
+        "the analytic prediction survives"
+    );
+
+    // The previously verified plan is served from cache, un-degraded —
+    // cached answers are exactly the graceful fallback.
+    let r = c
+        .request("POST", "/plan", Some(&plan_req("alexnet")))
+        .unwrap();
+    assert_eq!(r.status, 200);
+    let j = r.json().unwrap();
+    assert_eq!(j.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(degraded_of(&j), (false, None));
+
+    // Degraded answers must NOT be cached: re-asking for vgg16 after the
+    // breaker closes gets the full verified answer, not a stale degrade.
+    let body = Json::obj(vec![("mode", "auto".to_json())]);
+    let r = c.request("POST", "/breaker", Some(&body)).unwrap();
+    assert_eq!(r.status, 200);
+    assert_eq!(
+        breaker_state_line(&mut c),
+        "ap_breaker_state{breaker=\"verify\"} 0"
+    );
+    let r = c
+        .request("POST", "/plan", Some(&plan_req("vgg16")))
+        .unwrap();
+    let j = r.json().unwrap();
+    assert_eq!(degraded_of(&j), (false, None));
+    assert_eq!(j.get("cached").and_then(Json::as_bool), Some(false));
+    assert!(j.get("measured_throughput").and_then(Json::as_f64).unwrap() > 0.0);
+
+    // The single worker survived the whole sequence.
+    let r = c.request("GET", "/health", None).unwrap();
+    assert_eq!(r.status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_breaker_modes_are_rejected() {
+    let mut handle = server(ResilienceConfig::default());
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let r = c
+        .request(
+            "POST",
+            "/breaker",
+            Some(&Json::obj(vec![("mode", "sideways".to_json())])),
+        )
+        .unwrap();
+    assert_eq!(r.status, 422);
+    let r = c
+        .request(
+            "POST",
+            "/breaker",
+            Some(&Json::obj(vec![("mode", 3usize.to_json())])),
+        )
+        .unwrap();
+    assert_eq!(r.status, 400);
+    let r = c
+        .request("POST", "/breaker", Some(&Json::obj(vec![])))
+        .unwrap();
+    assert_eq!(r.status, 400);
+    handle.shutdown();
+}
+
+#[test]
+fn exhausted_deadlines_trip_the_breaker_naturally() {
+    // Tight breaker: window 4, min 4, rate 0.5 → four failures trip it.
+    // Long cooldown so the test observes the open state, not a probe.
+    let mut handle = server(ResilienceConfig {
+        breaker_window: 4,
+        breaker_min_samples: 4,
+        breaker_failure_rate: 0.5,
+        breaker_cooldown_ms: 60_000,
+        breaker_probes: 1,
+        ..ResilienceConfig::default()
+    });
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    // Four distinct zero-budget requests (distinct link_gbps → distinct
+    // cache keys): each degrades with "deadline-exhausted" and records a
+    // breaker failure.
+    for (i, gbps) in [11.0, 12.0, 13.0, 14.0].iter().enumerate() {
+        let r = c
+            .request("POST", "/plan", Some(&hurried_plan_req("alexnet", *gbps)))
+            .unwrap();
+        assert_eq!(r.status, 200, "request {i}: degraded, not failed");
+        let j = r.json().unwrap();
+        assert_eq!(
+            degraded_of(&j),
+            (true, Some("deadline-exhausted".to_string())),
+            "request {i}"
+        );
+        assert!(matches!(j.get("measured_throughput"), Some(Json::Null)));
+    }
+
+    // The failure rate (4/4) tripped the breaker.
+    assert_eq!(
+        breaker_state_line(&mut c),
+        "ap_breaker_state{breaker=\"verify\"} 1"
+    );
+
+    // A patient request now degrades with "breaker-open" — the engine is
+    // not consulted during cooldown.
+    let r = c
+        .request("POST", "/plan", Some(&plan_req("alexnet")))
+        .unwrap();
+    assert_eq!(r.status, 200);
+    let j = r.json().unwrap();
+    assert_eq!(degraded_of(&j), (true, Some("breaker-open".to_string())));
+
+    // Stats mirror the metric: the degraded tallies are visible.
+    let r = c.request("GET", "/stats", None).unwrap();
+    let j = r.json().unwrap();
+    let degraded = j.get("resilience").unwrap().get("degraded").unwrap();
+    assert_eq!(
+        degraded.get("deadline_exhausted").and_then(Json::as_usize),
+        Some(4)
+    );
+    assert_eq!(
+        degraded.get("breaker_open").and_then(Json::as_usize),
+        Some(1)
+    );
+    let r = c.request("GET", "/health", None).unwrap();
+    assert_eq!(r.status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn breaker_recovers_through_a_half_open_probe() {
+    // Short cooldown: after tripping, the next request past 100ms is the
+    // half-open probe; its successful verification closes the breaker.
+    let mut handle = server(ResilienceConfig {
+        breaker_window: 4,
+        breaker_min_samples: 4,
+        breaker_failure_rate: 0.5,
+        breaker_cooldown_ms: 100,
+        breaker_probes: 1,
+        ..ResilienceConfig::default()
+    });
+    let mut c = Client::connect(handle.addr()).unwrap();
+    for gbps in [11.0, 12.0, 13.0, 14.0] {
+        let r = c
+            .request("POST", "/plan", Some(&hurried_plan_req("alexnet", gbps)))
+            .unwrap();
+        assert_eq!(r.status, 200);
+    }
+    assert_eq!(
+        breaker_state_line(&mut c),
+        "ap_breaker_state{breaker=\"verify\"} 1"
+    );
+    std::thread::sleep(Duration::from_millis(150));
+    // Past the cooldown: this request is admitted as the probe, the
+    // engine verifies fine, and the response is NOT degraded.
+    let r = c
+        .request("POST", "/plan", Some(&plan_req("alexnet")))
+        .unwrap();
+    assert_eq!(r.status, 200);
+    let j = r.json().unwrap();
+    assert_eq!(degraded_of(&j), (false, None));
+    assert_eq!(
+        breaker_state_line(&mut c),
+        "ap_breaker_state{breaker=\"verify\"} 0",
+        "the successful probe closed the breaker"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn zero_capacity_bulkhead_sheds_with_retry_after() {
+    // plan_bulkhead = 0 is the deterministic "always full" lever.
+    let mut handle = server(ResilienceConfig {
+        plan_bulkhead: 0,
+        ..ResilienceConfig::default()
+    });
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let r = c
+        .request("POST", "/plan", Some(&plan_req("alexnet")))
+        .unwrap();
+    assert_eq!(r.status, 503);
+    let j = r.json().unwrap();
+    assert_eq!(
+        j.get("error").unwrap().get("kind").and_then(Json::as_str),
+        Some("bulkhead-full")
+    );
+    let hint = r.retry_after().expect("503 carries a Retry-After");
+    assert!(
+        hint >= Duration::from_secs(1) && hint <= Duration::from_secs(30),
+        "hint {hint:?} inside the clamp"
+    );
+    // Simulate rides its own bulkhead: it is unaffected.
+    let sim = Json::obj(vec![
+        ("model", "alexnet".to_json()),
+        (
+            "partition",
+            Json::obj(vec![(
+                "stages",
+                Json::Arr(vec![Json::obj(vec![
+                    ("layers", vec![0usize, 11].to_json()),
+                    ("workers", vec![0usize, 1].to_json()),
+                ])]),
+            )]),
+        ),
+        ("iterations", 12usize.to_json()),
+    ]);
+    let r = c.request("POST", "/simulate", Some(&sim)).unwrap();
+    assert_eq!(r.status, 200, "the /simulate bulkhead is separate");
+    handle.shutdown();
+}

@@ -157,6 +157,7 @@ fn over_the_wire_payloads_roundtrip() {
         workers: 2,
         queue_capacity: 8,
         cache_capacity: 4,
+        ..ServeConfig::default()
     })
     .unwrap();
     let mut c = Client::connect(handle.addr()).unwrap();

@@ -67,4 +67,19 @@ for sched in pipedream_async gpipe; do
   cmp "$exec_tmp/$sched-a/calibration.json" "$exec_tmp/$sched-b/calibration.json"
 done
 
+echo "== cluster control-plane smoke =="
+# Control-plane smoke: seeded arrival/departure/fault traces through the
+# ap-sched event loop, with whole-world best-response forks sampled
+# mid-trace. Exits 3 if placement stalls or the neighborhood-replanned
+# objective drifts past the declared epsilon from whole-world
+# best-response. Smoke runs under a fake clock (every wall-clock field
+# zeroed), so the JSON must be byte-identical across AP_PAR_THREADS —
+# placement decisions never depend on the worker-pool width.
+cargo run --release --offline -p ap-bench --bin repro -- list | grep -q cluster-bench
+sched_tmp="$(mktemp -d)"
+trap 'rm -rf "$serve_tmp" "$exec_tmp" "$sched_tmp"' EXIT
+cargo run --release --offline -p ap-bench --bin repro -- cluster-bench --smoke --json "$sched_tmp/a"
+AP_PAR_THREADS=1 cargo run --release --offline -p ap-bench --bin repro -- cluster-bench --smoke --json "$sched_tmp/b"
+cmp "$sched_tmp/a/cluster.json" "$sched_tmp/b/cluster.json"
+
 echo "ci: all green"

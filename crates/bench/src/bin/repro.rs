@@ -22,8 +22,8 @@ use std::path::PathBuf;
 
 use ap_bench::experiments::motivation::{panel_bandwidths, panel_models, MotivationRow, Scenario};
 use ap_bench::experiments::{
-    ablations, chaos, convergence, dynamic, enhanced, exec_validate, multi_job, overhead,
-    pipeline_fill, serve_bench, static_alloc,
+    ablations, chaos, cluster_bench, convergence, dynamic, enhanced, exec_validate, multi_job,
+    overhead, pipeline_fill, serve_bench, static_alloc,
 };
 use ap_bench::json::ToJson;
 use ap_pipesim::ScheduleKind;
@@ -47,6 +47,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("multijob", "coordinated AutoPipe tenancy"),
     ("ablations", "design-choice ablations"),
     ("chaos", "seeded fault injection vs drain-and-restart"),
+    (
+        "cluster-bench",
+        "ap-sched control plane: neighborhood vs whole-world re-planning at 10/100/1000 jobs",
+    ),
     ("serve-bench", "ap-serve daemon under load"),
     (
         "exec-validate",
@@ -144,6 +148,10 @@ fn main() {
     if run("chaos") {
         let smoke = args.iter().any(|a| a == "--smoke");
         run_chaos(smoke, &json_dir);
+    }
+    if run("cluster-bench") {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        run_cluster_bench(smoke, &json_dir);
     }
     if run("serve-bench") {
         let smoke = args.iter().any(|a| a == "--smoke");
@@ -367,6 +375,73 @@ fn run_serve_bench(smoke: bool, json: &Option<PathBuf>) {
     dump_json(json, "serve", &r);
     if !r.all_ok() {
         eprintln!("FAIL: serve-bench checks failed");
+        std::process::exit(3);
+    }
+}
+
+/// The cluster control-plane drill: seeded arrival/departure/fault traces
+/// at 10 → 100 → 1000 jobs through the ap-sched event loop, with
+/// whole-world best-response forks sampled mid-trace for the latency and
+/// quality comparison. The full run exports `BENCH_cluster.json` and
+/// requires the largest scale's neighborhood re-planning to beat a
+/// whole-world round by the declared factor; `--smoke` keeps to the small
+/// scales with a fake clock (every wall-clock field zeroed), so its
+/// `--json` output is byte-identical across runs and `AP_PAR_THREADS`
+/// settings. Exits non-zero if a gate fails.
+fn run_cluster_bench(smoke: bool, json: &Option<PathBuf>) {
+    println!("\n## Cluster — the ap-sched control plane under a seeded job stream\n");
+    let r = cluster_bench::run(smoke);
+    println!(
+        "mode {}; quality tolerance {:.0}% on instances ≤100 jobs{}\n",
+        r.mode,
+        r.equivalence_epsilon * 100.0,
+        if smoke {
+            String::new()
+        } else {
+            format!(
+                ", required speedup {:.0}x at the largest scale",
+                r.required_speedup
+            )
+        }
+    );
+    println!("| jobs | gpus | events | peak res | placed | queued | rejected | evacuated | moved | mean nbhd | worst Δ |");
+    println!("|---|---|---|---|---|---|---|---|---|---|---|");
+    for s in &r.scales {
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {:.1} | {:+.2}% |",
+            s.n_jobs,
+            s.gpus,
+            s.events,
+            s.peak_resident,
+            s.placed,
+            s.queued,
+            s.rejected,
+            s.evacuated,
+            s.plans_moved,
+            s.mean_neighborhood,
+            s.worst_quality_delta * 100.0
+        );
+    }
+    if !smoke {
+        println!("\n| jobs | event mean (ms) | event p99 (ms) | full round (ms) | speedup |");
+        println!("|---|---|---|---|---|");
+        for s in &r.scales {
+            println!(
+                "| {} | {:.3} | {:.3} | {:.3} | {:.0}x |",
+                s.n_jobs,
+                s.event_latency_mean_s * 1e3,
+                s.event_latency_p99_s * 1e3,
+                s.full_latency_mean_s * 1e3,
+                s.full_replan_speedup
+            );
+        }
+        let out = PathBuf::from("BENCH_cluster.json");
+        fs::write(&out, r.to_json().pretty()).expect("write BENCH_cluster.json");
+        eprintln!("wrote {}", out.display());
+    }
+    dump_json(json, "cluster", &r);
+    if !r.all_ok() {
+        eprintln!("FAIL: cluster-bench gate violated (placement, quality epsilon, or speedup)");
         std::process::exit(3);
     }
 }

@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod chaos;
+pub mod cluster_bench;
 pub mod convergence;
 pub mod dynamic;
 pub mod enhanced;

@@ -109,6 +109,67 @@ impl ToJson for crate::experiments::chaos::ChaosResult {
     }
 }
 
+impl ToJson for crate::experiments::cluster_bench::FullReplanSample {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("event_index", self.event_index.to_json()),
+            ("resident", self.resident.to_json()),
+            ("full_latency_s", self.full_latency_s.to_json()),
+            ("full_moved", self.full_moved.to_json()),
+            ("live_aggregate", self.live_aggregate.to_json()),
+            ("live_fairness_floor", self.live_fairness_floor.to_json()),
+            ("live_value", self.live_value.to_json()),
+            ("full_value", self.full_value.to_json()),
+            ("quality_delta", self.quality_delta.to_json()),
+        ])
+    }
+}
+
+impl ToJson for crate::experiments::cluster_bench::ScaleRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("n_jobs", self.n_jobs.to_json()),
+            ("servers", self.servers.to_json()),
+            ("gpus", self.gpus.to_json()),
+            ("events", self.events.to_json()),
+            ("peak_resident", self.peak_resident.to_json()),
+            ("placed", self.placed.to_json()),
+            ("queued", self.queued.to_json()),
+            ("rejected", self.rejected.to_json()),
+            ("completed", self.completed.to_json()),
+            ("evacuated", self.evacuated.to_json()),
+            ("replans_considered", self.replans_considered.to_json()),
+            ("plans_moved", self.plans_moved.to_json()),
+            ("mean_neighborhood", self.mean_neighborhood.to_json()),
+            ("event_latency_mean_s", self.event_latency_mean_s.to_json()),
+            ("event_latency_p99_s", self.event_latency_p99_s.to_json()),
+            ("event_latency_max_s", self.event_latency_max_s.to_json()),
+            ("full_latency_mean_s", self.full_latency_mean_s.to_json()),
+            ("full_replan_speedup", self.full_replan_speedup.to_json()),
+            ("peak_aggregate", self.peak_aggregate.to_json()),
+            ("fairness_floor", self.fairness_floor.to_json()),
+            ("worst_quality_delta", self.worst_quality_delta.to_json()),
+            (
+                "quality_within_epsilon",
+                self.quality_within_epsilon.to_json(),
+            ),
+            ("samples", self.samples.to_json()),
+        ])
+    }
+}
+
+impl ToJson for crate::experiments::cluster_bench::ClusterBenchResult {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("mode", self.mode.to_json()),
+            ("seed", self.seed.to_json()),
+            ("equivalence_epsilon", self.equivalence_epsilon.to_json()),
+            ("required_speedup", self.required_speedup.to_json()),
+            ("scales", self.scales.to_json()),
+        ])
+    }
+}
+
 impl ToJson for crate::experiments::exec_validate::PartitionRow {
     fn to_json(&self) -> Json {
         Json::obj(vec![

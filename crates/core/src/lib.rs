@@ -60,6 +60,8 @@ pub use controller::{
 pub use enhanced::enhanced_throughput;
 pub use meta_net::{MetaNet, MetaNetConfig, TrainingSample};
 pub use metrics::{FeatureEncoder, ProfilingMetrics, DYNAMIC_DIM, STATIC_DIM};
-pub use multi_job::{best_response_rounds, JobSpec, MultiJobEnv, MultiJobOutcome};
+pub use multi_job::{
+    best_response_rounds, HillClimbPlanner, JobSpec, MultiJobEnv, MultiJobOutcome,
+};
 pub use profiler::{profile_from_metrics, Profiler};
 pub use switch_cost::SwitchCostModel;

@@ -1,210 +1,74 @@
-//! Multiple AutoPipe jobs sharing one cluster.
+//! Multiple AutoPipe jobs sharing one cluster — now a thin shim.
 //!
-//! §1 of the paper: "we also observe that our RL-based solution can further
-//! improve the overall training performance when AutoPipe is deployed on
-//! multiple jobs." This module models that deployment: every job sees a
-//! cluster state *induced* by the other jobs' placements (GPU time-slicing
-//! where footprints overlap, link bandwidth consumed by their
-//! communication), and AutoPipe jobs adapt to each other by best-response
-//! rounds — job by job, re-partitioning against the state the rest of the
-//! tenancy induces, until a fixed point (or a round budget) is reached.
+//! The tenancy primitives (induced state, traffic estimation, measured
+//! evaluation, best-response rounds) moved to [`ap_sched::tenancy`] so the
+//! cluster control plane can drive them without depending on the
+//! controller. This module re-exports them under the historical
+//! `autopipe::multi_job` path and contributes the one piece that *does*
+//! belong here: [`HillClimbPlanner`], the [`ProposePlan`] implementation
+//! backed by the controller's Enumerate + Score composition
+//! ([`hill_climb`]).
 
-use ap_cluster::dynamics::BgJobId;
-use ap_cluster::{ClusterState, ClusterTopology, EventKind, ResourceTimeline};
-use ap_models::ModelProfile;
-use ap_pipesim::{
-    AnalyticModel, Engine, EngineConfig, Framework, Partition, ScheduleKind, SimError, SyncScheme,
+pub use ap_sched::tenancy::{
+    comm_bytes_per_sec, evaluate, induced_state, JobSpec, MultiJobEnv, MultiJobOutcome, ProposePlan,
 };
+
+use ap_cluster::{ClusterState, ClusterTopology};
+use ap_models::ModelProfile;
+use ap_pipesim::{AnalyticModel, Partition, SimError};
 
 use crate::controller::hill_climb;
 
-/// One tenant of the shared cluster.
-#[derive(Debug, Clone)]
-pub struct JobSpec {
-    /// The job's model profile.
-    pub profile: ModelProfile,
-    /// Its current work partition (workers are cluster GPU ids; jobs may
-    /// overlap — overlapping GPUs are time-sliced).
-    pub partition: Partition,
-    /// Whether this job runs AutoPipe (adapts) or a static plan.
-    pub adaptive: bool,
-}
-
-/// Shared workload configuration.
+/// The controller's per-job proposal: incremental moves under the analytic
+/// model, scored against the state the rest of the tenancy induces.
 #[derive(Debug, Clone, Copy)]
-pub struct MultiJobEnv {
-    /// Gradient sync scheme for every job.
-    pub scheme: SyncScheme,
-    /// Framework constants.
-    pub framework: Framework,
-    /// Pipeline schedule.
-    pub schedule: ScheduleKind,
+pub struct HillClimbPlanner {
+    /// Hill-climb round budget per proposal.
+    pub rounds: usize,
 }
 
-impl Default for MultiJobEnv {
+impl Default for HillClimbPlanner {
     fn default() -> Self {
-        MultiJobEnv {
-            scheme: SyncScheme::RingAllReduce,
-            framework: Framework::pytorch(),
-            schedule: ScheduleKind::PipeDreamAsync,
-        }
+        HillClimbPlanner { rounds: 20 }
     }
 }
 
-/// Estimated bytes/second of network traffic a job pushes through its
-/// servers' links: activation + gradient tensors across every stage cut
-/// plus gradient-sync volume, per steady-state iteration.
-pub fn comm_bytes_per_sec(
-    profile: &ModelProfile,
-    partition: &Partition,
-    state: &ClusterState,
-    env: &MultiJobEnv,
-) -> f64 {
-    let model = AnalyticModel {
-        profile,
-        scheme: env.scheme,
-        framework: env.framework,
-        schedule: env.schedule,
-        calibration: None,
-    };
-    let eval = model.evaluate(partition, state);
-    let cut_bytes: f64 = partition
-        .cut_layers()
-        .iter()
-        .map(|&c| 2.0 * profile.cut_bytes(c))
-        .sum();
-    let sync_bytes: f64 = partition
-        .stages
-        .iter()
-        .filter(|s| s.workers.len() > 1)
-        .map(|s| 2.0 * profile.range_params(s.layers.start, s.layers.end))
-        .sum();
-    (cut_bytes + sync_bytes) / eval.iteration_time.max(1e-9)
-}
-
-/// The cluster state job `me` experiences, given everyone else's placement.
-pub fn induced_state(
-    topo: &ClusterTopology,
-    jobs: &[JobSpec],
-    me: usize,
-    env: &MultiJobEnv,
-) -> ClusterState {
-    let mut st = ClusterState::new(topo.clone());
-    for (k, job) in jobs.iter().enumerate() {
-        if k == me {
-            continue;
-        }
-        // Their comm load is estimated against an otherwise-exclusive
-        // cluster; good enough as a first-order induced load.
-        let net = comm_bytes_per_sec(&job.profile, &job.partition, &st, env)
-            / job.partition.n_workers().max(1) as f64;
-        st.apply(&EventKind::JobArrive {
-            id: BgJobId(1_000 + k as u64),
-            gpus: job.partition.all_workers(),
-            net_bytes_per_sec: net,
-        });
+impl ProposePlan for HillClimbPlanner {
+    fn propose(
+        &self,
+        profile: &ModelProfile,
+        current: &Partition,
+        state: &ClusterState,
+        env: &MultiJobEnv,
+    ) -> Partition {
+        let model = AnalyticModel {
+            profile,
+            scheme: env.scheme,
+            framework: env.framework,
+            schedule: env.schedule,
+            calibration: None,
+        };
+        hill_climb(&model, current.clone(), state, self.rounds)
     }
-    st
 }
 
-/// Measured (event-engine) throughput of every job under the tenancy's
-/// current placements. Fails if any job's partition is invalid or its
-/// pipeline cannot make progress under the induced contention.
-pub fn evaluate(
-    topo: &ClusterTopology,
-    jobs: &[JobSpec],
-    env: &MultiJobEnv,
-) -> Result<MultiJobOutcome, SimError> {
-    let per_job: Vec<f64> = (0..jobs.len())
-        .map(|j| {
-            let st = induced_state(topo, jobs, j, env);
-            let n = (3 * jobs[j].partition.in_flight).max(20);
-            Ok(Engine::new(
-                &jobs[j].profile,
-                jobs[j].partition.clone(),
-                st,
-                ResourceTimeline::empty(),
-                EngineConfig {
-                    scheme: env.scheme,
-                    framework: env.framework,
-                    schedule: env.schedule,
-                    record_timeline: false,
-                    calibration: None,
-                },
-            )?
-            .run(n)?
-            .steady_throughput(n / 3))
-        })
-        .collect::<Result<_, SimError>>()?;
-    Ok(MultiJobOutcome {
-        total: per_job.iter().sum(),
-        per_job,
-    })
-}
-
-/// Aggregate outcome of a tenancy.
-#[derive(Debug, Clone)]
-pub struct MultiJobOutcome {
-    /// Samples/sec per job.
-    pub per_job: Vec<f64>,
-    /// Sum over jobs.
-    pub total: f64,
-}
-
-/// Coordinated adaptation: round-robin over the adaptive jobs; each
-/// proposes a re-partition (incremental moves under the analytic model,
-/// against the state the rest of the tenancy induces), and the proposal is
-/// **accepted only if the measured tenancy-wide throughput improves** —
-/// the fleet-level reward of the paper's multi-job deployment. A purely
-/// selfish best response can lose total throughput to congestion
-/// externalities (one job grabbing bandwidth slows two others more);
-/// verifying the global reward prevents that. Stops early once a full
-/// round changes nothing. Returns the number of plan changes kept.
-///
-/// Each job's proposal is the controller's Enumerate + Score composition
-/// ([`hill_climb`]) run against the state the rest of the tenancy induces.
+/// Coordinated adaptation with the controller's hill climb as the per-job
+/// proposal — the historical `autopipe::multi_job::best_response_rounds`
+/// signature. See [`ap_sched::tenancy::best_response_rounds`] for the
+/// acceptance discipline (measured tenancy-wide throughput must rise).
 pub fn best_response_rounds(
     topo: &ClusterTopology,
     jobs: &mut [JobSpec],
     env: &MultiJobEnv,
     max_rounds: usize,
 ) -> Result<usize, SimError> {
-    let mut changes = 0usize;
-    let mut current_total = evaluate(topo, jobs, env)?.total;
-    for _ in 0..max_rounds {
-        let mut changed_this_round = false;
-        for j in 0..jobs.len() {
-            if !jobs[j].adaptive {
-                continue;
-            }
-            let st = induced_state(topo, jobs, j, env);
-            let model = AnalyticModel {
-                profile: &jobs[j].profile,
-                scheme: env.scheme,
-                framework: env.framework,
-                schedule: env.schedule,
-                calibration: None,
-            };
-            let better = hill_climb(&model, jobs[j].partition.clone(), &st, 20);
-            if better == jobs[j].partition {
-                continue;
-            }
-            // Tentatively apply; keep only if the fleet-level reward rises.
-            let old = std::mem::replace(&mut jobs[j].partition, better);
-            let new_total = evaluate(topo, jobs, env)?.total;
-            if new_total > current_total * 1.005 {
-                current_total = new_total;
-                changes += 1;
-                changed_this_round = true;
-            } else {
-                jobs[j].partition = old;
-            }
-        }
-        if !changed_this_round {
-            break;
-        }
-    }
-    Ok(changes)
+    ap_sched::tenancy::best_response_rounds(
+        topo,
+        jobs,
+        env,
+        max_rounds,
+        &HillClimbPlanner::default(),
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,154 @@
+//! The contention index: reverse maps from GPUs and server uplinks to the
+//! jobs resident on them.
+//!
+//! Neighborhood re-planning (DESIGN.md §12) needs "which jobs does this
+//! event touch?" answered in O(degree), not O(jobs): two jobs contend
+//! either by **time-slicing a GPU** or by **sharing a server's up/down
+//! links** (the single-switch fabric means every cross-server byte crosses
+//! exactly the two endpoints' links, so link contention collapses to
+//! server co-residency). The index is maintained incrementally on every
+//! placement change; all containers are B-trees so iteration order — and
+//! therefore every downstream planning decision — is deterministic.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ap_cluster::{ClusterTopology, GpuId, ServerId};
+
+use crate::scheduler::JobId;
+
+/// Reverse index: GPU → resident jobs, server → jobs with a worker there.
+#[derive(Debug, Default, Clone)]
+pub struct ContentionIndex {
+    by_gpu: BTreeMap<GpuId, BTreeSet<JobId>>,
+    by_server: BTreeMap<ServerId, BTreeSet<JobId>>,
+}
+
+impl ContentionIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        ContentionIndex::default()
+    }
+
+    /// Record `job` as resident on `gpus`.
+    pub fn insert(&mut self, topo: &ClusterTopology, job: JobId, gpus: &[GpuId]) {
+        for &g in gpus {
+            self.by_gpu.entry(g).or_default().insert(job);
+            self.by_server
+                .entry(topo.server_of(g))
+                .or_default()
+                .insert(job);
+        }
+    }
+
+    /// Remove `job` from `gpus` (its former footprint).
+    pub fn remove(&mut self, topo: &ClusterTopology, job: JobId, gpus: &[GpuId]) {
+        for &g in gpus {
+            if let Some(set) = self.by_gpu.get_mut(&g) {
+                set.remove(&job);
+                if set.is_empty() {
+                    self.by_gpu.remove(&g);
+                }
+            }
+            let s = topo.server_of(g);
+            // Only drop the server entry once no other GPU of this job
+            // remains on it — handled by recomputing membership below.
+            if let Some(set) = self.by_server.get_mut(&s) {
+                set.remove(&job);
+                if set.is_empty() {
+                    self.by_server.remove(&s);
+                }
+            }
+        }
+        // A job with several GPUs on one server is removed from the server
+        // set on the first of them; re-add for GPUs that remain.
+        for (&g, jobs) in &self.by_gpu {
+            if jobs.contains(&job) {
+                self.by_server
+                    .entry(topo.server_of(g))
+                    .or_default()
+                    .insert(job);
+            }
+        }
+    }
+
+    /// Number of jobs time-slicing `gpu` right now.
+    pub fn residency(&self, gpu: GpuId) -> usize {
+        self.by_gpu.get(&gpu).map_or(0, BTreeSet::len)
+    }
+
+    /// Jobs resident on `gpu`.
+    pub fn jobs_on_gpu(&self, gpu: GpuId) -> impl Iterator<Item = JobId> + '_ {
+        self.by_gpu.get(&gpu).into_iter().flatten().copied()
+    }
+
+    /// Jobs with at least one worker on `server` (they contend for its
+    /// up/down links).
+    pub fn jobs_on_server(&self, server: ServerId) -> impl Iterator<Item = JobId> + '_ {
+        self.by_server.get(&server).into_iter().flatten().copied()
+    }
+
+    /// The contention neighborhood of a footprint: every job sharing a
+    /// GPU **or** a server link with any of `gpus`. O(degree) — the union
+    /// of a few small sets — never a scan over all jobs. Sorted by job id.
+    pub fn neighborhood(&self, topo: &ClusterTopology, gpus: &[GpuId]) -> BTreeSet<JobId> {
+        let mut out = BTreeSet::new();
+        for &g in gpus {
+            out.extend(self.jobs_on_gpu(g));
+            out.extend(self.jobs_on_server(topo.server_of(g)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ap_cluster::GpuKind;
+
+    fn topo() -> ClusterTopology {
+        // 4 servers x 2 GPUs.
+        ClusterTopology::single_switch(4, 2, GpuKind::P100, 25.0)
+    }
+
+    #[test]
+    fn neighborhood_is_gpu_and_server_union() {
+        let t = topo();
+        let mut ix = ContentionIndex::new();
+        ix.insert(&t, JobId(1), &[GpuId(0)]); // server 0
+        ix.insert(&t, JobId(2), &[GpuId(1)]); // server 0, other GPU
+        ix.insert(&t, JobId(3), &[GpuId(2)]); // server 1
+                                              // Footprint on gpu 0: job 1 (same GPU) + job 2 (same server).
+        let n = ix.neighborhood(&t, &[GpuId(0)]);
+        assert_eq!(n.into_iter().collect::<Vec<_>>(), vec![JobId(1), JobId(2)]);
+        // Job 3 on server 1 is outside the neighborhood.
+        let n2 = ix.neighborhood(&t, &[GpuId(4)]);
+        assert!(n2.is_empty());
+    }
+
+    #[test]
+    fn remove_keeps_server_entry_while_other_gpus_remain() {
+        let t = topo();
+        let mut ix = ContentionIndex::new();
+        ix.insert(&t, JobId(7), &[GpuId(0), GpuId(1)]); // both GPUs of server 0
+        ix.remove(&t, JobId(7), &[GpuId(0)]);
+        // Still on server 0 through gpu 1.
+        assert_eq!(
+            ix.jobs_on_server(ServerId(0)).collect::<Vec<_>>(),
+            vec![JobId(7)]
+        );
+        ix.remove(&t, JobId(7), &[GpuId(1)]);
+        assert_eq!(ix.jobs_on_server(ServerId(0)).count(), 0);
+        assert_eq!(ix.residency(GpuId(1)), 0);
+    }
+
+    #[test]
+    fn residency_counts_time_slicing() {
+        let t = topo();
+        let mut ix = ContentionIndex::new();
+        ix.insert(&t, JobId(1), &[GpuId(3)]);
+        ix.insert(&t, JobId(2), &[GpuId(3)]);
+        assert_eq!(ix.residency(GpuId(3)), 2);
+        ix.remove(&t, JobId(1), &[GpuId(3)]);
+        assert_eq!(ix.residency(GpuId(3)), 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! Canonical JSON for `GET /schedule`: a point-in-time snapshot of the
+//! cluster-wide placement.
+//!
+//! Field order is fixed and every value comes from deterministic state,
+//! so the same scheduler state always serializes to the same bytes — the
+//! serving layer's round-trip tests rely on it.
+
+use ap_json::{Json, ToJson};
+
+use crate::scheduler::ClusterScheduler;
+
+/// One resident job as reported by `GET /schedule`.
+#[derive(Debug, Clone)]
+pub struct JobSnapshot {
+    /// Scheduler-assigned id.
+    pub id: u64,
+    /// Display / model name.
+    pub name: String,
+    /// GPU footprint, ascending ids.
+    pub gpus: Vec<usize>,
+    /// Stage boundaries: `[start_layer, end_layer, n_workers]` per stage.
+    pub stages: Vec<(usize, usize, usize)>,
+    /// Whether the job re-plans with the tenancy.
+    pub adaptive: bool,
+    /// Analytic predicted throughput, samples/s.
+    pub predicted_throughput: f64,
+    /// Admission event time, seconds.
+    pub arrived_at: f64,
+}
+
+/// One queued job.
+#[derive(Debug, Clone)]
+pub struct QueuedSnapshot {
+    /// Scheduler-assigned id.
+    pub id: u64,
+    /// Display / model name.
+    pub name: String,
+    /// GPUs wanted.
+    pub gpus: usize,
+    /// Why it waits (stable kebab-case id).
+    pub reason: &'static str,
+}
+
+/// The full `GET /schedule` document.
+#[derive(Debug, Clone)]
+pub struct ScheduleSnapshot {
+    /// Resident jobs, id order.
+    pub jobs: Vec<JobSnapshot>,
+    /// Queued jobs, FIFO.
+    pub queue: Vec<QueuedSnapshot>,
+    /// Sum of per-job predicted throughputs, samples/s.
+    pub aggregate_predicted_throughput: f64,
+    /// `min_j predicted_j / solo_j` over residents (1 when empty).
+    pub fairness_floor: f64,
+    /// GPUs in the fabric.
+    pub cluster_gpus: usize,
+    /// Events processed so far.
+    pub events: u64,
+}
+
+impl ScheduleSnapshot {
+    /// Snapshot a scheduler (cached predictions; call
+    /// [`ClusterScheduler::objective`] first for exact figures).
+    pub fn of(sched: &ClusterScheduler) -> ScheduleSnapshot {
+        let jobs: Vec<JobSnapshot> = sched
+            .jobs()
+            .map(|j| JobSnapshot {
+                id: j.id.0,
+                name: j.name.clone(),
+                gpus: j.partition.all_workers().iter().map(|g| g.0).collect(),
+                stages: j
+                    .partition
+                    .stages
+                    .iter()
+                    .map(|s| (s.layers.start, s.layers.end, s.workers.len()))
+                    .collect(),
+                adaptive: j.adaptive,
+                predicted_throughput: j.predicted,
+                arrived_at: j.arrived_at,
+            })
+            .collect();
+        let queue: Vec<QueuedSnapshot> = sched
+            .queued()
+            .map(|(req, id, why)| QueuedSnapshot {
+                id: id.0,
+                name: req.name.clone(),
+                gpus: req.gpus,
+                reason: why.id(),
+            })
+            .collect();
+        let fairness_floor = sched
+            .jobs()
+            .map(|j| {
+                if j.solo > 0.0 {
+                    (j.predicted / j.solo).clamp(0.0, 1.0)
+                } else {
+                    1.0
+                }
+            })
+            .fold(1.0f64, f64::min);
+        ScheduleSnapshot {
+            jobs,
+            queue,
+            aggregate_predicted_throughput: sched.cached_aggregate(),
+            fairness_floor,
+            cluster_gpus: sched.topology().n_gpus(),
+            events: sched.counters().events,
+        }
+    }
+}
+
+impl ToJson for JobSnapshot {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", self.id.to_json()),
+            ("name", self.name.as_str().to_json()),
+            ("gpus", self.gpus.to_json()),
+            (
+                "stages",
+                Json::Arr(
+                    self.stages
+                        .iter()
+                        .map(|&(lo, hi, w)| {
+                            Json::obj(vec![
+                                ("layers", vec![lo, hi].to_json()),
+                                ("workers", w.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("adaptive", self.adaptive.to_json()),
+            ("predicted_throughput", self.predicted_throughput.to_json()),
+            ("arrived_at", self.arrived_at.to_json()),
+        ])
+    }
+}
+
+impl ToJson for QueuedSnapshot {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", self.id.to_json()),
+            ("name", self.name.as_str().to_json()),
+            ("gpus", self.gpus.to_json()),
+            ("reason", self.reason.to_json()),
+        ])
+    }
+}
+
+impl ToJson for ScheduleSnapshot {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("jobs", self.jobs.to_json()),
+            ("queue", self.queue.to_json()),
+            (
+                "aggregate_predicted_throughput",
+                self.aggregate_predicted_throughput.to_json(),
+            ),
+            ("fairness_floor", self.fairness_floor.to_json()),
+            ("cluster_gpus", self.cluster_gpus.to_json()),
+            ("events", self.events.to_json()),
+        ])
+    }
+}

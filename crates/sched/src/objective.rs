@@ -1,0 +1,103 @@
+//! The cluster objective: what the control plane is trying to maximize.
+//!
+//! Two terms, reported separately and blended into one scalar for
+//! comparisons:
+//!
+//! * **aggregate** — the sum of per-job predicted throughputs
+//!   (samples/s), the fleet-level reward of the paper's multi-job
+//!   deployment;
+//! * **fairness floor** — the minimum over jobs of `predicted / solo`,
+//!   where `solo` is the same partition's predicted throughput on an
+//!   otherwise-empty cluster. 1.0 means nobody is slowed by the tenancy;
+//!   0.1 means the worst-off job runs at a tenth of its solo speed.
+//!
+//! `value = aggregate * (1 + FAIRNESS_WEIGHT * floor)` — monotone in both
+//! terms, so a placement that raises total throughput *or* lifts the
+//! worst-off job scores higher, while a starvation trade (small aggregate
+//! gain for a collapsed floor) scores lower. Everything is evaluated from
+//! the analytic model, so the objective costs microseconds per job and
+//! planning stays milliseconds per event.
+
+/// Weight of the fairness floor in the blended scalar.
+pub const FAIRNESS_WEIGHT: f64 = 0.25;
+
+/// Declared tolerance for neighborhood re-planning: after any single
+/// event, the neighborhood-replanned placement's [`ClusterObjective::value`]
+/// must be within this relative epsilon of whole-world best-response from
+/// the same state (see the workspace `sched_equivalence` test).
+pub const EQUIVALENCE_EPSILON: f64 = 0.05;
+
+/// A point-in-time evaluation of the cluster objective.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterObjective {
+    /// Sum of per-job predicted throughputs, samples/s.
+    pub aggregate: f64,
+    /// `min_j predicted_j / solo_j`, clamped to `[0, 1]`; 1.0 for an
+    /// empty cluster.
+    pub fairness_floor: f64,
+    /// Resident jobs evaluated.
+    pub jobs: usize,
+}
+
+impl ClusterObjective {
+    /// Fold per-job `(predicted, solo)` pairs into the objective.
+    pub fn from_pairs(pairs: &[(f64, f64)]) -> ClusterObjective {
+        let aggregate = pairs.iter().map(|(p, _)| p).sum();
+        let fairness_floor = pairs
+            .iter()
+            .map(|&(p, s)| {
+                if s > 0.0 {
+                    (p / s).clamp(0.0, 1.0)
+                } else {
+                    1.0
+                }
+            })
+            .fold(1.0f64, f64::min);
+        ClusterObjective {
+            aggregate,
+            fairness_floor,
+            jobs: pairs.len(),
+        }
+    }
+
+    /// The blended scalar the planner compares placements by.
+    pub fn value(&self) -> f64 {
+        self.aggregate * (1.0 + FAIRNESS_WEIGHT * self.fairness_floor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cluster_is_perfectly_fair() {
+        let o = ClusterObjective::from_pairs(&[]);
+        assert_eq!(o.aggregate, 0.0);
+        assert_eq!(o.fairness_floor, 1.0);
+        assert_eq!(o.value(), 0.0);
+    }
+
+    #[test]
+    fn floor_tracks_the_worst_off_job() {
+        let o = ClusterObjective::from_pairs(&[(90.0, 100.0), (20.0, 100.0), (50.0, 50.0)]);
+        assert!((o.fairness_floor - 0.2).abs() < 1e-12);
+        assert_eq!(o.aggregate, 160.0);
+        assert_eq!(o.jobs, 3);
+    }
+
+    #[test]
+    fn value_is_monotone_in_both_terms() {
+        let base = ClusterObjective::from_pairs(&[(50.0, 100.0), (50.0, 100.0)]);
+        let more_total = ClusterObjective::from_pairs(&[(60.0, 100.0), (50.0, 100.0)]);
+        let fairer = ClusterObjective::from_pairs(&[(55.0, 100.0), (55.0, 100.0)]);
+        assert!(more_total.value() > base.value());
+        assert!(fairer.value() > base.value());
+    }
+
+    #[test]
+    fn speedup_beyond_solo_clamps_to_one() {
+        let o = ClusterObjective::from_pairs(&[(120.0, 100.0)]);
+        assert_eq!(o.fairness_floor, 1.0);
+    }
+}

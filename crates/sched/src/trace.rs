@@ -1,0 +1,295 @@
+//! Seeded job traces: a reproducible stream of arrivals, departures and
+//! faults for the control plane to chew through.
+//!
+//! Arrivals are Poisson (exponential inter-arrival), service times are
+//! exponential, job shapes (model, GPU count, adaptivity) are drawn from
+//! independent [`ap_rng::Rng::stream`]s so changing one knob does not
+//! reshuffle the others. Faults come from the existing seeded
+//! [`FaultPlan`] generator, compiled into the same time-ordered event
+//! stream. Everything is a pure function of `(topology, config, seed)`.
+
+use ap_cluster::{
+    ClusterTopology, EventKind, FaultPlan, FaultPlanConfig, GpuId, ResourceTimeline, ServerId,
+};
+use ap_models::ModelProfile;
+use ap_rng::Rng;
+
+use crate::scheduler::{
+    AdmitOutcome, ClusterScheduler, EventOutcome, JobId, JobRequest, SchedEvent,
+};
+
+/// Knobs for [`generate`].
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Arrivals to generate.
+    pub n_jobs: usize,
+    /// Mean arrivals per second.
+    pub arrival_rate_hz: f64,
+    /// Mean job lifetime, seconds (exponential).
+    pub mean_duration_s: f64,
+    /// Smallest footprint a job may ask for.
+    pub min_gpus: usize,
+    /// Largest footprint a job may ask for.
+    pub max_gpus: usize,
+    /// Fraction of jobs that run AutoPipe (the rest keep their admission
+    /// partition).
+    pub adaptive_fraction: f64,
+    /// Seeded fault injection; `None` for a healthy fabric.
+    pub faults: Option<FaultPlanConfig>,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            n_jobs: 50,
+            arrival_rate_hz: 0.5,
+            mean_duration_s: 60.0,
+            min_gpus: 1,
+            max_gpus: 4,
+            adaptive_fraction: 0.7,
+            faults: None,
+        }
+    }
+}
+
+/// One event of a generated trace. Departures reference the **arrival
+/// ordinal** (0-based position in the arrival stream), not a [`JobId`]:
+/// ids are assigned by the scheduler at admission, and a rejected arrival
+/// never gets one. [`run`] keeps the mapping.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // traces are thousands of events at most
+pub enum TraceEventKind {
+    /// A job arrives.
+    Arrive(JobRequest),
+    /// The `ordinal`-th arrival finishes (no-op if it was rejected).
+    DepartOrdinal(usize),
+    /// Fail-stop worker outage.
+    WorkerFail(GpuId),
+    /// Cold recovery.
+    WorkerRecover(GpuId),
+    /// NIC degradation to the given Gbps.
+    LinkFlapDown(ServerId, f64),
+    /// NIC recovery.
+    LinkFlapRestore(ServerId),
+}
+
+/// A timestamped trace event.
+#[derive(Debug, Clone)]
+pub struct TimedEvent {
+    /// Seconds from trace start.
+    pub time: f64,
+    /// What happens.
+    pub event: TraceEventKind,
+}
+
+/// Generate a time-ordered trace. `models` is the palette of `(name,
+/// profile)` pairs jobs draw from, round-robin over a seeded pick.
+pub fn generate(
+    topo: &ClusterTopology,
+    models: &[(&str, ModelProfile)],
+    cfg: &TraceConfig,
+    seed: u64,
+) -> Vec<TimedEvent> {
+    assert!(!models.is_empty(), "need at least one model");
+    assert!(cfg.min_gpus >= 1 && cfg.min_gpus <= cfg.max_gpus);
+    let mut arrivals = Rng::stream(seed, 0);
+    let mut durations = Rng::stream(seed, 1);
+    let mut shapes = Rng::stream(seed, 2);
+    let exp = |rng: &mut Rng, mean: f64| -> f64 { -(1.0 - rng.f64()).ln() * mean };
+
+    let mut events = Vec::with_capacity(cfg.n_jobs * 2);
+    let mut t = 0.0;
+    let mut last_time: f64 = 0.0;
+    for ordinal in 0..cfg.n_jobs {
+        t += exp(&mut arrivals, 1.0 / cfg.arrival_rate_hz.max(1e-9));
+        let (name, profile) = &models[shapes.gen_range(0..models.len())];
+        let gpus = shapes.gen_range(cfg.min_gpus..=cfg.max_gpus);
+        let adaptive = shapes.f64() < cfg.adaptive_fraction;
+        events.push(TimedEvent {
+            time: t,
+            event: TraceEventKind::Arrive(JobRequest {
+                name: (*name).to_string(),
+                profile: profile.clone(),
+                gpus,
+                adaptive,
+            }),
+        });
+        let depart_at = t + exp(&mut durations, cfg.mean_duration_s);
+        last_time = last_time.max(depart_at);
+        events.push(TimedEvent {
+            time: depart_at,
+            event: TraceEventKind::DepartOrdinal(ordinal),
+        });
+    }
+
+    if let Some(fcfg) = &cfg.faults {
+        let plan = FaultPlan::generate(topo, fcfg, last_time, seed ^ 0x5eed_fa17);
+        let mut tl = ResourceTimeline::empty();
+        plan.compile_into(&mut tl);
+        for e in tl.events() {
+            let kind = match &e.kind {
+                EventKind::WorkerFail(g) => TraceEventKind::WorkerFail(*g),
+                EventKind::WorkerRecover(g) => TraceEventKind::WorkerRecover(*g),
+                EventKind::LinkFlapDown(s, g) => TraceEventKind::LinkFlapDown(*s, *g),
+                EventKind::LinkFlapRestore(s) => TraceEventKind::LinkFlapRestore(*s),
+                _ => continue,
+            };
+            events.push(TimedEvent {
+                time: e.time,
+                event: kind,
+            });
+        }
+    }
+
+    // Stable by time: simultaneous events keep generation order
+    // (arrival before its own departure, faults after the workload).
+    events.sort_by(|a, b| a.time.total_cmp(&b.time));
+    events
+}
+
+/// What [`run`] records per event.
+#[derive(Debug, Clone)]
+pub struct EventRecord {
+    /// Event time, seconds.
+    pub time: f64,
+    /// Stable kebab-case event label (e.g. `arrive-placed`).
+    pub kind: &'static str,
+    /// Neighborhood / ripple statistics for this event.
+    pub neighborhood: usize,
+    /// Jobs offered a re-plan.
+    pub considered: usize,
+    /// Re-plans accepted.
+    pub moved: usize,
+    /// Planning wall-clock for this event, seconds (0 under a fake clock).
+    pub latency_s: f64,
+    /// Residents after the event.
+    pub resident: usize,
+    /// Queue depth after the event.
+    pub queued: usize,
+}
+
+fn record(time: f64, kind: &'static str, out: &EventOutcome, s: &ClusterScheduler) -> EventRecord {
+    EventRecord {
+        time,
+        kind,
+        neighborhood: out.replan.neighborhood,
+        considered: out.replan.considered,
+        moved: out.replan.moved,
+        latency_s: out.replan.latency_s,
+        resident: s.n_resident(),
+        queued: s.n_queued(),
+    }
+}
+
+/// Feed a generated trace through a scheduler, resolving departure
+/// ordinals to the ids the scheduler assigned. Returns one record per
+/// event actually delivered (departures of rejected arrivals are
+/// dropped).
+pub fn run(sched: &mut ClusterScheduler, events: &[TimedEvent]) -> Vec<EventRecord> {
+    let mut ids: Vec<Option<JobId>> = Vec::new();
+    let mut records = Vec::with_capacity(events.len());
+    for te in events {
+        match &te.event {
+            TraceEventKind::Arrive(req) => {
+                let out = sched.on_event(te.time, &SchedEvent::Arrive(req.clone()));
+                let kind = match out.admit {
+                    Some(AdmitOutcome::Placed(id)) => {
+                        ids.push(Some(id));
+                        "arrive-placed"
+                    }
+                    Some(AdmitOutcome::Queued(id, _)) => {
+                        ids.push(Some(id));
+                        "arrive-queued"
+                    }
+                    _ => {
+                        ids.push(None);
+                        "arrive-rejected"
+                    }
+                };
+                records.push(record(te.time, kind, &out, sched));
+            }
+            TraceEventKind::DepartOrdinal(ordinal) => {
+                let Some(Some(id)) = ids.get(*ordinal).copied() else {
+                    continue;
+                };
+                let out = sched.on_event(te.time, &SchedEvent::Depart(id));
+                records.push(record(te.time, "depart", &out, sched));
+            }
+            TraceEventKind::WorkerFail(g) => {
+                let out = sched.on_event(te.time, &SchedEvent::WorkerFail(*g));
+                records.push(record(te.time, "worker-fail", &out, sched));
+            }
+            TraceEventKind::WorkerRecover(g) => {
+                let out = sched.on_event(te.time, &SchedEvent::WorkerRecover(*g));
+                records.push(record(te.time, "worker-recover", &out, sched));
+            }
+            TraceEventKind::LinkFlapDown(s, g) => {
+                let out = sched.on_event(te.time, &SchedEvent::LinkFlapDown(*s, *g));
+                records.push(record(te.time, "link-flap-down", &out, sched));
+            }
+            TraceEventKind::LinkFlapRestore(s) => {
+                let out = sched.on_event(te.time, &SchedEvent::LinkFlapRestore(*s));
+                records.push(record(te.time, "link-flap-restore", &out, sched));
+            }
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ap_cluster::GpuKind;
+    use ap_models::synthetic_skewed;
+
+    fn palette() -> Vec<(&'static str, ModelProfile)> {
+        vec![(
+            "synthetic",
+            ModelProfile::with_batch(&synthetic_skewed(8, 2e9, 20e6, 8e6), 32),
+        )]
+    }
+
+    #[test]
+    fn trace_is_time_ordered_and_seed_stable() {
+        let topo = ClusterTopology::single_switch(4, 2, GpuKind::P100, 25.0);
+        let cfg = TraceConfig {
+            n_jobs: 20,
+            faults: Some(FaultPlanConfig::default()),
+            ..TraceConfig::default()
+        };
+        let a = generate(&topo, &palette(), &cfg, 11);
+        let b = generate(&topo, &palette(), &cfg, 11);
+        assert_eq!(a.len(), b.len());
+        assert!(a.windows(2).all(|w| w[0].time <= w[1].time));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.time.to_bits(), y.time.to_bits(), "same seed, same trace");
+        }
+        let c = generate(&topo, &palette(), &cfg, 12);
+        assert!(
+            a.iter()
+                .zip(&c)
+                .any(|(x, y)| x.time.to_bits() != y.time.to_bits()),
+            "different seed must differ"
+        );
+    }
+
+    #[test]
+    fn arrivals_match_departures() {
+        let topo = ClusterTopology::single_switch(4, 2, GpuKind::P100, 25.0);
+        let cfg = TraceConfig {
+            n_jobs: 15,
+            ..TraceConfig::default()
+        };
+        let t = generate(&topo, &palette(), &cfg, 3);
+        let arrives = t
+            .iter()
+            .filter(|e| matches!(e.event, TraceEventKind::Arrive(_)))
+            .count();
+        let departs = t
+            .iter()
+            .filter(|e| matches!(e.event, TraceEventKind::DepartOrdinal(_)))
+            .count();
+        assert_eq!(arrives, 15);
+        assert_eq!(departs, 15);
+    }
+}

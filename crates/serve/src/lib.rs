@@ -10,6 +10,9 @@
 //! |--------------------|-------------------------------------------------------|
 //! | `POST /plan`       | cluster spec + model → partition, predicted + measured throughput, decision-journal summary |
 //! | `POST /simulate`   | partition + cluster + model → pipesim timings          |
+//! | `POST /jobs`       | admit a job into the cluster control plane (200 placed, 202 queued, 409 rejected) |
+//! | `DELETE /jobs/{id}`| remove a resident or queued job                        |
+//! | `GET /schedule`    | canonical snapshot of the cluster-wide placement       |
 //! | `GET /health`      | liveness                                               |
 //! | `GET /stats`       | request counts, cache hit rate, queue depth            |
 //! | `GET /metrics`     | Prometheus text exposition (latency, breaker, bulkheads, cache, queue) |
@@ -40,6 +43,7 @@ pub mod api;
 pub mod cache;
 pub mod client;
 pub mod http;
+pub mod jobs;
 pub mod metrics;
 pub mod server;
 

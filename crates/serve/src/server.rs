@@ -34,11 +34,14 @@ use ap_json::{Json, ToJson};
 use ap_resilience::{
     Admission, BreakerConfig, Bulkhead, CircuitBreaker, Clock, Deadline, Mode, SystemClock,
 };
+use ap_sched::{ClusterScheduler, SchedConfig, SchedEvent, ScheduleSnapshot};
+use autopipe::HillClimbPlanner;
 
 use crate::admission::{AdmissionQueue, Admit};
-use crate::api::{self, ApiError, PlanRequest, SimulateRequest};
+use crate::api::{self, ApiError, ClusterSpec, PlanRequest, SimulateRequest};
 use crate::cache::{fnv1a64, PlanCache};
 use crate::http::{self, ReadError, Request, Timing};
+use crate::jobs;
 use crate::metrics::{Exposition, Histogram};
 
 /// Knobs for the resilience stack. Defaults suit an interactive daemon;
@@ -124,6 +127,11 @@ struct State {
     default_deadline: Duration,
     plan_latency: Histogram,
     simulate_latency: Histogram,
+    /// The cluster control plane: resident jobs, queue, live placement.
+    sched: Mutex<ClusterScheduler>,
+    sched_replan_latency: Histogram,
+    /// Contention neighborhood of the last scheduler event.
+    last_neighborhood: AtomicU64,
     /// Set first on shutdown: idle keep-alive reads abort promptly.
     draining: AtomicBool,
     /// Tells the acceptor (once woken) to exit.
@@ -132,6 +140,8 @@ struct State {
     requests: AtomicU64,
     plan_requests: AtomicU64,
     simulate_requests: AtomicU64,
+    jobs_requests: AtomicU64,
+    schedule_requests: AtomicU64,
     health_requests: AtomicU64,
     stats_requests: AtomicU64,
     metrics_requests: AtomicU64,
@@ -221,6 +231,11 @@ impl State {
                         "shutdown",
                         self.shutdown_requests.load(Ordering::Relaxed).to_json(),
                     ),
+                    ("jobs", self.jobs_requests.load(Ordering::Relaxed).to_json()),
+                    (
+                        "schedule",
+                        self.schedule_requests.load(Ordering::Relaxed).to_json(),
+                    ),
                     (
                         "errors",
                         self.error_responses.load(Ordering::Relaxed).to_json(),
@@ -306,6 +321,26 @@ impl State {
                     ),
                 ]),
             ),
+            ("scheduler", {
+                let sched = self.sched.lock().unwrap();
+                let c = sched.counters();
+                Json::obj(vec![
+                    ("resident", sched.n_resident().to_json()),
+                    ("queued", sched.n_queued().to_json()),
+                    ("events", c.events.to_json()),
+                    ("placed", c.placed.to_json()),
+                    ("enqueued", c.queued.to_json()),
+                    ("rejected", c.rejected.to_json()),
+                    ("completed", c.completed.to_json()),
+                    ("evacuated", c.evacuated.to_json()),
+                    ("replans_considered", c.replans_considered.to_json()),
+                    ("plans_moved", c.plans_moved.to_json()),
+                    (
+                        "aggregate_predicted_throughput",
+                        sched.cached_aggregate().to_json(),
+                    ),
+                ])
+            }),
             ("workers", self.workers.to_json()),
             ("draining", self.draining.load(Ordering::Relaxed).to_json()),
         ])
@@ -350,6 +385,8 @@ impl State {
             ("invalidate", &self.invalidate_requests),
             ("breaker", &self.breaker_requests),
             ("shutdown", &self.shutdown_requests),
+            ("jobs", &self.jobs_requests),
+            ("schedule", &self.schedule_requests),
         ] {
             e.sample(
                 "ap_requests_total",
@@ -562,6 +599,105 @@ impl State {
             &[],
             self.draining.load(Ordering::Relaxed) as u8 as f64,
         );
+        // Cluster-scheduler families, appended after the legacy skeleton
+        // so pre-existing scrapes stay byte-identical as a prefix.
+        let (resident, queued_depth, sc, aggregate) = {
+            let sched = self.sched.lock().unwrap();
+            (
+                sched.n_resident(),
+                sched.n_queued(),
+                sched.counters(),
+                sched.cached_aggregate(),
+            )
+        };
+        e.family(
+            "ap_sched_jobs_resident",
+            "gauge",
+            "Jobs currently placed on the fabric.",
+        )
+        .sample("ap_sched_jobs_resident", &[], resident as f64);
+        e.family(
+            "ap_sched_jobs_queued",
+            "gauge",
+            "Jobs waiting for capacity.",
+        )
+        .sample("ap_sched_jobs_queued", &[], queued_depth as f64);
+        e.family(
+            "ap_sched_admissions_total",
+            "counter",
+            "Admission outcomes, by kind.",
+        );
+        for (outcome, v) in [
+            ("placed", sc.placed),
+            ("queued", sc.queued),
+            ("rejected", sc.rejected),
+        ] {
+            e.sample(
+                "ap_sched_admissions_total",
+                &[("outcome", outcome)],
+                v as f64,
+            );
+        }
+        e.family(
+            "ap_sched_jobs_completed_total",
+            "counter",
+            "Placed jobs that departed.",
+        )
+        .sample("ap_sched_jobs_completed_total", &[], sc.completed as f64);
+        e.family(
+            "ap_sched_jobs_evacuated_total",
+            "counter",
+            "Jobs moved off a failed worker.",
+        )
+        .sample("ap_sched_jobs_evacuated_total", &[], sc.evacuated as f64);
+        e.family(
+            "ap_sched_events_total",
+            "counter",
+            "Scheduler events processed.",
+        )
+        .sample("ap_sched_events_total", &[], sc.events as f64);
+        e.family(
+            "ap_sched_replans_considered_total",
+            "counter",
+            "Re-plan proposals evaluated across all events.",
+        )
+        .sample(
+            "ap_sched_replans_considered_total",
+            &[],
+            sc.replans_considered as f64,
+        );
+        e.family(
+            "ap_sched_plans_moved_total",
+            "counter",
+            "Re-plans accepted through the switch gate.",
+        )
+        .sample("ap_sched_plans_moved_total", &[], sc.plans_moved as f64);
+        e.family(
+            "ap_sched_neighborhood_size",
+            "gauge",
+            "Contention neighborhood of the last scheduler event.",
+        )
+        .sample(
+            "ap_sched_neighborhood_size",
+            &[],
+            self.last_neighborhood.load(Ordering::Relaxed) as f64,
+        );
+        e.family(
+            "ap_sched_aggregate_predicted_throughput",
+            "gauge",
+            "Sum of per-job predicted throughputs, samples/s.",
+        )
+        .sample("ap_sched_aggregate_predicted_throughput", &[], aggregate);
+        e.family(
+            "ap_sched_replan_duration_seconds",
+            "histogram",
+            "Per-event neighborhood re-planning latency.",
+        );
+        e.histogram(
+            "ap_sched_replan_duration_seconds",
+            &[],
+            &self.sched_replan_latency.snapshot(),
+        );
         e.finish()
     }
 }
@@ -631,6 +767,14 @@ pub fn spawn(cfg: ServeConfig) -> io::Result<ServerHandle> {
         plan_bulkhead: Bulkhead::new(r.plan_bulkhead),
         simulate_bulkhead: Bulkhead::new(r.simulate_bulkhead),
         default_deadline: Duration::from_millis(r.default_deadline_ms),
+        sched: Mutex::new(ClusterScheduler::new(
+            ClusterSpec::default_testbed().to_state().topology,
+            SchedConfig::default(),
+            Box::new(HillClimbPlanner::default()),
+            Arc::clone(&clock),
+        )),
+        sched_replan_latency: Histogram::new(),
+        last_neighborhood: AtomicU64::new(0),
         clock,
         plan_latency: Histogram::new(),
         simulate_latency: Histogram::new(),
@@ -640,6 +784,8 @@ pub fn spawn(cfg: ServeConfig) -> io::Result<ServerHandle> {
         requests: AtomicU64::new(0),
         plan_requests: AtomicU64::new(0),
         simulate_requests: AtomicU64::new(0),
+        jobs_requests: AtomicU64::new(0),
+        schedule_requests: AtomicU64::new(0),
         health_requests: AtomicU64::new(0),
         stats_requests: AtomicU64::new(0),
         metrics_requests: AtomicU64::new(0),
@@ -830,6 +976,21 @@ type Routed = (u16, Vec<(&'static str, String)>, Body);
 fn route(state: &State, req: &Request) -> Routed {
     let ok = |j: Json| (200u16, Vec::new(), Body::Json(j));
     let err = |e: ApiError| (e.status, Vec::new(), Body::Json(e.body()));
+    // The one parameterized route: `/jobs/{id}` (DELETE only).
+    if let Some(id_str) = req.path.strip_prefix("/jobs/") {
+        state.jobs_requests.fetch_add(1, Ordering::Relaxed);
+        if req.method.as_str() != "DELETE" {
+            return err(ApiError {
+                status: 405,
+                kind: "method-not-allowed".to_string(),
+                message: format!("{} only accepts DELETE", req.path),
+            });
+        }
+        return match handle_job_delete(state, id_str) {
+            Ok(j) => ok(j),
+            Err(e) => err(e),
+        };
+    }
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/health") => {
             state.health_requests.fetch_add(1, Ordering::Relaxed);
@@ -866,6 +1027,15 @@ fn route(state: &State, req: &Request) -> Routed {
                 (e.status, extra, Body::Json(e.body()))
             }
         },
+        ("POST", "/jobs") => match handle_job_submit(state, &req.body) {
+            Ok((status, j)) => (status, Vec::new(), Body::Json(j)),
+            Err(e) => err(e),
+        },
+        ("GET", "/schedule") => {
+            state.schedule_requests.fetch_add(1, Ordering::Relaxed);
+            let sched = state.sched.lock().unwrap();
+            ok(ScheduleSnapshot::of(&sched).to_json())
+        }
         ("POST", "/invalidate") => {
             state.invalidate_requests.fetch_add(1, Ordering::Relaxed);
             let generation = state.cache.lock().unwrap().invalidate_all();
@@ -885,8 +1055,8 @@ fn route(state: &State, req: &Request) -> Routed {
         }
         (
             _,
-            "/health" | "/stats" | "/metrics" | "/plan" | "/simulate" | "/invalidate" | "/breaker"
-            | "/shutdown",
+            "/health" | "/stats" | "/metrics" | "/plan" | "/simulate" | "/jobs" | "/schedule"
+            | "/invalidate" | "/breaker" | "/shutdown",
         ) => err(ApiError {
             status: 405,
             kind: "method-not-allowed".to_string(),
@@ -1022,6 +1192,46 @@ fn handle_simulate(state: &State, body: &[u8]) -> Result<Json, ApiError> {
         });
     };
     api::compute_simulate(&req)
+}
+
+/// `POST /jobs`: admit a job into the cluster control plane. 200 with
+/// the placement when it fits, 202 when queued with a typed reason, 409
+/// when the cluster can never host it.
+fn handle_job_submit(state: &State, body: &[u8]) -> Result<(u16, Json), ApiError> {
+    state.jobs_requests.fetch_add(1, Ordering::Relaxed);
+    let parsed = api::parse_body(body)?;
+    let req = jobs::parse_submit(&parsed)?;
+    let now = state.started.elapsed().as_secs_f64();
+    let mut sched = state.sched.lock().unwrap();
+    let out = sched.on_event(now, &SchedEvent::Arrive(req));
+    state.sched_replan_latency.observe(out.replan.latency_s);
+    state
+        .last_neighborhood
+        .store(out.replan.neighborhood as u64, Ordering::Relaxed);
+    jobs::submit_json(&out, &sched)
+}
+
+/// `DELETE /jobs/{id}`: remove a resident or queued job. 400 on a
+/// non-numeric id, 404 on an unknown one.
+fn handle_job_delete(state: &State, id_str: &str) -> Result<Json, ApiError> {
+    let id = jobs::parse_job_id(id_str)?;
+    let now = state.started.elapsed().as_secs_f64();
+    let mut sched = state.sched.lock().unwrap();
+    let was_resident = sched.job(id).is_some();
+    let was_queued = sched.queued().any(|(_, qid, _)| qid == id);
+    if !was_resident && !was_queued {
+        return Err(ApiError {
+            status: 404,
+            kind: "unknown-job".to_string(),
+            message: format!("no job with id {}", id.0),
+        });
+    }
+    let out = sched.on_event(now, &SchedEvent::Depart(id));
+    state.sched_replan_latency.observe(out.replan.latency_s);
+    state
+        .last_neighborhood
+        .store(out.replan.neighborhood as u64, Ordering::Relaxed);
+    Ok(jobs::delete_json(id, was_resident, &out))
 }
 
 /// `POST /breaker`: force the verify breaker open or closed, or return

@@ -196,6 +196,128 @@ fn hostile_requests_get_json_errors_and_never_wedge() {
 }
 
 #[test]
+fn hostile_job_requests_get_typed_errors() {
+    let mut handle = server();
+    let addr = handle.addr();
+    let mut c = Client::connect(addr).unwrap();
+
+    // Wrong shape: an array is not a job.
+    let r = c
+        .send_raw(b"POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 6\r\n\r\n[1, 2]")
+        .unwrap();
+    assert_eq!(r.status, 400);
+    assert_eq!(error_kind(&r.body), "bad-body");
+
+    // Missing / mistyped fields are malformed (400).
+    for (body, kind) in [
+        (r#"{"gpus": 2}"#, "missing-field"),
+        (r#"{"model": 7, "gpus": 2}"#, "bad-field"),
+        (r#"{"model": "alexnet"}"#, "missing-field"),
+        (r#"{"model": "alexnet", "gpus": "two"}"#, "bad-field"),
+        (
+            r#"{"model": "alexnet", "gpus": 2, "adaptive": "yes"}"#,
+            "bad-field",
+        ),
+        (r#"{"model": "alexnet", "gpus": 2, "name": 9}"#, "bad-field"),
+        (
+            r#"{"model": "alexnet", "gpus": 2, "batch_size": "big"}"#,
+            "bad-field",
+        ),
+    ] {
+        let r = c
+            .request("POST", "/jobs", Some(&ap_json::parse(body).unwrap()))
+            .unwrap();
+        assert_eq!(r.status, 400, "{body}");
+        assert_eq!(error_kind(&r.body), kind, "{body}");
+    }
+
+    // Well-formed but semantically impossible content is 422.
+    let r = c
+        .request(
+            "POST",
+            "/jobs",
+            Some(&ap_json::parse(r#"{"model": "vgg9000", "gpus": 2}"#).unwrap()),
+        )
+        .unwrap();
+    assert_eq!(r.status, 422);
+    assert_eq!(error_kind(&r.body), "unknown-model");
+    let r = c
+        .request(
+            "POST",
+            "/jobs",
+            Some(&ap_json::parse(r#"{"model": "alexnet", "gpus": 2, "batch_size": 0}"#).unwrap()),
+        )
+        .unwrap();
+    assert_eq!(r.status, 422);
+    assert_eq!(error_kind(&r.body), "out-of-range");
+
+    // Admission rejections are typed 409s: the request was fine, the
+    // cluster can never host it.
+    let r = c
+        .request(
+            "POST",
+            "/jobs",
+            Some(&ap_json::parse(r#"{"model": "alexnet", "gpus": 0}"#).unwrap()),
+        )
+        .unwrap();
+    assert_eq!(r.status, 409);
+    assert_eq!(error_kind(&r.body), "zero-gpus");
+    let r = c
+        .request(
+            "POST",
+            "/jobs",
+            Some(&ap_json::parse(r#"{"model": "alexnet", "gpus": 99}"#).unwrap()),
+        )
+        .unwrap();
+    assert_eq!(r.status, 409);
+    assert_eq!(error_kind(&r.body), "larger-than-cluster");
+
+    // DELETE: a non-numeric id is malformed, an unknown one is 404.
+    let r = c.request("DELETE", "/jobs/abc", None).unwrap();
+    assert_eq!(r.status, 400);
+    assert_eq!(error_kind(&r.body), "bad-job-id");
+    let r = c.request("DELETE", "/jobs/42", None).unwrap();
+    assert_eq!(r.status, 404);
+    assert_eq!(error_kind(&r.body), "unknown-job");
+
+    // Wrong methods on the jobs surface.
+    let r = c.request("GET", "/jobs", None).unwrap();
+    assert_eq!(r.status, 405);
+    let r = c.request("GET", "/jobs/3", None).unwrap();
+    assert_eq!(r.status, 405);
+    let r = c.request("POST", "/schedule", None).unwrap();
+    assert_eq!(r.status, 405);
+
+    // A real placement deletes exactly once.
+    let r = c
+        .request(
+            "POST",
+            "/jobs",
+            Some(&ap_json::parse(r#"{"model": "alexnet", "gpus": 2}"#).unwrap()),
+        )
+        .unwrap();
+    assert_eq!(r.status, 200);
+    let id = r
+        .json()
+        .unwrap()
+        .get("id")
+        .and_then(Json::as_usize)
+        .unwrap();
+    let r = c.request("DELETE", &format!("/jobs/{id}"), None).unwrap();
+    assert_eq!(r.status, 200);
+    let r = c.request("DELETE", &format!("/jobs/{id}"), None).unwrap();
+    assert_eq!(r.status, 404, "double delete is a 404, not a panic");
+    drop(c);
+
+    // The single worker survived everything above.
+    let mut c = Client::connect(addr).unwrap();
+    let r = c.request("GET", "/health", None).unwrap();
+    assert_eq!(r.status, 200);
+    drop(c);
+    handle.shutdown();
+}
+
+#[test]
 fn keep_alive_connection_survives_a_422_and_serves_the_next_request() {
     let mut handle = server();
     let addr = handle.addr();

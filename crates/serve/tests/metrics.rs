@@ -56,6 +56,17 @@ const FAMILIES: &[&str] = &[
     "ap_request_latency_seconds",
     "ap_workers",
     "ap_draining",
+    "ap_sched_jobs_resident",
+    "ap_sched_jobs_queued",
+    "ap_sched_admissions_total",
+    "ap_sched_jobs_completed_total",
+    "ap_sched_jobs_evacuated_total",
+    "ap_sched_events_total",
+    "ap_sched_replans_considered_total",
+    "ap_sched_plans_moved_total",
+    "ap_sched_neighborhood_size",
+    "ap_sched_aggregate_predicted_throughput",
+    "ap_sched_replan_duration_seconds",
 ];
 
 #[test]
@@ -83,6 +94,13 @@ fn every_promised_family_is_present_in_order() {
         "ap_requests_total{endpoint=\"invalidate\"} ",
         "ap_requests_total{endpoint=\"breaker\"} ",
         "ap_requests_total{endpoint=\"shutdown\"} ",
+        "ap_requests_total{endpoint=\"jobs\"} ",
+        "ap_requests_total{endpoint=\"schedule\"} ",
+        "ap_sched_admissions_total{outcome=\"placed\"} 0",
+        "ap_sched_admissions_total{outcome=\"queued\"} 0",
+        "ap_sched_admissions_total{outcome=\"rejected\"} 0",
+        "ap_sched_jobs_resident 0",
+        "ap_sched_replan_duration_seconds_bucket{le=\"+Inf\"} 0",
         "ap_degraded_responses_total{reason=\"breaker-open\"} 0",
         "ap_degraded_responses_total{reason=\"deadline-exhausted\"} 0",
         "ap_degraded_responses_total{reason=\"verification-failed\"} 0",
@@ -203,6 +221,32 @@ fn series_ordering_is_stable_across_scrapes() {
     assert_eq!(c.request("GET", "/nope", None).unwrap().status, 404);
     let second = skeleton(&scrape(&mut c));
     assert_eq!(first, second, "series set and order must not move");
+    handle.shutdown();
+}
+
+#[test]
+fn scheduler_traffic_moves_the_sched_families() {
+    let mut handle = server();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let job = Json::obj(vec![
+        ("model", "alexnet".to_json()),
+        ("gpus", 2usize.to_json()),
+    ]);
+    let r = c.request("POST", "/jobs", Some(&job)).unwrap();
+    assert_eq!(r.status, 200);
+    let text = scrape(&mut c);
+    assert!(text.contains("ap_sched_jobs_resident 1\n"));
+    assert!(text.contains("ap_sched_admissions_total{outcome=\"placed\"} 1\n"));
+    assert!(text.contains("ap_sched_events_total 1\n"));
+    assert!(text.contains("ap_requests_total{endpoint=\"jobs\"} 1\n"));
+    assert!(text.contains("ap_sched_replan_duration_seconds_count 1\n"));
+    // Departure frees the gauge and bumps the completion counter.
+    let id = r.json().unwrap().get("id").unwrap().as_usize().unwrap();
+    let r = c.request("DELETE", &format!("/jobs/{id}"), None).unwrap();
+    assert_eq!(r.status, 200);
+    let text = scrape(&mut c);
+    assert!(text.contains("ap_sched_jobs_resident 0\n"));
+    assert!(text.contains("ap_sched_jobs_completed_total 1\n"));
     handle.shutdown();
 }
 

@@ -220,3 +220,64 @@ fn assert_stats_shape(j: &Json) {
         "hit rate is exactly 1 hit / 2 lookups"
     );
 }
+
+/// `GET /schedule` is byte-canonical: the wire bytes equal the pretty
+/// form of their own reparse, and two scrapes with no intervening
+/// scheduler events are byte-identical.
+#[test]
+fn schedule_snapshot_roundtrips_byte_canonically() {
+    let mut handle = spawn(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_capacity: 8,
+        cache_capacity: 4,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    // Empty cluster first: the skeleton is already canonical.
+    let r = c.request("GET", "/schedule", None).unwrap();
+    assert_eq!(r.status, 200);
+    let empty = r.json().expect("schedule is JSON");
+    assert_roundtrips("empty schedule", &empty);
+    assert_eq!(
+        empty.get("jobs").and_then(Json::as_arr).map(<[Json]>::len),
+        Some(0)
+    );
+    assert_eq!(
+        empty.get("fairness_floor").and_then(Json::as_f64),
+        Some(1.0)
+    );
+
+    // Admit two jobs, then scrape twice: identical bytes, canonical form.
+    for gpus in [2usize, 4] {
+        let job = Json::obj(vec![
+            ("model", "alexnet".to_json()),
+            ("gpus", gpus.to_json()),
+        ]);
+        assert_eq!(c.request("POST", "/jobs", Some(&job)).unwrap().status, 200);
+    }
+    let a = c.request("GET", "/schedule", None).unwrap();
+    let b = c.request("GET", "/schedule", None).unwrap();
+    assert_eq!(a.status, 200);
+    assert_eq!(a.body, b.body, "idle scrapes must be byte-identical");
+    let j = a.json().expect("schedule is JSON");
+    assert_roundtrips("populated schedule", &j);
+    assert_eq!(
+        std::str::from_utf8(&a.body).unwrap(),
+        j.pretty(),
+        "wire bytes are not canonical"
+    );
+    assert_eq!(
+        j.get("jobs").and_then(Json::as_arr).map(<[Json]>::len),
+        Some(2)
+    );
+    let aggregate = j
+        .get("aggregate_predicted_throughput")
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert!(aggregate > 0.0, "two placed jobs must predict throughput");
+    drop(c);
+    handle.shutdown();
+}

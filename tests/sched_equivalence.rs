@@ -1,0 +1,190 @@
+//! The equivalence property behind neighborhood re-planning: on small
+//! instances (≤8 jobs), after **any** event the neighborhood-replanned
+//! placement's cluster objective must be within
+//! [`ap_sched::EQUIVALENCE_EPSILON`] of whole-world best-response run to
+//! a fixed point from the same state. If whole-world planning could beat
+//! the neighborhood by more than the declared tolerance, the bounded
+//! ripple would be a correctness bug, not an optimization.
+
+use std::sync::Arc;
+
+use ap_cluster::gpu::GpuKind;
+use ap_cluster::{ClusterTopology, FaultPlanConfig};
+use ap_models::{alexnet, synthetic_skewed, ModelProfile};
+use ap_resilience::FakeClock;
+use ap_sched::trace::{self, TimedEvent, TraceConfig, TraceEventKind};
+use ap_sched::{
+    AdmitOutcome, ClusterScheduler, JobId, SchedConfig, SchedEvent, EQUIVALENCE_EPSILON,
+};
+use autopipe::HillClimbPlanner;
+
+fn palette() -> Vec<(&'static str, ModelProfile)> {
+    vec![
+        ("alexnet", ModelProfile::of(&alexnet())),
+        (
+            "synthetic",
+            ModelProfile::with_batch(&synthetic_skewed(8, 2e9, 20e6, 8e6), 32),
+        ),
+    ]
+}
+
+fn scheduler() -> ClusterScheduler {
+    ClusterScheduler::new(
+        ClusterTopology::single_switch(4, 2, GpuKind::P100, 25.0),
+        SchedConfig::default(),
+        Box::new(HillClimbPlanner::default()),
+        Arc::new(FakeClock::new()),
+    )
+}
+
+/// Deliver one trace event; returns whether anything was delivered
+/// (departures of rejected arrivals are dropped).
+fn deliver(sched: &mut ClusterScheduler, te: &TimedEvent, ids: &mut Vec<Option<JobId>>) -> bool {
+    match &te.event {
+        TraceEventKind::Arrive(req) => {
+            let out = sched.on_event(te.time, &SchedEvent::Arrive(req.clone()));
+            ids.push(match out.admit {
+                Some(AdmitOutcome::Placed(id)) | Some(AdmitOutcome::Queued(id, _)) => Some(id),
+                _ => None,
+            });
+            true
+        }
+        TraceEventKind::DepartOrdinal(ordinal) => match ids.get(*ordinal).copied().flatten() {
+            Some(id) => {
+                sched.on_event(te.time, &SchedEvent::Depart(id));
+                true
+            }
+            None => false,
+        },
+        TraceEventKind::WorkerFail(g) => {
+            sched.on_event(te.time, &SchedEvent::WorkerFail(*g));
+            true
+        }
+        TraceEventKind::WorkerRecover(g) => {
+            sched.on_event(te.time, &SchedEvent::WorkerRecover(*g));
+            true
+        }
+        TraceEventKind::LinkFlapDown(s, g) => {
+            sched.on_event(te.time, &SchedEvent::LinkFlapDown(*s, *g));
+            true
+        }
+        TraceEventKind::LinkFlapRestore(s) => {
+            sched.on_event(te.time, &SchedEvent::LinkFlapRestore(*s));
+            true
+        }
+    }
+}
+
+/// After every delivered event, whole-world best-response from the same
+/// state must not beat the live placement by more than the epsilon.
+fn assert_equivalence_along(events: &[TimedEvent]) -> usize {
+    let mut sched = scheduler();
+    let mut ids = Vec::new();
+    let mut checked = 0;
+    for te in events {
+        if !deliver(&mut sched, te, &mut ids) {
+            continue;
+        }
+        if sched.n_resident() == 0 {
+            continue;
+        }
+        let live = sched.objective().value();
+        let mut fork = sched.fork(Box::new(HillClimbPlanner::default()));
+        fork.full_replan(4);
+        let full = fork.objective().value();
+        let delta = if live > 0.0 { full / live - 1.0 } else { 0.0 };
+        assert!(
+            delta <= EQUIVALENCE_EPSILON + 1e-9,
+            "whole-world best-response beats the neighborhood by {:.2}% (> {:.0}%) \
+             at t={:.2} with {} residents",
+            delta * 100.0,
+            EQUIVALENCE_EPSILON * 100.0,
+            te.time,
+            sched.n_resident()
+        );
+        checked += 1;
+    }
+    checked
+}
+
+#[test]
+fn neighborhood_matches_whole_world_across_seeds() {
+    let topo = ClusterTopology::single_switch(4, 2, GpuKind::P100, 25.0);
+    let cfg = TraceConfig {
+        n_jobs: 8,
+        arrival_rate_hz: 0.5,
+        mean_duration_s: 30.0,
+        min_gpus: 1,
+        max_gpus: 3,
+        adaptive_fraction: 1.0,
+        faults: None,
+    };
+    for seed in [3, 11, 29] {
+        let events = trace::generate(&topo, &palette(), &cfg, seed);
+        let checked = assert_equivalence_along(&events);
+        assert!(checked > 0, "seed {seed} must exercise a non-empty cluster");
+    }
+}
+
+#[test]
+fn neighborhood_matches_whole_world_under_faults() {
+    let topo = ClusterTopology::single_switch(4, 2, GpuKind::P100, 25.0);
+    let cfg = TraceConfig {
+        n_jobs: 6,
+        arrival_rate_hz: 0.5,
+        mean_duration_s: 40.0,
+        min_gpus: 1,
+        max_gpus: 2,
+        adaptive_fraction: 1.0,
+        faults: Some(FaultPlanConfig {
+            mtbf: 15.0,
+            mttr: 10.0,
+            ..FaultPlanConfig::default()
+        }),
+    };
+    let events = trace::generate(&topo, &palette(), &cfg, 7);
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.event, TraceEventKind::WorkerFail(_))),
+        "the fault plan must schedule at least one outage"
+    );
+    let checked = assert_equivalence_along(&events);
+    assert!(checked > 0);
+}
+
+#[test]
+fn non_adaptive_jobs_hold_their_plans_through_equivalence() {
+    // A mixed tenancy: static jobs must come out of both planners with
+    // the partition they arrived with.
+    let topo = ClusterTopology::single_switch(4, 2, GpuKind::P100, 25.0);
+    let cfg = TraceConfig {
+        n_jobs: 6,
+        arrival_rate_hz: 0.5,
+        mean_duration_s: 50.0,
+        min_gpus: 2,
+        max_gpus: 3,
+        adaptive_fraction: 0.5,
+        faults: None,
+    };
+    let events = trace::generate(&topo, &palette(), &cfg, 5);
+    let mut sched = scheduler();
+    let mut ids = Vec::new();
+    for te in &events {
+        deliver(&mut sched, te, &mut ids);
+        let statics: Vec<_> = sched
+            .jobs()
+            .filter(|j| !j.adaptive)
+            .map(|j| (j.id, j.partition.clone()))
+            .collect();
+        let mut fork = sched.fork(Box::new(HillClimbPlanner::default()));
+        fork.full_replan(2);
+        for (id, partition) in statics {
+            assert_eq!(
+                fork.job(id).expect("static job stays resident").partition,
+                partition,
+                "whole-world best-response must not move a non-adaptive job"
+            );
+        }
+    }
+}

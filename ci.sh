@@ -75,11 +75,27 @@ echo "== cluster control-plane smoke =="
 # best-response. Smoke runs under a fake clock (every wall-clock field
 # zeroed), so the JSON must be byte-identical across AP_PAR_THREADS —
 # placement decisions never depend on the worker-pool width.
-cargo run --release --offline -p ap-bench --bin repro -- list | grep -q cluster-bench
+# (plain grep, not -q: -q exits on first match and breaks repro's pipe
+# mid-listing, which pipefail turns into a spurious failure)
+cargo run --release --offline -p ap-bench --bin repro -- list | grep cluster-bench >/dev/null
 sched_tmp="$(mktemp -d)"
 trap 'rm -rf "$serve_tmp" "$exec_tmp" "$sched_tmp"' EXIT
 cargo run --release --offline -p ap-bench --bin repro -- cluster-bench --smoke --json "$sched_tmp/a"
 AP_PAR_THREADS=1 cargo run --release --offline -p ap-bench --bin repro -- cluster-bench --smoke --json "$sched_tmp/b"
 cmp "$sched_tmp/a/cluster.json" "$sched_tmp/b/cluster.json"
+
+echo "== memory-aware planning smoke =="
+# ap-mem smoke: self-calibrating per-GPU capacity ladder on BERT-48 —
+# rich keeps the requested async schedule at full depth, mid clamps the
+# in-flight depth, starved switches schedule (recompute), hopeless is
+# infeasible. Exits 3 if the schedule choice fails to flip with
+# capacity. Pure closed-form model arithmetic, so the JSON must be
+# byte-identical across AP_PAR_THREADS.
+cargo run --release --offline -p ap-bench --bin repro -- list | grep mem-bench >/dev/null
+mem_tmp="$(mktemp -d)"
+trap 'rm -rf "$serve_tmp" "$exec_tmp" "$sched_tmp" "$mem_tmp"' EXIT
+cargo run --release --offline -p ap-bench --bin repro -- mem-bench --smoke --json "$mem_tmp/a"
+AP_PAR_THREADS=1 cargo run --release --offline -p ap-bench --bin repro -- mem-bench --smoke --json "$mem_tmp/b"
+cmp "$mem_tmp/a/mem.json" "$mem_tmp/b/mem.json"
 
 echo "ci: all green"

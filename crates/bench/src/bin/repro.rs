@@ -22,8 +22,8 @@ use std::path::PathBuf;
 
 use ap_bench::experiments::motivation::{panel_bandwidths, panel_models, MotivationRow, Scenario};
 use ap_bench::experiments::{
-    ablations, chaos, cluster_bench, convergence, dynamic, enhanced, exec_validate, multi_job,
-    overhead, pipeline_fill, serve_bench, static_alloc,
+    ablations, chaos, cluster_bench, convergence, dynamic, enhanced, exec_validate, mem_bench,
+    multi_job, overhead, pipeline_fill, serve_bench, static_alloc,
 };
 use ap_bench::json::ToJson;
 use ap_pipesim::ScheduleKind;
@@ -55,6 +55,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     (
         "exec-validate",
         "ap-exec runtime vs simulator prediction, with a live migration",
+    ),
+    (
+        "mem-bench",
+        "ap-mem memory-aware planning: schedule choice flipping with per-GPU capacity",
     ),
 ];
 
@@ -180,6 +184,71 @@ fn main() {
             },
         };
         run_exec_validate(smoke, calibrate, &schedules, &json_dir);
+    }
+    if run("mem-bench") {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        run_mem_bench(smoke, &json_dir);
+    }
+}
+
+/// The memory-planning drill: price a BERT-48 pipeline with the ap-mem
+/// model and sweep per-GPU capacity from rich to hopeless, letting
+/// `fit_schedule` keep / clamp / switch / reject the requested deep-async
+/// schedule at each rung. Closed-form and clock-free, so smoke output is
+/// byte-identical across runs and `AP_PAR_THREADS`. The full run exports
+/// `BENCH_mem.json`. Exits non-zero if a gate fails (a stage over
+/// capacity, or the choice failing to flip across the ladder).
+fn run_mem_bench(smoke: bool, json: &Option<PathBuf>) {
+    println!("\n## Mem — memory-aware planning across a capacity ladder\n");
+    let r = mem_bench::run(smoke);
+    println!(
+        "mode {}; {} batch {}, {} stages, requested {}@{}\n",
+        r.mode, r.model, r.batch, r.n_stages, r.requested, r.requested_in_flight
+    );
+    println!("| cluster | GiB/GPU | feasible | chosen | in-flight | switched | predicted (samples/s) | requested deficit (GiB) |");
+    println!("|---|---|---|---|---|---|---|---|");
+    for c in &r.cells {
+        println!(
+            "| {} | {:.2} | {} | {} | {} | {} | {:.1} | {:.2} |",
+            c.cluster,
+            c.capacity_gb,
+            if c.feasible { "yes" } else { "NO" },
+            c.chosen,
+            c.in_flight,
+            if c.switched { "yes" } else { "-" },
+            c.predicted,
+            c.requested_deficit_gb
+        );
+    }
+    if let Some(worst) = r
+        .cells
+        .iter()
+        .filter(|c| c.feasible)
+        .flat_map(|c| c.stages.iter().map(move |s| (c, s)))
+        .max_by(|a, b| {
+            let fa = a.1.required_gb / a.1.capacity_gb;
+            let fb = b.1.required_gb / b.1.capacity_gb;
+            fa.total_cmp(&fb)
+        })
+    {
+        println!(
+            "\nTightest placed stage: {} stage {} at {:.2}/{:.2} GiB ({:.0}% of capacity)",
+            worst.0.cluster,
+            worst.1.stage,
+            worst.1.required_gb,
+            worst.1.capacity_gb,
+            100.0 * worst.1.required_gb / worst.1.capacity_gb
+        );
+    }
+    if !smoke {
+        let out = PathBuf::from("BENCH_mem.json");
+        fs::write(&out, r.to_json().pretty()).expect("write BENCH_mem.json");
+        eprintln!("wrote {}", out.display());
+    }
+    dump_json(json, "mem", &r);
+    if !r.all_ok() {
+        eprintln!("FAIL: mem-bench gate violated (stage over capacity or no schedule flip)");
+        std::process::exit(3);
     }
 }
 

@@ -7,6 +7,7 @@ pub mod convergence;
 pub mod dynamic;
 pub mod enhanced;
 pub mod exec_validate;
+pub mod mem_bench;
 pub mod motivation;
 pub mod multi_job;
 pub mod overhead;

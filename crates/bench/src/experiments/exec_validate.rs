@@ -83,6 +83,13 @@ pub struct PartitionRow {
     pub last_loss: f64,
     /// Training made progress (last loss below first).
     pub loss_decreased: bool,
+    /// ap-mem's modeled peak resident bytes per stage (runtime mirror).
+    pub modeled_peak_bytes: Vec<u64>,
+    /// ap-exec's measured peak resident bytes per stage (deterministic —
+    /// reported in smoke too).
+    pub measured_peak_bytes: Vec<u64>,
+    /// Worst per-stage `measured / modeled - 1` (the ±20% memory gate).
+    pub mem_rel_error: f64,
 }
 
 /// What the live controller-driven reconfiguration did.
@@ -138,9 +145,18 @@ pub struct ExecValidateResult {
 }
 
 impl ExecValidateResult {
+    /// Relative tolerance for the measured-vs-modeled peak-memory loop:
+    /// every stage of every cell must land within ±20% of ap-mem's
+    /// runtime-mirror model.
+    pub const MEM_TOLERANCE: f64 = 0.20;
+
     /// Every hard invariant held.
     pub fn all_ok(&self) -> bool {
         self.rows.iter().all(|r| r.loss_decreased)
+            && self
+                .rows
+                .iter()
+                .all(|r| r.mem_rel_error.abs() <= Self::MEM_TOLERANCE)
             && self.migration.drain_free
             && self.migration.pre_cutover_losses_match
             && newest_first(&self.migration.versions_sent)
@@ -425,6 +441,27 @@ fn run_cell(
             0.0
         }
     };
+    // The measured-vs-modeled memory loop: ap-mem replays the same
+    // op-program over the runtime's container layout. Peak bytes are
+    // deterministic (static op order + FIFO channels), so they are
+    // reported in smoke mode too.
+    let modeled_peak_bytes =
+        ap_mem::modeled_peak_stage_bytes(&c.sizes, cuts, c.batch, kind, c.in_flight, c.total);
+    let mem_rel_error = r
+        .peak_stage_bytes
+        .iter()
+        .zip(&modeled_peak_bytes)
+        .map(|(&got, &want)| got as f64 / want.max(1) as f64 - 1.0)
+        .fold(
+            0.0f64,
+            |worst, e| {
+                if e.abs() > worst.abs() {
+                    e
+                } else {
+                    worst
+                }
+            },
+        );
     Ok(PartitionRow {
         label: format!("{} cuts={cuts:?} @ {link_gbps} Gbps", kind.id()),
         schedule: kind.id().to_string(),
@@ -446,6 +483,9 @@ fn run_cell(
         first_loss: r.losses[0],
         last_loss: *r.losses.last().unwrap(),
         loss_decreased: lap_loss_decreased(&r.losses, 4),
+        modeled_peak_bytes,
+        measured_peak_bytes: r.peak_stage_bytes.clone(),
+        mem_rel_error,
     })
 }
 

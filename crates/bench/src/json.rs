@@ -188,6 +188,50 @@ impl ToJson for crate::experiments::exec_validate::PartitionRow {
             ("first_loss", self.first_loss.to_json()),
             ("last_loss", self.last_loss.to_json()),
             ("loss_decreased", self.loss_decreased.to_json()),
+            ("modeled_peak_bytes", self.modeled_peak_bytes.to_json()),
+            ("measured_peak_bytes", self.measured_peak_bytes.to_json()),
+            ("mem_rel_error", self.mem_rel_error.to_json()),
+        ])
+    }
+}
+
+impl ToJson for crate::experiments::mem_bench::StageMemRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("stage", self.stage.to_json()),
+            ("required_gb", self.required_gb.to_json()),
+            ("capacity_gb", self.capacity_gb.to_json()),
+            ("fits", self.fits.to_json()),
+        ])
+    }
+}
+
+impl ToJson for crate::experiments::mem_bench::MemBenchCell {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("cluster", self.cluster.to_json()),
+            ("capacity_gb", self.capacity_gb.to_json()),
+            ("feasible", self.feasible.to_json()),
+            ("chosen", self.chosen.to_json()),
+            ("in_flight", self.in_flight.to_json()),
+            ("switched", self.switched.to_json()),
+            ("predicted", self.predicted.to_json()),
+            ("requested_deficit_gb", self.requested_deficit_gb.to_json()),
+            ("stages", self.stages.to_json()),
+        ])
+    }
+}
+
+impl ToJson for crate::experiments::mem_bench::MemBenchResult {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("mode", self.mode.to_json()),
+            ("model", self.model.to_json()),
+            ("batch", self.batch.to_json()),
+            ("n_stages", self.n_stages.to_json()),
+            ("requested", self.requested.to_json()),
+            ("requested_in_flight", self.requested_in_flight.to_json()),
+            ("cells", self.cells.to_json()),
         ])
     }
 }

@@ -195,6 +195,16 @@ impl ClusterState {
         self.topology.gpu(gpu).effective_flops()
     }
 
+    /// Usable device memory of a GPU at this instant, bytes. A failed
+    /// worker holds nothing: planners consulting the fault timeline see
+    /// zero capacity and route stages elsewhere.
+    pub fn memory_bytes(&self, gpu: GpuId) -> f64 {
+        if self.failed.contains(&gpu) {
+            return 0.0;
+        }
+        self.topology.gpu(gpu).memory_bytes()
+    }
+
     /// Apply one event.
     pub fn apply(&mut self, kind: &EventKind) {
         match kind {
@@ -532,6 +542,8 @@ mod tests {
         st.apply(&EventKind::WorkerFail(GpuId(2)));
         assert!(!st.is_available(GpuId(2)));
         assert_eq!(st.effective_flops(GpuId(2)), 0.0);
+        assert_eq!(st.memory_bytes(GpuId(2)), 0.0);
+        assert!(st.memory_bytes(GpuId(1)) > 0.0);
         assert_eq!(st.failed_workers(), vec![GpuId(2)]);
         let avail = st.available_of(&[GpuId(1), GpuId(2), GpuId(3)]);
         assert_eq!(avail, vec![GpuId(1), GpuId(3)]);

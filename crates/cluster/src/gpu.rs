@@ -64,6 +64,11 @@ pub struct Gpu {
     /// Number of jobs currently time-sharing this device, **including** the
     /// job under study. Never zero for an in-use device.
     pub colocated_jobs: u32,
+    /// Usable device memory in bytes. Defaults to the generation's nominal
+    /// capacity but can be lowered per device (framework reservations,
+    /// colocated jobs pinning memory) or raised (MIG-less A100 80GB SKUs),
+    /// making heterogeneous-memory clusters expressible.
+    pub mem_bytes: f64,
 }
 
 impl Gpu {
@@ -72,7 +77,22 @@ impl Gpu {
         Gpu {
             kind,
             colocated_jobs: 1,
+            mem_bytes: kind.memory_bytes(),
         }
+    }
+
+    /// An exclusively-held GPU with an explicit memory capacity.
+    pub fn with_memory(kind: GpuKind, mem_bytes: f64) -> Self {
+        Gpu {
+            kind,
+            colocated_jobs: 1,
+            mem_bytes,
+        }
+    }
+
+    /// Usable device memory in bytes for this specific device.
+    pub fn memory_bytes(&self) -> f64 {
+        self.mem_bytes
     }
 
     /// The fraction of the device the observed job receives under equal
@@ -111,8 +131,19 @@ mod tests {
         let g = Gpu {
             kind: GpuKind::A100,
             colocated_jobs: 0,
+            mem_bytes: GpuKind::A100.memory_bytes(),
         };
         assert_eq!(g.share(), 1.0);
+    }
+
+    #[test]
+    fn per_device_memory_defaults_to_kind_and_can_be_overridden() {
+        let g = Gpu::exclusive(GpuKind::V100);
+        assert_eq!(g.memory_bytes(), GpuKind::V100.memory_bytes());
+        let starved = Gpu::with_memory(GpuKind::V100, 4.0 * 1024.0 * 1024.0 * 1024.0);
+        assert!(starved.memory_bytes() < g.memory_bytes());
+        // Capacity override leaves compute untouched.
+        assert_eq!(starved.effective_flops(), g.effective_flops());
     }
 
     #[test]

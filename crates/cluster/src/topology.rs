@@ -136,6 +136,15 @@ impl ClusterTopology {
             s.nic_bytes_per_sec = gbps(link_gbps);
         }
     }
+
+    /// Set every GPU's usable memory to the same capacity (memory-rich vs
+    /// memory-starved cluster sweeps).
+    pub fn set_uniform_memory_bytes(&mut self, mem_bytes: f64) {
+        assert!(mem_bytes > 0.0, "memory capacity must be positive");
+        for g in &mut self.gpus {
+            g.mem_bytes = mem_bytes;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -186,5 +195,13 @@ mod tests {
             .servers
             .iter()
             .all(|s| (s.nic_bytes_per_sec - gbps(25.0)).abs() < 1.0));
+    }
+
+    #[test]
+    fn uniform_memory_update_applies_everywhere() {
+        let mut t = ClusterTopology::paper_testbed(10.0);
+        let cap = 8.0 * 1024.0 * 1024.0 * 1024.0;
+        t.set_uniform_memory_bytes(cap);
+        assert!(t.gpus.iter().all(|g| g.memory_bytes() == cap));
     }
 }

@@ -343,6 +343,13 @@ pub struct ExecResult {
     /// Final master weights per stage as `(first_global_layer, weights)`,
     /// in stage order.
     pub final_weights: Vec<(usize, MlpWeights)>,
+    /// Measured peak resident bytes per stage: master + stashed + popped
+    /// weight clones (parameters, gradient buffers and layer input
+    /// caches) plus every staged activation/gradient matrix, sampled
+    /// after each schedule op. Deterministic — the op order and the FIFO
+    /// channel discipline pin what is resident when — so it is directly
+    /// comparable to `ap-mem`'s modeled peak.
+    pub peak_stage_bytes: Vec<u64>,
     /// Migration measurements, if a switch ran.
     pub migration: Option<MigrationReport>,
 }
@@ -435,6 +442,31 @@ struct StageOut {
     segments: Vec<TimelineSegment>,
     losses: Vec<(u64, f64)>,
     completions: Vec<f64>,
+    peak_bytes: u64,
+}
+
+/// Resident bytes of one matrix (payload only; the struct header is
+/// noise at tensor sizes).
+fn matrix_bytes(m: &Matrix) -> u64 {
+    (m.data().len() * 8) as u64
+}
+
+/// Resident bytes of a network clone: weight and bias values, gradient
+/// buffers, and whatever layer input caches the last forward left warm.
+fn mlp_bytes(net: &Mlp) -> u64 {
+    (0..net.n_layers())
+        .map(|i| {
+            let l = net.layer(i);
+            let mut b = matrix_bytes(&l.w.value)
+                + matrix_bytes(&l.w.grad)
+                + matrix_bytes(&l.b.value)
+                + matrix_bytes(&l.b.grad);
+            if let Some(c) = net.layer_input(i) {
+                b += matrix_bytes(c);
+            }
+            b
+        })
+        .sum()
 }
 
 struct Stage<'a> {
@@ -484,6 +516,8 @@ struct Stage<'a> {
     segments: Vec<TimelineSegment>,
     losses: Vec<(u64, f64)>,
     completions: Vec<f64>,
+    /// High-water resident bytes, sampled after every op.
+    peak_bytes: u64,
 }
 
 impl<'a> Stage<'a> {
@@ -1168,6 +1202,31 @@ impl<'a> Stage<'a> {
         Ok(())
     }
 
+    /// Everything this stage currently holds, in bytes: the master and
+    /// every stashed/popped/migrated weight clone (including their layer
+    /// input caches) plus all staged and buffered matrices.
+    fn resident_bytes(&self) -> u64 {
+        mlp_bytes(&self.master)
+            + self.stash.values().map(|e| mlp_bytes(&e.net)).sum::<u64>()
+            + self.cur.values().map(|e| mlp_bytes(&e.net)).sum::<u64>()
+            + self.migrated_stash.values().map(mlp_bytes).sum::<u64>()
+            + self
+                .act_buf
+                .iter()
+                .map(|(_, m)| matrix_bytes(m))
+                .sum::<u64>()
+            + self
+                .grad_buf
+                .iter()
+                .map(|(_, m)| matrix_bytes(m))
+                .sum::<u64>()
+            + self.pending_act.values().map(matrix_bytes).sum::<u64>()
+            + self.staged_out.values().map(matrix_bytes).sum::<u64>()
+            + self.grad_in.values().map(matrix_bytes).sum::<u64>()
+            + self.grad_out.values().map(matrix_bytes).sum::<u64>()
+            + self.recomputed.values().map(matrix_bytes).sum::<u64>()
+    }
+
     fn run(&mut self, ops: &[IrOp]) -> Result<(), ExecError> {
         // Stage 0 retires a mini-batch — decrements the in-flight counter
         // and records its completion time — after the last op carrying it
@@ -1179,6 +1238,7 @@ impl<'a> Stage<'a> {
                 retire.insert(op.mb(), i);
             }
         }
+        self.peak_bytes = self.resident_bytes();
         for (i, op) in ops.iter().enumerate() {
             match *op {
                 IrOp::Recv { payload, unit } => self.op_recv(payload, unit)?,
@@ -1191,6 +1251,7 @@ impl<'a> Stage<'a> {
                 IrOp::Backward { unit } => self.op_backward(unit)?,
                 IrOp::ApplyUpdate { mb, units } => self.op_apply(mb, units)?,
             }
+            self.peak_bytes = self.peak_bytes.max(self.resident_bytes());
             if self.s == 0 && retire.get(&op.mb()) == Some(&i) {
                 self.in_flight.fetch_sub(1, Ordering::SeqCst);
                 self.completions.push(self.now());
@@ -1322,6 +1383,7 @@ pub fn run_pipeline(spec: &ExecSpec) -> Result<ExecResult, ExecError> {
                     segments: Vec::new(),
                     losses: Vec::new(),
                     completions: Vec::new(),
+                    peak_bytes: 0,
                 };
                 let run = stage.run(&program_ref.stages[s].ops);
                 // Unblock neighbors if this stage failed mid-schedule.
@@ -1337,6 +1399,7 @@ pub fn run_pipeline(spec: &ExecSpec) -> Result<ExecResult, ExecError> {
                     segments: stage.segments,
                     losses: stage.losses,
                     completions: stage.completions,
+                    peak_bytes: stage.peak_bytes,
                 })
             }));
         }
@@ -1412,6 +1475,7 @@ pub fn run_pipeline(spec: &ExecSpec) -> Result<ExecResult, ExecError> {
         times,
         segments,
         final_weights: outs.iter().map(|o| (o.lo, o.weights.clone())).collect(),
+        peak_stage_bytes: outs.iter().map(|o| o.peak_bytes).collect(),
         migration,
     })
 }

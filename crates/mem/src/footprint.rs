@@ -1,0 +1,361 @@
+//! The planning memory model: walk a schedule program, price the peak.
+//!
+//! A stage's resident bytes at any instant decompose into
+//!
+//! ```text
+//!   W·(1 + 1 + opt)            master weights + gradient buffer + optimizer
+//! + (V(t) − 1)·W               stashed weight versions beyond the master
+//! + A(t)                       activations pinned by in-flight units
+//! ```
+//!
+//! where `V(t)` is the number of *distinct* weight versions live (tracked
+//! from `StashPush`/`StashPop`/`FusedFwdLossBwd` exactly like
+//! [`ap_ir::Program::validate`]) and `A(t)` prices every unit between its
+//! forward and backward: full per-unit activations normally, input-only
+//! for units whose program recomputes them (GPipe's discard). The reported
+//! footprint is the high-water mark of that sum over the stage's whole op
+//! sequence — a closed function of (model, partition, schedule,
+//! in_flight), because the op sequence itself is.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ap_ir::{generate, IrOp, Program};
+use ap_models::ModelProfile;
+use ap_pipesim::{Partition, ScheduleKind};
+
+/// Optimizer whose per-parameter state the model prices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptimizerKind {
+    /// Stateless SGD (what the exec runtime implements): no extra state.
+    Sgd,
+    /// Adam-style: momentum + variance, 2x the weight bytes.
+    Adam,
+}
+
+impl OptimizerKind {
+    /// Optimizer state bytes per weight byte.
+    pub fn state_multiplier(self) -> f64 {
+        match self {
+            OptimizerKind::Sgd => 0.0,
+            OptimizerKind::Adam => 2.0,
+        }
+    }
+}
+
+/// Knobs of the planning model.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryModel {
+    /// Optimizer state priced on every worker.
+    pub optimizer: OptimizerKind,
+    /// Price `Recompute` units as holding only their boundary input
+    /// between forward and recompute (GPipe's activation discard). Turning
+    /// this off prices them as if activations were retained — the
+    /// non-recompute baseline the property tests compare against.
+    pub recompute_discard: bool,
+}
+
+impl Default for MemoryModel {
+    fn default() -> Self {
+        MemoryModel {
+            optimizer: OptimizerKind::Adam,
+            recompute_discard: true,
+        }
+    }
+}
+
+/// One stage's high-water footprint, bytes.
+#[derive(Debug, Clone)]
+pub struct StageFootprint {
+    /// Stage index.
+    pub stage: usize,
+    /// One copy of the stage's weights.
+    pub weight_bytes: f64,
+    /// The master's gradient accumulation buffer (same shape as weights).
+    pub grad_bytes: f64,
+    /// Optimizer state.
+    pub optimizer_bytes: f64,
+    /// Stashed weight versions beyond the master, at the peak.
+    pub stash_bytes: f64,
+    /// Activations pinned by in-flight units, at the peak.
+    pub activation_bytes: f64,
+    /// Distinct weight versions live at the peak (master included).
+    pub weight_versions: usize,
+    /// In-flight activation units at the peak (full-equivalents rounded
+    /// up; recompute's input-only units count toward the rounding).
+    pub peak_units: usize,
+}
+
+impl StageFootprint {
+    /// Total resident bytes on a single (unreplicated) worker.
+    pub fn total(&self) -> f64 {
+        self.weight_bytes
+            + self.grad_bytes
+            + self.optimizer_bytes
+            + self.stash_bytes
+            + self.activation_bytes
+    }
+
+    /// Resident bytes on each of `replicas` data-parallel workers: weight
+    /// state is replicated, in-flight units round-robin.
+    pub fn per_worker(&self, replicas: usize) -> f64 {
+        let r = replicas.max(1);
+        let act = if self.peak_units == 0 || r == 1 {
+            self.activation_bytes
+        } else {
+            let share = self.peak_units.div_ceil(r) as f64 / self.peak_units as f64;
+            self.activation_bytes * share
+        };
+        self.weight_bytes + self.grad_bytes + self.optimizer_bytes + self.stash_bytes + act
+    }
+}
+
+/// Walk one stage of `program`, pricing weights at `weight_bytes` per
+/// copy, a full in-flight unit at `act_full` and an input-only
+/// (recompute-pending) unit at `act_input`.
+pub fn walk_stage(
+    program: &Program,
+    stage: usize,
+    weight_bytes: f64,
+    act_full: f64,
+    act_input: f64,
+    model: &MemoryModel,
+) -> StageFootprint {
+    let ops = &program.stages[stage].ops;
+    // Units whose backward re-runs the forward: their activations are
+    // discarded between forward and recompute.
+    let recomputed: BTreeSet<_> = ops
+        .iter()
+        .filter_map(|op| match op {
+            IrOp::Recompute { unit } => Some(*unit),
+            _ => None,
+        })
+        .collect();
+    let mut live_versions: BTreeMap<ap_ir::UnitId, u64> = BTreeMap::new();
+    let mut full: BTreeSet<ap_ir::UnitId> = BTreeSet::new();
+    let mut input_only: BTreeSet<ap_ir::UnitId> = BTreeSet::new();
+    let mut peak_bytes = 0.0f64;
+    let mut at_peak = (1usize, 0usize, 0.0f64); // versions, units, act bytes
+    let mut sample = |versions: usize, units: usize, act: f64| {
+        let v = versions.max(1);
+        let bytes = (v - 1) as f64 * weight_bytes + act;
+        if bytes > peak_bytes {
+            peak_bytes = bytes;
+            at_peak = (v, units, act);
+        }
+    };
+    for op in ops {
+        let mut transient = 0.0;
+        match *op {
+            IrOp::StashPush {
+                unit,
+                weight_version,
+            } => {
+                live_versions.insert(unit, weight_version);
+            }
+            IrOp::StashPop { unit } => {
+                live_versions.remove(&unit);
+            }
+            IrOp::Forward { unit } => {
+                if model.recompute_discard && recomputed.contains(&unit) {
+                    input_only.insert(unit);
+                } else {
+                    full.insert(unit);
+                }
+            }
+            IrOp::Recompute { unit } => {
+                input_only.remove(&unit);
+                full.insert(unit);
+            }
+            IrOp::Backward { unit } => {
+                full.remove(&unit);
+                input_only.remove(&unit);
+            }
+            IrOp::FusedFwdLossBwd { unit } => {
+                // Forward + loss + backward atomically: the unit's
+                // activations exist only for the duration of this op.
+                live_versions.remove(&unit);
+                transient = act_full;
+            }
+            IrOp::Recv { .. } | IrOp::Send { .. } | IrOp::ApplyUpdate { .. } => {}
+        }
+        let distinct: BTreeSet<u64> = live_versions.values().copied().collect();
+        let act = full.len() as f64 * act_full + input_only.len() as f64 * act_input + transient;
+        let units = full.len() + input_only.len() + if transient > 0.0 { 1 } else { 0 };
+        sample(distinct.len(), units, act);
+    }
+    let (versions, units, act) = at_peak;
+    StageFootprint {
+        stage,
+        weight_bytes,
+        grad_bytes: weight_bytes,
+        optimizer_bytes: model.optimizer.state_multiplier() * weight_bytes,
+        stash_bytes: (versions - 1) as f64 * weight_bytes,
+        activation_bytes: act,
+        weight_versions: versions,
+        peak_units: units,
+    }
+}
+
+/// Mini-batches needed for a representative steady-state program: enough
+/// to fill the pipeline, cycle a full 2BW generation, and drain.
+fn representative_total(n_stages: usize, in_flight: usize) -> u64 {
+    (2 * (n_stages + in_flight)).max(4) as u64
+}
+
+/// Per-stage high-water footprints of `partition` running `kind` on
+/// `profile` — the closed function of (model, partition, schedule,
+/// in_flight) every layer of the stack prices memory with.
+pub fn footprint(
+    profile: &ModelProfile,
+    partition: &Partition,
+    kind: ScheduleKind,
+    model: &MemoryModel,
+) -> Vec<StageFootprint> {
+    let n_stages = partition.n_stages();
+    let total = representative_total(n_stages, partition.in_flight);
+    let program = generate(kind, n_stages, total, partition.in_flight);
+    let m = kind.micro_batches() as f64;
+    partition
+        .stages
+        .iter()
+        .enumerate()
+        .map(|(s, st)| {
+            let (lo, hi) = (st.layers.start, st.layers.end);
+            let weight_bytes = profile.range_params(lo, hi);
+            // The input a unit carries into the stage: the upstream cut's
+            // activation; for stage 0 the data batch, approximated by the
+            // first layer's output (profiles do not record input dims).
+            let input = if lo > 0 {
+                profile.out_bytes[lo - 1]
+            } else {
+                profile.out_bytes[0]
+            };
+            let acts: f64 = (lo..hi).map(|j| profile.out_bytes[j]).sum();
+            walk_stage(
+                &program,
+                s,
+                weight_bytes,
+                (input + acts) / m,
+                input / m,
+                model,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ap_cluster::GpuId;
+    use ap_models::{bert48, vgg16, ModelProfile};
+    use ap_pipesim::Stage;
+
+    fn two_stage(l: usize, in_flight: usize) -> Partition {
+        Partition {
+            stages: vec![
+                Stage::new(0..l / 2, vec![GpuId(0)]),
+                Stage::new(l / 2..l, vec![GpuId(1)]),
+            ],
+            in_flight,
+        }
+    }
+
+    #[test]
+    fn async_stashes_in_flight_versions_at_stage_zero() {
+        let p = ModelProfile::of(&vgg16());
+        let part = two_stage(p.n_layers(), 4);
+        let f = footprint(
+            &p,
+            &part,
+            ScheduleKind::PipeDreamAsync,
+            &MemoryModel::default(),
+        );
+        assert_eq!(f[0].weight_versions, 4);
+        assert!((f[0].stash_bytes - 3.0 * f[0].weight_bytes).abs() < 1.0);
+        // The last stage is fused: one live version, no stash.
+        assert_eq!(f[1].weight_versions, 1);
+        assert_eq!(f[1].stash_bytes, 0.0);
+    }
+
+    #[test]
+    fn two_bw_holds_exactly_two_versions_at_any_depth() {
+        let p = ModelProfile::of(&bert48());
+        for inf in [2, 4, 8] {
+            let part = two_stage(p.n_layers(), inf);
+            let f = footprint(
+                &p,
+                &part,
+                ScheduleKind::PipeDream2Bw,
+                &MemoryModel::default(),
+            );
+            assert_eq!(f[0].weight_versions, 2, "in_flight={inf}");
+        }
+    }
+
+    #[test]
+    fn recompute_discard_prices_gpipe_below_retention() {
+        let p = ModelProfile::of(&vgg16());
+        let part = two_stage(p.n_layers(), 4);
+        let kind = ScheduleKind::GPipe { micro_batches: 4 };
+        let discard = footprint(&p, &part, kind, &MemoryModel::default());
+        let retain = footprint(
+            &p,
+            &part,
+            kind,
+            &MemoryModel {
+                recompute_discard: false,
+                ..MemoryModel::default()
+            },
+        );
+        for (d, r) in discard.iter().zip(&retain) {
+            assert!(
+                d.activation_bytes <= r.activation_bytes,
+                "stage {}",
+                d.stage
+            );
+        }
+        // On stage 0 (every backward recomputes) the saving is real.
+        assert!(discard[0].activation_bytes < retain[0].activation_bytes);
+    }
+
+    #[test]
+    fn optimizer_state_scales_with_weights() {
+        let p = ModelProfile::of(&vgg16());
+        let part = two_stage(p.n_layers(), 2);
+        let adam = footprint(
+            &p,
+            &part,
+            ScheduleKind::PipeDreamAsync,
+            &MemoryModel::default(),
+        );
+        let sgd = footprint(
+            &p,
+            &part,
+            ScheduleKind::PipeDreamAsync,
+            &MemoryModel {
+                optimizer: OptimizerKind::Sgd,
+                ..MemoryModel::default()
+            },
+        );
+        assert!((adam[0].optimizer_bytes - 2.0 * adam[0].weight_bytes).abs() < 1.0);
+        assert_eq!(sgd[0].optimizer_bytes, 0.0);
+        assert!(adam[0].total() > sgd[0].total());
+    }
+
+    #[test]
+    fn replication_divides_activations_not_weights() {
+        let p = ModelProfile::of(&vgg16());
+        let part = two_stage(p.n_layers(), 6);
+        let f = &footprint(
+            &p,
+            &part,
+            ScheduleKind::PipeDreamAsync,
+            &MemoryModel::default(),
+        )[0];
+        let one = f.per_worker(1);
+        let three = f.per_worker(3);
+        assert!(three < one);
+        let static_part = f.weight_bytes + f.grad_bytes + f.optimizer_bytes + f.stash_bytes;
+        assert!(three >= static_part);
+    }
+}

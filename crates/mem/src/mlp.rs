@@ -1,0 +1,320 @@
+//! A byte-exact mirror of the ap-exec MLP runtime's resident state.
+//!
+//! The planning model ([`crate::footprint`]) prices an *idealized*
+//! runtime: stashed weight versions are deduplicated (2BW keeps two
+//! copies no matter how many units reference them) and a discarded
+//! activation costs nothing. The actual ap-exec runtime is a teaching
+//! implementation that clones the whole stage sub-network per stashed
+//! unit and keeps full per-layer input caches inside each clone — GPipe's
+//! "discard" there only skips shipping the output. To close a
+//! measured-vs-modeled loop against *that* runtime, this module replays
+//! the same IR op-program the runtime replays and prices exactly the
+//! containers `ap_exec::runtime::Stage` holds: master / stash / cur
+//! clones (params + grads + warm layer caches), the staged matrix maps
+//! (`pending_act`, `staged_out`, `grad_in`, `grad_out`, `recomputed`) and
+//! the out-of-order receive buffers (`act_buf`/`grad_buf`, reconstructed
+//! from the neighbor stages' static send order). The runtime samples its
+//! resident bytes after every op; so does this walk, making the two peaks
+//! directly comparable.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ap_ir::{generate, IrOp, Payload, UnitId};
+use ap_pipesim::ScheduleKind;
+
+const F64: u64 = 8;
+
+/// Bytes of one `ap_nn::Linear` mapping `d_in -> d_out`: weight + bias,
+/// each with a value and a gradient matrix.
+fn layer_param_bytes(d_in: usize, d_out: usize) -> u64 {
+    2 * ((d_in * d_out) as u64 + d_out as u64) * F64
+}
+
+/// Wire ids of this stage's `Send` ops carrying `payload`, in program
+/// order — the exact frame order the neighbor observes on the channel.
+fn send_order(ops: &[IrOp], payload: Payload, m: usize) -> Vec<u64> {
+    ops.iter()
+        .filter_map(|op| match *op {
+            IrOp::Send { payload: p, unit } if p == payload => Some(unit.wire(m)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// One stage's simulated resident-byte walk.
+struct StageSim {
+    s: usize,
+    last: bool,
+    kind: ScheduleKind,
+    /// Parameter+gradient bytes of one stage sub-network clone.
+    params: u64,
+    /// Layer input caches of one warm clone (every layer cached).
+    caches: u64,
+    /// Matrix bytes entering the stage (rows x sizes[lo]).
+    in_bytes: u64,
+    /// Matrix bytes leaving the stage (rows x sizes[hi]).
+    out_bytes: u64,
+    master_warm: bool,
+    /// Stashed clones, true = layer caches warm.
+    stash: BTreeMap<UnitId, bool>,
+    /// Popped/fused clones awaiting their backward or apply.
+    cur: BTreeMap<UnitId, bool>,
+    pending_act: BTreeSet<UnitId>,
+    staged_out: BTreeSet<UnitId>,
+    grad_in: BTreeSet<UnitId>,
+    grad_out: BTreeSet<UnitId>,
+    recomputed: BTreeSet<UnitId>,
+    /// Out-of-order receive buffers (wire ids) and the neighbor send
+    /// cursors that feed them.
+    act_buf: BTreeSet<u64>,
+    grad_buf: BTreeSet<u64>,
+    up_sends: Vec<u64>,
+    up_ptr: usize,
+    down_sends: Vec<u64>,
+    down_ptr: usize,
+    peak: u64,
+}
+
+impl StageSim {
+    fn resident(&self) -> u64 {
+        let clones = 1 + self.stash.len() as u64 + self.cur.len() as u64;
+        let warm = self.master_warm as u64
+            + self.stash.values().filter(|&&w| w).count() as u64
+            + self.cur.values().filter(|&&w| w).count() as u64;
+        clones * self.params
+            + warm * self.caches
+            + self.pending_act.len() as u64 * self.in_bytes
+            + self.act_buf.len() as u64 * self.in_bytes
+            + self.grad_out.len() as u64 * self.in_bytes
+            + self.staged_out.len() as u64 * self.out_bytes
+            + self.grad_in.len() as u64 * self.out_bytes
+            + self.grad_buf.len() as u64 * self.out_bytes
+            + self.recomputed.len() as u64 * self.out_bytes
+    }
+
+    /// FIFO-channel receive: drain the neighbor's send order up to the
+    /// wanted frame, buffering everything in front of it (exactly what
+    /// the runtime's `next_act`/`next_grad` do).
+    fn recv_via(buf: &mut BTreeSet<u64>, sends: &[u64], ptr: &mut usize, want: u64) {
+        if buf.remove(&want) {
+            return;
+        }
+        while *ptr < sends.len() {
+            let w = sends[*ptr];
+            *ptr += 1;
+            if w == want {
+                return;
+            }
+            buf.insert(w);
+        }
+    }
+
+    fn apply(&mut self, op: &IrOp, m: usize) {
+        match *op {
+            IrOp::Recv { payload, unit } => match payload {
+                Payload::Act => {
+                    let w = unit.wire(m);
+                    Self::recv_via(&mut self.act_buf, &self.up_sends, &mut self.up_ptr, w);
+                    self.pending_act.insert(unit);
+                }
+                Payload::Grad => {
+                    let w = unit.wire(m);
+                    Self::recv_via(&mut self.grad_buf, &self.down_sends, &mut self.down_ptr, w);
+                    self.grad_in.insert(unit);
+                }
+                Payload::WeightState => {}
+            },
+            IrOp::Send { payload, unit } => match payload {
+                Payload::Act => {
+                    self.staged_out.remove(&unit);
+                }
+                Payload::Grad => {
+                    self.grad_out.remove(&unit);
+                }
+                Payload::WeightState => {}
+            },
+            IrOp::StashPush { unit, .. } => {
+                self.stash.insert(unit, self.master_warm);
+            }
+            IrOp::StashPop { unit } => {
+                if let Some(w) = self.stash.remove(&unit) {
+                    self.cur.insert(unit, w);
+                }
+            }
+            IrOp::Forward { unit } => {
+                if self.s > 0 {
+                    self.pending_act.remove(&unit);
+                }
+                match self.stash.get_mut(&unit) {
+                    Some(w) => *w = true,
+                    None => self.master_warm = true,
+                }
+                if !self.last {
+                    self.staged_out.insert(unit);
+                }
+            }
+            IrOp::FusedFwdLossBwd { unit } => {
+                if self.s > 0 {
+                    self.pending_act.remove(&unit);
+                }
+                if self.stash.remove(&unit).is_some() {
+                    self.cur.insert(unit, true);
+                } else {
+                    self.master_warm = true;
+                }
+                if self.s > 0 {
+                    self.grad_out.insert(unit);
+                }
+            }
+            IrOp::Recompute { unit } => {
+                if let Some(w) = self.cur.get_mut(&unit) {
+                    *w = true;
+                }
+                if self.last {
+                    self.recomputed.insert(unit);
+                }
+            }
+            IrOp::Backward { unit } => {
+                if !self.grad_in.remove(&unit) && self.last {
+                    self.recomputed.remove(&unit);
+                }
+                if self.cur.contains_key(&unit) && self.kind != ScheduleKind::PipeDreamAsync {
+                    // Sync kinds fold the clone's gradients into the
+                    // master and drop it; async keeps it for ApplyUpdate.
+                    self.cur.remove(&unit);
+                }
+                if self.s > 0 {
+                    self.grad_out.insert(unit);
+                }
+            }
+            IrOp::ApplyUpdate { mb, .. } => {
+                self.cur.remove(&UnitId::new(mb, 0));
+            }
+        }
+        self.peak = self.peak.max(self.resident());
+    }
+}
+
+/// Modeled per-stage peak resident bytes of an ap-exec run of
+/// (`sizes`, `cuts`, `batch`) under `kind` — the number
+/// `ap_exec::ExecResult::peak_stage_bytes` should measure to within the
+/// exec-validate tolerance.
+pub fn modeled_peak_stage_bytes(
+    sizes: &[usize],
+    cuts: &[usize],
+    batch: usize,
+    kind: ScheduleKind,
+    in_flight: usize,
+    total: u64,
+) -> Vec<u64> {
+    assert!(sizes.len() >= 2, "need at least one layer");
+    let n_layers = sizes.len() - 1;
+    let mut starts = Vec::with_capacity(cuts.len() + 2);
+    starts.push(0);
+    starts.extend_from_slice(cuts);
+    starts.push(n_layers);
+    let n_stages = cuts.len() + 1;
+    let program = generate(kind, n_stages, total, in_flight);
+    let m = program.micro_batches;
+    assert!(
+        batch.is_multiple_of(m as usize),
+        "batch {batch} must divide into {m} micro-batches"
+    );
+    let rows = (batch / m as usize) as u64;
+    (0..n_stages)
+        .map(|s| {
+            let (lo, hi) = (starts[s], starts[s + 1]);
+            let mut sim = StageSim {
+                s,
+                last: s + 1 == n_stages,
+                kind,
+                params: (lo..hi)
+                    .map(|j| layer_param_bytes(sizes[j], sizes[j + 1]))
+                    .sum(),
+                caches: (lo..hi).map(|j| rows * sizes[j] as u64 * F64).sum(),
+                in_bytes: rows * sizes[lo] as u64 * F64,
+                out_bytes: rows * sizes[hi] as u64 * F64,
+                master_warm: false,
+                stash: BTreeMap::new(),
+                cur: BTreeMap::new(),
+                pending_act: BTreeSet::new(),
+                staged_out: BTreeSet::new(),
+                grad_in: BTreeSet::new(),
+                grad_out: BTreeSet::new(),
+                recomputed: BTreeSet::new(),
+                act_buf: BTreeSet::new(),
+                grad_buf: BTreeSet::new(),
+                up_sends: if s > 0 {
+                    send_order(&program.stages[s - 1].ops, Payload::Act, m as usize)
+                } else {
+                    Vec::new()
+                },
+                up_ptr: 0,
+                down_sends: if s + 1 < n_stages {
+                    send_order(&program.stages[s + 1].ops, Payload::Grad, m as usize)
+                } else {
+                    Vec::new()
+                },
+                down_ptr: 0,
+                peak: 0,
+            };
+            sim.peak = sim.resident();
+            for op in &program.stages[s].ops {
+                sim.apply(op, m);
+            }
+            sim.peak
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIZES: &[usize] = &[8, 16, 16, 16, 4];
+    const CUTS: &[usize] = &[2];
+
+    fn static_params(lo: usize, hi: usize) -> u64 {
+        (lo..hi)
+            .map(|j| layer_param_bytes(SIZES[j], SIZES[j + 1]))
+            .sum()
+    }
+
+    #[test]
+    fn peak_covers_at_least_the_master_network() {
+        let p = modeled_peak_stage_bytes(SIZES, CUTS, 8, ScheduleKind::PipeDreamAsync, 2, 6);
+        assert_eq!(p.len(), 2);
+        assert!(p[0] > static_params(0, 2));
+        assert!(p[1] > static_params(2, 4));
+    }
+
+    #[test]
+    fn deeper_in_flight_costs_more_on_the_stashing_stage() {
+        let shallow = modeled_peak_stage_bytes(SIZES, CUTS, 8, ScheduleKind::PipeDreamAsync, 1, 8);
+        let deep = modeled_peak_stage_bytes(SIZES, CUTS, 8, ScheduleKind::PipeDreamAsync, 3, 8);
+        assert!(deep[0] > shallow[0], "{} vs {}", deep[0], shallow[0]);
+    }
+
+    #[test]
+    fn sync_clone_per_micro_unit_scales_with_micro_batches() {
+        let m2 = modeled_peak_stage_bytes(
+            SIZES,
+            CUTS,
+            8,
+            ScheduleKind::GPipe { micro_batches: 2 },
+            1,
+            4,
+        );
+        let m4 = modeled_peak_stage_bytes(
+            SIZES,
+            CUTS,
+            8,
+            ScheduleKind::GPipe { micro_batches: 4 },
+            1,
+            4,
+        );
+        // The runtime clones the stage per live micro-unit: more
+        // micro-batches, more simultaneously live clones at the flush.
+        assert!(m4[0] > m2[0], "{} vs {}", m4[0], m2[0]);
+    }
+}

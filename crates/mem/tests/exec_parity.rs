@@ -1,0 +1,87 @@
+//! Measured-vs-modeled memory: run the real ap-exec pipeline on small
+//! MLPs and compare its per-stage peak resident bytes against
+//! [`ap_mem::modeled_peak_stage_bytes`]. Both sides sample after every
+//! schedule op, so the mirror should land well inside the exec-validate
+//! tolerance (±20%) — in fact it should be near-exact, since the model
+//! replays the same op-program over the same container layout.
+
+use ap_exec::{run_pipeline, ExecSpec};
+use ap_mem::modeled_peak_stage_bytes;
+use ap_nn::ActKind;
+use ap_pipesim::ScheduleKind;
+
+fn spec(sizes: &[usize], cuts: &[usize], schedule: ScheduleKind, in_flight: usize) -> ExecSpec {
+    ExecSpec {
+        sizes: sizes.to_vec(),
+        act: ActKind::Tanh,
+        seed: 11,
+        batch: 8,
+        lr: 0.05,
+        cuts: cuts.to_vec(),
+        schedule,
+        in_flight,
+        total: 6,
+        bytes_per_sec: None,
+        distinct_batches: 2,
+        switch: None,
+        record_timeline: false,
+    }
+}
+
+fn assert_within(measured: &[u64], modeled: &[u64], tol: f64, tag: &str) {
+    assert_eq!(measured.len(), modeled.len(), "{tag}: stage count");
+    for (s, (&got, &want)) in measured.iter().zip(modeled).enumerate() {
+        let rel = (got as f64 - want as f64).abs() / want as f64;
+        assert!(
+            rel <= tol,
+            "{tag} stage {s}: measured {got} vs modeled {want} (rel {rel:.3})"
+        );
+    }
+}
+
+#[test]
+fn model_matches_measurement_across_the_zoo() {
+    let sizes = [6usize, 12, 10, 8, 4];
+    let cuts = [2usize];
+    for schedule in ScheduleKind::zoo() {
+        let in_flight = if schedule.is_async() { 3 } else { 1 };
+        let sp = spec(&sizes, &cuts, schedule, in_flight);
+        let res = run_pipeline(&sp).expect("pipeline runs");
+        let modeled =
+            modeled_peak_stage_bytes(&sizes, &cuts, sp.batch, schedule, sp.in_flight, sp.total);
+        assert_within(&res.peak_stage_bytes, &modeled, 0.20, schedule.id());
+    }
+}
+
+#[test]
+fn model_matches_measurement_on_three_stages_async() {
+    let sizes = [10usize, 16, 16, 16, 16, 6];
+    let cuts = [2usize, 4];
+    for in_flight in [1, 2, 4] {
+        let sp = spec(&sizes, &cuts, ScheduleKind::PipeDreamAsync, in_flight);
+        let res = run_pipeline(&sp).expect("pipeline runs");
+        let modeled = modeled_peak_stage_bytes(
+            &sizes,
+            &cuts,
+            sp.batch,
+            ScheduleKind::PipeDreamAsync,
+            in_flight,
+            sp.total,
+        );
+        assert_within(
+            &res.peak_stage_bytes,
+            &modeled,
+            0.20,
+            &format!("async depth {in_flight}"),
+        );
+    }
+}
+
+#[test]
+fn measured_peak_is_deterministic_across_runs() {
+    let sizes = [6usize, 12, 10, 4];
+    let sp = spec(&sizes, &[1], ScheduleKind::PipeDreamAsync, 2);
+    let a = run_pipeline(&sp).expect("run a").peak_stage_bytes;
+    let b = run_pipeline(&sp).expect("run b").peak_stage_bytes;
+    assert_eq!(a, b);
+}

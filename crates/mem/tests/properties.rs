@@ -1,0 +1,169 @@
+//! Property suite over the schedule zoo: the modeled peak memory must be
+//! schedule-monotone in the ways the papers promise.
+//!
+//! * Deeper in-flight admission can never *reduce* the modeled footprint
+//!   (PipeDream stashes one version per active mini-batch; sync kinds
+//!   ignore the knob, so equality is allowed).
+//! * Recompute (activation discard) never prices above retention.
+//! * PipeDream-2BW's double buffering holds exactly two weight versions
+//!   no matter how deep the pipeline runs.
+
+use ap_cluster::GpuId;
+use ap_mem::{footprint, MemoryModel, StageFootprint};
+use ap_models::{bert48, vgg16, ModelProfile};
+use ap_pipesim::{Partition, ScheduleKind, Stage};
+
+fn partitions(n_layers: usize, in_flight: usize) -> Vec<Partition> {
+    vec![
+        Partition::single_stage(n_layers, vec![GpuId(0)]),
+        Partition {
+            stages: vec![
+                Stage::new(0..n_layers / 2, vec![GpuId(0)]),
+                Stage::new(n_layers / 2..n_layers, vec![GpuId(1)]),
+            ],
+            in_flight,
+        },
+        Partition {
+            stages: vec![
+                Stage::new(0..n_layers / 3, vec![GpuId(0)]),
+                Stage::new(n_layers / 3..2 * n_layers / 3, vec![GpuId(1)]),
+                Stage::new(2 * n_layers / 3..n_layers, vec![GpuId(2)]),
+            ],
+            in_flight,
+        },
+    ]
+    .into_iter()
+    .map(|mut p| {
+        p.in_flight = in_flight;
+        p
+    })
+    .collect()
+}
+
+fn profiles() -> Vec<ModelProfile> {
+    vec![ModelProfile::of(&vgg16()), ModelProfile::of(&bert48())]
+}
+
+fn totals(f: &[StageFootprint]) -> Vec<f64> {
+    f.iter().map(StageFootprint::total).collect()
+}
+
+#[test]
+fn activation_bytes_are_monotone_in_in_flight_across_the_zoo() {
+    let model = MemoryModel::default();
+    for profile in profiles() {
+        for kind in ScheduleKind::zoo() {
+            for pi in 0..3 {
+                let mut prev: Option<Vec<f64>> = None;
+                for in_flight in 1..=6 {
+                    let part = partitions(profile.n_layers(), in_flight)
+                        .into_iter()
+                        .nth(pi)
+                        .unwrap();
+                    let f = footprint(&profile, &part, kind, &model);
+                    let acts: Vec<f64> = f.iter().map(|s| s.activation_bytes).collect();
+                    let tot = totals(&f);
+                    if let Some(p) = prev {
+                        for (s, (a, b)) in p.iter().zip(&tot).enumerate() {
+                            assert!(
+                                b + 1e-6 >= *a,
+                                "{} {} stage {s}: total shrank {a} -> {b} at depth {in_flight}",
+                                profile.name,
+                                kind.id()
+                            );
+                        }
+                    }
+                    for (s, a) in acts.iter().enumerate() {
+                        assert!(
+                            *a >= 0.0,
+                            "{} {} stage {s}: negative activations",
+                            profile.name,
+                            kind.id()
+                        );
+                    }
+                    prev = Some(tot);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn recompute_discard_never_prices_above_retention() {
+    let discard = MemoryModel::default();
+    let retain = MemoryModel {
+        recompute_discard: false,
+        ..MemoryModel::default()
+    };
+    for profile in profiles() {
+        for kind in ScheduleKind::zoo() {
+            for part in partitions(profile.n_layers(), 4) {
+                let d = footprint(&profile, &part, kind, &discard);
+                let r = footprint(&profile, &part, kind, &retain);
+                for (ds, rs) in d.iter().zip(&r) {
+                    assert!(
+                        ds.total() <= rs.total() + 1e-6,
+                        "{} {} stage {}: discard {} > retain {}",
+                        profile.name,
+                        kind.id(),
+                        ds.stage,
+                        ds.total(),
+                        rs.total()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn two_bw_weight_memory_is_two_versions_flat_regardless_of_depth() {
+    let model = MemoryModel::default();
+    for profile in profiles() {
+        for in_flight in [2, 4, 8, 16] {
+            for part in partitions(profile.n_layers(), in_flight) {
+                let f = footprint(&profile, &part, ScheduleKind::PipeDream2Bw, &model);
+                let n = f.len();
+                for s in &f {
+                    let cap = if s.stage + 1 == n { 1 } else { 2 };
+                    assert!(
+                        s.weight_versions <= cap,
+                        "{} depth {in_flight} stage {}: {} versions",
+                        profile.name,
+                        s.stage,
+                        s.weight_versions
+                    );
+                    assert!(s.stash_bytes <= s.weight_bytes + 1e-6);
+                }
+                // The stashing stages really do hold the second version.
+                if n > 1 && in_flight >= 2 {
+                    assert_eq!(f[0].weight_versions, 2, "{}", profile.name);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn async_stash_grows_linearly_while_two_bw_stays_flat() {
+    let model = MemoryModel::default();
+    let profile = ModelProfile::of(&bert48());
+    let l = profile.n_layers();
+    let mut prev_async = 0.0;
+    for in_flight in 2..=6 {
+        let part = Partition {
+            stages: vec![
+                Stage::new(0..l / 2, vec![GpuId(0)]),
+                Stage::new(l / 2..l, vec![GpuId(1)]),
+            ],
+            in_flight,
+        };
+        let a = footprint(&profile, &part, ScheduleKind::PipeDreamAsync, &model);
+        let b = footprint(&profile, &part, ScheduleKind::PipeDream2Bw, &model);
+        assert_eq!(a[0].weight_versions, in_flight);
+        assert_eq!(b[0].weight_versions, 2);
+        assert!(a[0].stash_bytes > prev_async);
+        assert!(a[0].stash_bytes >= b[0].stash_bytes);
+        prev_async = a[0].stash_bytes;
+    }
+}

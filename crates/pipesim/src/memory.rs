@@ -90,7 +90,7 @@ pub fn max_in_flight(
         candidate.in_flight = n;
         let fits = estimate(profile, &candidate, schedule)
             .iter()
-            .all(|e| e.total() <= state.topology.gpu(e.worker).kind.memory_bytes());
+            .all(|e| e.total() <= state.memory_bytes(e.worker));
         if fits {
             return Some(n);
         }

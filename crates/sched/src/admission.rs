@@ -30,6 +30,12 @@ pub enum RejectReason {
         /// GPUs in the fabric.
         cluster: usize,
     },
+    /// No in-flight depth of the planned partition fits the devices it
+    /// would land on (modeled by [`ap_mem`], checked at depth 1).
+    MemoryInfeasible {
+        /// Worst per-stage overshoot at depth 1, bytes.
+        deficit_bytes: u64,
+    },
 }
 
 impl RejectReason {
@@ -38,6 +44,7 @@ impl RejectReason {
         match self {
             RejectReason::ZeroGpus => "zero-gpus",
             RejectReason::LargerThanCluster { .. } => "larger-than-cluster",
+            RejectReason::MemoryInfeasible { .. } => "memory-infeasible",
         }
     }
 }

@@ -26,6 +26,7 @@ use std::sync::Arc;
 
 use ap_cluster::dynamics::BgJobId;
 use ap_cluster::{ClusterState, ClusterTopology, EventKind, GpuId, LinkId, ServerId};
+use ap_mem::{check as mem_check, clamp_in_flight, MemCheck, MemoryModel};
 use ap_models::ModelProfile;
 use ap_pipesim::{AnalyticModel, Partition, SwitchPlan};
 use ap_planner::{pipedream_plan, PipeDreamView};
@@ -68,6 +69,9 @@ pub struct ResidentJob {
     pub profile: ModelProfile,
     /// Current partition; its worker set is the job's GPU footprint.
     pub partition: Partition,
+    /// Modeled per-stage memory demand vs device capacity at planning
+    /// time (every stage fits — infeasible plans are never planted).
+    pub mem: MemCheck,
     /// Re-plans with the tenancy when true.
     pub adaptive: bool,
     /// Cached per-server network load (bytes/s) the job contributes,
@@ -174,6 +178,9 @@ pub struct SchedConfig {
     /// Seconds over which a migration's cost must amortize (the priced
     /// part of the switch gate).
     pub switch_horizon_s: f64,
+    /// Knobs of the [`ap_mem`] planning memory model admission and
+    /// re-planning price partitions with.
+    pub mem_model: MemoryModel,
 }
 
 impl Default for SchedConfig {
@@ -184,7 +191,21 @@ impl Default for SchedConfig {
             max_ripple_rounds: 2,
             switch_gate: 0.02,
             switch_horizon_s: 120.0,
+            mem_model: MemoryModel::default(),
         }
+    }
+}
+
+/// Why [`ClusterScheduler::try_place`] could not plant a job: a transient
+/// shortage (queue and retry) or a final memory rejection.
+enum PlaceFailure {
+    Queue(QueueReason),
+    Reject(RejectReason),
+}
+
+impl From<QueueReason> for PlaceFailure {
+    fn from(r: QueueReason) -> Self {
+        PlaceFailure::Queue(r)
     }
 }
 
@@ -368,19 +389,49 @@ impl ClusterScheduler {
         Some(job)
     }
 
+    /// Clamp `partition`'s in-flight depth to what its devices can hold.
+    /// `Err` carries the depth-1 deficit when no depth fits (final —
+    /// shrinking the stash further is not possible).
+    fn fit_memory(
+        &self,
+        profile: &ModelProfile,
+        partition: &mut Partition,
+    ) -> Result<MemCheck, RejectReason> {
+        let kind = self.cfg.env.schedule;
+        if clamp_in_flight(profile, partition, kind, &self.cfg.mem_model, &self.state) {
+            return Ok(mem_check(
+                profile,
+                partition,
+                kind,
+                &self.cfg.mem_model,
+                &self.state,
+            ));
+        }
+        let mut probe = partition.clone();
+        probe.in_flight = 1;
+        let deficit =
+            mem_check(profile, &probe, kind, &self.cfg.mem_model, &self.state).worst_deficit();
+        Err(RejectReason::MemoryInfeasible {
+            deficit_bytes: deficit.ceil() as u64,
+        })
+    }
+
     /// Try to place `req` right now (no queueing — the caller decides what
     /// a transient failure means).
-    fn try_place(&mut self, req: &JobRequest, id: JobId) -> Result<(), QueueReason> {
+    fn try_place(&mut self, req: &JobRequest, id: JobId) -> Result<(), PlaceFailure> {
         let footprint = select_footprint(req.gpus, &self.state, &self.index, &self.cfg.admission)?;
         let seed = self.seed_partition(&req.profile, &footprint);
         // Refine against the state the current tenancy induces (the job is
         // not planted yet, so the base state *is* everyone else).
-        let refined = self
+        let mut refined = self
             .planner
             .propose(&req.profile, &seed, &self.state, &self.cfg.env);
+        let mem = self
+            .fit_memory(&req.profile, &mut refined)
+            .map_err(PlaceFailure::Reject)?;
         let net = self.net_estimate(&req.profile, &refined);
         if !link_headroom_ok(&self.state, &footprint, net, &self.cfg.admission) {
-            return Err(QueueReason::LinkSaturated);
+            return Err(PlaceFailure::Queue(QueueReason::LinkSaturated));
         }
         let predicted = self.analytic_throughput(&req.profile, &refined, &self.state);
         let solo = self.solo_throughput(&req.profile, &refined);
@@ -389,6 +440,7 @@ impl ClusterScheduler {
             name: req.name.clone(),
             profile: req.profile.clone(),
             partition: refined,
+            mem,
             adaptive: req.adaptive,
             net_bytes_per_sec: net,
             predicted,
@@ -431,10 +483,14 @@ impl ClusterScheduler {
                             out.replan = self.replan_neighborhood(&footprint, Some(id));
                             out.admit = Some(AdmitOutcome::Placed(id));
                         }
-                        Err(reason) => {
+                        Err(PlaceFailure::Queue(reason)) => {
                             self.counters.queued += 1;
                             self.queue.push_back((req.clone(), id, reason));
                             out.admit = Some(AdmitOutcome::Queued(id, reason));
+                        }
+                        Err(PlaceFailure::Reject(reason)) => {
+                            self.counters.rejected += 1;
+                            out.admit = Some(AdmitOutcome::Rejected(reason));
                         }
                     }
                 }
@@ -482,7 +538,11 @@ impl ClusterScheduler {
         while let Some((req, id, _old_reason)) = self.queue.pop_front() {
             match self.try_place(&req, id) {
                 Ok(()) => admitted.push(id),
-                Err(reason) => still_waiting.push_back((req, id, reason)),
+                Err(PlaceFailure::Queue(reason)) => still_waiting.push_back((req, id, reason)),
+                // The cluster shrank (or lost memory) under a queued job:
+                // waiting cannot shrink the model, so the rejection is
+                // final and the entry is dropped.
+                Err(PlaceFailure::Reject(_)) => self.counters.rejected += 1,
             }
         }
         self.queue = still_waiting;
@@ -526,14 +586,23 @@ impl ClusterScheduler {
             footprint.extend(replacements);
             footprint.sort();
             let seed = self.seed_partition(&job.profile, &footprint);
-            let refined = self
+            let mut refined = self
                 .planner
                 .propose(&job.profile, &seed, &self.state, &self.cfg.env);
+            let Ok(mem) = self.fit_memory(&job.profile, &mut refined) else {
+                // The surviving devices cannot hold the model at any
+                // depth; park the job until capacity returns.
+                self.counters.queued += 1;
+                self.queue
+                    .push_back((req, id, QueueReason::GpuSharesExhausted));
+                continue;
+            };
             let net = self.net_estimate(&job.profile, &refined);
             let predicted = self.analytic_throughput(&job.profile, &refined, &self.state);
             let solo = self.solo_throughput(&job.profile, &refined);
             self.plant(ResidentJob {
                 partition: refined,
+                mem,
                 net_bytes_per_sec: net,
                 predicted,
                 solo,
@@ -611,9 +680,23 @@ impl ClusterScheduler {
         let current = job.partition.clone();
         let profile = job.profile.clone();
         let old_pred = self.analytic_throughput(&profile, &current, &view);
-        let proposal = self
+        let mut proposal = self
             .planner
             .propose(&profile, &current, &view, &self.cfg.env);
+        // A proposal the devices cannot hold at any stash depth is not a
+        // move candidate; keep the (already fitting) current plan.
+        if !clamp_in_flight(
+            &profile,
+            &mut proposal,
+            self.cfg.env.schedule,
+            &self.cfg.mem_model,
+            &view,
+        ) {
+            if let Some(j) = self.jobs.get_mut(&id) {
+                j.predicted = old_pred;
+            }
+            return false;
+        }
         if proposal == current {
             // Still refresh the cached prediction: the tenancy around the
             // job changed even if its plan did not.
@@ -636,8 +719,16 @@ impl ClusterScheduler {
         let job = self.uproot(id).expect("job is resident");
         let net = self.net_estimate(&profile, &proposal);
         let solo = self.solo_throughput(&profile, &proposal);
+        let mem = mem_check(
+            &profile,
+            &proposal,
+            self.cfg.env.schedule,
+            &self.cfg.mem_model,
+            &self.state,
+        );
         self.plant(ResidentJob {
             partition: proposal,
+            mem,
             net_bytes_per_sec: net,
             predicted: new_pred,
             solo,
@@ -699,7 +790,7 @@ impl ClusterScheduler {
 mod tests {
     use super::*;
     use ap_cluster::GpuKind;
-    use ap_models::{synthetic_skewed, ModelProfile};
+    use ap_models::{synthetic_skewed, synthetic_uniform, ModelProfile};
     use ap_resilience::FakeClock;
 
     /// A planner that keeps the seed partition (pure PipeDream).
@@ -824,6 +915,41 @@ mod tests {
         s.on_event(2.0, &SchedEvent::Depart(qid));
         assert_eq!(s.n_queued(), 0);
         assert_eq!(s.counters().completed, 1);
+    }
+
+    #[test]
+    fn memory_infeasible_requests_are_rejected_with_deficit() {
+        let mut s = sched();
+        // 20 GB of parameters per layer: no stash depth fits a P100.
+        let giant = JobRequest {
+            name: "giant".to_string(),
+            profile: ModelProfile::with_batch(&synthetic_uniform(8, 2e9, 20e6, 20e9), 32),
+            gpus: 4,
+            adaptive: true,
+        };
+        let out = s.on_event(0.0, &SchedEvent::Arrive(giant));
+        let Some(AdmitOutcome::Rejected(reason)) = out.admit else {
+            panic!("expected a rejection, got {:?}", out.admit);
+        };
+        assert_eq!(reason.id(), "memory-infeasible");
+        let RejectReason::MemoryInfeasible { deficit_bytes } = reason else {
+            panic!("wrong reason {reason:?}");
+        };
+        assert!(deficit_bytes > 0);
+        assert_eq!(s.counters().rejected, 1);
+        assert_eq!(s.n_resident(), 0);
+    }
+
+    #[test]
+    fn placed_jobs_carry_a_fitting_memory_check() {
+        let mut s = sched();
+        let out = s.on_event(0.0, &SchedEvent::Arrive(req(4)));
+        let Some(AdmitOutcome::Placed(id)) = out.admit else {
+            panic!("placement");
+        };
+        let job = s.job(id).expect("resident");
+        assert_eq!(job.mem.stages.len(), job.partition.n_stages());
+        assert!(job.mem.fits(), "planted plans always fit: {:?}", job.mem);
     }
 
     #[test]

@@ -22,9 +22,11 @@ use ap_cluster::{
     gbps, ClusterState, ClusterTopology, EventKind, GpuId, GpuKind, ResourceTimeline,
 };
 use ap_json::{Json, ToJson};
+use ap_mem::{check as mem_check, clamp_in_flight, fit_schedule, MemCheck, MemoryModel};
 use ap_models::{ModelDesc, ModelProfile};
 use ap_pipesim::{
-    Calibration, Engine, EngineConfig, Framework, Partition, ScheduleKind, Stage, SyncScheme,
+    AnalyticModel, Calibration, Engine, EngineConfig, Framework, Partition, ScheduleKind, Stage,
+    SyncScheme,
 };
 use ap_planner::{pipedream_plan, sort_stage_workers_by, PipeDreamView};
 use ap_resilience::Deadline;
@@ -33,8 +35,11 @@ use autopipe::controller::stages::{Enumerate, Score, ScoreCtx};
 use autopipe::controller::DecisionJournal;
 use autopipe::{DecisionEvent, Scorer};
 
+/// Bytes per GiB, for human-readable memory figures in responses.
+pub(crate) const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
 /// An API failure with its HTTP status.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ApiError {
     /// 400 for malformed requests, 422 for semantically invalid ones,
     /// 500 for internal failures.
@@ -43,6 +48,10 @@ pub struct ApiError {
     pub kind: String,
     /// Human-readable detail.
     pub message: String,
+    /// Optional structured detail (e.g. per-stage memory deficits);
+    /// emitted as `error.detail` only when present, so plain errors keep
+    /// their historical shape.
+    pub detail: Option<Json>,
 }
 
 impl ApiError {
@@ -52,6 +61,7 @@ impl ApiError {
             status: 400,
             kind: kind.to_string(),
             message: message.into(),
+            detail: None,
         }
     }
 
@@ -61,6 +71,7 @@ impl ApiError {
             status: 422,
             kind: kind.to_string(),
             message: message.into(),
+            detail: None,
         }
     }
 
@@ -70,19 +81,27 @@ impl ApiError {
             status: 500,
             kind: "internal".to_string(),
             message: message.into(),
+            detail: None,
         }
+    }
+
+    /// Attach a structured `error.detail` object.
+    pub fn with_detail(mut self, detail: Json) -> Self {
+        self.detail = Some(detail);
+        self
     }
 
     /// The JSON error body.
     pub fn body(&self) -> Json {
-        Json::obj(vec![(
-            "error",
-            Json::obj(vec![
-                ("status", self.status.to_json()),
-                ("kind", self.kind.as_str().to_json()),
-                ("message", self.message.as_str().to_json()),
-            ]),
-        )])
+        let mut fields = vec![
+            ("status", self.status.to_json()),
+            ("kind", self.kind.as_str().to_json()),
+            ("message", self.message.as_str().to_json()),
+        ];
+        if let Some(d) = &self.detail {
+            fields.push(("detail", d.clone()));
+        }
+        Json::obj(vec![("error", Json::obj(fields))])
     }
 }
 
@@ -161,6 +180,10 @@ pub struct ClusterSpec {
     pub gpu: GpuKind,
     /// NIC line rate, Gbps.
     pub link_gbps: f64,
+    /// Uniform per-GPU memory override, GiB. `None` keeps the GPU kind's
+    /// native capacity; setting it models memory-starved (or over-
+    /// provisioned) devices without inventing a new GPU kind.
+    pub memory_gb: Option<f64>,
     /// Background jobs contending for GPUs and links.
     pub background_jobs: Vec<BgJobSpec>,
 }
@@ -190,6 +213,7 @@ impl ClusterSpec {
             gpus_per_server: 2,
             gpu: GpuKind::P100,
             link_gbps: 25.0,
+            memory_gb: None,
             background_jobs: Vec::new(),
         }
     }
@@ -211,6 +235,10 @@ impl ClusterSpec {
         let n_servers = usize_field(obj, "n_servers", d.n_servers, 1, 64)?;
         let gpus_per_server = usize_field(obj, "gpus_per_server", d.gpus_per_server, 1, 16)?;
         let link_gbps = f64_field(obj, "link_gbps", d.link_gbps, 0.1, 1000.0)?;
+        let memory_gb = match field(obj, "memory_gb") {
+            None | Some(Json::Null) => None,
+            Some(_) => Some(f64_field(obj, "memory_gb", 0.0, 0.125, 4096.0)?),
+        };
         let gpu = match field(obj, "gpu") {
             None | Some(Json::Null) => d.gpu,
             Some(v) => {
@@ -274,6 +302,7 @@ impl ClusterSpec {
             gpus_per_server,
             gpu,
             link_gbps,
+            memory_gb,
             background_jobs,
         })
     }
@@ -287,6 +316,7 @@ impl ClusterSpec {
             ("gpus_per_server", self.gpus_per_server.to_json()),
             ("gpu", gpu_kind_name(self.gpu).to_json()),
             ("link_gbps", self.link_gbps.to_json()),
+            ("memory_gb", self.memory_gb.to_json()),
             (
                 "background_jobs",
                 Json::Arr(
@@ -308,12 +338,15 @@ impl ClusterSpec {
 
     /// Materialize the cluster state the planner scores against.
     pub fn to_state(&self) -> ClusterState {
-        let topo = ClusterTopology::single_switch(
+        let mut topo = ClusterTopology::single_switch(
             self.n_servers,
             self.gpus_per_server,
             self.gpu,
             self.link_gbps,
         );
+        if let Some(gb) = self.memory_gb {
+            topo.set_uniform_memory_bytes(gb * GIB);
+        }
         let mut state = ClusterState::new(topo);
         for (i, job) in self.background_jobs.iter().enumerate() {
             state.apply(&EventKind::JobArrive {
@@ -581,6 +614,14 @@ pub struct RefinedPlan {
     pub scored: usize,
     /// Whether a deadline stopped refinement before its natural end.
     pub deadline_cut: bool,
+    /// The schedule the plan actually runs under — the requested one when
+    /// it fits device memory (possibly at a shallower in-flight depth),
+    /// otherwise the best-scoring feasible alternative.
+    pub schedule: ScheduleKind,
+    /// True when memory forced a different schedule than requested.
+    pub schedule_switched: bool,
+    /// Per-stage memory check of the refined candidate (all stages fit).
+    pub mem: MemCheck,
 }
 
 /// The engine half of planning: measured throughputs for seed and
@@ -597,12 +638,63 @@ pub struct VerifiedPlan {
     pub refined_won: bool,
 }
 
+/// The typed 422 for a plan no schedule can fit: per-stage demand vs
+/// capacity at in-flight depth 1 under the requested schedule, so the
+/// caller sees exactly how far over budget each stage is.
+fn memory_infeasible_error(
+    profile: &ModelProfile,
+    partition: &Partition,
+    requested: ScheduleKind,
+    model: &MemoryModel,
+    state: &ClusterState,
+) -> ApiError {
+    let mut probe = partition.clone();
+    probe.in_flight = 1;
+    let check = mem_check(profile, &probe, requested, model, state);
+    let stages = Json::Arr(
+        check
+            .stages
+            .iter()
+            .map(|s| {
+                Json::obj(vec![
+                    ("stage", s.stage.to_json()),
+                    ("required_gb", (s.required / GIB).to_json()),
+                    ("capacity_gb", (s.capacity / GIB).to_json()),
+                    ("deficit_gb", (s.deficit() / GIB).to_json()),
+                ])
+            })
+            .collect(),
+    );
+    ApiError::unprocessable(
+        "memory-infeasible",
+        format!(
+            "no schedule fits device memory: worst stage over by {:.2} GiB even at in-flight depth 1",
+            check.worst_deficit() / GIB
+        ),
+    )
+    .with_detail(Json::obj(vec![
+        ("requested_schedule", requested.id().to_json()),
+        ("in_flight", 1usize.to_json()),
+        ("stages", stages),
+    ]))
+}
+
 /// PipeDream seed + analytic greedy refinement, journaled round by round
 /// (the serve-side equivalent of `hill_climb`, kept explicit so candidate
 /// counts land in the journal). When a `deadline` is supplied the loop
 /// checks remaining budget between rounds and stops early rather than
 /// overrun — the partial answer is still valid, just less refined.
-pub fn refine_plan(req: &PlanRequest, deadline: Option<&Deadline>) -> RefinedPlan {
+///
+/// After refinement the candidate is fitted to device memory: its
+/// in-flight depth is clamped to what the tightest stage holds, and if
+/// the requested schedule cannot fit at any depth the best-scoring
+/// feasible alternative is taken instead (`schedule_switched`). A model
+/// no schedule can host is a typed 422 `memory-infeasible` error with
+/// per-stage deficits.
+pub fn refine_plan(
+    req: &PlanRequest,
+    deadline: Option<&Deadline>,
+) -> Result<RefinedPlan, ApiError> {
     let desc = model_by_name(&req.model).expect("model validated at parse time");
     let profile = ModelProfile::of(&desc);
     let state = req.cluster.to_state();
@@ -657,7 +749,52 @@ pub fn refine_plan(req: &PlanRequest, deadline: Option<&Deadline>) -> RefinedPla
             _ => break,
         }
     }
-    RefinedPlan {
+    // Memory fit: clamp the candidate's depth to what its devices hold,
+    // switching schedule when the requested one cannot fit at any depth.
+    let mem_model = MemoryModel::default();
+    let analytic_of = |part: &Partition, kind: ScheduleKind| -> f64 {
+        AnalyticModel {
+            profile: &profile,
+            scheme,
+            framework,
+            schedule: kind,
+            calibration: req.planner.calibration,
+        }
+        .throughput(part, &state)
+    };
+    let shape = current.clone();
+    let fit_score = |kind: ScheduleKind, n: usize| {
+        let mut cand = shape.clone();
+        cand.in_flight = n;
+        analytic_of(&cand, kind)
+    };
+    let fit = fit_schedule(
+        &profile,
+        &current,
+        req.schedule,
+        &mem_model,
+        &state,
+        &fit_score,
+    )
+    .ok_or_else(|| memory_infeasible_error(&profile, &current, req.schedule, &mem_model, &state))?;
+    let mut start_pred = start_pred;
+    let mut current_pred = current_pred;
+    if fit.switched || fit.in_flight != current.in_flight {
+        current.in_flight = fit.in_flight;
+        current_pred = analytic_of(&current, fit.kind);
+    }
+    // The seed must stay a feasible comparison point for verification:
+    // clamp it under the chosen schedule, falling back to the refined
+    // candidate when even depth 1 does not fit its (different) stages.
+    let mut start = start;
+    let seed_depth = start.in_flight;
+    if !clamp_in_flight(&profile, &mut start, fit.kind, &mem_model, &state) {
+        start = current.clone();
+    }
+    if fit.switched || start.in_flight != seed_depth {
+        start_pred = analytic_of(&start, fit.kind);
+    }
+    Ok(RefinedPlan {
         start,
         refined: current,
         start_pred,
@@ -665,7 +802,10 @@ pub fn refine_plan(req: &PlanRequest, deadline: Option<&Deadline>) -> RefinedPla
         rounds,
         scored,
         deadline_cut,
-    }
+        schedule: fit.kind,
+        schedule_switched: fit.switched,
+        mem: fit.check,
+    })
 }
 
 /// Verify by measurement: run seed and refined candidate on the event
@@ -679,7 +819,7 @@ pub fn verify_plan(req: &PlanRequest, refined: &RefinedPlan) -> Result<VerifiedP
         &profile,
         &refined.start,
         &state,
-        req.schedule,
+        refined.schedule,
         req.planner.measure_iters,
         req.planner.calibration,
     )?;
@@ -690,7 +830,7 @@ pub fn verify_plan(req: &PlanRequest, refined: &RefinedPlan) -> Result<VerifiedP
             &profile,
             &refined.refined,
             &state,
-            req.schedule,
+            refined.schedule,
             req.planner.measure_iters,
             req.planner.calibration,
         )?;
@@ -750,9 +890,29 @@ pub fn plan_response(
     }
     Json::obj(vec![
         ("model", req.model.as_str().to_json()),
-        ("schedule", req.schedule.id().to_json()),
+        ("schedule", refined.schedule.id().to_json()),
+        ("requested_schedule", req.schedule.id().to_json()),
+        ("schedule_switched", refined.schedule_switched.to_json()),
         ("partition", chosen.to_json()),
         ("summary", chosen.summary().to_json()),
+        (
+            "memory",
+            Json::Arr(
+                refined
+                    .mem
+                    .stages
+                    .iter()
+                    .map(|s| {
+                        Json::obj(vec![
+                            ("stage", s.stage.to_json()),
+                            ("required_gb", (s.required / GIB).to_json()),
+                            ("capacity_gb", (s.capacity / GIB).to_json()),
+                            ("fits", s.fits().to_json()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
         ("predicted_throughput", refined.predicted.to_json()),
         (
             "measured_throughput",
@@ -789,7 +949,7 @@ pub fn plan_response(
 /// `server::handle_plan` composes the same three stages with a budget and
 /// a breaker around the engine.
 pub fn compute_plan(req: &PlanRequest) -> Result<Json, ApiError> {
-    let refined = refine_plan(req, None);
+    let refined = refine_plan(req, None)?;
     let verified = verify_plan(req, &refined)?;
     Ok(plan_response(req, &refined, Some(&verified), None))
 }
@@ -1051,7 +1211,7 @@ mod tests {
         let req = PlanRequest::from_json(&parse(r#"{"model": "alexnet"}"#)).unwrap();
         let clock = FakeClock::shared();
         let spent = Deadline::after(clock, std::time::Duration::ZERO);
-        let refined = refine_plan(&req, Some(&spent));
+        let refined = refine_plan(&req, Some(&spent)).unwrap();
         assert!(refined.deadline_cut);
         assert_eq!(refined.rounds, 0);
         assert_eq!(refined.refined, refined.start, "no moves were taken");
@@ -1080,6 +1240,102 @@ mod tests {
         let out = compute_plan(&req).unwrap();
         assert_eq!(out.get("degraded").and_then(Json::as_bool), Some(false));
         assert!(matches!(out.get("degraded_reason"), Some(Json::Null)));
+    }
+
+    #[test]
+    fn memory_starved_cluster_is_a_typed_422_with_deficits() {
+        let req = PlanRequest::from_json(&parse(
+            r#"{"model": "bert48", "cluster": {"memory_gb": 0.25}}"#,
+        ))
+        .unwrap();
+        let e = refine_plan(&req, None).unwrap_err();
+        assert_eq!(e.status, 422);
+        assert_eq!(e.kind, "memory-infeasible");
+        let detail = e.detail.expect("per-stage deficits in the body");
+        let stages = detail.get("stages").and_then(Json::as_arr).unwrap();
+        assert!(!stages.is_empty());
+        assert!(
+            stages
+                .iter()
+                .any(|s| s.get("deficit_gb").and_then(Json::as_f64).unwrap() > 0.0),
+            "at least one stage is over budget"
+        );
+    }
+
+    #[test]
+    fn plans_report_per_stage_memory_that_fits() {
+        let req = PlanRequest::from_json(&parse(r#"{"model": "vgg16"}"#)).unwrap();
+        let refined = refine_plan(&req, None).unwrap();
+        assert!(!refined.schedule_switched);
+        assert!(refined.mem.fits());
+        let body = plan_response(&req, &refined, None, Some("breaker-open"));
+        let mem = body.get("memory").and_then(Json::as_arr).unwrap();
+        assert_eq!(mem.len(), refined.refined.stages.len());
+        assert!(mem
+            .iter()
+            .all(|s| s.get("fits").and_then(Json::as_bool) == Some(true)));
+        assert_eq!(
+            body.get("schedule_switched").and_then(Json::as_bool),
+            Some(false)
+        );
+        assert_eq!(
+            body.get("requested_schedule").and_then(Json::as_str),
+            Some("pipedream_async")
+        );
+    }
+
+    #[test]
+    fn tight_memory_switches_schedule_instead_of_failing() {
+        // Probe the refined shape's demand at depth 1 under the requested
+        // schedule, then replan with capacity a hair below it: the
+        // requested schedule cannot fit at any depth, but a flatter-
+        // memory alternative (e.g. recompute) can.
+        let probe = PlanRequest::from_json(&parse(r#"{"model": "bert48"}"#)).unwrap();
+        let rich = refine_plan(&probe, None).unwrap();
+        let desc = model_by_name("bert48").unwrap();
+        let profile = ModelProfile::of(&desc);
+        let state = probe.cluster.to_state();
+        let mut depth1 = rich.refined.clone();
+        depth1.in_flight = 1;
+        let need = mem_check(
+            &profile,
+            &depth1,
+            ScheduleKind::PipeDreamAsync,
+            &MemoryModel::default(),
+            &state,
+        )
+        .stages
+        .iter()
+        .map(|s| s.required)
+        .fold(0.0, f64::max);
+        let capacity_gb = need * 0.98 / GIB;
+        let req = PlanRequest::from_json(&parse(&format!(
+            r#"{{"model": "bert48", "cluster": {{"memory_gb": {capacity_gb}}}}}"#
+        )))
+        .unwrap();
+        let refined = refine_plan(&req, None).unwrap();
+        assert!(refined.schedule_switched, "expected a schedule switch");
+        assert_ne!(refined.schedule, ScheduleKind::PipeDreamAsync);
+        assert!(refined.mem.fits());
+        let body = plan_response(&req, &refined, None, Some("breaker-open"));
+        assert_eq!(
+            body.get("schedule_switched").and_then(Json::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            body.get("schedule").and_then(Json::as_str),
+            Some(refined.schedule.id())
+        );
+    }
+
+    #[test]
+    fn memory_override_splits_the_cache_key() {
+        let a = PlanRequest::from_json(&parse(r#"{"model": "vgg16"}"#)).unwrap();
+        let b = PlanRequest::from_json(&parse(
+            r#"{"model": "vgg16", "cluster": {"memory_gb": 12.0}}"#,
+        ))
+        .unwrap();
+        assert_ne!(a.canonical_key(), b.canonical_key());
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! and drops every entry. The generation is echoed in `/plan` and
 //! `/stats` responses so clients can tell which epoch served them.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use ap_json::Json;
 
@@ -27,12 +27,25 @@ pub fn fnv1a64(text: &str) -> u64 {
     h
 }
 
+/// A cached response together with its recency tick.
+struct Entry {
+    response: Json,
+    tick: u64,
+}
+
 /// A bounded LRU map from request digest to finished plan response.
+///
+/// Recency is a monotone tick per touch, indexed by a `BTreeMap` from
+/// tick to digest: the map's first key is always the least recently used
+/// entry, so every operation — lookup, touch, insert, evict — is
+/// O(log n), never the O(n) scan-and-shift of a recency `Vec`.
 pub struct PlanCache {
     capacity: usize,
-    map: HashMap<u64, Json>,
-    /// Keys, least recently used first.
-    order: Vec<u64>,
+    map: HashMap<u64, Entry>,
+    /// Recency index: touch tick → digest, oldest tick first.
+    recency: BTreeMap<u64, u64>,
+    /// Monotone touch counter; ticks are never reused.
+    tick: u64,
     hits: u64,
     misses: u64,
     generation: u64,
@@ -44,7 +57,8 @@ impl PlanCache {
         PlanCache {
             capacity: capacity.max(1),
             map: HashMap::new(),
-            order: Vec::new(),
+            recency: BTreeMap::new(),
+            tick: 0,
             hits: 0,
             misses: 0,
             generation: 0,
@@ -53,14 +67,13 @@ impl PlanCache {
 
     /// Look up a digest, refreshing its recency. Counts a hit or miss.
     pub fn get(&mut self, digest: u64) -> Option<Json> {
-        match self.map.get(&digest) {
-            Some(v) => {
+        match self.map.contains_key(&digest) {
+            true => {
                 self.hits += 1;
-                let v = v.clone();
                 self.touch(digest);
-                Some(v)
+                Some(self.map[&digest].response.clone())
             }
-            None => {
+            false => {
                 self.misses += 1;
                 None
             }
@@ -70,23 +83,31 @@ impl PlanCache {
     /// Insert a freshly computed plan, evicting the least recently used
     /// entry if full.
     pub fn insert(&mut self, digest: u64, response: Json) {
-        if let std::collections::hash_map::Entry::Occupied(mut e) = self.map.entry(digest) {
-            e.insert(response);
+        if let Some(e) = self.map.get_mut(&digest) {
+            e.response = response;
             self.touch(digest);
             return;
         }
         if self.map.len() >= self.capacity {
-            let lru = self.order.remove(0);
-            self.map.remove(&lru);
+            if let Some((_, lru)) = self.recency.pop_first() {
+                self.map.remove(&lru);
+            }
         }
-        self.map.insert(digest, response);
-        self.order.push(digest);
+        self.tick += 1;
+        self.recency.insert(self.tick, digest);
+        self.map.insert(
+            digest,
+            Entry {
+                response,
+                tick: self.tick,
+            },
+        );
     }
 
     /// Drop everything and bump the generation.
     pub fn invalidate_all(&mut self) -> u64 {
         self.map.clear();
-        self.order.clear();
+        self.recency.clear();
         self.generation += 1;
         self.generation
     }
@@ -113,9 +134,11 @@ impl PlanCache {
     }
 
     fn touch(&mut self, digest: u64) {
-        if let Some(pos) = self.order.iter().position(|&k| k == digest) {
-            self.order.remove(pos);
-            self.order.push(digest);
+        if let Some(e) = self.map.get_mut(&digest) {
+            self.recency.remove(&e.tick);
+            self.tick += 1;
+            e.tick = self.tick;
+            self.recency.insert(self.tick, digest);
         }
     }
 }

@@ -12,7 +12,7 @@ use ap_json::{Json, ToJson};
 use ap_models::ModelProfile;
 use ap_sched::{AdmitOutcome, ClusterScheduler, EventOutcome, JobId, JobRequest, RejectReason};
 
-use crate::api::{model_by_name, ApiError};
+use crate::api::{model_by_name, ApiError, GIB};
 
 /// Largest accepted batch size.
 const MAX_BATCH: usize = 4096;
@@ -107,11 +107,18 @@ fn reject_error(reason: RejectReason) -> ApiError {
         RejectReason::LargerThanCluster { wanted, cluster } => {
             format!("requested {wanted} GPUs but the cluster has {cluster}")
         }
+        RejectReason::MemoryInfeasible { deficit_bytes } => {
+            format!(
+                "no in-flight depth fits device memory; worst stage over by {:.2} GiB at depth 1",
+                deficit_bytes as f64 / GIB
+            )
+        }
     };
     ApiError {
         status: 409,
         kind: reason.id().to_string(),
         message,
+        detail: None,
     }
 }
 
@@ -146,6 +153,24 @@ pub fn submit_json(out: &EventOutcome, sched: &ClusterScheduler) -> Result<(u16,
                     ),
                     ("stages", job.partition.stages.len().to_json()),
                     ("predicted_throughput", job.predicted.to_json()),
+                    ("in_flight", job.partition.in_flight.to_json()),
+                    (
+                        "memory",
+                        Json::Arr(
+                            job.mem
+                                .stages
+                                .iter()
+                                .map(|s| {
+                                    Json::obj(vec![
+                                        ("stage", s.stage.to_json()),
+                                        ("required_gb", (s.required / GIB).to_json()),
+                                        ("capacity_gb", (s.capacity / GIB).to_json()),
+                                        ("fits", s.fits().to_json()),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
                     ("replan", replan_json(out)),
                 ]),
             ))

@@ -34,7 +34,7 @@ use ap_json::{Json, ToJson};
 use ap_resilience::{
     Admission, BreakerConfig, Bulkhead, CircuitBreaker, Clock, Deadline, Mode, SystemClock,
 };
-use ap_sched::{ClusterScheduler, SchedConfig, SchedEvent, ScheduleSnapshot};
+use ap_sched::{AdmitOutcome, ClusterScheduler, SchedConfig, SchedEvent, ScheduleSnapshot};
 use autopipe::HillClimbPlanner;
 
 use crate::admission::{AdmissionQueue, Admit};
@@ -155,6 +155,14 @@ struct State {
     degraded_breaker_open: AtomicU64,
     degraded_deadline: AtomicU64,
     degraded_verification: AtomicU64,
+    /// Memory feasibility checks that fitted (possibly clamped/switched).
+    mem_checks_fit: AtomicU64,
+    /// Memory feasibility checks where nothing fits — typed rejections.
+    mem_checks_infeasible: AtomicU64,
+    /// Plans that abandoned the requested schedule to fit memory.
+    mem_schedule_switches: AtomicU64,
+    /// Modeled peak per-stage bytes of the last fitted `/plan` answer.
+    mem_modeled_peak_bytes: AtomicU64,
 }
 
 /// Compute a `Retry-After` hint (seconds) from observed service rate:
@@ -698,6 +706,43 @@ impl State {
             &[],
             &self.sched_replan_latency.snapshot(),
         );
+        // Memory-accounting families (ap_mem), appended after the
+        // scheduler block for the same prefix-stability reason.
+        e.family(
+            "ap_mem_checks_total",
+            "counter",
+            "Memory feasibility checks on plans and job admissions, by outcome.",
+        );
+        for (outcome, counter) in [
+            ("fit", &self.mem_checks_fit),
+            ("infeasible", &self.mem_checks_infeasible),
+        ] {
+            e.sample(
+                "ap_mem_checks_total",
+                &[("outcome", outcome)],
+                count(counter),
+            );
+        }
+        e.family(
+            "ap_mem_schedule_switches_total",
+            "counter",
+            "Plans that abandoned the requested schedule to fit device memory.",
+        )
+        .sample(
+            "ap_mem_schedule_switches_total",
+            &[],
+            count(&self.mem_schedule_switches),
+        );
+        e.family(
+            "ap_mem_modeled_peak_stage_bytes",
+            "gauge",
+            "Modeled peak per-stage memory of the last fitted plan, bytes.",
+        )
+        .sample(
+            "ap_mem_modeled_peak_stage_bytes",
+            &[],
+            count(&self.mem_modeled_peak_bytes),
+        );
         e.finish()
     }
 }
@@ -797,6 +842,10 @@ pub fn spawn(cfg: ServeConfig) -> io::Result<ServerHandle> {
         degraded_breaker_open: AtomicU64::new(0),
         degraded_deadline: AtomicU64::new(0),
         degraded_verification: AtomicU64::new(0),
+        mem_checks_fit: AtomicU64::new(0),
+        mem_checks_infeasible: AtomicU64::new(0),
+        mem_schedule_switches: AtomicU64::new(0),
+        mem_modeled_peak_bytes: AtomicU64::new(0),
     });
 
     let accept_state = Arc::clone(&state);
@@ -852,6 +901,7 @@ fn acceptor_loop(listener: TcpListener, state: &State) {
                     status: 503,
                     kind: "overloaded".to_string(),
                     message: format!("admission queue full; retry in {hint}s"),
+                    detail: None,
                 }
                 .body();
                 let _ = http::respond(
@@ -960,6 +1010,7 @@ fn error_response(
         status,
         kind: kind.to_string(),
         message: message.to_string(),
+        detail: None,
     }
     .body();
     http::respond(stream, status, &[], &body.pretty(), true)
@@ -984,6 +1035,7 @@ fn route(state: &State, req: &Request) -> Routed {
                 status: 405,
                 kind: "method-not-allowed".to_string(),
                 message: format!("{} only accepts DELETE", req.path),
+                detail: None,
             });
         }
         return match handle_job_delete(state, id_str) {
@@ -1061,11 +1113,13 @@ fn route(state: &State, req: &Request) -> Routed {
             status: 405,
             kind: "method-not-allowed".to_string(),
             message: format!("{} does not accept {}", req.path, req.method),
+            detail: None,
         }),
         _ => err(ApiError {
             status: 404,
             kind: "not-found".to_string(),
             message: format!("no route for {}", req.path),
+            detail: None,
         }),
     }
 }
@@ -1079,6 +1133,25 @@ fn set_field(obj: &mut Json, key: &str, value: Json) {
         }
         pairs.push((key.to_string(), value));
     }
+}
+
+/// Record a successful memory fit on the counters and remember the
+/// tightest stage's modeled peak for the `ap_mem_modeled_peak_stage_bytes`
+/// gauge.
+fn self_observe_mem_fit(state: &State, refined: &api::RefinedPlan) {
+    state.mem_checks_fit.fetch_add(1, Ordering::Relaxed);
+    if refined.schedule_switched {
+        state.mem_schedule_switches.fetch_add(1, Ordering::Relaxed);
+    }
+    let peak = refined
+        .mem
+        .stages
+        .iter()
+        .map(|s| s.required)
+        .fold(0.0, f64::max);
+    state
+        .mem_modeled_peak_bytes
+        .store(peak as u64, Ordering::Relaxed);
 }
 
 /// `/plan` behind the full stack — bulkhead, deadline, breaker — with
@@ -1100,6 +1173,7 @@ fn handle_plan(state: &State, body: &[u8]) -> Result<Json, ApiError> {
                 "{} /plan computations already in flight; retry shortly",
                 state.plan_bulkhead.capacity()
             ),
+            detail: None,
         });
     };
 
@@ -1122,7 +1196,18 @@ fn handle_plan(state: &State, body: &[u8]) -> Result<Json, ApiError> {
     // Compute outside the cache lock: planning takes milliseconds and
     // other workers' cache hits must not wait on it. Concurrent misses on
     // the same key may compute twice; both arrive at the same plan.
-    let refined = api::refine_plan(&req, Some(&deadline));
+    let refined = match api::refine_plan(&req, Some(&deadline)) {
+        Ok(r) => {
+            self_observe_mem_fit(state, &r);
+            r
+        }
+        Err(e) => {
+            if e.kind == "memory-infeasible" {
+                state.mem_checks_infeasible.fetch_add(1, Ordering::Relaxed);
+            }
+            return Err(e);
+        }
+    };
     if deadline.expired() {
         // The analytic phase ate the whole budget; the engine would only
         // overrun further. Counts as a failure on the breaker — a slow
@@ -1189,6 +1274,7 @@ fn handle_simulate(state: &State, body: &[u8]) -> Result<Json, ApiError> {
                 "{} /simulate computations already in flight; retry shortly",
                 state.simulate_bulkhead.capacity()
             ),
+            detail: None,
         });
     };
     api::compute_simulate(&req)
@@ -1208,6 +1294,15 @@ fn handle_job_submit(state: &State, body: &[u8]) -> Result<(u16, Json), ApiError
     state
         .last_neighborhood
         .store(out.replan.neighborhood as u64, Ordering::Relaxed);
+    match out.admit.as_ref() {
+        Some(AdmitOutcome::Placed(_)) => {
+            state.mem_checks_fit.fetch_add(1, Ordering::Relaxed);
+        }
+        Some(AdmitOutcome::Rejected(r)) if r.id() == "memory-infeasible" => {
+            state.mem_checks_infeasible.fetch_add(1, Ordering::Relaxed);
+        }
+        _ => {}
+    }
     jobs::submit_json(&out, &sched)
 }
 
@@ -1224,6 +1319,7 @@ fn handle_job_delete(state: &State, id_str: &str) -> Result<Json, ApiError> {
             status: 404,
             kind: "unknown-job".to_string(),
             message: format!("no job with id {}", id.0),
+            detail: None,
         });
     }
     let out = sched.on_event(now, &SchedEvent::Depart(id));

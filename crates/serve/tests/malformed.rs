@@ -161,6 +161,48 @@ fn hostile_requests_get_json_errors_and_never_wedge() {
     assert_eq!(r.status, 400);
     assert_eq!(error_kind(&r.body), "bad-field");
 
+    // A memory-starved cluster no schedule can fit: typed 422 with
+    // per-stage deficits in the error detail.
+    let r = c
+        .request(
+            "POST",
+            "/plan",
+            Some(
+                &ap_json::parse(r#"{"model": "bert48", "cluster": {"memory_gb": 0.25}}"#).unwrap(),
+            ),
+        )
+        .unwrap();
+    assert_eq!(r.status, 422);
+    assert_eq!(error_kind(&r.body), "memory-infeasible");
+    let detail = ap_json::parse(std::str::from_utf8(&r.body).unwrap())
+        .unwrap()
+        .get("error")
+        .and_then(|e| e.get("detail"))
+        .cloned()
+        .expect("memory-infeasible carries a detail object");
+    let stages = detail
+        .get("stages")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .to_vec();
+    assert!(!stages.is_empty());
+    assert!(
+        stages
+            .iter()
+            .any(|s| s.get("deficit_gb").and_then(Json::as_f64).unwrap() > 0.0),
+        "at least one stage is over budget"
+    );
+    // An out-of-range memory override stays a plain 422.
+    let r = c
+        .request(
+            "POST",
+            "/plan",
+            Some(&ap_json::parse(r#"{"model": "vgg16", "cluster": {"memory_gb": 0}}"#).unwrap()),
+        )
+        .unwrap();
+    assert_eq!(r.status, 422);
+    assert_eq!(error_kind(&r.body), "out-of-range");
+
     // Structurally invalid partition (layer gap between stages).
     let r = c
         .request(

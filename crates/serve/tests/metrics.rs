@@ -67,6 +67,9 @@ const FAMILIES: &[&str] = &[
     "ap_sched_neighborhood_size",
     "ap_sched_aggregate_predicted_throughput",
     "ap_sched_replan_duration_seconds",
+    "ap_mem_checks_total",
+    "ap_mem_schedule_switches_total",
+    "ap_mem_modeled_peak_stage_bytes",
 ];
 
 #[test]
@@ -101,6 +104,10 @@ fn every_promised_family_is_present_in_order() {
         "ap_sched_admissions_total{outcome=\"rejected\"} 0",
         "ap_sched_jobs_resident 0",
         "ap_sched_replan_duration_seconds_bucket{le=\"+Inf\"} 0",
+        "ap_mem_checks_total{outcome=\"fit\"} 0",
+        "ap_mem_checks_total{outcome=\"infeasible\"} 0",
+        "ap_mem_schedule_switches_total 0",
+        "ap_mem_modeled_peak_stage_bytes 0",
         "ap_degraded_responses_total{reason=\"breaker-open\"} 0",
         "ap_degraded_responses_total{reason=\"deadline-exhausted\"} 0",
         "ap_degraded_responses_total{reason=\"verification-failed\"} 0",
@@ -189,6 +196,9 @@ fn every_line_is_valid_exposition_syntax() {
     assert!(text.contains("ap_requests_total{endpoint=\"health\"} 1\n"));
     assert!(text.contains("ap_cache_misses_total 1\n"));
     assert!(text.contains("ap_request_duration_seconds_count{endpoint=\"plan\"} 1\n"));
+    // The plan passed its memory check and left a modeled peak behind.
+    assert!(text.contains("ap_mem_checks_total{outcome=\"fit\"} 1\n"));
+    assert!(!text.contains("ap_mem_modeled_peak_stage_bytes 0\n"));
     handle.shutdown();
 }
 
@@ -247,6 +257,20 @@ fn scheduler_traffic_moves_the_sched_families() {
     let text = scrape(&mut c);
     assert!(text.contains("ap_sched_jobs_resident 0\n"));
     assert!(text.contains("ap_sched_jobs_completed_total 1\n"));
+    handle.shutdown();
+}
+
+#[test]
+fn memory_infeasible_plans_move_the_mem_families() {
+    let mut handle = server();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    // bert48 cannot fit 0.25 GiB devices under any schedule or depth.
+    let plan = ap_json::parse(r#"{"model": "bert48", "cluster": {"memory_gb": 0.25}}"#).unwrap();
+    let r = c.request("POST", "/plan", Some(&plan)).unwrap();
+    assert_eq!(r.status, 422);
+    let text = scrape(&mut c);
+    assert!(text.contains("ap_mem_checks_total{outcome=\"infeasible\"} 1\n"));
+    assert!(text.contains("ap_mem_checks_total{outcome=\"fit\"} 0\n"));
     handle.shutdown();
 }
 
